@@ -1,0 +1,303 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation (Section
+// VII), each exercising the same code path as the corresponding qbfbench
+// suite at smoke scale, plus ablation benchmarks for the design choices
+// DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The absolute numbers here are for regression tracking; the properly
+// scaled experiment (Table I counts, scatter CSVs, scaling series) is
+// produced by cmd/qbfbench and recorded in EXPERIMENTS.md.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/dia"
+	"repro/internal/models"
+	"repro/internal/ncf"
+	"repro/internal/prenex"
+	"repro/internal/qbf"
+)
+
+var benchCfg = bench.Config{Timeout: 2 * time.Second, Workers: 1}
+
+// lazily built instance sets, shared across benchmark iterations.
+var (
+	onceNCF   sync.Once
+	ncfInsts  []bench.Instance
+	onceFPV   sync.Once
+	fpvInsts  []bench.Instance
+	onceDIA   sync.Once
+	diaInsts  []bench.Instance
+	onceProb  sync.Once
+	probInsts []bench.Instance
+	onceFixed sync.Once
+	fixInsts  []bench.Instance
+)
+
+func ncfSet() []bench.Instance {
+	onceNCF.Do(func() {
+		s := bench.ScaleSmoke
+		all := bench.NCFSuite(s)
+		// A spread of cells keeps the benchmark representative but quick.
+		for i := 0; i < len(all); i += 10 {
+			ncfInsts = append(ncfInsts, all[i])
+		}
+	})
+	return ncfInsts
+}
+
+func fpvSet() []bench.Instance {
+	onceFPV.Do(func() { fpvInsts = bench.FPVSuite(bench.ScaleSmoke) })
+	return fpvInsts
+}
+
+func diaSet() []bench.Instance {
+	onceDIA.Do(func() {
+		all := bench.DIASuite(bench.ScaleSmoke)
+		for i := 0; i < len(all); i += 3 {
+			diaInsts = append(diaInsts, all[i])
+		}
+	})
+	return diaInsts
+}
+
+func probSet() []bench.Instance {
+	onceProb.Do(func() { probInsts = bench.EvalSuite(bench.ScaleSmoke, false) })
+	return probInsts
+}
+
+func fixedSet() []bench.Instance {
+	onceFixed.Do(func() { fixInsts = bench.EvalSuite(bench.ScaleSmoke, true) })
+	return fixInsts
+}
+
+// benchTableRow runs a suite and aggregates one Table I row per iteration.
+func benchTableRow(b *testing.B, insts []bench.Instance, strategy prenex.Strategy) {
+	if len(insts) == 0 {
+		b.Skip("suite empty at smoke scale")
+	}
+	b.ReportMetric(float64(len(insts)), "instances")
+	for i := 0; i < b.N; i++ {
+		results := bench.RunSuite(insts, benchCfg)
+		row := bench.Aggregate("bench", results, strategy, bench.ScaleSmoke.Margin())
+		if row.Total != len(insts) {
+			b.Fatalf("aggregated %d of %d", row.Total, len(insts))
+		}
+	}
+}
+
+// Table I rows 1–4: the NCF suite under each prenexing strategy.
+
+func BenchmarkTableI_NCF_EupAup(b *testing.B)     { benchTableRow(b, ncfSet(), prenex.EUpAUp) }
+func BenchmarkTableI_NCF_EdownAdown(b *testing.B) { benchTableRow(b, ncfSet(), prenex.EDownADown) }
+func BenchmarkTableI_NCF_EdownAup(b *testing.B)   { benchTableRow(b, ncfSet(), prenex.EDownAUp) }
+func BenchmarkTableI_NCF_EupAdown(b *testing.B)   { benchTableRow(b, ncfSet(), prenex.EUpADown) }
+
+// Table I row 5: the FPV suite.
+func BenchmarkTableI_FPV(b *testing.B) { benchTableRow(b, fpvSet(), prenex.EUpAUp) }
+
+// Table I row 6: the DIA suite.
+func BenchmarkTableI_DIA(b *testing.B) { benchTableRow(b, diaSet(), prenex.EUpAUp) }
+
+// Table I rows 7 and 8: the miniscoped QBFEVAL-style classes.
+func BenchmarkTableI_PROB(b *testing.B)  { benchTableRow(b, probSet(), prenex.EUpAUp) }
+func BenchmarkTableI_FIXED(b *testing.B) { benchTableRow(b, fixedSet(), prenex.EUpAUp) }
+
+// Figure 3: median scatter of QUBE(PO) vs the ideal QUBE(TO)* on NCF.
+func BenchmarkFig3_NCFScatter(b *testing.B) {
+	insts := ncfSet()
+	for i := 0; i < b.N; i++ {
+		results := bench.RunSuite(insts, benchCfg)
+		pts := bench.MedianScatter(results, prenex.EUpAUp, true)
+		if len(pts) == 0 {
+			b.Fatal("no scatter points")
+		}
+	}
+}
+
+// Figure 4: per-instance scatter on FPV.
+func BenchmarkFig4_FPVScatter(b *testing.B) {
+	insts := fpvSet()
+	for i := 0; i < b.N; i++ {
+		results := bench.RunSuite(insts, benchCfg)
+		if pts := bench.Scatter(results, prenex.EUpAUp, false); len(pts) != len(insts) {
+			b.Fatal("scatter size mismatch")
+		}
+	}
+}
+
+// Figure 5: per-instance scatter on DIA.
+func BenchmarkFig5_DIAScatter(b *testing.B) {
+	insts := diaSet()
+	for i := 0; i < b.N; i++ {
+		results := bench.RunSuite(insts, benchCfg)
+		if pts := bench.Scatter(results, prenex.EUpAUp, false); len(pts) != len(insts) {
+			b.Fatal("scatter size mismatch")
+		}
+	}
+}
+
+// Figure 6 (left): counter<N> scaling series, PO vs TO.
+func BenchmarkFig6_CounterScaling(b *testing.B) {
+	m := models.Counter(2)
+	po := dia.SolverPO(core.Options{TimeLimit: benchCfg.Timeout})
+	to := dia.SolverTO(prenex.EUpAUp, core.Options{TimeLimit: benchCfg.Timeout})
+	for i := 0; i < b.N; i++ {
+		if pts := bench.ScalingSeries(m, m.KnownDiameter+1, po); len(pts) == 0 {
+			b.Fatal("empty PO series")
+		}
+		if pts := bench.ScalingSeries(m, m.KnownDiameter+1, to); len(pts) == 0 {
+			b.Fatal("empty TO series")
+		}
+	}
+}
+
+// Figure 6 (right): semaphore<N> scaling series, PO vs TO.
+func BenchmarkFig6_SemaphoreScaling(b *testing.B) {
+	m := models.Semaphore(3)
+	po := dia.SolverPO(core.Options{TimeLimit: benchCfg.Timeout})
+	to := dia.SolverTO(prenex.EUpAUp, core.Options{TimeLimit: benchCfg.Timeout})
+	for i := 0; i < b.N; i++ {
+		if pts := bench.ScalingSeries(m, m.KnownDiameter+1, po); len(pts) == 0 {
+			b.Fatal("empty PO series")
+		}
+		if pts := bench.ScalingSeries(m, m.KnownDiameter+1, to); len(pts) == 0 {
+			b.Fatal("empty TO series")
+		}
+	}
+}
+
+// Figure 7: scatter on the miniscoped probabilistic + fixed classes.
+func BenchmarkFig7_EvalScatter(b *testing.B) {
+	insts := append(append([]bench.Instance{}, probSet()...), fixedSet()...)
+	if len(insts) == 0 {
+		b.Skip("eval suites empty at smoke scale")
+	}
+	for i := 0; i < b.N; i++ {
+		results := bench.RunSuite(insts, benchCfg)
+		if pts := bench.Scatter(results, prenex.EUpAUp, false); len(pts) != len(insts) {
+			b.Fatal("scatter size mismatch")
+		}
+	}
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// Ablation: the ladder CNF conversion of φn against the naive coarse one.
+// The ladder's per-step definition blocks let the solver commit to a break
+// early; the coarse form forces a full universal assignment first.
+func BenchmarkAblation_DiaLadder(b *testing.B) {
+	m := models.DME(3)
+	phi := dia.Phi(m, m.KnownDiameter-1)
+	for i := 0; i < b.N; i++ {
+		if r, _ := dia.SolverPO(core.Options{})(phi); r != core.True {
+			b.Fatal(r)
+		}
+	}
+}
+
+func BenchmarkAblation_DiaCoarse(b *testing.B) {
+	m := models.DME(3)
+	phi := dia.PhiCoarse(m, m.KnownDiameter-1)
+	for i := 0; i < b.N; i++ {
+		if r, _ := dia.SolverPO(core.Options{})(phi); r != core.True {
+			b.Fatal(r)
+		}
+	}
+}
+
+// Ablation: cube (good) learning on the solution-heavy DIA instances.
+func BenchmarkAblation_CubeLearningOn(b *testing.B) {
+	phi := dia.Phi(models.Semaphore(2), 2)
+	for i := 0; i < b.N; i++ {
+		core.MustSolve(phi, core.Options{})
+	}
+}
+
+func BenchmarkAblation_CubeLearningOff(b *testing.B) {
+	phi := dia.Phi(models.Semaphore(2), 2)
+	for i := 0; i < b.N; i++ {
+		core.MustSolve(phi, core.Options{DisableCubeLearning: true})
+	}
+}
+
+// Ablation: clause (nogood) learning on a false DIA instance.
+func BenchmarkAblation_ClauseLearningOn(b *testing.B) {
+	phi := dia.Phi(models.DME(3), 3) // n = diameter: false
+	for i := 0; i < b.N; i++ {
+		core.MustSolve(phi, core.Options{})
+	}
+}
+
+func BenchmarkAblation_ClauseLearningOff(b *testing.B) {
+	phi := dia.Phi(models.DME(3), 3)
+	for i := 0; i < b.N; i++ {
+		core.MustSolve(phi, core.Options{DisableClauseLearning: true})
+	}
+}
+
+// Ablation: pure literal fixing on an NCF instance.
+func BenchmarkAblation_PureOn(b *testing.B) {
+	q := ncf.Generate(ncf.Params{Dep: 4, Var: 8, Cls: 16, Lpc: 3, Seed: 3})
+	for i := 0; i < b.N; i++ {
+		core.MustSolve(q, core.Options{})
+	}
+}
+
+func BenchmarkAblation_PureOff(b *testing.B) {
+	q := ncf.Generate(ncf.Params{Dep: 4, Var: 8, Cls: 16, Lpc: 3, Seed: 3})
+	for i := 0; i < b.N; i++ {
+		core.MustSolve(q, core.Options{DisablePureLiterals: true})
+	}
+}
+
+// Microbenchmarks of the substrate.
+
+func BenchmarkMicro_UniversalReduce(b *testing.B) {
+	p := qbf.NewPrenexPrefix(60,
+		qbf.Run{Quant: qbf.Exists, Vars: seqVars(1, 20)},
+		qbf.Run{Quant: qbf.Forall, Vars: seqVars(21, 40)},
+		qbf.Run{Quant: qbf.Exists, Vars: seqVars(41, 60)})
+	c := qbf.Clause{1, -25, 30, 45, -50, 15, -38}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(qbf.UniversalReduce(p, c)) == 0 {
+			b.Fatal("unexpected empty reduction")
+		}
+	}
+}
+
+func BenchmarkMicro_PrenexApply(b *testing.B) {
+	q := ncf.Generate(ncf.Params{Dep: 5, Var: 8, Cls: 16, Lpc: 3, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := prenex.Apply(q, prenex.EUpAUp); !r.Prefix.IsPrenex() {
+			b.Fatal("not prenex")
+		}
+	}
+}
+
+func BenchmarkMicro_Miniscope(b *testing.B) {
+	q := prenex.Apply(ncf.Generate(ncf.Params{Dep: 4, Var: 8, Cls: 16, Lpc: 3, Seed: 2}), prenex.EUpAUp)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m := prenex.Miniscope(q); m == nil {
+			b.Fatal("nil result")
+		}
+	}
+}
+
+func seqVars(from, to int) []qbf.Var {
+	out := make([]qbf.Var, 0, to-from+1)
+	for v := from; v <= to; v++ {
+		out = append(out, qbf.Var(v))
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+// Command qbfbench regenerates the paper's experimental analysis (Section
+// VII): Table I rows and the data series behind Figures 3–7, at a
+// configurable scale.
+//
+// Suites:
+//
+//	ncf       — Table I rows 1–4 and Figure 3 (nested counterfactuals)
+//	fpv       — Table I row 5 and Figure 4
+//	dia       — Table I row 6 and Figure 5
+//	prob      — Table I row 7 and Figure 7 (probabilistic class)
+//	fixed     — Table I row 8 and Figure 7 (fixed class)
+//	scaling   — Figure 6 (counter and semaphore series)
+//	all       — everything above
+//
+// Scatter CSVs land in -out (default "results/").
+//
+// Example:
+//
+//	qbfbench -suite all -scale default -out results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/dia"
+	"repro/internal/models"
+	"repro/internal/prenex"
+)
+
+// plotFigures enables ASCII figure rendering (the -plot flag).
+var plotFigures bool
+
+func main() {
+	suite := flag.String("suite", "all", "suite: ncf, fpv, dia, prob, fixed, scaling, all")
+	scaleName := flag.String("scale", "default", "experiment scale: smoke, default, full")
+	outDir := flag.String("out", "results", "directory for CSV artifacts")
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel solver instances")
+	timeout := flag.Duration("timeout", 0, "override the scale's per-solve budget")
+	plot := flag.Bool("plot", false, "render ASCII versions of the figures to stdout")
+	flag.Parse()
+	plotFigures = *plot
+
+	scale, err := pickScale(*scaleName)
+	if err != nil {
+		fail(err)
+	}
+	if *timeout > 0 {
+		scale.Timeout = *timeout
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fail(err)
+	}
+	cfg := bench.Config{Timeout: scale.Timeout, Workers: *workers}
+
+	var rows []bench.TableRow
+	run := func(name string) {
+		switch name {
+		case "ncf":
+			rows = append(rows, runNCF(scale, cfg, *outDir)...)
+		case "fpv":
+			rows = append(rows, runSimple("FPV", bench.FPVSuite(scale), scale, cfg, filepath.Join(*outDir, "fig4_fpv_scatter.csv")))
+		case "dia":
+			rows = append(rows, runSimple("DIA", bench.DIASuite(scale), scale, cfg, filepath.Join(*outDir, "fig5_dia_scatter.csv")))
+		case "prob":
+			rows = append(rows, runSimple("PROB", bench.EvalSuite(scale, false), scale, cfg, filepath.Join(*outDir, "fig7_prob_scatter.csv")))
+		case "fixed":
+			rows = append(rows, runSimple("FIXED", bench.EvalSuite(scale, true), scale, cfg, filepath.Join(*outDir, "fig7_fixed_scatter.csv")))
+		case "scaling":
+			runScaling(scale, *outDir)
+		default:
+			fail(fmt.Errorf("unknown suite %q", name))
+		}
+	}
+	if *suite == "all" {
+		for _, s := range []string{"ncf", "fpv", "dia", "prob", "fixed", "scaling"} {
+			run(s)
+		}
+	} else {
+		run(*suite)
+	}
+
+	if len(rows) > 0 {
+		fmt.Println("\nTable I (regenerated, scaled):")
+		bench.WriteTable(os.Stdout, rows)
+	}
+}
+
+func pickScale(name string) (bench.Scale, error) {
+	switch name {
+	case "smoke":
+		return bench.ScaleSmoke, nil
+	case "default":
+		return bench.ScaleDefault, nil
+	case "full":
+		return bench.ScaleFull, nil
+	}
+	return bench.Scale{}, fmt.Errorf("unknown scale %q", name)
+}
+
+// runNCF reproduces Table I rows 1–4 (one per strategy) and the Figure 3
+// median scatter against QUBE(TO)*.
+func runNCF(scale bench.Scale, cfg bench.Config, outDir string) []bench.TableRow {
+	insts := bench.NCFSuite(scale)
+	fmt.Printf("NCF: %d instances × (1 PO + 4 TO) solves, budget %v each\n",
+		len(insts), cfg.Timeout)
+	start := time.Now()
+	results := bench.RunSuite(insts, cfg)
+	fmt.Printf("NCF done in %v\n", time.Since(start).Round(time.Second))
+
+	var rows []bench.TableRow
+	for _, s := range prenex.Strategies {
+		rows = append(rows, bench.Aggregate("NCF", results, s, scale.Margin()))
+	}
+	writeCSV(filepath.Join(outDir, "fig3_ncf_scatter.csv"),
+		bench.MedianScatter(results, prenex.EUpAUp, true))
+	return rows
+}
+
+// runSimple handles the single-strategy suites (FPV, DIA, PROB, FIXED).
+func runSimple(name string, insts []bench.Instance, scale bench.Scale, cfg bench.Config, csvPath string) bench.TableRow {
+	fmt.Printf("%s: %d instances, budget %v each\n", name, len(insts), cfg.Timeout)
+	start := time.Now()
+	results := bench.RunSuite(insts, cfg)
+	fmt.Printf("%s done in %v\n", name, time.Since(start).Round(time.Second))
+	writeCSV(csvPath, bench.Scatter(results, prenex.EUpAUp, false))
+	return bench.Aggregate(name, results, prenex.EUpAUp, scale.Margin())
+}
+
+// runScaling reproduces Figure 6: counter<N> (growing diameter) and
+// semaphore<N> (fixed diameter, growing size) series for both solvers.
+func runScaling(scale bench.Scale, outDir string) {
+	series := map[string][]bench.ScalingPoint{}
+	po := dia.SolverPO(core.Options{TimeLimit: scale.Timeout})
+	to := dia.SolverTO(prenex.EUpAUp, core.Options{TimeLimit: scale.Timeout})
+
+	for n := 2; n <= scale.DIAMaxBits; n++ {
+		m := models.Counter(n)
+		series["PO"] = append(series["PO"], bench.ScalingSeries(m, m.KnownDiameter+1, po)...)
+		series["TO"] = append(series["TO"], bench.ScalingSeries(m, m.KnownDiameter+1, to)...)
+	}
+	for n := 1; n <= 2*scale.DIAMaxBits+1; n += 2 {
+		m := models.Semaphore(n)
+		series["PO"] = append(series["PO"], bench.ScalingSeries(m, m.KnownDiameter+1, po)...)
+		series["TO"] = append(series["TO"], bench.ScalingSeries(m, m.KnownDiameter+1, to)...)
+	}
+
+	path := filepath.Join(outDir, "fig6_scaling.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	bench.WriteScalingCSV(f, series)
+	fmt.Printf("scaling series written to %s\n", path)
+	if plotFigures {
+		bench.RenderScaling(os.Stdout, series, "Figure 6 (all families)")
+	}
+}
+
+func writeCSV(path string, pts []bench.ScatterPoint) {
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	bench.WriteScatterCSV(f, pts)
+	above, below, on := bench.ScatterSummary(pts)
+	fmt.Printf("  scatter %s: %d above diagonal (PO wins), %d below, %d on\n",
+		filepath.Base(path), above, below, on)
+	if plotFigures {
+		bench.RenderScatter(os.Stdout, pts, filepath.Base(path))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "qbfbench:", err)
+	os.Exit(1)
+}

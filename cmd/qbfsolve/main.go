@@ -1,0 +1,138 @@
+// Command qbfsolve decides a QBF read from a file or stdin. It accepts
+// prenex instances in QDIMACS and non-prenex instances in the QTREE format
+// (see internal/qdimacs), and runs the QUBE(PO)-style partial-order engine
+// by default; -mode=to selects the QUBE(TO) total-order configuration,
+// prenexing a tree input first with -strategy.
+//
+// Usage:
+//
+//	qbfsolve [flags] [file.qdimacs]
+//
+// Exit status: 10 when the formula is TRUE, 20 when FALSE (the SAT solver
+// convention), 1 on errors or when a limit stopped the search.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/prenex"
+	"repro/internal/qbf"
+	"repro/internal/qdimacs"
+)
+
+func main() {
+	mode := flag.String("mode", "po", "solver mode: po (partial order) or to (total order)")
+	strategy := flag.String("strategy", "eu-au", "prenexing strategy for -mode=to on tree inputs: eu-au, eu-ad, ed-au, ed-ad")
+	timeout := flag.Duration("timeout", 0, "per-solve time limit (0 = none)")
+	nodes := flag.Int64("nodes", 0, "decision limit (0 = none)")
+	noCl := flag.Bool("no-clause-learning", false, "disable nogood learning")
+	noCu := flag.Bool("no-cube-learning", false, "disable good learning")
+	noPure := flag.Bool("no-pure", false, "disable pure literal fixing")
+	miniscope := flag.Bool("miniscope", false, "minimize quantifier scopes before solving (Section VII.D)")
+	stats := flag.Bool("stats", false, "print search statistics")
+	witness := flag.Bool("witness", false, "on TRUE, print the outermost existential assignment (a full model for SAT inputs)")
+	flag.Parse()
+
+	q, err := readInput(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	if *miniscope {
+		q = prenex.Miniscope(q)
+	}
+
+	opt := core.Options{
+		TimeLimit:             *timeout,
+		NodeLimit:             *nodes,
+		DisableClauseLearning: *noCl,
+		DisableCubeLearning:   *noCu,
+		DisablePureLiterals:   *noPure,
+	}
+	switch *mode {
+	case "po":
+		opt.Mode = core.ModePartialOrder
+	case "to":
+		opt.Mode = core.ModeTotalOrder
+		if !q.Prefix.IsPrenex() {
+			s, err := parseStrategy(*strategy)
+			if err != nil {
+				fail(err)
+			}
+			q = prenex.Apply(q, s)
+		}
+	default:
+		fail(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	solver, err := core.NewSolver(q, opt)
+	if err != nil {
+		fail(err)
+	}
+	r := solver.Solve()
+	st := solver.Stats()
+	fmt.Println(r)
+	if *witness && r == core.True {
+		if model, ok := solver.Witness(); ok {
+			fmt.Print("v")
+			for v := qbf.Var(1); int(v) <= q.MaxVar(); v++ {
+				if val, has := model[v]; has {
+					if val {
+						fmt.Printf(" %d", v)
+					} else {
+						fmt.Printf(" -%d", v)
+					}
+				}
+			}
+			fmt.Println(" 0")
+		}
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr,
+			"decisions=%d propagations=%d pures=%d conflicts=%d solutions=%d learned-clauses=%d learned-cubes=%d backjumps=%d restarts=%d time=%v\n",
+			st.Decisions, st.Propagations, st.PureAssignments, st.Conflicts,
+			st.Solutions, st.LearnedClauses, st.LearnedCubes, st.Backjumps,
+			st.Restarts, st.Time)
+	}
+	switch r {
+	case core.True:
+		os.Exit(10)
+	case core.False:
+		os.Exit(20)
+	default:
+		os.Exit(1)
+	}
+}
+
+func readInput(path string) (*qbf.QBF, error) {
+	if path == "" || path == "-" {
+		return qdimacs.Read(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return qdimacs.Read(f)
+}
+
+func parseStrategy(s string) (prenex.Strategy, error) {
+	switch s {
+	case "eu-au":
+		return prenex.EUpAUp, nil
+	case "eu-ad":
+		return prenex.EUpADown, nil
+	case "ed-au":
+		return prenex.EDownAUp, nil
+	case "ed-ad":
+		return prenex.EDownADown, nil
+	}
+	return 0, fmt.Errorf("unknown strategy %q", s)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "qbfsolve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,14 @@
+// Package repro is a from-scratch Go reproduction of Giunchiglia, Narizzano
+// and Tacchella, "Quantifier structure in search based procedures for QBFs"
+// (DATE 2006): a search-based QBF solver that handles non-prenex quantifier
+// structure (QUBE(PO)) next to the classic total-order configuration
+// (QUBE(TO)), the four prenexing strategies of Egly et al., miniscoping,
+// and the paper's four workloads (nested counterfactuals, web-service
+// composition games, circuit-diameter QBFs, QBFEVAL-style instances).
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for the measured
+// reproduction of every table and figure, and the package documentation
+// under internal/ for the individual components. The benchmarks in
+// bench_test.go regenerate each experiment at smoke scale; cmd/qbfbench
+// runs them at configurable scale.
+package repro

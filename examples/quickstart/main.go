@@ -1,0 +1,73 @@
+// Quickstart: build a non-prenex QBF with the library API, decide it with
+// the partial-order engine (QUBE(PO)), and round-trip it through the QTREE
+// text format.
+//
+// The example formula is
+//
+//	∃x1 ( ∀y2 ∃x3 (x3 ≡ y2) ∧ ∀y4 ∃x5 ((x5 ≡ y4) ∧ (x1 ∨ x5)) )
+//
+// whose two ∀∃ subtrees are incomparable — exactly the structure a prenex
+// conversion would destroy.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/qbf"
+	"repro/internal/qdimacs"
+)
+
+func main() {
+	// Build the quantifier tree: variables are integers from 1; blocks are
+	// attached to their parent scope.
+	p := qbf.NewPrefix(5)
+	root := p.AddBlock(nil, qbf.Exists, 1)
+	left := p.AddBlock(root, qbf.Forall, 2)
+	p.AddBlock(left, qbf.Exists, 3)
+	right := p.AddBlock(root, qbf.Forall, 4)
+	p.AddBlock(right, qbf.Exists, 5)
+
+	// The CNF matrix. Positive literals are variable indices, negative
+	// literals negated indices, as in DIMACS.
+	matrix := []qbf.Clause{
+		{2, -3}, {-2, 3}, // x3 ≡ y2
+		{4, -5}, {-4, 5}, // x5 ≡ y4
+		{1, 5}, // x1 ∨ x5
+	}
+	formula := qbf.New(p, matrix)
+
+	fmt.Println("formula:", formula)
+	fmt.Println("prenex?", formula.Prefix.IsPrenex())
+
+	// Decide it. The zero Options value runs the full QUBE(PO)
+	// configuration: partial-order heuristic, clause and cube learning,
+	// pure literal fixing.
+	result, stats, err := core.Solve(formula, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("result:", result)
+	fmt.Printf("effort: %d decisions, %d propagations, %d learned constraints\n",
+		stats.Decisions, stats.Propagations, stats.LearnedClauses+stats.LearnedCubes)
+
+	// Serialize to the QTREE text format and read it back.
+	text, err := qdimacs.WriteString(formula)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nQTREE serialization:")
+	os.Stdout.WriteString(text)
+
+	again, err := qdimacs.ReadString(text)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r2, _, err := core.Solve(again, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nround-tripped result:", r2)
+}

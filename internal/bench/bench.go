@@ -1,0 +1,333 @@
+// Package bench is the experimental-analysis harness of Section VII: it
+// runs QUBE(PO) on non-prenex instances against QUBE(TO) on their prenex
+// conversions, under a per-instance budget, and aggregates the outcomes
+// into the paper's Table I columns, the scatter plots of Figures 3, 4, 5
+// and 7, and the scaling series of Figure 6.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/prenex"
+	"repro/internal/qbf"
+)
+
+// Instance is one benchmark formula in both forms.
+type Instance struct {
+	// Name identifies the instance in reports.
+	Name string
+	// Tree is the non-prenex form solved by QUBE(PO).
+	Tree *qbf.QBF
+	// Prenex holds the total-order forms solved by QUBE(TO), one per
+	// strategy. Suites that only exercise ∃↑∀↑ populate a single entry.
+	Prenex map[prenex.Strategy]*qbf.QBF
+}
+
+// MakeInstance derives the prenex forms of a tree instance.
+func MakeInstance(name string, tree *qbf.QBF, strategies ...prenex.Strategy) Instance {
+	inst := Instance{Name: name, Tree: tree, Prenex: map[prenex.Strategy]*qbf.QBF{}}
+	for _, s := range strategies {
+		inst.Prenex[s] = prenex.Apply(tree, s)
+	}
+	return inst
+}
+
+// Outcome is one solver run on one instance.
+type Outcome struct {
+	Result  core.Result
+	Timeout bool
+	Time    time.Duration
+	Stats   core.Stats
+}
+
+// RunResult pairs the PO outcome with the TO outcomes per strategy.
+type RunResult struct {
+	Name string
+	PO   Outcome
+	TO   map[prenex.Strategy]Outcome
+}
+
+// TOBest returns the best (fastest solved) TO outcome — the ideal solver
+// QUBE(TO)* of Figure 3 — over the strategies present.
+func (r RunResult) TOBest() Outcome {
+	best := Outcome{Timeout: true, Time: -1}
+	for _, o := range r.TO {
+		if best.Time < 0 {
+			best = o
+			continue
+		}
+		switch {
+		case best.Timeout && !o.Timeout:
+			best = o
+		case !best.Timeout && !o.Timeout && o.Time < best.Time:
+			best = o
+		case best.Timeout && o.Timeout && o.Time < best.Time:
+			best = o
+		}
+	}
+	return best
+}
+
+// Config controls a suite run.
+type Config struct {
+	// Timeout is the per-solve budget (the paper's 600 s, scaled).
+	Timeout time.Duration
+	// NodeLimit optionally bounds decisions per solve (0 = none).
+	NodeLimit int64
+	// Workers is the parallelism across instances; 0 means 1.
+	Workers int
+	// SolverOptions are the shared engine options (learning toggles etc.).
+	SolverOptions core.Options
+}
+
+func (c Config) options(mode core.Mode) core.Options {
+	opt := c.SolverOptions
+	opt.Mode = mode
+	opt.TimeLimit = c.Timeout
+	opt.NodeLimit = c.NodeLimit
+	return opt
+}
+
+// RunOne solves a single formula under the budget.
+func RunOne(q *qbf.QBF, opt core.Options) Outcome {
+	start := time.Now()
+	r, st, err := core.Solve(q, opt)
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	return Outcome{
+		Result:  r,
+		Timeout: r == core.Unknown,
+		Time:    time.Since(start),
+		Stats:   st,
+	}
+}
+
+// RunInstance runs PO on the tree and TO on every prenex form.
+func RunInstance(inst Instance, cfg Config) RunResult {
+	out := RunResult{Name: inst.Name, TO: map[prenex.Strategy]Outcome{}}
+	out.PO = RunOne(inst.Tree, cfg.options(core.ModePartialOrder))
+	for s, q := range inst.Prenex {
+		out.TO[s] = RunOne(q, cfg.options(core.ModeTotalOrder))
+	}
+	// Cross-check: all decided outcomes must agree.
+	want := out.PO.Result
+	for s, o := range out.TO {
+		if o.Result != core.Unknown && want != core.Unknown && o.Result != want {
+			panic(fmt.Sprintf("bench: %s: TO(%v)=%v but PO=%v", inst.Name, s, o.Result, want))
+		}
+	}
+	return out
+}
+
+// RunSuite runs all instances, optionally in parallel, preserving order.
+func RunSuite(insts []Instance, cfg Config) []RunResult {
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	out := make([]RunResult, len(insts))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := range insts {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[i] = RunInstance(insts[i], cfg)
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// TableRow is one row of Table I.
+type TableRow struct {
+	Suite    string
+	Strategy prenex.Strategy
+
+	Faster  int // ">": TO slower than PO by more than the margin
+	Slower  int // "<": TO faster than PO by more than the margin
+	Equal   int // "=±1s" (scaled margin), including both-timeout
+	TOOnly  int // "⊳": TO times out, PO does not
+	POOnly  int // "⊲": PO times out, TO does not
+	BothOut int // "⊳⊲": both time out
+	TO10x   int // ">10×": both solve, TO ≥ 10× slower
+	PO10x   int // "10×<": both solve, PO ≥ 10× slower
+	Total   int
+}
+
+// Aggregate computes a Table I row for one strategy over suite results.
+// The equality margin plays the paper's "within 1 s of a 600 s budget"
+// role; pass timeout/600 for a faithfully scaled margin.
+func Aggregate(suite string, results []RunResult, s prenex.Strategy, margin time.Duration) TableRow {
+	row := TableRow{Suite: suite, Strategy: s}
+	for _, r := range results {
+		to, ok := r.TO[s]
+		if !ok {
+			continue
+		}
+		row.Total++
+		po := r.PO
+		switch {
+		case to.Timeout && po.Timeout:
+			row.BothOut++
+			row.Equal++ // the paper counts double timeouts under "="
+		case to.Timeout:
+			row.TOOnly++
+			row.Faster++
+		case po.Timeout:
+			row.POOnly++
+			row.Slower++
+		default:
+			d := to.Time - po.Time
+			switch {
+			case d > margin:
+				row.Faster++
+			case -d > margin:
+				row.Slower++
+			default:
+				row.Equal++
+			}
+			if po.Time > 0 && to.Time >= 10*po.Time {
+				row.TO10x++
+			}
+			if to.Time > 0 && po.Time >= 10*to.Time {
+				row.PO10x++
+			}
+		}
+	}
+	return row
+}
+
+// WriteTable renders rows in the layout of Table I.
+func WriteTable(w io.Writer, rows []TableRow) {
+	fmt.Fprintf(w, "%-8s %-12s %5s %5s %7s %4s %4s %5s %6s %6s %6s\n",
+		"Suite", "Strategy", ">", "<", "=±m", "TO⊳", "PO⊲", "⊳⊲", ">10x", "10x<", "total")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %-12s %5d %5d %7d %4d %4d %5d %6d %6d %6d\n",
+			r.Suite, r.Strategy, r.Faster, r.Slower, r.Equal,
+			r.TOOnly, r.POOnly, r.BothOut, r.TO10x, r.PO10x, r.Total)
+	}
+}
+
+// ScatterPoint is one bullet of Figures 3, 4, 5 and 7: PO time on the x
+// axis, TO (or TO*) time on the y axis; timeouts are clamped to the budget.
+type ScatterPoint struct {
+	Name     string
+	X, Y     time.Duration
+	XTimeout bool
+	YTimeout bool
+}
+
+// Scatter builds the per-instance scatter against one strategy, or against
+// the ideal TO* when best is true.
+func Scatter(results []RunResult, s prenex.Strategy, best bool) []ScatterPoint {
+	var out []ScatterPoint
+	for _, r := range results {
+		to := r.TO[s]
+		if best {
+			to = r.TOBest()
+		}
+		out = append(out, ScatterPoint{
+			Name:     r.Name,
+			X:        r.PO.Time,
+			Y:        to.Time,
+			XTimeout: r.PO.Timeout,
+			YTimeout: to.Timeout,
+		})
+	}
+	return out
+}
+
+// MedianScatter groups results by the cell name prefix (everything before
+// the last "-sN" seed suffix) and emits one point per cell with median
+// times — the layout of Figure 3, where every bullet is one parameter
+// setting.
+func MedianScatter(results []RunResult, s prenex.Strategy, best bool) []ScatterPoint {
+	groups := map[string][]RunResult{}
+	for _, r := range results {
+		key := cellKey(r.Name)
+		groups[key] = append(groups[key], r)
+	}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []ScatterPoint
+	for _, k := range keys {
+		rs := groups[k]
+		var xs, ys []time.Duration
+		xOut, yOut := 0, 0
+		for _, r := range rs {
+			xs = append(xs, r.PO.Time)
+			to := r.TO[s]
+			if best {
+				to = r.TOBest()
+			}
+			ys = append(ys, to.Time)
+			if r.PO.Timeout {
+				xOut++
+			}
+			if to.Timeout {
+				yOut++
+			}
+		}
+		out = append(out, ScatterPoint{
+			Name:     k,
+			X:        median(xs),
+			Y:        median(ys),
+			XTimeout: xOut > len(rs)/2,
+			YTimeout: yOut > len(rs)/2,
+		})
+	}
+	return out
+}
+
+func cellKey(name string) string {
+	if i := strings.LastIndex(name, "-s"); i > 0 {
+		return name[:i]
+	}
+	return name
+}
+
+func median(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[len(sorted)/2]
+}
+
+// WriteScatterCSV emits a CSV with one row per point.
+func WriteScatterCSV(w io.Writer, points []ScatterPoint) {
+	fmt.Fprintln(w, "name,po_seconds,to_seconds,po_timeout,to_timeout")
+	for _, p := range points {
+		fmt.Fprintf(w, "%s,%.6f,%.6f,%v,%v\n",
+			p.Name, p.X.Seconds(), p.Y.Seconds(), p.XTimeout, p.YTimeout)
+	}
+}
+
+// ScatterSummary counts which side of the diagonal points fall on.
+func ScatterSummary(points []ScatterPoint) (above, below, on int) {
+	for _, p := range points {
+		switch {
+		case p.Y > p.X:
+			above++
+		case p.Y < p.X:
+			below++
+		default:
+			on++
+		}
+	}
+	return above, below, on
+}

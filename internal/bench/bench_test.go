@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dia"
+	"repro/internal/models"
+	"repro/internal/prenex"
+	"repro/internal/qbf"
+)
+
+func smokeConfig() Config {
+	return Config{Timeout: 2 * time.Second, Workers: 4}
+}
+
+func TestRunInstanceAgreement(t *testing.T) {
+	p := qbf.NewPrefix(5)
+	r := p.AddBlock(nil, qbf.Exists, 1)
+	b2 := p.AddBlock(r, qbf.Forall, 2)
+	p.AddBlock(b2, qbf.Exists, 3)
+	b4 := p.AddBlock(r, qbf.Forall, 4)
+	p.AddBlock(b4, qbf.Exists, 5)
+	tree := qbf.New(p, []qbf.Clause{{1}, {2, -3}, {-2, 3}, {4, -5}, {-4, 5}})
+	inst := MakeInstance("toy", tree, prenex.Strategies...)
+	res := RunInstance(inst, smokeConfig())
+	if res.PO.Result != core.True {
+		t.Fatalf("PO result %v, want TRUE", res.PO.Result)
+	}
+	if len(res.TO) != 4 {
+		t.Fatalf("want 4 TO outcomes, got %d", len(res.TO))
+	}
+	for s, o := range res.TO {
+		if o.Result != core.True {
+			t.Errorf("TO %v result %v", s, o.Result)
+		}
+	}
+}
+
+func TestAggregateColumns(t *testing.T) {
+	mk := func(po, to time.Duration, poOut, toOut bool) RunResult {
+		return RunResult{
+			Name: "x",
+			PO:   Outcome{Time: po, Timeout: poOut, Result: core.True},
+			TO: map[prenex.Strategy]Outcome{
+				prenex.EUpAUp: {Time: to, Timeout: toOut, Result: core.True},
+			},
+		}
+	}
+	results := []RunResult{
+		mk(10*time.Millisecond, 500*time.Millisecond, false, false), // > and >10x
+		mk(500*time.Millisecond, 10*time.Millisecond, false, false), // < and 10x<
+		mk(10*time.Millisecond, 11*time.Millisecond, false, false),  // =
+		mk(10*time.Millisecond, 2*time.Second, false, true),         // TO timeout
+		mk(2*time.Second, 10*time.Millisecond, true, false),         // PO timeout
+		mk(2*time.Second, 2*time.Second, true, true),                // both
+	}
+	row := Aggregate("t", results, prenex.EUpAUp, 100*time.Millisecond)
+	if row.Total != 6 {
+		t.Fatalf("total %d", row.Total)
+	}
+	if row.Faster != 2 || row.Slower != 2 || row.Equal != 2 {
+		t.Errorf(">/</= = %d/%d/%d, want 2/2/2", row.Faster, row.Slower, row.Equal)
+	}
+	if row.TOOnly != 1 || row.POOnly != 1 || row.BothOut != 1 {
+		t.Errorf("timeout cols %d/%d/%d, want 1/1/1", row.TOOnly, row.POOnly, row.BothOut)
+	}
+	if row.TO10x != 1 || row.PO10x != 1 {
+		t.Errorf("10x cols %d/%d, want 1/1", row.TO10x, row.PO10x)
+	}
+	var sb strings.Builder
+	WriteTable(&sb, []TableRow{row})
+	if !strings.Contains(sb.String(), "t ") {
+		t.Error("WriteTable lost the suite name")
+	}
+}
+
+func TestTOBest(t *testing.T) {
+	r := RunResult{TO: map[prenex.Strategy]Outcome{
+		prenex.EUpAUp:     {Time: 100 * time.Millisecond},
+		prenex.EDownAUp:   {Time: 10 * time.Millisecond},
+		prenex.EUpADown:   {Time: time.Second, Timeout: true},
+		prenex.EDownADown: {Time: 50 * time.Millisecond},
+	}}
+	if got := r.TOBest().Time; got != 10*time.Millisecond {
+		t.Errorf("TOBest = %v, want 10ms", got)
+	}
+}
+
+func TestScatterAndCSV(t *testing.T) {
+	results := []RunResult{
+		{
+			Name: "cell-a-s0",
+			PO:   Outcome{Time: 10 * time.Millisecond},
+			TO:   map[prenex.Strategy]Outcome{prenex.EUpAUp: {Time: 30 * time.Millisecond}},
+		},
+		{
+			Name: "cell-a-s1",
+			PO:   Outcome{Time: 20 * time.Millisecond},
+			TO:   map[prenex.Strategy]Outcome{prenex.EUpAUp: {Time: 40 * time.Millisecond}},
+		},
+		{
+			Name: "cell-b-s0",
+			PO:   Outcome{Time: 50 * time.Millisecond},
+			TO:   map[prenex.Strategy]Outcome{prenex.EUpAUp: {Time: 5 * time.Millisecond}},
+		},
+	}
+	pts := Scatter(results, prenex.EUpAUp, false)
+	if len(pts) != 3 {
+		t.Fatalf("scatter points %d", len(pts))
+	}
+	above, below, _ := ScatterSummary(pts)
+	if above != 2 || below != 1 {
+		t.Errorf("summary %d above / %d below, want 2/1", above, below)
+	}
+	med := MedianScatter(results, prenex.EUpAUp, false)
+	if len(med) != 2 {
+		t.Fatalf("median scatter cells %d, want 2", len(med))
+	}
+	var sb strings.Builder
+	WriteScatterCSV(&sb, pts)
+	if lines := strings.Count(sb.String(), "\n"); lines != 4 {
+		t.Errorf("CSV has %d lines, want 4", lines)
+	}
+}
+
+func TestSuitesSmoke(t *testing.T) {
+	s := ScaleSmoke
+	if n := len(NCFSuite(s)); n != 60 {
+		t.Errorf("smoke NCF suite %d instances, want 60 (one per cell)", n)
+	}
+	if n := len(FPVSuite(s)); n != 2*2*2*2*s.FPVSeeds {
+		t.Errorf("smoke FPV suite %d instances, want %d", n, 2*2*2*2*s.FPVSeeds)
+	}
+	diaInsts := DIASuite(s)
+	if len(diaInsts) == 0 {
+		t.Fatal("empty DIA suite")
+	}
+	for _, inst := range diaInsts {
+		if inst.Tree.Prefix.IsPrenex() {
+			t.Errorf("%s: DIA tree must be non-prenex", inst.Name)
+		}
+	}
+	prob := EvalSuite(s, false)
+	if len(prob) == 0 {
+		t.Error("prob suite empty after miniscope filter")
+	}
+	// Fixed suite may legitimately filter down to few, but not zero with
+	// the default generator mix.
+	if len(EvalSuite(s, true)) == 0 {
+		t.Error("fixed suite empty after miniscope filter")
+	}
+}
+
+func TestRunSuiteParallelAndAggregate(t *testing.T) {
+	s := ScaleSmoke
+	insts := NCFSuite(s)[:8]
+	results := RunSuite(insts, smokeConfig())
+	if len(results) != 8 {
+		t.Fatalf("results %d", len(results))
+	}
+	for i, r := range results {
+		if r.Name != insts[i].Name {
+			t.Errorf("result %d order broken: %s vs %s", i, r.Name, insts[i].Name)
+		}
+		if r.PO.Result == core.Unknown && !r.PO.Timeout {
+			t.Errorf("%s: unknown without timeout", r.Name)
+		}
+	}
+	row := Aggregate("ncf", results, prenex.EUpAUp, s.Margin())
+	if row.Total != 8 {
+		t.Errorf("aggregated %d, want 8", row.Total)
+	}
+}
+
+func TestScalingSeries(t *testing.T) {
+	m := models.Counter(2)
+	pts := ScalingSeries(m, 4, dia.SolverPO(core.Options{TimeLimit: 2 * time.Second}))
+	if len(pts) != 4 { // φ0..φ3, stops at the first false
+		t.Fatalf("scaling points %d, want 4", len(pts))
+	}
+	if pts[3].Result != core.False {
+		t.Errorf("φ3 should be false for counter2 (d=3): %v", pts[3].Result)
+	}
+	var sb strings.Builder
+	WriteScalingCSV(&sb, map[string][]ScalingPoint{"PO": pts})
+	if !strings.Contains(sb.String(), "counter2,PO,3") {
+		t.Errorf("CSV missing series row:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// RenderScatter draws a log-log ASCII scatter in the layout of the paper's
+// Figures 3–5 and 7: QUBE(PO) time on the x axis, QUBE(TO) time on the y
+// axis, the diagonal as reference. Points above the diagonal are instances
+// where PO is faster. Timeouts sit on the top/right edges.
+func RenderScatter(w io.Writer, points []ScatterPoint, title string) {
+	const width, height = 64, 24
+	if len(points) == 0 {
+		fmt.Fprintf(w, "%s: no points\n", title)
+		return
+	}
+
+	minT, maxT := math.MaxFloat64, 0.0
+	for _, p := range points {
+		for _, d := range []time.Duration{p.X, p.Y} {
+			s := clampSeconds(d)
+			if s < minT {
+				minT = s
+			}
+			if s > maxT {
+				maxT = s
+			}
+		}
+	}
+	if minT == maxT {
+		maxT = minT * 10
+	}
+	logMin, logMax := math.Log10(minT), math.Log10(maxT)
+	span := logMax - logMin
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	// Diagonal.
+	for c := 0; c < width; c++ {
+		r := height - 1 - c*height/width
+		if r >= 0 && r < height {
+			grid[r][c] = '.'
+		}
+	}
+	cell := func(d time.Duration, max int) int {
+		s := clampSeconds(d)
+		f := (math.Log10(s) - logMin) / span
+		i := int(f * float64(max-1))
+		if i < 0 {
+			i = 0
+		}
+		if i >= max {
+			i = max - 1
+		}
+		return i
+	}
+	for _, p := range points {
+		c := cell(p.X, width)
+		r := height - 1 - cell(p.Y, height)
+		ch := byte('o')
+		if p.XTimeout || p.YTimeout {
+			ch = 'x'
+		}
+		grid[r][c] = ch
+	}
+
+	fmt.Fprintf(w, "%s  (x: PO seconds, y: TO seconds, log-log; o solved, x timeout; above diagonal = PO wins)\n", title)
+	fmt.Fprintf(w, "%8.3g ┤%s\n", maxT, string(grid[0]))
+	for r := 1; r < height-1; r++ {
+		fmt.Fprintf(w, "%8s │%s\n", "", string(grid[r]))
+	}
+	fmt.Fprintf(w, "%8.3g ┤%s\n", minT, string(grid[height-1]))
+	fmt.Fprintf(w, "%8s  %-8.3g%s%8.3g\n", "", minT, strings.Repeat(" ", width-16), maxT)
+}
+
+func clampSeconds(d time.Duration) float64 {
+	s := d.Seconds()
+	if s < 1e-6 {
+		return 1e-6
+	}
+	return s
+}
+
+// RenderScaling draws the Figure 6 layout: tested length on the x axis,
+// log CPU seconds on the y axis, one letter per solver series.
+func RenderScaling(w io.Writer, series map[string][]ScalingPoint, title string) {
+	const height = 20
+	maxN := 0
+	minT, maxT := math.MaxFloat64, 0.0
+	type key struct {
+		model, solver string
+	}
+	groups := map[key][]ScalingPoint{}
+	for solver, pts := range series {
+		for _, p := range pts {
+			groups[key{p.Model, solver}] = append(groups[key{p.Model, solver}], p)
+			if p.N > maxN {
+				maxN = p.N
+			}
+			s := clampSeconds(p.Time)
+			if s < minT {
+				minT = s
+			}
+			if s > maxT {
+				maxT = s
+			}
+		}
+	}
+	if len(groups) == 0 {
+		fmt.Fprintf(w, "%s: no data\n", title)
+		return
+	}
+	if minT == maxT {
+		maxT = minT * 10
+	}
+	logMin, logMax := math.Log10(minT), math.Log10(maxT)
+	width := maxN + 2
+	if width < 16 {
+		width = 16
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	mark := func(solver string) byte {
+		if strings.Contains(solver, "TO") {
+			return 's' // squares in the paper
+		}
+		return '^' // triangles in the paper
+	}
+	var keys []key
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].model != keys[j].model {
+			return keys[i].model < keys[j].model
+		}
+		return keys[i].solver < keys[j].solver
+	})
+	for _, k := range keys {
+		for _, p := range groups[k] {
+			f := (math.Log10(clampSeconds(p.Time)) - logMin) / (logMax - logMin)
+			r := height - 1 - int(f*float64(height-1))
+			if r < 0 {
+				r = 0
+			}
+			if r >= height {
+				r = height - 1
+			}
+			c := p.N * (width - 1) / max(maxN, 1)
+			ch := mark(k.solver)
+			if p.Timeout {
+				ch = 'x'
+			}
+			grid[r][c] = ch
+		}
+	}
+	fmt.Fprintf(w, "%s  (x: tested length n, y: CPU seconds log scale; ^ PO, s TO, x timeout)\n", title)
+	fmt.Fprintf(w, "%8.3g ┤%s\n", maxT, string(grid[0]))
+	for r := 1; r < height-1; r++ {
+		fmt.Fprintf(w, "%8s │%s\n", "", string(grid[r]))
+	}
+	fmt.Fprintf(w, "%8.3g ┤%s\n", minT, string(grid[height-1]))
+	fmt.Fprintf(w, "%8s  0%s%d\n", "", strings.Repeat(" ", width-3), maxN)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

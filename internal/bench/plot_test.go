@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestRenderScatter(t *testing.T) {
+	pts := []ScatterPoint{
+		{Name: "a", X: time.Millisecond, Y: 100 * time.Millisecond},
+		{Name: "b", X: 50 * time.Millisecond, Y: 2 * time.Millisecond},
+		{Name: "c", X: 2 * time.Second, Y: 2 * time.Second, XTimeout: true, YTimeout: true},
+	}
+	var sb strings.Builder
+	RenderScatter(&sb, pts, "test")
+	out := sb.String()
+	if !strings.Contains(out, "test") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "o") || !strings.Contains(out, "x") {
+		t.Error("point markers missing")
+	}
+	if lines := strings.Count(out, "\n"); lines < 20 {
+		t.Errorf("plot has %d lines, want a full grid", lines)
+	}
+	var empty strings.Builder
+	RenderScatter(&empty, nil, "empty")
+	if !strings.Contains(empty.String(), "no points") {
+		t.Error("empty input must be reported")
+	}
+}
+
+func TestRenderScaling(t *testing.T) {
+	series := map[string][]ScalingPoint{
+		"PO": {
+			{Model: "counter2", N: 0, Time: time.Millisecond, Result: core.True},
+			{Model: "counter2", N: 1, Time: 10 * time.Millisecond, Result: core.True},
+			{Model: "counter2", N: 2, Time: 100 * time.Millisecond, Result: core.False},
+		},
+		"TO": {
+			{Model: "counter2", N: 0, Time: 2 * time.Millisecond, Result: core.True},
+			{Model: "counter2", N: 1, Time: 40 * time.Millisecond, Result: core.True},
+			{Model: "counter2", N: 2, Time: time.Second, Result: core.Unknown, Timeout: true},
+		},
+	}
+	var sb strings.Builder
+	RenderScaling(&sb, series, "fig6")
+	out := sb.String()
+	for _, want := range []string{"fig6", "^", "s", "x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scaling plot missing %q:\n%s", want, out)
+		}
+	}
+	var empty strings.Builder
+	RenderScaling(&empty, nil, "none")
+	if !strings.Contains(empty.String(), "no data") {
+		t.Error("empty series must be reported")
+	}
+}

@@ -1,0 +1,200 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dia"
+	"repro/internal/fpv"
+	"repro/internal/models"
+	"repro/internal/ncf"
+	"repro/internal/prenex"
+	"repro/internal/qbf"
+	"repro/internal/randqbf"
+)
+
+// Scale selects how much of each paper experiment a run regenerates. The
+// paper's sizes (DEP=6, 100 instances/cell, 600 s budgets on a PIV farm)
+// are out of proportion for a single-machine regression run, so every
+// suite takes a scale knob; ScaleFull approaches the paper's dimensions.
+type Scale struct {
+	// NCFDep is the nesting depth (paper: 6).
+	NCFDep int
+	// PerCell is the number of instances per NCF parameter setting
+	// (paper: 100).
+	PerCell int
+	// FPVSeeds is the seeds per FPV parameter setting.
+	FPVSeeds int
+	// EvalSeeds is the seeds per PROB setting and the FIXED suite size.
+	EvalSeeds int
+	// DIAMaxBits caps the counter size; other families scale alongside.
+	DIAMaxBits int
+	// Timeout is the per-solve budget.
+	Timeout time.Duration
+}
+
+// ScaleSmoke is a seconds-scale run for tests and CI.
+var ScaleSmoke = Scale{
+	NCFDep: 3, PerCell: 1, FPVSeeds: 1, EvalSeeds: 2, DIAMaxBits: 2,
+	Timeout: 2 * time.Second,
+}
+
+// ScaleDefault is the minutes-scale run EXPERIMENTS.md reports.
+var ScaleDefault = Scale{
+	NCFDep: 5, PerCell: 3, FPVSeeds: 3, EvalSeeds: 4, DIAMaxBits: 3,
+	Timeout: 5 * time.Second,
+}
+
+// ScaleFull approaches the paper's dimensions (hours of CPU).
+var ScaleFull = Scale{
+	NCFDep: 6, PerCell: 10, FPVSeeds: 8, EvalSeeds: 10, DIAMaxBits: 4,
+	Timeout: 30 * time.Second,
+}
+
+// Margin returns the scaled "=±1s" margin: 1 s of a 600 s budget.
+func (s Scale) Margin() time.Duration {
+	m := s.Timeout / 600
+	if m < time.Millisecond {
+		m = time.Millisecond
+	}
+	return m
+}
+
+// NCFSuite builds the Section VII.A suite: the paper's grid at the scale's
+// depth, each tree instance paired with all four prenex strategies.
+func NCFSuite(s Scale) []Instance {
+	var out []Instance
+	for _, cell := range ncf.Grid(s.NCFDep, s.PerCell) {
+		for k := 0; k < cell.Instances; k++ {
+			p := cell.Params
+			p.Seed = int64(k)
+			tree := ncf.Generate(p)
+			out = append(out, MakeInstance(p.String(), tree, prenex.Strategies...))
+		}
+	}
+	return out
+}
+
+// FPVSuite builds the Section VII.B suite with the ∃↑∀↑ strategy only, as
+// the paper does from the FPV experiments onward.
+func FPVSuite(s Scale) []Instance {
+	var out []Instance
+	for _, p := range fpv.Suite(s.FPVSeeds) {
+		out = append(out, MakeInstance(p.String(), fpv.Generate(p), prenex.EUpAUp))
+	}
+	return out
+}
+
+// DIAModels returns the model instances of the Section VII.C suite at the
+// given scale.
+func DIAModels(s Scale) []*models.Model {
+	var out []*models.Model
+	for n := 2; n <= s.DIAMaxBits; n++ {
+		out = append(out, models.Counter(n))
+	}
+	for n := 3; n <= s.DIAMaxBits+2; n++ {
+		out = append(out, models.Ring(n))
+	}
+	for n := 1; n <= 2*s.DIAMaxBits+1; n += 2 {
+		out = append(out, models.Semaphore(n))
+	}
+	for n := 2; n <= s.DIAMaxBits+2; n++ {
+		out = append(out, models.DME(n))
+	}
+	return out
+}
+
+// DIASuite builds one instance per (model, n) pair: the φn needed to
+// bracket each model's diameter, plus one beyond it.
+func DIASuite(s Scale) []Instance {
+	var out []Instance
+	for _, m := range DIAModels(s) {
+		maxN := m.KnownDiameter
+		if maxN < 0 {
+			d, err := models.ExplicitDiameter(m, 14)
+			if err != nil {
+				continue
+			}
+			maxN = d
+		}
+		for n := 0; n <= maxN; n++ {
+			tree := dia.Phi(m, n)
+			out = append(out, MakeInstance(fmt.Sprintf("%s-phi%d", m.Name, n), tree, prenex.EUpAUp))
+		}
+	}
+	return out
+}
+
+// EvalSuite builds the Section VII.D suites from QBFEVAL-style instances:
+// prenex originals are miniscoped and kept when the PO/TO share passes the
+// footnote-9 threshold; PO then solves the tree and TO the original.
+func EvalSuite(s Scale, fixed bool) []Instance {
+	var out []Instance
+	if fixed {
+		for i, q := range randqbf.FixedSuite(s.EvalSeeds * 4) {
+			tree, _, keep := randqbf.MiniscopeFilter(q, 0.2)
+			if !keep {
+				continue
+			}
+			inst := Instance{
+				Name:   fmt.Sprintf("fixed-%d", i),
+				Tree:   tree,
+				Prenex: map[prenex.Strategy]*qbf.QBF{prenex.EUpAUp: q},
+			}
+			out = append(out, inst)
+		}
+		return out
+	}
+	for _, p := range randqbf.ProbSuite(s.EvalSeeds) {
+		q := randqbf.Prob(p)
+		tree, _, keep := randqbf.MiniscopeFilter(q, 0.2)
+		if !keep {
+			continue
+		}
+		out = append(out, Instance{
+			Name:   p.String(),
+			Tree:   tree,
+			Prenex: map[prenex.Strategy]*qbf.QBF{prenex.EUpAUp: q},
+		})
+	}
+	return out
+}
+
+// ScalingPoint is one bullet of Figure 6: the CPU time to decide φn.
+type ScalingPoint struct {
+	Model   string
+	N       int
+	Time    time.Duration
+	Result  core.Result
+	Timeout bool
+}
+
+// ScalingSeries reproduces one line of Figure 6: it runs the diameter
+// computation for a model and reports per-step times. Solver is "PO" or a
+// strategy-driven TO via the dia helpers.
+func ScalingSeries(m *models.Model, maxN int, solve dia.SolveFunc) []ScalingPoint {
+	res := dia.ComputeDiameter(m, maxN, solve)
+	out := make([]ScalingPoint, 0, len(res.Steps))
+	for _, st := range res.Steps {
+		out = append(out, ScalingPoint{
+			Model:   m.Name,
+			N:       st.N,
+			Time:    st.Stats.Time,
+			Result:  st.Result,
+			Timeout: st.Result == core.Unknown,
+		})
+	}
+	return out
+}
+
+// WriteScalingCSV emits Figure 6 series data.
+func WriteScalingCSV(w io.Writer, series map[string][]ScalingPoint) {
+	fmt.Fprintln(w, "model,solver,n,seconds,result")
+	for key, pts := range series {
+		for _, p := range pts {
+			fmt.Fprintf(w, "%s,%s,%d,%.6f,%s\n", p.Model, key, p.N, p.Time.Seconds(), p.Result)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/qbf"
+)
+
+func TestBuilderFolding(t *testing.T) {
+	b := NewBuilder()
+	x, y := b.Var(1), b.Var(2)
+	if b.And() != b.True() || b.Or() != b.False() {
+		t.Error("empty And/Or must fold to constants")
+	}
+	if b.And(x, b.True()) != x || b.Or(x, b.False()) != x {
+		t.Error("identity folding broken")
+	}
+	if b.And(x, b.False()) != b.False() || b.Or(x, b.True()) != b.True() {
+		t.Error("absorbing folding broken")
+	}
+	if b.Xor(x, x) != b.False() || b.Xor(x, x.Neg()) != b.True() {
+		t.Error("xor folding broken")
+	}
+	if b.Xor(x, b.False()) != x || b.Xor(x, b.True()) != x.Neg() {
+		t.Error("xor constant folding broken")
+	}
+	if b.And(x, y) != b.And(x, y) {
+		t.Error("structural hashing must return the same node")
+	}
+	if b.Not(b.Not(x)) != x {
+		t.Error("double negation must cancel")
+	}
+}
+
+func TestEvalGates(t *testing.T) {
+	b := NewBuilder()
+	x, y, z := b.Var(1), b.Var(2), b.Var(3)
+	formula := b.Or(b.And(x, y.Neg()), b.Iff(y, z))
+	cases := []struct {
+		vx, vy, vz bool
+		want       bool
+	}{
+		{true, false, false, true},  // x∧¬y
+		{false, true, true, true},   // y≡z
+		{false, true, false, false}, // neither
+		{true, true, true, true},    // y≡z
+		{false, false, false, true}, // y≡z
+		{false, false, true, false}, // neither
+	}
+	for _, c := range cases {
+		asg := map[qbf.Var]bool{1: c.vx, 2: c.vy, 3: c.vz}
+		if got := b.Eval(formula, asg); got != c.want {
+			t.Errorf("Eval(%v,%v,%v) = %v, want %v", c.vx, c.vy, c.vz, got, c.want)
+		}
+	}
+	if !b.Eval(b.Ite(x, y, z), map[qbf.Var]bool{1: true, 2: true}) {
+		t.Error("Ite(true, true, _) must be true")
+	}
+	if b.Eval(b.Implies(x, y), map[qbf.Var]bool{1: true, 2: false}) {
+		t.Error("true ⇒ false must be false")
+	}
+}
+
+func TestInputVars(t *testing.T) {
+	b := NewBuilder()
+	f := b.And(b.Var(2), b.Or(b.Var(5), b.Var(2).Neg()))
+	vars := b.InputVars(f)
+	if len(vars) != 2 || !vars[2] || !vars[5] {
+		t.Errorf("InputVars = %v, want {2,5}", vars)
+	}
+}
+
+// randomCircuit builds a random formula over variables 1..nv.
+func randomCircuit(rng *rand.Rand, b *Builder, nv, depth int) Node {
+	if depth == 0 || rng.Intn(4) == 0 {
+		n := b.Var(qbf.Var(1 + rng.Intn(nv)))
+		if rng.Intn(2) == 0 {
+			n = n.Neg()
+		}
+		return n
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return b.And(randomCircuit(rng, b, nv, depth-1), randomCircuit(rng, b, nv, depth-1))
+	case 1:
+		return b.Or(randomCircuit(rng, b, nv, depth-1), randomCircuit(rng, b, nv, depth-1))
+	case 2:
+		return b.Xor(randomCircuit(rng, b, nv, depth-1), randomCircuit(rng, b, nv, depth-1))
+	default:
+		return b.Iff(randomCircuit(rng, b, nv, depth-1), randomCircuit(rng, b, nv, depth-1))
+	}
+}
+
+// TestTseitinEquisatisfiable checks, for random circuits and every input
+// assignment, that the CNF with the inputs fixed as unit clauses forces the
+// root literal to the circuit's value: the CNF plus input units plus the
+// root literal (asserted to the circuit value) is satisfiable, and with the
+// opposite root literal it is unsatisfiable.
+func TestTseitinEquisatisfiable(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	const nv = 4
+	for i := 0; i < 60; i++ {
+		b := NewBuilder()
+		root := randomCircuit(rng, b, nv, 3)
+		alloc := NewVarAlloc(nv + 1)
+		cnf := b.Tseitin(root, alloc)
+		for mask := 0; mask < 1<<nv; mask++ {
+			asg := make(map[qbf.Var]bool, nv)
+			units := make([]qbf.Clause, 0, nv+1)
+			for v := 1; v <= nv; v++ {
+				val := mask&(1<<(v-1)) != 0
+				asg[qbf.Var(v)] = val
+				l := qbf.Var(v).PosLit()
+				if !val {
+					l = l.Neg()
+				}
+				units = append(units, qbf.Clause{l})
+			}
+			want := b.Eval(root, asg)
+
+			for _, polarity := range []bool{true, false} {
+				rootLit := cnf.Root
+				if !polarity {
+					rootLit = rootLit.Neg()
+				}
+				matrix := make([]qbf.Clause, 0, len(cnf.Clauses)+nv+1)
+				matrix = append(matrix, cnf.Clauses...)
+				matrix = append(matrix, units...)
+				matrix = append(matrix, qbf.Clause{rootLit})
+				all := qbf.NewPrefix(int(alloc.Next()) - 1)
+				var vars []qbf.Var
+				for v := qbf.Var(1); v < alloc.Next(); v++ {
+					vars = append(vars, v)
+				}
+				all.AddBlock(nil, qbf.Exists, vars...)
+				all.Finalize()
+				sat := qbf.Eval(qbf.New(all, matrix))
+				if polarity && sat != want {
+					t.Fatalf("circuit %d mask %b: CNF⊨root=%v, circuit=%v", i, mask, sat, want)
+				}
+				if !polarity && sat == want {
+					t.Fatalf("circuit %d mask %b: CNF with ¬root must be satisfiable iff circuit false", i, mask)
+				}
+			}
+		}
+	}
+}
+
+func TestTseitinSharing(t *testing.T) {
+	b := NewBuilder()
+	x, y := b.Var(1), b.Var(2)
+	shared := b.And(x, y)
+	root := b.Or(shared, b.Xor(shared, y))
+	cnf := b.Tseitin(root, NewVarAlloc(3))
+	// shared is converted once: fresh vars = {and, xor, or} = 3.
+	if len(cnf.Fresh) != 3 {
+		t.Errorf("got %d fresh vars, want 3 (shared subgraph converted once)", len(cnf.Fresh))
+	}
+}
+
+func TestTseitinConstants(t *testing.T) {
+	b := NewBuilder()
+	cnf := b.Tseitin(b.True(), NewVarAlloc(1))
+	matrix := append([]qbf.Clause{}, cnf.Clauses...)
+	matrix = append(matrix, qbf.Clause{cnf.Root})
+	p := qbf.NewPrefix(int(cnf.Root.Var()))
+	p.AddBlock(nil, qbf.Exists, cnf.Root.Var())
+	p.Finalize()
+	if !qbf.Eval(qbf.New(p, matrix)) {
+		t.Error("Tseitin(true) must be satisfiable with root asserted")
+	}
+}

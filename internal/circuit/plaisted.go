@@ -1,0 +1,156 @@
+package circuit
+
+import "repro/internal/qbf"
+
+// Polarity says in which polarity a converted formula is asserted.
+type Polarity int8
+
+const (
+	// Pos means the caller asserts the root literal (root must hold).
+	Pos Polarity = 1
+	// Neg means the caller asserts the negated root literal.
+	Neg Polarity = -1
+)
+
+// TseitinPG converts the formula rooted at n into CNF with
+// Plaisted–Greenbaum polarity-aware definitions (the clause-form conversion
+// of Jackson–Sheridan, the paper's reference [10]): a gate contributes only
+// the implication direction(s) required by the polarities under which it is
+// used. The returned Root literal may be asserted in the given polarity;
+// the conversion is equisatisfiability-preserving (and QBF-value-preserving
+// when the fresh variables are quantified existentially innermost within
+// the scope of the formula's variables).
+//
+// Beyond size, the one-sided definitions matter for good (cube) learning:
+// under the full two-sided encoding every true gate's definition clauses
+// must be covered through the gate's arguments, dragging the whole input
+// vector into every initial good; under PG only the falsified branch of
+// the circuit pulls its inputs in, which is what makes the solution side
+// of the diameter instances tractable.
+func (b *Builder) TseitinPG(n Node, pol Polarity, alloc *VarAlloc) CNF {
+	t := &pgTseitin{
+		b:     b,
+		alloc: alloc,
+		lits:  make(map[Node]qbf.Lit),
+		done:  make(map[pgKey]bool),
+	}
+	root := t.lit(n)
+	t.emit(n, pol)
+	return CNF{Root: root, Clauses: t.clauses, Fresh: t.fresh}
+}
+
+type pgKey struct {
+	n   Node
+	pol Polarity
+}
+
+type pgTseitin struct {
+	b       *Builder
+	alloc   *VarAlloc
+	lits    map[Node]qbf.Lit
+	done    map[pgKey]bool
+	clauses []qbf.Clause
+	fresh   []qbf.Var
+}
+
+// lit returns the literal representing node n, allocating definition
+// variables for internal gates (shared across polarities).
+func (t *pgTseitin) lit(n Node) qbf.Lit {
+	if n < 0 {
+		return t.lit(-n).Neg()
+	}
+	if l, ok := t.lits[n]; ok {
+		return l
+	}
+	g := t.b.gates[n]
+	var l qbf.Lit
+	switch g.op {
+	case OpVar:
+		l = g.v.PosLit()
+	default:
+		v := t.alloc.Fresh()
+		t.fresh = append(t.fresh, v)
+		l = v.PosLit()
+		if g.op == OpConst {
+			t.clauses = append(t.clauses, qbf.Clause{l})
+		}
+	}
+	t.lits[n] = l
+	return l
+}
+
+// emit writes the definition clauses needed for node n in polarity pol.
+func (t *pgTseitin) emit(n Node, pol Polarity) {
+	if n < 0 {
+		t.emit(-n, -pol)
+		return
+	}
+	key := pgKey{n, pol}
+	if t.done[key] {
+		return
+	}
+	t.done[key] = true
+	g := t.b.gates[n]
+	l := t.lit(n)
+	switch g.op {
+	case OpVar, OpConst:
+		return
+	case OpAnd:
+		if pol == Pos {
+			// l → each arg.
+			for _, a := range g.args {
+				t.clauses = append(t.clauses, qbf.Clause{l.Neg(), t.lit(a)})
+				t.emit(a, Pos)
+			}
+		} else {
+			// all args → l.
+			c := make(qbf.Clause, 0, len(g.args)+1)
+			c = append(c, l)
+			for _, a := range g.args {
+				c = append(c, t.lit(a).Neg())
+				t.emit(a, Neg)
+			}
+			t.clauses = append(t.clauses, c)
+		}
+	case OpOr:
+		if pol == Pos {
+			c := make(qbf.Clause, 0, len(g.args)+1)
+			c = append(c, l.Neg())
+			for _, a := range g.args {
+				c = append(c, t.lit(a))
+				t.emit(a, Pos)
+			}
+			t.clauses = append(t.clauses, c)
+		} else {
+			for _, a := range g.args {
+				t.clauses = append(t.clauses, qbf.Clause{l, t.lit(a).Neg()})
+				t.emit(a, Neg)
+			}
+		}
+	case OpXor, OpIff:
+		a, c := t.lit(g.args[0]), t.lit(g.args[1])
+		x, y := a, c
+		if g.op == OpIff {
+			// v ≡ (a ≡ c) is v ≡ ¬(a ⊕ c): encode as xor on (a, ¬c).
+			y = c.Neg()
+		}
+		if pol == Pos {
+			t.clauses = append(t.clauses,
+				qbf.Clause{l.Neg(), x, y},
+				qbf.Clause{l.Neg(), x.Neg(), y.Neg()},
+			)
+		} else {
+			t.clauses = append(t.clauses,
+				qbf.Clause{l, x, y.Neg()},
+				qbf.Clause{l, x.Neg(), y},
+			)
+		}
+		// Arguments of a parity gate are used in both polarities.
+		t.emit(g.args[0], Pos)
+		t.emit(g.args[0], Neg)
+		t.emit(g.args[1], Pos)
+		t.emit(g.args[1], Neg)
+	default:
+		panic("circuit: unknown op in TseitinPG")
+	}
+}

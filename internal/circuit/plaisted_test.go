@@ -1,0 +1,124 @@
+package circuit
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/qbf"
+)
+
+// satWith decides satisfiability of clauses ∪ units with all variables
+// existential, via the qbf oracle.
+func satWith(t *testing.T, maxVar qbf.Var, clauses []qbf.Clause, units []qbf.Lit) bool {
+	t.Helper()
+	matrix := append([]qbf.Clause{}, clauses...)
+	for _, u := range units {
+		matrix = append(matrix, qbf.Clause{u})
+	}
+	p := qbf.NewPrefix(int(maxVar))
+	var vars []qbf.Var
+	for v := qbf.Var(1); v <= maxVar; v++ {
+		vars = append(vars, v)
+	}
+	p.AddBlock(nil, qbf.Exists, vars...)
+	p.Finalize()
+	return qbf.Eval(qbf.New(p, matrix))
+}
+
+// TestTseitinPGPolarity: under Pos polarity, CNF + inputs + root is
+// satisfiable iff the circuit evaluates true; under Neg polarity, CNF +
+// inputs + ¬root is satisfiable iff the circuit evaluates false. Unlike
+// the full conversion, the opposite direction need not be forced.
+func TestTseitinPGPolarity(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	const nv = 4
+	for i := 0; i < 50; i++ {
+		b := NewBuilder()
+		root := randomCircuit(rng, b, nv, 3)
+		for _, pol := range []Polarity{Pos, Neg} {
+			alloc := NewVarAlloc(nv + 1)
+			cnf := b.TseitinPG(root, pol, alloc)
+			for mask := 0; mask < 1<<nv; mask++ {
+				asg := make(map[qbf.Var]bool, nv)
+				units := make([]qbf.Lit, 0, nv+1)
+				for v := 1; v <= nv; v++ {
+					val := mask&(1<<(v-1)) != 0
+					asg[qbf.Var(v)] = val
+					l := qbf.Var(v).PosLit()
+					if !val {
+						l = l.Neg()
+					}
+					units = append(units, l)
+				}
+				val := b.Eval(root, asg)
+
+				rootLit := cnf.Root
+				want := val
+				if pol == Neg {
+					rootLit = rootLit.Neg()
+					want = !val
+				}
+				got := satWith(t, alloc.Next()-1, cnf.Clauses, append(units, rootLit))
+				if got != want {
+					t.Fatalf("circuit %d pol %d mask %b: sat=%v circuit=%v", i, pol, mask, got, val)
+				}
+			}
+		}
+	}
+}
+
+// TestTseitinPGSmaller: on AND/OR-only circuits the PG conversion emits at
+// most as many clauses as the full two-sided conversion.
+func TestTseitinPGSmaller(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for i := 0; i < 40; i++ {
+		b := NewBuilder()
+		// Bias towards AND/OR by rebuilding xor-free circuits.
+		var build func(depth int) Node
+		build = func(depth int) Node {
+			if depth == 0 || rng.Intn(4) == 0 {
+				n := b.Var(qbf.Var(1 + rng.Intn(4)))
+				if rng.Intn(2) == 0 {
+					n = n.Neg()
+				}
+				return n
+			}
+			if rng.Intn(2) == 0 {
+				return b.And(build(depth-1), build(depth-1))
+			}
+			return b.Or(build(depth-1), build(depth-1))
+		}
+		root := build(4)
+		full := b.Tseitin(root, NewVarAlloc(10))
+		pg := b.TseitinPG(root, Pos, NewVarAlloc(10))
+		if len(pg.Clauses) > len(full.Clauses) {
+			t.Fatalf("circuit %d: PG has %d clauses, full %d", i, len(pg.Clauses), len(full.Clauses))
+		}
+	}
+}
+
+// TestTseitinPGSharedBothPolarities: a gate used under both polarities gets
+// both definition directions but only one definition variable.
+func TestTseitinPGSharedBothPolarities(t *testing.T) {
+	b := NewBuilder()
+	x, y := b.Var(1), b.Var(2)
+	shared := b.And(x, y)
+	// Xor forces both polarities onto its arguments.
+	root := b.Xor(shared, y)
+	cnf := b.TseitinPG(root, Pos, NewVarAlloc(3))
+	if len(cnf.Fresh) != 2 { // one for the AND, one for the XOR
+		t.Errorf("fresh vars = %d, want 2", len(cnf.Fresh))
+	}
+}
+
+func TestTseitinPGConstant(t *testing.T) {
+	b := NewBuilder()
+	cnf := b.TseitinPG(b.True(), Pos, NewVarAlloc(1))
+	if !satWith(t, cnf.Root.Var(), cnf.Clauses, []qbf.Lit{cnf.Root}) {
+		t.Error("PG(true) with root asserted must be satisfiable")
+	}
+	cnfF := b.TseitinPG(b.False(), Neg, NewVarAlloc(1))
+	if !satWith(t, cnfF.Root.Var(), cnfF.Clauses, []qbf.Lit{cnfF.Root.Neg()}) {
+		t.Error("PG(false) with ¬root asserted must be satisfiable")
+	}
+}

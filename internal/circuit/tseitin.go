@@ -1,0 +1,133 @@
+package circuit
+
+import "repro/internal/qbf"
+
+// VarAlloc hands out fresh variable indices above the formula's input
+// variables; the Tseitin definition variables of Section VII.C ("x is a
+// variable introduced by the CNF conversion") come from here so that the
+// encoder can quantify them innermost existentially.
+type VarAlloc struct {
+	next qbf.Var
+}
+
+// NewVarAlloc returns an allocator whose first fresh variable is first.
+func NewVarAlloc(first qbf.Var) *VarAlloc { return &VarAlloc{next: first} }
+
+// Fresh returns the next unused variable.
+func (a *VarAlloc) Fresh() qbf.Var {
+	v := a.next
+	a.next++
+	return v
+}
+
+// Next returns the next variable that Fresh would hand out.
+func (a *VarAlloc) Next() qbf.Var { return a.next }
+
+// CNF is the result of a Tseitin conversion: a literal equivalent to the
+// root formula, the defining clauses, and the fresh definition variables in
+// allocation order.
+type CNF struct {
+	Root    qbf.Lit
+	Clauses []qbf.Clause
+	Fresh   []qbf.Var
+}
+
+// Tseitin converts the formula rooted at n into CNF with full (two sided)
+// Tseitin definitions: the returned Root literal is true exactly when the
+// formula is, under the returned Clauses, and the definitions force each
+// fresh variable's value from the inputs. Shared subgraphs are converted
+// once.
+func (b *Builder) Tseitin(n Node, alloc *VarAlloc) CNF {
+	t := &tseitin{b: b, alloc: alloc, lits: make(map[Node]qbf.Lit)}
+	root := t.lit(n)
+	return CNF{Root: root, Clauses: t.clauses, Fresh: t.fresh}
+}
+
+type tseitin struct {
+	b       *Builder
+	alloc   *VarAlloc
+	lits    map[Node]qbf.Lit
+	clauses []qbf.Clause
+	fresh   []qbf.Var
+}
+
+func (t *tseitin) lit(n Node) qbf.Lit {
+	if n < 0 {
+		return t.lit(-n).Neg()
+	}
+	if l, ok := t.lits[n]; ok {
+		return l
+	}
+	g := t.b.gates[n]
+	var l qbf.Lit
+	switch g.op {
+	case OpConst:
+		// Represent true with a fresh variable forced to true; constants
+		// are rare after the Builder's folding.
+		v := t.alloc.Fresh()
+		t.fresh = append(t.fresh, v)
+		l = v.PosLit()
+		t.clauses = append(t.clauses, qbf.Clause{l})
+	case OpVar:
+		l = g.v.PosLit()
+	case OpAnd:
+		args := t.args(g)
+		v := t.alloc.Fresh()
+		t.fresh = append(t.fresh, v)
+		l = v.PosLit()
+		// v → each arg; all args → v.
+		long := make(qbf.Clause, 0, len(args)+1)
+		long = append(long, l)
+		for _, a := range args {
+			t.clauses = append(t.clauses, qbf.Clause{l.Neg(), a})
+			long = append(long, a.Neg())
+		}
+		t.clauses = append(t.clauses, long)
+	case OpOr:
+		args := t.args(g)
+		v := t.alloc.Fresh()
+		t.fresh = append(t.fresh, v)
+		l = v.PosLit()
+		long := make(qbf.Clause, 0, len(args)+1)
+		long = append(long, l.Neg())
+		for _, a := range args {
+			t.clauses = append(t.clauses, qbf.Clause{l, a.Neg()})
+			long = append(long, a)
+		}
+		t.clauses = append(t.clauses, long)
+	case OpXor:
+		a, c := t.lit(g.args[0]), t.lit(g.args[1])
+		v := t.alloc.Fresh()
+		t.fresh = append(t.fresh, v)
+		l = v.PosLit()
+		t.clauses = append(t.clauses,
+			qbf.Clause{l.Neg(), a, c},
+			qbf.Clause{l.Neg(), a.Neg(), c.Neg()},
+			qbf.Clause{l, a, c.Neg()},
+			qbf.Clause{l, a.Neg(), c},
+		)
+	case OpIff:
+		a, c := t.lit(g.args[0]), t.lit(g.args[1])
+		v := t.alloc.Fresh()
+		t.fresh = append(t.fresh, v)
+		l = v.PosLit()
+		t.clauses = append(t.clauses,
+			qbf.Clause{l.Neg(), a.Neg(), c},
+			qbf.Clause{l.Neg(), a, c.Neg()},
+			qbf.Clause{l, a, c},
+			qbf.Clause{l, a.Neg(), c.Neg()},
+		)
+	default:
+		panic("circuit: unknown op in Tseitin")
+	}
+	t.lits[n] = l
+	return l
+}
+
+func (t *tseitin) args(g gate) []qbf.Lit {
+	out := make([]qbf.Lit, len(g.args))
+	for i, a := range g.args {
+		out[i] = t.lit(a)
+	}
+	return out
+}

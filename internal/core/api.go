@@ -1,0 +1,26 @@
+package core
+
+import "repro/internal/qbf"
+
+// Solve decides q with the given options and returns the result together
+// with search statistics. It is the package's convenience entry point;
+// construct a Solver directly to reuse configuration or to install traces.
+func Solve(q *qbf.QBF, opt Options) (Result, Stats, error) {
+	s, err := NewSolver(q, opt)
+	if err != nil {
+		return Unknown, Stats{}, err
+	}
+	r := s.Solve()
+	return r, s.Stats(), nil
+}
+
+// MustSolve is Solve for inputs known to be well formed; it panics on a
+// construction error. Intended for generators-produced formulas in tests
+// and benchmarks.
+func MustSolve(q *qbf.QBF, opt Options) (Result, Stats) {
+	r, st, err := Solve(q, opt)
+	if err != nil {
+		panic(err)
+	}
+	return r, st
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/qbf"
+)
+
+// DebugLearnedSizes returns a histogram (size → count) of the live learned
+// constraints, separately for clauses and cubes. Diagnostic aid for tests
+// and tuning; not part of the solving API.
+func (s *Solver) DebugLearnedSizes() (clauses, cubes map[int]int) {
+	clauses = make(map[int]int)
+	cubes = make(map[int]int)
+	for i := s.nOriginalClauses; i < len(s.cons); i++ {
+		c := &s.cons[i]
+		if c.deleted {
+			continue
+		}
+		if c.isCube {
+			cubes[len(c.lits)]++
+		} else {
+			clauses[len(c.lits)]++
+		}
+	}
+	return clauses, cubes
+}
+
+// DebugSampleCubes returns up to n learned cubes rendered with quantifier
+// annotations, most recent first.
+func (s *Solver) DebugSampleCubes(n int) []string {
+	var out []string
+	for i := len(s.cons) - 1; i >= s.nOriginalClauses && len(out) < n; i-- {
+		c := &s.cons[i]
+		if c.deleted || !c.isCube {
+			continue
+		}
+		lits := append([]qbf.Lit(nil), c.lits...)
+		sort.Slice(lits, func(a, b int) bool { return lits[a].Var() < lits[b].Var() })
+		str := "["
+		for j, l := range lits {
+			if j > 0 {
+				str += " "
+			}
+			q := "e"
+			if s.quant[l.Var()] == qbf.Forall {
+				q = "a"
+			}
+			str += fmt.Sprintf("%s%d", q, int(l))
+		}
+		out = append(out, str+"]")
+	}
+	return out
+}
+
+// DebugSolutionHook, when non-nil, is called at every solution event with
+// the number of assigned universal variables and the number of universal
+// variables overall — a cheap probe for how local solutions are.
+func (s *Solver) SetDebugSolutionHook(f func(assignedU, totalU int)) {
+	s.debugSolutionHook = f
+}
+
+func (s *Solver) debugCountUniversals() (assigned, total int) {
+	for v := qbf.Var(1); int(v) <= s.nVars; v++ {
+		if s.quant[v] == qbf.Forall {
+			total++
+			if s.value[v] != undef {
+				assigned++
+			}
+		}
+	}
+	return assigned, total
+}
+
+// DebugCubeFailures returns counters of why cube verdicts were
+// non-asserting: [undef-universal, non-unique-deepest, false-literal,
+// blocking-existential, blevel>=lambda].
+func (s *Solver) DebugCubeFailures() [5]int64 { return s.dbgCube }

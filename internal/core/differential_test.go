@@ -1,0 +1,246 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/qbf"
+)
+
+// TestDifferentialRandomTrees is the central soundness test: the solver, in
+// every mode and option combination, must agree with the exponential
+// semantic oracle on randomly generated scope-consistent non-prenex QBFs.
+func TestDifferentialRandomTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	n := 400
+	if testing.Short() {
+		n = 80
+	}
+	for i := 0; i < n; i++ {
+		q := qbf.RandomQBF(rng, 12, 14)
+		want, ok := qbf.EvalWithBudget(q, 2_000_000)
+		if !ok {
+			continue
+		}
+		modes := []Mode{ModePartialOrder}
+		if q.Prefix.IsPrenex() {
+			modes = append(modes, ModeTotalOrder)
+		}
+		for _, mode := range modes {
+			for _, opt := range allOptionCombos(mode) {
+				r, st, err := Solve(q, opt)
+				if err != nil {
+					t.Fatalf("iteration %d (%+v): %v\n%v", i, opt, err, q)
+				}
+				got := r == True
+				if r == Unknown || got != want {
+					t.Fatalf("iteration %d: mode=%v opts=%+v got %v want %v (stats %+v)\nQBF: %v",
+						i, mode, opt, r, want, st, q)
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialRandomPrenex repeats the differential test on prenex
+// instances so that ModeTotalOrder is always exercised.
+func TestDifferentialRandomPrenex(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	n := 400
+	if testing.Short() {
+		n = 80
+	}
+	for i := 0; i < n; i++ {
+		q := randomPrenexQBF(rng, 10, 18, 4)
+		want, ok := qbf.EvalWithBudget(q, 2_000_000)
+		if !ok {
+			continue
+		}
+		for _, mode := range []Mode{ModePartialOrder, ModeTotalOrder} {
+			for _, opt := range allOptionCombos(mode) {
+				r, _, err := Solve(q, opt)
+				if err != nil {
+					t.Fatalf("iteration %d: %v", i, err)
+				}
+				if r == Unknown || (r == True) != want {
+					t.Fatalf("iteration %d: mode=%v opts=%+v got %v want %v\nQBF: %v",
+						i, mode, opt, r, want, q)
+				}
+			}
+		}
+	}
+}
+
+// randomPrenexQBF generates a random prenex QBF with up to maxBlocks
+// alternating blocks.
+func randomPrenexQBF(rng *rand.Rand, maxVars, maxClauses, maxBlocks int) *qbf.QBF {
+	n := 2 + rng.Intn(maxVars-1)
+	nb := 1 + rng.Intn(maxBlocks)
+	runs := make([]qbf.Run, 0, nb)
+	q := qbf.Exists
+	if rng.Intn(2) == 0 {
+		q = qbf.Forall
+	}
+	v := qbf.Var(1)
+	for b := 0; b < nb && int(v) <= n; b++ {
+		k := 1 + rng.Intn(3)
+		var vars []qbf.Var
+		for i := 0; i < k && int(v) <= n; i++ {
+			vars = append(vars, v)
+			v++
+		}
+		runs = append(runs, qbf.Run{Quant: q, Vars: vars})
+		q = q.Dual()
+	}
+	// Bind leftovers to the last block's quantifier.
+	if int(v) <= n {
+		var vars []qbf.Var
+		for int(v) <= n {
+			vars = append(vars, v)
+			v++
+		}
+		runs = append(runs, qbf.Run{Quant: q, Vars: vars})
+	}
+	p := qbf.NewPrenexPrefix(n, runs...)
+	nc := 1 + rng.Intn(maxClauses)
+	matrix := make([]qbf.Clause, 0, nc)
+	for i := 0; i < nc; i++ {
+		k := 1 + rng.Intn(4)
+		seen := map[qbf.Var]bool{}
+		var c qbf.Clause
+		for j := 0; j < k; j++ {
+			vv := qbf.Var(1 + rng.Intn(n))
+			if seen[vv] {
+				continue
+			}
+			seen[vv] = true
+			l := vv.PosLit()
+			if rng.Intn(2) == 0 {
+				l = vv.NegLit()
+			}
+			c = append(c, l)
+		}
+		if len(c) == 0 {
+			continue
+		}
+		matrix = append(matrix, c)
+	}
+	return qbf.New(p, matrix)
+}
+
+// TestDifferentialDeepAlternation stresses formulas with many alternations,
+// where cube/clause learning interact the most.
+func TestDifferentialDeepAlternation(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	n := 200
+	if testing.Short() {
+		n = 40
+	}
+	for i := 0; i < n; i++ {
+		q := randomPrenexQBF(rng, 12, 20, 8)
+		want, ok := qbf.EvalWithBudget(q, 2_000_000)
+		if !ok {
+			continue
+		}
+		for _, opt := range []Options{
+			{Mode: ModePartialOrder},
+			{Mode: ModeTotalOrder},
+			{Mode: ModePartialOrder, DisablePureLiterals: true},
+			{Mode: ModeTotalOrder, DisableClauseLearning: true, DisableCubeLearning: true},
+		} {
+			r, _, err := Solve(q, opt)
+			if err != nil {
+				t.Fatalf("iteration %d: %v", i, err)
+			}
+			if (r == True) != want {
+				t.Fatalf("iteration %d: opts=%+v got %v want %v\nQBF: %v", i, opt, r, want, q)
+			}
+		}
+	}
+}
+
+// TestDifferentialWideTrees exercises trees with many sibling subtrees,
+// the shape where partial-order reasoning differs most from prenex.
+func TestDifferentialWideTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(109))
+	n := 200
+	if testing.Short() {
+		n = 40
+	}
+	for i := 0; i < n; i++ {
+		q := randomWideTree(rng)
+		want, ok := qbf.EvalWithBudget(q, 2_000_000)
+		if !ok {
+			continue
+		}
+		for _, opt := range allOptionCombos(ModePartialOrder) {
+			r, _, err := Solve(q, opt)
+			if err != nil {
+				t.Fatalf("iteration %d: %v", i, err)
+			}
+			if (r == True) != want {
+				t.Fatalf("iteration %d: opts=%+v got %v want %v\nQBF: %v", i, opt, r, want, q)
+			}
+		}
+	}
+}
+
+// randomWideTree builds ∃-rooted trees with 2–4 independent ∀∃ branches,
+// mimicking the diameter formula shape of Section VII.C.
+func randomWideTree(rng *rand.Rand) *qbf.QBF {
+	p := qbf.NewPrefix(1)
+	nRoot := 1 + rng.Intn(2)
+	rootVars := []qbf.Var{}
+	v := qbf.Var(1)
+	for i := 0; i < nRoot; i++ {
+		rootVars = append(rootVars, v)
+		v++
+	}
+	p.GrowVar(v + 20)
+	root := p.AddBlock(nil, qbf.Exists, rootVars...)
+	type branch struct {
+		y, x []qbf.Var
+	}
+	var branches []branch
+	nb := 2 + rng.Intn(3)
+	for i := 0; i < nb; i++ {
+		var br branch
+		for j := 0; j < 1+rng.Intn(2); j++ {
+			br.y = append(br.y, v)
+			v++
+		}
+		for j := 0; j < 1+rng.Intn(2); j++ {
+			br.x = append(br.x, v)
+			v++
+		}
+		yb := p.AddBlock(root, qbf.Forall, br.y...)
+		p.AddBlock(yb, qbf.Exists, br.x...)
+		branches = append(branches, br)
+	}
+	p.Finalize()
+
+	var matrix []qbf.Clause
+	pick := func(pool []qbf.Var, k int) qbf.Clause {
+		rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+		if k > len(pool) {
+			k = len(pool)
+		}
+		var c qbf.Clause
+		for _, pv := range pool[:k] {
+			l := pv.PosLit()
+			if rng.Intn(2) == 0 {
+				l = pv.NegLit()
+			}
+			c = append(c, l)
+		}
+		return c
+	}
+	for _, br := range branches {
+		pool := append(append([]qbf.Var{}, rootVars...), append(br.y, br.x...)...)
+		nc := 2 + rng.Intn(4)
+		for j := 0; j < nc; j++ {
+			matrix = append(matrix, pick(append([]qbf.Var{}, pool...), 1+rng.Intn(3)))
+		}
+	}
+	return qbf.New(p, matrix)
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/qbf"
+)
+
+// TestLearnedConstraintsSound audits learning semantically: every learned
+// clause D must leave the formula's value unchanged when added to the
+// matrix, and every learned cube T must leave it unchanged when disjoined
+// with the matrix (encoded with a fresh outermost existential selector s:
+// (s ∨ C) for every clause C plus (¬s ∨ l) for every l ∈ T). The oracle
+// decides both sides, so this check is fully independent of the engine.
+func TestLearnedConstraintsSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(811))
+	audited := 0
+	for i := 0; i < 400 && audited < 300; i++ {
+		q := qbf.RandomQBF(rng, 10, 12)
+		base, ok := qbf.EvalWithBudget(q, 1_000_000)
+		if !ok {
+			continue
+		}
+		s, err := NewSolver(q, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		type learned struct {
+			lits   []qbf.Lit
+			isCube bool
+		}
+		var captured []learned
+		s.SetLearnHook(func(lits []qbf.Lit, isCube bool) {
+			if len(captured) < 8 {
+				cp := append([]qbf.Lit(nil), lits...)
+				captured = append(captured, learned{cp, isCube})
+			}
+		})
+		if r := s.Solve(); (r == True) != base {
+			t.Fatalf("iteration %d: solver %v oracle %v", i, r, base)
+		}
+		for _, l := range captured {
+			audited++
+			if l.isCube {
+				got, ok := qbf.EvalWithBudget(withCube(q, l.lits), 4_000_000)
+				if ok && got != base {
+					t.Fatalf("iteration %d: unsound cube %v (value %v→%v)\n%v", i, l.lits, base, got, q)
+				}
+			} else {
+				ext := q.Clone()
+				ext.Matrix = append(ext.Matrix, qbf.Clause(l.lits))
+				got, ok := qbf.EvalWithBudget(ext, 4_000_000)
+				if ok && got != base {
+					t.Fatalf("iteration %d: unsound clause %v (value %v→%v)\n%v", i, l.lits, base, got, q)
+				}
+			}
+		}
+	}
+	if audited < 30 {
+		t.Fatalf("only %d constraints audited; generator too easy", audited)
+	}
+}
+
+// withCube builds ⟨≺', Φ'⟩ equivalent to ⟨≺, Φ⟩ ∨ (∧ lits): a fresh
+// existential selector s becomes the new root; every original clause gains
+// the literal s and each cube literal l yields a clause {¬s, l}.
+func withCube(q *qbf.QBF, cube []qbf.Lit) *qbf.QBF {
+	sVar := qbf.Var(q.MaxVar() + 1)
+	np := qbf.NewPrefix(int(sVar))
+	root := np.AddBlock(nil, qbf.Exists, sVar)
+	var walk func(src *qbf.Block, parent *qbf.Block)
+	walk = func(src *qbf.Block, parent *qbf.Block) {
+		nb := np.AddBlock(parent, src.Quant, src.Vars...)
+		for _, c := range src.Children {
+			walk(c, nb)
+		}
+	}
+	for _, r := range q.Prefix.Roots() {
+		walk(r, root)
+	}
+	np.Finalize()
+	matrix := make([]qbf.Clause, 0, len(q.Matrix)+len(cube))
+	for _, c := range q.Matrix {
+		nc := append(qbf.Clause{sVar.PosLit()}, c...)
+		matrix = append(matrix, nc)
+	}
+	for _, l := range cube {
+		matrix = append(matrix, qbf.Clause{sVar.NegLit(), l})
+	}
+	return qbf.New(np, matrix)
+}

@@ -1,0 +1,108 @@
+// Package core implements the paper's primary contribution: a search based
+// Q-DLL/QCDCL decision procedure for QBFs that does not require the input
+// to be in prenex form. The engine works directly on the partial prefix
+// order ≺ of a quantifier tree, using the generalized contradictory-clause
+// rule (Lemma 4), the generalized unit rule (Lemma 5), universal/existential
+// reduction (Lemma 3 and its dual), clause (nogood) and cube (good)
+// learning, pure literal fixing, and the two branching heuristics of
+// Section VI:
+//
+//   - ModeTotalOrder reproduces QUBE(TO): literals are ranked by
+//     (prefix level, score, id), the configuration meaningful for prenex
+//     inputs;
+//   - ModePartialOrder reproduces QUBE(PO): the score of a literal is its
+//     occurrence counter plus the maximum score one alternation deeper in
+//     its scope, which guarantees ≺-ancestors are branched before their
+//     descendants while degrading to VSIDS on SAT instances.
+//
+// The same engine runs in both modes — exactly the comparison the paper
+// performs — so measured differences come from the quantifier structure
+// available to the heuristic and to learning, not from unrelated
+// implementation details.
+package core
+
+import "time"
+
+// Mode selects the branching heuristic.
+type Mode int
+
+const (
+	// ModePartialOrder is QUBE(PO): scores propagate up the quantifier
+	// tree (Section VI), exploiting the partial prefix order.
+	ModePartialOrder Mode = iota
+	// ModeTotalOrder is QUBE(TO): literals are ranked primarily by prefix
+	// level, the classic prenex-solver queue.
+	ModeTotalOrder
+)
+
+func (m Mode) String() string {
+	if m == ModeTotalOrder {
+		return "TO"
+	}
+	return "PO"
+}
+
+// Options configures a Solver. The zero value enables every inference
+// (both learning mechanisms and pure literal fixing) in partial-order mode
+// with no resource limits.
+type Options struct {
+	Mode Mode
+
+	// DisableClauseLearning turns off nogood learning; conflicts then
+	// backtrack chronologically.
+	DisableClauseLearning bool
+	// DisableCubeLearning turns off good learning; solutions then
+	// backtrack chronologically.
+	DisableCubeLearning bool
+	// DisablePureLiterals turns off pure (monotone) literal fixing.
+	DisablePureLiterals bool
+
+	// MaxLearned bounds the number of learned clauses (and, separately,
+	// cubes) kept; when exceeded, inactive learned constraints are
+	// discarded. 0 means the default (4000).
+	MaxLearned int
+
+	// NodeLimit bounds the number of decisions; 0 means unlimited.
+	NodeLimit int64
+	// TimeLimit bounds wall-clock solving time; 0 means unlimited.
+	TimeLimit time.Duration
+}
+
+// Result is the outcome of a solve call.
+type Result int
+
+const (
+	// Unknown means a node or time limit stopped the search.
+	Unknown Result = iota
+	// True means the QBF evaluated to true.
+	True
+	// False means the QBF evaluated to false.
+	False
+)
+
+func (r Result) String() string {
+	switch r {
+	case True:
+		return "TRUE"
+	case False:
+		return "FALSE"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Stats reports search effort.
+type Stats struct {
+	Decisions        int64
+	Propagations     int64
+	PureAssignments  int64
+	Conflicts        int64
+	Solutions        int64
+	LearnedClauses   int64
+	LearnedCubes     int64
+	Backjumps        int64
+	ChronoBacktracks int64
+	MaxDecisionLevel int
+	Restarts         int64
+	Time             time.Duration
+}

@@ -1,0 +1,384 @@
+package core
+
+import "repro/internal/qbf"
+
+// event reported by propagateAll.
+type event int
+
+const (
+	evNone event = iota
+	// evConflict carries the id of a clause whose existential literals are
+	// all false (a contradictory residual clause, Lemma 4).
+	evConflict
+	// evSolution carries the id of a cube whose literals are all true, or
+	// -1 when the matrix became empty (all original clauses satisfied).
+	evSolution
+)
+
+// propagateAll runs unit propagation (clauses and cubes) to fixpoint,
+// returning the first conflict or solution found.
+func (s *Solver) propagateAll() (event, int) {
+	if s.numUnsatOriginal == 0 {
+		return evSolution, -1
+	}
+	for s.qhead < len(s.trail) {
+		l := s.trail[s.qhead]
+		s.qhead++
+		if ev, ci := s.applyCounters(l); ev != evNone {
+			return ev, ci
+		}
+		s.stats.Propagations++
+	}
+	if s.numUnsatOriginal == 0 {
+		return evSolution, -1
+	}
+	return evNone, -1
+}
+
+// applyCounters updates the counters of every constraint containing l or
+// l̄ after l became true, enqueueing implied literals and reporting the
+// first conflict/solution. Deleted constraints found in occurrence lists
+// are compacted away lazily.
+func (s *Solver) applyCounters(l qbf.Lit) (event, int) {
+	exist := s.quant[l.Var()] == qbf.Exists
+
+	// Both occurrence lists must be walked to completion even after an
+	// event is found: the counter updates belong to this dequeue and
+	// backtracking will reverse exactly one update per constraint per
+	// assigned literal. Only the first event is reported.
+	ev, ci := s.walkOcc(litIdx(l), exist, true)
+	ev2, ci2 := s.walkOcc(litIdx(l.Neg()), exist, false)
+	if ev != evNone {
+		return ev, ci
+	}
+	return ev2, ci2
+}
+
+func (s *Solver) walkOcc(idx int, exist, becameTrue bool) (event, int) {
+	occ := s.occ[idx]
+	w := 0
+	var rev event = evNone
+	rci := -1
+	for _, ci := range occ {
+		if s.cons[ci].deleted {
+			continue // compact away
+		}
+		occ[w] = ci
+		w++
+		c := &s.cons[ci]
+		if becameTrue {
+			c.numTrue++
+		} else {
+			c.numFalse++
+		}
+		if exist {
+			c.unassignedE--
+		} else {
+			c.unassignedU--
+		}
+		if !c.isCube && !c.learned && becameTrue && c.numTrue == 1 {
+			s.clauseSatisfied(ci)
+			if s.numUnsatOriginal == 0 && rev == evNone {
+				rev, rci = evSolution, -1
+			}
+		}
+		if rev != evNone {
+			continue // keep updating counters, report only the first event
+		}
+		if ev, eci := s.checkState(ci); ev != evNone {
+			rev, rci = ev, eci
+		}
+	}
+	s.occ[idx] = occ[:w]
+	return rev, rci
+}
+
+// undoCounters reverses applyCounters for literal l on backtracking.
+func (s *Solver) undoCounters(l qbf.Lit) {
+	exist := s.quant[l.Var()] == qbf.Exists
+	for _, ci := range s.occ[litIdx(l)] {
+		c := &s.cons[ci]
+		if c.deleted {
+			continue
+		}
+		c.numTrue--
+		if exist {
+			c.unassignedE++
+		} else {
+			c.unassignedU++
+		}
+		if !c.isCube && !c.learned && c.numTrue == 0 {
+			s.clauseUnsatisfied(ci)
+		}
+	}
+	for _, ci := range s.occ[litIdx(l.Neg())] {
+		c := &s.cons[ci]
+		if c.deleted {
+			continue
+		}
+		c.numFalse--
+		if exist {
+			c.unassignedE++
+		} else {
+			c.unassignedU++
+		}
+	}
+}
+
+// clauseSatisfied updates the pure-literal occurrence counts when an
+// original clause gains its first true literal (it leaves the residual
+// matrix).
+func (s *Solver) clauseSatisfied(ci int) {
+	s.numUnsatOriginal--
+	for _, m := range s.cons[ci].lits {
+		mi := litIdx(m)
+		s.activeOcc[mi]--
+		if s.activeOcc[mi] == 0 && s.value[m.Var()] == undef {
+			s.pureCand = append(s.pureCand, m.Var())
+		}
+	}
+}
+
+// clauseUnsatisfied reverses clauseSatisfied on backtracking.
+func (s *Solver) clauseUnsatisfied(ci int) {
+	s.numUnsatOriginal++
+	for _, m := range s.cons[ci].lits {
+		s.activeOcc[litIdx(m)]++
+	}
+}
+
+// checkState inspects a constraint after a counter change, enqueues a
+// forced literal when the constraint is unit, and reports conflicts and
+// solutions. The counters are used as a cheap filter only: because the
+// trail may hold assignments whose counter effects are still queued, every
+// candidate event is verified against the actual variable values, so a
+// stale counter can at worst defer an event to the dequeue that updates it,
+// never fabricate one.
+func (s *Solver) checkState(ci int) (event, int) {
+	c := &s.cons[ci]
+	if !c.isCube {
+		if c.numTrue > 0 || c.unassignedE > 1 {
+			return evNone, -1
+		}
+		var e qbf.Lit
+		undefE := 0
+		for _, m := range c.lits {
+			switch s.litValue(m) {
+			case vTrue:
+				return evNone, -1
+			case undef:
+				if s.quant[m.Var()] == qbf.Exists {
+					undefE++
+					if undefE > 1 {
+						return evNone, -1
+					}
+					e = m
+				}
+			}
+		}
+		if undefE == 0 {
+			// Residual clause has no existential literal: contradictory
+			// under Lemma 4.
+			return evConflict, ci
+		}
+		// Candidate unit (Lemma 5): e is forced unless some unassigned
+		// universal m of the clause has m ≺ e.
+		for _, m := range c.lits {
+			if m != e && s.value[m.Var()] == undef && s.before(m.Var(), e.Var()) {
+				return evNone, -1
+			}
+		}
+		s.assign(e, reasonConstraint, ci)
+		return evNone, -1
+	}
+	// Cube (good): the dual rules. The residual cube under the current
+	// assignment consists of the unassigned literals; existential
+	// reduction (the dual of Lemma 3) removes every residual existential
+	// e with no residual universal u such that e ≺ u, so unassigned
+	// existentials never block by themselves.
+	if c.numFalse > 0 || c.unassignedU > 1 {
+		return evNone, -1
+	}
+	var u qbf.Lit
+	for _, m := range c.lits {
+		switch s.litValue(m) {
+		case vFalse:
+			return evNone, -1
+		case undef:
+			if s.quant[m.Var()] == qbf.Forall {
+				u = m
+			}
+		}
+	}
+	if u == 0 {
+		// No residual universal literal: existential reduction empties the
+		// residual cube, the good fires, the branch is a solution.
+		return evSolution, ci
+	}
+	// Candidate dual unit: the universal player must falsify u — unless a
+	// residual existential in the scope of u keeps the cube from reducing
+	// to the unit [u].
+	for _, m := range c.lits {
+		if m != u && s.value[m.Var()] == undef && s.before(m.Var(), u.Var()) {
+			return evNone, -1
+		}
+	}
+	s.assign(u.Neg(), reasonConstraint, ci)
+	return evNone, -1
+}
+
+// fixPures assigns pure (monotone) literals: an existential literal l with
+// l̄ absent from the residual original matrix, or a universal literal l
+// absent itself (Section III). Purity is judged against original clauses
+// only, which keeps the rule sound in the presence of learning; learned
+// constraints mentioning the literal merely lose propagation strength.
+// fixPures reports whether it assigned anything.
+func (s *Solver) fixPures() bool {
+	if s.opt.DisablePureLiterals {
+		s.pureCand = s.pureCand[:0]
+		return false
+	}
+	assigned := false
+	for len(s.pureCand) > 0 {
+		v := s.pureCand[len(s.pureCand)-1]
+		s.pureCand = s.pureCand[:len(s.pureCand)-1]
+		if s.value[v] != undef {
+			continue
+		}
+		pos, neg := s.activeOcc[litIdx(v.PosLit())], s.activeOcc[litIdx(v.NegLit())]
+		var l qbf.Lit
+		switch {
+		case s.quant[v] == qbf.Exists && neg == 0:
+			l = v.PosLit()
+		case s.quant[v] == qbf.Exists && pos == 0:
+			l = v.NegLit()
+		case s.quant[v] == qbf.Forall && pos == 0:
+			l = v.PosLit()
+		case s.quant[v] == qbf.Forall && neg == 0:
+			l = v.NegLit()
+		default:
+			continue
+		}
+		s.assign(l, reasonPure, -1)
+		s.stats.PureAssignments++
+		assigned = true
+	}
+	return assigned
+}
+
+// addLearned installs a learned clause or cube whose counters are
+// initialized against the current (post-backtrack) assignment. The caller
+// must ensure the propagation queue is drained (qhead == len(trail)).
+func (s *Solver) addLearned(lits []qbf.Lit, isCube bool) int {
+	id := len(s.cons)
+	c := constraint{lits: lits, isCube: isCube, learned: true, activity: 1}
+	for _, l := range lits {
+		switch s.litValue(l) {
+		case vTrue:
+			c.numTrue++
+		case vFalse:
+			c.numFalse++
+		default:
+			if s.quant[l.Var()] == qbf.Exists {
+				c.unassignedE++
+			} else {
+				c.unassignedU++
+			}
+		}
+	}
+	s.cons = append(s.cons, c)
+	for _, l := range lits {
+		s.occ[litIdx(l)] = append(s.occ[litIdx(l)], id)
+		s.counter[litIdx(l)]++
+	}
+	if isCube {
+		s.learnedCubes++
+		s.stats.LearnedCubes++
+	} else {
+		s.learnedClauses++
+		s.stats.LearnedClauses++
+	}
+	if s.learnHook != nil {
+		s.learnHook(lits, isCube)
+	}
+	return id
+}
+
+// reduceDB discards low-activity learned constraints of the given kind when
+// their number exceeds the configured bound. Constraints currently acting
+// as a reason on the trail are kept.
+func (s *Solver) reduceDB(isCube bool) {
+	n := s.learnedClauses
+	if isCube {
+		n = s.learnedCubes
+	}
+	if n <= s.opt.MaxLearned {
+		return
+	}
+	locked := make(map[int]bool)
+	for _, l := range s.trail {
+		v := l.Var()
+		if s.reason[v] == reasonConstraint {
+			locked[s.reasonC[v]] = true
+		}
+	}
+	// Median activity of the kind under reduction.
+	var acts []float64
+	for i := s.nOriginalClauses; i < len(s.cons); i++ {
+		c := &s.cons[i]
+		if !c.deleted && c.isCube == isCube {
+			acts = append(acts, c.activity)
+		}
+	}
+	if len(acts) == 0 {
+		return
+	}
+	pivot := quickMedian(acts)
+	for i := s.nOriginalClauses; i < len(s.cons); i++ {
+		c := &s.cons[i]
+		if c.deleted || c.isCube != isCube || locked[i] || c.activity > pivot {
+			continue
+		}
+		c.deleted = true
+		for _, l := range c.lits {
+			s.counter[litIdx(l)]--
+		}
+		if isCube {
+			s.learnedCubes--
+		} else {
+			s.learnedClauses--
+		}
+	}
+}
+
+// quickMedian returns an approximate median (exact for odd lengths) by
+// selection; the slice is reordered.
+func quickMedian(a []float64) float64 {
+	k := len(a) / 2
+	lo, hi := 0, len(a)-1
+	for lo < hi {
+		p := a[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for a[i] < p {
+				i++
+			}
+			for a[j] > p {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			break
+		}
+	}
+	return a[k]
+}

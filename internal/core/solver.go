@@ -1,0 +1,477 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/qbf"
+)
+
+// value of a variable on the trail.
+const (
+	undef int8 = iota
+	vTrue
+	vFalse
+)
+
+// reasonKind says why a variable was assigned.
+type reasonKind int8
+
+const (
+	reasonNone       reasonKind = iota
+	reasonDecision              // heuristic branch (opens a decision level)
+	reasonFlipped               // second branch of a decision (opens a level)
+	reasonConstraint            // unit propagation from a clause or cube
+	reasonPure                  // pure (monotone) literal fixing
+)
+
+// constraint is a clause (disjunction) or cube (conjunction) with counters
+// maintained under the current assignment.
+type constraint struct {
+	lits    []qbf.Lit
+	isCube  bool
+	learned bool
+	deleted bool
+
+	activity float64
+
+	// Counters under the current assignment.
+	numTrue     int // literals currently true
+	numFalse    int // literals currently false
+	unassignedE int // unassigned existential literals
+	unassignedU int // unassigned universal literals
+}
+
+func (c *constraint) size() int { return len(c.lits) }
+
+// blockInfo caches per-block structure derived from the prefix.
+type blockInfo struct {
+	quant      qbf.Quant
+	level      int
+	vars       []qbf.Var
+	children   []int // child blocks in the quantifier tree
+	guards     []int // blocks whose variables all ≺ ours (alternation-separated ancestors)
+	dependents []int // inverse of guards
+	unassigned int   // unassigned variables in this block
+	guardOpen  int   // number of guards with unassigned > 0
+}
+
+// Solver is a QCDCL engine over a (possibly non-prenex) QBF.
+type Solver struct {
+	opt Options
+
+	nVars   int
+	quant   []qbf.Quant // 1-based
+	sd      []int       // structural DFS interval of the variable's block
+	sf      []int
+	plevel  []int // prefix level
+	blockOf []int // block index per variable; -1 for ghost variables
+	blocks  []blockInfo
+
+	// eReducible marks existential variables whose block has no universal
+	// block below it in the quantifier tree: existential reduction always
+	// deletes such literals from cubes, so cover construction skips them.
+	eReducible []bool
+
+	cons             []constraint // originals first, then learned
+	nOriginalClauses int
+	learnedClauses   int
+	learnedCubes     int
+
+	occ [][]int // literal index → constraint ids containing that literal
+
+	// activeOcc counts, per literal, the original clauses that currently
+	// have no true literal and contain the literal: the paper's dynamic
+	// matrix occurrence used by pure literal fixing.
+	activeOcc []int
+
+	// numUnsatOriginal is the number of original clauses with no true
+	// literal; 0 means the matrix is empty (Section II base case: true).
+	numUnsatOriginal int
+
+	value    []int8
+	dlevel   []int
+	reason   []reasonKind
+	reasonC  []int
+	trailPos []int
+
+	trail      []qbf.Lit
+	qhead      int
+	level      int
+	levelStart []int // levelStart[k] = trail index where level k starts
+
+	pureCand []qbf.Var
+
+	// Heuristic state (see heuristic.go).
+	counter     []int // per literal: occurrences in active constraints
+	lastCounter []int
+	score       []float64
+	blockBonus  []float64
+	scoreTicks  int
+	scoreInc    float64
+
+	// Restart state (Luby sequence).
+	restartEvents int64 // conflicts+solutions since the last restart
+	restartLimit  int64
+	lubyIndex     int
+
+	stats      Stats
+	trivial    Result // True/False decided during construction, else Unknown
+	lastResult Result // outcome of the most recent Solve call
+
+	ws workSet // reusable analysis working set
+
+	dbgCube [5]int64
+
+	deadline          time.Time
+	trace             func(string)
+	learnHook         func(lits []qbf.Lit, isCube bool)
+	debugSolutionHook func(assignedU, totalU int)
+}
+
+// litIdx maps a literal to a dense index: positive 2v, negative 2v+1.
+func litIdx(l qbf.Lit) int {
+	v := int(l.Var())
+	if l > 0 {
+		return 2 * v
+	}
+	return 2*v + 1
+}
+
+// NewSolver prepares a solver for q. The input is deep-copied: free
+// variables are bound existentially, the matrix is normalized (tautologies
+// dropped) and universally reduced (Lemma 3). In ModeTotalOrder the input
+// prefix must be prenex, as for any classic prenex solver.
+func NewSolver(q *qbf.QBF, opt Options) (*Solver, error) {
+	work := q.Clone()
+	// Normalize first (duplicate literals and tautologies are benign and
+	// common in DIMACS files), then validate what normalization cannot
+	// repair, then bind the remaining free variables.
+	work.NormalizeMatrix()
+	if err := work.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid input: %w", err)
+	}
+	work.BindFreeVars()
+	work.Prefix.Finalize()
+	if _, err := work.ScopeConsistent(); err != nil {
+		return nil, fmt.Errorf("core: input not scope-consistent: %w", err)
+	}
+	if opt.Mode == ModeTotalOrder && !work.Prefix.IsPrenex() {
+		return nil, fmt.Errorf("core: total-order mode requires a prenex QBF; prenex the input first")
+	}
+	if opt.MaxLearned == 0 {
+		opt.MaxLearned = 4000
+	}
+
+	n := work.MaxVar()
+	s := &Solver{
+		opt:         opt,
+		nVars:       n,
+		quant:       make([]qbf.Quant, n+1),
+		sd:          make([]int, n+1),
+		sf:          make([]int, n+1),
+		plevel:      make([]int, n+1),
+		blockOf:     make([]int, n+1),
+		occ:         make([][]int, 2*(n+1)),
+		activeOcc:   make([]int, 2*(n+1)),
+		value:       make([]int8, n+1),
+		dlevel:      make([]int, n+1),
+		reason:      make([]reasonKind, n+1),
+		reasonC:     make([]int, n+1),
+		trailPos:    make([]int, n+1),
+		counter:     make([]int, 2*(n+1)),
+		lastCounter: make([]int, 2*(n+1)),
+		score:       make([]float64, 2*(n+1)),
+		trivial:     Unknown,
+	}
+
+	// Variables within 1..n that are bound by no block and occur in no
+	// clause ("ghosts", e.g. quantifiers dropped by miniscoping) take no
+	// part in solving: blockOf stays -1 and they are never assigned.
+	for v := range s.blockOf {
+		s.blockOf[v] = -1
+	}
+
+	p := work.Prefix
+	pblocks := p.Blocks()
+	s.blocks = make([]blockInfo, len(pblocks))
+	s.blockBonus = make([]float64, len(pblocks))
+	for i, b := range pblocks {
+		bi := blockInfo{
+			quant:      b.Quant,
+			level:      b.Level(),
+			vars:       append([]qbf.Var(nil), b.Vars...),
+			unassigned: len(b.Vars),
+		}
+		for _, c := range b.Children {
+			bi.children = append(bi.children, c.ID())
+		}
+		// Guards: ancestor blocks separated by at least one alternation,
+		// i.e. whose variables all ≺ ours. Along a root path the prefix
+		// level grows exactly at alternations, so "separated by an
+		// alternation" is "has a strictly smaller level".
+		for a := b.Parent(); a != nil; a = a.Parent() {
+			if a.Level() < b.Level() {
+				bi.guards = append(bi.guards, a.ID())
+			}
+		}
+		s.blocks[i] = bi
+		bsd, bsf := b.Interval()
+		for _, v := range b.Vars {
+			s.quant[v] = b.Quant
+			s.sd[v] = bsd
+			s.sf[v] = bsf
+			s.plevel[v] = p.Level(v)
+			s.blockOf[v] = i
+		}
+	}
+	for i := range s.blocks {
+		for _, g := range s.blocks[i].guards {
+			s.blocks[g].dependents = append(s.blocks[g].dependents, i)
+			if s.blocks[g].unassigned > 0 {
+				s.blocks[i].guardOpen++
+			}
+		}
+	}
+
+	// eReducible: existential variables with no universal block below.
+	s.eReducible = make([]bool, n+1)
+	hasUniversalBelow := make([]bool, len(s.blocks))
+	for i := len(s.blocks) - 1; i >= 0; i-- { // post-order over DFS preorder
+		hub := s.blocks[i].quant == qbf.Forall
+		for _, c := range s.blocks[i].children {
+			if hasUniversalBelow[c] {
+				hub = true
+			}
+		}
+		hasUniversalBelow[i] = hub
+	}
+	for v := qbf.Var(1); int(v) <= n; v++ {
+		b := s.blockOf[v]
+		s.eReducible[v] = b >= 0 && s.quant[v] == qbf.Exists && !hasUniversalBelow[b]
+	}
+
+	// Install the (universally reduced) original clauses.
+	s.levelStart = append(s.levelStart, 0)
+	for _, c := range work.Matrix {
+		rc := qbf.UniversalReduce(p, c)
+		if len(rc) == 0 {
+			s.trivial = False
+			return s, nil
+		}
+		hasE := false
+		for _, l := range rc {
+			if s.quant[l.Var()] == qbf.Exists {
+				hasE = true
+				break
+			}
+		}
+		if !hasE {
+			// Contradictory clause (Lemma 4).
+			s.trivial = False
+			return s, nil
+		}
+		s.addOriginalClause(rc)
+	}
+	s.nOriginalClauses = len(s.cons)
+	s.numUnsatOriginal = s.nOriginalClauses
+	if s.numUnsatOriginal == 0 {
+		s.trivial = True
+		return s, nil
+	}
+
+	// Initial heuristic scores: the occurrence counters (Section VI).
+	s.initScores()
+	s.lubyIndex = 1
+	s.restartLimit = luby(1) * restartUnit
+
+	// All bound variables start as pure-literal candidates; fixPures
+	// verifies. Ghost variables never enter the queue.
+	for v := qbf.Var(1); int(v) <= n; v++ {
+		if s.blockOf[v] >= 0 {
+			s.pureCand = append(s.pureCand, v)
+		}
+	}
+	return s, nil
+}
+
+// SetTrace installs a debug trace callback (nil to disable).
+func (s *Solver) SetTrace(f func(string)) { s.trace = f }
+
+// SetLearnHook installs a callback invoked with every learned constraint
+// (clause or cube) as it is added. Test suites use it to audit the
+// soundness of the learning machinery against the semantic oracle.
+func (s *Solver) SetLearnHook(f func(lits []qbf.Lit, isCube bool)) { s.learnHook = f }
+
+// Stats returns search statistics accumulated so far.
+func (s *Solver) Stats() Stats { return s.stats }
+
+func (s *Solver) addOriginalClause(c qbf.Clause) int {
+	id := len(s.cons)
+	s.cons = append(s.cons, constraint{lits: c})
+	for _, l := range c {
+		s.occ[litIdx(l)] = append(s.occ[litIdx(l)], id)
+		s.activeOcc[litIdx(l)]++
+		s.counter[litIdx(l)]++
+	}
+	cc := &s.cons[id]
+	for _, l := range c {
+		if s.quant[l.Var()] == qbf.Exists {
+			cc.unassignedE++
+		} else {
+			cc.unassignedU++
+		}
+	}
+	return id
+}
+
+// Solve runs the search to completion or to a limit.
+func (s *Solver) Solve() Result {
+	start := time.Now()
+	defer func() { s.stats.Time += time.Since(start) }()
+	s.lastResult = s.solve()
+	return s.lastResult
+}
+
+func (s *Solver) solve() Result {
+	if s.trivial != Unknown {
+		return s.trivial
+	}
+	if s.opt.TimeLimit > 0 {
+		s.deadline = time.Now().Add(s.opt.TimeLimit)
+	}
+
+	for {
+		ev, ci := s.propagateAll()
+		switch ev {
+		case evConflict:
+			s.stats.Conflicts++
+			if !s.handleConflict(ci) {
+				return False
+			}
+		case evSolution:
+			s.stats.Solutions++
+			if s.debugSolutionHook != nil {
+				s.debugSolutionHook(s.debugCountUniversals())
+			}
+			if !s.handleSolution(ci) {
+				return True
+			}
+		case evNone:
+			if s.fixPures() {
+				continue
+			}
+			lit, ok := s.pickBranch()
+			if !ok {
+				// Unreachable by construction: if any variable is
+				// unassigned, a minimal-level block with unassigned
+				// variables is always branchable, and a total assignment
+				// without a conflict means every original clause is
+				// satisfied, which propagateAll reports as a solution.
+				panic("core: no branchable variable at a propagation fixpoint")
+			}
+			s.stats.Decisions++
+			if s.opt.NodeLimit > 0 && s.stats.Decisions > s.opt.NodeLimit {
+				return Unknown
+			}
+			if !s.deadline.IsZero() && s.stats.Decisions%64 == 0 && time.Now().After(s.deadline) {
+				return Unknown
+			}
+			s.decide(lit)
+		}
+	}
+}
+
+// decide opens a new decision level with literal l.
+func (s *Solver) decide(l qbf.Lit) {
+	s.level++
+	if s.level > s.stats.MaxDecisionLevel {
+		s.stats.MaxDecisionLevel = s.level
+	}
+	s.levelStart = append(s.levelStart, len(s.trail))
+	s.assign(l, reasonDecision, -1)
+	if s.trace != nil {
+		s.trace(fmt.Sprintf("decide %d @%d", l, s.level))
+	}
+}
+
+// assign makes l true at the current decision level. It only records the
+// assignment; constraint counters are updated when the literal is dequeued
+// by propagateAll.
+func (s *Solver) assign(l qbf.Lit, why reasonKind, reasonCon int) {
+	v := l.Var()
+	if s.value[v] != undef {
+		panic(fmt.Sprintf("core: double assignment of variable %d", v))
+	}
+	if l > 0 {
+		s.value[v] = vTrue
+	} else {
+		s.value[v] = vFalse
+	}
+	s.dlevel[v] = s.level
+	s.reason[v] = why
+	s.reasonC[v] = reasonCon
+	s.trailPos[v] = len(s.trail)
+	s.trail = append(s.trail, l)
+
+	b := s.blockOf[v]
+	s.blocks[b].unassigned--
+	if s.blocks[b].unassigned == 0 {
+		for _, dep := range s.blocks[b].dependents {
+			s.blocks[dep].guardOpen--
+		}
+	}
+}
+
+// litValue returns the current value of literal l.
+func (s *Solver) litValue(l qbf.Lit) int8 {
+	v := s.value[l.Var()]
+	if v == undef {
+		return undef
+	}
+	if (v == vTrue) == (l > 0) {
+		return vTrue
+	}
+	return vFalse
+}
+
+// before is the O(1) ≺ test: z's block is a structural ancestor of z”s
+// with a strictly smaller prefix level. On alternating trees this is
+// exactly the parenthesis-theorem test of Section VI, eq. 13.
+func (s *Solver) before(z, zp qbf.Var) bool {
+	return s.sd[z] <= s.sd[zp] && s.sf[zp] <= s.sf[z] && s.plevel[z] < s.plevel[zp]
+}
+
+// backtrack undoes all assignments above decision level target.
+func (s *Solver) backtrack(target int) {
+	if target >= s.level {
+		return
+	}
+	end := s.levelStart[target+1]
+	for i := len(s.trail) - 1; i >= end; i-- {
+		l := s.trail[i]
+		v := l.Var()
+		if i < s.qhead {
+			s.undoCounters(l)
+		}
+		if s.reason[v] == reasonPure {
+			// The variable may still be pure at the outer level;
+			// re-candidate it so fixPures reconsiders it.
+			s.pureCand = append(s.pureCand, v)
+		}
+		s.value[v] = undef
+		s.reason[v] = reasonNone
+		s.reasonC[v] = -1
+		b := s.blockOf[v]
+		if s.blocks[b].unassigned == 0 {
+			for _, dep := range s.blocks[b].dependents {
+				s.blocks[dep].guardOpen++
+			}
+		}
+		s.blocks[b].unassigned++
+	}
+	s.trail = s.trail[:end]
+	s.qhead = end
+	s.levelStart = s.levelStart[:target+1]
+	s.level = target
+}

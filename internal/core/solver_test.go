@@ -1,0 +1,267 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/qbf"
+)
+
+func mkClause(lits ...int) qbf.Clause {
+	c := make(qbf.Clause, len(lits))
+	for i, l := range lits {
+		c[i] = qbf.Lit(l)
+	}
+	return c
+}
+
+func allOptionCombos(mode Mode) []Options {
+	var out []Options
+	for _, noCl := range []bool{false, true} {
+		for _, noCu := range []bool{false, true} {
+			for _, noPure := range []bool{false, true} {
+				out = append(out, Options{
+					Mode:                  mode,
+					DisableClauseLearning: noCl,
+					DisableCubeLearning:   noCu,
+					DisablePureLiterals:   noPure,
+				})
+			}
+		}
+	}
+	return out
+}
+
+func solveAllCombos(t *testing.T, q *qbf.QBF, want bool, label string) {
+	t.Helper()
+	modes := []Mode{ModePartialOrder}
+	if q.Prefix.IsPrenex() {
+		modes = append(modes, ModeTotalOrder)
+	}
+	for _, mode := range modes {
+		for _, opt := range allOptionCombos(mode) {
+			r, _, err := Solve(q, opt)
+			if err != nil {
+				t.Fatalf("%s (%+v): %v", label, opt, err)
+			}
+			wantR := False
+			if want {
+				wantR = True
+			}
+			if r != wantR {
+				t.Errorf("%s: mode=%v learnC=%v learnQ=%v pure=%v: got %v, want %v",
+					label, mode, !opt.DisableClauseLearning,
+					!opt.DisableCubeLearning, !opt.DisablePureLiterals, r, wantR)
+			}
+		}
+	}
+}
+
+func TestSolveHandPicked(t *testing.T) {
+	// ∀y ∃x: x ≡ ¬y — true.
+	p1 := qbf.NewPrenexPrefix(2,
+		qbf.Run{Quant: qbf.Forall, Vars: []qbf.Var{1}},
+		qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{2}})
+	solveAllCombos(t, qbf.New(p1, []qbf.Clause{mkClause(1, 2), mkClause(-1, -2)}), true, "forall-exists-xor")
+
+	// ∃x ∀y: x ≡ ¬y — false.
+	p2 := qbf.NewPrenexPrefix(2,
+		qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{2}},
+		qbf.Run{Quant: qbf.Forall, Vars: []qbf.Var{1}})
+	solveAllCombos(t, qbf.New(p2, []qbf.Clause{mkClause(1, 2), mkClause(-1, -2)}), false, "exists-forall-xor")
+
+	// Plain SAT: (1∨2)(¬1∨3)(¬2∨¬3)(2∨3) — satisfiable.
+	p3 := qbf.NewPrenexPrefix(3, qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{1, 2, 3}})
+	solveAllCombos(t, qbf.New(p3, []qbf.Clause{
+		mkClause(1, 2), mkClause(-1, 3), mkClause(-2, -3), mkClause(2, 3)}), true, "sat")
+
+	// Plain UNSAT: all four binary clauses over 2 vars.
+	p4 := qbf.NewPrenexPrefix(2, qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{1, 2}})
+	solveAllCombos(t, qbf.New(p4, []qbf.Clause{
+		mkClause(1, 2), mkClause(1, -2), mkClause(-1, 2), mkClause(-1, -2)}), false, "unsat")
+
+	// Empty matrix — true.
+	p5 := qbf.NewPrenexPrefix(1, qbf.Run{Quant: qbf.Forall, Vars: []qbf.Var{1}})
+	solveAllCombos(t, qbf.New(p5, nil), true, "empty-matrix")
+
+	// Contradictory clause {y} — false by Lemma 4.
+	p6 := qbf.NewPrenexPrefix(1, qbf.Run{Quant: qbf.Forall, Vars: []qbf.Var{1}})
+	solveAllCombos(t, qbf.New(p6, []qbf.Clause{mkClause(1)}), false, "contradictory")
+
+	// ∀y1 ∃x2 ∀y3 ∃x4: (y1≡x2) ∧ (y3≡x4) — true.
+	p7 := qbf.NewPrenexPrefix(4,
+		qbf.Run{Quant: qbf.Forall, Vars: []qbf.Var{1}},
+		qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{2}},
+		qbf.Run{Quant: qbf.Forall, Vars: []qbf.Var{3}},
+		qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{4}})
+	solveAllCombos(t, qbf.New(p7, []qbf.Clause{
+		mkClause(1, -2), mkClause(-1, 2), mkClause(3, -4), mkClause(-3, 4)}), true, "two-alternations")
+
+	// Same matrix with the inner pair hoisted: ∀y1 ∀y3 ∃x2 ∃x4 — still true.
+	p8 := qbf.NewPrenexPrefix(4,
+		qbf.Run{Quant: qbf.Forall, Vars: []qbf.Var{1, 3}},
+		qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{2, 4}})
+	solveAllCombos(t, qbf.New(p8, []qbf.Clause{
+		mkClause(1, -2), mkClause(-1, 2), mkClause(3, -4), mkClause(-3, 4)}), true, "hoisted")
+
+	// ∃x2 ∃x4 ∀y1 ∀y3 over the same matrix — false.
+	p9 := qbf.NewPrenexPrefix(4,
+		qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{2, 4}},
+		qbf.Run{Quant: qbf.Forall, Vars: []qbf.Var{1, 3}})
+	solveAllCombos(t, qbf.New(p9, []qbf.Clause{
+		mkClause(1, -2), mkClause(-1, 2), mkClause(3, -4), mkClause(-3, 4)}), false, "anti-hoisted")
+}
+
+func TestSolveNonPrenexHandPicked(t *testing.T) {
+	// ∃x1 (∀y2 ∃x3 (x3≡y2) ∧ ∀y4 ∃x5 (x5≡y4)) — true; the non-prenex tree
+	// keeps y2/x5 and y4/x3 incomparable.
+	p := qbf.NewPrefix(5)
+	r := p.AddBlock(nil, qbf.Exists, 1)
+	b2 := p.AddBlock(r, qbf.Forall, 2)
+	p.AddBlock(b2, qbf.Exists, 3)
+	b4 := p.AddBlock(r, qbf.Forall, 4)
+	p.AddBlock(b4, qbf.Exists, 5)
+	q := qbf.New(p, []qbf.Clause{
+		mkClause(1), // keep x1 relevant
+		mkClause(2, -3), mkClause(-2, 3),
+		mkClause(4, -5), mkClause(-4, 5),
+	})
+	solveAllCombos(t, q, true, "tree-two-games")
+
+	// Make one subtree impossible: ∃x1 (∀y2 ∃x3 (x3 ≡ y2 ∧ x3 ≡ ¬y2) ∧ …).
+	q2 := qbf.New(p.Clone(), []qbf.Clause{
+		mkClause(1),
+		mkClause(2, -3), mkClause(-2, 3),
+		mkClause(2, 3), mkClause(-2, -3),
+		mkClause(4, -5), mkClause(-4, 5),
+	})
+	solveAllCombos(t, q2, false, "tree-one-impossible")
+
+	// Sibling roots: (∃x1 x1) ∧ (∀y2 (y2 ∨ ¬y2 is taut — use two clauses))
+	p3 := qbf.NewPrefix(2)
+	p3.AddBlock(nil, qbf.Exists, 1)
+	p3.AddBlock(nil, qbf.Forall, 2)
+	q3 := qbf.New(p3, []qbf.Clause{mkClause(1), mkClause(2)})
+	solveAllCombos(t, q3, false, "sibling-roots-false")
+}
+
+func TestTotalOrderRequiresPrenex(t *testing.T) {
+	// ∃1 (∀2 ∃4 … ; ∀3 …): x4 and y3 are an incomparable ∃/∀ pair, so the
+	// prefix is genuinely non-prenex. (A tree like ∃1(∀2 ; ∀3) would still
+	// be prenex by the paper's definition: only ∃/∀ pairs must compare.)
+	p := qbf.NewPrefix(4)
+	r := p.AddBlock(nil, qbf.Exists, 1)
+	b2 := p.AddBlock(r, qbf.Forall, 2)
+	p.AddBlock(b2, qbf.Exists, 4)
+	p.AddBlock(r, qbf.Forall, 3)
+	q := qbf.New(p, []qbf.Clause{mkClause(1, 2, 4), mkClause(1, 3)})
+	if _, err := NewSolver(q, Options{Mode: ModeTotalOrder}); err == nil {
+		t.Fatal("total-order mode must reject non-prenex input")
+	}
+	if _, err := NewSolver(q, Options{Mode: ModePartialOrder}); err != nil {
+		t.Fatalf("partial-order mode must accept trees: %v", err)
+	}
+}
+
+func TestSolverStatsPopulated(t *testing.T) {
+	p := qbf.NewPrenexPrefix(4,
+		qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{1, 2}},
+		qbf.Run{Quant: qbf.Forall, Vars: []qbf.Var{3}},
+		qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{4}})
+	q := qbf.New(p, []qbf.Clause{
+		mkClause(1, 2), mkClause(-1, 3, 4), mkClause(-2, -3, -4), mkClause(-1, -2)})
+	r, st, err := Solve(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r == Unknown {
+		t.Fatal("tiny instance must be decided")
+	}
+	if st.Decisions < 0 || st.Propagations == 0 && st.Decisions == 0 && st.PureAssignments == 0 {
+		t.Errorf("stats look empty: %+v", st)
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	// A hard-ish random-like instance that needs several decisions.
+	p := qbf.NewPrenexPrefix(12, qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}})
+	var m []qbf.Clause
+	// Pigeonhole-flavored hard clauses: at-least-one rows + conflicts.
+	m = append(m,
+		mkClause(1, 2, 3), mkClause(4, 5, 6), mkClause(7, 8, 9), mkClause(10, 11, 12),
+		mkClause(-1, -4), mkClause(-1, -7), mkClause(-1, -10), mkClause(-4, -7),
+		mkClause(-4, -10), mkClause(-7, -10), mkClause(-2, -5), mkClause(-2, -8),
+		mkClause(-2, -11), mkClause(-5, -8), mkClause(-5, -11), mkClause(-8, -11),
+		mkClause(-3, -6), mkClause(-3, -9), mkClause(-3, -12), mkClause(-6, -9),
+		mkClause(-6, -12), mkClause(-9, -12))
+	q := qbf.New(p, m)
+	r, _, err := Solve(q, Options{NodeLimit: 1, DisablePureLiterals: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != Unknown {
+		// The instance is satisfiable and small, so it may legitimately be
+		// solved within one decision via propagation; accept True as well.
+		if r != True {
+			t.Errorf("got %v with NodeLimit=1", r)
+		}
+	}
+}
+
+func TestFreeVariablesSolved(t *testing.T) {
+	// Free variable 3 plus ∀1 ∃2: 3 ∧ (¬3 ∨ (1≡2)).
+	p := qbf.NewPrenexPrefix(2,
+		qbf.Run{Quant: qbf.Forall, Vars: []qbf.Var{1}},
+		qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{2}})
+	q := qbf.New(p, []qbf.Clause{
+		mkClause(3), mkClause(-3, 1, -2), mkClause(-3, -1, 2)})
+	solveAllCombos(t, q, true, "free-vars")
+}
+
+func TestTautologyAndDuplicateInput(t *testing.T) {
+	p := qbf.NewPrenexPrefix(2, qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{1, 2}})
+	q := qbf.New(p, []qbf.Clause{
+		mkClause(1, -1),     // tautology: dropped
+		mkClause(2, 2, 1),   // duplicate literal
+		mkClause(-2, 1, -2), // duplicate literal
+	})
+	solveAllCombos(t, q, true, "messy-input")
+}
+
+// TestPaperFigure2Example runs the paper's running example (1) in both the
+// non-prenex form (prefix (3)) and its prenex-optimal form (prefix (7)).
+// The matrix polarities are reconstructed so that footnote 5 holds (y1, y2
+// pure) and the Figure 2 search tree (everywhere contradictory) applies:
+// the formula is false.
+func TestPaperFigure2Example(t *testing.T) {
+	// Variables: x0=1, y1=2, x1=3, x2=4, y2=5, x3=6, x4=7.
+	matrix := []qbf.Clause{
+		mkClause(1, 3, 4),    // {x0, x1, x2}
+		mkClause(-2, 3, -4),  // {¬y1, x1, ¬x2}
+		mkClause(-3, 4),      // {¬x1, x2}
+		mkClause(-1, -3, -4), // {¬x0, ¬x1, ¬x2}
+		mkClause(1, 6, 7),    // {x0, x3, x4}
+		mkClause(-5, 6, -7),  // {¬y2, x3, ¬x4}
+		mkClause(-6, 7),      // {¬x3, x4}
+		mkClause(-1, -6, -7), // {¬x0, ¬x3, ¬x4}
+	}
+	tree := qbf.NewPrefix(7)
+	root := tree.AddBlock(nil, qbf.Exists, 1)
+	y1 := tree.AddBlock(root, qbf.Forall, 2)
+	tree.AddBlock(y1, qbf.Exists, 3, 4)
+	y2 := tree.AddBlock(root, qbf.Forall, 5)
+	tree.AddBlock(y2, qbf.Exists, 6, 7)
+	qTree := qbf.New(tree, matrix)
+
+	want := qbf.Eval(qTree)
+	solveAllCombos(t, qTree, want, "paper-tree")
+
+	prenex := qbf.NewPrenexPrefix(7,
+		qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{1}},
+		qbf.Run{Quant: qbf.Forall, Vars: []qbf.Var{2, 5}},
+		qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{3, 4, 6, 7}})
+	qPrenex := qbf.New(prenex, matrix)
+	if got := qbf.Eval(qPrenex); got != want {
+		t.Fatalf("prenex-optimal form changed the value: %v vs %v", got, want)
+	}
+	solveAllCombos(t, qPrenex, want, "paper-prenex")
+}

@@ -1,0 +1,275 @@
+// Package dia implements the diameter-calculation workload of Section
+// VII.C: the QBF φn of equation (14) for a symbolic model M, built over
+// the closure transition relation T' of equation (15),
+//
+//	T'(s,s') = (I(s) ∧ I(s')) ∨ T(s,s'),
+//
+// so that φn is true exactly when n < d and false exactly when n ≥ d,
+// where d is the state-space diameter of M. The natural form of φn is
+// non-prenex:
+//
+//	∃x_{n+1} ( ∃x_0…x_n (I(x_0) ∧ ∧ T'(x_i,x_{i+1}))
+//	         ∧ ∀y_0…y_n ¬(I(y_0) ∧ ∧ T'(y_i,y_{i+1}) ∧ x_{n+1} ≡ y_n) )
+//
+// and the x-branch and y-branch subtrees are incomparable — the structure
+// QUBE(PO) exploits. (Equation (14) in the paper writes T on the x-side
+// and (16) writes T'; the two agree on the truth of φn, and we use T' on
+// both sides as in (16).)
+//
+// The CNF conversion of the universal branch matters enormously. Phi
+// builds the negated conjunction as a left-deep AND ladder and converts it
+// with polarity-aware Plaisted–Greenbaum definitions (Jackson–Sheridan,
+// the paper's [10]), placing every definition variable in an existential
+// block directly below the innermost universal block it depends on. The
+// result is the maximally miniscoped quantifier tree
+//
+//	∀y_0 ∃(defs_0) ∀y_1 ∃(defs_1, g_1) … ∀y_n ∃(defs_n, g_n)
+//
+// in which the solver can commit to "the y-path breaks at step i" after
+// assigning only y_0…y_i, so learned goods stay local to the break.
+// PhiCoarse keeps all definition variables in a single innermost block
+// (the naive conversion); the benchmark suite uses it as an ablation —
+// under it the break cannot be committed before the whole y vector is
+// assigned and both solver variants degrade to enumeration.
+package dia
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/prenex"
+	"repro/internal/qbf"
+)
+
+// layout allocates the shared variable vectors of φn.
+type layout struct {
+	bits    int
+	xTarget []qbf.Var
+	xs      [][]qbf.Var
+	ys      [][]qbf.Var
+	next    qbf.Var
+}
+
+func newLayout(m *models.Model, n int) *layout {
+	bits := m.Bits
+	l := &layout{bits: bits, next: 1}
+	vec := func() []qbf.Var {
+		out := make([]qbf.Var, bits)
+		for i := range out {
+			out[i] = l.next
+			l.next++
+		}
+		return out
+	}
+	l.xTarget = vec()
+	l.xs = make([][]qbf.Var, n+1)
+	for i := range l.xs {
+		l.xs[i] = vec()
+	}
+	l.ys = make([][]qbf.Var, n+1)
+	for i := range l.ys {
+		l.ys[i] = vec()
+	}
+	return l
+}
+
+// buildPositive converts the reachability side I(x_0) ∧ ∧ T'(x_i,x_{i+1})
+// and returns its clauses (including the root assertion) plus the
+// definition variables.
+func buildPositive(b *circuit.Builder, m *models.Model, l *layout, n int, alloc *circuit.VarAlloc) ([]qbf.Clause, []qbf.Var) {
+	tPrime := func(s, t []qbf.Var) circuit.Node {
+		return b.Or(b.And(m.Init(b, s), m.Init(b, t)), m.Trans(b, s, t))
+	}
+	pos := []circuit.Node{m.Init(b, l.xs[0])}
+	for i := 0; i < n; i++ {
+		pos = append(pos, tPrime(l.xs[i], l.xs[i+1]))
+	}
+	pos = append(pos, tPrime(l.xs[n], l.xTarget))
+	cnf := b.TseitinPG(b.And(pos...), circuit.Pos, alloc)
+	clauses := append([]qbf.Clause{}, cnf.Clauses...)
+	clauses = append(clauses, qbf.Clause{cnf.Root})
+	return clauses, cnf.Fresh
+}
+
+// Phi builds the non-prenex φn for model m: true iff n < diameter(m).
+func Phi(m *models.Model, n int) *qbf.QBF {
+	b := circuit.NewBuilder()
+	l := newLayout(m, n)
+	alloc := circuit.NewVarAlloc(l.next)
+
+	posClauses, posFresh := buildPositive(b, m, l, n, alloc)
+	matrix := posClauses
+
+	tPrime := func(s, t []qbf.Var) circuit.Node {
+		return b.Or(b.And(m.Init(b, s), m.Init(b, t)), m.Trans(b, s, t))
+	}
+
+	// Universal branch, ladder form. stepDefs[i] collects the definition
+	// variables that belong below y_i.
+	stepDefs := make([][]qbf.Var, n+1)
+
+	// Step 0: I(y_0).
+	i0 := b.TseitinPG(m.Init(b, l.ys[0]), circuit.Neg, alloc)
+	matrix = append(matrix, i0.Clauses...)
+	stepDefs[0] = append(stepDefs[0], i0.Fresh...)
+	g := i0.Root // g_i: "the y-path is valid up to step i"
+
+	for i := 1; i <= n; i++ {
+		ti := b.TseitinPG(tPrime(l.ys[i-1], l.ys[i]), circuit.Neg, alloc)
+		matrix = append(matrix, ti.Clauses...)
+		stepDefs[i] = append(stepDefs[i], ti.Fresh...)
+		// g_i ← g_{i-1} ∧ t_i (the AND-ladder definition, Neg polarity).
+		gi := alloc.Fresh()
+		stepDefs[i] = append(stepDefs[i], gi)
+		matrix = append(matrix, qbf.Clause{gi.PosLit(), g.Neg(), ti.Root.Neg()})
+		g = gi.PosLit()
+	}
+
+	eq := b.TseitinPG(models.EqVec(b, l.xTarget, l.ys[n]), circuit.Neg, alloc)
+	matrix = append(matrix, eq.Clauses...)
+	stepDefs[n] = append(stepDefs[n], eq.Fresh...)
+	// Assert ¬(g_n ∧ eq): no valid length-≤n path ends at x_{n+1}.
+	matrix = append(matrix, qbf.Clause{g.Neg(), eq.Root.Neg()})
+
+	// Prefix tree.
+	p := qbf.NewPrefix(int(alloc.Next()) - 1)
+	root := p.AddBlock(nil, qbf.Exists, l.xTarget...)
+	var xAll []qbf.Var
+	for _, v := range l.xs {
+		xAll = append(xAll, v...)
+	}
+	xAll = append(xAll, posFresh...)
+	p.AddBlock(root, qbf.Exists, xAll...)
+	parent := root
+	for i := 0; i <= n; i++ {
+		parent = p.AddBlock(parent, qbf.Forall, l.ys[i]...)
+		if len(stepDefs[i]) > 0 {
+			parent = p.AddBlock(parent, qbf.Exists, stepDefs[i]...)
+		}
+	}
+	p.Finalize()
+	return qbf.New(p, matrix)
+}
+
+// PhiCoarse builds φn with the naive conversion: one flat conjunction on
+// the universal branch, all definition variables in a single existential
+// block below the whole y vector. Semantically equivalent to Phi; kept as
+// the ablation target for the encoding-structure benchmark.
+func PhiCoarse(m *models.Model, n int) *qbf.QBF {
+	b := circuit.NewBuilder()
+	l := newLayout(m, n)
+	alloc := circuit.NewVarAlloc(l.next)
+
+	posClauses, posFresh := buildPositive(b, m, l, n, alloc)
+	matrix := posClauses
+
+	tPrime := func(s, t []qbf.Var) circuit.Node {
+		return b.Or(b.And(m.Init(b, s), m.Init(b, t)), m.Trans(b, s, t))
+	}
+	neg := []circuit.Node{m.Init(b, l.ys[0])}
+	for i := 0; i < n; i++ {
+		neg = append(neg, tPrime(l.ys[i], l.ys[i+1]))
+	}
+	neg = append(neg, models.EqVec(b, l.xTarget, l.ys[n]))
+	negCNF := b.TseitinPG(b.And(neg...), circuit.Neg, alloc)
+	matrix = append(matrix, negCNF.Clauses...)
+	matrix = append(matrix, qbf.Clause{negCNF.Root.Neg()})
+
+	p := qbf.NewPrefix(int(alloc.Next()) - 1)
+	root := p.AddBlock(nil, qbf.Exists, l.xTarget...)
+	var xAll []qbf.Var
+	for _, v := range l.xs {
+		xAll = append(xAll, v...)
+	}
+	xAll = append(xAll, posFresh...)
+	p.AddBlock(root, qbf.Exists, xAll...)
+	var yAll []qbf.Var
+	for _, v := range l.ys {
+		yAll = append(yAll, v...)
+	}
+	yBlock := p.AddBlock(root, qbf.Forall, yAll...)
+	if len(negCNF.Fresh) > 0 {
+		p.AddBlock(yBlock, qbf.Exists, negCNF.Fresh...)
+	}
+	p.Finalize()
+	return qbf.New(p, matrix)
+}
+
+// PhiPrenex builds φn and converts it to prenex form with the given
+// strategy; ∃↑∀↑ yields the formulation the paper feeds to QUBE(TO): all
+// path variables before all universal variables.
+func PhiPrenex(m *models.Model, n int, s prenex.Strategy) *qbf.QBF {
+	return prenex.Apply(Phi(m, n), s)
+}
+
+// Step records one φn solve during a diameter computation.
+type Step struct {
+	N       int
+	Result  core.Result
+	Stats   core.Stats
+	Vars    int
+	Clauses int
+}
+
+// Result is the outcome of a diameter computation.
+type Result struct {
+	Model    string
+	Diameter int  // valid when Decided
+	Decided  bool // false when a budget ran out or MaxN was reached
+	Steps    []Step
+}
+
+// SolveFunc decides one φn instance.
+type SolveFunc func(*qbf.QBF) (core.Result, core.Stats)
+
+// ComputeDiameter iterates n = 0, 1, … solving φn until the first false
+// answer: that n is the diameter. The solve function receives the
+// non-prenex φn; wrap it to prenex first for a total-order solver. maxN
+// bounds the iteration.
+func ComputeDiameter(m *models.Model, maxN int, solve SolveFunc) Result {
+	res := Result{Model: m.Name}
+	for n := 0; n <= maxN; n++ {
+		phi := Phi(m, n)
+		st := phi.Stats()
+		r, sst := solve(phi)
+		res.Steps = append(res.Steps, Step{
+			N: n, Result: r, Stats: sst, Vars: st.Vars, Clauses: st.Clauses,
+		})
+		switch r {
+		case core.False:
+			res.Diameter = n
+			res.Decided = true
+			return res
+		case core.Unknown:
+			return res
+		}
+	}
+	return res
+}
+
+// SolverPO returns a SolveFunc running QUBE(PO) on the tree form.
+func SolverPO(opt core.Options) SolveFunc {
+	opt.Mode = core.ModePartialOrder
+	return func(q *qbf.QBF) (core.Result, core.Stats) {
+		r, st, err := core.Solve(q, opt)
+		if err != nil {
+			panic(fmt.Sprintf("dia: PO solve: %v", err))
+		}
+		return r, st
+	}
+}
+
+// SolverTO returns a SolveFunc that prenexes with the given strategy and
+// runs QUBE(TO).
+func SolverTO(strategy prenex.Strategy, opt core.Options) SolveFunc {
+	opt.Mode = core.ModeTotalOrder
+	return func(q *qbf.QBF) (core.Result, core.Stats) {
+		r, st, err := core.Solve(prenex.Apply(q, strategy), opt)
+		if err != nil {
+			panic(fmt.Sprintf("dia: TO solve: %v", err))
+		}
+		return r, st
+	}
+}

@@ -1,0 +1,192 @@
+package dia
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/prenex"
+	"repro/internal/qbf"
+)
+
+func TestPhiStructure(t *testing.T) {
+	m := models.Counter(2)
+	phi := Phi(m, 1)
+	if phi.Prefix.IsPrenex() {
+		t.Error("φn must be non-prenex")
+	}
+	if _, err := phi.ScopeConsistent(); err != nil {
+		t.Fatalf("φn not scope consistent: %v", err)
+	}
+	if err := phi.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if share := prenex.POTOShare(phi); share <= 0 {
+		t.Errorf("POTOShare = %v, want > 0 (x-branch vs y-branch incomparable)", share)
+	}
+	// The ladder encoding interleaves per-step universal blocks with the
+	// definition blocks that depend on them: prefix level 2(n+1)+1.
+	pr := PhiPrenex(m, 1, prenex.EUpAUp)
+	if !pr.Prefix.IsPrenex() {
+		t.Fatal("PhiPrenex must be prenex")
+	}
+	if got, want := phi.Prefix.MaxLevel(), 2*(1+1)+1; got != want {
+		t.Errorf("tree φn level = %d, want %d", got, want)
+	}
+	if got, want := pr.Prefix.MaxLevel(), 2*(1+1)+1; got != want {
+		t.Errorf("prenex φn level = %d, want %d", got, want)
+	}
+	// The coarse (naive conversion) form keeps the paper's three-level
+	// shape: ∃(x…) ≺ ∀(y…) ≺ ∃(defs).
+	coarse := PhiCoarse(m, 1)
+	if got := coarse.Prefix.MaxLevel(); got != 3 {
+		t.Errorf("coarse φn level = %d, want 3", got)
+	}
+	if _, err := coarse.ScopeConsistent(); err != nil {
+		t.Errorf("coarse φn inconsistent: %v", err)
+	}
+	// Both encodings must agree semantically.
+	rl, _ := SolverPO(core.Options{})(phi)
+	rc, _ := SolverPO(core.Options{})(coarse)
+	if rl != rc {
+		t.Errorf("ladder gives %v but coarse gives %v", rl, rc)
+	}
+}
+
+func TestPhiTruthCounter2(t *testing.T) {
+	// counter2 has diameter 3: φ0..φ2 true, φ3, φ4 false.
+	m := models.Counter(2)
+	solve := SolverPO(core.Options{})
+	for n := 0; n <= 4; n++ {
+		r, _ := solve(Phi(m, n))
+		want := core.True
+		if n >= 3 {
+			want = core.False
+		}
+		if r != want {
+			t.Errorf("φ%d = %v, want %v", n, r, want)
+		}
+	}
+}
+
+func TestComputeDiameterMatchesBFS(t *testing.T) {
+	cases := []*models.Model{
+		models.Counter(2),
+		models.Semaphore(1),
+		models.Semaphore(2),
+		models.DME(2),
+		models.DME(3),
+		models.Ring(3),
+		models.TwoBit(),
+	}
+	for _, m := range cases {
+		bfs, err := models.ExplicitDiameter(m, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		po := ComputeDiameter(m, bfs+2, SolverPO(core.Options{}))
+		if !po.Decided || po.Diameter != bfs {
+			t.Errorf("%s PO: QBF diameter %v (decided %v), BFS %d", m.Name, po.Diameter, po.Decided, bfs)
+		}
+		to := ComputeDiameter(m, bfs+2, SolverTO(prenex.EUpAUp, core.Options{}))
+		if !to.Decided || to.Diameter != bfs {
+			t.Errorf("%s TO: QBF diameter %v (decided %v), BFS %d", m.Name, to.Diameter, to.Decided, bfs)
+		}
+	}
+}
+
+func TestComputeDiameterAllStrategies(t *testing.T) {
+	m := models.TwoBit()
+	for _, s := range prenex.Strategies {
+		r := ComputeDiameter(m, 4, SolverTO(s, core.Options{}))
+		if !r.Decided || r.Diameter != 2 {
+			t.Errorf("strategy %v: diameter %v (decided %v), want 2", s, r.Diameter, r.Decided)
+		}
+	}
+}
+
+func TestComputeDiameterBudget(t *testing.T) {
+	m := models.Counter(3)
+	r := ComputeDiameter(m, 2, SolverPO(core.Options{}))
+	if r.Decided {
+		t.Error("maxN=2 cannot decide counter3 (diameter 7)")
+	}
+	if len(r.Steps) != 3 {
+		t.Errorf("got %d steps, want 3", len(r.Steps))
+	}
+
+	limited := ComputeDiameter(models.Counter(4), 20, SolverPO(core.Options{NodeLimit: 1}))
+	if limited.Decided {
+		t.Error("NodeLimit=1 must not decide counter4")
+	}
+}
+
+func TestPhiPrenexSameValue(t *testing.T) {
+	// Tree vs all four prenex strategies must agree on φn for a mix of
+	// true and false instances.
+	for _, m := range []*models.Model{models.TwoBit(), models.Counter(2), models.DME(2)} {
+		for n := 0; n <= 3; n++ {
+			phi := Phi(m, n)
+			want, _ := SolverPO(core.Options{})(phi)
+			for _, s := range prenex.Strategies {
+				got, _, err := core.Solve(prenex.Apply(phi, s), core.Options{Mode: core.ModeTotalOrder})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Errorf("%s φ%d: %v gives %v, tree gives %v", m.Name, n, s, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSectionVIICPrefixShape(t *testing.T) {
+	// For the two-bit example of Section VII.C at n = 1, the non-prenex
+	// prefix keeps the y block incomparable with the x_0..x_n block, while
+	// prenexing orders all of x_0..x_1 before the y block — the difference
+	// behind the goods {y01} vs {x01,x02,x11,x12,y01}.
+	m := models.TwoBit()
+	phi := Phi(m, 1)
+	p := phi.Prefix
+
+	// Variable layout (bits=2, n=1): x_2 = {1,2}, x_0 = {3,4}, x_1 = {5,6},
+	// y_0 = {7,8}, y_1 = {9,10}.
+	xTarget := []qbf.Var{1, 2}
+	xPath := []qbf.Var{3, 4, 5, 6}
+	yVars := []qbf.Var{7, 8, 9, 10}
+	for _, x := range xTarget {
+		for _, y := range yVars {
+			if !p.Before(x, y) {
+				t.Errorf("x_{n+1} var %d must precede y var %d", x, y)
+			}
+		}
+	}
+	for _, x := range xPath {
+		for _, y := range yVars {
+			if p.Comparable(x, y) {
+				t.Errorf("path var %d and y var %d must be incomparable in the tree", x, y)
+			}
+		}
+	}
+	pr := PhiPrenex(m, 1, prenex.EUpAUp).Prefix
+	for _, x := range xPath {
+		for _, y := range yVars {
+			if !pr.Before(x, y) {
+				t.Errorf("prenex form must order path var %d before y var %d", x, y)
+			}
+		}
+	}
+}
+
+func TestPhiVariableCountsGrow(t *testing.T) {
+	m := models.Counter(3)
+	prev := 0
+	for n := 0; n <= 3; n++ {
+		st := Phi(m, n).Stats()
+		if st.Vars <= prev {
+			t.Errorf("φ%d has %d vars, not more than φ%d's %d", n, st.Vars, n-1, prev)
+		}
+		prev = st.Vars
+	}
+}

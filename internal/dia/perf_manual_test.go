@@ -1,0 +1,43 @@
+package dia
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/models"
+	"repro/internal/prenex"
+)
+
+// TestManualDiaPerf is a manual performance probe; run with -run ManualDiaPerf.
+func TestManualDiaPerf(t *testing.T) {
+	if os.Getenv("DIA_PERF") == "" {
+		t.Skip("manual probe; set DIA_PERF=1 to run")
+	}
+	fams := []*models.Model{
+		models.Semaphore(3), models.Semaphore(5), models.Semaphore(7),
+		models.DME(3), models.DME(4), models.DME(5),
+		models.Ring(3), models.Ring(4),
+		models.Counter(2), models.Counter(3),
+	}
+	for _, m := range fams {
+		for _, lbl := range []string{"PO", "TO"} {
+			start := time.Now()
+			var r Result
+			opt := core.Options{TimeLimit: 15 * time.Second}
+			maxN := m.KnownDiameter
+			if maxN < 0 {
+				maxN = 12
+			}
+			if lbl == "PO" {
+				r = ComputeDiameter(m, maxN+1, SolverPO(opt))
+			} else {
+				r = ComputeDiameter(m, maxN+1, SolverTO(prenex.EUpAUp, opt))
+			}
+			fmt.Printf("%-12s %s: decided=%v d=%d in %8v steps=%d\n",
+				m.Name, lbl, r.Decided, r.Diameter, time.Since(start).Round(time.Millisecond), len(r.Steps))
+		}
+	}
+}

@@ -1,0 +1,19 @@
+package dia
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/models"
+)
+
+func TestProfileHard(t *testing.T) {
+	if os.Getenv("DIA_PROF") == "" {
+		t.Skip("set DIA_PROF=1")
+	}
+	phi := Phi(models.Counter(3), 5)
+	r, st, _ := core.Solve(phi, core.Options{Mode: core.ModePartialOrder, TimeLimit: 60 * time.Second})
+	t.Logf("%v time=%v dec=%d", r, st.Time, st.Decisions)
+}

@@ -1,0 +1,151 @@
+// Package fpv generates the Formal Property Verification workload of
+// Section VII.B. The paper's 905 instances come from model checking early
+// requirements of Web-service compositions (Fuxman et al. [9], Giunchiglia
+// et al. [29]) and are not publicly archived, so this package produces the
+// same formula shape from a synthetic two-player unfolding: a system
+// (existential) chooses a configuration and per-step responses, an
+// environment (universal) picks per-step stimuli, and each of several
+// composed services unrolls independently for a number of steps — giving a
+// quantifier tree with one ∀∃-chain subtree per service under a shared
+// existential root. Constraints are random implications from (config,
+// stimulus) to responses plus goal clauses, which produce a mix of true
+// and false instances with moderate search effort, the regime of Fig. 4.
+package fpv
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/qbf"
+)
+
+// Params configures one FPV instance.
+type Params struct {
+	// Services is the number of composed services (independent subtrees).
+	Services int
+	// Steps is the unrolling depth of each service (∀∃ pairs).
+	Steps int
+	// Bits is the number of variables per block.
+	Bits int
+	// Density is the number of constraint clauses per response bit and
+	// step (0 selects the default 6, near the hard region for the clause
+	// shape used: one stimulus literal plus three existential literals).
+	Density int
+	// Seed drives the pseudo-random constraint choices.
+	Seed int64
+}
+
+func (p Params) String() string {
+	return fmt.Sprintf("fpv-s%d-k%d-b%d-%d", p.Services, p.Steps, p.Bits, p.Seed)
+}
+
+// Generate builds the instance for p.
+func Generate(p Params) *qbf.QBF {
+	if p.Services < 1 || p.Steps < 1 || p.Bits < 1 {
+		panic("fpv: Services, Steps and Bits must be positive")
+	}
+	rng := rand.New(rand.NewSource(p.Seed ^ 0x6A09E667F3BCC909))
+	prefix := qbf.NewPrefix(0)
+	var next qbf.Var
+	fresh := func(n int) []qbf.Var {
+		out := make([]qbf.Var, n)
+		for i := range out {
+			next++
+			prefix.GrowVar(next)
+			out[i] = next
+		}
+		return out
+	}
+
+	config := fresh(p.Bits)
+	root := prefix.AddBlock(nil, qbf.Exists, config...)
+	var matrix []qbf.Clause
+
+	lit := func(v qbf.Var) qbf.Lit {
+		if rng.Intn(2) == 0 {
+			return v.NegLit()
+		}
+		return v.PosLit()
+	}
+
+	density := p.Density
+	if density == 0 {
+		density = 6
+	}
+	for svc := 0; svc < p.Services; svc++ {
+		parent := root
+		exPool := append([]qbf.Var(nil), config...)
+		for step := 0; step < p.Steps; step++ {
+			stim := fresh(p.Bits)
+			env := prefix.AddBlock(parent, qbf.Forall, stim...)
+			resp := fresh(p.Bits)
+			sys := prefix.AddBlock(env, qbf.Exists, resp...)
+			exPool = append(exPool, resp...)
+
+			// Per-step game constraints: clauses with one stimulus
+			// literal and three existential literals (current responses,
+			// earlier responses of this service, configuration). The
+			// system must find a response policy valid for every
+			// stimulus — a small model-A 2QBF per step.
+			for i := 0; i < density*p.Bits; i++ {
+				seen := map[qbf.Var]bool{}
+				c := qbf.Clause{lit(stim[rng.Intn(len(stim))])}
+				seen[c[0].Var()] = true
+				// Anchor at the current response block so every step
+				// matters.
+				r := resp[rng.Intn(len(resp))]
+				c = append(c, lit(r))
+				seen[r] = true
+				for len(c) < 4 {
+					v := exPool[rng.Intn(len(exPool))]
+					if seen[v] {
+						continue
+					}
+					seen[v] = true
+					c = append(c, lit(v))
+				}
+				matrix = append(matrix, c)
+			}
+			parent = sys
+		}
+		// Goal: the final responses must realize a random requirement.
+		goal := qbf.Clause{}
+		seen := map[qbf.Var]bool{}
+		for i := 0; i < p.Bits; i++ {
+			v := exPool[len(exPool)-1-rng.Intn(p.Bits)]
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			goal = append(goal, lit(v))
+		}
+		matrix = append(matrix, goal)
+	}
+
+	prefix.Finalize()
+	q := qbf.New(prefix, matrix)
+	q.NormalizeMatrix()
+	return q
+}
+
+// Suite returns a parameter sweep approximating the paper's 905-instance
+// FPV suite at a configurable scale: services × steps × bits × seeds, at
+// the density where the per-step games require real search.
+func Suite(seeds int) []Params {
+	var out []Params
+	for _, svc := range []int{2, 3} {
+		for _, steps := range []int{2, 3} {
+			for _, bits := range []int{8, 12} {
+				for _, dens := range []int{4, 5} {
+					for s := 0; s < seeds; s++ {
+						out = append(out, Params{
+							Services: svc, Steps: steps, Bits: bits,
+							Density: dens, Seed: int64(s),
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}

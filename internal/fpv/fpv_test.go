@@ -1,0 +1,71 @@
+package fpv
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/prenex"
+)
+
+func TestGenerateStructure(t *testing.T) {
+	p := Params{Services: 3, Steps: 2, Bits: 2, Seed: 5}
+	q := Generate(p)
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.ScopeConsistent(); err != nil {
+		t.Fatalf("FPV instance not scope consistent: %v", err)
+	}
+	if q.Prefix.IsPrenex() {
+		t.Error("multi-service instances must be non-prenex")
+	}
+	// One subtree per service under the root: prefix level 1 + 2·Steps.
+	if got, want := q.Prefix.MaxLevel(), 1+2*p.Steps; got != want {
+		t.Errorf("prefix level %d, want %d", got, want)
+	}
+	if share := prenex.POTOShare(q); share < 0.2 {
+		t.Errorf("PO/TO share %v, want ≥ 0.2 for the suite to be meaningful", share)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Params{Services: 2, Steps: 2, Bits: 2, Seed: 9}
+	if Generate(p).String() != Generate(p).String() {
+		t.Error("same params must generate identical instances")
+	}
+}
+
+func TestPOAndTOAgree(t *testing.T) {
+	trueCnt, n := 0, 0
+	for _, p := range Suite(2) {
+		if p.Steps > 2 || p.Bits > 8 {
+			continue // keep the unit test fast
+		}
+		n++
+		q := Generate(p)
+		po, _, err := core.Solve(q, core.Options{Mode: core.ModePartialOrder})
+		if err != nil {
+			t.Fatal(err)
+		}
+		to, _, err := core.Solve(prenex.Apply(q, prenex.EUpAUp), core.Options{Mode: core.ModeTotalOrder})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if to != po {
+			t.Fatalf("%v: TO=%v PO=%v", p, to, po)
+		}
+		if po == core.True {
+			trueCnt++
+		}
+	}
+	if trueCnt == 0 || trueCnt == n {
+		t.Errorf("degenerate truth distribution: %d/%d true", trueCnt, n)
+	}
+}
+
+func TestSuiteShape(t *testing.T) {
+	s := Suite(4)
+	if len(s) != 2*2*2*2*4 {
+		t.Fatalf("suite size %d, want 64", len(s))
+	}
+}

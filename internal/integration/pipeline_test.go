@@ -1,0 +1,166 @@
+// Package integration exercises the full pipeline across packages: generate
+// → serialize → parse → preprocess → miniscope/prenex → solve with three
+// independent procedures (the QCDCL engine in both modes, the Figure 1
+// Q-DLL, and the semantic oracle), asserting that every road leads to the
+// same value.
+package integration
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dia"
+	"repro/internal/fpv"
+	"repro/internal/models"
+	"repro/internal/ncf"
+	"repro/internal/prenex"
+	"repro/internal/preprocess"
+	"repro/internal/qbf"
+	"repro/internal/qdimacs"
+	"repro/internal/qdll"
+	"repro/internal/randqbf"
+)
+
+// decideEveryWay returns the values produced by all decision paths that
+// are feasible for the instance size, failing the test on any mismatch.
+func decideEveryWay(t *testing.T, name string, q *qbf.QBF) bool {
+	t.Helper()
+
+	// 1. QCDCL partial order on the tree.
+	rPO, _, err := core.Solve(q, core.Options{})
+	if err != nil {
+		t.Fatalf("%s: PO: %v", name, err)
+	}
+	want := rPO == core.True
+
+	// 2. QCDCL total order on each prenex form.
+	for _, s := range prenex.Strategies {
+		rTO, _, err := core.Solve(prenex.Apply(q, s), core.Options{Mode: core.ModeTotalOrder})
+		if err != nil {
+			t.Fatalf("%s: TO %v: %v", name, s, err)
+		}
+		if (rTO == core.True) != want {
+			t.Fatalf("%s: TO %v disagrees: %v vs PO %v", name, s, rTO, rPO)
+		}
+	}
+
+	// 3. Serialization round trip, then solve again.
+	text, err := qdimacs.WriteString(q)
+	if err != nil {
+		t.Fatalf("%s: write: %v", name, err)
+	}
+	back, err := qdimacs.ReadString(text)
+	if err != nil {
+		t.Fatalf("%s: read: %v", name, err)
+	}
+	rBack, _, err := core.Solve(back, core.Options{})
+	if err != nil {
+		t.Fatalf("%s: solve after round trip: %v", name, err)
+	}
+	if (rBack == core.True) != want {
+		t.Fatalf("%s: round trip changed the value", name)
+	}
+
+	// 4. Preprocess, then solve.
+	pre, res := preprocess.Run(q, preprocess.Options{})
+	if res.Decided {
+		if res.Value != want {
+			t.Fatalf("%s: preprocessing decided %v, solver %v", name, res.Value, want)
+		}
+	} else {
+		rPre, _, err := core.Solve(pre, core.Options{})
+		if err != nil {
+			t.Fatalf("%s: solve after preprocess: %v", name, err)
+		}
+		if (rPre == core.True) != want {
+			t.Fatalf("%s: preprocessing changed the value", name)
+		}
+	}
+
+	// 5. Miniscope, then solve.
+	mini := prenex.Miniscope(q)
+	rMini, _, err := core.Solve(mini, core.Options{})
+	if err != nil {
+		t.Fatalf("%s: solve after miniscope: %v", name, err)
+	}
+	if (rMini == core.True) != want {
+		t.Fatalf("%s: miniscoping changed the value", name)
+	}
+
+	// 6. Plain Q-DLL (budgeted; skip silently if too slow).
+	if v, _, err := qdll.Solve(q, 3_000_000); err == nil && v != want {
+		t.Fatalf("%s: Q-DLL disagrees: %v vs %v", name, v, want)
+	}
+
+	// 7. The exponential oracle (budgeted).
+	if v, ok := qbf.EvalWithBudget(q, 2_000_000); ok && v != want {
+		t.Fatalf("%s: oracle disagrees: %v vs %v", name, v, want)
+	}
+	return want
+}
+
+func TestPipelineRandomTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	n := 60
+	if testing.Short() {
+		n = 15
+	}
+	for i := 0; i < n; i++ {
+		q := qbf.RandomQBF(rng, 12, 12)
+		decideEveryWay(t, "random", q)
+	}
+}
+
+func TestPipelineNCF(t *testing.T) {
+	for s := int64(0); s < 8; s++ {
+		q := ncf.Generate(ncf.Params{Dep: 3, Var: 4, Cls: 10, Lpc: 3, Seed: s})
+		decideEveryWay(t, q.String()[:20], q)
+	}
+}
+
+func TestPipelineFPV(t *testing.T) {
+	for s := int64(0); s < 4; s++ {
+		q := fpv.Generate(fpv.Params{Services: 2, Steps: 2, Bits: 4, Density: 4, Seed: s})
+		decideEveryWay(t, "fpv", q)
+	}
+}
+
+func TestPipelineDIA(t *testing.T) {
+	for _, m := range []*models.Model{models.TwoBit(), models.Counter(2), models.ShiftRegister(3)} {
+		for n := 0; n <= 2; n++ {
+			decideEveryWay(t, m.Name, dia.Phi(m, n))
+		}
+	}
+}
+
+func TestPipelineProb(t *testing.T) {
+	for s := int64(0); s < 6; s++ {
+		q := randqbf.Prob(randqbf.ProbParams{
+			Blocks: 3, BlockSize: 4, Clauses: 24, Length: 4,
+			MaxUniversal: 1, Communities: 2, Seed: s,
+		})
+		decideEveryWay(t, "prob", q)
+	}
+}
+
+func TestQTreeFilesSolvable(t *testing.T) {
+	// Write a generated instance in both formats and ensure the headers
+	// dispatch correctly.
+	q := ncf.Generate(ncf.Params{Dep: 3, Var: 4, Cls: 8, Lpc: 3, Seed: 1})
+	tree, err := qdimacs.WriteString(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(tree, "p qtree") {
+		t.Errorf("non-prenex instance must serialize as qtree, got %q", tree[:12])
+	}
+	pq, err := qdimacs.WriteString(prenex.Apply(q, prenex.EUpAUp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(pq, "p cnf") {
+		t.Errorf("prenex instance must serialize as QDIMACS, got %q", pq[:12])
+	}
+}

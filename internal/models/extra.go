@@ -1,0 +1,130 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/qbf"
+)
+
+// The families below extend the Section VII.C selection with further
+// parametric models in the same spirit: small synchronous or interleaved
+// circuits whose diameters are known in closed form or cheap to compute by
+// BFS, giving the diameter benchmarks more shape variety (linear, constant
+// and exponential diameters over linear state growth).
+
+// GrayCounter returns the n-bit Gray-code counter: the successor of s is
+// the next code word in the reflected Gray sequence. Like the binary
+// counter it visits all 2^n states in a cycle, so its diameter is 2^n − 1,
+// but each step flips exactly one bit, which makes the transition relation
+// parity-heavy — a harder CNF shape for the same diameter.
+func GrayCounter(n int) *Model {
+	if n < 1 {
+		panic("models: GrayCounter needs n >= 1")
+	}
+	return &Model{
+		Name: fmt.Sprintf("gray%d", n),
+		Bits: n,
+		Init: allZero,
+		Trans: func(b *circuit.Builder, s, t []qbf.Var) circuit.Node {
+			// Gray successor: let p = parity(s). If p = 0 flip bit 0;
+			// otherwise flip the bit above the lowest set bit (flip the
+			// top bit when s is the last code word 10…0).
+			parity := b.False()
+			for i := 0; i < n; i++ {
+				parity = b.Xor(parity, b.Var(s[i]))
+			}
+			// lowest[i]: bit i is the lowest set bit of s.
+			noneBelow := b.True()
+			lowest := make([]circuit.Node, n)
+			for i := 0; i < n; i++ {
+				lowest[i] = b.And(b.Var(s[i]), noneBelow)
+				noneBelow = b.And(noneBelow, b.Var(s[i]).Neg())
+			}
+			// flip[i]: bit i flips in this step.
+			flip := make([]circuit.Node, n)
+			for i := 0; i < n; i++ {
+				flip[i] = b.False()
+			}
+			flip[0] = parity.Neg()
+			for i := 0; i < n-1; i++ {
+				flip[i+1] = b.Or(flip[i+1], b.And(parity, lowest[i]))
+			}
+			if n > 1 {
+				// Last code word 10…0: lowest set bit is the top bit;
+				// flip it to return to 0.
+				flip[n-1] = b.Or(flip[n-1], b.And(parity, lowest[n-1]))
+			}
+			terms := make([]circuit.Node, n)
+			for i := 0; i < n; i++ {
+				terms[i] = b.Iff(b.Var(t[i]), b.Xor(b.Var(s[i]), flip[i]))
+			}
+			return b.And(terms...)
+		},
+		KnownDiameter: (1 << n) - 1,
+	}
+}
+
+// ShiftRegister returns an n-bit shift register with a free serial input:
+// each step shifts left by one and loads a nondeterministic bit at
+// position 0. Every state is reachable from the all-zeros initial state in
+// at most n steps and state 1…1 needs exactly n, so the diameter is n.
+func ShiftRegister(n int) *Model {
+	if n < 1 {
+		panic("models: ShiftRegister needs n >= 1")
+	}
+	return &Model{
+		Name: fmt.Sprintf("shift%d", n),
+		Bits: n,
+		Init: allZero,
+		Trans: func(b *circuit.Builder, s, t []qbf.Var) circuit.Node {
+			terms := make([]circuit.Node, 0, n-1)
+			for i := 0; i < n-1; i++ {
+				terms = append(terms, b.Iff(b.Var(t[i+1]), b.Var(s[i])))
+			}
+			// t[0] is unconstrained: the serial input.
+			return b.And(terms...)
+		},
+		KnownDiameter: n,
+	}
+}
+
+// Arbiter returns a round-robin bus arbiter over n requesters: a one-hot
+// grant token rotates each step; a requester holds the bus (busy bit) for
+// the step its grant coincides with its request. Requests are free inputs.
+// The state is the token position plus the busy bit; every configuration
+// is reachable within one rotation, so the diameter is n.
+func Arbiter(n int) *Model {
+	if n < 2 {
+		panic("models: Arbiter needs n >= 2")
+	}
+	return &Model{
+		Name: fmt.Sprintf("arbiter%d", n),
+		Bits: n + 1,
+		Init: func(b *circuit.Builder, s []qbf.Var) circuit.Node {
+			terms := make([]circuit.Node, 0, n+1)
+			terms = append(terms, b.Var(s[0]))
+			for i := 1; i < n; i++ {
+				terms = append(terms, b.Var(s[i]).Neg())
+			}
+			terms = append(terms, b.Var(s[n]).Neg())
+			return b.And(terms...)
+		},
+		Trans: func(b *circuit.Builder, s, t []qbf.Var) circuit.Node {
+			terms := make([]circuit.Node, 0, n+1)
+			for i := 0; i < n; i++ {
+				terms = append(terms, b.Iff(b.Var(t[(i+1)%n]), b.Var(s[i])))
+			}
+			// The busy bit is free: it records whether the granted
+			// requester used the bus, a nondeterministic input.
+			return b.And(terms...)
+		},
+		KnownDiameter: n,
+	}
+}
+
+func init() {
+	All["gray"] = GrayCounter
+	All["shift"] = ShiftRegister
+	All["arbiter"] = Arbiter
+}

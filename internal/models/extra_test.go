@@ -1,0 +1,56 @@
+package models
+
+import "testing"
+
+func TestGrayCounterDiameter(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		m := GrayCounter(n)
+		d, err := ExplicitDiameter(m, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != m.KnownDiameter {
+			t.Errorf("gray%d: BFS diameter %d, declared %d", n, d, m.KnownDiameter)
+		}
+	}
+}
+
+func TestShiftRegisterDiameter(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		m := ShiftRegister(n)
+		d, err := ExplicitDiameter(m, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != n {
+			t.Errorf("shift%d: BFS diameter %d, want %d", n, d, n)
+		}
+	}
+}
+
+func TestArbiterDiameter(t *testing.T) {
+	for n := 2; n <= 5; n++ {
+		m := Arbiter(n)
+		d, err := ExplicitDiameter(m, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != n {
+			t.Errorf("arbiter%d: BFS diameter %d, want %d", n, d, n)
+		}
+	}
+}
+
+func TestAllRegistryComplete(t *testing.T) {
+	for _, name := range []string{"counter", "ring", "semaphore", "dme", "gray", "shift", "arbiter"} {
+		gen, ok := All[name]
+		if !ok {
+			t.Errorf("family %q missing from registry", name)
+			continue
+		}
+		m := gen(3)
+		if m.Bits <= 0 || m.Init == nil || m.Trans == nil {
+			t.Errorf("family %q produces an incomplete model", name)
+		}
+	}
+}

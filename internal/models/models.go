@@ -1,0 +1,307 @@
+// Package models provides parametric symbolic transition systems — the
+// role the NuSMV distribution models (counter, ring, dme, semaphore) play
+// in the paper's diameter-calculation suite (Section VII.C). Each model
+// exposes its initial-state predicate I(s) and transition relation T(s,s')
+// as boolean circuits over caller-supplied state-bit variables, so the
+// diameter encoder can instantiate them over the x and y vectors of φn.
+//
+// The concrete models mirror the paper's selection:
+//
+//   - Counter(n): an n-bit wrap-around counter; diameter 2^n − 1 (state
+//     2^n−1 is the farthest from the all-zeros initial state).
+//   - Ring(n): an n-gate inverter ring with asynchronous (one gate per
+//     step) updates; the diameter grows with n.
+//   - Semaphore(n): n processes competing for a critical section with a
+//     single semaphore; the diameter is the constant 3 for every n, the
+//     property Fig. 6 (right) relies on: instance size grows, diameter
+//     does not.
+//   - DME(n): a token-ring distributed mutual exclusion protocol; the
+//     diameter is n, growing with the ring size.
+//
+// ExplicitDiameter computes the reference diameter by explicit-state BFS,
+// which the tests use to cross-validate the QBF-based computation.
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/qbf"
+)
+
+// Model is a symbolic transition system over Bits state bits.
+type Model struct {
+	// Name identifies the model instance, e.g. "counter4".
+	Name string
+	// Bits is the number of state bits.
+	Bits int
+	// Init builds I(s) over the state-bit variables s (len Bits).
+	Init func(b *circuit.Builder, s []qbf.Var) circuit.Node
+	// Trans builds T(s,s') over current bits s and next bits t.
+	Trans func(b *circuit.Builder, s, t []qbf.Var) circuit.Node
+	// KnownDiameter is the analytically known diameter, or -1.
+	KnownDiameter int
+}
+
+// allZero builds ∧ ¬s_i.
+func allZero(b *circuit.Builder, s []qbf.Var) circuit.Node {
+	terms := make([]circuit.Node, len(s))
+	for i, v := range s {
+		terms[i] = b.Var(v).Neg()
+	}
+	return b.And(terms...)
+}
+
+// eqVec builds ∧ (s_i ≡ t_i).
+func eqVec(b *circuit.Builder, s, t []qbf.Var) circuit.Node {
+	terms := make([]circuit.Node, len(s))
+	for i := range s {
+		terms[i] = b.Iff(b.Var(s[i]), b.Var(t[i]))
+	}
+	return b.And(terms...)
+}
+
+// Counter returns the n-bit wrap-around counter: s' = s + 1 (mod 2^n),
+// I(s) = (s = 0). Diameter 2^n − 1.
+func Counter(n int) *Model {
+	if n < 1 {
+		panic("models: Counter needs n >= 1")
+	}
+	return &Model{
+		Name: fmt.Sprintf("counter%d", n),
+		Bits: n,
+		Init: allZero,
+		Trans: func(b *circuit.Builder, s, t []qbf.Var) circuit.Node {
+			// Ripple increment: t_i = s_i ⊕ carry_i, carry_0 = 1,
+			// carry_{i+1} = s_i ∧ carry_i.
+			carry := b.True()
+			terms := make([]circuit.Node, 0, n)
+			for i := 0; i < n; i++ {
+				terms = append(terms, b.Iff(b.Var(t[i]), b.Xor(b.Var(s[i]), carry)))
+				carry = b.And(b.Var(s[i]), carry)
+			}
+			return b.And(terms...)
+		},
+		KnownDiameter: (1 << n) - 1,
+	}
+}
+
+// Ring returns the n-gate inverter ring: gate i drives ¬gate_{i-1} (indices
+// mod n); exactly one gate updates per step, the others keep their value.
+// The initial state is all zeros. The diameter is left to explicit
+// computation (it grows with n; it is not a closed form worth hardcoding).
+func Ring(n int) *Model {
+	if n < 2 {
+		panic("models: Ring needs n >= 2")
+	}
+	return &Model{
+		Name: fmt.Sprintf("ring%d", n),
+		Bits: n,
+		Init: allZero,
+		Trans: func(b *circuit.Builder, s, t []qbf.Var) circuit.Node {
+			choices := make([]circuit.Node, 0, n)
+			for i := 0; i < n; i++ {
+				prev := (i + n - 1) % n
+				upd := b.Iff(b.Var(t[i]), b.Var(s[prev]).Neg())
+				frame := make([]circuit.Node, 0, n)
+				for j := 0; j < n; j++ {
+					if j != i {
+						frame = append(frame, b.Iff(b.Var(t[j]), b.Var(s[j])))
+					}
+				}
+				choices = append(choices, b.And(append(frame, upd)...))
+			}
+			return b.Or(choices...)
+		},
+		KnownDiameter: -1,
+	}
+}
+
+// Semaphore returns the n-process mutual exclusion model with a constant
+// diameter of 3 for every n ≥ 1. State bits: w_1..w_n (process wants the
+// critical section), c_1..c_n (process is critical), d (some process has
+// been critical). One synchronous step: every process starts wanting
+// (w' = 1), at most one process with w set may become critical, and d
+// latches whether any process was critical. All reachable states are
+// within 3 steps of the all-zeros initial state:
+// init →1 (w=1,c=0,d=0) →2 (w=1,c=onehot,d=0) →3 (w=1,c',d=1).
+func Semaphore(n int) *Model {
+	if n < 1 {
+		panic("models: Semaphore needs n >= 1")
+	}
+	return &Model{
+		Name: fmt.Sprintf("semaphore%d", n),
+		Bits: 2*n + 1,
+		Init: allZero,
+		Trans: func(b *circuit.Builder, s, t []qbf.Var) circuit.Node {
+			w := s[:n]
+			c := s[n : 2*n]
+			d := s[2*n]
+			wp := t[:n]
+			cp := t[n : 2*n]
+			dp := t[2*n]
+
+			terms := make([]circuit.Node, 0, 3*n+3)
+			for i := 0; i < n; i++ {
+				terms = append(terms, b.Var(wp[i])) // everyone wants next
+				// Entering requires having wanted.
+				terms = append(terms, b.Implies(b.Var(cp[i]), b.Var(w[i])))
+			}
+			// Mutual exclusion on the next state: at most one critical.
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					terms = append(terms, b.Or(b.Var(cp[i]).Neg(), b.Var(cp[j]).Neg()))
+				}
+			}
+			// d latches "some process was critical".
+			anyC := make([]circuit.Node, n)
+			for i := 0; i < n; i++ {
+				anyC[i] = b.Var(c[i])
+			}
+			terms = append(terms, b.Iff(b.Var(dp), b.Or(b.Var(d), b.Or(anyC...))))
+			return b.And(terms...)
+		},
+		KnownDiameter: 3,
+	}
+}
+
+// DME returns the n-station token-ring mutual exclusion model: a one-hot
+// token t_1..t_n plus a critical flag. When not critical, either the token
+// passes to the next station or the holder enters the critical section;
+// when critical, the holder exits. Diameter n: the farthest state is
+// "station n critical" (n−1 token passes plus one entry).
+func DME(n int) *Model {
+	if n < 2 {
+		panic("models: DME needs n >= 2")
+	}
+	return &Model{
+		Name: fmt.Sprintf("dme%d", n),
+		Bits: n + 1,
+		Init: func(b *circuit.Builder, s []qbf.Var) circuit.Node {
+			terms := make([]circuit.Node, 0, n+1)
+			terms = append(terms, b.Var(s[0])) // token at station 1
+			for i := 1; i < n; i++ {
+				terms = append(terms, b.Var(s[i]).Neg())
+			}
+			terms = append(terms, b.Var(s[n]).Neg()) // not critical
+			return b.And(terms...)
+		},
+		Trans: func(b *circuit.Builder, s, t []qbf.Var) circuit.Node {
+			tok := s[:n]
+			crit := s[n]
+			tokP := t[:n]
+			critP := t[n]
+
+			pass := make([]circuit.Node, 0, 2*n+1)
+			for i := 0; i < n; i++ {
+				pass = append(pass, b.Iff(b.Var(tokP[(i+1)%n]), b.Var(tok[i])))
+			}
+			pass = append(pass, b.Var(crit).Neg(), b.Var(critP).Neg())
+
+			enter := make([]circuit.Node, 0, n+2)
+			for i := 0; i < n; i++ {
+				enter = append(enter, b.Iff(b.Var(tokP[i]), b.Var(tok[i])))
+			}
+			enter = append(enter, b.Var(crit).Neg(), b.Var(critP))
+
+			exit := make([]circuit.Node, 0, n+2)
+			for i := 0; i < n; i++ {
+				exit = append(exit, b.Iff(b.Var(tokP[i]), b.Var(tok[i])))
+			}
+			exit = append(exit, b.Var(crit), b.Var(critP).Neg())
+
+			return b.Or(b.And(pass...), b.And(enter...), b.And(exit...))
+		},
+		KnownDiameter: n,
+	}
+}
+
+// TwoBit returns the worked example of Section VII.C: two state bits,
+// I(s1,s2) = ¬s1 ∧ ¬s2 and T = ¬(¬s1 ∧ ¬s2 ∧ s1' ∧ s2'). Its diameter
+// is 2.
+func TwoBit() *Model {
+	return &Model{
+		Name: "twobit",
+		Bits: 2,
+		Init: allZero,
+		Trans: func(b *circuit.Builder, s, t []qbf.Var) circuit.Node {
+			return b.And(
+				b.Var(s[0]).Neg(), b.Var(s[1]).Neg(),
+				b.Var(t[0]), b.Var(t[1]),
+			).Neg()
+		},
+		KnownDiameter: 2,
+	}
+}
+
+// ExplicitDiameter computes the diameter of m (the maximum over reachable
+// states of the shortest distance from an initial state) by explicit-state
+// BFS over all 2^Bits states, evaluating I and T with the circuit
+// interpreter. It refuses models with more than maxBits bits.
+func ExplicitDiameter(m *Model, maxBits int) (int, error) {
+	if m.Bits > maxBits {
+		return 0, fmt.Errorf("models: %s has %d bits, explicit limit is %d", m.Name, m.Bits, maxBits)
+	}
+	b := circuit.NewBuilder()
+	sVars := make([]qbf.Var, m.Bits)
+	tVars := make([]qbf.Var, m.Bits)
+	for i := 0; i < m.Bits; i++ {
+		sVars[i] = qbf.Var(i + 1)
+		tVars[i] = qbf.Var(m.Bits + i + 1)
+	}
+	initN := m.Init(b, sVars)
+	transN := m.Trans(b, sVars, tVars)
+
+	total := 1 << m.Bits
+	dist := make([]int, total)
+	for i := range dist {
+		dist[i] = -1
+	}
+	asg := make(map[qbf.Var]bool, 2*m.Bits)
+	setState := func(vars []qbf.Var, st int) {
+		for i, v := range vars {
+			asg[v] = st&(1<<i) != 0
+		}
+	}
+	var frontier []int
+	for st := 0; st < total; st++ {
+		setState(sVars, st)
+		if b.Eval(initN, asg) {
+			dist[st] = 0
+			frontier = append(frontier, st)
+		}
+	}
+	diameter := 0
+	for len(frontier) > 0 {
+		var next []int
+		for _, st := range frontier {
+			setState(sVars, st)
+			for succ := 0; succ < total; succ++ {
+				if dist[succ] != -1 {
+					continue
+				}
+				setState(tVars, succ)
+				if b.Eval(transN, asg) {
+					dist[succ] = dist[st] + 1
+					if dist[succ] > diameter {
+						diameter = dist[succ]
+					}
+					next = append(next, succ)
+				}
+			}
+		}
+		frontier = next
+	}
+	return diameter, nil
+}
+
+// All returns the model families of the DIA suite for a size parameter.
+var All = map[string]func(n int) *Model{
+	"counter":   Counter,
+	"ring":      Ring,
+	"semaphore": Semaphore,
+	"dme":       DME,
+}
+
+// EqVec exposes eqVec for the diameter encoder (x_{n+1} ≡ y_n in φn).
+func EqVec(b *circuit.Builder, s, t []qbf.Var) circuit.Node { return eqVec(b, s, t) }

@@ -1,0 +1,160 @@
+package models
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/qbf"
+)
+
+func TestCounterExplicitDiameter(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		m := Counter(n)
+		d, err := ExplicitDiameter(m, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != m.KnownDiameter {
+			t.Errorf("counter%d: BFS diameter %d, declared %d", n, d, m.KnownDiameter)
+		}
+		if m.KnownDiameter != (1<<n)-1 {
+			t.Errorf("counter%d: declared diameter %d, want %d", n, m.KnownDiameter, (1<<n)-1)
+		}
+	}
+}
+
+func TestSemaphoreExplicitDiameter(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		m := Semaphore(n)
+		d, err := ExplicitDiameter(m, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != 3 {
+			t.Errorf("semaphore%d: BFS diameter %d, want the constant 3", n, d)
+		}
+	}
+}
+
+func TestDMEExplicitDiameter(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		m := DME(n)
+		d, err := ExplicitDiameter(m, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != n {
+			t.Errorf("dme%d: BFS diameter %d, want %d", n, d, n)
+		}
+	}
+}
+
+func TestRingExplicitDiameterGrows(t *testing.T) {
+	prev := 0
+	for n := 2; n <= 5; n++ {
+		m := Ring(n)
+		d, err := ExplicitDiameter(m, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d <= 0 {
+			t.Fatalf("ring%d: nonpositive diameter %d", n, d)
+		}
+		if d < prev {
+			t.Errorf("ring%d: diameter %d shrank from %d", n, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestTwoBitExplicitDiameter(t *testing.T) {
+	m := TwoBit()
+	d, err := ExplicitDiameter(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 2 {
+		t.Errorf("twobit: BFS diameter %d, want 2 (Section VII.C)", d)
+	}
+}
+
+func TestCounterTransitionSemantics(t *testing.T) {
+	m := Counter(3)
+	b := circuit.NewBuilder()
+	s := []qbf.Var{1, 2, 3}
+	tv := []qbf.Var{4, 5, 6}
+	tr := m.Trans(b, s, tv)
+	for cur := 0; cur < 8; cur++ {
+		for nxt := 0; nxt < 8; nxt++ {
+			asg := map[qbf.Var]bool{}
+			for i := 0; i < 3; i++ {
+				asg[s[i]] = cur&(1<<i) != 0
+				asg[tv[i]] = nxt&(1<<i) != 0
+			}
+			want := nxt == (cur+1)%8
+			if got := b.Eval(tr, asg); got != want {
+				t.Errorf("T(%d,%d) = %v, want %v", cur, nxt, got, want)
+			}
+		}
+	}
+}
+
+func TestExplicitDiameterRefusesBigModels(t *testing.T) {
+	if _, err := ExplicitDiameter(Counter(20), 12); err == nil {
+		t.Error("a 20-bit model must be refused at explicit limit 12")
+	}
+}
+
+func TestModelsTotal(t *testing.T) {
+	// Every reachable state must have at least one successor (T total on
+	// the reachable part), otherwise the diameter QBF loses its meaning.
+	for _, m := range []*Model{Counter(3), Ring(3), Semaphore(2), DME(3), TwoBit()} {
+		b := circuit.NewBuilder()
+		s := make([]qbf.Var, m.Bits)
+		tv := make([]qbf.Var, m.Bits)
+		for i := 0; i < m.Bits; i++ {
+			s[i] = qbf.Var(i + 1)
+			tv[i] = qbf.Var(m.Bits + i + 1)
+		}
+		tr := m.Trans(b, s, tv)
+		in := m.Init(b, s)
+		total := 1 << m.Bits
+		asg := map[qbf.Var]bool{}
+		set := func(vars []qbf.Var, st int) {
+			for i, v := range vars {
+				asg[v] = st&(1<<i) != 0
+			}
+		}
+		// BFS reachable set.
+		reach := make([]bool, total)
+		var frontier []int
+		for st := 0; st < total; st++ {
+			set(s, st)
+			if b.Eval(in, asg) {
+				reach[st] = true
+				frontier = append(frontier, st)
+			}
+		}
+		for len(frontier) > 0 {
+			var next []int
+			for _, st := range frontier {
+				set(s, st)
+				found := false
+				for succ := 0; succ < total; succ++ {
+					set(tv, succ)
+					if b.Eval(tr, asg) {
+						found = true
+						if !reach[succ] {
+							reach[succ] = true
+							next = append(next, succ)
+						}
+					}
+				}
+				if !found {
+					t.Errorf("%s: reachable state %b has no successor", m.Name, st)
+				}
+			}
+			frontier = next
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package ncf
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/prenex"
+	"repro/internal/qbf"
+)
+
+func TestGenerateStructure(t *testing.T) {
+	p := Params{Dep: 4, Var: 4, Cls: 8, Lpc: 3, Seed: 7}
+	q := Generate(p)
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.ScopeConsistent(); err != nil {
+		t.Fatalf("NCF instance not scope consistent: %v", err)
+	}
+	if got := q.Prefix.MaxLevel(); got < p.Dep {
+		t.Errorf("prefix level %d, want ≥ DEP=%d", got, p.Dep)
+	}
+	st := q.Stats()
+	if st.Clauses == 0 || st.Vars < p.Var*(p.Dep+1) {
+		t.Errorf("implausible instance: %+v", st)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Params{Dep: 3, Var: 4, Cls: 6, Lpc: 3, Seed: 42}
+	a, b := Generate(p), Generate(p)
+	if a.String() != b.String() {
+		t.Error("same params+seed must generate identical instances")
+	}
+	p2 := p
+	p2.Seed = 43
+	if Generate(p2).String() == a.String() {
+		t.Error("different seeds must give different instances")
+	}
+}
+
+func TestGeneratedOftenNonPrenex(t *testing.T) {
+	nonPrenex := 0
+	for s := int64(0); s < 30; s++ {
+		q := Generate(Params{Dep: 4, Var: 4, Cls: 6, Lpc: 3, Seed: s})
+		if !q.Prefix.IsPrenex() {
+			nonPrenex++
+			if share := prenex.POTOShare(q); share <= 0 {
+				t.Errorf("seed %d: non-prenex but PO/TO share is 0", s)
+			}
+		}
+	}
+	if nonPrenex < 15 {
+		t.Errorf("only %d/30 instances non-prenex; the suite needs tree structure", nonPrenex)
+	}
+}
+
+func TestPOAndTOAgree(t *testing.T) {
+	// PO on the tree vs TO on each prenexing must agree — the core
+	// consistency requirement behind Table I rows 1–4.
+	trueCnt := 0
+	for s := int64(0); s < 25; s++ {
+		q := Generate(Params{Dep: 3, Var: 4, Cls: 16, Lpc: 3, Seed: s})
+		po, _, err := core.Solve(q, core.Options{Mode: core.ModePartialOrder})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if po == core.True {
+			trueCnt++
+		}
+		for _, strat := range prenex.Strategies {
+			to, _, err := core.Solve(prenex.Apply(q, strat), core.Options{Mode: core.ModeTotalOrder})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if to != po {
+				t.Fatalf("seed %d strategy %v: TO=%v PO=%v", s, strat, to, po)
+			}
+		}
+	}
+	if trueCnt == 0 || trueCnt == 25 {
+		t.Errorf("degenerate truth distribution: %d/25 true", trueCnt)
+	}
+}
+
+func TestSmallInstancesMatchOracle(t *testing.T) {
+	for s := int64(0); s < 15; s++ {
+		q := Generate(Params{Dep: 2, Var: 2, Cls: 3, Lpc: 2, Seed: s})
+		want, ok := qbf.EvalWithBudget(q, 4_000_000)
+		if !ok {
+			continue
+		}
+		got, _, err := core.Solve(q, core.Options{Mode: core.ModePartialOrder})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (got == core.True) != want {
+			t.Fatalf("seed %d: solver %v, oracle %v\n%v", s, got, want, q)
+		}
+	}
+}
+
+func TestGrid(t *testing.T) {
+	cells := Grid(4, 10)
+	if len(cells) != 3*5*4 {
+		t.Fatalf("grid has %d cells, want 60", len(cells))
+	}
+	seen := map[string]bool{}
+	for _, c := range cells {
+		if c.Params.Dep != 4 || c.Instances != 10 {
+			t.Errorf("bad cell %+v", c)
+		}
+		if c.Params.Cls%c.Params.Var != 0 {
+			t.Errorf("CLS %d not a multiple of VAR %d", c.Params.Cls, c.Params.Var)
+		}
+		key := c.Params.String()
+		if seen[key] {
+			t.Errorf("duplicate cell %s", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestBadParamsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero Dep must panic")
+		}
+	}()
+	Generate(Params{Dep: 0, Var: 1, Cls: 1, Lpc: 1})
+}

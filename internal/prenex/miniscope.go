@@ -1,0 +1,191 @@
+package prenex
+
+import (
+	"sort"
+
+	"repro/internal/qbf"
+)
+
+// msNode is a node of the quantifier tree being grown by Miniscope: either
+// a leaf carrying clause indices or an internal node binding one variable.
+type msNode struct {
+	v        qbf.Var // 0 for leaves
+	q        qbf.Quant
+	children []*msNode
+	clauses  []int // leaf payload: indices into the matrix
+}
+
+// msItem is a working item: a subtree plus the set of still-unbound
+// variables occurring in it.
+type msItem struct {
+	node    *msNode
+	support map[qbf.Var]bool
+}
+
+// Miniscope minimizes the scope of every quantifier of q and returns an
+// equivalent QBF whose prefix is the resulting quantifier tree. The input
+// may be prenex (the paper's Section VII.D use) or already a tree, in which
+// case scopes are shrunk further where the rules allow. Single-clause
+// scopes are eliminated: ∃z over one clause containing z satisfies the
+// clause, ∀z over one clause deletes z's literals from it.
+func Miniscope(q *qbf.QBF) *qbf.QBF {
+	p := q.Prefix
+	p.Finalize()
+
+	matrix := make([]qbf.Clause, len(q.Matrix))
+	for i, c := range q.Matrix {
+		matrix[i] = c.Clone()
+	}
+	removed := make([]bool, len(matrix))
+
+	// One item per clause to start with.
+	items := make(map[*msItem]bool)
+	itemsByVar := make(map[qbf.Var]map[*msItem]bool)
+	addIndex := func(it *msItem) {
+		for v := range it.support {
+			m := itemsByVar[v]
+			if m == nil {
+				m = make(map[*msItem]bool)
+				itemsByVar[v] = m
+			}
+			m[it] = true
+		}
+	}
+	for i, c := range matrix {
+		it := &msItem{
+			node:    &msNode{clauses: []int{i}},
+			support: make(map[qbf.Var]bool, len(c)),
+		}
+		for _, l := range c {
+			if p.Bound(l.Var()) {
+				it.support[l.Var()] = true
+			}
+		}
+		items[it] = true
+		addIndex(it)
+	}
+
+	// Process variables from the innermost prefix level outward; within a
+	// level, higher variable index first (any order is sound thanks to the
+	// same-quantifier swap rule).
+	vars := p.Vars()
+	sort.Slice(vars, func(i, j int) bool {
+		li, lj := p.Level(vars[i]), p.Level(vars[j])
+		if li != lj {
+			return li > lj
+		}
+		return vars[i] > vars[j]
+	})
+
+	for _, z := range vars {
+		group := itemsByVar[z]
+		if len(group) == 0 {
+			continue // z does not occur: the quantifier is dropped
+		}
+		quant := p.QuantOf(z)
+
+		if len(group) == 1 {
+			var only *msItem
+			for it := range group {
+				only = it
+			}
+			if leaf := only.node; leaf.v == 0 && len(leaf.clauses) == 1 {
+				// Single-clause scope.
+				ci := leaf.clauses[0]
+				if quant == qbf.Exists {
+					// ∃z C with z occurring in C is true: drop the clause.
+					removed[ci] = true
+					for v := range only.support {
+						delete(itemsByVar[v], only)
+					}
+					delete(items, only)
+					continue
+				}
+				// ∀z C: delete z's literals from C.
+				var nc qbf.Clause
+				for _, l := range matrix[ci] {
+					if l.Var() != z {
+						nc = append(nc, l)
+					}
+				}
+				matrix[ci] = nc
+				delete(itemsByVar[z], only)
+				delete(only.support, z)
+				continue
+			}
+		}
+
+		// Merge the group under a new Qz node.
+		merged := &msItem{
+			node:    &msNode{v: z, q: quant},
+			support: make(map[qbf.Var]bool),
+		}
+		for it := range group {
+			merged.node.children = append(merged.node.children, it.node)
+			for v := range it.support {
+				if v != z {
+					merged.support[v] = true
+				}
+			}
+			for v := range it.support {
+				delete(itemsByVar[v], it)
+			}
+			delete(items, it)
+		}
+		items[merged] = true
+		addIndex(merged)
+	}
+
+	// Build the result. Clauses removed by the ∃-single-clause rule are
+	// dropped; clause order is preserved otherwise.
+	keep := make([]qbf.Clause, 0, len(matrix))
+	for i, c := range matrix {
+		if !removed[i] {
+			keep = append(keep, c)
+		}
+	}
+	np := qbf.NewPrefix(q.MaxVar())
+	var build func(n *msNode, parent *qbf.Block)
+	build = func(n *msNode, parent *qbf.Block) {
+		if n.v == 0 {
+			return // leaf: clauses live in the global matrix
+		}
+		// Compress single-child same-quantifier chains into one block.
+		vars := []qbf.Var{n.v}
+		cur := n
+		for len(cur.children) == 1 && cur.children[0].v != 0 && cur.children[0].q == n.q {
+			cur = cur.children[0]
+			vars = append(vars, cur.v)
+		}
+		b := np.AddBlock(parent, n.q, vars...)
+		for _, c := range cur.children {
+			build(c, b)
+		}
+	}
+	// Deterministic root order: by smallest variable in the subtree.
+	var roots []*msItem
+	for it := range items {
+		roots = append(roots, it)
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		return minVar(roots[i].node) < minVar(roots[j].node)
+	})
+	for _, it := range roots {
+		build(it.node, nil)
+	}
+	np.Finalize()
+	return qbf.New(np, keep)
+}
+
+func minVar(n *msNode) qbf.Var {
+	best := qbf.Var(1 << 30)
+	if n.v != 0 && n.v < best {
+		best = n.v
+	}
+	for _, c := range n.children {
+		if m := minVar(c); m < best {
+			best = m
+		}
+	}
+	return best
+}

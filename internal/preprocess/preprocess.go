@@ -1,0 +1,251 @@
+// Package preprocess implements standard QBF preprocessing on (possibly
+// non-prenex) formulas, the simplifications that solvers of the paper's
+// era applied before search: top-level unit propagation (the generalized
+// unit rule of Lemma 5), monotone (pure) literal fixing, universal
+// reduction of every clause (Lemma 3), tautology and duplicate-clause
+// removal, and clause subsumption. All rules respect the partial prefix
+// order ≺, so the result is equivalent to the input for any downstream
+// solver, prenex or not.
+package preprocess
+
+import (
+	"sort"
+
+	"repro/internal/qbf"
+)
+
+// Result reports what a Run did.
+type Result struct {
+	// Decided is set when preprocessing alone decided the formula.
+	Decided bool
+	// Value is the formula's value when Decided.
+	Value bool
+
+	UnitsAssigned   int
+	PuresAssigned   int
+	LiteralsReduced int
+	TautologiesGone int
+	DuplicatesGone  int
+	Subsumed        int
+}
+
+// Options selects which rules run. The zero value enables everything.
+type Options struct {
+	DisableUnits       bool
+	DisablePures       bool
+	DisableReduction   bool
+	DisableSubsumption bool
+}
+
+// Run preprocesses q and returns the simplified formula with a report.
+// The input is not modified.
+func Run(q *qbf.QBF, opt Options) (*qbf.QBF, Result) {
+	var res Result
+	work := q.Clone()
+	work.BindFreeVars()
+	res.TautologiesGone = work.NormalizeMatrix()
+	work.Prefix.Finalize()
+
+	for {
+		changed := false
+
+		if !opt.DisableReduction {
+			for i, c := range work.Matrix {
+				rc := qbf.UniversalReduce(work.Prefix, c)
+				if len(rc) != len(c) {
+					res.LiteralsReduced += len(c) - len(rc)
+					work.Matrix[i] = rc
+					changed = true
+				}
+			}
+		}
+
+		// Contradictory clause (Lemma 4) → false.
+		for _, c := range work.Matrix {
+			if contradictory(work, c) {
+				res.Decided, res.Value = true, false
+				return emptyFalse(work), res
+			}
+		}
+		if len(work.Matrix) == 0 {
+			res.Decided, res.Value = true, true
+			return work, res
+		}
+
+		if !opt.DisableUnits {
+			if l, ok := findUnit(work); ok {
+				work = work.Assign(l)
+				res.UnitsAssigned++
+				changed = true
+			}
+		}
+		if !changed && !opt.DisablePures {
+			if l, ok := findPure(work); ok {
+				work = work.Assign(l)
+				res.PuresAssigned++
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	if d := dedupe(work); d > 0 {
+		res.DuplicatesGone = d
+	}
+	if !opt.DisableSubsumption {
+		res.Subsumed = subsume(work)
+	}
+	if len(work.Matrix) == 0 {
+		res.Decided, res.Value = true, true
+	}
+	return work, res
+}
+
+// emptyFalse returns a canonical false formula over the input's prefix.
+func emptyFalse(q *qbf.QBF) *qbf.QBF {
+	return qbf.New(q.Prefix, []qbf.Clause{{}})
+}
+
+func contradictory(q *qbf.QBF, c qbf.Clause) bool {
+	for _, l := range c {
+		if q.Prefix.QuantOf(l.Var()) == qbf.Exists {
+			return false
+		}
+	}
+	return true
+}
+
+// findUnit returns a literal that is unit per Lemma 5's generalized rule.
+func findUnit(q *qbf.QBF) (qbf.Lit, bool) {
+	for _, c := range q.Matrix {
+		for _, l := range c {
+			if q.Prefix.QuantOf(l.Var()) != qbf.Exists {
+				continue
+			}
+			unit := true
+			for _, m := range c {
+				if m == l {
+					continue
+				}
+				if q.Prefix.QuantOf(m.Var()) != qbf.Forall ||
+					q.Prefix.Before(m.Var(), l.Var()) {
+					unit = false
+					break
+				}
+			}
+			if unit {
+				return l, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// findPure returns an assignable monotone literal: an existential l with l̄
+// absent from the matrix, or a universal l absent itself (Section III).
+func findPure(q *qbf.QBF) (qbf.Lit, bool) {
+	pos := make(map[qbf.Var]bool)
+	neg := make(map[qbf.Var]bool)
+	for _, c := range q.Matrix {
+		for _, l := range c {
+			if l.Positive() {
+				pos[l.Var()] = true
+			} else {
+				neg[l.Var()] = true
+			}
+		}
+	}
+	for _, v := range q.Prefix.Vars() {
+		if !pos[v] && !neg[v] {
+			continue // untouched by the matrix; harmless to keep
+		}
+		if q.Prefix.QuantOf(v) == qbf.Exists {
+			if !neg[v] {
+				return v.PosLit(), true
+			}
+			if !pos[v] {
+				return v.NegLit(), true
+			}
+		} else {
+			if !pos[v] {
+				return v.PosLit(), true
+			}
+			if !neg[v] {
+				return v.NegLit(), true
+			}
+		}
+	}
+	return 0, false
+}
+
+// dedupe removes exact duplicate clauses (after normalization order).
+func dedupe(q *qbf.QBF) int {
+	seen := make(map[string]bool, len(q.Matrix))
+	out := q.Matrix[:0]
+	removed := 0
+	for _, c := range q.Matrix {
+		nc, taut := c.Clone().Normalize()
+		if taut {
+			removed++
+			continue
+		}
+		key := nc.String()
+		if seen[key] {
+			removed++
+			continue
+		}
+		seen[key] = true
+		out = append(out, nc)
+	}
+	q.Matrix = out
+	return removed
+}
+
+// subsume removes clauses that are supersets of another clause. Sound for
+// QBFs: if C ⊆ D, the matrix with D is equivalent to the matrix without
+// it. Quadratic with an early length sort; adequate for preprocessing.
+func subsume(q *qbf.QBF) int {
+	ms := make([]qbf.Clause, len(q.Matrix))
+	copy(ms, q.Matrix)
+	sort.Slice(ms, func(i, j int) bool { return len(ms[i]) < len(ms[j]) })
+	removed := make(map[string]bool)
+	keyOf := func(c qbf.Clause) string { return c.String() }
+
+	for i, small := range ms {
+		if removed[keyOf(small)] {
+			continue
+		}
+		for j := i + 1; j < len(ms); j++ {
+			big := ms[j]
+			if len(big) <= len(small) || removed[keyOf(big)] {
+				continue
+			}
+			all := true
+			for _, l := range small {
+				if !big.Has(l) {
+					all = false
+					break
+				}
+			}
+			if all {
+				removed[keyOf(big)] = true
+			}
+		}
+	}
+	if len(removed) == 0 {
+		return 0
+	}
+	out := q.Matrix[:0]
+	n := 0
+	for _, c := range q.Matrix {
+		if removed[keyOf(c)] {
+			n++
+			continue
+		}
+		out = append(out, c)
+	}
+	q.Matrix = out
+	return n
+}

@@ -1,0 +1,156 @@
+package preprocess
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/qbf"
+)
+
+func mk(lits ...int) qbf.Clause {
+	c := make(qbf.Clause, len(lits))
+	for i, l := range lits {
+		c[i] = qbf.Lit(l)
+	}
+	return c
+}
+
+func TestUnitAndReduction(t *testing.T) {
+	// ∃x1 ∀y2 ∃x3: {x1} unit; {y2, x1} reduces to {x1} (already there);
+	// after x1=true the matrix keeps {y2, x3} and friends.
+	p := qbf.NewPrenexPrefix(3,
+		qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{1}},
+		qbf.Run{Quant: qbf.Forall, Vars: []qbf.Var{2}},
+		qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{3}})
+	q := qbf.New(p, []qbf.Clause{mk(1), mk(1, 2), mk(-1, 2, 3), mk(-2, 3)})
+	out, res := Run(q, Options{})
+	if res.UnitsAssigned < 1 {
+		t.Errorf("unit not propagated: %+v", res)
+	}
+	if out.Prefix.Bound(1) {
+		t.Error("assigned variable still bound")
+	}
+}
+
+func TestDecidesTrivial(t *testing.T) {
+	p := qbf.NewPrenexPrefix(2,
+		qbf.Run{Quant: qbf.Forall, Vars: []qbf.Var{1}},
+		qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{2}})
+	// {y1} is contradictory after reduction (no existential).
+	_, res := Run(qbf.New(p, []qbf.Clause{mk(1, 2), mk(1)}), Options{})
+	if !res.Decided || res.Value {
+		t.Errorf("contradictory clause must decide false: %+v", res)
+	}
+
+	// All clauses satisfied by units → true.
+	p2 := qbf.NewPrenexPrefix(2, qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{1, 2}})
+	_, res2 := Run(qbf.New(p2, []qbf.Clause{mk(1), mk(1, 2)}), Options{})
+	if !res2.Decided || !res2.Value {
+		t.Errorf("unit-satisfiable formula must decide true: %+v", res2)
+	}
+}
+
+func TestPureFixing(t *testing.T) {
+	// ∃x1 ∀y2 ∃x3: x1 occurs only positively → pure; y2 occurs only
+	// negatively → universal pure rule assigns ¬y2... which satisfies
+	// nothing but shrinks clauses.
+	p := qbf.NewPrenexPrefix(3,
+		qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{1}},
+		qbf.Run{Quant: qbf.Forall, Vars: []qbf.Var{2}},
+		qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{3}})
+	q := qbf.New(p, []qbf.Clause{mk(1, -2, 3), mk(1, 3), mk(-2, -3)})
+	_, res := Run(q, Options{})
+	if res.PuresAssigned == 0 && res.UnitsAssigned == 0 {
+		t.Errorf("no monotone literal found: %+v", res)
+	}
+}
+
+func TestSubsumption(t *testing.T) {
+	p := qbf.NewPrenexPrefix(3, qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{1, 2, 3}})
+	q := qbf.New(p, []qbf.Clause{mk(1, 2), mk(1, 2, 3), mk(-1, 3), mk(-1, 2, 3)})
+	out, res := Run(q, Options{DisableUnits: true, DisablePures: true})
+	if res.Subsumed != 2 {
+		t.Errorf("subsumed %d clauses, want 2 (%v)", res.Subsumed, out.Matrix)
+	}
+}
+
+func TestDuplicatesAndTautologies(t *testing.T) {
+	p := qbf.NewPrenexPrefix(2, qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{1, 2}})
+	q := qbf.New(p, []qbf.Clause{mk(1, -1), mk(1, 2), mk(2, 1), mk(1, 2)})
+	out, res := Run(q, Options{DisableUnits: true, DisablePures: true, DisableSubsumption: true})
+	if res.TautologiesGone != 1 {
+		t.Errorf("tautologies %d, want 1", res.TautologiesGone)
+	}
+	if len(out.Matrix) != 1 {
+		t.Errorf("matrix %v, want a single clause", out.Matrix)
+	}
+}
+
+// TestPreservesValue is the central property: preprocessing must never
+// change the value, under any option combination, on random trees.
+func TestPreservesValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(307))
+	opts := []Options{
+		{},
+		{DisableUnits: true},
+		{DisablePures: true},
+		{DisableReduction: true},
+		{DisableSubsumption: true},
+		{DisableUnits: true, DisablePures: true, DisableReduction: true, DisableSubsumption: true},
+	}
+	for i := 0; i < 200; i++ {
+		q := qbf.RandomQBF(rng, 10, 10)
+		want, ok := qbf.EvalWithBudget(q, 1_000_000)
+		if !ok {
+			continue
+		}
+		for _, o := range opts {
+			out, res := Run(q, o)
+			if res.Decided {
+				if res.Value != want {
+					t.Fatalf("iteration %d opts %+v: decided %v, oracle %v\n%v", i, o, res.Value, want, q)
+				}
+				continue
+			}
+			got, ok2 := qbf.EvalWithBudget(out, 2_000_000)
+			if !ok2 {
+				continue
+			}
+			if got != want {
+				t.Fatalf("iteration %d opts %+v: value %v→%v\nin:  %v\nout: %v", i, o, want, got, q, out)
+			}
+		}
+	}
+}
+
+// TestHelpsSolver: preprocessing never changes the QCDCL answer and the
+// preprocessed formula is never larger.
+func TestHelpsSolver(t *testing.T) {
+	rng := rand.New(rand.NewSource(311))
+	for i := 0; i < 80; i++ {
+		q := qbf.RandomQBF(rng, 12, 14)
+		out, res := Run(q, Options{})
+		want, _, err := core.Solve(q, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Decided {
+			if (want == core.True) != res.Value {
+				t.Fatalf("iteration %d: preprocess decided %v, solver %v", i, res.Value, want)
+			}
+			continue
+		}
+		got, _, err := core.Solve(out, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("iteration %d: %v→%v after preprocessing", i, want, got)
+		}
+		inLits, outLits := q.Stats().Literals, out.Stats().Literals
+		if outLits > inLits {
+			t.Errorf("iteration %d: literals grew %d→%d", i, inLits, outLits)
+		}
+	}
+}

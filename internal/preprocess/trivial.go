@@ -1,0 +1,86 @@
+package preprocess
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/qbf"
+)
+
+// The two "trivial" evaluations of Cadoli, Giovanardi and Schaerf — the
+// simplification rules of the paper's reference [15] that Section III
+// mentions alongside pure literal fixing. Both reduce the QBF to a plain
+// SAT question that the QCDCL engine answers (a SAT instance is the
+// degenerate one-block QBF):
+//
+//   - trivial truth: delete every universal literal from every clause; if
+//     the remaining purely existential matrix is satisfiable, one
+//     assignment of the existentials satisfies every clause whatever the
+//     universal player does, so the QBF is true. Sound for any prefix
+//     shape: the witnessing assignment is constant in the universals.
+//
+//   - trivial falsity: treat every universal variable as existential; if
+//     even that relaxation is unsatisfiable, no play can satisfy the
+//     matrix and the QBF is false.
+//
+// Both are one-sided: a negative answer says nothing.
+
+// TrivialTruth reports whether q is decided true by the trivial-truth test
+// within the budget (0 = no limit). The second result is false when the
+// test was inconclusive or ran out of budget.
+func TrivialTruth(q *qbf.QBF, budget time.Duration) (isTrue, decided bool) {
+	q.Prefix.Finalize()
+	matrix := make([]qbf.Clause, 0, len(q.Matrix))
+	for _, c := range q.Matrix {
+		nc := make(qbf.Clause, 0, len(c))
+		for _, l := range c {
+			if q.Prefix.QuantOf(l.Var()) == qbf.Exists {
+				nc = append(nc, l)
+			}
+		}
+		if len(nc) == 0 {
+			return false, false // a clause with only universal literals
+		}
+		matrix = append(matrix, nc)
+	}
+	sat := existentialInstance(q, matrix, false)
+	r, _, err := core.Solve(sat, core.Options{TimeLimit: budget})
+	if err != nil || r != core.True {
+		return false, false
+	}
+	return true, true
+}
+
+// TrivialFalsity reports whether q is decided false by the trivial-falsity
+// test within the budget.
+func TrivialFalsity(q *qbf.QBF, budget time.Duration) (isFalse, decided bool) {
+	q.Prefix.Finalize()
+	sat := existentialInstance(q, q.Matrix, true)
+	r, _, err := core.Solve(sat, core.Options{TimeLimit: budget})
+	if err != nil || r != core.False {
+		return false, false
+	}
+	return true, true
+}
+
+// existentialInstance builds the one-block SAT relaxation: the given
+// matrix under a prefix that binds every variable existentially. When
+// keepUniversals is false the matrix must already be universal-free.
+func existentialInstance(q *qbf.QBF, matrix []qbf.Clause, keepUniversals bool) *qbf.QBF {
+	p := qbf.NewPrefix(q.MaxVar())
+	var vars []qbf.Var
+	for _, v := range q.Prefix.Vars() {
+		if keepUniversals || q.Prefix.QuantOf(v) == qbf.Exists {
+			vars = append(vars, v)
+		}
+	}
+	if len(vars) > 0 {
+		p.AddBlock(nil, qbf.Exists, vars...)
+	}
+	p.Finalize()
+	m := make([]qbf.Clause, len(matrix))
+	for i, c := range matrix {
+		m[i] = c.Clone()
+	}
+	return qbf.New(p, m)
+}

@@ -1,0 +1,86 @@
+package preprocess
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/qbf"
+)
+
+func TestTrivialTruthPositive(t *testing.T) {
+	// ∀y1 ∃x2 x3: (x2 ∨ y1) ∧ (x3 ∨ ¬y1) — x2 = x3 = true works for every
+	// y1, so trivial truth fires.
+	p := qbf.NewPrenexPrefix(3,
+		qbf.Run{Quant: qbf.Forall, Vars: []qbf.Var{1}},
+		qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{2, 3}})
+	q := qbf.New(p, []qbf.Clause{{2, 1}, {3, -1}})
+	isTrue, decided := TrivialTruth(q, time.Second)
+	if !decided || !isTrue {
+		t.Errorf("trivial truth must decide this instance: %v %v", isTrue, decided)
+	}
+}
+
+func TestTrivialTruthInconclusive(t *testing.T) {
+	// ∀y1 ∃x2: x2 ≡ y1 is true but NOT trivially true (the witness depends
+	// on y1).
+	p := qbf.NewPrenexPrefix(2,
+		qbf.Run{Quant: qbf.Forall, Vars: []qbf.Var{1}},
+		qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{2}})
+	q := qbf.New(p, []qbf.Clause{{2, 1}, {-2, -1}})
+	if _, decided := TrivialTruth(q, time.Second); decided {
+		t.Error("trivial truth must be inconclusive when the witness depends on a universal")
+	}
+}
+
+func TestTrivialFalsityPositive(t *testing.T) {
+	// Even with y existential the matrix is UNSAT.
+	p := qbf.NewPrenexPrefix(2,
+		qbf.Run{Quant: qbf.Forall, Vars: []qbf.Var{1}},
+		qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{2}})
+	q := qbf.New(p, []qbf.Clause{{1, 2}, {1, -2}, {-1, 2}, {-1, -2}})
+	isFalse, decided := TrivialFalsity(q, time.Second)
+	if !decided || !isFalse {
+		t.Errorf("trivial falsity must decide this instance: %v %v", isFalse, decided)
+	}
+}
+
+func TestTrivialFalsityInconclusive(t *testing.T) {
+	// ∃x ∀y: x ≡ y is false but the relaxation is satisfiable.
+	p := qbf.NewPrenexPrefix(2,
+		qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{1}},
+		qbf.Run{Quant: qbf.Forall, Vars: []qbf.Var{2}})
+	q := qbf.New(p, []qbf.Clause{{1, 2}, {-1, -2}})
+	if _, decided := TrivialFalsity(q, time.Second); decided {
+		t.Error("trivial falsity must be inconclusive on a satisfiable relaxation")
+	}
+}
+
+// TestTrivialSound: whenever either test decides, the oracle must agree —
+// on random prenex and non-prenex instances.
+func TestTrivialSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(977))
+	truths, falsities := 0, 0
+	for i := 0; i < 300; i++ {
+		q := qbf.RandomQBF(rng, 10, 10)
+		want, ok := qbf.EvalWithBudget(q, 1_000_000)
+		if !ok {
+			continue
+		}
+		if isTrue, decided := TrivialTruth(q, time.Second); decided {
+			truths++
+			if !isTrue || !want {
+				t.Fatalf("iteration %d: trivial truth unsound (oracle %v)\n%v", i, want, q)
+			}
+		}
+		if isFalse, decided := TrivialFalsity(q, time.Second); decided {
+			falsities++
+			if !isFalse || want {
+				t.Fatalf("iteration %d: trivial falsity unsound (oracle %v)\n%v", i, want, q)
+			}
+		}
+	}
+	if truths == 0 || falsities == 0 {
+		t.Errorf("tests fired %d truths, %d falsities; want both exercised", truths, falsities)
+	}
+}

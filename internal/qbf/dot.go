@@ -1,0 +1,41 @@
+package qbf
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the quantifier tree of q in Graphviz DOT format: one
+// node per block (existential boxes, universal ellipses) labelled with its
+// variables and prefix level, with tree edges for scope nesting. Useful to
+// inspect what miniscoping or a generator produced:
+//
+//	qbfgen -family ncf | qbfstat -dot | dot -Tsvg > tree.svg
+func WriteDOT(w io.Writer, q *QBF) error {
+	p := q.Prefix
+	p.Finalize()
+	var sb strings.Builder
+	sb.WriteString("digraph prefix {\n")
+	sb.WriteString("  rankdir=TB;\n  node [fontname=\"monospace\"];\n")
+	for _, b := range p.Blocks() {
+		shape, q2 := "box", "∃"
+		if b.Quant == Forall {
+			shape, q2 = "ellipse", "∀"
+		}
+		vars := make([]string, len(b.Vars))
+		for i, v := range b.Vars {
+			vars[i] = fmt.Sprint(v)
+		}
+		fmt.Fprintf(&sb, "  b%d [shape=%s, label=\"%s %s\\nlevel %d\"];\n",
+			b.ID(), shape, q2, strings.Join(vars, " "), b.Level())
+	}
+	for _, b := range p.Blocks() {
+		for _, c := range b.Children {
+			fmt.Fprintf(&sb, "  b%d -> b%d;\n", b.ID(), c.ID())
+		}
+	}
+	sb.WriteString("}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

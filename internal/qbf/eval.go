@@ -1,0 +1,158 @@
+package qbf
+
+// Eval decides the value of q by the recursive semantics of Section II:
+// an empty matrix is true, a matrix with an empty clause is false, and
+// otherwise the formula branches on a top variable (existentially as "or",
+// universally as "and"). It runs in exponential time and performs no
+// solver-style inference (no unit propagation, no universal reduction), so
+// it serves as an independent ground-truth oracle for the solver tests.
+func Eval(q *QBF) bool {
+	q.Prefix.Finalize()
+	return eval(q)
+}
+
+func eval(q *QBF) bool {
+	if len(q.Matrix) == 0 {
+		return true
+	}
+	for _, c := range q.Matrix {
+		if len(c) == 0 {
+			return false
+		}
+	}
+
+	occurs := make(map[Var]bool)
+	for _, c := range q.Matrix {
+		for _, l := range c {
+			occurs[l.Var()] = true
+		}
+	}
+
+	// Free variables are outermost existentials, hence always top.
+	if v, ok := smallestFree(q, occurs); ok {
+		return eval(q.Assign(v.PosLit())) || eval(q.Assign(v.NegLit()))
+	}
+
+	// Top bound variables: prefix level 1. Prefer one that occurs in the
+	// matrix; a top variable absent from the matrix is irrelevant, so a
+	// single branch suffices for it.
+	relevant, irrelevant := Var(0), Var(0)
+	for _, b := range q.Prefix.Blocks() {
+		if b.Level() != 1 {
+			continue
+		}
+		for _, v := range b.Vars {
+			if occurs[v] {
+				if relevant == 0 || v < relevant {
+					relevant = v
+				}
+			} else if irrelevant == 0 || v < irrelevant {
+				irrelevant = v
+			}
+		}
+	}
+	if relevant != 0 {
+		v := relevant
+		if q.Prefix.QuantOf(v) == Exists {
+			return eval(q.Assign(v.PosLit())) || eval(q.Assign(v.NegLit()))
+		}
+		return eval(q.Assign(v.PosLit())) && eval(q.Assign(v.NegLit()))
+	}
+	if irrelevant != 0 {
+		return eval(q.Assign(irrelevant.PosLit()))
+	}
+
+	// No free and no top variable can remain while the matrix is nonempty
+	// and clause-free only if the prefix is empty but the matrix mentions
+	// bound variables — impossible by construction. Defensive default:
+	// treat remaining matrix variables as free existentials.
+	for v := range occurs {
+		return eval(q.Assign(v.PosLit())) || eval(q.Assign(v.NegLit()))
+	}
+	return false
+}
+
+func smallestFree(q *QBF, occurs map[Var]bool) (Var, bool) {
+	best := Var(0)
+	for v := range occurs {
+		if !q.Prefix.Bound(v) && (best == 0 || v < best) {
+			best = v
+		}
+	}
+	return best, best != 0
+}
+
+// EvalWithBudget is Eval with a node budget; it returns (value, true) if the
+// evaluation finished within budget recursive calls and (false, false)
+// otherwise. Useful to keep randomized test corpora bounded.
+func EvalWithBudget(q *QBF, budget int) (bool, bool) {
+	q.Prefix.Finalize()
+	e := &budgetEval{budget: budget}
+	v := e.eval(q)
+	if e.exceeded {
+		return false, false
+	}
+	return v, true
+}
+
+type budgetEval struct {
+	budget   int
+	exceeded bool
+}
+
+func (e *budgetEval) eval(q *QBF) bool {
+	if e.exceeded {
+		return false
+	}
+	e.budget--
+	if e.budget < 0 {
+		e.exceeded = true
+		return false
+	}
+	if len(q.Matrix) == 0 {
+		return true
+	}
+	for _, c := range q.Matrix {
+		if len(c) == 0 {
+			return false
+		}
+	}
+	occurs := make(map[Var]bool)
+	for _, c := range q.Matrix {
+		for _, l := range c {
+			occurs[l.Var()] = true
+		}
+	}
+	if v, ok := smallestFree(q, occurs); ok {
+		return e.eval(q.Assign(v.PosLit())) || e.eval(q.Assign(v.NegLit()))
+	}
+	relevant, irrelevant := Var(0), Var(0)
+	for _, b := range q.Prefix.Blocks() {
+		if b.Level() != 1 {
+			continue
+		}
+		for _, v := range b.Vars {
+			if occurs[v] {
+				if relevant == 0 || v < relevant {
+					relevant = v
+				}
+			} else if irrelevant == 0 || v < irrelevant {
+				irrelevant = v
+			}
+		}
+	}
+	if relevant != 0 {
+		v := relevant
+		if q.Prefix.QuantOf(v) == Exists {
+			return e.eval(q.Assign(v.PosLit())) || e.eval(q.Assign(v.NegLit()))
+		}
+		return e.eval(q.Assign(v.PosLit())) && e.eval(q.Assign(v.NegLit()))
+	}
+	if irrelevant != 0 {
+		return e.eval(q.Assign(irrelevant.PosLit()))
+	}
+	for v := range occurs {
+		return e.eval(q.Assign(v.PosLit())) || e.eval(q.Assign(v.NegLit()))
+	}
+	return false
+}

@@ -1,0 +1,310 @@
+package qbf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEvalPrenexBasics(t *testing.T) {
+	tests := []struct {
+		name   string
+		prefix *Prefix
+		matrix []Clause
+		want   bool
+	}{
+		{
+			name:   "forall exists xor true",
+			prefix: NewPrenexPrefix(2, Run{Forall, []Var{1}}, Run{Exists, []Var{2}}),
+			matrix: []Clause{mkClause(1, 2), mkClause(-1, -2)},
+			want:   true,
+		},
+		{
+			name:   "exists forall xor false",
+			prefix: NewPrenexPrefix(2, Run{Exists, []Var{2}}, Run{Forall, []Var{1}}),
+			matrix: []Clause{mkClause(1, 2), mkClause(-1, -2)},
+			want:   false,
+		},
+		{
+			name:   "empty matrix true",
+			prefix: NewPrenexPrefix(1, Run{Forall, []Var{1}}),
+			matrix: nil,
+			want:   true,
+		},
+		{
+			name:   "empty clause false",
+			prefix: NewPrenexPrefix(1, Run{Exists, []Var{1}}),
+			matrix: []Clause{{}},
+			want:   false,
+		},
+		{
+			name:   "sat instance",
+			prefix: NewPrenexPrefix(3, Run{Exists, []Var{1, 2, 3}}),
+			matrix: []Clause{mkClause(1, 2), mkClause(-1, 3), mkClause(-2, -3), mkClause(2, 3)},
+			want:   true,
+		},
+		{
+			name:   "unsat instance",
+			prefix: NewPrenexPrefix(2, Run{Exists, []Var{1, 2}}),
+			matrix: []Clause{mkClause(1, 2), mkClause(1, -2), mkClause(-1, 2), mkClause(-1, -2)},
+			want:   false,
+		},
+		{
+			name:   "forall needs both",
+			prefix: NewPrenexPrefix(2, Run{Forall, []Var{1}}, Run{Exists, []Var{2}}),
+			matrix: []Clause{mkClause(1)},
+			want:   false,
+		},
+		{
+			name: "two alternations true",
+			// ∀y1 ∃x2 ∀y3 ∃x4: (y1∨x2) ∧ (y3∨x4) ∧ (¬y1∨¬x2∨¬y3∨¬x4 is omitted)
+			prefix: NewPrenexPrefix(4, Run{Forall, []Var{1}}, Run{Exists, []Var{2}},
+				Run{Forall, []Var{3}}, Run{Exists, []Var{4}}),
+			matrix: []Clause{mkClause(1, 2), mkClause(3, 4)},
+			want:   true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			q := New(tt.prefix, tt.matrix)
+			if got := Eval(q); got != tt.want {
+				t.Errorf("Eval = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestEvalNonPrenex(t *testing.T) {
+	// (∃x1 (x1)) ∧ (∀y2 (y2)): false because ∀y2 y2 is false.
+	p := NewPrefix(2)
+	p.AddBlock(nil, Exists, 1)
+	p.AddBlock(nil, Forall, 2)
+	q := New(p, []Clause{mkClause(1), mkClause(2)})
+	if Eval(q) {
+		t.Error("(∃x x) ∧ (∀y y) must be false")
+	}
+
+	// (∃x1 (x1)) ∧ (∀y2 (y2 ∨ x1)) — but x1 is shared, so the tree is
+	// ∃x1 ((x1) ∧ ∀y2 (y2 ∨ x1)): true with x1 = true.
+	p2 := NewPrefix(2)
+	r := p2.AddBlock(nil, Exists, 1)
+	p2.AddBlock(r, Forall, 2)
+	q2 := New(p2, []Clause{mkClause(1), mkClause(2, 1)})
+	if !Eval(q2) {
+		t.Error("∃x (x ∧ ∀y (y ∨ x)) must be true")
+	}
+
+	// ∃x1 (∀y2 (x1∨¬y2) ∧ ∀y3 (¬x1∨¬y3)): x1=t falsifies the second
+	// conjunct at y3=t; x1=f falsifies the first at y2=t → false.
+	p3 := NewPrefix(3)
+	r3 := p3.AddBlock(nil, Exists, 1)
+	p3.AddBlock(r3, Forall, 2)
+	p3.AddBlock(r3, Forall, 3)
+	q3 := New(p3, []Clause{mkClause(1, -2), mkClause(-1, -3)})
+	if Eval(q3) {
+		t.Error("∃x (∀y2 (x∨¬y2) ∧ ∀y3 (¬x∨¬y3)) must be false")
+	}
+
+	// Same shape but satisfiable: ∃x1 (∀y2 (x1∨y2∨¬y2…)) — instead use
+	// ∃x1 (∀y2 ∃x3 ((x1∨x3) ∧ (y2∨¬x3)) ∧ ∀y4 ∃x5 ((¬x1∨x5) ∧ (y4∨¬x5))).
+	// With x1 = true: first conjunct satisfied by x3 = y2-dependent? Take
+	// x1=true: (x1∨x3) holds; (y2∨¬x3) holds with x3=false. Second
+	// conjunct: (¬x1∨x5) needs x5=true, then (y4∨¬x5) needs y4 — fails at
+	// y4=false. With x1=false: symmetric failure. Hence false.
+	p4 := NewPrefix(5)
+	r4 := p4.AddBlock(nil, Exists, 1)
+	b2 := p4.AddBlock(r4, Forall, 2)
+	p4.AddBlock(b2, Exists, 3)
+	b4 := p4.AddBlock(r4, Forall, 4)
+	p4.AddBlock(b4, Exists, 5)
+	q4 := New(p4, []Clause{
+		mkClause(1, 3), mkClause(2, -3),
+		mkClause(-1, 5), mkClause(4, -5),
+	})
+	if Eval(q4) {
+		t.Error("q4 must be false")
+	}
+
+	// Satisfiable variant: make the inner existentials strong enough.
+	// ∃x1 (∀y2 ∃x3 ((x3∨y2) ∧ (¬x3∨¬y2)) ∧ ∀y4 ∃x5 ((x5∨y4) ∧ (¬x5∨¬y4))):
+	// each conjunct is the xor pattern, true independently of x1.
+	p5 := NewPrefix(5)
+	r5 := p5.AddBlock(nil, Exists, 1)
+	c2 := p5.AddBlock(r5, Forall, 2)
+	p5.AddBlock(c2, Exists, 3)
+	c4 := p5.AddBlock(r5, Forall, 4)
+	p5.AddBlock(c4, Exists, 5)
+	q5 := New(p5, []Clause{
+		mkClause(3, 2), mkClause(-3, -2),
+		mkClause(5, 4), mkClause(-5, -4),
+	})
+	if !Eval(q5) {
+		t.Error("q5 must be true")
+	}
+}
+
+func TestEvalFreeVariables(t *testing.T) {
+	// Free variable 3 acts as an outermost existential: 3 ∧ (¬3 ∨ x1).
+	p := NewPrenexPrefix(1, Run{Exists, []Var{1}})
+	q := New(p, []Clause{mkClause(3), mkClause(-3, 1)})
+	if !Eval(q) {
+		t.Error("free variables must be treated as outermost existentials")
+	}
+	// 3 ∧ ¬3 is false.
+	q2 := New(p.Clone(), []Clause{mkClause(3), mkClause(-3)})
+	if Eval(q2) {
+		t.Error("contradictory free literals must yield false")
+	}
+}
+
+func TestEvalWithBudget(t *testing.T) {
+	p := NewPrenexPrefix(2, Run{Forall, []Var{1}}, Run{Exists, []Var{2}})
+	q := New(p, []Clause{mkClause(1, 2), mkClause(-1, -2)})
+	if v, ok := EvalWithBudget(q, 1_000); !ok || !v {
+		t.Errorf("EvalWithBudget = (%v,%v), want (true,true)", v, ok)
+	}
+	if _, ok := EvalWithBudget(q, 1); ok {
+		t.Error("budget of 1 node must be exceeded")
+	}
+}
+
+func TestRandomQBFScopeConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		q := RandomQBF(rng, 10, 8)
+		if idx, err := q.ScopeConsistent(); err != nil {
+			t.Fatalf("iteration %d: random QBF inconsistent at clause %d: %v", i, idx, err)
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+	}
+}
+
+// TestEvalOrderIndependence checks the footnote-1 claim: the value of a
+// representation is independent of which top variable the recursion picks.
+// We compare the default evaluator with one that branches on the *largest*
+// top variable instead of the smallest.
+func TestEvalOrderIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 150; i++ {
+		q := RandomQBF(rng, 8, 6)
+		a := Eval(q)
+		b := evalLargestFirst(q)
+		if a != b {
+			t.Fatalf("iteration %d: Eval=%v but largest-first=%v on %v", i, a, b, q)
+		}
+	}
+}
+
+func evalLargestFirst(q *QBF) bool {
+	if len(q.Matrix) == 0 {
+		return true
+	}
+	for _, c := range q.Matrix {
+		if len(c) == 0 {
+			return false
+		}
+	}
+	occurs := make(map[Var]bool)
+	for _, c := range q.Matrix {
+		for _, l := range c {
+			occurs[l.Var()] = true
+		}
+	}
+	best := Var(0)
+	for v := range occurs {
+		if !q.Prefix.Bound(v) && v > best {
+			best = v
+		}
+	}
+	if best != 0 {
+		return evalLargestFirst(q.Assign(best.PosLit())) || evalLargestFirst(q.Assign(best.NegLit()))
+	}
+	var rel, irr Var
+	for _, b := range q.Prefix.Blocks() {
+		if b.Level() != 1 {
+			continue
+		}
+		for _, v := range b.Vars {
+			if occurs[v] {
+				if v > rel {
+					rel = v
+				}
+			} else if v > irr {
+				irr = v
+			}
+		}
+	}
+	if rel != 0 {
+		if q.Prefix.QuantOf(rel) == Exists {
+			return evalLargestFirst(q.Assign(rel.PosLit())) || evalLargestFirst(q.Assign(rel.NegLit()))
+		}
+		return evalLargestFirst(q.Assign(rel.PosLit())) && evalLargestFirst(q.Assign(rel.NegLit()))
+	}
+	if irr != 0 {
+		return evalLargestFirst(q.Assign(irr.PosLit()))
+	}
+	return false
+}
+
+// TestLemma3Property: universal reduction preserves the value of the QBF.
+func TestLemma3Property(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 150; i++ {
+		q := RandomQBF(rng, 8, 6)
+		reduced := q.Clone()
+		for j, c := range reduced.Matrix {
+			reduced.Matrix[j] = UniversalReduce(reduced.Prefix, c)
+		}
+		if Eval(q) != Eval(reduced) {
+			t.Fatalf("iteration %d: universal reduction changed the value of %v", i, q)
+		}
+	}
+}
+
+// TestLemma5Property: assigning a unit literal preserves the value.
+func TestLemma5Property(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	checked := 0
+	for i := 0; i < 400 && checked < 60; i++ {
+		q := RandomQBF(rng, 8, 6)
+		l, ok := findUnit(q)
+		if !ok {
+			continue
+		}
+		checked++
+		if Eval(q) != Eval(q.Assign(l)) {
+			t.Fatalf("iteration %d: unit assignment %v changed the value of %v", i, l, q)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no unit literals found in 400 random formulas; generator too weak")
+	}
+}
+
+// findUnit looks for a literal that is unit by the generalized definition of
+// Section IV: an existential l in a clause whose other literals are all
+// universal with |li| ⋠ |l|.
+func findUnit(q *QBF) (Lit, bool) {
+	for _, c := range q.Matrix {
+		for _, l := range c {
+			if q.Prefix.QuantOf(l.Var()) != Exists {
+				continue
+			}
+			unit := true
+			for _, m := range c {
+				if m == l {
+					continue
+				}
+				if q.Prefix.QuantOf(m.Var()) != Forall || q.Prefix.Before(m.Var(), l.Var()) {
+					unit = false
+					break
+				}
+			}
+			if unit {
+				return l, true
+			}
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,219 @@
+package qbf
+
+import (
+	"strings"
+	"testing"
+)
+
+func mkClause(lits ...int) Clause {
+	c := make(Clause, len(lits))
+	for i, l := range lits {
+		c[i] = Lit(l)
+	}
+	return c
+}
+
+func TestClauseNormalize(t *testing.T) {
+	c, taut := mkClause(3, -1, 3, 2).Normalize()
+	if taut {
+		t.Fatal("not a tautology")
+	}
+	want := mkClause(-1, 2, 3)
+	if len(c) != len(want) {
+		t.Fatalf("got %v", c)
+	}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("Normalize = %v, want %v", c, want)
+		}
+	}
+	if _, taut := mkClause(1, -2, -1).Normalize(); !taut {
+		t.Error("z and z̄ must be reported as tautology")
+	}
+	if _, taut := mkClause().Normalize(); taut {
+		t.Error("empty clause is not a tautology")
+	}
+}
+
+func TestLitBasics(t *testing.T) {
+	l := Lit(-5)
+	if l.Var() != 5 || l.Positive() || l.Neg() != 5 {
+		t.Errorf("literal arithmetic broken: %v %v %v", l.Var(), l.Positive(), l.Neg())
+	}
+	if Var(3).PosLit() != 3 || Var(3).NegLit() != -3 {
+		t.Error("Var to Lit conversion broken")
+	}
+	if Exists.Dual() != Forall || Forall.Dual() != Exists {
+		t.Error("Quant.Dual broken")
+	}
+}
+
+func TestUniversalReducePrenex(t *testing.T) {
+	// ∃x1 ∀y2 ∃x3, clause {x1, y2}: y2 has no existential in its scope
+	// inside the clause, so it is removed (Lemma 3).
+	p := NewPrenexPrefix(3,
+		Run{Exists, []Var{1}}, Run{Forall, []Var{2}}, Run{Exists, []Var{3}})
+	got := UniversalReduce(p, mkClause(1, 2))
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("reduce {x1,y2} = %v, want {1}", got)
+	}
+	// {y2, x3}: x3 is in the scope of y2, so y2 stays.
+	got = UniversalReduce(p, mkClause(2, 3))
+	if len(got) != 2 {
+		t.Errorf("reduce {y2,x3} = %v, want both kept", got)
+	}
+	// {x1, -y2, x3}: kept because of x3.
+	got = UniversalReduce(p, mkClause(1, -2, 3))
+	if len(got) != 3 {
+		t.Errorf("reduce {x1,¬y2,x3} = %v, want all kept", got)
+	}
+}
+
+func TestUniversalReduceNonPrenex(t *testing.T) {
+	p := paperPrefix() // x0=1 (y1=2 (x1=3,x2=4) ; y2=5 (x3=6,x4=7))
+	// {y1, x3}: x3 is NOT in the scope of y1 (different subtree), remove y1.
+	got := UniversalReduce(p, mkClause(2, 6))
+	if len(got) != 1 || got[0] != 6 {
+		t.Errorf("reduce {y1,x3} = %v, want {6}", got)
+	}
+	// {y1, x1}: x1 in scope of y1, keep both.
+	got = UniversalReduce(p, mkClause(2, 3))
+	if len(got) != 2 {
+		t.Errorf("reduce {y1,x1} = %v, want both", got)
+	}
+	// {x0, y1}: x0 not in scope of y1, remove y1.
+	got = UniversalReduce(p, mkClause(1, 2))
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("reduce {x0,y1} = %v, want {1}", got)
+	}
+	// Contradictory clause {y1} reduces to the empty clause.
+	got = UniversalReduce(p, mkClause(2))
+	if len(got) != 0 {
+		t.Errorf("reduce {y1} = %v, want empty", got)
+	}
+}
+
+func TestExistentialReduceCube(t *testing.T) {
+	p := NewPrenexPrefix(3,
+		Run{Exists, []Var{1}}, Run{Forall, []Var{2}}, Run{Exists, []Var{3}})
+	// Cube [x1, y2, x3]: x3 has no universal after it → removed; x1 has
+	// y2 after it → kept.
+	got := ExistentialReduce(p, Cube{1, 2, 3})
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("ExistentialReduce = %v, want [1 2]", got)
+	}
+}
+
+func TestContradictory(t *testing.T) {
+	p := paperPrefix()
+	q := New(p, nil)
+	if !q.Contradictory(mkClause(2, 5)) {
+		t.Error("{y1,y2} is contradictory (no existential literal)")
+	}
+	if !q.Contradictory(mkClause()) {
+		t.Error("empty clause is contradictory")
+	}
+	if q.Contradictory(mkClause(2, 3)) {
+		t.Error("{y1,x1} has an existential literal")
+	}
+}
+
+func TestAssign(t *testing.T) {
+	p := NewPrenexPrefix(3,
+		Run{Forall, []Var{1}}, Run{Exists, []Var{2, 3}})
+	q := New(p, []Clause{mkClause(1, 2), mkClause(-1, 3), mkClause(-2, -3)})
+	r := q.Assign(1) // y=true: {1,2} satisfied; {-1,3} → {3}
+	if len(r.Matrix) != 2 {
+		t.Fatalf("got %d clauses, want 2: %v", len(r.Matrix), r.Matrix)
+	}
+	if len(r.Matrix[0]) != 1 || r.Matrix[0][0] != 3 {
+		t.Errorf("first residual clause %v, want {3}", r.Matrix[0])
+	}
+	if r.Prefix.Bound(1) {
+		t.Error("assigned variable must leave the prefix")
+	}
+	if len(q.Matrix) != 3 {
+		t.Error("Assign must not modify the receiver")
+	}
+}
+
+func TestScopeConsistent(t *testing.T) {
+	p := paperPrefix()
+	ok := New(p, []Clause{mkClause(1, 3, 4), mkClause(2, 3), mkClause(1, 6, 7)})
+	if i, err := ok.ScopeConsistent(); err != nil {
+		t.Fatalf("consistent formula rejected at clause %d: %v", i, err)
+	}
+	bad := New(p.Clone(), []Clause{mkClause(3, 6)}) // x1 and x3: disjoint subtrees
+	if _, err := bad.ScopeConsistent(); err == nil {
+		t.Fatal("clause spanning incomparable scopes must be rejected")
+	}
+}
+
+func TestBindFreeVars(t *testing.T) {
+	p := NewPrenexPrefix(2, Run{Forall, []Var{1}}, Run{Exists, []Var{2}})
+	q := New(p, []Clause{mkClause(1, 2, 5), mkClause(-5, 2)})
+	n := q.BindFreeVars()
+	if n != 1 {
+		t.Fatalf("bound %d free vars, want 1", n)
+	}
+	if !q.Prefix.Bound(5) || q.Prefix.QuantOf(5) != Exists {
+		t.Error("free variable must become an outermost existential")
+	}
+	if !q.Prefix.Before(5, 1) {
+		t.Error("new existential block must be outermost")
+	}
+}
+
+func TestStats(t *testing.T) {
+	p := paperPrefix()
+	q := New(p, []Clause{mkClause(1, 3, 4), mkClause(2, 3)})
+	s := q.Stats()
+	if s.Vars != 7 || s.Existentials != 5 || s.Universals != 2 {
+		t.Errorf("var counts wrong: %+v", s)
+	}
+	if s.Clauses != 2 || s.Literals != 5 || s.PrefixLevel != 3 || s.Prenex {
+		t.Errorf("formula stats wrong: %+v", s)
+	}
+}
+
+func TestNormalizeMatrix(t *testing.T) {
+	p := NewPrenexPrefix(3, Run{Exists, []Var{1, 2, 3}})
+	q := New(p, []Clause{mkClause(1, -1), mkClause(2, 3, 2), mkClause(3)})
+	removed := q.NormalizeMatrix()
+	if removed != 1 {
+		t.Errorf("removed %d tautologies, want 1", removed)
+	}
+	if len(q.Matrix) != 2 || len(q.Matrix[0]) != 2 {
+		t.Errorf("matrix after normalize: %v", q.Matrix)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := NewPrenexPrefix(2, Run{Exists, []Var{1, 2}})
+	good := New(p, []Clause{mkClause(1, -2)})
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid formula rejected: %v", err)
+	}
+	dup := New(p.Clone(), []Clause{mkClause(1, 1)})
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate variable in clause must be rejected")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	p := paperPrefix()
+	q := New(p, []Clause{mkClause(1, 3, 4)})
+	var sb strings.Builder
+	if err := WriteDOT(&sb, q); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"digraph", "b0", "->", "level 3", "∃", "∀"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+	if strings.Count(out, "->") != 4 {
+		t.Errorf("want 4 tree edges, got %d", strings.Count(out, "->"))
+	}
+}

@@ -1,0 +1,451 @@
+package qbf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Block is one node of the quantifier tree: a maximal run of variables bound
+// by the same quantifier at the same tree position, together with the
+// subtrees quantified in its scope. A QBF in prenex form is a degenerate
+// tree in which every block has at most one child.
+type Block struct {
+	Quant    Quant
+	Vars     []Var
+	Children []*Block
+
+	parent *Block
+	id     int // index in Prefix.blocks, set by Prefix.finalize
+	level  int // prefix level of the block's variables
+	d, f   int // DFS discovery/finish timestamps (Section VI)
+	sd, sf int // structural DFS interval (per block, not per alternation)
+}
+
+// AncestorOf reports whether b is a (possibly improper) tree ancestor of c,
+// i.e. c lies in the scope of b. Valid after the owning Prefix's Finalize.
+func (b *Block) AncestorOf(c *Block) bool {
+	return b.sd <= c.sd && c.sf <= b.sf
+}
+
+// Interval returns the block's structural DFS interval: b is an ancestor of
+// c exactly when b's interval contains c's. Valid after Finalize.
+func (b *Block) Interval() (sd, sf int) { return b.sd, b.sf }
+
+// Parent returns the block whose scope directly contains b, or nil for a
+// root block.
+func (b *Block) Parent() *Block { return b.parent }
+
+// ID returns the block's dense index inside its Prefix, assigned in DFS
+// preorder. It is only valid after the owning Prefix has been finalized.
+func (b *Block) ID() int { return b.id }
+
+// Level returns the prefix level shared by all variables of the block.
+func (b *Block) Level() int { return b.level }
+
+// Prefix is the quantifier structure of a QBF: a forest of quantifier
+// blocks. The zero value is not usable; build prefixes with NewPrefix,
+// NewPrenexPrefix, or incrementally with AddBlock and then Finalize.
+type Prefix struct {
+	roots  []*Block
+	blocks []*Block // DFS preorder
+
+	maxVar   int
+	quant    []Quant // 1-based, per variable; meaningful only if bound
+	blockOf  []*Block
+	d, f     []int // 1-based timestamps; 0 for unbound variables
+	level    []int // 1-based prefix levels; 0 for unbound variables
+	finished bool
+}
+
+// NewPrefix returns an empty prefix able to describe variables 1..maxVar.
+// Variables that are never added to a block are free; GrowVar extends the
+// range later if needed.
+func NewPrefix(maxVar int) *Prefix {
+	p := &Prefix{}
+	p.grow(maxVar)
+	return p
+}
+
+func (p *Prefix) grow(maxVar int) {
+	if maxVar <= p.maxVar {
+		return
+	}
+	q := make([]Quant, maxVar+1)
+	copy(q, p.quant)
+	p.quant = q
+	bo := make([]*Block, maxVar+1)
+	copy(bo, p.blockOf)
+	p.blockOf = bo
+	p.maxVar = maxVar
+}
+
+// GrowVar extends the variable range of the prefix to cover v.
+func (p *Prefix) GrowVar(v Var) { p.grow(int(v)) }
+
+// MaxVar returns the largest variable index the prefix can describe.
+func (p *Prefix) MaxVar() int { return p.maxVar }
+
+// AddBlock appends a new block binding vars with quantifier q in the scope
+// of parent (nil for a new root block) and returns it. Variables must not be
+// bound twice; the call panics otherwise, because a QBF in which a variable
+// is bound by two quantifiers is outside the representation of Section II.
+// Finalize must be called after the last AddBlock.
+func (p *Prefix) AddBlock(parent *Block, q Quant, vars ...Var) *Block {
+	b := &Block{Quant: q, Vars: append([]Var(nil), vars...), parent: parent}
+	for _, v := range vars {
+		if v <= 0 {
+			panic(fmt.Sprintf("qbf: invalid variable %d", v))
+		}
+		p.grow(int(v))
+		if p.blockOf[v] != nil {
+			panic(fmt.Sprintf("qbf: variable %d bound twice", v))
+		}
+		p.quant[v] = q
+		p.blockOf[v] = b
+	}
+	if parent == nil {
+		p.roots = append(p.roots, b)
+	} else {
+		parent.Children = append(parent.Children, b)
+	}
+	p.finished = false
+	return b
+}
+
+// Roots returns the root blocks of the quantifier forest.
+func (p *Prefix) Roots() []*Block { return p.roots }
+
+// Blocks returns all blocks in DFS preorder. Valid after Finalize.
+func (p *Prefix) Blocks() []*Block { return p.blocks }
+
+// Bound reports whether v is bound by some quantifier of the prefix.
+func (p *Prefix) Bound(v Var) bool {
+	return int(v) <= p.maxVar && p.blockOf[v] != nil
+}
+
+// QuantOf returns the quantifier binding v. Free variables are existential
+// (Section II: an unbound x is treated as if the QBF were ∃x ϕ).
+func (p *Prefix) QuantOf(v Var) Quant {
+	if !p.Bound(v) {
+		return Exists
+	}
+	return p.quant[v]
+}
+
+// BlockOf returns the block binding v, or nil if v is free.
+func (p *Prefix) BlockOf(v Var) *Block {
+	if int(v) > p.maxVar {
+		return nil
+	}
+	return p.blockOf[v]
+}
+
+// Finalize computes block ids, prefix levels and the DFS timestamps d(z)
+// and f(z) of Section VI. It must be called after the tree is fully built
+// and before Before, Level, D or F are used. Finalize is idempotent.
+func (p *Prefix) Finalize() {
+	if p.finished {
+		return
+	}
+	p.blocks = p.blocks[:0]
+	p.d = make([]int, p.maxVar+1)
+	p.f = make([]int, p.maxVar+1)
+	p.level = make([]int, p.maxVar+1)
+
+	// The timestamp starts at 1 and is incremented each time the DFS
+	// enters a block whose quantifier differs from the innermost open
+	// block's quantifier (the variable "z′ with the greatest d(z′) whose
+	// f(z′) is not yet set" in the paper's formulation).
+	ts := 1
+	sts := 0
+	var walk func(b *Block, parent *Block)
+	walk = func(b *Block, parent *Block) {
+		if parent != nil && parent.Quant != b.Quant {
+			ts++
+		}
+		sts++
+		b.sd = sts
+		b.id = len(p.blocks)
+		p.blocks = append(p.blocks, b)
+		if parent == nil {
+			b.level = 1
+		} else if parent.Quant == b.Quant {
+			b.level = parent.level
+		} else {
+			b.level = parent.level + 1
+		}
+		b.d = ts
+		for _, v := range b.Vars {
+			p.d[v] = ts
+			p.level[v] = b.level
+		}
+		for _, c := range b.Children {
+			walk(c, b)
+		}
+		b.f = ts
+		b.sf = sts
+		for _, v := range b.Vars {
+			p.f[v] = ts
+		}
+	}
+	for i, r := range p.roots {
+		// Sibling roots are independent scopes: advance the timestamp so
+		// that d intervals of distinct roots do not nest and variables of
+		// distinct roots come out incomparable.
+		if i > 0 {
+			ts++
+		}
+		walk(r, nil)
+	}
+	p.finished = true
+}
+
+// D returns the DFS discovery timestamp d(v) of Section VI. On trees whose
+// edges all alternate quantifiers (the shape the paper's example and all
+// the workload generators produce) d and f realize the parenthesis-theorem
+// test; Before itself uses the structural test, exact for every tree.
+// Valid after Finalize.
+func (p *Prefix) D(v Var) int { return p.d[v] }
+
+// F returns the DFS finish timestamp f(v). See D. Valid after Finalize.
+func (p *Prefix) F(v Var) int { return p.f[v] }
+
+// Level returns the prefix level of v: the length of the longest chain
+// z1 ≺ … ≺ v. Free variables have level 0 (outermost of everything).
+// Valid after Finalize.
+func (p *Prefix) Level(v Var) int {
+	if !p.Bound(v) {
+		return 0
+	}
+	return p.level[v]
+}
+
+// MaxLevel returns the prefix level of the whole QBF, i.e. the maximum
+// prefix level of its variables. Valid after Finalize.
+func (p *Prefix) MaxLevel() int {
+	max := 0
+	for _, b := range p.blocks {
+		if b.level > max {
+			max = b.level
+		}
+	}
+	return max
+}
+
+// Before reports whether z ≺ z' in the partial prefix order: z' occurs in
+// the scope of z separated by at least one quantifier alternation. The test
+// is structural: z's block must be a tree ancestor of z”s block with a
+// strictly smaller prefix level (levels grow exactly at alternations along
+// a path). On trees whose edges all alternate quantifiers this coincides
+// with the paper's parenthesis-theorem test d(z) < d(z') ≤ f(z) (Section
+// VI, eq. 13); on trees with same-quantifier parent-child blocks and
+// branching, no single interval labelling can decide ≺, so the structural
+// test is the exact generalization. A free variable precedes every bound
+// variable and no bound variable precedes a free one. Valid after Finalize.
+func (p *Prefix) Before(z, zp Var) bool {
+	zb, zpb := p.Bound(z), p.Bound(zp)
+	switch {
+	case !zb && !zpb:
+		return false
+	case !zb:
+		return true // free variables are outermost existentials
+	case !zpb:
+		return false
+	}
+	bz, bzp := p.blockOf[z], p.blockOf[zp]
+	return bz.AncestorOf(bzp) && bz.level < bzp.level
+}
+
+// Comparable reports whether z and z' are ordered either way by ≺.
+func (p *Prefix) Comparable(z, zp Var) bool {
+	return p.Before(z, zp) || p.Before(zp, z)
+}
+
+// IsPrenex reports whether the prefix is in prenex form in the paper's
+// sense: for each existential x and universal y, either x ≺ y or y ≺ x.
+// A chain-shaped tree is always prenex; a branching tree may still qualify
+// if the branching never separates an ∃/∀ pair.
+func (p *Prefix) IsPrenex() bool {
+	return !p.hasAlternationPair()
+}
+
+// hasAlternationPair reports whether some existential x and universal y are
+// incomparable, which is what makes a prefix genuinely non-prenex.
+func (p *Prefix) hasAlternationPair() bool {
+	p.Finalize()
+	var ex, un []Var
+	for _, b := range p.blocks {
+		if b.Quant == Exists {
+			ex = append(ex, b.Vars...)
+		} else {
+			un = append(un, b.Vars...)
+		}
+	}
+	for _, x := range ex {
+		for _, y := range un {
+			if !p.Comparable(x, y) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// NewPrenexPrefix builds a prenex (totally ordered) prefix from a sequence
+// of (quantifier, variables) runs, outermost first. Adjacent runs with the
+// same quantifier are merged into one block.
+func NewPrenexPrefix(maxVar int, runs ...Run) *Prefix {
+	p := NewPrefix(maxVar)
+	var cur *Block
+	for _, r := range runs {
+		if len(r.Vars) == 0 {
+			continue
+		}
+		if cur != nil && cur.Quant == r.Quant {
+			for _, v := range r.Vars {
+				p.grow(int(v))
+				if p.blockOf[v] != nil {
+					panic(fmt.Sprintf("qbf: variable %d bound twice", v))
+				}
+				p.quant[v] = r.Quant
+				p.blockOf[v] = cur
+				cur.Vars = append(cur.Vars, v)
+			}
+			continue
+		}
+		cur = p.AddBlock(cur, r.Quant, r.Vars...)
+	}
+	p.Finalize()
+	return p
+}
+
+// Run is one quantifier block of a prenex prefix, outermost first.
+type Run struct {
+	Quant Quant
+	Vars  []Var
+}
+
+// Clone returns a deep copy of the prefix (blocks are fresh objects).
+func (p *Prefix) Clone() *Prefix {
+	q := NewPrefix(p.maxVar)
+	var walk func(src *Block, parent *Block)
+	walk = func(src *Block, parent *Block) {
+		nb := q.AddBlock(parent, src.Quant, src.Vars...)
+		for _, c := range src.Children {
+			walk(c, nb)
+		}
+	}
+	for _, r := range p.roots {
+		walk(r, nil)
+	}
+	if p.finished {
+		q.Finalize()
+	}
+	return q
+}
+
+// Vars returns all bound variables in DFS preorder of their blocks.
+func (p *Prefix) Vars() []Var {
+	var out []Var
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		out = append(out, b.Vars...)
+		for _, c := range b.Children {
+			walk(c)
+		}
+	}
+	for _, r := range p.roots {
+		walk(r)
+	}
+	return out
+}
+
+// NumBound returns the number of bound variables.
+func (p *Prefix) NumBound() int {
+	n := 0
+	for _, b := range p.blocks {
+		n += len(b.Vars)
+	}
+	if !p.finished {
+		n = len(p.Vars())
+	}
+	return n
+}
+
+// String renders the prefix as a parenthesized tree, e.g.
+// "e 1 (a 2 (e 3 4) ; a 5 (e 6))".
+func (p *Prefix) String() string {
+	var sb strings.Builder
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		sb.WriteString(b.Quant.String())
+		for _, v := range b.Vars {
+			fmt.Fprintf(&sb, " %d", v)
+		}
+		if len(b.Children) > 0 {
+			sb.WriteString(" (")
+			for i, c := range b.Children {
+				if i > 0 {
+					sb.WriteString(" ; ")
+				}
+				walk(c)
+			}
+			sb.WriteString(")")
+		}
+	}
+	for i, r := range p.roots {
+		if i > 0 {
+			sb.WriteString(" ; ")
+		}
+		walk(r)
+	}
+	return sb.String()
+}
+
+// RemoveEmptyBlocks returns a copy of the prefix in which blocks that ended
+// up with no variables are spliced out (their children are promoted), and
+// adjacent same-quantifier parent/child single-chain blocks are merged.
+// Useful after transformations that drop variables.
+func (p *Prefix) RemoveEmptyBlocks() *Prefix {
+	q := NewPrefix(p.maxVar)
+	var walk func(src *Block, parent *Block)
+	walk = func(src *Block, parent *Block) {
+		target := parent
+		if len(src.Vars) > 0 {
+			if parent != nil && parent.Quant == src.Quant {
+				// Merge into the parent run.
+				for _, v := range src.Vars {
+					q.quant[v] = src.Quant
+					q.blockOf[v] = parent
+					parent.Vars = append(parent.Vars, v)
+				}
+			} else {
+				target = q.AddBlock(parent, src.Quant, src.Vars...)
+			}
+		}
+		for _, c := range src.Children {
+			walk(c, target)
+		}
+	}
+	for _, r := range p.roots {
+		walk(r, nil)
+	}
+	q.Finalize()
+	return q
+}
+
+// SortedVarsByLevel returns the bound variables sorted by (level, var),
+// a convenient deterministic order for total-order solvers and printers.
+func (p *Prefix) SortedVarsByLevel() []Var {
+	p.Finalize()
+	vars := p.Vars()
+	sort.Slice(vars, func(i, j int) bool {
+		li, lj := p.level[vars[i]], p.level[vars[j]]
+		if li != lj {
+			return li < lj
+		}
+		return vars[i] < vars[j]
+	})
+	return vars
+}

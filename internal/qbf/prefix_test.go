@@ -1,0 +1,314 @@
+package qbf
+
+import "testing"
+
+// paperPrefix builds the prefix (3) of the paper's running example (1):
+// x0 ≺ y1 ≺ x1,x2 and x0 ≺ y2 ≺ x3,x4, with the variable numbering
+// x0=1, y1=2, x1=3, x2=4, y2=5, x3=6, x4=7.
+func paperPrefix() *Prefix {
+	p := NewPrefix(7)
+	root := p.AddBlock(nil, Exists, 1)
+	y1 := p.AddBlock(root, Forall, 2)
+	p.AddBlock(y1, Exists, 3, 4)
+	y2 := p.AddBlock(root, Forall, 5)
+	p.AddBlock(y2, Exists, 6, 7)
+	p.Finalize()
+	return p
+}
+
+func TestPaperTimestamps(t *testing.T) {
+	p := paperPrefix()
+	// Section VI gives d(x0)=1, d(y1)=2, d(x1)=d(x2)=3,
+	// f(y1)=f(x1)=f(x2)=3, d(y2)=4, d(x3)=d(x4)=5,
+	// f(x0)=f(y2)=f(x3)=f(x4)=5.
+	wantD := map[Var]int{1: 1, 2: 2, 3: 3, 4: 3, 5: 4, 6: 5, 7: 5}
+	wantF := map[Var]int{1: 5, 2: 3, 3: 3, 4: 3, 5: 5, 6: 5, 7: 5}
+	for v, d := range wantD {
+		if got := p.D(v); got != d {
+			t.Errorf("d(%d) = %d, want %d", v, got, d)
+		}
+	}
+	for v, f := range wantF {
+		if got := p.F(v); got != f {
+			t.Errorf("f(%d) = %d, want %d", v, got, f)
+		}
+	}
+}
+
+func TestPaperBefore(t *testing.T) {
+	p := paperPrefix()
+	before := [][2]Var{
+		{1, 2}, {1, 3}, {1, 4}, {1, 5}, {1, 6}, {1, 7}, // x0 ≺ everything
+		{2, 3}, {2, 4}, // y1 ≺ x1, x2
+		{5, 6}, {5, 7}, // y2 ≺ x3, x4
+	}
+	notBefore := [][2]Var{
+		{2, 5}, {5, 2}, // y1, y2 incomparable
+		{2, 6}, {2, 7}, // y1 ⊀ x3, x4
+		{5, 3}, {5, 4}, // y2 ⊀ x1, x2
+		{3, 4}, {4, 3}, // same block
+		{3, 6}, {6, 3},
+		{2, 1}, {3, 1}, // no back edges
+	}
+	for _, pr := range before {
+		if !p.Before(pr[0], pr[1]) {
+			t.Errorf("want %d ≺ %d", pr[0], pr[1])
+		}
+	}
+	for _, pr := range notBefore {
+		if p.Before(pr[0], pr[1]) {
+			t.Errorf("want %d ⊀ %d", pr[0], pr[1])
+		}
+	}
+}
+
+func TestPaperLevels(t *testing.T) {
+	p := paperPrefix()
+	// Section II: prefix level of x0 is 1; x1 and x2 have level 3; the
+	// QBF has level 3.
+	wantLevel := map[Var]int{1: 1, 2: 2, 3: 3, 4: 3, 5: 2, 6: 3, 7: 3}
+	for v, l := range wantLevel {
+		if got := p.Level(v); got != l {
+			t.Errorf("level(%d) = %d, want %d", v, got, l)
+		}
+	}
+	if got := p.MaxLevel(); got != 3 {
+		t.Errorf("MaxLevel = %d, want 3", got)
+	}
+	if p.IsPrenex() {
+		t.Error("paper prefix (3) must not be prenex")
+	}
+}
+
+func TestPrenexPrefixTotalOrder(t *testing.T) {
+	// Prefix (7): x0 ≺ y1,y2 ≺ x1,x2,x3,x4 — the prenex-optimal form.
+	p := NewPrenexPrefix(7,
+		Run{Exists, []Var{1}},
+		Run{Forall, []Var{2, 5}},
+		Run{Exists, []Var{3, 4, 6, 7}},
+	)
+	if !p.IsPrenex() {
+		t.Fatal("prenex prefix not recognized as prenex")
+	}
+	if got := p.MaxLevel(); got != 3 {
+		t.Errorf("MaxLevel = %d, want 3", got)
+	}
+	// Every ∃/∀ pair must be comparable.
+	for _, x := range []Var{1, 3, 4, 6, 7} {
+		for _, y := range []Var{2, 5} {
+			if !p.Comparable(x, y) {
+				t.Errorf("prenex prefix: %d and %d incomparable", x, y)
+			}
+		}
+	}
+	// In a total order the alternation test agrees with prefix levels.
+	for z := Var(1); z <= 7; z++ {
+		for zp := Var(1); zp <= 7; zp++ {
+			if z == zp {
+				continue
+			}
+			byLevel := p.Level(z) < p.Level(zp)
+			if p.Before(z, zp) != byLevel {
+				t.Errorf("Before(%d,%d)=%v but level test gives %v",
+					z, zp, p.Before(z, zp), byLevel)
+			}
+		}
+	}
+}
+
+func TestPrenexPrefixMergesAdjacentRuns(t *testing.T) {
+	p := NewPrenexPrefix(4,
+		Run{Exists, []Var{1}},
+		Run{Exists, []Var{2}},
+		Run{Forall, []Var{3}},
+		Run{Exists, []Var{4}},
+	)
+	if got := len(p.Blocks()); got != 3 {
+		t.Fatalf("got %d blocks, want 3 (adjacent ∃ runs merged)", got)
+	}
+	if p.Before(1, 2) || p.Before(2, 1) {
+		t.Error("variables of merged ∃ runs must be incomparable")
+	}
+	if !p.Before(1, 3) || !p.Before(3, 4) || !p.Before(1, 4) {
+		t.Error("chain order broken after merging")
+	}
+}
+
+func TestSiblingRootsIncomparable(t *testing.T) {
+	p := NewPrefix(4)
+	a := p.AddBlock(nil, Exists, 1)
+	p.AddBlock(a, Forall, 2)
+	b := p.AddBlock(nil, Forall, 3)
+	p.AddBlock(b, Exists, 4)
+	p.Finalize()
+	for _, pr := range [][2]Var{{1, 3}, {3, 1}, {1, 4}, {4, 1}, {2, 3}, {2, 4}, {3, 2}} {
+		if p.Before(pr[0], pr[1]) {
+			t.Errorf("cross-root order %d ≺ %d must not hold", pr[0], pr[1])
+		}
+	}
+	if !p.Before(1, 2) || !p.Before(3, 4) {
+		t.Error("in-root order lost")
+	}
+}
+
+func TestSameQuantifierNestingUnordered(t *testing.T) {
+	// ∃x1 (∃x2 …): no alternation, so x1 ⊀ x2 by the Section II order.
+	p := NewPrefix(3)
+	a := p.AddBlock(nil, Exists, 1)
+	b := p.AddBlock(a, Exists, 2)
+	p.AddBlock(b, Forall, 3)
+	p.Finalize()
+	if p.Before(1, 2) || p.Before(2, 1) {
+		t.Error("directly nested same-quantifier blocks must be incomparable")
+	}
+	if !p.Before(1, 3) || !p.Before(2, 3) {
+		t.Error("both ∃ levels must precede the ∀ below them")
+	}
+	if p.Level(1) != 1 || p.Level(2) != 1 || p.Level(3) != 2 {
+		t.Errorf("levels = %d,%d,%d want 1,1,2", p.Level(1), p.Level(2), p.Level(3))
+	}
+}
+
+func TestSameQuantifierSeparatedByAlternation(t *testing.T) {
+	// ∃x1 ∀y2 ∃x3: x1 ≺ x3 through rule (b) of the ≺ definition.
+	p := NewPrenexPrefix(3,
+		Run{Exists, []Var{1}},
+		Run{Forall, []Var{2}},
+		Run{Exists, []Var{3}},
+	)
+	if !p.Before(1, 3) {
+		t.Error("x1 ≺ x3 must hold across an alternation")
+	}
+	if p.Before(3, 1) {
+		t.Error("order must be antisymmetric")
+	}
+}
+
+func TestBeforeTransitivityProperty(t *testing.T) {
+	p := paperPrefix()
+	vars := p.Vars()
+	for _, a := range vars {
+		for _, b := range vars {
+			for _, c := range vars {
+				if p.Before(a, b) && p.Before(b, c) && !p.Before(a, c) {
+					t.Fatalf("≺ not transitive: %d ≺ %d ≺ %d", a, b, c)
+				}
+			}
+		}
+	}
+	for _, a := range vars {
+		if p.Before(a, a) {
+			t.Fatalf("≺ not irreflexive at %d", a)
+		}
+		for _, b := range vars {
+			if p.Before(a, b) && p.Before(b, a) {
+				t.Fatalf("≺ not antisymmetric: %d, %d", a, b)
+			}
+		}
+	}
+}
+
+func TestFreeVariablesOutermost(t *testing.T) {
+	p := paperPrefix() // binds 1..7; treat 9 as free
+	p.GrowVar(9)
+	p.Finalize()
+	if !p.Before(9, 1) || !p.Before(9, 2) {
+		t.Error("free variables must precede all bound variables")
+	}
+	if p.Before(1, 9) {
+		t.Error("bound variables must not precede free ones")
+	}
+	if p.Before(9, 9) {
+		t.Error("free/free must be incomparable")
+	}
+	if p.QuantOf(9) != Exists {
+		t.Error("free variables are existential")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	p := paperPrefix()
+	q := p.Clone()
+	q.AddBlock(q.Roots()[0], Forall, 0+8)
+	q.Finalize()
+	if p.Bound(8) {
+		t.Error("Clone must not share block storage")
+	}
+	if !q.Bound(8) {
+		t.Error("AddBlock on clone had no effect")
+	}
+	for v := Var(1); v <= 7; v++ {
+		if p.Level(v) != q.Level(v) {
+			t.Errorf("clone level mismatch at %d", v)
+		}
+	}
+}
+
+func TestRemoveEmptyBlocks(t *testing.T) {
+	p := NewPrefix(3)
+	a := p.AddBlock(nil, Exists, 1)
+	empty := p.AddBlock(a, Forall) // no vars
+	c := p.AddBlock(empty, Exists, 2)
+	p.AddBlock(c, Forall, 3)
+	p.Finalize()
+	q := p.RemoveEmptyBlocks()
+	if got := len(q.Blocks()); got != 2 {
+		t.Fatalf("got %d blocks, want 2 (empty spliced, ∃∃ merged)", got)
+	}
+	if q.Before(1, 2) || q.Before(2, 1) {
+		t.Error("merged ∃ variables must be incomparable")
+	}
+	if !q.Before(1, 3) || !q.Before(2, 3) {
+		t.Error("order to the ∀ block lost")
+	}
+}
+
+func TestAncestorOf(t *testing.T) {
+	p := paperPrefix()
+	bOf := func(v Var) *Block { return p.BlockOf(v) }
+	if !bOf(1).AncestorOf(bOf(3)) {
+		t.Error("x0 block must be ancestor of x1 block")
+	}
+	if bOf(2).AncestorOf(bOf(6)) {
+		t.Error("y1 block must not be ancestor of x3 block")
+	}
+	if !bOf(2).AncestorOf(bOf(2)) {
+		t.Error("AncestorOf must be reflexive")
+	}
+	if bOf(3).AncestorOf(bOf(1)) {
+		t.Error("AncestorOf must not invert")
+	}
+}
+
+func TestBoundTwicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("binding a variable twice must panic")
+		}
+	}()
+	p := NewPrefix(2)
+	p.AddBlock(nil, Exists, 1)
+	p.AddBlock(nil, Forall, 1)
+}
+
+func TestPrefixString(t *testing.T) {
+	p := paperPrefix()
+	want := "e 1 (a 2 (e 3 4) ; a 5 (e 6 7))"
+	if got := p.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestSortedVarsByLevel(t *testing.T) {
+	p := paperPrefix()
+	got := p.SortedVarsByLevel()
+	want := []Var{1, 2, 5, 3, 4, 6, 7}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortedVarsByLevel = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package qbf
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomTree wraps a generated QBF for testing/quick.
+type randomTree struct {
+	Q *QBF
+}
+
+// Generate implements quick.Generator: a random scope-consistent QBF.
+func (randomTree) Generate(r *rand.Rand, size int) reflect.Value {
+	if size < 3 {
+		size = 3
+	}
+	if size > 12 {
+		size = 12
+	}
+	return reflect.ValueOf(randomTree{Q: RandomQBF(r, size, size)})
+}
+
+var quickCfg = &quick.Config{MaxCount: 300}
+
+// TestQuickOrderIsStrictPartialOrder: ≺ is irreflexive, antisymmetric and
+// transitive on arbitrary random trees.
+func TestQuickOrderIsStrictPartialOrder(t *testing.T) {
+	prop := func(rt randomTree) bool {
+		p := rt.Q.Prefix
+		vars := p.Vars()
+		for _, a := range vars {
+			if p.Before(a, a) {
+				return false
+			}
+			for _, b := range vars {
+				if p.Before(a, b) && p.Before(b, a) {
+					return false
+				}
+				for _, c := range vars {
+					if p.Before(a, b) && p.Before(b, c) && !p.Before(a, c) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBeforeImpliesLevel: z ≺ z' implies level(z) < level(z').
+func TestQuickBeforeImpliesLevel(t *testing.T) {
+	prop := func(rt randomTree) bool {
+		p := rt.Q.Prefix
+		vars := p.Vars()
+		for _, a := range vars {
+			for _, b := range vars {
+				if p.Before(a, b) && p.Level(a) >= p.Level(b) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDFIntervalAgreesOnAlternatingChains: on prenex prefixes (where
+// every edge alternates after run merging) the Section VI parenthesis test
+// coincides with Before.
+func TestQuickDFIntervalAgreesOnAlternatingChains(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(8)
+		var runs []Run
+		q := Exists
+		if rng.Intn(2) == 0 {
+			q = Forall
+		}
+		v := Var(1)
+		for int(v) <= n {
+			k := 1 + rng.Intn(3)
+			var vars []Var
+			for i := 0; i < k && int(v) <= n; i++ {
+				vars = append(vars, v)
+				v++
+			}
+			runs = append(runs, Run{Quant: q, Vars: vars})
+			q = q.Dual()
+		}
+		p := NewPrenexPrefix(n, runs...)
+		for a := Var(1); int(a) <= n; a++ {
+			for b := Var(1); int(b) <= n; b++ {
+				interval := p.D(a) < p.D(b) && p.D(b) <= p.F(a)
+				if interval != p.Before(a, b) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNormalizeProperties: Normalize yields variable-sorted, duplicate
+// free clauses, or correctly reports a tautology.
+func TestQuickNormalizeProperties(t *testing.T) {
+	prop := func(raw []int8) bool {
+		var c Clause
+		for _, x := range raw {
+			if x == 0 {
+				continue
+			}
+			v := int(x)
+			if v < 0 {
+				v = -v
+			}
+			v = v%8 + 1
+			l := Var(v).PosLit()
+			if x < 0 {
+				l = Var(v).NegLit()
+			}
+			c = append(c, l)
+		}
+		pos := map[Var]bool{}
+		neg := map[Var]bool{}
+		for _, l := range c {
+			if l.Positive() {
+				pos[l.Var()] = true
+			} else {
+				neg[l.Var()] = true
+			}
+		}
+		wantTaut := false
+		for v := range pos {
+			if neg[v] {
+				wantTaut = true
+			}
+		}
+		nc, taut := c.Clone().Normalize()
+		if taut != wantTaut {
+			return false
+		}
+		if taut {
+			return true
+		}
+		seen := map[Var]bool{}
+		for i, l := range nc {
+			if seen[l.Var()] {
+				return false
+			}
+			seen[l.Var()] = true
+			if i > 0 && nc[i-1].Var() > l.Var() {
+				return false
+			}
+		}
+		// Same literal set as the input.
+		for _, l := range c {
+			if !nc.Has(l) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickUniversalReduceProperties: reduction is idempotent, returns a
+// subset, keeps every existential literal, and preserves the value.
+func TestQuickUniversalReduceProperties(t *testing.T) {
+	prop := func(rt randomTree) bool {
+		q := rt.Q
+		for _, c := range q.Matrix {
+			r1 := UniversalReduce(q.Prefix, c)
+			r2 := UniversalReduce(q.Prefix, r1)
+			if len(r1) != len(r2) {
+				return false
+			}
+			for _, l := range r1 {
+				if !c.Has(l) {
+					return false
+				}
+			}
+			for _, l := range c {
+				if q.Prefix.QuantOf(l.Var()) == Exists && !r1.Has(l) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAssignShrinks: assigning any literal removes the variable from
+// the prefix and from the matrix.
+func TestQuickAssignShrinks(t *testing.T) {
+	prop := func(rt randomTree, pick uint8, pol bool) bool {
+		q := rt.Q
+		vars := q.Prefix.Vars()
+		if len(vars) == 0 {
+			return true
+		}
+		v := vars[int(pick)%len(vars)]
+		l := v.PosLit()
+		if !pol {
+			l = v.NegLit()
+		}
+		r := q.Assign(l)
+		if r.Prefix.Bound(v) {
+			return false
+		}
+		for _, c := range r.Matrix {
+			for _, m := range c {
+				if m.Var() == v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCloneEquivalent: cloning preserves value and order.
+func TestQuickCloneEquivalent(t *testing.T) {
+	prop := func(rt randomTree) bool {
+		q := rt.Q
+		c := q.Clone()
+		vars := q.Prefix.Vars()
+		for _, a := range vars {
+			for _, b := range vars {
+				if q.Prefix.Before(a, b) != c.Prefix.Before(a, b) {
+					return false
+				}
+			}
+		}
+		va, okA := EvalWithBudget(q, 500_000)
+		vb, okB := EvalWithBudget(c, 500_000)
+		if okA != okB {
+			return false
+		}
+		return !okA || va == vb
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

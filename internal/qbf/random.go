@@ -1,0 +1,66 @@
+package qbf
+
+import "math/rand"
+
+// RandomQBF builds a random scope-consistent QBF over a random quantifier
+// tree: every clause draws its variables from one root-to-leaf path, so the
+// result always represents an actual non-prenex formula. It is primarily
+// meant for differential testing of the solver against the Eval oracle.
+func RandomQBF(rng *rand.Rand, maxVars, maxClauses int) *QBF {
+	n := 2 + rng.Intn(maxVars-1)
+	p := NewPrefix(n)
+	// Random tree: each block gets 1..2 vars, random quantifier, random
+	// parent among existing blocks or root.
+	var blocks []*Block
+	v := Var(1)
+	for int(v) <= n {
+		var parent *Block
+		if len(blocks) > 0 && rng.Intn(3) > 0 {
+			parent = blocks[rng.Intn(len(blocks))]
+		}
+		q := Exists
+		if rng.Intn(2) == 0 {
+			q = Forall
+		}
+		k := 1 + rng.Intn(2)
+		vars := []Var{}
+		for i := 0; i < k && int(v) <= n; i++ {
+			vars = append(vars, v)
+			v++
+		}
+		blocks = append(blocks, p.AddBlock(parent, q, vars...))
+	}
+	p.Finalize()
+
+	// Paths: for each block, the variables on its root path.
+	pathVars := func(b *Block) []Var {
+		var out []Var
+		for x := b; x != nil; x = x.Parent() {
+			out = append(out, x.Vars...)
+		}
+		return out
+	}
+	nc := 1 + rng.Intn(maxClauses)
+	matrix := make([]Clause, 0, nc)
+	for i := 0; i < nc; i++ {
+		b := blocks[rng.Intn(len(blocks))]
+		pool := pathVars(b)
+		k := 1 + rng.Intn(3)
+		if k > len(pool) {
+			k = len(pool)
+		}
+		rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+		c := make(Clause, 0, k)
+		for _, pv := range pool[:k] {
+			l := pv.PosLit()
+			if rng.Intn(2) == 0 {
+				l = pv.NegLit()
+			}
+			c = append(c, l)
+		}
+		c, _ = c.Normalize()
+		matrix = append(matrix, c)
+	}
+	q := New(p, matrix)
+	return q
+}

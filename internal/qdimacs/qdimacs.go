@@ -1,0 +1,320 @@
+// Package qdimacs reads and writes QBF instances in two concrete syntaxes:
+//
+//   - QDIMACS, the standard prenex format of the QBF evaluations: a
+//     "p cnf <vars> <clauses>" header, quantifier lines "e v… 0" / "a v… 0"
+//     outermost first, then 0-terminated clauses.
+//
+//   - QTREE, a small extension for non-prenex (tree shaped) prefixes used by
+//     this repository: the header is "p qtree <vars> <clauses>"; a line
+//     "q e v… 0" (or "q a v… 0") opens a quantifier block nested in the
+//     previously opened one, and "u <k>" pops k open blocks, so arbitrary
+//     quantifier trees can be described in DFS order. Clause lines follow as
+//     in DIMACS. Blocks still open at the first clause line are closed
+//     implicitly.
+//
+// Both readers are tolerant of comment lines ("c …") anywhere before the
+// clauses and of extra whitespace.
+package qdimacs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/qbf"
+)
+
+// Read parses either format, dispatching on the problem line.
+func Read(r io.Reader) (*qbf.QBF, error) {
+	br := bufio.NewReader(r)
+	var header string
+	for {
+		line, err := br.ReadString('\n')
+		if len(line) == 0 && err != nil {
+			return nil, fmt.Errorf("qdimacs: missing problem line: %w", err)
+		}
+		t := strings.TrimSpace(line)
+		if t == "" || strings.HasPrefix(t, "c") {
+			if err != nil {
+				return nil, fmt.Errorf("qdimacs: missing problem line")
+			}
+			continue
+		}
+		header = t
+		break
+	}
+	fields := strings.Fields(header)
+	if len(fields) != 4 || fields[0] != "p" {
+		return nil, fmt.Errorf("qdimacs: malformed problem line %q", header)
+	}
+	nv, err := strconv.Atoi(fields[2])
+	if err != nil || nv < 0 {
+		return nil, fmt.Errorf("qdimacs: bad variable count %q", fields[2])
+	}
+	nc, err := strconv.Atoi(fields[3])
+	if err != nil || nc < 0 {
+		return nil, fmt.Errorf("qdimacs: bad clause count %q", fields[3])
+	}
+	switch fields[1] {
+	case "cnf":
+		return readBody(br, nv, nc, false)
+	case "qtree":
+		return readBody(br, nv, nc, true)
+	default:
+		return nil, fmt.Errorf("qdimacs: unknown format %q", fields[1])
+	}
+}
+
+func readBody(br *bufio.Reader, nv, nc int, tree bool) (*qbf.QBF, error) {
+	p := qbf.NewPrefix(nv)
+	var stack []*qbf.Block // open blocks (QTREE); in QDIMACS a chain
+	matrix := make([]qbf.Clause, 0, nc)
+	var pending qbf.Clause
+	inPrefix := true
+
+	lineNo := 1
+	for {
+		line, rdErr := br.ReadString('\n')
+		lineNo++
+		t := strings.TrimSpace(line)
+		switch {
+		case t == "" || strings.HasPrefix(t, "c "), t == "c":
+			// comment / blank
+		case strings.HasPrefix(t, "e ") || strings.HasPrefix(t, "a ") ||
+			(tree && strings.HasPrefix(t, "q ")):
+			if !inPrefix {
+				return nil, fmt.Errorf("line %d: quantifier line after clauses", lineNo)
+			}
+			spec := t
+			if tree && strings.HasPrefix(t, "q ") {
+				spec = strings.TrimSpace(t[2:])
+			}
+			quant := qbf.Exists
+			if strings.HasPrefix(spec, "a") {
+				quant = qbf.Forall
+			} else if !strings.HasPrefix(spec, "e") {
+				return nil, fmt.Errorf("line %d: bad quantifier %q", lineNo, t)
+			}
+			vars, err := parseVarList(spec[1:])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			var parent *qbf.Block
+			if len(stack) > 0 {
+				parent = stack[len(stack)-1]
+			}
+			for _, v := range vars {
+				p.GrowVar(v)
+			}
+			b := p.AddBlock(parent, quant, vars...)
+			stack = append(stack, b)
+		case tree && (t == "u" || strings.HasPrefix(t, "u ")):
+			if !inPrefix {
+				return nil, fmt.Errorf("line %d: block pop after clauses", lineNo)
+			}
+			k := 1
+			if t != "u" {
+				var err error
+				k, err = strconv.Atoi(strings.TrimSpace(t[2:]))
+				if err != nil || k < 1 {
+					return nil, fmt.Errorf("line %d: bad pop count %q", lineNo, t)
+				}
+			}
+			if k > len(stack) {
+				return nil, fmt.Errorf("line %d: popping %d of %d open blocks", lineNo, k, len(stack))
+			}
+			stack = stack[:len(stack)-k]
+		default:
+			inPrefix = false
+			lits, err := parseLits(t, pending)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			pending, matrix = flushClauses(lits, matrix)
+		}
+		if rdErr != nil {
+			break
+		}
+	}
+	if len(pending) > 0 {
+		return nil, fmt.Errorf("qdimacs: last clause not 0-terminated")
+	}
+	p.Finalize()
+	// Header counts are advisory in much of the benchmark ecosystem
+	// (QBFLIB instances frequently disagree), so nc is not enforced.
+	return qbf.New(p, matrix), nil
+}
+
+// parseVarList parses "v1 v2 … 0"; the terminating 0 is required.
+func parseVarList(s string) ([]qbf.Var, error) {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("empty quantifier line")
+	}
+	var vars []qbf.Var
+	terminated := false
+	for _, f := range fields {
+		n, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad variable %q", f)
+		}
+		if n == 0 {
+			terminated = true
+			break
+		}
+		if n < 0 {
+			return nil, fmt.Errorf("negative variable %d in quantifier line", n)
+		}
+		vars = append(vars, qbf.Var(n))
+	}
+	if !terminated {
+		return nil, fmt.Errorf("quantifier line not 0-terminated")
+	}
+	if len(vars) == 0 {
+		return nil, fmt.Errorf("empty quantifier block")
+	}
+	return vars, nil
+}
+
+// parseLits accumulates literals from one clause-section line onto pending.
+// A 0 inside the line marks the end of a clause; the in-band clauseEnd
+// marker is used by flushClauses to split completed clauses off.
+func parseLits(s string, pending qbf.Clause) (qbf.Clause, error) {
+	for _, f := range strings.Fields(s) {
+		n, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad literal %q", f)
+		}
+		if n == 0 {
+			pending = append(pending, clauseEnd)
+			continue
+		}
+		pending = append(pending, qbf.Lit(n))
+	}
+	return pending, nil
+}
+
+// clauseEnd is an in-band marker separating completed clauses in the
+// pending buffer. Variable 0 can never occur in a literal, so the marker is
+// unambiguous.
+const clauseEnd = qbf.Lit(0)
+
+func flushClauses(pending qbf.Clause, matrix []qbf.Clause) (qbf.Clause, []qbf.Clause) {
+	start := 0
+	for i, l := range pending {
+		if l == clauseEnd {
+			c := make(qbf.Clause, i-start)
+			copy(c, pending[start:i])
+			matrix = append(matrix, c)
+			start = i + 1
+		}
+	}
+	if start == 0 {
+		return pending, matrix
+	}
+	rest := make(qbf.Clause, len(pending)-start)
+	copy(rest, pending[start:])
+	return rest, matrix
+}
+
+// ReadString parses a formula from a string.
+func ReadString(s string) (*qbf.QBF, error) {
+	return Read(strings.NewReader(s))
+}
+
+// Write renders q in QDIMACS if its prefix is a chain, and in QTREE
+// otherwise.
+func Write(w io.Writer, q *qbf.QBF) error {
+	if isChain(q.Prefix) {
+		return WriteQDIMACS(w, q)
+	}
+	return WriteQTree(w, q)
+}
+
+func isChain(p *qbf.Prefix) bool {
+	if len(p.Roots()) > 1 {
+		return false
+	}
+	for _, b := range p.Roots() {
+		for x := b; x != nil; {
+			if len(x.Children) > 1 {
+				return false
+			}
+			if len(x.Children) == 1 {
+				x = x.Children[0]
+			} else {
+				x = nil
+			}
+		}
+	}
+	return true
+}
+
+// WriteQDIMACS renders a prenex (chain shaped) formula in QDIMACS. It
+// returns an error if the prefix is not a chain.
+func WriteQDIMACS(w io.Writer, q *qbf.QBF) error {
+	if !isChain(q.Prefix) {
+		return fmt.Errorf("qdimacs: prefix is not a chain; use WriteQTree or prenex first")
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "p cnf %d %d\n", q.MaxVar(), len(q.Matrix))
+	for _, r := range q.Prefix.Roots() {
+		for b := r; b != nil; {
+			bw.WriteString(b.Quant.String())
+			for _, v := range b.Vars {
+				fmt.Fprintf(bw, " %d", v)
+			}
+			bw.WriteString(" 0\n")
+			if len(b.Children) == 1 {
+				b = b.Children[0]
+			} else {
+				b = nil
+			}
+		}
+	}
+	writeClauses(bw, q.Matrix)
+	return bw.Flush()
+}
+
+// WriteQTree renders any formula in the QTREE format.
+func WriteQTree(w io.Writer, q *qbf.QBF) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "p qtree %d %d\n", q.MaxVar(), len(q.Matrix))
+	var walk func(b *qbf.Block)
+	walk = func(b *qbf.Block) {
+		fmt.Fprintf(bw, "q %s", b.Quant.String())
+		for _, v := range b.Vars {
+			fmt.Fprintf(bw, " %d", v)
+		}
+		bw.WriteString(" 0\n")
+		for _, c := range b.Children {
+			walk(c)
+		}
+		bw.WriteString("u 1\n")
+	}
+	for _, r := range q.Prefix.Roots() {
+		walk(r)
+	}
+	writeClauses(bw, q.Matrix)
+	return bw.Flush()
+}
+
+func writeClauses(bw *bufio.Writer, matrix []qbf.Clause) {
+	for _, c := range matrix {
+		for _, l := range c {
+			fmt.Fprintf(bw, "%d ", int(l))
+		}
+		bw.WriteString("0\n")
+	}
+}
+
+// WriteString renders q to a string using Write.
+func WriteString(q *qbf.QBF) (string, error) {
+	var sb strings.Builder
+	if err := Write(&sb, q); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,69 @@
+package qdimacs
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestReadNeverPanics feeds random byte soup and mutated valid headers to
+// the reader: malformed input must produce an error or a parsed formula,
+// never a panic.
+func TestReadNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(907))
+	alphabet := []byte("pcnfqtreau0123456789- \n\t")
+	for i := 0; i < 2000; i++ {
+		n := rng.Intn(200)
+		buf := make([]byte, n)
+		for j := range buf {
+			buf[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on input %q: %v", buf, r)
+				}
+			}()
+			q, err := ReadString(string(buf))
+			if err == nil && q == nil {
+				t.Fatalf("nil formula without error for %q", buf)
+			}
+		}()
+	}
+}
+
+// TestReadMutatedValid mutates a correct instance one byte at a time.
+func TestReadMutatedValid(t *testing.T) {
+	valid := "p qtree 7 3\nq e 1 0\nq a 2 0\nq e 3 4 0\nu 2\nq a 5 0\nq e 6 7 0\nu 3\n1 3 4 0\n2 -3 0\n1 6 -7 0\n"
+	for i := 0; i < len(valid); i++ {
+		for _, b := range []byte{'0', '9', '-', 'q', 'x', '\n', ' '} {
+			mutated := valid[:i] + string(b) + valid[i+1:]
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic on mutation at %d→%q: %v", i, b, r)
+					}
+				}()
+				q, err := ReadString(mutated)
+				if err == nil {
+					// Accepted mutations must still be structurally sane
+					// after the standard cleanup (the reader, like most
+					// DIMACS tooling, tolerates duplicate literals and
+					// leaves deduplication to NormalizeMatrix).
+					q.NormalizeMatrix()
+					if err2 := q.Validate(); err2 != nil {
+						t.Fatalf("mutation at %d→%q accepted an invalid formula: %v", i, b, err2)
+					}
+				}
+			}()
+		}
+	}
+}
+
+// TestReadHugeTokens guards against pathological token lengths.
+func TestReadHugeTokens(t *testing.T) {
+	in := "p cnf 2 1\ne 1 2 0\n" + strings.Repeat("1", 400) + " 0\n"
+	if _, err := ReadString(in); err == nil {
+		t.Error("a 400-digit literal must be rejected")
+	}
+}

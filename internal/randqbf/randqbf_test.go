@@ -1,0 +1,149 @@
+package randqbf
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/qbf"
+)
+
+func TestProbStructure(t *testing.T) {
+	p := ProbParams{Blocks: 3, BlockSize: 5, Clauses: 20, Length: 3, MaxUniversal: 1, Seed: 3}
+	q := Prob(p)
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !q.Prefix.IsPrenex() {
+		t.Error("model-A instances are prenex")
+	}
+	if got := q.Prefix.MaxLevel(); got != 3 {
+		t.Errorf("prefix level %d, want 3", got)
+	}
+	if len(q.Matrix) != 20 {
+		t.Errorf("%d clauses, want 20", len(q.Matrix))
+	}
+	for i, c := range q.Matrix {
+		if len(c) != 3 {
+			t.Errorf("clause %d has %d literals, want 3", i, len(c))
+		}
+		universals := 0
+		existentials := 0
+		for _, l := range c {
+			if q.Prefix.QuantOf(l.Var()) == qbf.Forall {
+				universals++
+			} else {
+				existentials++
+			}
+		}
+		if universals > 1 {
+			t.Errorf("clause %d has %d universal literals, max 1", i, universals)
+		}
+		if existentials == 0 {
+			t.Errorf("clause %d is contradictory by construction", i)
+		}
+	}
+}
+
+func TestProbDeterministicAndVaried(t *testing.T) {
+	p := ProbParams{Blocks: 2, BlockSize: 4, Clauses: 10, Length: 3, Seed: 11}
+	if Prob(p).String() != Prob(p).String() {
+		t.Error("same seed must reproduce the instance")
+	}
+	p2 := p
+	p2.Seed = 12
+	if Prob(p2).String() == Prob(p).String() {
+		t.Error("seeds must differentiate instances")
+	}
+}
+
+func TestProbMatchesOracle(t *testing.T) {
+	for s := int64(0); s < 20; s++ {
+		q := Prob(ProbParams{Blocks: 2, BlockSize: 4, Clauses: 10, Length: 3, MaxUniversal: 1, Seed: s})
+		want, ok := qbf.EvalWithBudget(q, 2_000_000)
+		if !ok {
+			continue
+		}
+		for _, mode := range []core.Mode{core.ModePartialOrder, core.ModeTotalOrder} {
+			got, _, err := core.Solve(q, core.Options{Mode: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if (got == core.True) != want {
+				t.Fatalf("seed %d mode %v: solver %v, oracle %v", s, mode, got, want)
+			}
+		}
+	}
+}
+
+func TestMiniscopeFilter(t *testing.T) {
+	kept, total := 0, 0
+	for _, p := range ProbSuite(5) {
+		q := Prob(p)
+		tree, share, keep := MiniscopeFilter(q, 0.2)
+		total++
+		if share < 0 || share > 1 {
+			t.Fatalf("share out of range: %v", share)
+		}
+		if keep {
+			kept++
+			if tree.Prefix.IsPrenex() {
+				t.Errorf("%v: kept instance should be non-prenex after miniscoping", p)
+			}
+			// The miniscoped tree must agree with the prenex original.
+			po, _, err := core.Solve(tree, core.Options{Mode: core.ModePartialOrder})
+			if err != nil {
+				t.Fatal(err)
+			}
+			to, _, err := core.Solve(q, core.Options{Mode: core.ModeTotalOrder})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if po != to {
+				t.Fatalf("%v: PO(miniscoped)=%v TO(prenex)=%v", p, po, to)
+			}
+		}
+	}
+	if kept == 0 {
+		t.Fatalf("filter kept 0 of %d instances; the Fig. 7 experiment would be empty", total)
+	}
+	if kept == total {
+		t.Errorf("filter kept all %d instances; footnote 9 expects most to fail", total)
+	}
+	t.Logf("miniscope filter kept %d of %d", kept, total)
+}
+
+func TestFixedSuite(t *testing.T) {
+	suite := FixedSuite(6)
+	if len(suite) != 6 {
+		t.Fatalf("got %d instances", len(suite))
+	}
+	for i, q := range suite {
+		if !q.Prefix.IsPrenex() {
+			t.Errorf("fixed instance %d must be prenex", i)
+		}
+		if err := q.Validate(); err != nil {
+			t.Errorf("fixed instance %d: %v", i, err)
+		}
+	}
+}
+
+func TestFixedMiniscopeAgreement(t *testing.T) {
+	for i := int64(0); i < 6; i++ {
+		q := Fixed(i)
+		tree, _, keep := MiniscopeFilter(q, 0.0)
+		if !keep {
+			continue
+		}
+		po, _, err := core.Solve(tree, core.Options{Mode: core.ModePartialOrder})
+		if err != nil {
+			t.Fatal(err)
+		}
+		to, _, err := core.Solve(q, core.Options{Mode: core.ModeTotalOrder})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if po != to {
+			t.Fatalf("fixed %d: PO(miniscoped)=%v TO=%v", i, po, to)
+		}
+	}
+}
