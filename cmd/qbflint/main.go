@@ -1,0 +1,105 @@
+// Command qbflint runs the project's static analysis rules over Go source
+// files. It is stdlib-only and wired into scripts/check.sh as part of the
+// verification gate.
+//
+// Usage:
+//
+//	qbflint [flags] [patterns...]
+//
+// Patterns are ./... (recursive), directories, or .go files; the default
+// is ./... from the current directory. Exit status: 0 when clean, 1 when
+// findings were reported, 2 on usage or processing errors.
+//
+// Flags:
+//
+//	-json            emit findings as a JSON array instead of text
+//	-list            list the available rules and exit
+//	-enable  L1,L2   run only the named rules
+//	-disable L3      drop the named rules from the set
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(argv []string) int {
+	fl := flag.NewFlagSet("qbflint", flag.ContinueOnError)
+	jsonOut := fl.Bool("json", false, "emit findings as JSON")
+	list := fl.Bool("list", false, "list available rules and exit")
+	enable := fl.String("enable", "", "comma-separated rules to run (default: all)")
+	disable := fl.String("disable", "", "comma-separated rules to skip")
+	if err := fl.Parse(argv); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, r := range lint.DefaultRules() {
+			fmt.Printf("%s  %s\n", r.Name(), r.Doc())
+		}
+		return 0
+	}
+
+	patterns := fl.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	runner, err := lint.NewRunner(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qbflint:", err)
+		return 2
+	}
+	runner.Rules = lint.RulesByName(splitList(*enable), splitList(*disable))
+	if len(runner.Rules) == 0 {
+		fmt.Fprintln(os.Stderr, "qbflint: no rules selected")
+		return 2
+	}
+
+	findings, err := runner.Run(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qbflint:", err)
+		return 2
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "qbflint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

@@ -77,7 +77,7 @@ func main() {
 	if *witness && r == core.True {
 		if model, ok := solver.Witness(); ok {
 			fmt.Print("v")
-			for v := qbf.Var(1); int(v) <= q.MaxVar(); v++ {
+			for v := qbf.MinVar; v.Int() <= q.MaxVar(); v++ {
 				if val, has := model[v]; has {
 					if val {
 						fmt.Printf(" %d", v)

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/invariant"
 	"repro/internal/prenex"
 	"repro/internal/qbf"
 )
@@ -99,7 +100,7 @@ func RunOne(q *qbf.QBF, opt core.Options) Outcome {
 	start := time.Now()
 	r, st, err := core.Solve(q, opt)
 	if err != nil {
-		panic(fmt.Sprintf("bench: %v", err))
+		invariant.Violated("bench: %v", err)
 	}
 	return Outcome{
 		Result:  r,
@@ -120,7 +121,7 @@ func RunInstance(inst Instance, cfg Config) RunResult {
 	want := out.PO.Result
 	for s, o := range out.TO {
 		if o.Result != core.Unknown && want != core.Unknown && o.Result != want {
-			panic(fmt.Sprintf("bench: %s: TO(%v)=%v but PO=%v", inst.Name, s, o.Result, want))
+			invariant.Violated("bench: %s: TO(%v)=%v but PO=%v", inst.Name, s, o.Result, want)
 		}
 	}
 	return out

@@ -9,6 +9,7 @@ package circuit
 import (
 	"fmt"
 
+	"repro/internal/invariant"
 	"repro/internal/qbf"
 )
 
@@ -71,7 +72,7 @@ func (b *Builder) False() Node { return -1 }
 // Var returns the node of input variable v, creating it on first use.
 func (b *Builder) Var(v qbf.Var) Node {
 	if v <= 0 {
-		panic(fmt.Sprintf("circuit: invalid variable %d", v))
+		invariant.Violated("circuit: invalid variable %d", v)
 	}
 	if n, ok := b.vars[v]; ok {
 		return n
@@ -227,7 +228,7 @@ func (b *Builder) eval(n Node, asg map[qbf.Var]bool, memo map[Node]bool) bool {
 	case OpIff:
 		out = b.eval(g.args[0], asg, memo) == b.eval(g.args[1], asg, memo)
 	default:
-		panic("circuit: unknown op")
+		invariant.Violated("circuit: unknown op")
 	}
 	memo[n] = out
 	return out

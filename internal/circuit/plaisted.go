@@ -1,6 +1,9 @@
 package circuit
 
-import "repro/internal/qbf"
+import (
+	"repro/internal/invariant"
+	"repro/internal/qbf"
+)
 
 // Polarity says in which polarity a converted formula is asserted.
 type Polarity int8
@@ -151,6 +154,6 @@ func (t *pgTseitin) emit(n Node, pol Polarity) {
 		t.emit(g.args[1], Pos)
 		t.emit(g.args[1], Neg)
 	default:
-		panic("circuit: unknown op in TseitinPG")
+		invariant.Violated("circuit: unknown op in TseitinPG")
 	}
 }

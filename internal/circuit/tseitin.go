@@ -1,6 +1,9 @@
 package circuit
 
-import "repro/internal/qbf"
+import (
+	"repro/internal/invariant"
+	"repro/internal/qbf"
+)
 
 // VarAlloc hands out fresh variable indices above the formula's input
 // variables; the Tseitin definition variables of Section VII.C ("x is a
@@ -118,7 +121,7 @@ func (t *tseitin) lit(n Node) qbf.Lit {
 			qbf.Clause{l, a.Neg(), c.Neg()},
 		)
 	default:
-		panic("circuit: unknown op in Tseitin")
+		invariant.Violated("circuit: unknown op in Tseitin")
 	}
 	t.lits[n] = l
 	return l

@@ -1,6 +1,9 @@
 package core
 
-import "repro/internal/qbf"
+import (
+	"repro/internal/invariant"
+	"repro/internal/qbf"
+)
 
 // analysis is the outcome of conflict/solution analysis.
 type analysis struct {
@@ -158,7 +161,7 @@ func (s *Solver) analyzeConflict(ci int) analysis {
 // whose variable was unit-propagated by a clause and whose reason does not
 // introduce a (long-distance) tautology into w.
 func (s *Solver) pickClausePivot(w *workSet, tried map[qbf.Var]bool) (qbf.Lit, bool) {
-	best := qbf.Lit(0)
+	best := qbf.NoLit
 	bestPos := -1
 	for _, v := range w.vars {
 		l := w.get(v)
@@ -351,8 +354,8 @@ func (s *Solver) coverCube(w *workSet) {
 		if covered {
 			continue
 		}
-		if best == 0 {
-			panic("core: coverCube called with an unsatisfied original clause")
+		if best == qbf.NoLit {
+			invariant.Violated("core: coverCube called with an unsatisfied original clause")
 		}
 		if s.eReducible[best.Var()] {
 			// Adding best and then existential-reducing would delete it
@@ -368,7 +371,7 @@ func (s *Solver) coverCube(w *workSet) {
 // pickCubePivot selects the deepest-on-trail universal literal of w whose
 // variable was propagated by a cube.
 func (s *Solver) pickCubePivot(w *workSet, tried map[qbf.Var]bool) (qbf.Lit, bool) {
-	best := qbf.Lit(0)
+	best := qbf.NoLit
 	bestPos := -1
 	for _, v := range w.vars {
 		l := w.get(v)

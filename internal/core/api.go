@@ -20,7 +20,12 @@ func Solve(q *qbf.QBF, opt Options) (Result, Stats, error) {
 func MustSolve(q *qbf.QBF, opt Options) (Result, Stats) {
 	r, st, err := Solve(q, opt)
 	if err != nil {
-		panic(err)
+		panic(err) //lint:allow L3 MustSolve's documented contract is to panic with the construction error
 	}
 	return r, st
 }
+
+// InvariantsCompiled reports whether the deep invariant checker behind
+// Options.CheckInvariants is compiled into this binary, i.e. whether the
+// build used -tags qbfdebug.
+func InvariantsCompiled() bool { return invariantsCompiled }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/qbf"
 )
@@ -31,6 +32,7 @@ func (s *Solver) DebugLearnedSizes() (clauses, cubes map[int]int) {
 // annotations, most recent first.
 func (s *Solver) DebugSampleCubes(n int) []string {
 	var out []string
+	var sb strings.Builder
 	for i := len(s.cons) - 1; i >= s.nOriginalClauses && len(out) < n; i-- {
 		c := &s.cons[i]
 		if c.deleted || !c.isCube {
@@ -38,18 +40,21 @@ func (s *Solver) DebugSampleCubes(n int) []string {
 		}
 		lits := append([]qbf.Lit(nil), c.lits...)
 		sort.Slice(lits, func(a, b int) bool { return lits[a].Var() < lits[b].Var() })
-		str := "["
+		sb.Reset()
+		sb.WriteByte('[')
 		for j, l := range lits {
 			if j > 0 {
-				str += " "
+				sb.WriteByte(' ')
 			}
-			q := "e"
+			q := byte('e')
 			if s.quant[l.Var()] == qbf.Forall {
-				q = "a"
+				q = 'a'
 			}
-			str += fmt.Sprintf("%s%d", q, int(l))
+			sb.WriteByte(q)
+			fmt.Fprintf(&sb, "%d", l.Int())
 		}
-		out = append(out, str+"]")
+		sb.WriteByte(']')
+		out = append(out, sb.String())
 	}
 	return out
 }
@@ -62,7 +67,7 @@ func (s *Solver) SetDebugSolutionHook(f func(assignedU, totalU int)) {
 }
 
 func (s *Solver) debugCountUniversals() (assigned, total int) {
-	for v := qbf.Var(1); int(v) <= s.nVars; v++ {
+	for v := qbf.MinVar; v.Int() <= s.nVars; v++ {
 		if s.quant[v] == qbf.Forall {
 			total++
 			if s.value[v] != undef {

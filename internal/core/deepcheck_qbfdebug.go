@@ -1,0 +1,233 @@
+//go:build qbfdebug
+
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/invariant"
+	"repro/internal/qbf"
+)
+
+// invariantsCompiled reports whether the deep checker is compiled into
+// this binary (true exactly under the qbfdebug build tag).
+const invariantsCompiled = true
+
+// attachInvariantPrefix validates the finalized input prefix and
+// cross-checks the solver's O(1) ≺ test against the structural
+// Prefix.Before — the property the whole engine's soundness rests on.
+// Pairs are exhaustive for small formulas, sampled deterministically
+// otherwise.
+func (s *Solver) attachInvariantPrefix(p *qbf.Prefix) {
+	if !s.opt.CheckInvariants {
+		return
+	}
+	s.dbgPrefix = p
+	invariant.Must(invariant.CheckPrefix(p), "core: input prefix after Finalize")
+	invariant.Must(invariant.CheckOrder(p, 1024, int64(s.nVars)+1), "core: partial order laws")
+
+	check := func(a, b qbf.Var) {
+		if s.blockOf[a] < 0 || s.blockOf[b] < 0 {
+			return // ghost variables take no part in solving
+		}
+		invariant.Check(s.before(a, b) == p.Before(a, b),
+			"core: solver before(%d,%d)=%v disagrees with Prefix.Before=%v",
+			a, b, s.before(a, b), p.Before(a, b))
+	}
+	if s.nVars <= 64 {
+		for a := qbf.MinVar; a.Int() <= s.nVars; a++ {
+			for b := qbf.MinVar; b.Int() <= s.nVars; b++ {
+				check(a, b)
+			}
+		}
+		return
+	}
+	rng := rand.New(rand.NewSource(int64(s.nVars)))
+	for i := 0; i < 4096; i++ {
+		check(qbf.VarOf(1+rng.Intn(s.nVars)), qbf.VarOf(1+rng.Intn(s.nVars)))
+	}
+}
+
+// deepCheck recomputes the solver's incremental state from scratch and
+// panics (via invariant.Violated) on any mismatch. It is called at every
+// propagation fixpoint — between decisions — so all counter effects of the
+// trail have been applied (qhead == len(trail)).
+func (s *Solver) deepCheck() {
+	if !s.opt.CheckInvariants || s.trivial != Unknown {
+		return
+	}
+	s.checkTrail()
+	s.checkBlockBookkeeping()
+	s.checkConstraintCounters()
+	s.checkMatrixBookkeeping()
+}
+
+func (s *Solver) checkTrail() {
+	invariant.Check(s.qhead == len(s.trail),
+		"core: deepCheck at a non-fixpoint: qhead=%d, trail=%d", s.qhead, len(s.trail))
+	invariant.Check(len(s.levelStart) == s.level+1,
+		"core: levelStart has %d entries for level %d", len(s.levelStart), s.level)
+
+	for i, l := range s.trail {
+		v := l.Var()
+		invariant.Check(v >= qbf.MinVar && v.Int() <= s.nVars, "core: trail[%d] has variable %d out of range", i, v)
+		invariant.Check(s.litValue(l) == vTrue, "core: trail literal %d is not true", l)
+		invariant.Check(s.trailPos[v] == i, "core: trailPos[%d]=%d, but the variable sits at %d", v, s.trailPos[v], i)
+		invariant.Check(s.dlevel[v] >= 0 && s.dlevel[v] <= s.level, "core: dlevel[%d]=%d outside [0,%d]", v, s.dlevel[v], s.level)
+		invariant.Check(s.reason[v] != reasonNone, "core: assigned variable %d has no reason", v)
+		invariant.Check(s.blockOf[v] >= 0, "core: ghost variable %d was assigned", v)
+	}
+	assigned := 0
+	for v := qbf.MinVar; v.Int() <= s.nVars; v++ {
+		if s.value[v] != undef {
+			assigned++
+			tp := s.trailPos[v]
+			invariant.Check(tp >= 0 && tp < len(s.trail) && s.trail[tp].Var() == v,
+				"core: assigned variable %d not found on the trail", v)
+		} else {
+			invariant.Check(s.reason[v] == reasonNone, "core: unassigned variable %d carries reason %d", v, s.reason[v])
+		}
+	}
+	invariant.Check(assigned == len(s.trail),
+		"core: %d variables assigned but the trail holds %d", assigned, len(s.trail))
+
+	// Each open decision level starts with a decision (or flipped
+	// decision) literal recorded at that level; starts strictly increase.
+	invariant.Check(s.level == 0 || s.levelStart[0] == 0, "core: levelStart[0]=%d", s.levelStart[0])
+	for k := 1; k <= s.level; k++ {
+		start := s.levelStart[k]
+		end := len(s.trail)
+		if k < s.level {
+			end = s.levelStart[k+1]
+		}
+		invariant.Check(start < end, "core: decision level %d is empty [%d,%d)", k, start, end)
+		l := s.trail[start]
+		rk := s.reason[l.Var()]
+		invariant.Check(rk == reasonDecision || rk == reasonFlipped,
+			"core: level %d starts with reason %d, want a decision", k, rk)
+		invariant.Check(s.dlevel[l.Var()] == k,
+			"core: decision of level %d recorded at dlevel %d", k, s.dlevel[l.Var()])
+	}
+
+	// Constraint-propagated literals must cite a live reason constraint
+	// that actually contains them (negated for cube propagations, which
+	// assign the complement of the remaining universal literal).
+	for _, l := range s.trail {
+		v := l.Var()
+		if s.reason[v] != reasonConstraint {
+			continue
+		}
+		ci := s.reasonC[v]
+		invariant.Check(ci >= 0 && ci < len(s.cons), "core: reason constraint %d of variable %d out of range", ci, v)
+		invariant.Check(!s.cons[ci].deleted, "core: reason constraint %d of variable %d was deleted", ci, v)
+		want := l
+		if s.cons[ci].isCube {
+			want = l.Neg()
+		}
+		found := false
+		for _, m := range s.cons[ci].lits {
+			if m == want {
+				found = true
+				break
+			}
+		}
+		invariant.Check(found, "core: reason constraint %d does not contain literal %d", ci, want)
+	}
+}
+
+func (s *Solver) checkBlockBookkeeping() {
+	for bi := range s.blocks {
+		b := &s.blocks[bi]
+		un := 0
+		for _, v := range b.vars {
+			if s.value[v] == undef {
+				un++
+			}
+		}
+		invariant.Check(un == b.unassigned,
+			"core: block %d caches unassigned=%d, recomputed %d", bi, b.unassigned, un)
+	}
+	for bi := range s.blocks {
+		open := 0
+		for _, g := range s.blocks[bi].guards {
+			if s.blocks[g].unassigned > 0 {
+				open++
+			}
+		}
+		invariant.Check(open == s.blocks[bi].guardOpen,
+			"core: block %d caches guardOpen=%d, recomputed %d", bi, s.blocks[bi].guardOpen, open)
+	}
+}
+
+func (s *Solver) checkConstraintCounters() {
+	for ci := range s.cons {
+		c := &s.cons[ci]
+		if c.deleted {
+			continue
+		}
+		nt, nf, ue, uu := 0, 0, 0, 0
+		for _, l := range c.lits {
+			switch s.litValue(l) {
+			case vTrue:
+				nt++
+			case vFalse:
+				nf++
+			default:
+				if s.quant[l.Var()] == qbf.Exists {
+					ue++
+				} else {
+					uu++
+				}
+			}
+		}
+		invariant.Check(nt == c.numTrue && nf == c.numFalse && ue == c.unassignedE && uu == c.unassignedU,
+			"core: constraint %d counters stale: cached (true=%d false=%d uE=%d uU=%d), recomputed (%d %d %d %d)",
+			ci, c.numTrue, c.numFalse, c.unassignedE, c.unassignedU, nt, nf, ue, uu)
+	}
+}
+
+// checkMatrixBookkeeping recomputes the residual-matrix state driving the
+// pure-literal rule: the number of original clauses with no true literal
+// and, per literal, how many such clauses contain it.
+func (s *Solver) checkMatrixBookkeeping() {
+	unsat := 0
+	active := make([]int, len(s.activeOcc))
+	for ci := 0; ci < s.nOriginalClauses; ci++ {
+		satisfied := false
+		for _, l := range s.cons[ci].lits {
+			if s.litValue(l) == vTrue {
+				satisfied = true
+				break
+			}
+		}
+		if satisfied {
+			continue
+		}
+		unsat++
+		for _, l := range s.cons[ci].lits {
+			active[litIdx(l)]++
+		}
+	}
+	invariant.Check(unsat == s.numUnsatOriginal,
+		"core: numUnsatOriginal=%d, recomputed %d", s.numUnsatOriginal, unsat)
+	for i := range active {
+		invariant.Check(active[i] == s.activeOcc[i],
+			"core: activeOcc[%d]=%d, recomputed %d", i, s.activeOcc[i], active[i])
+	}
+}
+
+// checkLearnedConstraint verifies that a freshly learned clause (cube) is
+// universally (existentially) reduced with respect to ≺ and mentions every
+// variable at most once — the invariants Q-resolution must maintain, whose
+// silent violation is exactly the learning-bug class the JAIR 2006
+// soundness analysis warns about.
+func (s *Solver) checkLearnedConstraint(lits []qbf.Lit, isCube bool) {
+	if !s.opt.CheckInvariants || s.dbgPrefix == nil {
+		return
+	}
+	if isCube {
+		invariant.Must(invariant.CheckCubeReduced(s.dbgPrefix, lits), "core: learned cube")
+	} else {
+		invariant.Must(invariant.CheckClauseReduced(s.dbgPrefix, lits), "core: learned clause")
+	}
+}

@@ -1,0 +1,107 @@
+//go:build qbfdebug
+
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/qbf"
+)
+
+// Tests in this file run only under -tags qbfdebug and prove that the deep
+// invariant checker is live: it accepts a healthy solver and panics with an
+// "invariant violated" message on deliberately corrupted internal state.
+
+func debugSolver(t *testing.T) *Solver {
+	t.Helper()
+	p := qbf.NewPrenexPrefix(4,
+		qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{1, 2}},
+		qbf.Run{Quant: qbf.Forall, Vars: []qbf.Var{3}},
+		qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{4}})
+	q := qbf.New(p, []qbf.Clause{
+		mkClause(1, 2), mkClause(-1, 3, 4), mkClause(-2, -3, -4)})
+	s, err := NewSolver(q, Options{CheckInvariants: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func wantViolation(t *testing.T, fragment string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("deep checker did not fire (want panic containing %q)", fragment)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "invariant violated") || !strings.Contains(msg, fragment) {
+			t.Fatalf("panic %v, want an invariant violation containing %q", r, fragment)
+		}
+	}()
+	f()
+}
+
+func TestInvariantsCompiledUnderTag(t *testing.T) {
+	if !InvariantsCompiled() {
+		t.Fatal("built with -tags qbfdebug but InvariantsCompiled() is false")
+	}
+}
+
+func TestDeepCheckAcceptsHealthyState(t *testing.T) {
+	s := debugSolver(t)
+	s.deepCheck() // must not panic
+	if r := s.Solve(); r == Unknown {
+		t.Fatal("tiny instance must be decided")
+	}
+}
+
+func TestDeepCheckCatchesCounterCorruption(t *testing.T) {
+	s := debugSolver(t)
+	s.cons[0].numTrue++
+	wantViolation(t, "counters stale", func() { s.deepCheck() })
+}
+
+func TestDeepCheckCatchesPhantomAssignment(t *testing.T) {
+	s := debugSolver(t)
+	s.value[1] = vTrue // assigned but never pushed on the trail
+	wantViolation(t, "", func() { s.deepCheck() })
+}
+
+func TestDeepCheckCatchesBlockCorruption(t *testing.T) {
+	s := debugSolver(t)
+	s.blocks[0].unassigned--
+	wantViolation(t, "unassigned", func() { s.deepCheck() })
+}
+
+func TestDeepCheckCatchesMatrixCorruption(t *testing.T) {
+	s := debugSolver(t)
+	s.numUnsatOriginal--
+	wantViolation(t, "numUnsatOriginal", func() { s.deepCheck() })
+}
+
+func TestCheckLearnedCatchesUnreducedClause(t *testing.T) {
+	s := debugSolver(t)
+	// {x1, y3} with trailing universal y3 (nothing existential after it):
+	// a clause that universal reduction must never let through.
+	wantViolation(t, "not universally reduced", func() {
+		s.checkLearnedConstraint([]qbf.Lit{1, 3}, false)
+	})
+}
+
+func TestCheckLearnedCatchesUnreducedCube(t *testing.T) {
+	s := debugSolver(t)
+	// [y3, x4] with trailing existential x4: existential reduction must
+	// have deleted x4 before the cube is learned.
+	wantViolation(t, "not existentially reduced", func() {
+		s.checkLearnedConstraint([]qbf.Lit{3, 4}, true)
+	})
+}
+
+func TestCheckLearnedAcceptsReducedConstraints(t *testing.T) {
+	s := debugSolver(t)
+	s.checkLearnedConstraint([]qbf.Lit{1, 2}, false)      // existential-only clause
+	s.checkLearnedConstraint([]qbf.Lit{-1, -3, 4}, false) // y3 guarded by x4
+	s.checkLearnedConstraint([]qbf.Lit{1, 3}, true)       // x1 ≺ y3 guards the cube
+}

@@ -143,10 +143,10 @@ func TestDifferentialDeepAlternation(t *testing.T) {
 			continue
 		}
 		for _, opt := range []Options{
-			{Mode: ModePartialOrder},
-			{Mode: ModeTotalOrder},
-			{Mode: ModePartialOrder, DisablePureLiterals: true},
-			{Mode: ModeTotalOrder, DisableClauseLearning: true, DisableCubeLearning: true},
+			{Mode: ModePartialOrder, CheckInvariants: true},
+			{Mode: ModeTotalOrder, CheckInvariants: true},
+			{Mode: ModePartialOrder, DisablePureLiterals: true, CheckInvariants: true},
+			{Mode: ModeTotalOrder, DisableClauseLearning: true, DisableCubeLearning: true, CheckInvariants: true},
 		} {
 			r, _, err := Solve(q, opt)
 			if err != nil {

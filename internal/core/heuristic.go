@@ -102,7 +102,7 @@ func (s *Solver) rebuildBlockBonus() {
 // Section VI, and computes the initial block bonuses.
 func (s *Solver) initScores() {
 	s.scoreInc = 1
-	for v := qbf.Var(1); int(v) <= s.nVars; v++ {
+	for v := qbf.MinVar; v.Int() <= s.nVars; v++ {
 		for _, l := range [2]qbf.Lit{v.PosLit(), v.NegLit()} {
 			i := litIdx(l)
 			s.lastCounter[i] = s.assocCounter(l)

@@ -22,7 +22,7 @@ func TestLearnedConstraintsSound(t *testing.T) {
 		if !ok {
 			continue
 		}
-		s, err := NewSolver(q, Options{})
+		s, err := NewSolver(q, Options{CheckInvariants: true})
 		if err != nil {
 			t.Fatal(err)
 		}

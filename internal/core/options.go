@@ -66,6 +66,16 @@ type Options struct {
 	NodeLimit int64
 	// TimeLimit bounds wall-clock solving time; 0 means unlimited.
 	TimeLimit time.Duration
+
+	// CheckInvariants enables the deep self-checker: at construction the
+	// prefix tree is validated (structural well-formedness, algebraic laws
+	// of ≺, agreement of the solver's O(1) order test with Prefix.Before),
+	// and at every propagation fixpoint the trail, the per-block
+	// bookkeeping and all constraint counters are recomputed from scratch
+	// and compared. Violations panic via invariant.Violated. The checks
+	// are compiled only under the qbfdebug build tag; without the tag this
+	// flag is a no-op, so production binaries pay nothing.
+	CheckInvariants bool
 }
 
 // Result is the outcome of a solve call.

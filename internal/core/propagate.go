@@ -270,6 +270,7 @@ func (s *Solver) fixPures() bool {
 // initialized against the current (post-backtrack) assignment. The caller
 // must ensure the propagation queue is drained (qhead == len(trail)).
 func (s *Solver) addLearned(lits []qbf.Lit, isCube bool) int {
+	s.checkLearnedConstraint(lits, isCube)
 	id := len(s.cons)
 	c := constraint{lits: lits, isCube: isCube, learned: true, activity: 1}
 	for _, l := range lits {

@@ -32,7 +32,7 @@ func TestQuickSolveMatchesOracle(t *testing.T) {
 		if !ok {
 			return true
 		}
-		r, _, err := Solve(c.Q, Options{})
+		r, _, err := Solve(c.Q, Options{CheckInvariants: true})
 		if err != nil {
 			return false
 		}
@@ -48,8 +48,8 @@ func TestQuickSolveMatchesOracle(t *testing.T) {
 // randomness).
 func TestQuickSolveDeterministic(t *testing.T) {
 	prop := func(c qbfCase) bool {
-		r1, st1, err1 := Solve(c.Q, Options{})
-		r2, st2, err2 := Solve(c.Q, Options{})
+		r1, st1, err1 := Solve(c.Q, Options{CheckInvariants: true})
+		r2, st2, err2 := Solve(c.Q, Options{CheckInvariants: true})
 		if err1 != nil || err2 != nil {
 			return false
 		}
@@ -71,6 +71,7 @@ func TestQuickModesAgree(t *testing.T) {
 			DisableClauseLearning: noCl,
 			DisableCubeLearning:   noCu,
 			DisablePureLiterals:   noPure,
+			CheckInvariants:       true,
 		}
 		opt.Mode = ModePartialOrder
 		rPO, _, err := Solve(q, opt)

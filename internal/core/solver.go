@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/invariant"
 	"repro/internal/qbf"
 )
 
@@ -122,6 +123,10 @@ type Solver struct {
 	ws workSet // reusable analysis working set
 
 	dbgCube [5]int64
+
+	// dbgPrefix retains the finalized input prefix for the deep invariant
+	// checker; nil unless built with -tags qbfdebug and CheckInvariants on.
+	dbgPrefix *qbf.Prefix
 
 	deadline          time.Time
 	trace             func(string)
@@ -246,10 +251,15 @@ func NewSolver(q *qbf.QBF, opt Options) (*Solver, error) {
 		}
 		hasUniversalBelow[i] = hub
 	}
-	for v := qbf.Var(1); int(v) <= n; v++ {
+	for v := qbf.MinVar; v.Int() <= n; v++ {
 		b := s.blockOf[v]
 		s.eReducible[v] = b >= 0 && s.quant[v] == qbf.Exists && !hasUniversalBelow[b]
 	}
+
+	// Deep invariant layer (no-op unless built with -tags qbfdebug and
+	// opt.CheckInvariants is set): validate the finalized prefix and pin
+	// the solver's O(1) ≺ test to the structural Prefix.Before.
+	s.attachInvariantPrefix(p)
 
 	// Install the (universally reduced) original clauses.
 	s.levelStart = append(s.levelStart, 0)
@@ -287,11 +297,12 @@ func NewSolver(q *qbf.QBF, opt Options) (*Solver, error) {
 
 	// All bound variables start as pure-literal candidates; fixPures
 	// verifies. Ghost variables never enter the queue.
-	for v := qbf.Var(1); int(v) <= n; v++ {
+	for v := qbf.MinVar; v.Int() <= n; v++ {
 		if s.blockOf[v] >= 0 {
 			s.pureCand = append(s.pureCand, v)
 		}
 	}
+	s.deepCheck()
 	return s, nil
 }
 
@@ -358,6 +369,7 @@ func (s *Solver) solve() Result {
 				return True
 			}
 		case evNone:
+			s.deepCheck()
 			if s.fixPures() {
 				continue
 			}
@@ -368,7 +380,7 @@ func (s *Solver) solve() Result {
 				// variables is always branchable, and a total assignment
 				// without a conflict means every original clause is
 				// satisfied, which propagateAll reports as a solution.
-				panic("core: no branchable variable at a propagation fixpoint")
+				invariant.Violated("core: no branchable variable at a propagation fixpoint")
 			}
 			s.stats.Decisions++
 			if s.opt.NodeLimit > 0 && s.stats.Decisions > s.opt.NodeLimit {
@@ -391,7 +403,7 @@ func (s *Solver) decide(l qbf.Lit) {
 	s.levelStart = append(s.levelStart, len(s.trail))
 	s.assign(l, reasonDecision, -1)
 	if s.trace != nil {
-		s.trace(fmt.Sprintf("decide %d @%d", l, s.level))
+		s.trace(fmt.Sprintf("decide %d @%d", l, s.level)) //lint:allow L4 trace is nil on the hot path
 	}
 }
 
@@ -401,7 +413,7 @@ func (s *Solver) decide(l qbf.Lit) {
 func (s *Solver) assign(l qbf.Lit, why reasonKind, reasonCon int) {
 	v := l.Var()
 	if s.value[v] != undef {
-		panic(fmt.Sprintf("core: double assignment of variable %d", v))
+		invariant.Violated("core: double assignment of variable %d", v)
 	}
 	if l > 0 {
 		s.value[v] = vTrue

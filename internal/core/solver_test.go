@@ -24,6 +24,8 @@ func allOptionCombos(mode Mode) []Options {
 					DisableClauseLearning: noCl,
 					DisableCubeLearning:   noCu,
 					DisablePureLiterals:   noPure,
+					// Active only under -tags qbfdebug; a no-op otherwise.
+					CheckInvariants: true,
 				})
 			}
 		}

@@ -21,7 +21,7 @@ func (s *Solver) Witness() (map[qbf.Var]bool, bool) {
 		return nil, false
 	}
 	model := make(map[qbf.Var]bool)
-	for v := qbf.Var(1); int(v) <= s.nVars; v++ {
+	for v := qbf.MinVar; v.Int() <= s.nVars; v++ {
 		if s.blockOf[v] < 0 {
 			continue
 		}

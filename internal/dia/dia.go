@@ -34,10 +34,9 @@
 package dia
 
 import (
-	"fmt"
-
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/invariant"
 	"repro/internal/models"
 	"repro/internal/prenex"
 	"repro/internal/qbf"
@@ -255,7 +254,7 @@ func SolverPO(opt core.Options) SolveFunc {
 	return func(q *qbf.QBF) (core.Result, core.Stats) {
 		r, st, err := core.Solve(q, opt)
 		if err != nil {
-			panic(fmt.Sprintf("dia: PO solve: %v", err))
+			invariant.Violated("dia: PO solve: %v", err)
 		}
 		return r, st
 	}
@@ -268,7 +267,7 @@ func SolverTO(strategy prenex.Strategy, opt core.Options) SolveFunc {
 	return func(q *qbf.QBF) (core.Result, core.Stats) {
 		r, st, err := core.Solve(prenex.Apply(q, strategy), opt)
 		if err != nil {
-			panic(fmt.Sprintf("dia: TO solve: %v", err))
+			invariant.Violated("dia: TO solve: %v", err)
 		}
 		return r, st
 	}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/invariant"
 	"repro/internal/qbf"
 )
 
@@ -42,7 +43,7 @@ func (p Params) String() string {
 // Generate builds the instance for p.
 func Generate(p Params) *qbf.QBF {
 	if p.Services < 1 || p.Steps < 1 || p.Bits < 1 {
-		panic("fpv: Services, Steps and Bits must be positive")
+		invariant.Violated("fpv: Services, Steps and Bits must be positive")
 	}
 	rng := rand.New(rand.NewSource(p.Seed ^ 0x6A09E667F3BCC909))
 	prefix := qbf.NewPrefix(0)

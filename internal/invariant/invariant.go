@@ -1,0 +1,41 @@
+// Package invariant is the correctness backstop of the solver stack. It
+// has two layers:
+//
+//   - Violated/Check, the designated panic funnel of lint rule L3: library
+//     packages must report broken internal invariants through it (or carry
+//     an explicit //lint:allow L3 justification), which keeps the set of
+//     process-crashing sites greppable and reviewable;
+//   - deep structural checkers over the public qbf API — prefix-tree
+//     well-formedness after Finalize, algebraic laws of the partial prefix
+//     order ≺, and the universal/existential reduction invariants learned
+//     constraints must satisfy. internal/core wires these (plus checks over
+//     its private state) into the search loop behind Options.CheckInvariants
+//     and the qbfdebug build tag.
+//
+// The checkers return errors rather than panicking so test suites can
+// assert on failures; runtime call sites convert a non-nil error into a
+// Violated panic.
+package invariant
+
+import "fmt"
+
+// Violated reports a violated internal invariant by panicking with a
+// formatted message. It never returns.
+func Violated(format string, args ...any) {
+	panic("invariant violated: " + fmt.Sprintf(format, args...))
+}
+
+// Check panics via Violated when cond is false.
+func Check(cond bool, format string, args ...any) {
+	if !cond {
+		Violated(format, args...)
+	}
+}
+
+// Must panics via Violated when err is non-nil, prefixing the given
+// context. It adapts the error-returning deep checkers to runtime gates.
+func Must(err error, context string) {
+	if err != nil {
+		Violated("%s: %v", context, err)
+	}
+}

@@ -1,0 +1,162 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/qbf"
+)
+
+func mustPanic(t *testing.T, want string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected a panic containing %q", want)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, want) {
+			t.Fatalf("panic %v does not contain %q", r, want)
+		}
+	}()
+	f()
+}
+
+func TestViolatedAndCheck(t *testing.T) {
+	mustPanic(t, "invariant violated: boom 42", func() { Violated("boom %d", 42) })
+	mustPanic(t, "invariant violated: cond", func() { Check(false, "cond") })
+	Check(true, "must not fire")
+	Must(nil, "ok")
+	mustPanic(t, "ctx", func() { Must(errTest{}, "ctx") })
+}
+
+type errTest struct{}
+
+func (errTest) Error() string { return "synthetic" }
+
+// paperTree builds the running example of the paper: ∃1 (∀2 ∃3,4 ; ∀5 ∃6,7).
+func paperTree() *qbf.Prefix {
+	p := qbf.NewPrefix(7)
+	root := p.AddBlock(nil, qbf.Exists, 1)
+	y1 := p.AddBlock(root, qbf.Forall, 2)
+	p.AddBlock(y1, qbf.Exists, 3, 4)
+	y2 := p.AddBlock(root, qbf.Forall, 5)
+	p.AddBlock(y2, qbf.Exists, 6, 7)
+	p.Finalize()
+	return p
+}
+
+// gnarlyTree builds a shape with same-quantifier parent/child blocks plus
+// branching — the shape on which the interval test is inexact.
+func gnarlyTree() *qbf.Prefix {
+	p := qbf.NewPrefix(6)
+	root := p.AddBlock(nil, qbf.Exists, 1)
+	p.AddBlock(root, qbf.Forall, 2)
+	e3 := p.AddBlock(root, qbf.Exists, 3) // same-quantifier child of the root
+	p.AddBlock(e3, qbf.Forall, 4)
+	p.AddBlock(nil, qbf.Forall, 5) // sibling root
+	// Variable 6 stays free.
+	p.Finalize()
+	return p
+}
+
+func TestCheckPrefixAcceptsWellFormedTrees(t *testing.T) {
+	trees := map[string]*qbf.Prefix{
+		"paper":  paperTree(),
+		"gnarly": gnarlyTree(),
+		"prenex": qbf.NewPrenexPrefix(4,
+			qbf.Run{Quant: qbf.Forall, Vars: []qbf.Var{1, 2}},
+			qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{3, 4}}),
+		"empty": qbf.NewPrefix(3),
+	}
+	for name, p := range trees {
+		p.Finalize()
+		if err := CheckPrefix(p); err != nil {
+			t.Errorf("%s: CheckPrefix: %v", name, err)
+		}
+		if err := CheckOrder(p, 512, 1); err != nil {
+			t.Errorf("%s: CheckOrder: %v", name, err)
+		}
+	}
+}
+
+func TestCheckOrderSamplesLargeTrees(t *testing.T) {
+	// More than 16 variables forces the sampling path.
+	p := qbf.NewPrefix(40)
+	cur := p.AddBlock(nil, qbf.Exists, 1, 2)
+	q := qbf.Forall
+	for v := 3; v <= 40; v += 2 {
+		cur = p.AddBlock(cur, q, qbf.VarOf(v), qbf.VarOf(v+1))
+		q = q.Dual()
+	}
+	p.Finalize()
+	if err := CheckPrefix(p); err != nil {
+		t.Fatalf("CheckPrefix: %v", err)
+	}
+	if err := CheckOrder(p, 2048, 7); err != nil {
+		t.Fatalf("CheckOrder: %v", err)
+	}
+}
+
+func TestCheckLits(t *testing.T) {
+	if err := CheckLits([]qbf.Lit{1, -2, 3}); err != nil {
+		t.Errorf("clean literal set rejected: %v", err)
+	}
+	if err := CheckLits([]qbf.Lit{1, -2, 1}); err == nil {
+		t.Error("duplicate literal not detected")
+	}
+	if err := CheckLits([]qbf.Lit{1, -1}); err == nil {
+		t.Error("complementary pair not detected")
+	}
+	if err := CheckLits([]qbf.Lit{1, qbf.NoLit}); err == nil {
+		t.Error("zero literal not detected")
+	}
+}
+
+func TestCheckClauseReduced(t *testing.T) {
+	// ∀1 ∃2: {¬1, 2} is reduced (1 ≺ 2 witnesses the universal).
+	p := qbf.NewPrenexPrefix(2,
+		qbf.Run{Quant: qbf.Forall, Vars: []qbf.Var{1}},
+		qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{2}})
+	if err := CheckClauseReduced(p, []qbf.Lit{-1, 2}); err != nil {
+		t.Errorf("reduced clause rejected: %v", err)
+	}
+	// ∃1 ∀2: {1, 2} has a trailing universal — not reduced.
+	q := qbf.NewPrenexPrefix(2,
+		qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{1}},
+		qbf.Run{Quant: qbf.Forall, Vars: []qbf.Var{2}})
+	if err := CheckClauseReduced(q, []qbf.Lit{1, 2}); err == nil {
+		t.Error("unreduced clause accepted")
+	}
+	// Non-prenex: ∃1 (∀2 ∃3 ; ∀4): universal 4 has no existential in *its*
+	// scope, so {3, 4} is not reduced even though an existential is present.
+	tr := qbf.NewPrefix(4)
+	root := tr.AddBlock(nil, qbf.Exists, 1)
+	b2 := tr.AddBlock(root, qbf.Forall, 2)
+	tr.AddBlock(b2, qbf.Exists, 3)
+	tr.AddBlock(root, qbf.Forall, 4)
+	tr.Finalize()
+	if err := CheckClauseReduced(tr, []qbf.Lit{3, 4}); err == nil {
+		t.Error("cross-branch universal accepted as reduced")
+	}
+	if err := CheckClauseReduced(tr, []qbf.Lit{-2, 3}); err != nil {
+		t.Errorf("in-scope universal rejected: %v", err)
+	}
+}
+
+func TestCheckCubeReduced(t *testing.T) {
+	// ∃1 ∀2: [1, 2] is reduced (1 ≺ 2 witnesses the existential).
+	p := qbf.NewPrenexPrefix(2,
+		qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{1}},
+		qbf.Run{Quant: qbf.Forall, Vars: []qbf.Var{2}})
+	if err := CheckCubeReduced(p, []qbf.Lit{1, 2}); err != nil {
+		t.Errorf("reduced cube rejected: %v", err)
+	}
+	// ∀1 ∃2: [1, 2] has a trailing existential — not reduced.
+	q := qbf.NewPrenexPrefix(2,
+		qbf.Run{Quant: qbf.Forall, Vars: []qbf.Var{1}},
+		qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{2}})
+	if err := CheckCubeReduced(q, []qbf.Lit{1, 2}); err == nil {
+		t.Error("unreduced cube accepted")
+	}
+}

@@ -1,0 +1,218 @@
+package invariant
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/qbf"
+)
+
+// CheckPrefix validates the structural well-formedness of a finalized
+// prefix: block ids are the DFS preorder, levels grow exactly at
+// quantifier alternations, the structural DFS intervals realize the
+// parenthesis theorem (children nest, siblings are disjoint), every
+// variable agrees with its block on quantifier/level/timestamps, and no
+// variable is bound twice. It returns the first violation found, or nil.
+func CheckPrefix(p *qbf.Prefix) error {
+	blocks := p.Blocks()
+	if len(blocks) == 0 && len(p.Roots()) > 0 {
+		return fmt.Errorf("prefix has roots but no finalized blocks (Finalize not called?)")
+	}
+	for i, b := range blocks {
+		if b.ID() != i {
+			return fmt.Errorf("block %d carries id %d (Blocks() must be DFS preorder)", i, b.ID())
+		}
+	}
+
+	seen := make(map[qbf.Var]int) // var → block id
+	var walk func(b *qbf.Block, parent *qbf.Block) error
+	walk = func(b *qbf.Block, parent *qbf.Block) error {
+		if b.Parent() != parent {
+			return fmt.Errorf("block %d has wrong parent pointer", b.ID())
+		}
+		switch {
+		case parent == nil:
+			if b.Level() != 1 {
+				return fmt.Errorf("root block %d has level %d, want 1", b.ID(), b.Level())
+			}
+		case parent.Quant == b.Quant:
+			if b.Level() != parent.Level() {
+				return fmt.Errorf("same-quantifier child block %d has level %d, parent has %d",
+					b.ID(), b.Level(), parent.Level())
+			}
+		default:
+			if b.Level() != parent.Level()+1 {
+				return fmt.Errorf("alternating child block %d has level %d, parent has %d",
+					b.ID(), b.Level(), parent.Level())
+			}
+		}
+		sd, sf := b.Interval()
+		if sd > sf {
+			return fmt.Errorf("block %d has inverted structural interval [%d,%d]", b.ID(), sd, sf)
+		}
+		if parent != nil && !parent.AncestorOf(b) {
+			return fmt.Errorf("parent interval of block %d does not contain the child's", b.ID())
+		}
+		for _, v := range b.Vars {
+			if v < qbf.MinVar {
+				return fmt.Errorf("block %d binds invalid variable %d", b.ID(), v)
+			}
+			if prev, dup := seen[v]; dup {
+				return fmt.Errorf("variable %d bound by both block %d and block %d", v, prev, b.ID())
+			}
+			seen[v] = b.ID()
+			if p.BlockOf(v) != b {
+				return fmt.Errorf("BlockOf(%d) disagrees with the tree walk", v)
+			}
+			if p.QuantOf(v) != b.Quant {
+				return fmt.Errorf("QuantOf(%d) = %v, block %d has %v", v, p.QuantOf(v), b.ID(), b.Quant)
+			}
+			if p.Level(v) != b.Level() {
+				return fmt.Errorf("Level(%d) = %d, block %d has %d", v, p.Level(v), b.ID(), b.Level())
+			}
+			//lint:allow L1 the checker validates the raw timestamps themselves
+			if p.D(v) > p.F(v) {
+				return fmt.Errorf("variable %d has inverted timestamps d=%d f=%d", v, p.D(v), p.F(v))
+			}
+		}
+		// Sibling structural intervals must be pairwise disjoint and the
+		// alternation timestamps of children must nest inside the parent's.
+		for ci, c := range b.Children {
+			if err := checkNested(p, b, c); err != nil {
+				return err
+			}
+			for _, c2 := range b.Children[ci+1:] {
+				if overlap(c, c2) {
+					return fmt.Errorf("sibling blocks %d and %d have overlapping intervals", c.ID(), c2.ID())
+				}
+			}
+			if err := walk(c, b); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i, r := range p.Roots() {
+		for _, r2 := range p.Roots()[i+1:] {
+			if overlap(r, r2) {
+				return fmt.Errorf("sibling roots %d and %d have overlapping intervals", r.ID(), r2.ID())
+			}
+		}
+		if err := walk(r, nil); err != nil {
+			return err
+		}
+	}
+	if got := p.NumBound(); got != len(seen) {
+		return fmt.Errorf("NumBound() = %d but the tree binds %d variables", got, len(seen))
+	}
+	return nil
+}
+
+// checkNested verifies the parenthesis nesting of the per-variable
+// alternation timestamps across a parent/child edge: a child's [d,f]
+// interval lies inside the parent's. Blocks without variables are skipped
+// (their timestamps are not observable through the public API).
+func checkNested(p *qbf.Prefix, parent, child *qbf.Block) error {
+	if len(parent.Vars) == 0 || len(child.Vars) == 0 {
+		return nil
+	}
+	pv, cv := parent.Vars[0], child.Vars[0]
+	//lint:allow L1 the checker validates the raw timestamps themselves
+	if p.D(cv) < p.D(pv) || p.F(cv) > p.F(pv) {
+		return fmt.Errorf("timestamps of block %d ([%d,%d]) not nested in parent %d ([%d,%d])",
+			child.ID(), p.D(cv), p.F(cv), parent.ID(), p.D(pv), p.F(pv))
+	}
+	return nil
+}
+
+func overlap(a, b *qbf.Block) bool {
+	asd, asf := a.Interval()
+	bsd, bsf := b.Interval()
+	return asd <= bsf && bsd <= asf
+}
+
+// CheckOrder spot-checks the algebraic laws of the partial prefix order ≺
+// on sampled pairs and triples of variables (all pairs/triples when the
+// variable count is small): irreflexivity, antisymmetry, transitivity,
+// strict level growth along ≺, and the free-variable conventions (a free
+// variable precedes every bound one and follows none). The sampling is
+// deterministic in seed.
+func CheckOrder(p *qbf.Prefix, samples int, seed int64) error {
+	vars := p.Vars()
+	// Include one variable beyond the bound set, if representable, to
+	// exercise the free-variable rules.
+	var free qbf.Var
+	if p.MaxVar() > 0 {
+		for v := qbf.MinVar; v.Int() <= p.MaxVar(); v++ {
+			if !p.Bound(v) {
+				free = v
+				break
+			}
+		}
+	}
+	pool := vars
+	if free != 0 {
+		pool = append(append([]qbf.Var(nil), vars...), free)
+	}
+	if len(pool) == 0 {
+		return nil
+	}
+
+	check2 := func(a, b qbf.Var) error {
+		if a == b && p.Before(a, a) {
+			return fmt.Errorf("Before(%d,%d): ≺ must be irreflexive", a, a)
+		}
+		ab, ba := p.Before(a, b), p.Before(b, a)
+		if a != b && ab && ba {
+			return fmt.Errorf("Before(%d,%d) and Before(%d,%d) both hold: ≺ must be antisymmetric", a, b, b, a)
+		}
+		if ab && p.Bound(a) && p.Bound(b) && p.Level(a) >= p.Level(b) {
+			return fmt.Errorf("Before(%d,%d) holds but levels are %d ≥ %d", a, b, p.Level(a), p.Level(b))
+		}
+		if !p.Bound(a) && p.Bound(b) && !ab {
+			return fmt.Errorf("free variable %d must precede bound variable %d", a, b)
+		}
+		if p.Bound(a) && !p.Bound(b) && ab {
+			return fmt.Errorf("bound variable %d must not precede free variable %d", a, b)
+		}
+		if (ab || ba) != p.Comparable(a, b) {
+			return fmt.Errorf("Comparable(%d,%d) disagrees with Before", a, b)
+		}
+		return nil
+	}
+	check3 := func(a, b, c qbf.Var) error {
+		if p.Before(a, b) && p.Before(b, c) && !p.Before(a, c) {
+			return fmt.Errorf("≺ not transitive on (%d, %d, %d)", a, b, c)
+		}
+		return nil
+	}
+
+	if len(pool) <= 16 {
+		for _, a := range pool {
+			for _, b := range pool {
+				if err := check2(a, b); err != nil {
+					return err
+				}
+				for _, c := range pool {
+					if err := check3(a, b, c); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < samples; i++ {
+		a := pool[rng.Intn(len(pool))]
+		b := pool[rng.Intn(len(pool))]
+		c := pool[rng.Intn(len(pool))]
+		if err := check2(a, b); err != nil {
+			return err
+		}
+		if err := check3(a, b, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package invariant
+
+import (
+	"fmt"
+
+	"repro/internal/qbf"
+)
+
+// CheckLits validates basic literal-set hygiene shared by clauses and
+// cubes: no zero literal, no duplicate variable (which covers both
+// duplicates and complementary pairs — a learned constraint must mention a
+// variable at most once).
+func CheckLits(lits []qbf.Lit) error {
+	seen := make(map[qbf.Var]qbf.Lit, len(lits))
+	for _, l := range lits {
+		if l == qbf.NoLit {
+			return fmt.Errorf("zero literal in constraint %v", lits)
+		}
+		if prev, dup := seen[l.Var()]; dup {
+			if prev == l {
+				return fmt.Errorf("duplicate literal %d in constraint %v", l, lits)
+			}
+			return fmt.Errorf("complementary literals %d and %d in constraint %v", prev, l, lits)
+		}
+		seen[l.Var()] = l
+	}
+	return nil
+}
+
+// CheckClauseReduced reports whether the clause is universally reduced
+// with respect to the partial prefix order ≺ of p (Lemma 3): every
+// universal literal must have some existential literal of the clause in
+// its scope, i.e. ∃ existential x with |l| ≺ |x|. Learned clauses must
+// satisfy this after every Q-resolution step, or the contradictory-clause
+// test of Lemma 4 silently weakens.
+func CheckClauseReduced(p *qbf.Prefix, lits []qbf.Lit) error {
+	if err := CheckLits(lits); err != nil {
+		return err
+	}
+	for _, l := range lits {
+		if p.QuantOf(l.Var()) != qbf.Forall {
+			continue
+		}
+		witnessed := false
+		for _, x := range lits {
+			if p.QuantOf(x.Var()) == qbf.Exists && p.Before(l.Var(), x.Var()) {
+				witnessed = true
+				break
+			}
+		}
+		if !witnessed {
+			return fmt.Errorf("clause %v not universally reduced: universal %d has no existential in its scope", lits, l)
+		}
+	}
+	return nil
+}
+
+// CheckCubeReduced is the dual test for cubes (goods): every existential
+// literal must have some universal literal of the cube in its scope, or
+// existential reduction would have deleted it.
+func CheckCubeReduced(p *qbf.Prefix, lits []qbf.Lit) error {
+	if err := CheckLits(lits); err != nil {
+		return err
+	}
+	for _, l := range lits {
+		if p.QuantOf(l.Var()) != qbf.Exists {
+			continue
+		}
+		witnessed := false
+		for _, u := range lits {
+			if p.QuantOf(u.Var()) == qbf.Forall && p.Before(l.Var(), u.Var()) {
+				witnessed = true
+				break
+			}
+		}
+		if !witnessed {
+			return fmt.Errorf("cube %v not existentially reduced: existential %d has no universal in its scope", lits, l)
+		}
+	}
+	return nil
+}

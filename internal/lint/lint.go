@@ -1,0 +1,342 @@
+// Package lint implements qbflint, a project-specific static analyzer for
+// this repository. It is deliberately built on the standard library only
+// (go/parser, go/ast, go/token): rules are purely syntactic, need no type
+// information, and the module stays dependency-free.
+//
+// The driver walks a file set, runs every enabled rule over each parsed
+// file, and collects findings with file:line:col positions. A finding can
+// be suppressed at its site with a comment of the form
+//
+//	//lint:allow RULE[,RULE] optional reason
+//
+// which silences the named rules on the comment's own line and on the line
+// immediately below it (so it works both as a trailing comment and as a
+// comment above the offending statement).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Rule, f.Message)
+}
+
+// File is the per-file context handed to rules.
+type File struct {
+	Fset *token.FileSet
+	AST  *ast.File
+	// Path is the file path as reported in findings (as given to Run).
+	Path string
+	// PkgPath is the import path of the enclosing package, derived from
+	// the module path in go.mod and the file's directory.
+	PkgPath string
+	// IsTest reports whether the file name ends in _test.go.
+	IsTest bool
+	// QBFImportName is the local name under which the file imports
+	// repro/internal/qbf ("" when it does not import it).
+	QBFImportName string
+
+	// allow maps a line number to the set of rule names an //lint:allow
+	// comment suppresses on that line.
+	allow map[int]map[string]bool
+}
+
+// Allowed reports whether rule findings on the given line are suppressed.
+func (f *File) Allowed(rule string, line int) bool {
+	set := f.allow[line]
+	return set != nil && (set[rule] || set["all"])
+}
+
+// Rule is one analyzer. Applies filters whole files (the exemption matrix
+// lives there); Check walks the AST and reports violations.
+type Rule interface {
+	Name() string // short identifier, e.g. "L1"
+	Doc() string  // one-line description for -list
+	Applies(f *File) bool
+	Check(f *File, report func(pos token.Pos, msg string))
+}
+
+// Runner parses files and applies rules.
+type Runner struct {
+	Fset       *token.FileSet
+	Rules      []Rule
+	ModulePath string // module path from go.mod ("" outside a module)
+	ModuleRoot string // directory containing go.mod
+}
+
+// NewRunner locates the enclosing module of dir (walking upward to the
+// nearest go.mod) and returns a runner with the default rule set.
+func NewRunner(dir string) (*Runner, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root, modPath := findModule(abs)
+	return &Runner{
+		Fset:       token.NewFileSet(),
+		Rules:      DefaultRules(),
+		ModulePath: modPath,
+		ModuleRoot: root,
+	}, nil
+}
+
+// findModule walks from dir toward the filesystem root looking for go.mod
+// and returns the module root directory and module path. When no go.mod is
+// found it returns dir itself and an empty module path.
+func findModule(dir string) (root, modPath string) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			return d, parseModulePath(string(data))
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return dir, ""
+		}
+		d = parent
+	}
+}
+
+// parseModulePath extracts the module path from go.mod contents.
+func parseModulePath(gomod string) string {
+	for _, line := range strings.Split(gomod, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			rest = strings.TrimSpace(rest)
+			return strings.Trim(rest, `"`)
+		}
+	}
+	return ""
+}
+
+// Run expands the patterns ("./..." for a recursive walk, directories for
+// their immediate .go files, explicit .go file paths), parses every file,
+// and returns all findings sorted by position. Parse errors abort the run.
+func (r *Runner) Run(patterns []string) ([]Finding, error) {
+	files, err := r.expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, path := range files {
+		fs, err := r.checkFile(path)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+	return findings, nil
+}
+
+// expand resolves the command-line patterns to a deduplicated list of .go
+// file paths.
+func (r *Runner) expand(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var files []string
+	add := func(path string) {
+		if !seen[path] {
+			seen[path] = true
+			files = append(files, path)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case strings.HasSuffix(pat, "/...") || pat == "...":
+			dir := strings.TrimSuffix(pat, "...")
+			dir = strings.TrimSuffix(dir, "/")
+			if dir == "" {
+				dir = "."
+			}
+			err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if d.IsDir() {
+					if skipDir(d.Name()) && path != dir {
+						return filepath.SkipDir
+					}
+					return nil
+				}
+				if strings.HasSuffix(path, ".go") {
+					add(path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		default:
+			info, err := os.Stat(pat)
+			if err != nil {
+				return nil, err
+			}
+			if info.IsDir() {
+				entries, err := os.ReadDir(pat)
+				if err != nil {
+					return nil, err
+				}
+				for _, e := range entries {
+					if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+						add(filepath.Join(pat, e.Name()))
+					}
+				}
+			} else {
+				add(pat)
+			}
+		}
+	}
+	return files, nil
+}
+
+// skipDir reports whether a directory is excluded from ./... walks:
+// testdata, vendor, and hidden or underscore-prefixed directories, per the
+// go tool's conventions.
+func skipDir(name string) bool {
+	return name == "testdata" || name == "vendor" ||
+		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
+}
+
+// checkFile parses one file and runs every applicable rule over it.
+func (r *Runner) checkFile(path string) ([]Finding, error) {
+	af, err := parser.ParseFile(r.Fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	f := &File{
+		Fset:          r.Fset,
+		AST:           af,
+		Path:          path,
+		PkgPath:       r.pkgPath(path),
+		IsTest:        strings.HasSuffix(path, "_test.go"),
+		QBFImportName: importName(af, "repro/internal/qbf"),
+		allow:         collectAllows(r.Fset, af),
+	}
+	var findings []Finding
+	for _, rule := range r.Rules {
+		if !rule.Applies(f) {
+			continue
+		}
+		rule.Check(f, func(pos token.Pos, msg string) {
+			p := r.Fset.Position(pos)
+			if f.Allowed(rule.Name(), p.Line) {
+				return
+			}
+			findings = append(findings, Finding{
+				Rule:    rule.Name(),
+				File:    f.Path,
+				Line:    p.Line,
+				Col:     p.Column,
+				Message: msg,
+			})
+		})
+	}
+	return findings, nil
+}
+
+// pkgPath derives the import path of the package containing path from the
+// module path and the file's directory relative to the module root.
+func (r *Runner) pkgPath(path string) string {
+	if r.ModulePath == "" {
+		return filepath.ToSlash(filepath.Dir(path))
+	}
+	abs, err := filepath.Abs(path)
+	if err != nil {
+		return r.ModulePath
+	}
+	rel, err := filepath.Rel(r.ModuleRoot, filepath.Dir(abs))
+	if err != nil || rel == "." {
+		return r.ModulePath
+	}
+	if strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(filepath.Dir(path))
+	}
+	return r.ModulePath + "/" + filepath.ToSlash(rel)
+}
+
+// importName returns the local name under which the file imports the given
+// path: the explicit alias when one is present, the last path element
+// otherwise, and "" when the file does not import it (or blanks/dots it).
+func importName(af *ast.File, importPath string) string {
+	for _, imp := range af.Imports {
+		if strings.Trim(imp.Path.Value, `"`) != importPath {
+			continue
+		}
+		if imp.Name != nil {
+			switch imp.Name.Name {
+			case "_", ".":
+				return ""
+			}
+			return imp.Name.Name
+		}
+		if i := strings.LastIndex(importPath, "/"); i >= 0 {
+			return importPath[i+1:]
+		}
+		return importPath
+	}
+	return ""
+}
+
+// collectAllows scans the file's comments for //lint:allow directives and
+// returns the per-line suppression sets. A directive on line C suppresses
+// its rules on lines C and C+1.
+func collectAllows(fset *token.FileSet, af *ast.File) map[int]map[string]bool {
+	allow := map[int]map[string]bool{}
+	for _, cg := range af.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			rest, ok := strings.CutPrefix(text, "lint:allow")
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			for _, rule := range strings.Split(fields[0], ",") {
+				rule = strings.TrimSpace(rule)
+				if rule == "" {
+					continue
+				}
+				for _, ln := range [2]int{line, line + 1} {
+					if allow[ln] == nil {
+						allow[ln] = map[string]bool{}
+					}
+					allow[ln][rule] = true
+				}
+			}
+		}
+	}
+	return allow
+}

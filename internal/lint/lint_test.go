@@ -1,0 +1,302 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureModule materializes a throwaway module whose files only need to
+// parse (they are never compiled), writes the given path→source map under a
+// temp dir with a go.mod claiming module path "repro", and returns a runner
+// rooted there. Violations seeded in fixtures therefore never touch the
+// real build.
+func fixtureModule(t *testing.T, files map[string]string) (*Runner, string) {
+	t.Helper()
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module repro\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for path, src := range files {
+		full := filepath.Join(root, filepath.FromSlash(path))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := NewRunner(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, root
+}
+
+func run(t *testing.T, r *Runner, root string) []Finding {
+	t.Helper()
+	fs, err := r.Run([]string{root + "/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+// rulesFired collects the distinct rule names among findings.
+func rulesFired(fs []Finding) map[string]int {
+	m := map[string]int{}
+	for _, f := range fs {
+		m[f.Rule]++
+	}
+	return m
+}
+
+func TestL1FiresOnTimestampComparison(t *testing.T) {
+	r, root := fixtureModule(t, map[string]string{
+		"internal/prenex/x.go": `package prenex
+import "repro/internal/qbf"
+func bad(p *qbf.Prefix, a, b qbf.Var) bool {
+	if p.D(a) < p.D(b) && p.D(b) <= p.F(a) {
+		return true
+	}
+	return (p.F(a)) >= p.D(b)
+}
+`,
+	})
+	fs := run(t, r, root)
+	if got := rulesFired(fs)["L1"]; got != 3 {
+		t.Fatalf("L1 findings = %d, want 3: %v", got, fs)
+	}
+}
+
+func TestL1ExemptInsideQBF(t *testing.T) {
+	r, root := fixtureModule(t, map[string]string{
+		"internal/qbf/x.go": `package qbf
+func (p *Prefix) interval(a, b Var) bool { return p.D(a) < p.D(b) }
+`,
+	})
+	if fs := run(t, r, root); len(fs) != 0 {
+		t.Fatalf("findings inside internal/qbf: %v", fs)
+	}
+}
+
+func TestL1IgnoresNonComparisonUse(t *testing.T) {
+	r, root := fixtureModule(t, map[string]string{
+		"internal/prenex/x.go": `package prenex
+import "repro/internal/qbf"
+func ok(p *qbf.Prefix, a qbf.Var) int { return p.D(a) + p.F(a) }
+`,
+	})
+	if fs := run(t, r, root); len(fs) != 0 {
+		t.Fatalf("unexpected findings: %v", fs)
+	}
+}
+
+func TestL2FiresOnRawConversions(t *testing.T) {
+	r, root := fixtureModule(t, map[string]string{
+		"internal/core/x.go": `package core
+import q "repro/internal/qbf"
+func bad(n int) (q.Lit, q.Var) { return q.Lit(n), q.Var(n) }
+func ok(n int) (q.Lit, q.Var)  { return q.LitOf(n), q.VarOf(n) }
+func slices() []q.Var          { return []q.Var(nil) }
+`,
+	})
+	fs := run(t, r, root)
+	if got := rulesFired(fs)["L2"]; got != 2 {
+		t.Fatalf("L2 findings = %d, want 2 (aliased import, no slice-conversion false positive): %v", got, fs)
+	}
+}
+
+func TestL2Exemptions(t *testing.T) {
+	r, root := fixtureModule(t, map[string]string{
+		"internal/qdimacs/x.go": `package qdimacs
+import "repro/internal/qbf"
+func parse(n int) qbf.Lit { return qbf.Lit(n) }
+`,
+		"internal/core/x_test.go": `package core
+import "repro/internal/qbf"
+func helper(n int) qbf.Var { return qbf.Var(n) }
+`,
+	})
+	if fs := run(t, r, root); len(fs) != 0 {
+		t.Fatalf("exempt files reported: %v", fs)
+	}
+}
+
+func TestL3FiresOnLibraryPanic(t *testing.T) {
+	r, root := fixtureModule(t, map[string]string{
+		"internal/models/x.go": `package models
+func bad(x int) {
+	if x < 0 {
+		panic("negative")
+	}
+}
+`,
+	})
+	fs := run(t, r, root)
+	if got := rulesFired(fs)["L3"]; got != 1 {
+		t.Fatalf("L3 findings = %d, want 1: %v", got, fs)
+	}
+}
+
+func TestL3Exemptions(t *testing.T) {
+	r, root := fixtureModule(t, map[string]string{
+		"cmd/tool/main.go":        "package main\nfunc main() { panic(\"cli\") }\n",
+		"internal/qbf/x.go":       "package qbf\nfunc f() { panic(\"foundation\") }\n",
+		"internal/invariant/x.go": "package invariant\nfunc Violated() { panic(\"here\") }\n",
+		"internal/core/x_test.go": "package core\nfunc g() { panic(\"test\") }\n",
+	})
+	if fs := run(t, r, root); len(fs) != 0 {
+		t.Fatalf("exempt panics reported: %v", fs)
+	}
+}
+
+func TestL4FiresOnStringAccumulation(t *testing.T) {
+	r, root := fixtureModule(t, map[string]string{
+		"internal/core/x.go": `package core
+import "fmt"
+func bad(xs []int) string {
+	s := ""
+	for _, x := range xs {
+		s += fmt.Sprintf("%d ", x)
+	}
+	s += "done"
+	return fmt.Sprint(s)
+}
+`,
+	})
+	fs := run(t, r, root)
+	got := rulesFired(fs)["L4"]
+	// Three sites: the += with Sprintf (flagged as += and as a Sprint*
+	// call), the += with a literal, and the fmt.Sprint.
+	if got != 4 {
+		t.Fatalf("L4 findings = %d, want 4: %v", got, fs)
+	}
+}
+
+func TestL4ScopedToCore(t *testing.T) {
+	r, root := fixtureModule(t, map[string]string{
+		"internal/models/x.go": `package models
+import "fmt"
+func ok(x int) string { return fmt.Sprintf("%d", x) }
+`,
+	})
+	if fs := run(t, r, root); len(fs) != 0 {
+		t.Fatalf("L4 fired outside internal/core: %v", fs)
+	}
+}
+
+func TestAllowSuppresses(t *testing.T) {
+	r, root := fixtureModule(t, map[string]string{
+		"internal/core/x.go": `package core
+import "fmt"
+func traced(n int) {
+	trace(fmt.Sprintf("n=%d", n)) //lint:allow L4 trace is debug-only
+	//lint:allow L4 building a report, off the solver path
+	report := fmt.Sprintf("%d", n)
+	_ = report
+}
+func trace(string) {}
+`,
+	})
+	if fs := run(t, r, root); len(fs) != 0 {
+		t.Fatalf("suppressed findings still reported: %v", fs)
+	}
+}
+
+func TestAllowIsRuleSpecific(t *testing.T) {
+	r, root := fixtureModule(t, map[string]string{
+		"internal/core/x.go": `package core
+import "fmt"
+func f(n int) string {
+	return fmt.Sprintf("%d", n) //lint:allow L3 wrong rule name
+}
+`,
+	})
+	fs := run(t, r, root)
+	if got := rulesFired(fs)["L4"]; got != 1 {
+		t.Fatalf("allow for L3 must not silence L4: %v", fs)
+	}
+}
+
+func TestAllowMultipleRules(t *testing.T) {
+	r, root := fixtureModule(t, map[string]string{
+		"internal/core/x.go": `package core
+import "fmt"
+func f(n int) string {
+	//lint:allow L3,L4 both on the next line
+	panic(fmt.Sprintf("%d", n))
+}
+`,
+	})
+	if fs := run(t, r, root); len(fs) != 0 {
+		t.Fatalf("multi-rule allow failed: %v", fs)
+	}
+}
+
+func TestRulesByName(t *testing.T) {
+	if got := len(RulesByName(nil, nil)); got != 4 {
+		t.Fatalf("default rule count = %d, want 4", got)
+	}
+	only := RulesByName([]string{"L2"}, nil)
+	if len(only) != 1 || only[0].Name() != "L2" {
+		t.Fatalf("enable filter broken: %v", only)
+	}
+	without := RulesByName(nil, []string{"L3", "L4"})
+	if len(without) != 2 || without[0].Name() != "L1" || without[1].Name() != "L2" {
+		t.Fatalf("disable filter broken: %v", without)
+	}
+}
+
+func TestDisabledRuleDoesNotFire(t *testing.T) {
+	r, root := fixtureModule(t, map[string]string{
+		"internal/models/x.go": "package models\nfunc f() { panic(\"x\") }\n",
+	})
+	r.Rules = RulesByName(nil, []string{"L3"})
+	if fs := run(t, r, root); len(fs) != 0 {
+		t.Fatalf("disabled L3 still fired: %v", fs)
+	}
+}
+
+func TestFindingPositionsAndString(t *testing.T) {
+	r, root := fixtureModule(t, map[string]string{
+		"internal/models/x.go": "package models\n\nfunc f() {\n\tpanic(\"x\")\n}\n",
+	})
+	fs := run(t, r, root)
+	if len(fs) != 1 {
+		t.Fatalf("findings = %v, want exactly one", fs)
+	}
+	f := fs[0]
+	if f.Line != 4 || f.Col != 2 {
+		t.Fatalf("position %d:%d, want 4:2", f.Line, f.Col)
+	}
+	s := f.String()
+	if !strings.Contains(s, "x.go:4:2:") || !strings.Contains(s, "[L3]") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestWalkSkipsTestdata(t *testing.T) {
+	r, root := fixtureModule(t, map[string]string{
+		"internal/models/x.go":                "package models\nfunc ok() {}\n",
+		"internal/models/testdata/fixture.go": "package fixture\nfunc f() { panic(\"seeded\") }\n",
+	})
+	if fs := run(t, r, root); len(fs) != 0 {
+		t.Fatalf("testdata was linted: %v", fs)
+	}
+}
+
+func TestParseModulePath(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"module repro\n\ngo 1.22\n", "repro"},
+		{"// comment\nmodule example.com/x/y\n", "example.com/x/y"},
+		{"module \"quoted/path\"\n", "quoted/path"},
+		{"go 1.22\n", ""},
+	}
+	for _, c := range cases {
+		if got := parseModulePath(c.in); got != c.want {
+			t.Errorf("parseModulePath(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

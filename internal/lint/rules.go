@@ -1,0 +1,246 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The rule set encodes project conventions that ordinary vet cannot see.
+// Exemptions are structural, not ad hoc:
+//
+//   - internal/qbf owns the Lit/Var representation and the DFS timestamps,
+//     so it is exempt from L1 and L2 (the rules exist to funnel everyone
+//     else through its API). It is also exempt from L3 because package
+//     invariant imports qbf for the deep checks — qbf using invariant
+//     would be an import cycle.
+//   - internal/qdimacs is the parser boundary where external integers
+//     legitimately become Lit/Var, so it is exempt from L2.
+//   - internal/invariant is the sanctioned home of panics (Violated), so
+//     it is exempt from L3.
+//   - Test files and package main (cmd/, examples/) may panic and convert
+//     freely: they are not library code.
+
+// DefaultRules returns all rules in canonical order.
+func DefaultRules() []Rule {
+	return []Rule{ruleTimestamps{}, ruleConversions{}, rulePanic{}, ruleStringBuild{}}
+}
+
+// RulesByName filters the default set: enable lists the rules to keep
+// (empty = all), disable lists rules to drop.
+func RulesByName(enable, disable []string) []Rule {
+	keep := map[string]bool{}
+	for _, n := range enable {
+		keep[n] = true
+	}
+	drop := map[string]bool{}
+	for _, n := range disable {
+		drop[n] = true
+	}
+	var out []Rule
+	for _, r := range DefaultRules() {
+		if len(keep) > 0 && !keep[r.Name()] {
+			continue
+		}
+		if drop[r.Name()] {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// unparen strips redundant parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// ---------------------------------------------------------------------------
+// L1: no direct comparison of DFS timestamps.
+
+type ruleTimestamps struct{}
+
+func (ruleTimestamps) Name() string { return "L1" }
+func (ruleTimestamps) Doc() string {
+	return "no direct comparison of Prefix.D/Prefix.F timestamps outside internal/qbf; use Before/Comparable"
+}
+
+func (ruleTimestamps) Applies(f *File) bool {
+	return f.PkgPath != "repro/internal/qbf"
+}
+
+// isTimestampCall matches a call of the form x.D(v) or x.F(v): the getter
+// shape of the DFS timestamps. Purely syntactic — any one-argument method
+// named D or F matches, which is precise enough in this codebase.
+func isTimestampCall(e ast.Expr) bool {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return sel.Sel.Name == "D" || sel.Sel.Name == "F"
+}
+
+func (ruleTimestamps) Check(f *File, report func(token.Pos, string)) {
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch bin.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+		default:
+			return true
+		}
+		if isTimestampCall(bin.X) || isTimestampCall(bin.Y) {
+			report(bin.Pos(), "comparing raw DFS timestamps; use Prefix.Before or Prefix.Comparable (the interval test over-approximates ≺ on same-quantifier parent/child blocks)")
+		}
+		return true
+	})
+}
+
+// ---------------------------------------------------------------------------
+// L2: no raw int↔Lit/Var conversions outside the owning packages.
+
+type ruleConversions struct{}
+
+func (ruleConversions) Name() string { return "L2" }
+func (ruleConversions) Doc() string {
+	return "no raw qbf.Lit(n)/qbf.Var(n) conversions outside internal/qbf and internal/qdimacs; use LitOf/VarOf"
+}
+
+func (ruleConversions) Applies(f *File) bool {
+	switch f.PkgPath {
+	case "repro/internal/qbf", "repro/internal/qdimacs":
+		return false
+	}
+	return !f.IsTest && f.QBFImportName != ""
+}
+
+func (ruleConversions) Check(f *File, report func(token.Pos, string)) {
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		// qbf.Lit(x) / qbf.Var(x): the Fun of a conversion to a named
+		// type is a plain SelectorExpr. Slice conversions like
+		// []qbf.Var(nil) have an ArrayType Fun and do not match.
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || pkg.Name != f.QBFImportName {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Lit", "Var":
+			report(call.Pos(), "raw integer conversion to qbf."+sel.Sel.Name+"; use qbf."+sel.Sel.Name+"Of (validates the representation) or the zero value")
+		}
+		return true
+	})
+}
+
+// ---------------------------------------------------------------------------
+// L3: library code must not panic directly.
+
+type rulePanic struct{}
+
+func (rulePanic) Name() string { return "L3" }
+func (rulePanic) Doc() string {
+	return "no direct panic in library packages; report broken internal state via invariant.Violated"
+}
+
+func (rulePanic) Applies(f *File) bool {
+	if f.IsTest || f.AST.Name.Name == "main" {
+		return false
+	}
+	switch f.PkgPath {
+	case "repro/internal/qbf", "repro/internal/invariant":
+		return false
+	}
+	return true
+}
+
+func (rulePanic) Check(f *File, report func(token.Pos, string)) {
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+			report(call.Pos(), "direct panic in library code; use invariant.Violated so all unreachable-state reports share one prefix and one grep target")
+		}
+		return true
+	})
+}
+
+// ---------------------------------------------------------------------------
+// L4: no string accumulation on solver paths under internal/core.
+
+type ruleStringBuild struct{}
+
+func (ruleStringBuild) Name() string { return "L4" }
+func (ruleStringBuild) Doc() string {
+	return "no fmt.Sprintf/Sprint/Sprintln or string += accumulation in internal/core; use strings.Builder (suppress intentional sites with //lint:allow L4)"
+}
+
+func (ruleStringBuild) Applies(f *File) bool {
+	return !f.IsTest && strings.HasPrefix(f.PkgPath, "repro/internal/core")
+}
+
+// stringish reports whether an expression syntactically produces a string:
+// a string literal, a fmt.Sprint* call, or a concatenation involving one.
+func stringish(e ast.Expr) bool {
+	switch e := unparen(e).(type) {
+	case *ast.BasicLit:
+		return e.Kind == token.STRING
+	case *ast.BinaryExpr:
+		return e.Op == token.ADD && (stringish(e.X) || stringish(e.Y))
+	case *ast.CallExpr:
+		return isSprintCall(e)
+	}
+	return false
+}
+
+func isSprintCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok || pkg.Name != "fmt" {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Sprintf", "Sprint", "Sprintln":
+		return true
+	}
+	return false
+}
+
+func (ruleStringBuild) Check(f *File, report func(token.Pos, string)) {
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Rhs) == 1 && stringish(n.Rhs[0]) {
+				report(n.Pos(), "string += accumulation allocates quadratically; use strings.Builder")
+			}
+		case *ast.CallExpr:
+			if isSprintCall(n) {
+				report(n.Pos(), "fmt.Sprint* allocates on the solver path; use strings.Builder or fmt.Fprintf into it")
+			}
+		}
+		return true
+	})
+}

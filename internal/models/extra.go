@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/circuit"
+	"repro/internal/invariant"
 	"repro/internal/qbf"
 )
 
@@ -20,7 +21,7 @@ import (
 // parity-heavy — a harder CNF shape for the same diameter.
 func GrayCounter(n int) *Model {
 	if n < 1 {
-		panic("models: GrayCounter needs n >= 1")
+		invariant.Violated("models: GrayCounter needs n >= 1")
 	}
 	return &Model{
 		Name: fmt.Sprintf("gray%d", n),
@@ -71,7 +72,7 @@ func GrayCounter(n int) *Model {
 // at most n steps and state 1…1 needs exactly n, so the diameter is n.
 func ShiftRegister(n int) *Model {
 	if n < 1 {
-		panic("models: ShiftRegister needs n >= 1")
+		invariant.Violated("models: ShiftRegister needs n >= 1")
 	}
 	return &Model{
 		Name: fmt.Sprintf("shift%d", n),
@@ -96,7 +97,7 @@ func ShiftRegister(n int) *Model {
 // is reachable within one rotation, so the diameter is n.
 func Arbiter(n int) *Model {
 	if n < 2 {
-		panic("models: Arbiter needs n >= 2")
+		invariant.Violated("models: Arbiter needs n >= 2")
 	}
 	return &Model{
 		Name: fmt.Sprintf("arbiter%d", n),

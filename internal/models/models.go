@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"repro/internal/circuit"
+	"repro/internal/invariant"
 	"repro/internal/qbf"
 )
 
@@ -65,7 +66,7 @@ func eqVec(b *circuit.Builder, s, t []qbf.Var) circuit.Node {
 // I(s) = (s = 0). Diameter 2^n − 1.
 func Counter(n int) *Model {
 	if n < 1 {
-		panic("models: Counter needs n >= 1")
+		invariant.Violated("models: Counter needs n >= 1")
 	}
 	return &Model{
 		Name: fmt.Sprintf("counter%d", n),
@@ -92,7 +93,7 @@ func Counter(n int) *Model {
 // computation (it grows with n; it is not a closed form worth hardcoding).
 func Ring(n int) *Model {
 	if n < 2 {
-		panic("models: Ring needs n >= 2")
+		invariant.Violated("models: Ring needs n >= 2")
 	}
 	return &Model{
 		Name: fmt.Sprintf("ring%d", n),
@@ -127,7 +128,7 @@ func Ring(n int) *Model {
 // init →1 (w=1,c=0,d=0) →2 (w=1,c=onehot,d=0) →3 (w=1,c',d=1).
 func Semaphore(n int) *Model {
 	if n < 1 {
-		panic("models: Semaphore needs n >= 1")
+		invariant.Violated("models: Semaphore needs n >= 1")
 	}
 	return &Model{
 		Name: fmt.Sprintf("semaphore%d", n),
@@ -172,7 +173,7 @@ func Semaphore(n int) *Model {
 // "station n critical" (n−1 token passes plus one entry).
 func DME(n int) *Model {
 	if n < 2 {
-		panic("models: DME needs n >= 2")
+		invariant.Violated("models: DME needs n >= 2")
 	}
 	return &Model{
 		Name: fmt.Sprintf("dme%d", n),
@@ -246,8 +247,8 @@ func ExplicitDiameter(m *Model, maxBits int) (int, error) {
 	sVars := make([]qbf.Var, m.Bits)
 	tVars := make([]qbf.Var, m.Bits)
 	for i := 0; i < m.Bits; i++ {
-		sVars[i] = qbf.Var(i + 1)
-		tVars[i] = qbf.Var(m.Bits + i + 1)
+		sVars[i] = qbf.VarOf(i + 1)
+		tVars[i] = qbf.VarOf(m.Bits + i + 1)
 	}
 	initN := m.Init(b, sVars)
 	transN := m.Trans(b, sVars, tVars)

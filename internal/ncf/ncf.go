@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/invariant"
 	"repro/internal/qbf"
 )
 
@@ -53,7 +54,7 @@ func (p Params) String() string {
 // Generate builds the instance for p.
 func Generate(p Params) *qbf.QBF {
 	if p.Dep < 1 || p.Var < 1 || p.Cls < 1 || p.Lpc < 1 {
-		panic("ncf: all of Dep, Var, Cls, Lpc must be positive")
+		invariant.Violated("ncf: all of Dep, Var, Cls, Lpc must be positive")
 	}
 	if p.Branch == 0 {
 		p.Branch = 40

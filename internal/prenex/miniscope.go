@@ -178,7 +178,7 @@ func Miniscope(q *qbf.QBF) *qbf.QBF {
 }
 
 func minVar(n *msNode) qbf.Var {
-	best := qbf.Var(1 << 30)
+	best := qbf.VarOf(1 << 30)
 	if n.v != 0 && n.v < best {
 		best = n.v
 	}

@@ -1,0 +1,44 @@
+package qbf
+
+import "fmt"
+
+// This file holds the designated constructors between external integers
+// (DIMACS indices, loop counters, generator outputs) and the typed Var/Lit
+// domain. Lint rule L2 (cmd/qbflint) forbids raw qbf.Var(...)/qbf.Lit(...)
+// conversions outside this package and internal/qdimacs, so that every
+// int→Var/Lit crossing is validated here instead of silently admitting 0
+// or negative variables into the solver.
+
+// MinVar is the smallest valid variable. Iterate the variable range with
+//
+//	for v := qbf.MinVar; v.Int() <= maxVar; v++ { ... }
+const MinVar Var = 1
+
+// NoLit is the zero literal: not a valid literal (0 terminates DIMACS
+// clauses) and therefore the designated "absent" sentinel.
+const NoLit Lit = 0
+
+// VarOf converts a positive integer to a Var. It panics on n < 1: variable
+// 0 would collide with the DIMACS terminator and silently corrupt
+// occurrence indexing.
+func VarOf(n int) Var {
+	if n < 1 {
+		panic(fmt.Sprintf("qbf: VarOf(%d): variables are numbered from 1", n))
+	}
+	return Var(n)
+}
+
+// LitOf converts a nonzero DIMACS-encoded integer to a Lit (+v or -v).
+// It panics on 0, which is the clause terminator, not a literal.
+func LitOf(n int) Lit {
+	if n == 0 {
+		panic("qbf: LitOf(0): 0 is the DIMACS clause terminator, not a literal")
+	}
+	return Lit(n)
+}
+
+// Int returns the variable's integer index.
+func (v Var) Int() int { return int(v) }
+
+// Int returns the literal's DIMACS encoding.
+func (l Lit) Int() int { return int(l) }

@@ -312,3 +312,163 @@ func TestSortedVarsByLevel(t *testing.T) {
 		}
 	}
 }
+
+// TestBeforeEdgeCasesTable is a table-driven sweep of the corners of the
+// structural Before test: free variables, sibling root scopes, and
+// same-quantifier parent/child blocks — the tree shapes on which the naive
+// interval test d(z) < d(z') ≤ f(z) diverges from the Section II order.
+func TestBeforeEdgeCasesTable(t *testing.T) {
+	type pair struct {
+		a, b   Var
+		before bool
+	}
+	cases := []struct {
+		name  string
+		build func() *Prefix
+		pairs []pair
+	}{
+		{
+			name: "free vs bound vs free",
+			build: func() *Prefix {
+				p := NewPrefix(3)
+				b := p.AddBlock(nil, Forall, 2)
+				p.AddBlock(b, Exists, 3)
+				p.GrowVar(1) // 1 stays free
+				p.Finalize()
+				return p
+			},
+			pairs: []pair{
+				{1, 2, true}, {1, 3, true}, // free precedes every bound var
+				{2, 1, false}, {3, 1, false}, // never the reverse
+				{1, 1, false},               // irreflexive on free vars too
+				{2, 3, true}, {3, 2, false}, // bound order undisturbed
+			},
+		},
+		{
+			name: "sibling roots with equal shapes",
+			build: func() *Prefix {
+				// ∃1(∀2) ; ∃3(∀4): two independent scopes whose
+				// timestamp ranges are disjoint by the sibling-root
+				// ts bump, so neither interval nor structure links them.
+				p := NewPrefix(4)
+				a := p.AddBlock(nil, Exists, 1)
+				p.AddBlock(a, Forall, 2)
+				b := p.AddBlock(nil, Exists, 3)
+				p.AddBlock(b, Forall, 4)
+				p.Finalize()
+				return p
+			},
+			pairs: []pair{
+				{1, 2, true}, {3, 4, true},
+				{1, 3, false}, {3, 1, false},
+				{1, 4, false}, {4, 1, false},
+				{2, 3, false}, {2, 4, false},
+			},
+		},
+		{
+			name: "same-quantifier parent with branching",
+			build: func() *Prefix {
+				// ∃1(∀2 ; ∃3(∀4)): block ∃3 is a same-quantifier child
+				// of the root, reached after the sibling ∀2 branch.
+				p := NewPrefix(4)
+				root := p.AddBlock(nil, Exists, 1)
+				p.AddBlock(root, Forall, 2)
+				e := p.AddBlock(root, Exists, 3)
+				p.AddBlock(e, Forall, 4)
+				p.Finalize()
+				return p
+			},
+			pairs: []pair{
+				{1, 2, true}, {1, 4, true}, {3, 4, true},
+				{1, 3, false}, {3, 1, false}, // same quantifier, same level
+				{2, 3, false}, {2, 4, false}, // separate branches
+				{4, 3, false},
+			},
+		},
+		{
+			name: "universal root with mirrored children",
+			build: func() *Prefix {
+				// ∀1(∃2(∀5) ; ∀3(∃4)): one child alternates, the other
+				// repeats the root's quantifier.
+				p := NewPrefix(5)
+				root := p.AddBlock(nil, Forall, 1)
+				e := p.AddBlock(root, Exists, 2)
+				p.AddBlock(e, Forall, 5)
+				u := p.AddBlock(root, Forall, 3)
+				p.AddBlock(u, Exists, 4)
+				p.Finalize()
+				return p
+			},
+			pairs: []pair{
+				{1, 2, true}, {1, 5, true}, {1, 4, true},
+				{2, 5, true}, {3, 4, true},
+				{1, 3, false}, {3, 1, false}, // ∀ child of ∀ root: same level
+				{2, 3, false}, {2, 4, false},
+				{5, 4, false}, {4, 5, false},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := tc.build()
+			for _, pr := range tc.pairs {
+				if got := p.Before(pr.a, pr.b); got != pr.before {
+					t.Errorf("Before(%d, %d) = %v, want %v", pr.a, pr.b, got, pr.before)
+				}
+			}
+		})
+	}
+}
+
+// TestIntervalTestOverApproximatesBefore pins down why Before is structural
+// rather than the tempting one-liner d(z) < d(z') ≤ f(z): on trees with a
+// same-quantifier parent/child block the interval test claims orderings the
+// Section II definition rejects. The divergence is one-sided — the interval
+// test is never false where Before is true — which is exactly why it cannot
+// be caught by testing on prenex or strictly-alternating inputs.
+func TestIntervalTestOverApproximatesBefore(t *testing.T) {
+	interval := func(p *Prefix, a, b Var) bool {
+		return p.D(a) < p.D(b) && p.D(b) <= p.F(a)
+	}
+
+	// ∃1(∀2 ; ∃3(∀4)): d(1)=1, f(1)=3, d(3)=2, so the interval test
+	// claims 1 ≺ 3, but both blocks are existential at level 1.
+	p := NewPrefix(4)
+	root := p.AddBlock(nil, Exists, 1)
+	p.AddBlock(root, Forall, 2)
+	e := p.AddBlock(root, Exists, 3)
+	p.AddBlock(e, Forall, 4)
+	p.Finalize()
+	if !interval(p, 1, 3) {
+		t.Fatal("fixture lost its divergence: interval test no longer claims 1 ≺ 3")
+	}
+	if p.Before(1, 3) {
+		t.Error("structural Before must reject the same-quantifier pair 1, 3")
+	}
+
+	// ∀1(∃2(∀5) ; ∀3(∃4)): the interval test also falsely claims 1 ≺ 3.
+	q := NewPrefix(5)
+	qroot := q.AddBlock(nil, Forall, 1)
+	qe := q.AddBlock(qroot, Exists, 2)
+	q.AddBlock(qe, Forall, 5)
+	qu := q.AddBlock(qroot, Forall, 3)
+	q.AddBlock(qu, Exists, 4)
+	q.Finalize()
+	if !interval(q, 1, 3) {
+		t.Fatal("fixture lost its divergence: interval test no longer claims 1 ≺ 3")
+	}
+	if q.Before(1, 3) {
+		t.Error("structural Before must reject the same-quantifier pair 1, 3")
+	}
+
+	// One-sidedness: wherever Before holds, the interval test agrees.
+	for _, pp := range [2]*Prefix{p, q} {
+		for _, a := range pp.Vars() {
+			for _, b := range pp.Vars() {
+				if pp.Before(a, b) && !interval(pp, a, b) {
+					t.Errorf("interval test misses true ordering %d ≺ %d", a, b)
+				}
+			}
+		}
+	}
+}

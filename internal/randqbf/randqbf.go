@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/dia"
 	"repro/internal/fpv"
+	"repro/internal/invariant"
 	"repro/internal/models"
 	"repro/internal/ncf"
 	"repro/internal/prenex"
@@ -60,7 +61,7 @@ func (p ProbParams) String() string {
 // Prob generates a model-A random prenex QBF.
 func Prob(p ProbParams) *qbf.QBF {
 	if p.Blocks < 1 || p.BlockSize < 1 || p.Clauses < 0 || p.Length < 1 {
-		panic("randqbf: invalid Prob parameters")
+		invariant.Violated("randqbf: invalid Prob parameters")
 	}
 	if p.MaxUniversal == 0 {
 		p.MaxUniversal = p.Length / 2
@@ -78,7 +79,7 @@ func Prob(p ProbParams) *qbf.QBF {
 	type comm struct{ ex, un []qbf.Var }
 	comms := make([]comm, p.Communities)
 	var exAll, unAll []qbf.Var
-	v := qbf.Var(1)
+	v := qbf.MinVar
 	for i := 0; i < p.Blocks; i++ {
 		q := qbf.Exists
 		if (p.Blocks-1-i)%2 == 1 {

@@ -1,0 +1,45 @@
+#!/bin/sh
+# check.sh — the single verification gate for this repository.
+#
+# Runs, in order:
+#   1. go build            (everything compiles, including qbfdebug)
+#   2. go vet              (stock static analysis)
+#   3. gofmt check         (no unformatted files)
+#   4. qbflint             (project-specific rules L1-L4, see DESIGN.md §6)
+#   5. go test -race       (full suite under the race detector)
+#   6. go test -tags qbfdebug ./internal/core/...
+#                          (solver suite with deep invariant checking live)
+#
+# Exits non-zero at the first failing step. Run from anywhere inside the
+# repository.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go build -tags qbfdebug ./..."
+go build -tags qbfdebug ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> gofmt -l ."
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+    echo "unformatted files:" >&2
+    echo "$fmt" >&2
+    exit 1
+fi
+
+echo "==> qbflint ./..."
+go run ./cmd/qbflint ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> go test -tags qbfdebug ./internal/core/..."
+go test -tags qbfdebug ./internal/core/...
+
+echo "All checks passed."
