@@ -17,14 +17,24 @@
 // Example:
 //
 //	qbfbench -suite all -scale default -out results/
+//
+// A SIGINT or SIGTERM cancels the campaign cooperatively: in-flight solves
+// stop at their next propagation fixpoint, the tables and CSVs are written
+// from whatever completed, and the process exits 130. One crashing or
+// limit-stopped instance never takes the campaign down — contained
+// failures are listed after the tables and the exit status is 1 when any
+// occurred (0 otherwise).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
+	"syscall"
 	"time"
 
 	"repro/internal/bench"
@@ -37,12 +47,17 @@ import (
 // plotFigures enables ASCII figure rendering (the -plot flag).
 var plotFigures bool
 
+// campaignFailures counts contained per-instance failures across suites.
+var campaignFailures int
+
 func main() {
 	suite := flag.String("suite", "all", "suite: ncf, fpv, dia, prob, fixed, scaling, all")
 	scaleName := flag.String("scale", "default", "experiment scale: smoke, default, full")
 	outDir := flag.String("out", "results", "directory for CSV artifacts")
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel solver instances")
 	timeout := flag.Duration("timeout", 0, "override the scale's per-solve budget")
+	mem := flag.Int64("mem", 0, "per-solve learned-constraint memory limit in MiB (0 = none)")
+	retries := flag.Int("retries", 0, "extra attempts with doubled budgets after a limit stop")
 	plot := flag.Bool("plot", false, "render ASCII versions of the figures to stdout")
 	flag.Parse()
 	plotFigures = *plot
@@ -57,7 +72,18 @@ func main() {
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fail(err)
 	}
-	cfg := bench.Config{Timeout: scale.Timeout, Workers: *workers}
+	// SIGINT/SIGTERM wind the campaign down: every in-flight and pending
+	// solve returns UNKNOWN/cancelled at its next poll, the results written
+	// so far are kept, and qbfbench exits 130 after reporting them.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	cfg := bench.Config{
+		Timeout:  scale.Timeout,
+		MemLimit: *mem << 20,
+		Workers:  *workers,
+		Retry:    bench.RetryPolicy{Attempts: *retries},
+		Context:  ctx,
+	}
 
 	var rows []bench.TableRow
 	run := func(name string) {
@@ -90,6 +116,23 @@ func main() {
 		fmt.Println("\nTable I (regenerated, scaled):")
 		bench.WriteTable(os.Stdout, rows)
 	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "qbfbench: interrupted — tables and CSVs above are partial")
+		os.Exit(130)
+	}
+	if campaignFailures > 0 {
+		fmt.Fprintf(os.Stderr, "qbfbench: %d instance(s) failed (contained); aggregates exclude them\n", campaignFailures)
+		os.Exit(1)
+	}
+}
+
+// reportFailures lists the contained per-instance failures of a suite run
+// so a crash in one instance is visible without poisoning the aggregates.
+func reportFailures(results []bench.RunResult) {
+	for _, r := range bench.Errored(results) {
+		campaignFailures++
+		fmt.Fprintf(os.Stderr, "  FAILED %s: %v\n", r.Name, r.Failure())
+	}
 }
 
 func pickScale(name string) (bench.Scale, error) {
@@ -113,6 +156,7 @@ func runNCF(scale bench.Scale, cfg bench.Config, outDir string) []bench.TableRow
 	start := time.Now()
 	results := bench.RunSuite(insts, cfg)
 	fmt.Printf("NCF done in %v\n", time.Since(start).Round(time.Second))
+	reportFailures(results)
 
 	var rows []bench.TableRow
 	for _, s := range prenex.Strategies {
@@ -129,6 +173,7 @@ func runSimple(name string, insts []bench.Instance, scale bench.Scale, cfg bench
 	start := time.Now()
 	results := bench.RunSuite(insts, cfg)
 	fmt.Printf("%s done in %v\n", name, time.Since(start).Round(time.Second))
+	reportFailures(results)
 	writeCSV(csvPath, bench.Scatter(results, prenex.EUpAUp, false))
 	return bench.Aggregate(name, results, prenex.EUpAUp, scale.Margin())
 }

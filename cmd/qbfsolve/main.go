@@ -9,13 +9,20 @@
 //	qbfsolve [flags] [file.qdimacs]
 //
 // Exit status: 10 when the formula is TRUE, 20 when FALSE (the SAT solver
-// convention), 1 on errors or when a limit stopped the search.
+// convention), 1 on errors. A governed stop exits with a code naming the
+// stop reason: 30 timeout, 31 node limit, 32 memory limit, 33 cancelled
+// (SIGINT/SIGTERM), 34 contained solver panic. On SIGINT or SIGTERM the
+// solver stops at its next propagation fixpoint and the partial statistics
+// are still printed under -stats.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/prenex"
@@ -28,6 +35,7 @@ func main() {
 	strategy := flag.String("strategy", "eu-au", "prenexing strategy for -mode=to on tree inputs: eu-au, eu-ad, ed-au, ed-ad")
 	timeout := flag.Duration("timeout", 0, "per-solve time limit (0 = none)")
 	nodes := flag.Int64("nodes", 0, "decision limit (0 = none)")
+	mem := flag.Int64("mem", 0, "learned-constraint memory limit in MiB (0 = none)")
 	noCl := flag.Bool("no-clause-learning", false, "disable nogood learning")
 	noCu := flag.Bool("no-cube-learning", false, "disable good learning")
 	noPure := flag.Bool("no-pure", false, "disable pure literal fixing")
@@ -47,6 +55,7 @@ func main() {
 	opt := core.Options{
 		TimeLimit:             *timeout,
 		NodeLimit:             *nodes,
+		MemLimit:              *mem << 20,
 		DisableClauseLearning: *noCl,
 		DisableCubeLearning:   *noCu,
 		DisablePureLiterals:   *noPure,
@@ -71,9 +80,19 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	r := solver.Solve()
+	// SIGINT/SIGTERM cancel the context; the solver notices at its next
+	// propagation fixpoint and returns UNKNOWN/cancelled with the partial
+	// statistics intact instead of the process dying mid-search.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	r, solveErr := solver.SafeSolveContext(ctx)
 	st := solver.Stats()
 	fmt.Println(r)
+	if solveErr != nil {
+		fmt.Fprintln(os.Stderr, "qbfsolve: solver panic contained:", solveErr)
+	} else if r == core.Unknown && st.StopReason != core.StopNone {
+		fmt.Fprintf(os.Stderr, "qbfsolve: stopped: %v\n", st.StopReason)
+	}
 	if *witness && r == core.True {
 		if model, ok := solver.Witness(); ok {
 			fmt.Print("v")
@@ -91,19 +110,36 @@ func main() {
 	}
 	if *stats {
 		fmt.Fprintf(os.Stderr,
-			"decisions=%d propagations=%d pures=%d conflicts=%d solutions=%d learned-clauses=%d learned-cubes=%d backjumps=%d restarts=%d time=%v\n",
+			"decisions=%d propagations=%d pures=%d conflicts=%d solutions=%d learned-clauses=%d learned-cubes=%d backjumps=%d restarts=%d fixpoints=%d peak-learned-bytes=%d mem-reductions=%d time=%v\n",
 			st.Decisions, st.Propagations, st.PureAssignments, st.Conflicts,
 			st.Solutions, st.LearnedClauses, st.LearnedCubes, st.Backjumps,
-			st.Restarts, st.Time)
+			st.Restarts, st.Fixpoints, st.PeakLearnedBytes, st.MemReductions, st.Time)
 	}
+	os.Exit(exitCode(r, st.StopReason))
+}
+
+// exitCode maps the result (and, for UNKNOWN, the stop reason) to the
+// documented exit status.
+func exitCode(r core.Result, stop core.StopReason) int {
 	switch r {
 	case core.True:
-		os.Exit(10)
+		return 10
 	case core.False:
-		os.Exit(20)
-	default:
-		os.Exit(1)
+		return 20
 	}
+	switch stop {
+	case core.StopTimeout:
+		return 30
+	case core.StopNodeLimit:
+		return 31
+	case core.StopMemLimit:
+		return 32
+	case core.StopCancelled:
+		return 33
+	case core.StopPanicked:
+		return 34
+	}
+	return 1
 }
 
 func readInput(path string) (*qbf.QBF, error) {

@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -14,7 +15,6 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/invariant"
 	"repro/internal/prenex"
 	"repro/internal/qbf"
 )
@@ -41,10 +41,29 @@ func MakeInstance(name string, tree *qbf.QBF, strategies ...prenex.Strategy) Ins
 
 // Outcome is one solver run on one instance.
 type Outcome struct {
-	Result  core.Result
+	Result core.Result
+	// Stop explains an Unknown result (core.StopNone on decided runs).
+	Stop core.StopReason
+	// Timeout reports specifically a time-budget stop. It is derived from
+	// Stop — node-limit, memory-limit, cancellation, and panic stops are
+	// NOT timeouts and must not be reported as such in the paper tables.
 	Timeout bool
 	Time    time.Duration
 	Stats   core.Stats
+	// Attempts is the number of solve attempts made (> 1 when the retry
+	// policy escalated budgets after a limit stop; 0 only in zero-value
+	// outcomes from hand-built fixtures).
+	Attempts int
+	// Err carries a contained failure: a solver panic (core.PanicError)
+	// or a construction error. The instance counts as undecided.
+	Err error
+}
+
+// Decided reports whether the run produced a definite True/False verdict.
+// Everything else — limit stops, cancellations, contained crashes — is
+// "out of budget" for aggregation purposes.
+func (o Outcome) Decided() bool {
+	return o.Err == nil && o.Result != core.Unknown
 }
 
 // RunResult pairs the PO outcome with the TO outcomes per strategy.
@@ -52,27 +71,39 @@ type RunResult struct {
 	Name string
 	PO   Outcome
 	TO   map[prenex.Strategy]Outcome
+	// Err records an instance-level failure: a panic that escaped the
+	// per-solve containment (e.g. in prenexing or instance setup) or a
+	// PO/TO answer disagreement. The per-solve outcomes stay readable.
+	Err error
 }
 
-// TOBest returns the best (fastest solved) TO outcome — the ideal solver
+// TOBest returns the best (fastest decided) TO outcome — the ideal solver
 // QUBE(TO)* of Figure 3 — over the strategies present.
 func (r RunResult) TOBest() Outcome {
-	best := Outcome{Timeout: true, Time: -1}
+	var best Outcome
+	first := true
 	for _, o := range r.TO {
-		if best.Time < 0 {
-			best = o
-			continue
-		}
 		switch {
-		case best.Timeout && !o.Timeout:
+		case first:
+			best, first = o, false
+		case o.Decided() && !best.Decided():
 			best = o
-		case !best.Timeout && !o.Timeout && o.Time < best.Time:
-			best = o
-		case best.Timeout && o.Timeout && o.Time < best.Time:
+		case o.Decided() == best.Decided() && o.Time < best.Time:
 			best = o
 		}
 	}
 	return best
+}
+
+// RetryPolicy escalates budgets for limit-stopped solves: a run stopped by
+// a time, node, or memory limit is retried with every configured budget
+// multiplied by Growth, up to Attempts extra tries. Cancelled and crashed
+// runs are never retried.
+type RetryPolicy struct {
+	// Attempts is the maximum number of extra attempts (0 = no retry).
+	Attempts int
+	// Growth multiplies each budget per attempt; values ≤ 1 mean 2.
+	Growth float64
 }
 
 // Config controls a suite run.
@@ -81,8 +112,16 @@ type Config struct {
 	Timeout time.Duration
 	// NodeLimit optionally bounds decisions per solve (0 = none).
 	NodeLimit int64
+	// MemLimit optionally bounds learned-constraint bytes per solve.
+	MemLimit int64
 	// Workers is the parallelism across instances; 0 means 1.
 	Workers int
+	// Retry escalates budgets after limit stops (zero value: no retry).
+	Retry RetryPolicy
+	// Context, when non-nil, cancels in-flight and pending solves: each
+	// returns Unknown/StopCancelled at its next poll, so a campaign winds
+	// down with partial results instead of being killed.
+	Context context.Context
 	// SolverOptions are the shared engine options (learning toggles etc.).
 	SolverOptions core.Options
 }
@@ -92,42 +131,100 @@ func (c Config) options(mode core.Mode) core.Options {
 	opt.Mode = mode
 	opt.TimeLimit = c.Timeout
 	opt.NodeLimit = c.NodeLimit
+	opt.MemLimit = c.MemLimit
 	return opt
 }
 
-// RunOne solves a single formula under the budget.
+func (c Config) context() context.Context {
+	if c.Context != nil {
+		return c.Context
+	}
+	return context.Background()
+}
+
+// RunOne solves a single formula under the budget with panic containment.
 func RunOne(q *qbf.QBF, opt core.Options) Outcome {
+	return RunOneContext(context.Background(), q, opt)
+}
+
+// RunOneContext is RunOne under a cancellation context. A solver panic is
+// contained by core.SafeSolveContext and recorded in Outcome.Err; the
+// campaign keeps running.
+func RunOneContext(ctx context.Context, q *qbf.QBF, opt core.Options) Outcome {
 	start := time.Now()
-	r, st, err := core.Solve(q, opt)
-	if err != nil {
-		invariant.Violated("bench: %v", err)
-	}
+	r, st, err := core.SafeSolveContext(ctx, q, opt)
 	return Outcome{
-		Result:  r,
-		Timeout: r == core.Unknown,
-		Time:    time.Since(start),
-		Stats:   st,
+		Result:   r,
+		Stop:     st.StopReason,
+		Timeout:  st.StopReason == core.StopTimeout,
+		Time:     time.Since(start),
+		Stats:    st,
+		Attempts: 1,
+		Err:      err,
 	}
+}
+
+// retryable reports whether an outcome is a limit stop worth escalating.
+func retryable(o Outcome) bool {
+	if o.Err != nil || o.Result != core.Unknown {
+		return false
+	}
+	switch o.Stop {
+	case core.StopTimeout, core.StopNodeLimit, core.StopMemLimit:
+		return true
+	}
+	return false
+}
+
+// runWithRetry applies the retry policy around RunOneContext: limit stops
+// are retried with geometrically escalating budgets. The returned outcome
+// is the final attempt's, with Attempts counting every try.
+func runWithRetry(ctx context.Context, q *qbf.QBF, opt core.Options, pol RetryPolicy) Outcome {
+	out := RunOneContext(ctx, q, opt)
+	growth := pol.Growth
+	if growth <= 1 {
+		growth = 2
+	}
+	for a := 0; a < pol.Attempts && retryable(out) && ctx.Err() == nil; a++ {
+		if opt.TimeLimit > 0 {
+			opt.TimeLimit = time.Duration(float64(opt.TimeLimit) * growth)
+		}
+		if opt.NodeLimit > 0 {
+			opt.NodeLimit = int64(float64(opt.NodeLimit) * growth)
+		}
+		if opt.MemLimit > 0 {
+			opt.MemLimit = int64(float64(opt.MemLimit) * growth)
+		}
+		next := RunOneContext(ctx, q, opt)
+		next.Attempts = out.Attempts + 1
+		out = next
+	}
+	return out
 }
 
 // RunInstance runs PO on the tree and TO on every prenex form.
 func RunInstance(inst Instance, cfg Config) RunResult {
+	ctx := cfg.context()
 	out := RunResult{Name: inst.Name, TO: map[prenex.Strategy]Outcome{}}
-	out.PO = RunOne(inst.Tree, cfg.options(core.ModePartialOrder))
+	out.PO = runWithRetry(ctx, inst.Tree, cfg.options(core.ModePartialOrder), cfg.Retry)
 	for s, q := range inst.Prenex {
-		out.TO[s] = RunOne(q, cfg.options(core.ModeTotalOrder))
+		out.TO[s] = runWithRetry(ctx, q, cfg.options(core.ModeTotalOrder), cfg.Retry)
 	}
-	// Cross-check: all decided outcomes must agree.
+	// Cross-check: all decided outcomes must agree. A disagreement is a
+	// soundness bug, but in a governed campaign it is recorded as an
+	// instance failure and reported with the results, not a process kill.
 	want := out.PO.Result
 	for s, o := range out.TO {
-		if o.Result != core.Unknown && want != core.Unknown && o.Result != want {
-			invariant.Violated("bench: %s: TO(%v)=%v but PO=%v", inst.Name, s, o.Result, want)
+		if o.Decided() && out.PO.Decided() && o.Result != want {
+			out.Err = fmt.Errorf("bench: %s: TO(%v)=%v but PO=%v", inst.Name, s, o.Result, want)
 		}
 	}
 	return out
 }
 
 // RunSuite runs all instances, optionally in parallel, preserving order.
+// Every worker is panic-contained: one crashing instance records an
+// errored RunResult and the remaining instances still run.
 func RunSuite(insts []Instance, cfg Config) []RunResult {
 	workers := cfg.Workers
 	if workers < 1 {
@@ -142,10 +239,50 @@ func RunSuite(insts []Instance, cfg Config) []RunResult {
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			defer func() {
+				if p := recover(); p != nil {
+					out[i] = RunResult{
+						Name: insts[i].Name,
+						Err:  fmt.Errorf("bench: %s: instance panicked: %v", insts[i].Name, p),
+					}
+				}
+			}()
 			out[i] = RunInstance(insts[i], cfg)
 		}(i)
 	}
 	wg.Wait()
+	return out
+}
+
+// Failure returns the first failure recorded for the instance: an
+// instance-level error, then the PO solve error, then any TO solve error.
+// It is nil for instances whose every solve ran to a clean stop.
+func (r RunResult) Failure() error {
+	if r.Err != nil {
+		return r.Err
+	}
+	if r.PO.Err != nil {
+		return r.PO.Err
+	}
+	for _, o := range r.TO {
+		if o.Err != nil {
+			return o.Err
+		}
+	}
+	return nil
+}
+
+// Errored collects the failures of a suite run — contained panics (both
+// per-solve and instance-level) and cross-check disagreements — in
+// instance order, so a campaign report can list what crashed alongside
+// the aggregate tables built from the surviving instances.
+func Errored(results []RunResult) []RunResult {
+	var out []RunResult
+	for _, r := range results {
+		if r.Failure() != nil {
+			out = append(out, r)
+		}
+	}
 	return out
 }
 
@@ -178,13 +315,13 @@ func Aggregate(suite string, results []RunResult, s prenex.Strategy, margin time
 		row.Total++
 		po := r.PO
 		switch {
-		case to.Timeout && po.Timeout:
+		case !to.Decided() && !po.Decided():
 			row.BothOut++
 			row.Equal++ // the paper counts double timeouts under "="
-		case to.Timeout:
+		case !to.Decided():
 			row.TOOnly++
 			row.Faster++
-		case po.Timeout:
+		case !po.Decided():
 			row.POOnly++
 			row.Slower++
 		default:
@@ -220,7 +357,10 @@ func WriteTable(w io.Writer, rows []TableRow) {
 }
 
 // ScatterPoint is one bullet of Figures 3, 4, 5 and 7: PO time on the x
-// axis, TO (or TO*) time on the y axis; timeouts are clamped to the budget.
+// axis, TO (or TO*) time on the y axis; timeouts are clamped to the
+// budget. The XTimeout/YTimeout flags mark undecided runs of any kind
+// (time/node/memory limit, cancellation, contained crash) — the "on the
+// budget edge" bullets of the paper's plots.
 type ScatterPoint struct {
 	Name     string
 	X, Y     time.Duration
@@ -241,8 +381,8 @@ func Scatter(results []RunResult, s prenex.Strategy, best bool) []ScatterPoint {
 			Name:     r.Name,
 			X:        r.PO.Time,
 			Y:        to.Time,
-			XTimeout: r.PO.Timeout,
-			YTimeout: to.Timeout,
+			XTimeout: !r.PO.Decided(),
+			YTimeout: !to.Decided(),
 		})
 	}
 	return out
@@ -275,10 +415,10 @@ func MedianScatter(results []RunResult, s prenex.Strategy, best bool) []ScatterP
 				to = r.TOBest()
 			}
 			ys = append(ys, to.Time)
-			if r.PO.Timeout {
+			if !r.PO.Decided() {
 				xOut++
 			}
-			if to.Timeout {
+			if !to.Decided() {
 				yOut++
 			}
 		}

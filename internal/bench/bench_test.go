@@ -41,11 +41,17 @@ func TestRunInstanceAgreement(t *testing.T) {
 
 func TestAggregateColumns(t *testing.T) {
 	mk := func(po, to time.Duration, poOut, toOut bool) RunResult {
+		outcome := func(d time.Duration, out bool) Outcome {
+			if out {
+				return Outcome{Time: d, Result: core.Unknown, Stop: core.StopTimeout, Timeout: true}
+			}
+			return Outcome{Time: d, Result: core.True}
+		}
 		return RunResult{
 			Name: "x",
-			PO:   Outcome{Time: po, Timeout: poOut, Result: core.True},
+			PO:   outcome(po, poOut),
 			TO: map[prenex.Strategy]Outcome{
-				prenex.EUpAUp: {Time: to, Timeout: toOut, Result: core.True},
+				prenex.EUpAUp: outcome(to, toOut),
 			},
 		}
 	}

@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/prenex"
+	"repro/internal/qbf"
+)
+
+func mkClause(ls ...int) qbf.Clause {
+	c := make(qbf.Clause, len(ls))
+	for i, l := range ls {
+		c[i] = qbf.Lit(l)
+	}
+	return c
+}
+
+// hardTree builds a purely existential instance (FALSE, ~6 decisions with
+// pure literals disabled): a pigeonhole-flavored matrix that cannot be
+// decided by propagation alone, so node-limit stops are deterministic.
+func hardTree() *qbf.QBF {
+	p := qbf.NewPrenexPrefix(12, qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}})
+	var m []qbf.Clause
+	m = append(m,
+		mkClause(1, 2, 3), mkClause(4, 5, 6), mkClause(7, 8, 9), mkClause(10, 11, 12),
+		mkClause(-1, -4), mkClause(-1, -7), mkClause(-1, -10), mkClause(-4, -7),
+		mkClause(-4, -10), mkClause(-7, -10), mkClause(-2, -5), mkClause(-2, -8),
+		mkClause(-2, -11), mkClause(-5, -8), mkClause(-5, -11), mkClause(-8, -11),
+		mkClause(-3, -6), mkClause(-3, -9), mkClause(-3, -12), mkClause(-6, -9),
+		mkClause(-6, -12), mkClause(-9, -12))
+	return qbf.New(p, m)
+}
+
+func easyTree() *qbf.QBF {
+	p := qbf.NewPrefix(2)
+	r := p.AddBlock(nil, qbf.Exists, 1)
+	p.AddBlock(r, qbf.Exists, 2)
+	return qbf.New(p, []qbf.Clause{{1}, {-1, 2}})
+}
+
+// TestRunSuitePanicContainment: one instance whose solve panics (nil tree
+// makes NewSolver dereference nothing) must not take the campaign down —
+// the other instances still run and the failure is reported with a stack.
+func TestRunSuitePanicContainment(t *testing.T) {
+	insts := []Instance{
+		MakeInstance("ok-0", easyTree(), prenex.EUpAUp),
+		{Name: "boom", Tree: nil},
+		MakeInstance("ok-1", easyTree(), prenex.EUpAUp),
+	}
+	results := RunSuite(insts, Config{Timeout: 2 * time.Second, Workers: 2})
+	if len(results) != 3 {
+		t.Fatalf("results %d, want 3", len(results))
+	}
+	for _, i := range []int{0, 2} {
+		if !results[i].PO.Decided() || results[i].Failure() != nil {
+			t.Errorf("%s: survivors must decide cleanly: %+v", results[i].Name, results[i].PO)
+		}
+	}
+	boom := results[1]
+	if boom.Failure() == nil {
+		t.Fatal("panicking instance reported no failure")
+	}
+	var pe *core.PanicError
+	if !errors.As(boom.Failure(), &pe) {
+		t.Fatalf("failure is %T, want *core.PanicError: %v", boom.Failure(), boom.Failure())
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("contained panic lost its stack trace")
+	}
+	if boom.PO.Result != core.Unknown || boom.PO.Stop != core.StopPanicked {
+		t.Errorf("panicked outcome = %v/%v, want UNKNOWN/panicked", boom.PO.Result, boom.PO.Stop)
+	}
+	errored := Errored(results)
+	if len(errored) != 1 || errored[0].Name != "boom" {
+		t.Errorf("Errored = %d entries, want exactly the panicking instance", len(errored))
+	}
+}
+
+// TestRetryEscalation: a node-limit stop under a retry policy must come
+// back decided, with Attempts counting every try. NodeLimit=1 cannot solve
+// the hard instance; one ×8 escalation can (6 decisions suffice).
+func TestRetryEscalation(t *testing.T) {
+	inst := Instance{Name: "hard", Tree: hardTree()}
+	cfg := Config{
+		Timeout:       5 * time.Second,
+		NodeLimit:     1,
+		Retry:         RetryPolicy{Attempts: 5, Growth: 8},
+		SolverOptions: core.Options{DisablePureLiterals: true},
+	}
+	res := RunInstance(inst, cfg)
+	if res.PO.Result != core.False {
+		t.Fatalf("result %v (stop %v), want FALSE after escalation", res.PO.Result, res.PO.Stop)
+	}
+	if res.PO.Attempts < 2 {
+		t.Errorf("Attempts = %d, want >= 2 (first try must hit NodeLimit=1)", res.PO.Attempts)
+	}
+	if res.PO.Stop != core.StopNone {
+		t.Errorf("decided outcome carries stop reason %v", res.PO.Stop)
+	}
+}
+
+// TestNodeLimitStopIsNotTimeout guards satellite #2: a node-limit stop used
+// to be reported as a timeout in the paper tables. It must not be.
+func TestNodeLimitStopIsNotTimeout(t *testing.T) {
+	o := RunOne(hardTree(), core.Options{NodeLimit: 1, DisablePureLiterals: true})
+	if o.Result != core.Unknown {
+		t.Fatalf("result %v, want UNKNOWN under NodeLimit=1", o.Result)
+	}
+	if o.Stop != core.StopNodeLimit {
+		t.Errorf("stop %v, want node-limit", o.Stop)
+	}
+	if o.Timeout {
+		t.Error("node-limit stop reported as timeout")
+	}
+	if o.Err != nil {
+		t.Errorf("clean limit stop recorded an error: %v", o.Err)
+	}
+}
+
+// TestCancelledConfigContext: a campaign whose context is already cancelled
+// winds down immediately — every outcome is UNKNOWN/cancelled, never
+// retried, and no instance errors.
+func TestCancelledConfigContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	insts := []Instance{
+		MakeInstance("a", easyTree(), prenex.EUpAUp),
+		MakeInstance("b", hardTree(), prenex.EUpAUp),
+	}
+	results := RunSuite(insts, Config{
+		Timeout: 2 * time.Second,
+		Retry:   RetryPolicy{Attempts: 3},
+		Context: ctx,
+	})
+	for _, r := range results {
+		if r.Failure() != nil {
+			t.Errorf("%s: cancellation is not a failure: %v", r.Name, r.Failure())
+		}
+		outs := []Outcome{r.PO}
+		for _, o := range r.TO {
+			outs = append(outs, o)
+		}
+		for _, o := range outs {
+			if o.Result != core.Unknown || o.Stop != core.StopCancelled {
+				t.Errorf("%s: outcome %v/%v, want UNKNOWN/cancelled", r.Name, o.Result, o.Stop)
+			}
+			if o.Timeout {
+				t.Errorf("%s: cancellation reported as timeout", r.Name)
+			}
+			if o.Attempts != 1 {
+				t.Errorf("%s: cancelled solve retried (%d attempts)", r.Name, o.Attempts)
+			}
+		}
+	}
+}

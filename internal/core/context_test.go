@@ -1,0 +1,193 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/qbf"
+)
+
+// phpFormula builds the pigeonhole principle PHP(n+1, n) as an
+// all-existential QBF: FALSE, and exponentially hard for resolution, so it
+// reliably keeps the search busy for mid-flight governance tests.
+func phpFormula(n int) *qbf.QBF {
+	pigeons := n + 1
+	v := func(p, h int) int { return (p-1)*n + h }
+	p := qbf.NewPrefix(pigeons * n)
+	var vars []qbf.Var
+	for i := 1; i <= pigeons*n; i++ {
+		vars = append(vars, qbf.Var(i))
+	}
+	p.AddBlock(nil, qbf.Exists, vars...)
+	var m []qbf.Clause
+	for i := 1; i <= pigeons; i++ {
+		var row qbf.Clause
+		for h := 1; h <= n; h++ {
+			row = append(row, qbf.Lit(v(i, h)))
+		}
+		m = append(m, row)
+	}
+	for h := 1; h <= n; h++ {
+		for i := 1; i <= pigeons; i++ {
+			for j := i + 1; j <= pigeons; j++ {
+				m = append(m, qbf.Clause{qbf.Lit(-v(i, h)), qbf.Lit(-v(j, h))})
+			}
+		}
+	}
+	return qbf.New(p, m)
+}
+
+func TestSolveContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s, err := NewSolver(phpFormula(4), Options{DisablePureLiterals: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := s.SolveContext(ctx); r != Unknown {
+		t.Fatalf("pre-cancelled solve returned %v", r)
+	}
+	st := s.Stats()
+	if st.StopReason != StopCancelled {
+		t.Errorf("stop reason %v, want cancelled", st.StopReason)
+	}
+	if st.Decisions != 0 {
+		t.Errorf("pre-cancelled solve made %d decisions", st.Decisions)
+	}
+}
+
+func TestSolveContextMidSearchCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s, err := NewSolver(phpFormula(10), Options{DisablePureLiterals: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan Result, 1)
+	go func() { done <- s.SolveContext(ctx) }()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case r := <-done:
+		st := s.Stats()
+		if r != Unknown || st.StopReason != StopCancelled {
+			// PHP(11,10) needs far more than 50 ms; a decided result here
+			// means cancellation never fired.
+			t.Fatalf("got %v/%v, want UNKNOWN/cancelled", r, st.StopReason)
+		}
+		if st.Fixpoints == 0 || st.Decisions == 0 {
+			t.Errorf("cancelled mid-search but stats empty: %+v", st)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("solver ignored cancellation")
+	}
+}
+
+func TestContextDeadlineIsTimeout(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	s, err := NewSolver(phpFormula(10), Options{DisablePureLiterals: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := s.SolveContext(ctx); r != Unknown {
+		t.Fatalf("got %v, want UNKNOWN under a 50ms deadline", r)
+	}
+	// A context deadline is a time budget: it must surface as a timeout,
+	// not as a generic cancellation.
+	if st := s.Stats(); st.StopReason != StopTimeout {
+		t.Errorf("stop reason %v, want timeout", st.StopReason)
+	}
+}
+
+func TestNodeLimitStopReason(t *testing.T) {
+	r, st, err := Solve(phpFormula(10), Options{NodeLimit: 1, DisablePureLiterals: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != Unknown || st.StopReason != StopNodeLimit {
+		t.Errorf("got %v/%v, want UNKNOWN/node-limit", r, st.StopReason)
+	}
+}
+
+// TestMemLimitGraceful: a budget large enough to hold a reduced database
+// must degrade — aggressive reductions, no stop — and still decide.
+func TestMemLimitGraceful(t *testing.T) {
+	r, st, err := Solve(phpFormula(7), Options{
+		MemLimit:            64 << 10,
+		DisablePureLiterals: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != False {
+		t.Fatalf("PHP(8,7) = %v, want FALSE", r)
+	}
+	if st.StopReason != StopNone {
+		t.Errorf("decided run carries stop reason %v", st.StopReason)
+	}
+	if st.MemReductions == 0 {
+		t.Error("64KiB budget on PHP(8,7) never triggered a memory reduction")
+	}
+}
+
+// TestMemLimitForcedStop: a budget no reduction can reach (one byte —
+// the first learned clause is locked as the asserting reason, so the
+// aggressive round cannot delete it) must produce a clean mem-limit stop.
+func TestMemLimitForcedStop(t *testing.T) {
+	r, st, err := Solve(phpFormula(6), Options{
+		MemLimit:            1,
+		DisablePureLiterals: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != Unknown || st.StopReason != StopMemLimit {
+		t.Errorf("got %v/%v, want UNKNOWN/mem-limit", r, st.StopReason)
+	}
+	if st.MemReductions == 0 {
+		t.Error("forced stop without attempting a reduction first")
+	}
+}
+
+func TestSafeSolveNilInput(t *testing.T) {
+	r, st, err := SafeSolve(nil, Options{})
+	if r != Unknown {
+		t.Errorf("result %v, want UNKNOWN", r)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err %T (%v), want *PanicError", err, err)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("contained panic has no stack")
+	}
+	if st.StopReason != StopPanicked {
+		t.Errorf("stop reason %v, want panicked", st.StopReason)
+	}
+}
+
+// TestTimeoutNotStarvedByPropagation guards satellite #1: the deadline used
+// to be checked only every 64th decision, so a search dominated by
+// propagation and backtracking could overshoot its budget without bound.
+// Polling now happens at propagation fixpoints; a 50ms budget must stop
+// the solver in a small multiple of that.
+func TestTimeoutNotStarvedByPropagation(t *testing.T) {
+	s, err := NewSolver(phpFormula(10), Options{
+		TimeLimit:           50 * time.Millisecond,
+		DisablePureLiterals: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	r := s.Solve()
+	elapsed := time.Since(start)
+	if r != Unknown || s.Stats().StopReason != StopTimeout {
+		t.Fatalf("got %v/%v, want UNKNOWN/timeout", r, s.Stats().StopReason)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("50ms budget overshot to %v", elapsed)
+	}
+}

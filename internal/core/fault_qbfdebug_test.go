@@ -1,0 +1,105 @@
+//go:build qbfdebug
+
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/invariant"
+)
+
+// These tests drive the fault-injection harness: faults fire at exact
+// propagation-fixpoint ordinals, so containment and cooperative stopping
+// are exercised deterministically — no timing, no flakes.
+
+func TestInjectedPanicIsContained(t *testing.T) {
+	s, err := NewSolver(phpFormula(8), Options{DisablePureLiterals: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const at = 5
+	s.SetFaultHook(func(fp int64) {
+		if fp == at {
+			panic("injected fault")
+		}
+	})
+	r, err := s.SafeSolveContext(context.Background())
+	if r != Unknown {
+		t.Errorf("result %v, want UNKNOWN", r)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err %T (%v), want *PanicError", err, err)
+	}
+	if pe.Value != "injected fault" {
+		t.Errorf("recovered value %v", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("no stack captured")
+	}
+	// The partial Stats must be coherent with the injection point: the
+	// fault fired at fixpoint `at`, so exactly `at` fixpoints ran.
+	if pe.Stats.Fixpoints != at {
+		t.Errorf("Stats.Fixpoints = %d, want %d", pe.Stats.Fixpoints, at)
+	}
+	if pe.Stats.StopReason != StopPanicked {
+		t.Errorf("stop reason %v, want panicked", pe.Stats.StopReason)
+	}
+	if st := s.Stats(); st.StopReason != StopPanicked {
+		t.Errorf("solver stats stop reason %v, want panicked", st.StopReason)
+	}
+}
+
+func TestInjectedCancellationAtFixpoint(t *testing.T) {
+	s, err := NewSolver(phpFormula(8), Options{DisablePureLiterals: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Cancel exactly at a poll point (pollStop samples the channel every
+	// pollPeriod fixpoints): the stop must be observed at that same
+	// fixpoint, before any further search work.
+	const at = 2 * pollPeriod
+	s.SetFaultHook(func(fp int64) {
+		if fp == at {
+			cancel()
+		}
+	})
+	r, err := s.SafeSolveContext(ctx)
+	if err != nil {
+		t.Fatalf("clean cancellation errored: %v", err)
+	}
+	st := s.Stats()
+	if r != Unknown || st.StopReason != StopCancelled {
+		t.Fatalf("got %v/%v, want UNKNOWN/cancelled", r, st.StopReason)
+	}
+	if st.Fixpoints != at {
+		t.Errorf("stopped at fixpoint %d, want %d (same-fixpoint detection)", st.Fixpoints, at)
+	}
+	if st.Decisions == 0 {
+		t.Error("no decisions before fixpoint 128 — instance too easy for the harness")
+	}
+}
+
+// TestInjectedInvariantViolationIsContained proves the containment chain
+// end-to-end for the project's own panic species: invariant.Violated raised
+// inside the engine surfaces as a *PanicError, not a process crash.
+func TestInjectedInvariantViolationIsContained(t *testing.T) {
+	s, err := NewSolver(phpFormula(8), Options{DisablePureLiterals: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetFaultHook(func(fp int64) {
+		if fp == 3 {
+			invariant.Violated("injected invariant violation at fixpoint %d", fp)
+		}
+	})
+	r, err := s.SafeSolveContext(context.Background())
+	var pe *PanicError
+	if r != Unknown || !errors.As(err, &pe) {
+		t.Fatalf("got %v/%v, want UNKNOWN/*PanicError", r, err)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !qbfdebug
+
+package core
+
+// injectFault is a no-op without the qbfdebug build tag; the compiler
+// inlines the empty body away, so the fixpoint loop pays nothing for the
+// fault-injection harness in release builds.
+func (s *Solver) injectFault(int64) {}

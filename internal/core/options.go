@@ -66,6 +66,13 @@ type Options struct {
 	NodeLimit int64
 	// TimeLimit bounds wall-clock solving time; 0 means unlimited.
 	TimeLimit time.Duration
+	// MemLimit bounds the estimated bytes held by learned constraints; 0
+	// means unlimited. When the learned databases exceed the budget the
+	// solver first degrades gracefully — an aggressive learned-DB
+	// reduction of both clauses and cubes, regardless of MaxLearned — and
+	// only stops (Unknown, StopMemLimit) if a single reduction round
+	// cannot get back under the budget.
+	MemLimit int64
 
 	// CheckInvariants enables the deep self-checker: at construction the
 	// prefix tree is validated (structural well-formedness, algebraic laws
@@ -82,13 +89,53 @@ type Options struct {
 type Result int
 
 const (
-	// Unknown means a node or time limit stopped the search.
+	// Unknown means a resource limit or a cancellation stopped the search;
+	// Stats.StopReason says which.
 	Unknown Result = iota
 	// True means the QBF evaluated to true.
 	True
 	// False means the QBF evaluated to false.
 	False
 )
+
+// StopReason explains an Unknown result: which budget or event ended the
+// search before a verdict. Decided runs carry StopNone.
+type StopReason int
+
+const (
+	// StopNone: the search ran to a True/False verdict (or never ran).
+	StopNone StopReason = iota
+	// StopTimeout: the TimeLimit (or context deadline) expired.
+	StopTimeout
+	// StopNodeLimit: the decision budget was exhausted.
+	StopNodeLimit
+	// StopMemLimit: the learned-constraint byte budget was exceeded and a
+	// reduction round could not recover it.
+	StopMemLimit
+	// StopCancelled: the context passed to SolveContext was cancelled.
+	StopCancelled
+	// StopPanicked: a library panic was contained by SafeSolve.
+	StopPanicked
+)
+
+func (r StopReason) String() string {
+	switch r {
+	case StopNone:
+		return "none"
+	case StopTimeout:
+		return "timeout"
+	case StopNodeLimit:
+		return "node-limit"
+	case StopMemLimit:
+		return "mem-limit"
+	case StopCancelled:
+		return "cancelled"
+	case StopPanicked:
+		return "panicked"
+	default:
+		return "unknown-stop"
+	}
+}
 
 func (r Result) String() string {
 	switch r {
@@ -115,4 +162,16 @@ type Stats struct {
 	MaxDecisionLevel int
 	Restarts         int64
 	Time             time.Duration
+
+	// Fixpoints counts propagation fixpoints — the solver's cancellation
+	// and budget polling points (one per main-loop iteration).
+	Fixpoints int64
+	// PeakLearnedBytes is the high-water estimate of learned-constraint
+	// memory (the quantity MemLimit governs).
+	PeakLearnedBytes int64
+	// MemReductions counts aggressive learned-DB reductions forced by
+	// memory pressure (as opposed to routine MaxLearned housekeeping).
+	MemReductions int64
+	// StopReason explains an Unknown result; StopNone on decided runs.
+	StopReason StopReason
 }

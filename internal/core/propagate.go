@@ -292,6 +292,10 @@ func (s *Solver) addLearned(lits []qbf.Lit, isCube bool) int {
 		s.occ[litIdx(l)] = append(s.occ[litIdx(l)], id)
 		s.counter[litIdx(l)]++
 	}
+	s.learnedBytes += constraintBytes(lits)
+	if s.learnedBytes > s.stats.PeakLearnedBytes {
+		s.stats.PeakLearnedBytes = s.learnedBytes
+	}
 	if isCube {
 		s.learnedCubes++
 		s.stats.LearnedCubes++
@@ -316,6 +320,15 @@ func (s *Solver) reduceDB(isCube bool) {
 	if n <= s.opt.MaxLearned {
 		return
 	}
+	s.reduceDBNow(isCube)
+}
+
+// reduceDBNow is the unconditional reduction round behind reduceDB and the
+// memory governor: it discards learned constraints of the given kind at or
+// below the median activity, regardless of how many are live. Constraints
+// currently acting as a reason on the trail are kept; deleted constraints
+// release their literal storage so the memory actually returns.
+func (s *Solver) reduceDBNow(isCube bool) {
 	locked := make(map[int]bool)
 	for _, l := range s.trail {
 		v := l.Var()
@@ -344,6 +357,11 @@ func (s *Solver) reduceDB(isCube bool) {
 		for _, l := range c.lits {
 			s.counter[litIdx(l)]--
 		}
+		s.learnedBytes -= constraintBytes(c.lits)
+		// Release the literal storage: every consumer checks c.deleted
+		// before touching lits, and occurrence lists compact deleted ids
+		// away lazily, so nothing reads them again.
+		c.lits = nil
 		if isCube {
 			s.learnedCubes--
 		} else {

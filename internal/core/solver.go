@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -129,9 +130,17 @@ type Solver struct {
 	dbgPrefix *qbf.Prefix
 
 	deadline          time.Time
+	cancelCh          <-chan struct{} // context Done channel; nil when uncancellable
+	learnedBytes      int64           // estimated bytes held by live learned constraints
 	trace             func(string)
 	learnHook         func(lits []qbf.Lit, isCube bool)
 	debugSolutionHook func(assignedU, totalU int)
+
+	// faultHook, when non-nil, fires at every propagation fixpoint with
+	// the fixpoint ordinal; the qbfdebug fault-injection harness uses it
+	// to force panics and cancellations at deterministic points. The
+	// setter only compiles under -tags qbfdebug (fault_qbfdebug.go).
+	faultHook func(fixpoint int64)
 }
 
 // litIdx maps a literal to a dense index: positive 2v, negative 2v+1.
@@ -336,24 +345,85 @@ func (s *Solver) addOriginalClause(c qbf.Clause) int {
 	return id
 }
 
-// Solve runs the search to completion or to a limit.
+// Solve runs the search to completion or to a limit. It is
+// SolveContext with an uncancellable context.
 func (s *Solver) Solve() Result {
+	return s.SolveContext(context.Background())
+}
+
+// SolveContext runs the search under ctx: cancellation and the context
+// deadline are polled at every propagation fixpoint (time checks gated to
+// every pollPeriod-th fixpoint so time.Now stays off the per-propagation
+// path). An expired or cancelled ctx yields Unknown with StopCancelled or
+// StopTimeout in Stats; a nil ctx is treated as context.Background().
+func (s *Solver) SolveContext(ctx context.Context) Result {
 	start := time.Now()
 	defer func() { s.stats.Time += time.Since(start) }()
+	s.stats.StopReason = StopNone
+	s.deadline = time.Time{}
+	s.cancelCh = nil
+	if s.opt.TimeLimit > 0 {
+		s.deadline = start.Add(s.opt.TimeLimit)
+	}
+	if ctx != nil {
+		if ctx.Err() != nil {
+			s.stats.StopReason = StopCancelled
+			s.lastResult = Unknown
+			return Unknown
+		}
+		s.cancelCh = ctx.Done()
+		if d, ok := ctx.Deadline(); ok && (s.deadline.IsZero() || d.Before(s.deadline)) {
+			s.deadline = d
+		}
+	}
 	s.lastResult = s.solve()
 	return s.lastResult
+}
+
+// pollPeriod gates the time.Now/channel checks of pollStop: budgets are
+// examined every pollPeriod-th propagation fixpoint, so a run dominated by
+// propagation and backtracking (zero decisions) still honors its limits,
+// while the per-fixpoint cost stays one counter increment and one integer
+// compare.
+const pollPeriod = 64
+
+// pollStop is the per-fixpoint budget check. The memory budget is an
+// integer compare and runs on every call; cancellation and deadline
+// involve a channel operation and a clock read and are gated to every
+// pollPeriod-th fixpoint.
+func (s *Solver) pollStop() StopReason {
+	if sr := s.governMemory(); sr != StopNone {
+		return sr
+	}
+	if s.stats.Fixpoints%pollPeriod != 0 {
+		return StopNone
+	}
+	if !s.deadline.IsZero() && time.Now().After(s.deadline) {
+		return StopTimeout
+	}
+	if s.cancelCh != nil {
+		select {
+		case <-s.cancelCh:
+			return StopCancelled
+		default:
+		}
+	}
+	return StopNone
 }
 
 func (s *Solver) solve() Result {
 	if s.trivial != Unknown {
 		return s.trivial
 	}
-	if s.opt.TimeLimit > 0 {
-		s.deadline = time.Now().Add(s.opt.TimeLimit)
-	}
 
 	for {
 		ev, ci := s.propagateAll()
+		s.stats.Fixpoints++
+		s.injectFault(s.stats.Fixpoints)
+		if sr := s.pollStop(); sr != StopNone {
+			s.stats.StopReason = sr
+			return Unknown
+		}
 		switch ev {
 		case evConflict:
 			s.stats.Conflicts++
@@ -384,9 +454,7 @@ func (s *Solver) solve() Result {
 			}
 			s.stats.Decisions++
 			if s.opt.NodeLimit > 0 && s.stats.Decisions > s.opt.NodeLimit {
-				return Unknown
-			}
-			if !s.deadline.IsZero() && s.stats.Decisions%64 == 0 && time.Now().After(s.deadline) {
+				s.stats.StopReason = StopNodeLimit
 				return Unknown
 			}
 			s.decide(lit)

@@ -236,16 +236,72 @@ func f(n int) string {
 }
 
 func TestRulesByName(t *testing.T) {
-	if got := len(RulesByName(nil, nil)); got != 4 {
-		t.Fatalf("default rule count = %d, want 4", got)
+	if got := len(RulesByName(nil, nil)); got != 5 {
+		t.Fatalf("default rule count = %d, want 5", got)
 	}
 	only := RulesByName([]string{"L2"}, nil)
 	if len(only) != 1 || only[0].Name() != "L2" {
 		t.Fatalf("enable filter broken: %v", only)
 	}
 	without := RulesByName(nil, []string{"L3", "L4"})
-	if len(without) != 2 || without[0].Name() != "L1" || without[1].Name() != "L2" {
+	if len(without) != 3 || without[0].Name() != "L1" || without[1].Name() != "L2" || without[2].Name() != "L5" {
 		t.Fatalf("disable filter broken: %v", without)
+	}
+}
+
+func TestL5FiresOnBareGoroutine(t *testing.T) {
+	r, root := fixtureModule(t, map[string]string{
+		"internal/bench/x.go": `package bench
+func bad(work func()) {
+	go func() {
+		work()
+	}()
+	go (func() { work() })()
+}
+`,
+	})
+	fs := run(t, r, root)
+	if got := rulesFired(fs)["L5"]; got != 2 {
+		t.Fatalf("L5 findings = %d, want 2: %v", got, fs)
+	}
+}
+
+func TestL5AcceptsRecoveredGoroutine(t *testing.T) {
+	r, root := fixtureModule(t, map[string]string{
+		"internal/bench/x.go": `package bench
+func ok(work func()) {
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				_ = p
+			}
+		}()
+		work()
+	}()
+	go work() // named callee: checked at its definition, not the go site
+}
+`,
+	})
+	if fs := run(t, r, root); len(fs) != 0 {
+		t.Fatalf("recovered goroutine reported: %v", fs)
+	}
+}
+
+func TestL5ScopedToBench(t *testing.T) {
+	r, root := fixtureModule(t, map[string]string{
+		"internal/models/x.go": `package models
+func f(work func()) {
+	go func() { work() }()
+}
+`,
+		"internal/bench/x_test.go": `package bench
+func g(work func()) {
+	go func() { work() }()
+}
+`,
+	})
+	if fs := run(t, r, root); len(fs) != 0 {
+		t.Fatalf("L5 fired outside non-test internal/bench: %v", fs)
 	}
 }
 

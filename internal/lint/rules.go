@@ -23,7 +23,7 @@ import (
 
 // DefaultRules returns all rules in canonical order.
 func DefaultRules() []Rule {
-	return []Rule{ruleTimestamps{}, ruleConversions{}, rulePanic{}, ruleStringBuild{}}
+	return []Rule{ruleTimestamps{}, ruleConversions{}, rulePanic{}, ruleStringBuild{}, ruleGoRecover{}}
 }
 
 // RulesByName filters the default set: enable lists the rules to keep
@@ -240,6 +240,54 @@ func (ruleStringBuild) Check(f *File, report func(token.Pos, string)) {
 			if isSprintCall(n) {
 				report(n.Pos(), "fmt.Sprint* allocates on the solver path; use strings.Builder or fmt.Fprintf into it")
 			}
+		}
+		return true
+	})
+}
+
+// ---------------------------------------------------------------------------
+// L5: campaign goroutines in internal/bench must contain panics.
+
+type ruleGoRecover struct{}
+
+func (ruleGoRecover) Name() string { return "L5" }
+func (ruleGoRecover) Doc() string {
+	return "go func literals in internal/bench must call recover (via defer); an uncontained goroutine panic kills the whole campaign"
+}
+
+func (ruleGoRecover) Applies(f *File) bool {
+	return !f.IsTest && f.PkgPath == "repro/internal/bench"
+}
+
+// callsRecover reports whether the block contains any call to the recover
+// builtin. Purely syntactic: a recover anywhere in the literal counts, on
+// the theory that a deliberate-but-misplaced recover is a review problem,
+// while a missing one is the silent campaign-killer this rule exists for.
+func callsRecover(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "recover" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func (ruleGoRecover) Check(f *File, report func(token.Pos, string)) {
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := unparen(g.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return true // named callees are checked where they are defined
+		}
+		if !callsRecover(lit.Body) {
+			report(g.Pos(), "goroutine launched without a recover: a panic here crashes the whole benchmark campaign instead of erroring one instance")
 		}
 		return true
 	})

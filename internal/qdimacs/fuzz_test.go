@@ -1,0 +1,51 @@
+package qdimacs
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRead covers both accepted formats (QDIMACS prenex headers and QTREE
+// quantifier-tree headers) through the one entry point CLIs use. The
+// properties mirror TestReadNeverPanics/TestReadMutatedValid: the reader
+// must never panic, must never return a nil formula without an error, and
+// anything it accepts must survive the standard cleanup — normalization
+// followed by structural validation — and round-trip through the writer.
+//
+// Run with: go test -fuzz=FuzzRead ./internal/qdimacs/
+// Regression corpus: testdata/fuzz/FuzzRead/ (replayed by plain go test).
+func FuzzRead(f *testing.F) {
+	seeds := []string{
+		"",
+		"p cnf 3 2\ne 1 2 0\na 3 0\n1 -2 3 0\n-1 2 0\n",
+		"p cnf 2 1\na 1 0\ne 2 0\n1 2 0\n",
+		"p qtree 7 3\nq e 1 0\nq a 2 0\nq e 3 4 0\nu 2\nq a 5 0\nq e 6 7 0\nu 3\n1 3 4 0\n2 -3 0\n1 6 -7 0\n",
+		"p cnf 2 1\ne 1 2 0\n" + strings.Repeat("1", 400) + " 0\n",
+		"c comment\np cnf 1 1\n1 0\n",
+		"p cnf 0 0\n",
+		"p qtree 1 1\nq e 1 0\n1 0\n",
+		"p cnf 2 2\ne 1 0\n1 -1 0\n2 2 0\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		q, err := ReadString(in)
+		if err != nil {
+			return
+		}
+		if q == nil {
+			t.Fatal("nil formula without error")
+		}
+		q.NormalizeMatrix()
+		if verr := q.Validate(); verr != nil {
+			t.Fatalf("accepted formula fails validation: %v\ninput: %q", verr, in)
+		}
+		// Accepted formulas must be serializable: the writer only sees
+		// structures the reader built, so an error here means the reader
+		// admitted something the rest of the pipeline cannot represent.
+		if _, werr := WriteString(q); werr != nil {
+			t.Fatalf("accepted formula fails to serialize: %v\ninput: %q", werr, in)
+		}
+	})
+}

@@ -67,11 +67,18 @@ func Read(r io.Reader) (*qbf.QBF, error) {
 	}
 }
 
+// maxPrealloc caps the allocation driven by header counts: the counts are
+// advisory in much of the benchmark ecosystem, and an untrusted header must
+// not be able to claim gigabytes before a single body line is read. Larger
+// genuine instances simply grow on demand past the cap.
+const maxPrealloc = 1 << 16
+
 func readBody(br *bufio.Reader, nv, nc int, tree bool) (*qbf.QBF, error) {
-	p := qbf.NewPrefix(nv)
+	p := qbf.NewPrefix(min(nv, maxPrealloc))
 	var stack []*qbf.Block // open blocks (QTREE); in QDIMACS a chain
-	matrix := make([]qbf.Clause, 0, nc)
+	matrix := make([]qbf.Clause, 0, min(nc, maxPrealloc))
 	var pending qbf.Clause
+	bound := map[qbf.Var]bool{} // rebinding is a parse error, not a panic
 	inPrefix := true
 
 	lineNo := 1
@@ -106,6 +113,10 @@ func readBody(br *bufio.Reader, nv, nc int, tree bool) (*qbf.QBF, error) {
 				parent = stack[len(stack)-1]
 			}
 			for _, v := range vars {
+				if bound[v] {
+					return nil, fmt.Errorf("line %d: variable %d bound twice", lineNo, v)
+				}
+				bound[v] = true
 				p.GrowVar(v)
 			}
 			b := p.AddBlock(parent, quant, vars...)

@@ -5,10 +5,13 @@
 #   1. go build            (everything compiles, including qbfdebug)
 #   2. go vet              (stock static analysis)
 #   3. gofmt check         (no unformatted files)
-#   4. qbflint             (project-specific rules L1-L4, see DESIGN.md §6)
+#   4. qbflint             (project-specific rules L1-L5, see DESIGN.md §6)
 #   5. go test -race       (full suite under the race detector)
-#   6. go test -tags qbfdebug ./internal/core/...
-#                          (solver suite with deep invariant checking live)
+#   6. go test -tags qbfdebug ./internal/core/... ./internal/bench/...
+#                          (solver + harness suites with deep invariant
+#                          checking and the fault-injection hook live)
+#   7. go test -fuzz smoke (5s fuzz of the QDIMACS/QTREE reader; the
+#                          checked-in corpus replays in step 5 already)
 #
 # Exits non-zero at the first failing step. Run from anywhere inside the
 # repository.
@@ -39,7 +42,10 @@ go run ./cmd/qbflint ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
-echo "==> go test -tags qbfdebug ./internal/core/..."
-go test -tags qbfdebug ./internal/core/...
+echo "==> go test -tags qbfdebug ./internal/core/... ./internal/bench/..."
+go test -tags qbfdebug ./internal/core/... ./internal/bench/...
+
+echo "==> go test -fuzz=FuzzRead -fuzztime=5s ./internal/qdimacs/"
+go test -run '^$' -fuzz=FuzzRead -fuzztime=5s ./internal/qdimacs/
 
 echo "All checks passed."
