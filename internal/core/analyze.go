@@ -480,6 +480,13 @@ func (s *Solver) cubeVerdict(w *workSet) (analysis, bool) {
 // asserting clause was derived, otherwise flip the deepest open existential
 // decision. It returns false when the formula is proven false.
 func (s *Solver) handleConflict(ci int) bool {
+	if s.cons[ci].deleted {
+		// An emptied constraint would seed an empty working set, which
+		// analysis reads as a terminal verdict — a silent wrong answer.
+		// solve() guarantees nothing (in particular not the memory
+		// governor) runs between the conflict event and this call.
+		invariant.Violated("core: conflict analysis over deleted constraint %d", ci)
+	}
 	if !s.opt.DisableClauseLearning {
 		a := s.analyzeConflict(ci)
 		if a.terminal {
@@ -502,6 +509,12 @@ func (s *Solver) handleConflict(ci int) bool {
 // handleSolution processes a solution event (cube fired, or matrix empty
 // when ci < 0). It returns false when the formula is proven true.
 func (s *Solver) handleSolution(ci int) bool {
+	if ci >= 0 && s.cons[ci].deleted {
+		// Dual of the handleConflict guard: a deleted fired cube reads as
+		// a terminal True. ci < 0 is the matrix-empty solution, which
+		// carries no constraint.
+		invariant.Violated("core: solution analysis over deleted constraint %d", ci)
+	}
 	if !s.opt.DisableCubeLearning {
 		a := s.analyzeSolution(ci)
 		if a.terminal {

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"math/rand"
 	"testing"
 	"time"
 
@@ -148,6 +149,50 @@ func TestMemLimitForcedStop(t *testing.T) {
 	}
 	if st.MemReductions == 0 {
 		t.Error("forced stop without attempting a reduction first")
+	}
+}
+
+// TestMemLimitSoundness guards the governance/analysis interaction: the
+// memory governor must never delete the constraint whose conflict/solution
+// event is still pending — analysis over an emptied working set reads as a
+// terminal verdict, i.e. a wrong False/True. So under an aggressively tight
+// budget every decided result must still agree with the semantic oracle;
+// Unknown with a mem-limit stop is the only allowed degradation.
+func TestMemLimitSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	n := 300
+	if testing.Short() {
+		n = 60
+	}
+	reduced := 0
+	for i := 0; i < n; i++ {
+		q := randomPrenexQBF(rng, 12, 24, 6)
+		want, ok := qbf.EvalWithBudget(q, 2_000_000)
+		if !ok {
+			continue
+		}
+		for _, lim := range []int64{64, 128} {
+			r, st, err := Solve(q, Options{MemLimit: lim, DisablePureLiterals: true})
+			if err != nil {
+				t.Fatalf("iteration %d (lim=%d): %v\nQBF: %v", i, lim, err, q)
+			}
+			if st.MemReductions > 0 {
+				reduced++
+			}
+			if r == Unknown {
+				if st.StopReason != StopMemLimit {
+					t.Errorf("iteration %d (lim=%d): Unknown with stop reason %v, want mem-limit", i, lim, st.StopReason)
+				}
+				continue
+			}
+			if (r == True) != want {
+				t.Fatalf("iteration %d (lim=%d): got %v want %v (stats %+v)\nQBF: %v",
+					i, lim, r, want, st, q)
+			}
+		}
+	}
+	if reduced == 0 {
+		t.Error("no run ever triggered a memory reduction — the budget is too loose to exercise the governor")
 	}
 }
 

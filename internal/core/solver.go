@@ -420,10 +420,15 @@ func (s *Solver) solve() Result {
 		ev, ci := s.propagateAll()
 		s.stats.Fixpoints++
 		s.injectFault(s.stats.Fixpoints)
-		if sr := s.pollStop(); sr != StopNone {
-			s.stats.StopReason = sr
-			return Unknown
-		}
+		// The fixpoint's event is fully handled before any budget check,
+		// for two reasons. Soundness: the memory governor must never run
+		// while ci is pending — a conflicting/fired learned constraint is
+		// not a trail reason, so reduceDBNow could delete it and null its
+		// literals, and conflict/solution analysis over an emptied working
+		// set reads as a terminal verdict, i.e. a wrong False/True.
+		// Completeness: a terminal verdict already in hand must be
+		// returned, not discarded as Unknown by a limit stop that fires at
+		// the same fixpoint.
 		switch ev {
 		case evConflict:
 			s.stats.Conflicts++
@@ -438,27 +443,36 @@ func (s *Solver) solve() Result {
 			if !s.handleSolution(ci) {
 				return True
 			}
-		case evNone:
-			s.deepCheck()
-			if s.fixPures() {
-				continue
-			}
-			lit, ok := s.pickBranch()
-			if !ok {
-				// Unreachable by construction: if any variable is
-				// unassigned, a minimal-level block with unassigned
-				// variables is always branchable, and a total assignment
-				// without a conflict means every original clause is
-				// satisfied, which propagateAll reports as a solution.
-				invariant.Violated("core: no branchable variable at a propagation fixpoint")
-			}
-			s.stats.Decisions++
-			if s.opt.NodeLimit > 0 && s.stats.Decisions > s.opt.NodeLimit {
-				s.stats.StopReason = StopNodeLimit
-				return Unknown
-			}
-			s.decide(lit)
 		}
+		// Safe point: analysis is done, and any constraint the next
+		// iteration depends on is a trail reason, which the governor's
+		// reduction rounds keep locked.
+		if sr := s.pollStop(); sr != StopNone {
+			s.stats.StopReason = sr
+			return Unknown
+		}
+		if ev != evNone {
+			continue
+		}
+		s.deepCheck()
+		if s.fixPures() {
+			continue
+		}
+		lit, ok := s.pickBranch()
+		if !ok {
+			// Unreachable by construction: if any variable is
+			// unassigned, a minimal-level block with unassigned
+			// variables is always branchable, and a total assignment
+			// without a conflict means every original clause is
+			// satisfied, which propagateAll reports as a solution.
+			invariant.Violated("core: no branchable variable at a propagation fixpoint")
+		}
+		s.stats.Decisions++
+		if s.opt.NodeLimit > 0 && s.stats.Decisions > s.opt.NodeLimit {
+			s.stats.StopReason = StopNodeLimit
+			return Unknown
+		}
+		s.decide(lit)
 	}
 }
 

@@ -287,6 +287,55 @@ func ok(work func()) {
 	}
 }
 
+func TestL5RejectsIneffectiveRecover(t *testing.T) {
+	r, root := fixtureModule(t, map[string]string{
+		"internal/bench/x.go": `package bench
+func bad(work func(func())) {
+	go func() {
+		// recover in a non-deferred nested literal runs on a callback
+		// frame and contains nothing.
+		work(func() { recover() })
+	}()
+	go func() {
+		defer recover() // nil by spec: recover must be called BY a deferred function
+		work(nil)
+	}()
+	go func() {
+		defer func() {
+			// recover buried one literal deeper than the deferred frame.
+			f := func() { recover() }
+			f()
+		}()
+		work(nil)
+	}()
+}
+`,
+	})
+	fs := run(t, r, root)
+	if got := rulesFired(fs)["L5"]; got != 3 {
+		t.Fatalf("L5 findings = %d, want 3: %v", got, fs)
+	}
+}
+
+func TestL5AcceptsDeferInsideBlock(t *testing.T) {
+	r, root := fixtureModule(t, map[string]string{
+		"internal/bench/x.go": `package bench
+func ok(work func(), guard bool) {
+	go func() {
+		if guard {
+			// deferred from a block, still the goroutine's own frame.
+			defer func() { _ = recover() }()
+		}
+		work()
+	}()
+}
+`,
+	})
+	if fs := run(t, r, root); len(fs) != 0 {
+		t.Fatalf("frame-level deferred recover reported: %v", fs)
+	}
+}
+
 func TestL5ScopedToBench(t *testing.T) {
 	r, root := fixtureModule(t, map[string]string{
 		"internal/models/x.go": `package models

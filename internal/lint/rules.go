@@ -259,19 +259,53 @@ func (ruleGoRecover) Applies(f *File) bool {
 	return !f.IsTest && f.PkgPath == "repro/internal/bench"
 }
 
-// callsRecover reports whether the block contains any call to the recover
-// builtin. Purely syntactic: a recover anywhere in the literal counts, on
-// the theory that a deliberate-but-misplaced recover is a review problem,
-// while a missing one is the silent campaign-killer this rule exists for.
+// callsRecover reports whether the goroutine body contains a recover that
+// can actually contain a panic in that goroutine: a call to the recover
+// builtin in the frame of a function literal deferred from the goroutine's
+// own frame. A recover in a nested, non-deferred literal (e.g. a callback
+// argument) runs on some other frame and stops nothing, and a bare
+// `defer recover()` returns nil by spec — neither counts.
 func callsRecover(body *ast.BlockStmt) bool {
 	found := false
 	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A nested literal is a different frame; a recover inside it
+			// cannot contain this goroutine's panic. Deferred literals are
+			// reached through the DeferStmt case, not here.
+			return false
+		case *ast.DeferStmt:
+			if lit, ok := unparen(n.Call.Fun).(*ast.FuncLit); ok && recoverInFrame(lit.Body) {
+				found = true
+			}
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// recoverInFrame reports whether recover is called in the frame of the
+// deferred literal whose body is given — i.e. anywhere in the body except
+// inside further nested function literals, where recover is ineffective.
+func recoverInFrame(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
 		if call, ok := n.(*ast.CallExpr); ok {
 			if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "recover" {
 				found = true
 			}
 		}
-		return !found
+		return true
 	})
 	return found
 }
