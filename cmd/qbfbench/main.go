@@ -51,7 +51,7 @@ var plotFigures bool
 var campaignFailures int
 
 func main() {
-	suite := flag.String("suite", "all", "suite: ncf, fpv, dia, prob, fixed, scaling, all")
+	suite := flag.String("suite", "all", "suite: ncf, fpv, dia, prob, fixed, scaling, portfolio, all")
 	scaleName := flag.String("scale", "default", "experiment scale: smoke, default, full")
 	outDir := flag.String("out", "results", "directory for CSV artifacts")
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel solver instances")
@@ -59,6 +59,8 @@ func main() {
 	mem := flag.Int64("mem", 0, "per-solve learned-constraint memory limit in MiB (0 = none)")
 	retries := flag.Int("retries", 0, "extra attempts with doubled budgets after a limit stop")
 	plot := flag.Bool("plot", false, "render ASCII versions of the figures to stdout")
+	pWorkers := flag.Int("pworkers", 4, "portfolio suite: racing configurations per instance")
+	share := flag.Bool("share", true, "portfolio suite: exchange learned constraints between workers")
 	flag.Parse()
 	plotFigures = *plot
 
@@ -100,12 +102,14 @@ func main() {
 			rows = append(rows, runSimple("FIXED", bench.EvalSuite(scale, true), scale, cfg, filepath.Join(*outDir, "fig7_fixed_scatter.csv")))
 		case "scaling":
 			runScaling(scale, *outDir)
+		case "portfolio":
+			runPortfolioSuite(cfg, *pWorkers, *share, *outDir)
 		default:
 			fail(fmt.Errorf("unknown suite %q", name))
 		}
 	}
 	if *suite == "all" {
-		for _, s := range []string{"ncf", "fpv", "dia", "prob", "fixed", "scaling"} {
+		for _, s := range []string{"ncf", "fpv", "dia", "prob", "fixed", "scaling", "portfolio"} {
 			run(s)
 		}
 	} else {

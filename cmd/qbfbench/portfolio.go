@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/portfolio"
+	"repro/internal/randqbf"
+)
+
+// portfolioSuite builds the curated portfolio-vs-sequential suite: six
+// structured (fixed-class) trees on which the sequential default is already
+// near-optimal — the portfolio must not lose ground there — and four
+// adversarial model-A instances, found empirically, on which the default
+// partial-order configuration is 8–60× slower than some other configuration
+// in the default schedule. The adversarial seeds make the comparison mean
+// something on a single CPU: a racing portfolio only pays off when
+// configuration variance exists, which is the paper's own PO-vs-TO message.
+func portfolioSuite() []bench.Instance {
+	var insts []bench.Instance
+	for i := int64(0); i < 6; i++ {
+		tree, _, _ := randqbf.MiniscopeFilter(randqbf.Fixed(i), 0)
+		insts = append(insts, bench.MakeInstance(fmt.Sprintf("fixed-%d", i), tree))
+	}
+	for _, seed := range []int64{2, 15, 20, 37} {
+		q := randqbf.Prob(randqbf.ProbParams{
+			Blocks: 3, BlockSize: 24, Clauses: 504, Length: 5, MaxUniversal: 1, Seed: seed,
+		})
+		insts = append(insts, bench.MakeInstance(fmt.Sprintf("prob-adv-%d", seed), q))
+	}
+	return insts
+}
+
+// portfolioReport is the BENCH_portfolio.json schema.
+type portfolioReport struct {
+	Suite                  string                    `json:"suite"`
+	Workers                int                       `json:"workers"`
+	Share                  bool                      `json:"share"`
+	Instances              []portfolioReportInstance `json:"instances"`
+	SequentialTotalSeconds float64                   `json:"sequential_total_seconds"`
+	PortfolioTotalSeconds  float64                   `json:"portfolio_total_seconds"`
+	Speedup                float64                   `json:"speedup"`
+	Disagreements          int                       `json:"disagreements"`
+}
+
+type portfolioReportInstance struct {
+	Name              string  `json:"name"`
+	SequentialResult  string  `json:"sequential_result"`
+	PortfolioResult   string  `json:"portfolio_result"`
+	SequentialSeconds float64 `json:"sequential_seconds"`
+	PortfolioSeconds  float64 `json:"portfolio_seconds"`
+	Disagree          bool    `json:"disagree"`
+}
+
+// runPortfolioSuite compares the sequential engine against the portfolio
+// backend on the curated suite and writes BENCH_portfolio.json. A verdict
+// disagreement is a soundness failure and fails the campaign.
+func runPortfolioSuite(cfg bench.Config, pWorkers int, share bool, outDir string) {
+	insts := portfolioSuite()
+	fmt.Printf("PORTFOLIO: %d instances, sequential PO vs %d-worker portfolio (share=%v), budget %v each\n",
+		len(insts), pWorkers, share, cfg.Timeout)
+	backend := portfolio.BackendFunc(portfolio.Config{Workers: pWorkers, Share: share})
+	start := time.Now()
+	cs := bench.CompareBackends(insts, cfg, backend)
+	fmt.Printf("PORTFOLIO done in %v\n", time.Since(start).Round(time.Millisecond))
+
+	sum := bench.Summarize(cs)
+	rep := portfolioReport{
+		Suite:                  "portfolio",
+		Workers:                pWorkers,
+		Share:                  share,
+		SequentialTotalSeconds: sum.SequentialTotal.Seconds(),
+		PortfolioTotalSeconds:  sum.BackendTotal.Seconds(),
+		Disagreements:          sum.Disagreements,
+	}
+	if sum.BackendTotal > 0 {
+		rep.Speedup = float64(sum.SequentialTotal) / float64(sum.BackendTotal)
+	}
+	for _, c := range cs {
+		rep.Instances = append(rep.Instances, portfolioReportInstance{
+			Name:              c.Name,
+			SequentialResult:  c.Sequential.Result.String(),
+			PortfolioResult:   c.Backend.Result.String(),
+			SequentialSeconds: c.Sequential.Time.Seconds(),
+			PortfolioSeconds:  c.Backend.Time.Seconds(),
+			Disagree:          c.Disagree,
+		})
+		if c.Disagree {
+			fmt.Fprintf(os.Stderr, "  DISAGREE %s: sequential %v, portfolio %v\n",
+				c.Name, c.Sequential.Result, c.Backend.Result)
+		}
+	}
+
+	path := filepath.Join(outDir, "BENCH_portfolio.json")
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Printf("  sequential total %v, portfolio total %v (speedup %.2f×) → %s\n",
+		sum.SequentialTotal.Round(time.Millisecond), sum.BackendTotal.Round(time.Millisecond),
+		rep.Speedup, path)
+	if sum.Disagreements > 0 {
+		campaignFailures += sum.Disagreements
+	}
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+)
+
+// TestPortfolioSuiteShape: the curated suite mixes structured trees with
+// the adversarial model-A instances, under stable names.
+func TestPortfolioSuiteShape(t *testing.T) {
+	insts := portfolioSuite()
+	if len(insts) != 10 {
+		t.Fatalf("suite has %d instances, want 10", len(insts))
+	}
+	if insts[0].Name != "fixed-0" || insts[6].Name != "prob-adv-2" {
+		t.Fatalf("unexpected instance names: %q, %q", insts[0].Name, insts[6].Name)
+	}
+	for _, inst := range insts {
+		if inst.Tree == nil || len(inst.Tree.Matrix) == 0 {
+			t.Fatalf("%s: empty instance", inst.Name)
+		}
+	}
+}
+
+// TestRunPortfolioSuiteReport runs the whole comparison campaign and
+// checks the BENCH_portfolio.json artifact: parseable, one entry per
+// instance, zero verdict disagreements, and totals that add up.
+func TestRunPortfolioSuiteReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full curated campaign (~1s)")
+	}
+	dir := t.TempDir()
+	failuresBefore := campaignFailures
+	runPortfolioSuite(bench.Config{Timeout: 20 * time.Second}, 4, true, dir)
+	if campaignFailures != failuresBefore {
+		t.Fatalf("campaign recorded %d disagreement(s)", campaignFailures-failuresBefore)
+	}
+
+	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_portfolio.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep portfolioReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if rep.Suite != "portfolio" || rep.Workers != 4 || !rep.Share {
+		t.Fatalf("report header off: %+v", rep)
+	}
+	if len(rep.Instances) != 10 || rep.Disagreements != 0 {
+		t.Fatalf("report body off: %d instances, %d disagreements", len(rep.Instances), rep.Disagreements)
+	}
+	var seq, port float64
+	for _, inst := range rep.Instances {
+		if inst.Disagree || inst.SequentialResult != inst.PortfolioResult {
+			t.Errorf("%s: sequential %s vs portfolio %s", inst.Name, inst.SequentialResult, inst.PortfolioResult)
+		}
+		seq += inst.SequentialSeconds
+		port += inst.PortfolioSeconds
+	}
+	const eps = 1e-6
+	if diff := rep.SequentialTotalSeconds - seq; diff > eps || diff < -eps {
+		t.Errorf("sequential total %.6f != sum of instances %.6f", rep.SequentialTotalSeconds, seq)
+	}
+	if diff := rep.PortfolioTotalSeconds - port; diff > eps || diff < -eps {
+		t.Errorf("portfolio total %.6f != sum of instances %.6f", rep.PortfolioTotalSeconds, port)
+	}
+	if rep.Speedup <= 0 {
+		t.Errorf("speedup %.3f not computed", rep.Speedup)
+	}
+	t.Logf("portfolio suite: seq %.3fs, portfolio %.3fs, speedup %.2f×",
+		rep.SequentialTotalSeconds, rep.PortfolioTotalSeconds, rep.Speedup)
+}

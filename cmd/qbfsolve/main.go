@@ -25,6 +25,7 @@ import (
 	"syscall"
 
 	"repro/internal/core"
+	"repro/internal/portfolio"
 	"repro/internal/prenex"
 	"repro/internal/qbf"
 	"repro/internal/qdimacs"
@@ -42,6 +43,10 @@ func main() {
 	miniscope := flag.Bool("miniscope", false, "minimize quantifier scopes before solving (Section VII.D)")
 	stats := flag.Bool("stats", false, "print search statistics")
 	witness := flag.Bool("witness", false, "on TRUE, print the outermost existential assignment (a full model for SAT inputs)")
+	usePortfolio := flag.Bool("portfolio", false, "race a portfolio of diverse solver configurations (-mode/-strategy are ignored; see -workers, -share, -det)")
+	workers := flag.Int("workers", 0, "portfolio size (implies -portfolio when > 1; 0 = 4 with -portfolio)")
+	share := flag.Bool("share", false, "portfolio: exchange short learned constraints between same-structure workers")
+	det := flag.Bool("det", false, "portfolio: deterministic scheduling (serialized, reproducible winner)")
 	flag.Parse()
 
 	q, err := readInput(flag.Arg(0))
@@ -59,6 +64,10 @@ func main() {
 		DisableClauseLearning: *noCl,
 		DisableCubeLearning:   *noCu,
 		DisablePureLiterals:   *noPure,
+	}
+	if *usePortfolio || *workers > 1 {
+		runPortfolio(q, opt, *workers, *share, *det, *stats, *witness)
+		return
 	}
 	switch *mode {
 	case "po":
@@ -95,17 +104,7 @@ func main() {
 	}
 	if *witness && r == core.True {
 		if model, ok := solver.Witness(); ok {
-			fmt.Print("v")
-			for v := qbf.MinVar; v.Int() <= q.MaxVar(); v++ {
-				if val, has := model[v]; has {
-					if val {
-						fmt.Printf(" %d", v)
-					} else {
-						fmt.Printf(" -%d", v)
-					}
-				}
-			}
-			fmt.Println(" 0")
+			printWitness(model, q.MaxVar())
 		}
 	}
 	if *stats {
@@ -116,6 +115,85 @@ func main() {
 			st.Restarts, st.Fixpoints, st.PeakLearnedBytes, st.MemReductions, st.Time)
 	}
 	os.Exit(exitCode(r, st.StopReason))
+}
+
+// runPortfolio decides q by racing diverse configurations. The -mode and
+// -strategy flags are ignored: the schedule spans both modes and every
+// prenexing strategy on its own. Limits and learning toggles from the
+// sequential flags become the portfolio's shared budgets and base options.
+func runPortfolio(q *qbf.QBF, base core.Options, workers int, share, det, stats, witness bool) {
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	rep, err := portfolio.Solve(ctx, q, portfolio.Config{
+		Workers:       workers,
+		Share:         share,
+		Deterministic: det,
+		Base:          base,
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(rep.Result)
+	stop := rep.Stop
+	if perr := rep.Err(); perr != nil {
+		fmt.Fprintln(os.Stderr, "qbfsolve: portfolio failed:", perr)
+		stop = core.StopPanicked
+	} else if rep.Result == core.Unknown && stop != core.StopNone {
+		fmt.Fprintf(os.Stderr, "qbfsolve: stopped: %v\n", stop)
+	}
+	if witness && rep.Result == core.True {
+		if rep.Witness != nil {
+			printWitness(rep.Witness, q.MaxVar())
+		} else {
+			fmt.Fprintln(os.Stderr, "qbfsolve: no witness available (winner solved a prenex conversion)")
+		}
+	}
+	if stats {
+		st := rep.Stats
+		fmt.Fprintf(os.Stderr,
+			"portfolio: workers=%d ran=%d winner=%s(%d) imports=%d imports-rejected=%d exported=%d dropped=%d\n",
+			len(rep.Workers), countRan(rep.Workers), rep.WinnerName(), rep.Winner,
+			st.Imports, st.ImportsRejected, rep.Exported, rep.Dropped)
+		for i, w := range rep.Workers {
+			if !w.Ran {
+				continue
+			}
+			fmt.Fprintf(os.Stderr,
+				"worker %d %s: result=%v attempts=%d decisions=%d conflicts=%d solutions=%d imports=%d\n",
+				i, w.Name, w.Result, w.Attempts, w.Stats.Decisions, w.Stats.Conflicts,
+				w.Stats.Solutions, w.Imported)
+		}
+		fmt.Fprintf(os.Stderr,
+			"decisions=%d propagations=%d pures=%d conflicts=%d solutions=%d learned-clauses=%d learned-cubes=%d backjumps=%d restarts=%d fixpoints=%d peak-learned-bytes=%d mem-reductions=%d time=%v\n",
+			st.Decisions, st.Propagations, st.PureAssignments, st.Conflicts,
+			st.Solutions, st.LearnedClauses, st.LearnedCubes, st.Backjumps,
+			st.Restarts, st.Fixpoints, st.PeakLearnedBytes, st.MemReductions, st.Time)
+	}
+	os.Exit(exitCode(rep.Result, stop))
+}
+
+func countRan(ws []portfolio.WorkerReport) int {
+	n := 0
+	for _, w := range ws {
+		if w.Ran {
+			n++
+		}
+	}
+	return n
+}
+
+func printWitness(model map[qbf.Var]bool, maxVar int) {
+	fmt.Print("v")
+	for v := qbf.MinVar; v.Int() <= maxVar; v++ {
+		if val, has := model[v]; has {
+			if val {
+				fmt.Printf(" %d", v)
+			} else {
+				fmt.Printf(" -%d", v)
+			}
+		}
+	}
+	fmt.Println(" 0")
 }
 
 // exitCode maps the result (and, for UNKNOWN, the stop reason) to the

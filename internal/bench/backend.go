@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/qbf"
+)
+
+// SolveBackend abstracts "something that solves a QBF under budget
+// options": the sequential engine, a parallel portfolio, or a test stub.
+// Implementations must honor ctx and the limits in opt, contain their own
+// panics, and return Unknown with a StopReason in Stats on a governed
+// stop. portfolio.BackendFunc adapts a portfolio configuration to this
+// signature.
+type SolveBackend func(ctx context.Context, q *qbf.QBF, opt core.Options) (core.Result, core.Stats, error)
+
+// SequentialBackend is the default backend: one core solver per call.
+func SequentialBackend(ctx context.Context, q *qbf.QBF, opt core.Options) (core.Result, core.Stats, error) {
+	return core.SafeSolveContext(ctx, q, opt)
+}
+
+// RunOneBackend is RunOneContext through an arbitrary backend.
+func RunOneBackend(ctx context.Context, q *qbf.QBF, opt core.Options, b SolveBackend) Outcome {
+	start := time.Now()
+	r, st, err := b(ctx, q, opt)
+	return Outcome{
+		Result:   r,
+		Stop:     st.StopReason,
+		Timeout:  st.StopReason == core.StopTimeout,
+		Time:     time.Since(start),
+		Stats:    st,
+		Attempts: 1,
+		Err:      err,
+	}
+}
+
+// runWithRetryBackend applies the retry policy around RunOneBackend,
+// mirroring runWithRetry for the sequential path.
+func runWithRetryBackend(ctx context.Context, q *qbf.QBF, opt core.Options, pol RetryPolicy, b SolveBackend) Outcome {
+	out := RunOneBackend(ctx, q, opt, b)
+	growth := pol.Growth
+	if growth <= 1 {
+		growth = 2
+	}
+	for a := 0; a < pol.Attempts && retryable(out) && ctx.Err() == nil; a++ {
+		if opt.TimeLimit > 0 {
+			opt.TimeLimit = time.Duration(float64(opt.TimeLimit) * growth)
+		}
+		if opt.NodeLimit > 0 {
+			opt.NodeLimit = int64(float64(opt.NodeLimit) * growth)
+		}
+		if opt.MemLimit > 0 {
+			opt.MemLimit = int64(float64(opt.MemLimit) * growth)
+		}
+		next := RunOneBackend(ctx, q, opt, b)
+		next.Attempts = out.Attempts + 1
+		out = next
+	}
+	return out
+}
+
+// Comparison is one instance of a backend-vs-sequential campaign.
+type Comparison struct {
+	Name       string
+	Sequential Outcome
+	Backend    Outcome
+	// Disagree marks a soundness failure: both sides decided and returned
+	// different verdicts.
+	Disagree bool
+}
+
+// CompareBackends runs the sequential engine (partial-order mode on the
+// tree form) and the given backend on every instance under the same
+// budgets, recording per-instance outcomes, times, and verdict agreement.
+// It is the harness behind the portfolio differential suite and the
+// BENCH_portfolio smoke report.
+func CompareBackends(insts []Instance, cfg Config, backend SolveBackend) []Comparison {
+	ctx := cfg.context()
+	out := make([]Comparison, len(insts))
+	for i, inst := range insts {
+		seq := runWithRetry(ctx, inst.Tree, cfg.options(core.ModePartialOrder), cfg.Retry)
+		bk := runWithRetryBackend(ctx, inst.Tree, cfg.options(core.ModePartialOrder), cfg.Retry, backend)
+		out[i] = Comparison{
+			Name:       inst.Name,
+			Sequential: seq,
+			Backend:    bk,
+			Disagree:   seq.Decided() && bk.Decided() && seq.Result != bk.Result,
+		}
+	}
+	return out
+}
+
+// ComparisonSummary aggregates a comparison campaign.
+type ComparisonSummary struct {
+	Instances         int
+	Disagreements     int
+	SequentialDecided int
+	BackendDecided    int
+	SequentialTotal   time.Duration
+	BackendTotal      time.Duration
+}
+
+// Summarize totals a comparison campaign: wall-clock per side, decided
+// counts, and the number of verdict disagreements (which must be zero for
+// a sound backend).
+func Summarize(cs []Comparison) ComparisonSummary {
+	var s ComparisonSummary
+	s.Instances = len(cs)
+	for _, c := range cs {
+		if c.Disagree {
+			s.Disagreements++
+		}
+		if c.Sequential.Decided() {
+			s.SequentialDecided++
+		}
+		if c.Backend.Decided() {
+			s.BackendDecided++
+		}
+		s.SequentialTotal += c.Sequential.Time
+		s.BackendTotal += c.Backend.Time
+	}
+	return s
+}

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/portfolio"
+	"repro/internal/prenex"
+	"repro/internal/qbf"
+	"repro/internal/randqbf"
+)
+
+func compareInstances(n int) []Instance {
+	insts := make([]Instance, n)
+	for i := range insts {
+		q := randqbf.Fixed(int64(i))
+		tree, _, _ := randqbf.MiniscopeFilter(q, 0)
+		insts[i] = MakeInstance(fmt.Sprintf("fixed-%d", i), tree, prenex.EUpAUp)
+	}
+	return insts
+}
+
+// TestCompareBackendsSequentialSelf: comparing the sequential backend
+// against itself must show zero disagreements and identical verdicts.
+func TestCompareBackendsSequentialSelf(t *testing.T) {
+	insts := compareInstances(4)
+	cs := CompareBackends(insts, Config{Timeout: 5 * time.Second}, SequentialBackend)
+	sum := Summarize(cs)
+	if sum.Disagreements != 0 {
+		t.Fatalf("sequential self-comparison disagrees: %+v", sum)
+	}
+	if sum.Instances != 4 || sum.SequentialDecided != sum.BackendDecided {
+		t.Fatalf("summary off: %+v", sum)
+	}
+	for _, c := range cs {
+		if c.Sequential.Result != c.Backend.Result {
+			t.Fatalf("%s: %v vs %v", c.Name, c.Sequential.Result, c.Backend.Result)
+		}
+	}
+}
+
+// TestCompareBackendsPortfolio runs the portfolio backend (deterministic,
+// 4 workers, sharing on) against the sequential engine: zero disagreements
+// and all instances decided.
+func TestCompareBackendsPortfolio(t *testing.T) {
+	insts := compareInstances(6)
+	backend := portfolio.BackendFunc(portfolio.Config{
+		Workers: 4, Share: true, Deterministic: true,
+	})
+	cs := CompareBackends(insts, Config{Timeout: 10 * time.Second}, backend)
+	sum := Summarize(cs)
+	if sum.Disagreements != 0 {
+		for _, c := range cs {
+			if c.Disagree {
+				t.Errorf("%s: sequential %v, portfolio %v", c.Name, c.Sequential.Result, c.Backend.Result)
+			}
+		}
+		t.Fatalf("portfolio disagreements: %+v", sum)
+	}
+	if sum.BackendDecided != sum.Instances {
+		t.Fatalf("portfolio left %d/%d instances undecided", sum.Instances-sum.BackendDecided, sum.Instances)
+	}
+}
+
+// TestRunOneBackendLimits checks that backend outcomes carry stop reasons
+// through the Outcome mapping (node limit → not a timeout).
+func TestRunOneBackendLimits(t *testing.T) {
+	q := randqbf.Prob(randqbf.ProbParams{
+		Blocks: 3, BlockSize: 24, Clauses: 504, Length: 5, MaxUniversal: 1, Seed: 2,
+	})
+	o := RunOneBackend(context.Background(), q, core.Options{Mode: core.ModePartialOrder, NodeLimit: 10}, SequentialBackend)
+	if o.Decided() {
+		t.Skip("instance solved within 10 decisions")
+	}
+	if o.Stop != core.StopNodeLimit || o.Timeout {
+		t.Fatalf("outcome %+v: want StopNodeLimit and Timeout=false", o)
+	}
+	b := portfolio.BackendFunc(portfolio.Config{Workers: 2, Deterministic: true})
+	o = RunOneBackend(context.Background(), q, core.Options{Mode: core.ModePartialOrder, NodeLimit: 10}, b)
+	if o.Decided() {
+		t.Skip("portfolio solved within 10 decisions per worker")
+	}
+	if o.Stop != core.StopNodeLimit || o.Timeout {
+		t.Fatalf("portfolio outcome %+v: want StopNodeLimit and Timeout=false", o)
+	}
+}
+
+// TestRunWithRetryBackend: a node-limited stub that succeeds only at a
+// raised budget must be retried to a verdict.
+func TestRunWithRetryBackend(t *testing.T) {
+	calls := 0
+	stub := func(ctx context.Context, q *qbf.QBF, opt core.Options) (core.Result, core.Stats, error) {
+		calls++
+		if opt.NodeLimit < 40 {
+			return core.Unknown, core.Stats{StopReason: core.StopNodeLimit}, nil
+		}
+		return core.True, core.Stats{StopReason: core.StopNone}, nil
+	}
+	q := randqbf.Fixed(0)
+	o := runWithRetryBackend(context.Background(), q,
+		core.Options{NodeLimit: 10}, RetryPolicy{Attempts: 3}, stub)
+	if !o.Decided() || o.Attempts != 3 || calls != 3 {
+		t.Fatalf("retry escalation broken: outcome %+v after %d calls", o, calls)
+	}
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/prenex"
+	"repro/internal/qbf"
+)
+
+// Metamorphic test layer: transformations that provably preserve a QBF's
+// truth value — variable renaming, clause permutation, and prenexing of the
+// quantifier tree under every strategy (Theorem 1 territory: any
+// linearization extending the partial order yields an equivalent prenex
+// QBF) — must leave the solver's verdict unchanged, and every variant must
+// also agree with the exponential semantic oracle. Unlike the differential
+// tests, which compare option combinations on one formula, these compare
+// one engine across formula presentations, so they catch bugs whose effect
+// is representation-dependent (ordering assumptions, index arithmetic,
+// prefix traversal).
+
+// renameQBF applies the variable permutation perm (1-based: perm[v] is the
+// new name of v) to prefix and matrix, preserving the tree shape.
+func renameQBF(q *qbf.QBF, perm []qbf.Var) *qbf.QBF {
+	p := qbf.NewPrefix(q.Prefix.MaxVar())
+	var cloneBlock func(b *qbf.Block, parent *qbf.Block)
+	cloneBlock = func(b *qbf.Block, parent *qbf.Block) {
+		vars := make([]qbf.Var, len(b.Vars))
+		for i, v := range b.Vars {
+			vars[i] = perm[v]
+		}
+		nb := p.AddBlock(parent, b.Quant, vars...)
+		for _, c := range b.Children {
+			cloneBlock(c, nb)
+		}
+	}
+	for _, r := range q.Prefix.Roots() {
+		cloneBlock(r, nil)
+	}
+	p.Finalize()
+	matrix := make([]qbf.Clause, len(q.Matrix))
+	for i, c := range q.Matrix {
+		nc := make(qbf.Clause, len(c))
+		for j, l := range c {
+			nl := perm[l.Var()].PosLit()
+			if !l.Positive() {
+				nl = nl.Neg()
+			}
+			nc[j] = nl
+		}
+		nc, taut := nc.Normalize()
+		if taut {
+			panic("renaming created a tautology — permutation is not injective")
+		}
+		matrix[i] = nc
+	}
+	return qbf.New(p, matrix)
+}
+
+// randPerm returns a uniform permutation of 1..maxVar as a 1-based table.
+func randPerm(rng *rand.Rand, maxVar int) []qbf.Var {
+	perm := make([]qbf.Var, maxVar+1)
+	order := rng.Perm(maxVar)
+	for i := 0; i < maxVar; i++ {
+		perm[i+1] = qbf.Var(order[i] + 1)
+	}
+	return perm
+}
+
+// permuteClauses returns a copy of q with the matrix in a shuffled order
+// (the matrix is a set; order must be irrelevant).
+func permuteClauses(rng *rand.Rand, q *qbf.QBF) *qbf.QBF {
+	matrix := make([]qbf.Clause, len(q.Matrix))
+	for i, j := range rng.Perm(len(q.Matrix)) {
+		matrix[j] = q.Matrix[i].Clone()
+	}
+	return qbf.New(q.Prefix.Clone(), matrix)
+}
+
+// solveVariant solves one formula presentation in partial-order mode (the
+// mode valid for every quantifier structure).
+func solveVariant(t *testing.T, label string, q *qbf.QBF) bool {
+	t.Helper()
+	r, _, err := Solve(q, Options{Mode: ModePartialOrder})
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	if r == Unknown {
+		t.Fatalf("%s: Unknown from an unlimited solve", label)
+	}
+	return r == True
+}
+
+// TestMetamorphicInvariance is the main metamorphic sweep. For each random
+// tree instance it checks, against the oracle and against each other:
+// the identity presentation, a variable renaming, a clause permutation,
+// a renaming of the permutation (composition), and every prenexing
+// strategy (solved in both PO and TO modes).
+func TestMetamorphicInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	n := 250
+	if testing.Short() {
+		n = 60
+	}
+	checked := 0
+	for i := 0; i < n; i++ {
+		q := qbf.RandomQBF(rng, 12, 14)
+		want, ok := qbf.EvalWithBudget(q, 2_000_000)
+		if !ok {
+			continue
+		}
+		checked++
+		if got := solveVariant(t, "identity", q); got != want {
+			t.Fatalf("iteration %d: identity: got %v, oracle %v\nQBF: %v", i, got, want, q)
+		}
+
+		perm := randPerm(rng, q.Prefix.MaxVar())
+		renamed := renameQBF(q, perm)
+		if got := solveVariant(t, "renamed", renamed); got != want {
+			t.Fatalf("iteration %d: renaming changed the verdict: got %v, oracle %v\noriginal: %v\nrenamed: %v",
+				i, got, want, q, renamed)
+		}
+		if w2, ok2 := qbf.EvalWithBudget(renamed, 2_000_000); ok2 && w2 != want {
+			t.Fatalf("iteration %d: renaming is not truth-preserving — transformation bug", i)
+		}
+
+		shuffled := permuteClauses(rng, q)
+		if got := solveVariant(t, "shuffled", shuffled); got != want {
+			t.Fatalf("iteration %d: clause permutation changed the verdict\nQBF: %v", i, q)
+		}
+
+		composed := permuteClauses(rng, renamed)
+		if got := solveVariant(t, "composed", composed); got != want {
+			t.Fatalf("iteration %d: renaming∘permutation changed the verdict", i)
+		}
+
+		for _, strat := range prenex.Strategies {
+			pq := prenex.Apply(q, strat)
+			if got := solveVariant(t, "prenex-po", pq); got != want {
+				t.Fatalf("iteration %d: prenexing under %v changed the PO verdict\ntree: %v\nprenex: %v",
+					i, strat, q, pq)
+			}
+			r, _, err := Solve(pq, Options{Mode: ModeTotalOrder})
+			if err != nil {
+				t.Fatalf("iteration %d: prenex %v TO: %v", i, strat, err)
+			}
+			if r == Unknown || (r == True) != want {
+				t.Fatalf("iteration %d: prenexing under %v changed the TO verdict: %v (oracle %v)",
+					i, strat, r, want)
+			}
+		}
+	}
+	if checked < n*3/4 {
+		t.Fatalf("only %d/%d instances fit the oracle budget — generator drifted", checked, n)
+	}
+	t.Logf("metamorphic invariance held on %d instances × (4 presentations + %d prenexings × 2 modes)",
+		checked, len(prenex.Strategies))
+}
+
+// TestMetamorphicRenamingOnPrenex repeats the renaming/permutation checks
+// on prenex instances in total-order mode, where the level arithmetic of
+// QUBE(TO) is exercised directly.
+func TestMetamorphicRenamingOnPrenex(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	n := 250
+	if testing.Short() {
+		n = 60
+	}
+	checked := 0
+	for i := 0; i < n; i++ {
+		q := randomPrenexQBF(rng, 10, 18, 4)
+		want, ok := qbf.EvalWithBudget(q, 2_000_000)
+		if !ok {
+			continue
+		}
+		checked++
+		for _, variant := range []*qbf.QBF{
+			renameQBF(q, randPerm(rng, q.Prefix.MaxVar())),
+			permuteClauses(rng, q),
+		} {
+			for _, mode := range []Mode{ModePartialOrder, ModeTotalOrder} {
+				r, _, err := Solve(variant, Options{Mode: mode})
+				if err != nil {
+					t.Fatalf("iteration %d mode %v: %v", i, mode, err)
+				}
+				if r == Unknown || (r == True) != want {
+					t.Fatalf("iteration %d mode %v: variant verdict %v, oracle %v\nQBF: %v",
+						i, mode, r, want, variant)
+				}
+			}
+		}
+	}
+	if checked < n*3/4 {
+		t.Fatalf("only %d/%d instances fit the oracle budget — generator drifted", checked, n)
+	}
+}

@@ -74,6 +74,13 @@ type Options struct {
 	// cannot get back under the budget.
 	MemLimit int64
 
+	// ScoreSeed, when non-zero, deterministically perturbs the initial
+	// heuristic scores with sub-unit jitter, so equally scored literals
+	// break ties differently per seed. Portfolio drivers use distinct
+	// seeds to diversify otherwise identical configurations; 0 keeps the
+	// paper's exact initialization.
+	ScoreSeed int64
+
 	// CheckInvariants enables the deep self-checker: at construction the
 	// prefix tree is validated (structural well-formedness, algebraic laws
 	// of ≺, agreement of the solver's O(1) order test with Prefix.Before),
@@ -172,6 +179,11 @@ type Stats struct {
 	// MemReductions counts aggressive learned-DB reductions forced by
 	// memory pressure (as opposed to routine MaxLearned housekeeping).
 	MemReductions int64
+	// Imports counts constraints accepted from the import hook (including
+	// terminal ones); ImportsRejected counts batch entries discarded by
+	// structural validation. Both stay 0 outside portfolio runs.
+	Imports         int64
+	ImportsRejected int64
 	// StopReason explains an Unknown result; StopNone on decided runs.
 	StopReason StopReason
 }

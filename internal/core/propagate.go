@@ -303,7 +303,7 @@ func (s *Solver) addLearned(lits []qbf.Lit, isCube bool) int {
 		s.learnedClauses++
 		s.stats.LearnedClauses++
 	}
-	if s.learnHook != nil {
+	if s.learnHook != nil && !s.importing {
 		s.learnHook(lits, isCube)
 	}
 	return id

@@ -1,0 +1,175 @@
+package core
+
+import "repro/internal/qbf"
+
+// This file is the constraint-exchange surface of the solver: the hooks a
+// portfolio driver uses to export learned constraints to sibling solvers
+// and to inject constraints learned elsewhere. Exports ride the existing
+// SetLearnHook; imports arrive through SetImportHook and are installed at
+// quiescent propagation fixpoints only, where the propagation queue is
+// drained and addLearned's counter initialization is valid.
+//
+// Soundness contract: an imported constraint must be a consequence of the
+// exact (prefix, matrix) pair this solver was built from — a clause C with
+// Φ ∧ C ≡ Φ, or a cube c with Φ ∨ c ≡ Φ — which is precisely what
+// clause/term resolution guarantees for constraints learned by another
+// solver running on the same formula. Constraints derived under a
+// *different* prefix (e.g. a prenexed form of the same tree) are NOT sound
+// in general and must not be exchanged; the portfolio layer enforces this
+// by grouping workers by quantifier structure. The solver defends itself
+// against transport corruption (sanitizeImport), re-reduces every import
+// against its own prefix, and under -tags qbfdebug re-derives soundness
+// semantically on small instances (checkImportedConstraint).
+
+// Shared is one learned constraint in transit between solvers: a clause
+// (nogood) when IsCube is false, a cube (good) when true. The literal
+// slice is treated as immutable by every party once published.
+type Shared struct {
+	Lits   []qbf.Lit
+	IsCube bool
+}
+
+// maxImportLen is a hard upper bound on the length of an accepted import;
+// anything longer is rejected as corrupt (exporters are expected to bound
+// shared constraints far below this — long constraints propagate rarely
+// and cost memory on every receiver).
+const maxImportLen = 256
+
+// SetImportHook installs a callback polled at every quiescent propagation
+// fixpoint (no pending conflict or solution). The returned batch is
+// installed into the learned databases after validation and reduction
+// against this solver's own prefix; the hook must be fast and non-blocking
+// (it runs on the search hot path) and must only hand over constraints
+// that are sound consequences of the same (prefix, matrix) pair this
+// solver was constructed from. Pass nil to disable importing.
+func (s *Solver) SetImportHook(f func() []Shared) { s.importHook = f }
+
+// sanitizeImport validates the structure of an incoming literal set:
+// non-empty, bounded length, every literal non-zero with a variable bound
+// by this solver's prefix, and no variable mentioned twice (a duplicated
+// or tautological import is rejected rather than repaired — it indicates
+// a corrupt or foreign constraint, not a derivable one).
+func (s *Solver) sanitizeImport(lits []qbf.Lit) bool {
+	if len(lits) == 0 || len(lits) > maxImportLen {
+		return false
+	}
+	seen := make(map[qbf.Var]bool, len(lits))
+	for _, l := range lits {
+		if l == qbf.NoLit {
+			return false
+		}
+		v := l.Var()
+		if v.Int() < qbf.MinVar.Int() || v.Int() > s.nVars || s.blockOf[v] < 0 {
+			return false
+		}
+		if seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// importShared drains the import hook once: every constraint in the batch
+// is validated, reduced against the solver's own prefix (Lemma 3 and its
+// dual), semantically re-checked under qbfdebug, and installed via
+// addLearned. A constraint that reduces to one with no existential
+// (clause) or no universal (cube) literal decides the whole formula —
+// importShared reports that as a terminal Result. Otherwise it returns the
+// first conflict/solution event an installed constraint triggers under the
+// current assignment, for the main loop to handle exactly like a
+// propagation event.
+func (s *Solver) importShared() (event, int, Result) {
+	batch := s.importHook()
+	if len(batch) == 0 {
+		return evNone, -1, Unknown
+	}
+	// Two passes. The install pass must not assign anything: addLearned
+	// initializes counters from the value array under the invariant that
+	// the propagation queue is drained, so a unit import waking up (and
+	// enqueueing its forced literal) between two installs would make the
+	// later install count the pending assignment twice — once at
+	// initialization and once again when propagateAll dequeues it. All
+	// constraints are therefore installed first, and only then woken.
+	var installed []int
+	for _, sc := range batch {
+		if !s.sanitizeImport(sc.Lits) {
+			s.stats.ImportsRejected++
+			continue
+		}
+		w := s.newWorkSet()
+		for _, l := range sc.Lits {
+			w.add(l)
+		}
+		if sc.IsCube {
+			s.existentialReduceSet(w)
+		} else {
+			s.universalReduceSet(w)
+		}
+		lits := w.slice()
+		if sc.IsCube {
+			hasU := false
+			for _, l := range lits {
+				if s.quant[l.Var()] == qbf.Forall {
+					hasU = true
+					break
+				}
+			}
+			if !hasU {
+				// A good whose existential reduction has no universal
+				// literal decides the formula (dual of Lemma 4).
+				s.stats.Imports++
+				return evNone, -1, True
+			}
+		} else {
+			hasE := false
+			for _, l := range lits {
+				if s.quant[l.Var()] == qbf.Exists {
+					hasE = true
+					break
+				}
+			}
+			if !hasE {
+				// A contradictory clause consequence (Lemma 4).
+				s.stats.Imports++
+				return evNone, -1, False
+			}
+		}
+		s.checkImportedConstraint(lits, sc.IsCube)
+		s.importing = true
+		installed = append(installed, s.addLearned(lits, sc.IsCube))
+		s.importing = false
+		s.stats.Imports++
+	}
+	// Wake pass: an import that is already unit assigns its forced literal
+	// (picked up by the next propagateAll), and one that is already
+	// conflicting or fired becomes this fixpoint's event. checkState
+	// verifies every candidate against the actual variable values, so the
+	// wake-ups remain sound even once a unit assignment is pending on the
+	// queue. After the first event the remaining imports stay passive —
+	// they are examined when a counter of theirs next changes.
+	rev, rci := evNone, -1
+	for _, id := range installed {
+		if ev, ci := s.checkState(id); ev != evNone {
+			rev, rci = ev, ci
+			break
+		}
+	}
+	if rev == evNone && s.qhead == len(s.trail) {
+		// Routine housekeeping: a heavy import stream must respect
+		// MaxLearned just like locally learned constraints do. Safe here
+		// because no event or assignment is pending and every trail reason
+		// is locked by the reduction round.
+		s.reduceDB(false)
+		s.reduceDB(true)
+	}
+	return rev, rci, Unknown
+}
+
+// SetNodeLimit replaces the decision budget (0 = unlimited) for subsequent
+// Solve/SolveContext calls. Together with the resume property of
+// SolveContext — the solver's state is preserved across an Unknown return,
+// so re-entering continues the same search without repeating work — this
+// lets a driver run a search in node-budget slices: solve to StopNodeLimit,
+// raise the limit, solve again.
+func (s *Solver) SetNodeLimit(n int64) { s.opt.NodeLimit = n }

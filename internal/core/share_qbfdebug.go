@@ -1,0 +1,70 @@
+//go:build qbfdebug
+
+package core
+
+import (
+	"repro/internal/invariant"
+	"repro/internal/qbf"
+)
+
+// importOracleMaxVars bounds the instance size for which imported
+// constraints are semantically re-derived: beyond it the exponential
+// oracle is hopeless and the structural checks stand alone.
+const importOracleMaxVars = 18
+
+// importOracleBudget caps the oracle's work per import check.
+const importOracleBudget = 4_000_000
+
+// attachImportOracle retains the solver's working formula (the normalized,
+// free-var-bound clone NewSolver built) so that imported constraints can be
+// re-derived semantically. Compiled only under -tags qbfdebug and active
+// only with Options.CheckInvariants.
+func (s *Solver) attachImportOracle(work *qbf.QBF) {
+	if s.opt.CheckInvariants {
+		s.dbgFormula = work
+	}
+}
+
+// checkImportedConstraint re-derives the soundness of an imported
+// constraint on the semantic oracle: a clause C is sound iff Φ ∧ C ≡ Φ, a
+// cube c iff Φ ∨ c ≡ Φ (its defining "good" property). The disjunction is
+// put in CNF by distribution — Φ ∨ (l₁∧…∧lₖ) = ∧_cl ∧_i (cl ∨ lᵢ) — which
+// is affordable exactly on the small instances the oracle can evaluate.
+// Violations panic via invariant.Violated, exactly like the deep checker's
+// own invariants.
+func (s *Solver) checkImportedConstraint(lits []qbf.Lit, isCube bool) {
+	if !s.opt.CheckInvariants || s.dbgFormula == nil || s.nVars > importOracleMaxVars {
+		return
+	}
+	base := s.dbgFormula
+	want, ok := qbf.EvalWithBudget(base, importOracleBudget)
+	if !ok {
+		return
+	}
+	var matrix []qbf.Clause
+	if isCube {
+		for _, cl := range base.Matrix {
+			for _, l := range lits {
+				if cl.Has(l) {
+					matrix = append(matrix, cl.Clone())
+					continue
+				}
+				ext := append(cl.Clone(), l)
+				matrix = append(matrix, ext)
+			}
+		}
+	} else {
+		for _, cl := range base.Matrix {
+			matrix = append(matrix, cl.Clone())
+		}
+		matrix = append(matrix, qbf.Clause(lits).Clone())
+	}
+	mod := qbf.New(base.Prefix.Clone(), matrix)
+	got, ok := qbf.EvalWithBudget(mod, importOracleBudget)
+	if !ok {
+		return
+	}
+	invariant.Check(got == want,
+		"core: imported %s %v is not a consequence: formula evaluates %v, with it %v",
+		map[bool]string{true: "cube", false: "clause"}[isCube], lits, want, got)
+}

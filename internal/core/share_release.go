@@ -1,0 +1,13 @@
+//go:build !qbfdebug
+
+package core
+
+import "repro/internal/qbf"
+
+// Release builds skip the semantic re-derivation of imported constraints;
+// the structural checks in importShared (sanitizeImport plus reduction
+// against the solver's own prefix) still run.
+
+func (s *Solver) attachImportOracle(work *qbf.QBF) {}
+
+func (s *Solver) checkImportedConstraint(lits []qbf.Lit, isCube bool) {}

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/qbf"
+)
+
+// shareTestQBF builds ∃x1 ∀y2 ∃z3 with a small satisfiable matrix whose
+// solution requires actual search, so imports land on a live solver.
+func shareTestQBF() *qbf.QBF {
+	x, y, z := qbf.Var(1), qbf.Var(2), qbf.Var(3)
+	prefix := qbf.NewPrenexPrefix(3,
+		qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{x}},
+		qbf.Run{Quant: qbf.Forall, Vars: []qbf.Var{y}},
+		qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{z}},
+	)
+	matrix := []qbf.Clause{
+		{x.PosLit(), z.PosLit()},
+		{y.PosLit(), z.NegLit(), x.PosLit()},
+		{y.NegLit(), z.PosLit()},
+	}
+	return qbf.New(prefix, matrix)
+}
+
+// TestImportSanitization feeds structurally broken constraints through the
+// import hook: all must be rejected (counted, not installed) and the solve
+// must finish with the correct verdict.
+func TestImportSanitization(t *testing.T) {
+	q := shareTestQBF()
+	want, ok := qbf.EvalWithBudget(q, 1_000_000)
+	if !ok {
+		t.Fatal("oracle budget exceeded on a 3-variable formula")
+	}
+	s, err := NewSolver(q, Options{Mode: ModePartialOrder})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := [][]qbf.Lit{
+		nil,                    // empty
+		{qbf.NoLit},            // zero literal
+		{qbf.Var(99).PosLit()}, // out of range
+		{qbf.Var(1).PosLit(), qbf.Var(1).NegLit()}, // duplicate variable
+		make([]qbf.Lit, maxImportLen+1),            // over-long (also zero lits)
+	}
+	fed := false
+	s.SetImportHook(func() []Shared {
+		if fed {
+			return nil
+		}
+		fed = true
+		out := make([]Shared, 0, 2*len(bad))
+		for _, lits := range bad {
+			out = append(out, Shared{Lits: lits}, Shared{Lits: lits, IsCube: true})
+		}
+		return out
+	})
+	r := s.Solve()
+	if (r == True) != want || r == Unknown {
+		t.Fatalf("solve with corrupt imports: got %v, want %v", r, want)
+	}
+	st := s.Stats()
+	if !fed {
+		t.Fatal("import hook was never polled")
+	}
+	if st.Imports != 0 {
+		t.Fatalf("%d corrupt imports were installed", st.Imports)
+	}
+	if st.ImportsRejected != int64(2*len(bad)) {
+		t.Fatalf("rejected %d imports, want %d", st.ImportsRejected, 2*len(bad))
+	}
+}
+
+// TestImportTerminalClause: importing a clause that universal-reduces to an
+// all-universal (existential-free) clause must decide the formula False
+// immediately — Lemma 4 applied to a consequence of Φ.
+func TestImportTerminalClause(t *testing.T) {
+	// ∀y ∃z: (y ∨ z)(y ∨ ¬z)(¬y ∨ z)(¬y ∨ ¬z) is false; a sibling that
+	// finished conflict analysis would learn the empty-after-reduction
+	// clause [y] (universal reduction strips y only at the end; here [y]
+	// has no existential literal at all).
+	y, z := qbf.Var(1), qbf.Var(2)
+	prefix := qbf.NewPrenexPrefix(2,
+		qbf.Run{Quant: qbf.Forall, Vars: []qbf.Var{y}},
+		qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{z}},
+	)
+	q := qbf.New(prefix, []qbf.Clause{
+		{y.PosLit(), z.PosLit()}, {y.PosLit(), z.NegLit()},
+		{y.NegLit(), z.PosLit()}, {y.NegLit(), z.NegLit()},
+	})
+	s, err := NewSolver(q, Options{Mode: ModePartialOrder})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetImportHook(func() []Shared {
+		return []Shared{{Lits: []qbf.Lit{y.PosLit()}}}
+	})
+	if r := s.Solve(); r != False {
+		t.Fatalf("terminal clause import: got %v, want False", r)
+	}
+}
+
+// TestImportTerminalCube: importing a cube that existential-reduces to a
+// universal-free cube must decide the formula True immediately.
+func TestImportTerminalCube(t *testing.T) {
+	// ∃x ∀y: (x ∨ y)(x ∨ ¬y) is true via x; the cube [x] has no universal
+	// literal, so importing it is a terminal good.
+	x, y := qbf.Var(1), qbf.Var(2)
+	prefix := qbf.NewPrenexPrefix(2,
+		qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{x}},
+		qbf.Run{Quant: qbf.Forall, Vars: []qbf.Var{y}},
+	)
+	q := qbf.New(prefix, []qbf.Clause{
+		{x.PosLit(), y.PosLit()}, {x.PosLit(), y.NegLit()},
+	})
+	s, err := NewSolver(q, Options{Mode: ModePartialOrder})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetImportHook(func() []Shared {
+		return []Shared{{Lits: []qbf.Lit{x.PosLit()}, IsCube: true}}
+	})
+	if r := s.Solve(); r != True {
+		t.Fatalf("terminal cube import: got %v, want True", r)
+	}
+}
+
+// TestImportBatchWithUnits regresses the install/wake split of
+// importShared: a batch where an early import is unit under the current
+// (empty) assignment must not corrupt the counter initialization of the
+// constraints installed after it. Under -tags qbfdebug the deep checker
+// verifies every cached counter; in release builds the verdict check
+// still catches gross corruption.
+func TestImportBatchWithUnits(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 60; i++ {
+		q := qbf.RandomQBF(rng, 10, 12)
+		want, ok := qbf.EvalWithBudget(q, 1_000_000)
+		if !ok {
+			continue
+		}
+		// Learn real constraints from a pilot solve of the same formula —
+		// the only generally sound source of imports.
+		var learned []Shared
+		pilot, err := NewSolver(q, Options{Mode: ModePartialOrder})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pilot.SetLearnHook(func(lits []qbf.Lit, isCube bool) {
+			cp := append([]qbf.Lit(nil), lits...)
+			learned = append(learned, Shared{Lits: cp, IsCube: isCube})
+		})
+		pilot.Solve()
+		if len(learned) == 0 {
+			continue
+		}
+		s, err := NewSolver(q, Options{Mode: ModePartialOrder, CheckInvariants: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		batches := 0
+		s.SetImportHook(func() []Shared {
+			if batches++; batches > 1 {
+				return nil
+			}
+			return learned // the whole pilot database in one batch
+		})
+		r := s.Solve()
+		if r == Unknown || (r == True) != want {
+			t.Fatalf("instance %d: got %v with %d imports, oracle says %v", i, r, len(learned), want)
+		}
+	}
+}
+
+// TestSolveContextResume drives a solve in node-budget slices via
+// SetNodeLimit and checks the resume contract: progress is monotone, the
+// sliced verdict matches the unsliced one, and re-calling after the
+// verdict returns it immediately without further work.
+func TestSolveContextResume(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	resumedOnce := false
+	for i := 0; i < 25; i++ {
+		q := denseRandomQBF(rng)
+		wantR, _, err := Solve(q, Options{Mode: ModePartialOrder})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewSolver(q, Options{Mode: ModePartialOrder})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var r Result
+		slices := 0
+		for {
+			s.SetNodeLimit(s.Stats().Decisions + 2)
+			r = s.Solve()
+			slices++
+			if r != Unknown {
+				break
+			}
+			if s.Stats().StopReason != StopNodeLimit {
+				t.Fatalf("instance %d: sliced solve stopped with %v", i, s.Stats().StopReason)
+			}
+			if slices > 100000 {
+				t.Fatalf("instance %d: no progress across %d slices", i, slices)
+			}
+		}
+		if slices > 1 {
+			resumedOnce = true
+		}
+		if r != wantR {
+			t.Fatalf("instance %d: sliced verdict %v != unsliced %v (in %d slices)", i, r, wantR, slices)
+		}
+		decisions := s.Stats().Decisions
+		if again := s.Solve(); again != r {
+			t.Fatalf("instance %d: post-verdict re-solve returned %v, want %v", i, again, r)
+		}
+		if s.Stats().Decisions != decisions {
+			t.Fatalf("instance %d: post-verdict re-solve did %d more decisions",
+				i, s.Stats().Decisions-decisions)
+		}
+	}
+	if !resumedOnce {
+		t.Fatal("no instance ever needed more than one 2-decision slice — resume untested")
+	}
+}
+
+// denseRandomQBF builds a ∃∀∃ model-A-style instance dense enough that
+// propagation and pure literals alone cannot decide it — the sliced-resume
+// test needs searches spanning many 2-decision slices.
+func denseRandomQBF(rng *rand.Rand) *qbf.QBF {
+	const bs = 10
+	runs := make([]qbf.Run, 3)
+	var ex, un []qbf.Var
+	v := qbf.MinVar
+	for b := 0; b < 3; b++ {
+		quant := qbf.Exists
+		if b == 1 {
+			quant = qbf.Forall
+		}
+		vars := make([]qbf.Var, bs)
+		for j := range vars {
+			vars[j] = v
+			if quant == qbf.Exists {
+				ex = append(ex, v)
+			} else {
+				un = append(un, v)
+			}
+			v++
+		}
+		runs[b] = qbf.Run{Quant: quant, Vars: vars}
+	}
+	prefix := qbf.NewPrenexPrefix(int(v)-1, runs...)
+	var matrix []qbf.Clause
+	for len(matrix) < 6*3*bs {
+		seen := map[qbf.Var]bool{}
+		var c qbf.Clause
+		add := func(pool []qbf.Var) {
+			vv := pool[rng.Intn(len(pool))]
+			if seen[vv] {
+				return
+			}
+			seen[vv] = true
+			l := vv.PosLit()
+			if rng.Intn(2) == 0 {
+				l = vv.NegLit()
+			}
+			c = append(c, l)
+		}
+		if rng.Intn(2) == 0 {
+			add(un)
+		}
+		for len(c) < 5 {
+			add(ex)
+		}
+		cc, taut := c.Normalize()
+		if !taut {
+			matrix = append(matrix, cc)
+		}
+	}
+	return qbf.New(prefix, matrix)
+}

@@ -136,6 +136,18 @@ type Solver struct {
 	learnHook         func(lits []qbf.Lit, isCube bool)
 	debugSolutionHook func(assignedU, totalU int)
 
+	// importHook, when non-nil, is polled at quiescent propagation
+	// fixpoints for constraints learned by sibling solvers (see share.go);
+	// importing suppresses the learnHook while an import is installed, so
+	// exchanged constraints are never echoed back to the exchange.
+	importHook func() []Shared
+	importing  bool
+
+	// dbgFormula retains the normalized working formula for the qbfdebug
+	// import oracle; nil unless built with -tags qbfdebug and
+	// CheckInvariants on (share_qbfdebug.go).
+	dbgFormula *qbf.QBF
+
 	// faultHook, when non-nil, fires at every propagation fixpoint with
 	// the fixpoint ordinal; the qbfdebug fault-injection harness uses it
 	// to force panics and cancellations at deterministic points. The
@@ -267,8 +279,11 @@ func NewSolver(q *qbf.QBF, opt Options) (*Solver, error) {
 
 	// Deep invariant layer (no-op unless built with -tags qbfdebug and
 	// opt.CheckInvariants is set): validate the finalized prefix and pin
-	// the solver's O(1) ≺ test to the structural Prefix.Before.
+	// the solver's O(1) ≺ test to the structural Prefix.Before. The import
+	// oracle additionally retains the working formula so constraints
+	// arriving through SetImportHook can be re-derived semantically.
 	s.attachInvariantPrefix(p)
+	s.attachImportOracle(work)
 
 	// Install the (universally reduced) original clauses.
 	s.levelStart = append(s.levelStart, 0)
@@ -356,7 +371,17 @@ func (s *Solver) Solve() Result {
 // every pollPeriod-th fixpoint so time.Now stays off the per-propagation
 // path). An expired or cancelled ctx yields Unknown with StopCancelled or
 // StopTimeout in Stats; a nil ctx is treated as context.Background().
+//
+// SolveContext is resumable: after an Unknown return the solver's state is
+// exactly the quiescent fixpoint the stop was observed at, and calling
+// SolveContext again continues the same search (typically after raising a
+// budget with SetNodeLimit, or with a fresh context). After a True/False
+// verdict the search is over and every further call returns the verdict
+// immediately.
 func (s *Solver) SolveContext(ctx context.Context) Result {
+	if s.lastResult != Unknown {
+		return s.lastResult
+	}
 	start := time.Now()
 	defer func() { s.stats.Time += time.Since(start) }()
 	s.stats.StopReason = StopNone
@@ -420,6 +445,20 @@ func (s *Solver) solve() Result {
 		ev, ci := s.propagateAll()
 		s.stats.Fixpoints++
 		s.injectFault(s.stats.Fixpoints)
+		if ev == evNone && s.importHook != nil {
+			// Quiescent fixpoint: install constraints shared by sibling
+			// solvers. An import that is terminal for the whole formula
+			// decides it right here; one that is conflicting or fired under
+			// the current assignment becomes this fixpoint's event and is
+			// handled below exactly like a propagation event; a merely unit
+			// import enqueues its forced literal, which the trail-drain
+			// check after the budget poll sends back to propagateAll.
+			var terminal Result
+			ev, ci, terminal = s.importShared()
+			if terminal != Unknown {
+				return terminal
+			}
+		}
 		// The fixpoint's event is fully handled before any budget check,
 		// for two reasons. Soundness: the memory governor must never run
 		// while ci is pending — a conflicting/fired learned constraint is
@@ -452,6 +491,11 @@ func (s *Solver) solve() Result {
 			return Unknown
 		}
 		if ev != evNone {
+			continue
+		}
+		if s.qhead < len(s.trail) {
+			// An imported constraint assigned a unit literal after the
+			// propagation fixpoint; drain it before branching.
 			continue
 		}
 		s.deepCheck()

@@ -236,15 +236,16 @@ func f(n int) string {
 }
 
 func TestRulesByName(t *testing.T) {
-	if got := len(RulesByName(nil, nil)); got != 5 {
-		t.Fatalf("default rule count = %d, want 5", got)
+	if got := len(RulesByName(nil, nil)); got != 6 {
+		t.Fatalf("default rule count = %d, want 6", got)
 	}
 	only := RulesByName([]string{"L2"}, nil)
 	if len(only) != 1 || only[0].Name() != "L2" {
 		t.Fatalf("enable filter broken: %v", only)
 	}
 	without := RulesByName(nil, []string{"L3", "L4"})
-	if len(without) != 3 || without[0].Name() != "L1" || without[1].Name() != "L2" || without[2].Name() != "L5" {
+	if len(without) != 4 || without[0].Name() != "L1" || without[1].Name() != "L2" ||
+		without[2].Name() != "L5" || without[3].Name() != "L6" {
 		t.Fatalf("disable filter broken: %v", without)
 	}
 }
@@ -351,6 +352,62 @@ func g(work func()) {
 	})
 	if fs := run(t, r, root); len(fs) != 0 {
 		t.Fatalf("L5 fired outside non-test internal/bench: %v", fs)
+	}
+}
+
+func TestL6FiresOnMangledOpeners(t *testing.T) {
+	r, root := fixtureModule(t, map[string]string{
+		"internal/models/x.go": `package models
+
+/// doubled opener from a careless edit
+//// banner made of slashes
+//* flattened block opener
+// / opener split across the slash
+//    / same split, extra indentation
+func f() {}
+`,
+	})
+	fs := run(t, r, root)
+	if got := rulesFired(fs)["L6"]; got != 5 {
+		t.Fatalf("L6 findings = %d, want 5: %v", got, fs)
+	}
+}
+
+func TestL6IgnoresLegitimateComments(t *testing.T) {
+	r, root := fixtureModule(t, map[string]string{
+		"internal/models/x.go": `package models
+
+// plain comment
+// path mention: /root/repo/x.go is fine
+// /root/leading/path is fine too (first token is not a lone slash)
+// url https://example.com/a/b
+// ---------------------------------------------------------------------------
+//go:generate echo directives are untouched
+/* block comments parse or they do not */
+func f() {}
+`,
+		"internal/models/x_test.go": `package models
+
+// tests follow the same comment hygiene
+func g() {}
+`,
+	})
+	if fs := run(t, r, root); len(fs) != 0 {
+		t.Fatalf("false positives: %v", fs)
+	}
+}
+
+func TestL6Allow(t *testing.T) {
+	r, root := fixtureModule(t, map[string]string{
+		"internal/models/x.go": `package models
+
+//lint:allow L6 ascii-art needs the slashes
+/// deliberately tripled
+func f() {}
+`,
+	})
+	if fs := run(t, r, root); len(fs) != 0 {
+		t.Fatalf("suppressed L6 still reported: %v", fs)
 	}
 }
 

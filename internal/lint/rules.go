@@ -23,7 +23,7 @@ import (
 
 // DefaultRules returns all rules in canonical order.
 func DefaultRules() []Rule {
-	return []Rule{ruleTimestamps{}, ruleConversions{}, rulePanic{}, ruleStringBuild{}, ruleGoRecover{}}
+	return []Rule{ruleTimestamps{}, ruleConversions{}, rulePanic{}, ruleStringBuild{}, ruleGoRecover{}, ruleCommentOpener{}}
 }
 
 // RulesByName filters the default set: enable lists the rules to keep
@@ -325,4 +325,47 @@ func (ruleGoRecover) Check(f *File, report func(token.Pos, string)) {
 		}
 		return true
 	})
+}
+
+// ---------------------------------------------------------------------------
+// L6: no mangled comment openers.
+
+type ruleCommentOpener struct{}
+
+func (ruleCommentOpener) Name() string { return "L6" }
+func (ruleCommentOpener) Doc() string {
+	return "no mangled line-comment openers ('///', '//*', or a stray leading '/ ' in the text): edit and merge damage; write a plain '// ' comment"
+}
+
+// Applies everywhere: a broken opener is damage in any file, tests included.
+// A truly detached opener like a bare "/ text" line is a parse error and
+// never reaches the rules, so this rule covers the mangled forms that still
+// parse — a doubled opener ("/// x", "//// banner"), a flattened block
+// opener ("//* x"), and a split opener whose second slash landed in the
+// comment text ("// / x", the historical options.go defect).
+func (ruleCommentOpener) Applies(f *File) bool { return true }
+
+func (ruleCommentOpener) Check(f *File, report func(token.Pos, string)) {
+	for _, cg := range f.AST.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//")
+			if !ok {
+				continue // a malformed /* block is a parse error, not a finding
+			}
+			switch {
+			case strings.HasPrefix(text, "/"):
+				report(c.Pos(), "doubled comment opener '///'; write a plain '// ' comment")
+			case strings.HasPrefix(text, "*"):
+				report(c.Pos(), "flattened block opener '//*'; write '// ' or a real /* */ block")
+			default:
+				// "// / text": the opener was split by an edit and its second
+				// slash ended up leading the text. A lone first token "/" is
+				// the tell — "/root/path" or "https://…" do not match.
+				trimmed := strings.TrimLeft(text, " \t")
+				if trimmed == "/" || strings.HasPrefix(trimmed, "/ ") {
+					report(c.Pos(), "comment text begins with a stray '/'; merge it back into the '//' opener")
+				}
+			}
+		}
+	}
 }

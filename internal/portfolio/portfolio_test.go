@@ -1,0 +1,316 @@
+package portfolio
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/qbf"
+	"repro/internal/randqbf"
+)
+
+func mustSolve(t *testing.T, q *qbf.QBF, cfg Config) Report {
+	t.Helper()
+	rep, err := Solve(context.Background(), q, cfg)
+	if err != nil {
+		t.Fatalf("portfolio.Solve: %v", err)
+	}
+	return rep
+}
+
+func TestPortfolioTrivial(t *testing.T) {
+	v := qbf.MinVar
+	prefix := qbf.NewPrenexPrefix(1, qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{v}})
+	qTrue := qbf.New(prefix, []qbf.Clause{{v.PosLit()}})
+	qFalse := qbf.New(prefix.Clone(), []qbf.Clause{{v.PosLit()}, {v.NegLit()}})
+
+	for _, tc := range []struct {
+		name string
+		q    *qbf.QBF
+		want core.Result
+	}{{"true", qTrue, core.True}, {"false", qFalse, core.False}} {
+		rep := mustSolve(t, tc.q, Config{Workers: 4, Share: true})
+		if rep.Result != tc.want {
+			t.Fatalf("%s: got %v, want %v (report %+v)", tc.name, rep.Result, tc.want, rep)
+		}
+		if rep.Winner < 0 || rep.Winner >= len(rep.Workers) {
+			t.Fatalf("%s: winner index %d out of range", tc.name, rep.Winner)
+		}
+		if rep.Stop != core.StopNone {
+			t.Fatalf("%s: decided run reports stop %v", tc.name, rep.Stop)
+		}
+	}
+}
+
+func TestPortfolioNilAndEmpty(t *testing.T) {
+	if _, err := Solve(context.Background(), nil, Config{}); err == nil {
+		t.Fatal("nil formula accepted")
+	}
+	q := randqbf.Fixed(0)
+	if _, err := Solve(context.Background(), q, Config{Schedule: []WorkerConfig{}}); err == nil {
+		t.Fatal("empty schedule accepted")
+	}
+	bad := []WorkerConfig{{Name: "bad", Options: core.Options{Mode: core.ModeTotalOrder}}}
+	tree, _, _ := randqbf.MiniscopeFilter(q, 0)
+	if !tree.Prefix.IsPrenex() {
+		if _, err := Solve(context.Background(), tree, Config{Schedule: bad}); err == nil {
+			t.Fatal("total-order worker without Prenexed accepted on a tree input")
+		}
+	}
+}
+
+// TestPortfolioDifferential is the portfolio half of the differential test
+// layer: on ≥200 random instances (tree and prenex) the portfolio — across
+// worker counts, sharing on and off, oversubscribed and racing slot
+// configurations — must agree with the sequential solver and with the
+// semantic oracle. Run under -race by scripts/check.sh.
+func TestPortfolioDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(271))
+	n := 240
+	if testing.Short() {
+		n = 60
+	}
+	type cfgCase struct {
+		name    string
+		workers int
+		share   bool
+		par     int
+		det     bool
+	}
+	cases := []cfgCase{
+		{"w1", 1, false, 1, false},
+		{"w2-share", 2, true, 2, false},
+		{"w4-noshare", 4, false, 2, false},
+		{"w4-share", 4, true, 4, false},
+		{"w4-share-det", 4, true, 1, true},
+		{"w4-share-oversub", 4, true, 1, false},
+	}
+	checked := 0
+	for i := 0; i < n; i++ {
+		q := qbf.RandomQBF(rng, 11, 13)
+		want, ok := qbf.EvalWithBudget(q, 2_000_000)
+		if !ok {
+			continue
+		}
+		seqR, _, err := core.Solve(q, core.Options{Mode: core.ModePartialOrder})
+		if err != nil {
+			t.Fatalf("iteration %d: sequential: %v", i, err)
+		}
+		if (seqR == core.True) != want {
+			t.Fatalf("iteration %d: sequential solver disagrees with oracle", i)
+		}
+		for _, c := range cases {
+			rep := mustSolve(t, q, Config{
+				Workers: c.workers, Share: c.share,
+				MaxParallel: c.par, Deterministic: c.det,
+				SliceNodes: 64, // small slices: force many resume cycles
+			})
+			if rep.Result == core.Unknown {
+				t.Fatalf("iteration %d cfg %s: Unknown (stop %v, report %+v)\nQBF: %v",
+					i, c.name, rep.Stop, rep, q)
+			}
+			if (rep.Result == core.True) != want {
+				t.Fatalf("iteration %d cfg %s: portfolio says %v, oracle says %v (winner %s)\nQBF: %v",
+					i, c.name, rep.Result, want, rep.WinnerName(), q)
+			}
+			if rep.Result != seqR {
+				t.Fatalf("iteration %d cfg %s: portfolio %v != sequential %v", i, c.name, rep.Result, seqR)
+			}
+		}
+		checked++
+	}
+	if checked < n*3/4 {
+		t.Fatalf("only %d/%d instances fit the oracle budget — generator drifted", checked, n)
+	}
+	t.Logf("portfolio agreed with sequential and oracle on %d instances × %d configs", checked, len(cases))
+}
+
+// TestPortfolioDifferentialStructured repeats the differential check on
+// structured (fixed-class) instances where learning actually fires, so
+// constraint sharing moves real clauses and cubes between workers.
+func TestPortfolioDifferentialStructured(t *testing.T) {
+	n := 12
+	if testing.Short() {
+		n = 4
+	}
+	for i := 0; i < n; i++ {
+		q := randqbf.Fixed(int64(i))
+		seqR, _, err := core.Solve(q, core.Options{Mode: core.ModePartialOrder})
+		if err != nil {
+			t.Fatalf("instance %d: sequential: %v", i, err)
+		}
+		rep := mustSolve(t, q, Config{Workers: 4, Share: true, MaxParallel: 2, SliceNodes: 256})
+		if rep.Result != seqR {
+			t.Fatalf("instance %d: portfolio %v != sequential %v (winner %s)", i, rep.Result, seqR, rep.WinnerName())
+		}
+	}
+}
+
+// TestPortfolioDeterministicReproducible runs the deterministic mode twice
+// and demands identical reports modulo wall-clock fields.
+func TestPortfolioDeterministicReproducible(t *testing.T) {
+	n := 30
+	if testing.Short() {
+		n = 8
+	}
+	rng := rand.New(rand.NewSource(977))
+	for i := 0; i < n; i++ {
+		q := qbf.RandomQBF(rng, 11, 13)
+		cfg := Config{Workers: 4, Share: true, Deterministic: true, SliceNodes: 64}
+		a := mustSolve(t, q, cfg)
+		b := mustSolve(t, q, cfg)
+		if a.Result != b.Result || a.Winner != b.Winner {
+			t.Fatalf("instance %d: runs differ: (%v, winner %d) vs (%v, winner %d)",
+				i, a.Result, a.Winner, b.Result, b.Winner)
+		}
+		for w := range a.Workers {
+			x, y := a.Workers[w], b.Workers[w]
+			if x.Attempts != y.Attempts || x.Result != y.Result || x.Stats.Decisions != y.Stats.Decisions {
+				t.Fatalf("instance %d worker %d (%s): attempts/decisions differ: %d/%d vs %d/%d",
+					i, w, x.Name, x.Attempts, x.Stats.Decisions, y.Attempts, y.Stats.Decisions)
+			}
+		}
+	}
+}
+
+// TestPortfolioDegeneratesToSequential: one worker, slots ≥ workers — the
+// portfolio must do exactly the sequential solver's work (same verdict;
+// same decision count, since worker 0 is the default configuration).
+func TestPortfolioDegeneratesToSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(555))
+	for i := 0; i < 20; i++ {
+		q := qbf.RandomQBF(rng, 11, 13)
+		seqR, seqSt, err := core.Solve(q, core.Options{Mode: core.ModePartialOrder})
+		if err != nil {
+			t.Fatalf("sequential: %v", err)
+		}
+		rep := mustSolve(t, q, Config{Workers: 1})
+		if rep.Result != seqR {
+			t.Fatalf("instance %d: %v != sequential %v", i, rep.Result, seqR)
+		}
+		if rep.Stats.Decisions != seqSt.Decisions {
+			t.Fatalf("instance %d: portfolio of one did different work: %d decisions vs %d",
+				i, rep.Stats.Decisions, seqSt.Decisions)
+		}
+	}
+}
+
+func TestPortfolioNodeBudget(t *testing.T) {
+	q := hardInstance()
+	rep := mustSolve(t, q, Config{Workers: 4, MaxParallel: 1, SliceNodes: 16,
+		Base: core.Options{NodeLimit: 64}})
+	if rep.Result != core.Unknown {
+		t.Skip("instance solved within the tiny budget — not a budget exercise")
+	}
+	if rep.Stop != core.StopNodeLimit {
+		t.Fatalf("stop = %v, want StopNodeLimit", rep.Stop)
+	}
+	for _, w := range rep.Workers {
+		if w.Ran && w.Stats.Decisions > 64+maxSliceNodes {
+			t.Fatalf("worker %s burned %d decisions past its 64-decision budget", w.Name, w.Stats.Decisions)
+		}
+	}
+}
+
+func TestPortfolioTimeout(t *testing.T) {
+	q := hardInstance()
+	rep := mustSolve(t, q, Config{Workers: 4, MaxParallel: 1, SliceNodes: 32,
+		Base: core.Options{TimeLimit: time.Millisecond}})
+	if rep.Result != core.Unknown {
+		t.Skip("instance solved within a millisecond — not a timeout exercise")
+	}
+	if rep.Stop != core.StopTimeout {
+		t.Fatalf("stop = %v, want StopTimeout", rep.Stop)
+	}
+}
+
+func TestPortfolioOuterCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := Solve(ctx, hardInstance(), Config{Workers: 4})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if rep.Result != core.Unknown || rep.Stop != core.StopCancelled {
+		t.Fatalf("cancelled run: result %v stop %v, want Unknown/StopCancelled", rep.Result, rep.Stop)
+	}
+}
+
+// TestPortfolioWitness checks that a true tree-form verdict carries the
+// winner's outermost existential witness and that it is consistent with
+// the sequential witness semantics (every reported variable is a level-1
+// existential).
+func TestPortfolioWitness(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	found := false
+	for i := 0; i < 60 && !found; i++ {
+		q := qbf.RandomQBF(rng, 10, 10)
+		rep := mustSolve(t, q, Config{Workers: 2, Deterministic: true})
+		if rep.Result != core.True || rep.Winner != 0 {
+			continue
+		}
+		if rep.Witness == nil {
+			// A trivially-true formula can legitimately have no witness;
+			// only demand one when the sequential solver produces one.
+			s, err := core.NewSolver(q, core.Options{Mode: core.ModePartialOrder})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Solve()
+			if _, ok := s.Witness(); ok {
+				t.Fatalf("instance %d: sequential has a witness, portfolio lost it", i)
+			}
+			continue
+		}
+		found = true
+	}
+	if !found {
+		t.Skip("no witness-bearing true instance in the sample")
+	}
+}
+
+// TestPortfolioSharingMovesConstraints makes sure sharing is not
+// vacuously sound: across structured instances with small slices, at least
+// one exchange actually imports something.
+func TestPortfolioSharingMovesConstraints(t *testing.T) {
+	var imports int64
+	n := 10
+	if testing.Short() {
+		n = 4
+	}
+	for i := 0; i < n; i++ {
+		q := randqbf.Fixed(int64(i))
+		rep := mustSolve(t, q, Config{Workers: 6, Share: true, MaxParallel: 2, SliceNodes: 128})
+		imports += rep.Stats.Imports
+	}
+	if imports == 0 {
+		t.Fatal("no constraint was ever imported — the exchange is dead weight")
+	}
+	t.Logf("imported %d constraints across the suite", imports)
+}
+
+func TestBackendFunc(t *testing.T) {
+	backend := BackendFunc(Config{Workers: 2, Share: true, Deterministic: true})
+	q := randqbf.Fixed(1)
+	r, st, err := backend(context.Background(), q, core.Options{Mode: core.ModePartialOrder})
+	if err != nil {
+		t.Fatalf("backend: %v", err)
+	}
+	seqR, _, _ := core.Solve(q, core.Options{Mode: core.ModePartialOrder})
+	if r != seqR {
+		t.Fatalf("backend %v != sequential %v", r, seqR)
+	}
+	if st.Decisions == 0 && r != core.Unknown {
+		t.Fatal("backend lost the merged statistics")
+	}
+}
+
+// hardInstance returns a formula comfortably beyond tiny node budgets
+// (~6000 decisions, tens of milliseconds for the sequential default).
+func hardInstance() *qbf.QBF {
+	return randqbf.Prob(randqbf.ProbParams{
+		Blocks: 3, BlockSize: 24, Clauses: 504, Length: 5, MaxUniversal: 1, Seed: 2,
+	})
+}

@@ -1,0 +1,190 @@
+package portfolio
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/qbf"
+)
+
+// Ring is a bounded, lock-free, multi-producer/multi-consumer queue of
+// shared constraints (Vyukov's bounded MPMC algorithm): every slot carries
+// a sequence number that encodes, relative to the enqueue and dequeue
+// cursors, whether it is free or full. Push and Pop are wait-free in the
+// absence of contention and never block; a full ring rejects the push
+// instead of overwriting, so the accept/deliver contract is exact — every
+// accepted constraint is delivered exactly once, and a rejected push is
+// reported to the producer, never silently dropped in transit.
+type Ring struct {
+	mask  uint64
+	slots []ringSlot
+
+	_   [56]byte // keep the hot cursors on separate cache lines
+	enq atomic.Uint64
+	_   [56]byte
+	deq atomic.Uint64
+}
+
+type ringSlot struct {
+	seq atomic.Uint64
+	val core.Shared
+}
+
+// NewRing returns a ring with capacity rounded up to a power of two (and
+// at least 2).
+func NewRing(capacity int) *Ring {
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	r := &Ring{mask: uint64(n - 1), slots: make([]ringSlot, n)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// Cap returns the ring's slot capacity.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// TryPush enqueues v, reporting false when the ring is full. The caller
+// must treat v.Lits as immutable after a successful push.
+func (r *Ring) TryPush(v core.Shared) bool {
+	pos := r.enq.Load()
+	for {
+		slot := &r.slots[pos&r.mask]
+		seq := slot.seq.Load()
+		switch {
+		case seq == pos:
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				slot.val = v
+				slot.seq.Store(pos + 1)
+				return true
+			}
+			pos = r.enq.Load()
+		case seq < pos:
+			// The slot still holds an unconsumed value from mask+1
+			// positions ago: the ring is full.
+			return false
+		default:
+			pos = r.enq.Load()
+		}
+	}
+}
+
+// TryPop dequeues the oldest constraint, reporting false when the ring is
+// empty.
+func (r *Ring) TryPop() (core.Shared, bool) {
+	pos := r.deq.Load()
+	for {
+		slot := &r.slots[pos&r.mask]
+		seq := slot.seq.Load()
+		switch {
+		case seq == pos+1:
+			if r.deq.CompareAndSwap(pos, pos+1) {
+				v := slot.val
+				slot.val = core.Shared{}
+				slot.seq.Store(pos + r.mask + 1)
+				return v, true
+			}
+			pos = r.deq.Load()
+		case seq < pos+1:
+			return core.Shared{}, false // empty
+		default:
+			pos = r.deq.Load()
+		}
+	}
+}
+
+// Drain pops up to max constraints (all buffered ones when max <= 0).
+func (r *Ring) Drain(max int) []core.Shared {
+	if max <= 0 {
+		max = len(r.slots)
+	}
+	var out []core.Shared
+	for len(out) < max {
+		v, ok := r.TryPop()
+		if !ok {
+			break
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// Exchange routes short learned constraints between portfolio workers.
+// Every worker owns one inbox ring; publishing copies the constraint once
+// and offers the copy (treated as immutable from then on) to the inbox of
+// every *same-group* peer. Groups partition workers by the quantifier
+// structure they solve under — constraint exchange is only sound between
+// solvers of the identical (prefix, matrix) pair, so a tree-form worker
+// never feeds a prenexed one or vice versa (see DESIGN.md §8).
+type Exchange struct {
+	maxLen  int
+	groups  []int
+	inboxes []*Ring
+
+	exported atomic.Int64
+	dropped  atomic.Int64
+}
+
+// NewExchange builds an exchange for len(groups) workers; groups[i] is
+// worker i's structure-group id. ringCap is the per-inbox capacity (0 =
+// 512 slots) and maxLen the length bound on exported constraints (0 = 8
+// literals; longer learned constraints propagate rarely and cost memory on
+// every receiver, so only short ones travel).
+func NewExchange(groups []int, ringCap, maxLen int) *Exchange {
+	if ringCap <= 0 {
+		ringCap = 512
+	}
+	if maxLen <= 0 {
+		maxLen = 8
+	}
+	e := &Exchange{
+		maxLen:  maxLen,
+		groups:  append([]int(nil), groups...),
+		inboxes: make([]*Ring, len(groups)),
+	}
+	for i := range e.inboxes {
+		e.inboxes[i] = NewRing(ringCap)
+	}
+	return e
+}
+
+// Publish offers a constraint learned by worker `from` to every same-group
+// peer. Over-long constraints are ignored; a full peer inbox drops that
+// peer's copy (sharing is best-effort — losing a redundant learned
+// constraint never affects soundness or completeness). It reports how many
+// peer inboxes accepted.
+func (e *Exchange) Publish(from int, lits []core.Shared) int {
+	accepted := 0
+	for _, sc := range lits {
+		if len(sc.Lits) == 0 || len(sc.Lits) > e.maxLen {
+			continue
+		}
+		copied := core.Shared{Lits: append([]qbf.Lit(nil), sc.Lits...), IsCube: sc.IsCube}
+		for j := range e.inboxes {
+			if j == from || e.groups[j] != e.groups[from] {
+				continue
+			}
+			if e.inboxes[j].TryPush(copied) {
+				accepted++
+				e.exported.Add(1)
+			} else {
+				e.dropped.Add(1)
+			}
+		}
+	}
+	return accepted
+}
+
+// Collect drains up to max constraints from worker i's inbox.
+func (e *Exchange) Collect(i, max int) []core.Shared {
+	return e.inboxes[i].Drain(max)
+}
+
+// Totals reports the exchange-wide accepted and dropped publication
+// counts.
+func (e *Exchange) Totals() (exported, dropped int64) {
+	return e.exported.Load(), e.dropped.Load()
+}

@@ -1,0 +1,241 @@
+package portfolio
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/qbf"
+)
+
+// payload builds a recognizable constraint: producer id and sequence number
+// are encoded in the literals so corruption and duplication are detectable.
+func payload(producer, seq int) core.Shared {
+	return core.Shared{
+		Lits:   []qbf.Lit{qbf.Var(producer + 1).PosLit(), qbf.Var(seq + 100).NegLit()},
+		IsCube: seq%2 == 0,
+	}
+}
+
+func decode(t *testing.T, sc core.Shared) (producer, seq int) {
+	t.Helper()
+	if len(sc.Lits) != 2 {
+		t.Fatalf("corrupt payload: %v", sc)
+	}
+	producer = int(sc.Lits[0].Var()) - 1
+	seq = int(sc.Lits[1].Var()) - 100
+	if !sc.Lits[0].Positive() || sc.Lits[1].Positive() || sc.IsCube != (seq%2 == 0) {
+		t.Fatalf("corrupt payload: %v", sc)
+	}
+	return producer, seq
+}
+
+func TestRingFIFOSingleThread(t *testing.T) {
+	r := NewRing(8)
+	if r.Cap() != 8 {
+		t.Fatalf("cap = %d, want 8", r.Cap())
+	}
+	for i := 0; i < 8; i++ {
+		if !r.TryPush(payload(0, i)) {
+			t.Fatalf("push %d rejected on non-full ring", i)
+		}
+	}
+	if r.TryPush(payload(0, 99)) {
+		t.Fatal("push accepted on full ring")
+	}
+	for i := 0; i < 8; i++ {
+		v, ok := r.TryPop()
+		if !ok {
+			t.Fatalf("pop %d failed on non-empty ring", i)
+		}
+		if _, seq := decode(t, v); seq != i {
+			t.Fatalf("pop %d: got seq %d, want FIFO order", i, seq)
+		}
+	}
+	if _, ok := r.TryPop(); ok {
+		t.Fatal("pop succeeded on empty ring")
+	}
+	// The ring must be reusable after wrapping.
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 5; i++ {
+			if !r.TryPush(payload(1, i)) {
+				t.Fatalf("round %d: push %d rejected", round, i)
+			}
+		}
+		if got := len(r.Drain(0)); got != 5 {
+			t.Fatalf("round %d: drained %d, want 5", round, got)
+		}
+	}
+}
+
+func TestRingCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{{0, 2}, {1, 2}, {2, 2}, {3, 4}, {5, 8}, {8, 8}, {9, 16}} {
+		if got := NewRing(tc.in).Cap(); got != tc.want {
+			t.Errorf("NewRing(%d).Cap() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestRingMPMCStress is the exchange-ring concurrency stress: 4 producers
+// and 4 consumers (8 goroutines) hammer one deliberately tiny ring, forcing
+// constant wrap-around, full-side rejection and empty-side retries, and the
+// accept/deliver contract is checked exactly: every accepted push is
+// delivered exactly once with an intact payload, and nothing else is ever
+// delivered. Under -race this also exercises the algorithm's publication
+// ordering (slot value written before its sequence number is released).
+func TestRingMPMCStress(t *testing.T) {
+	const (
+		producers = 4
+		consumers = 4
+	)
+	perProd := 5000
+	if testing.Short() {
+		perProd = 1000
+	}
+	r := NewRing(16)
+
+	accepted := make([][]int, producers)
+	var prodWG sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		prodWG.Add(1)
+		go func(p int) {
+			defer prodWG.Done()
+			for seq := 0; seq < perProd; seq++ {
+				if r.TryPush(payload(p, seq)) {
+					accepted[p] = append(accepted[p], seq)
+				}
+			}
+		}(p)
+	}
+
+	var (
+		mu        sync.Mutex
+		delivered = map[string]int{}
+		stop      = make(chan struct{})
+		consWG    sync.WaitGroup
+	)
+	for c := 0; c < consumers; c++ {
+		consWG.Add(1)
+		go func() {
+			defer consWG.Done()
+			local := map[string]int{}
+			flush := func() {
+				mu.Lock()
+				for k, n := range local {
+					delivered[k] += n
+				}
+				mu.Unlock()
+			}
+			for {
+				v, ok := r.TryPop()
+				if ok {
+					p, seq := decode(t, v)
+					local[fmt.Sprintf("%d/%d", p, seq)]++
+					continue
+				}
+				select {
+				case <-stop:
+					// Producers are done and the ring read empty after
+					// that: one final drain, then exit.
+					for {
+						v, ok := r.TryPop()
+						if !ok {
+							flush()
+							return
+						}
+						p, seq := decode(t, v)
+						local[fmt.Sprintf("%d/%d", p, seq)]++
+					}
+				default:
+					runtime.Gosched() // don't starve producers on small GOMAXPROCS
+				}
+			}
+		}()
+	}
+
+	prodWG.Wait()
+	close(stop)
+	consWG.Wait()
+
+	want := map[string]int{}
+	total := 0
+	for p := range accepted {
+		for _, seq := range accepted[p] {
+			want[fmt.Sprintf("%d/%d", p, seq)]++
+			total++
+		}
+	}
+	if total == 0 {
+		t.Fatal("stress accepted zero pushes — contention setup broken")
+	}
+	sum := 0
+	for k, n := range delivered {
+		if want[k] == 0 {
+			t.Fatalf("delivered constraint %s was never accepted", k)
+		}
+		if n != want[k] {
+			t.Fatalf("constraint %s: accepted %d, delivered %d (lost or duplicated)", k, want[k], n)
+		}
+		sum += n
+	}
+	if sum != total {
+		t.Fatalf("delivered %d constraints, accepted %d", sum, total)
+	}
+	t.Logf("accepted and delivered %d/%d pushes through a %d-slot ring", total, producers*perProd, r.Cap())
+}
+
+// TestExchangeGroupIsolation checks the soundness gate: constraints never
+// cross structure groups, and a worker never receives its own exports.
+func TestExchangeGroupIsolation(t *testing.T) {
+	// Workers 0,2 share group 0; workers 1,3 share group 1.
+	e := NewExchange([]int{0, 1, 0, 1}, 8, 8)
+	e.Publish(0, []core.Shared{payload(0, 1)})
+	e.Publish(1, []core.Shared{payload(1, 2)})
+
+	if got := e.Collect(0, 0); len(got) != 0 {
+		t.Fatalf("worker 0 received its own export: %v", got)
+	}
+	if got := e.Collect(2, 0); len(got) != 1 {
+		t.Fatalf("same-group peer got %d constraints, want 1", len(got))
+	}
+	if got := e.Collect(3, 0); len(got) != 1 {
+		t.Fatalf("worker 3 got %d constraints, want 1 (from worker 1)", len(got))
+	} else if p, _ := decode(t, got[0]); p != 1 {
+		t.Fatalf("worker 3 received a cross-group constraint from worker %d", p)
+	}
+	if got := e.Collect(1, 0); len(got) != 0 {
+		t.Fatalf("worker 1 received its own export: %v", got)
+	}
+}
+
+// TestExchangeLengthBound checks that over-long constraints never travel.
+func TestExchangeLengthBound(t *testing.T) {
+	e := NewExchange([]int{0, 0}, 8, 2)
+	long := core.Shared{Lits: []qbf.Lit{qbf.Var(1).PosLit(), qbf.Var(2).PosLit(), qbf.Var(3).PosLit()}}
+	if n := e.Publish(0, []core.Shared{long}); n != 0 {
+		t.Fatalf("over-long constraint accepted by %d inboxes", n)
+	}
+	if n := e.Publish(0, []core.Shared{payload(0, 0)}); n != 1 {
+		t.Fatalf("short constraint accepted by %d inboxes, want 1", n)
+	}
+	exported, dropped := e.Totals()
+	if exported != 1 || dropped != 0 {
+		t.Fatalf("totals = (%d, %d), want (1, 0)", exported, dropped)
+	}
+}
+
+// TestExchangePublishCopies checks that a published constraint is immune to
+// the producer mutating its literal slice afterwards (solvers reuse
+// learned-constraint buffers).
+func TestExchangePublishCopies(t *testing.T) {
+	e := NewExchange([]int{0, 0}, 8, 8)
+	lits := []qbf.Lit{qbf.Var(1).PosLit(), qbf.Var(2).NegLit()}
+	e.Publish(0, []core.Shared{{Lits: lits}})
+	lits[0] = qbf.Var(9).PosLit() // producer reuses its buffer
+	got := e.Collect(1, 0)
+	if len(got) != 1 || got[0].Lits[0] != qbf.Var(1).PosLit() {
+		t.Fatalf("published constraint aliased the producer buffer: %v", got)
+	}
+}

@@ -1,0 +1,101 @@
+package portfolio
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/prenex"
+	"repro/internal/qbf"
+)
+
+// WorkerConfig is one portfolio configuration: which form of the formula
+// the worker solves, with which engine options, and whether it runs as a
+// restart-free node-limit ladder (fresh solver per attempt with a
+// geometrically growing decision budget) instead of a single resumable
+// search.
+type WorkerConfig struct {
+	// Name identifies the configuration in reports and golden output.
+	Name string
+	// Options are the engine options (Mode, learning toggles, ScoreSeed…).
+	// Resource limits are overridden by the portfolio's own budgets.
+	Options core.Options
+	// Prenexed selects solving the prenex conversion of a tree input under
+	// Strategy (required for ModeTotalOrder on non-prenex inputs). On an
+	// already-prenex input it is ignored — every worker then shares one
+	// structure group.
+	Prenexed bool
+	Strategy prenex.Strategy
+	// Relaunch runs the worker as a restart-free node-limit ladder: each
+	// attempt builds a fresh solver with a larger decision budget, so the
+	// heuristic re-ranks from scratch instead of restarting in place —
+	// diversity the resumable workers cannot provide. Relaunched attempts
+	// re-import shared constraints from their group as they run.
+	Relaunch bool
+}
+
+// DefaultSchedule builds n diverse configurations for q, cycling a fixed
+// pattern table with per-index heuristic seeds: the paper's two heuristics
+// (partial order on the tree, total order on prenex conversions under
+// different strategies), learning and pure-literal toggles, and
+// restart-free relaunch ladders. Worker 0 is always the default
+// partial-order configuration — the sequential solver's — so a portfolio
+// of size 1 degenerates exactly to the sequential engine.
+func DefaultSchedule(q *qbf.QBF, n int) []WorkerConfig {
+	if n < 1 {
+		n = 1
+	}
+	prenexInput := q != nil && q.Prefix.IsPrenex()
+	out := make([]WorkerConfig, 0, n)
+	for i := 0; len(out) < n; i++ {
+		var w WorkerConfig
+		switch i % 8 {
+		case 0:
+			w = WorkerConfig{Name: "po-default", Options: core.Options{Mode: core.ModePartialOrder}}
+		case 1:
+			w = WorkerConfig{Name: "to-eu-au", Options: core.Options{Mode: core.ModeTotalOrder},
+				Prenexed: true, Strategy: prenex.EUpAUp}
+		case 2:
+			w = WorkerConfig{Name: "po-nocube", Options: core.Options{Mode: core.ModePartialOrder,
+				DisableCubeLearning: true}}
+		case 3:
+			w = WorkerConfig{Name: "po-relaunch", Options: core.Options{Mode: core.ModePartialOrder},
+				Relaunch: true}
+		case 4:
+			w = WorkerConfig{Name: "to-ed-ad", Options: core.Options{Mode: core.ModeTotalOrder},
+				Prenexed: true, Strategy: prenex.EDownADown}
+		case 5:
+			w = WorkerConfig{Name: "po-nopure", Options: core.Options{Mode: core.ModePartialOrder,
+				DisablePureLiterals: true}}
+		case 6:
+			w = WorkerConfig{Name: "po-seed", Options: core.Options{Mode: core.ModePartialOrder}}
+		case 7:
+			w = WorkerConfig{Name: "to-relaunch", Options: core.Options{Mode: core.ModeTotalOrder},
+				Prenexed: true, Strategy: prenex.EUpADown, Relaunch: true}
+		}
+		if i >= 8 || i%8 == 6 {
+			// Seeded repeats of the pattern table: same inference mix,
+			// different tie-breaking in the branching heuristic.
+			w.Options.ScoreSeed = int64(i + 1)
+			if i >= 8 {
+				w.Name = fmt.Sprintf("%s-s%d", w.Name, i+1)
+			}
+		}
+		if prenexInput {
+			// The input is its own prenex form: total-order workers solve
+			// it directly and every worker shares one structure group.
+			w.Prenexed = false
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// groupKey returns the structure-group identifier of a worker config: the
+// exact quantifier structure the worker solves under. Only workers with
+// equal keys may exchange constraints.
+func (w WorkerConfig) groupKey() string {
+	if w.Prenexed {
+		return "prenex:" + w.Strategy.String()
+	}
+	return "tree"
+}

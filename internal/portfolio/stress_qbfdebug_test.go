@@ -1,0 +1,153 @@
+//go:build qbfdebug
+
+package portfolio
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/qbf"
+	"repro/internal/randqbf"
+)
+
+// TestPortfolioFaultInjectedCancellation injects cancellation mid-solve
+// through the qbfdebug fault hook while constraint sharing is live: a
+// designated worker cancels the whole portfolio at a pseudo-random
+// propagation fixpoint, exactly as an asynchronous stop would land. The
+// run must come back Unknown/StopCancelled (or with a sound verdict when a
+// sibling won the race first) with every import passing the semantic
+// re-derivation oracle that CheckInvariants arms, and a follow-up clean
+// run on the same formula must still agree with the sequential solver —
+// i.e. the torn-down exchange corrupted nothing that outlives the run.
+func TestPortfolioFaultInjectedCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	rounds := 40
+	if testing.Short() {
+		rounds = 10
+	}
+	for round := 0; round < rounds; round++ {
+		q := randqbf.Fixed(int64(round % 6))
+		seqR, _, err := core.Solve(q, core.Options{Mode: core.ModePartialOrder})
+		if err != nil {
+			t.Fatalf("round %d: sequential: %v", round, err)
+		}
+
+		ctx, cancel := context.WithCancel(context.Background())
+		fuse := int64(1 + rng.Intn(400))
+		var fired atomic.Bool
+		cfg := Config{
+			Workers: 6, Share: true, MaxParallel: 2, SliceNodes: 64,
+			Base: core.Options{CheckInvariants: true},
+		}
+		cfg.testSolverHook = func(i, attempt int, s *core.Solver) {
+			if i != round%6 {
+				return
+			}
+			s.SetFaultHook(func(fp int64) {
+				if fp >= fuse && !fired.Swap(true) {
+					cancel()
+				}
+			})
+		}
+		rep, err := Solve(ctx, q, cfg)
+		cancel()
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		switch rep.Result {
+		case core.Unknown:
+			if fired.Load() && rep.Stop != core.StopCancelled {
+				t.Fatalf("round %d: cancelled run stopped with %v", round, rep.Stop)
+			}
+		default:
+			if rep.Result != seqR {
+				t.Fatalf("round %d: racing verdict %v disagrees with sequential %v (winner %s)",
+					round, rep.Result, seqR, rep.WinnerName())
+			}
+		}
+		for _, w := range rep.Workers {
+			if w.Err != nil {
+				t.Fatalf("round %d: worker %s failed: %v", round, w.Name, w.Err)
+			}
+		}
+
+		// The same formula must still solve correctly afterwards: no state
+		// leaked out of the cancelled exchange into the shared input.
+		again := mustSolve(t, q, Config{Workers: 4, Share: true, MaxParallel: 2, SliceNodes: 64,
+			Base: core.Options{CheckInvariants: true}})
+		if again.Result != seqR {
+			t.Fatalf("round %d: post-cancellation rerun says %v, sequential %v", round, again.Result, seqR)
+		}
+	}
+}
+
+// TestPortfolioFaultPanicContainment panics one worker mid-solve (through
+// the fault hook) and requires the portfolio to contain it: the failing
+// worker reports a PanicError, every other worker races on, and the
+// verdict still agrees with the sequential solver.
+func TestPortfolioFaultPanicContainment(t *testing.T) {
+	for round := 0; round < 6; round++ {
+		q := randqbf.Fixed(int64(round))
+		seqR, _, err := core.Solve(q, core.Options{Mode: core.ModePartialOrder})
+		if err != nil {
+			t.Fatalf("round %d: sequential: %v", round, err)
+		}
+		// Deterministic scheduling runs worker 0 first, so its fuse cannot
+		// be defused by a sibling winning the race beforehand.
+		cfg := Config{Workers: 4, Share: true, Deterministic: true, SliceNodes: 64}
+		cfg.testSolverHook = func(i, attempt int, s *core.Solver) {
+			if i == 0 {
+				s.SetFaultHook(func(fp int64) {
+					if fp == 3 {
+						panic("injected portfolio fault")
+					}
+				})
+			}
+		}
+		rep, err := Solve(context.Background(), q, cfg)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if rep.Result != seqR {
+			t.Fatalf("round %d: verdict %v != sequential %v", round, rep.Result, seqR)
+		}
+		w0 := rep.Workers[0]
+		if w0.Err == nil {
+			t.Fatalf("round %d: injected panic vanished (worker report %+v)", round, w0)
+		}
+		var pe *core.PanicError
+		if !errors.As(w0.Err, &pe) {
+			t.Fatalf("round %d: worker error %v is not a PanicError", round, w0.Err)
+		}
+		if rep.Winner == 0 {
+			t.Fatalf("round %d: panicked worker won", round)
+		}
+	}
+}
+
+// TestPortfolioImportOracleUnderStress runs sharing-heavy portfolios with
+// the import oracle armed on small formulas: every imported constraint is
+// re-derived semantically (share_qbfdebug.go), so a single unsound share
+// fails the run loudly.
+func TestPortfolioImportOracleUnderStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	n := 40
+	if testing.Short() {
+		n = 10
+	}
+	for i := 0; i < n; i++ {
+		q := qbf.RandomQBF(rng, 12, 16)
+		rep := mustSolve(t, q, Config{Workers: 6, Share: true, MaxParallel: 3, SliceNodes: 32,
+			Base: core.Options{CheckInvariants: true}})
+		if rep.Result == core.Unknown {
+			t.Fatalf("instance %d: unlimited run came back Unknown (stop %v)", i, rep.Stop)
+		}
+		if want, ok := qbf.EvalWithBudget(q, 2_000_000); ok && (rep.Result == core.True) != want {
+			t.Fatalf("instance %d: %v disagrees with oracle", i, rep.Result)
+		}
+	}
+}

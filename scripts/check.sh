@@ -5,13 +5,19 @@
 #   1. go build            (everything compiles, including qbfdebug)
 #   2. go vet              (stock static analysis)
 #   3. gofmt check         (no unformatted files)
-#   4. qbflint             (project-specific rules L1-L5, see DESIGN.md §6)
-#   5. go test -race       (full suite under the race detector)
-#   6. go test -tags qbfdebug ./internal/core/... ./internal/bench/...
-#                          (solver + harness suites with deep invariant
-#                          checking and the fault-injection hook live)
+#   4. qbflint             (project-specific rules L1-L6, see DESIGN.md §6)
+#   5. go test -race       (full suite under the race detector, including
+#                          the portfolio differential and metamorphic
+#                          layers and the exchange-ring stress tests)
+#   6. go test -tags qbfdebug -race
+#                          (solver + harness + portfolio suites with deep
+#                          invariant checking, import oracle re-derivation,
+#                          and the fault-injection hook live)
 #   7. go test -fuzz smoke (5s fuzz of the QDIMACS/QTREE reader; the
 #                          checked-in corpus replays in step 5 already)
+#   8. bench_portfolio     (portfolio-vs-sequential smoke campaign; writes
+#                          results/BENCH_portfolio.json and fails on any
+#                          verdict disagreement)
 #
 # Exits non-zero at the first failing step. Run from anywhere inside the
 # repository.
@@ -42,10 +48,13 @@ go run ./cmd/qbflint ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
-echo "==> go test -tags qbfdebug ./internal/core/... ./internal/bench/..."
-go test -tags qbfdebug ./internal/core/... ./internal/bench/...
+echo "==> go test -tags qbfdebug -race ./internal/core/... ./internal/bench/... ./internal/portfolio/..."
+go test -tags qbfdebug -race ./internal/core/... ./internal/bench/... ./internal/portfolio/...
 
 echo "==> go test -fuzz=FuzzRead -fuzztime=5s ./internal/qdimacs/"
 go test -run '^$' -fuzz=FuzzRead -fuzztime=5s ./internal/qdimacs/
+
+echo "==> bench_portfolio smoke (results/BENCH_portfolio.json)"
+go run ./cmd/qbfbench -suite portfolio -scale smoke -out results
 
 echo "All checks passed."
