@@ -12,6 +12,7 @@ package repro
 // produced by cmd/qbfbench and recorded in EXPERIMENTS.md.
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -85,7 +86,7 @@ func benchTableRow(b *testing.B, insts []bench.Instance, strategy prenex.Strateg
 	}
 	b.ReportMetric(float64(len(insts)), "instances")
 	for i := 0; i < b.N; i++ {
-		results := bench.RunSuite(insts, benchCfg)
+		results := bench.RunSuite(context.Background(), insts, benchCfg)
 		row := bench.Aggregate("bench", results, strategy, bench.ScaleSmoke.Margin())
 		if row.Total != len(insts) {
 			b.Fatalf("aggregated %d of %d", row.Total, len(insts))
@@ -114,7 +115,7 @@ func BenchmarkTableI_FIXED(b *testing.B) { benchTableRow(b, fixedSet(), prenex.E
 func BenchmarkFig3_NCFScatter(b *testing.B) {
 	insts := ncfSet()
 	for i := 0; i < b.N; i++ {
-		results := bench.RunSuite(insts, benchCfg)
+		results := bench.RunSuite(context.Background(), insts, benchCfg)
 		pts := bench.MedianScatter(results, prenex.EUpAUp, true)
 		if len(pts) == 0 {
 			b.Fatal("no scatter points")
@@ -126,7 +127,7 @@ func BenchmarkFig3_NCFScatter(b *testing.B) {
 func BenchmarkFig4_FPVScatter(b *testing.B) {
 	insts := fpvSet()
 	for i := 0; i < b.N; i++ {
-		results := bench.RunSuite(insts, benchCfg)
+		results := bench.RunSuite(context.Background(), insts, benchCfg)
 		if pts := bench.Scatter(results, prenex.EUpAUp, false); len(pts) != len(insts) {
 			b.Fatal("scatter size mismatch")
 		}
@@ -137,7 +138,7 @@ func BenchmarkFig4_FPVScatter(b *testing.B) {
 func BenchmarkFig5_DIAScatter(b *testing.B) {
 	insts := diaSet()
 	for i := 0; i < b.N; i++ {
-		results := bench.RunSuite(insts, benchCfg)
+		results := bench.RunSuite(context.Background(), insts, benchCfg)
 		if pts := bench.Scatter(results, prenex.EUpAUp, false); len(pts) != len(insts) {
 			b.Fatal("scatter size mismatch")
 		}
@@ -181,7 +182,7 @@ func BenchmarkFig7_EvalScatter(b *testing.B) {
 		b.Skip("eval suites empty at smoke scale")
 	}
 	for i := 0; i < b.N; i++ {
-		results := bench.RunSuite(insts, benchCfg)
+		results := bench.RunSuite(context.Background(), insts, benchCfg)
 		if pts := bench.Scatter(results, prenex.EUpAUp, false); len(pts) != len(insts) {
 			b.Fatal("scatter size mismatch")
 		}
@@ -217,14 +218,14 @@ func BenchmarkAblation_DiaCoarse(b *testing.B) {
 func BenchmarkAblation_CubeLearningOn(b *testing.B) {
 	phi := dia.Phi(models.Semaphore(2), 2)
 	for i := 0; i < b.N; i++ {
-		core.MustSolve(phi, core.Options{})
+		core.MustSolve(context.Background(), phi, core.Options{})
 	}
 }
 
 func BenchmarkAblation_CubeLearningOff(b *testing.B) {
 	phi := dia.Phi(models.Semaphore(2), 2)
 	for i := 0; i < b.N; i++ {
-		core.MustSolve(phi, core.Options{DisableCubeLearning: true})
+		core.MustSolve(context.Background(), phi, core.Options{DisableCubeLearning: true})
 	}
 }
 
@@ -232,14 +233,14 @@ func BenchmarkAblation_CubeLearningOff(b *testing.B) {
 func BenchmarkAblation_ClauseLearningOn(b *testing.B) {
 	phi := dia.Phi(models.DME(3), 3) // n = diameter: false
 	for i := 0; i < b.N; i++ {
-		core.MustSolve(phi, core.Options{})
+		core.MustSolve(context.Background(), phi, core.Options{})
 	}
 }
 
 func BenchmarkAblation_ClauseLearningOff(b *testing.B) {
 	phi := dia.Phi(models.DME(3), 3)
 	for i := 0; i < b.N; i++ {
-		core.MustSolve(phi, core.Options{DisableClauseLearning: true})
+		core.MustSolve(context.Background(), phi, core.Options{DisableClauseLearning: true})
 	}
 }
 
@@ -247,14 +248,14 @@ func BenchmarkAblation_ClauseLearningOff(b *testing.B) {
 func BenchmarkAblation_PureOn(b *testing.B) {
 	q := ncf.Generate(ncf.Params{Dep: 4, Var: 8, Cls: 16, Lpc: 3, Seed: 3})
 	for i := 0; i < b.N; i++ {
-		core.MustSolve(q, core.Options{})
+		core.MustSolve(context.Background(), q, core.Options{})
 	}
 }
 
 func BenchmarkAblation_PureOff(b *testing.B) {
 	q := ncf.Generate(ncf.Params{Dep: 4, Var: 8, Cls: 16, Lpc: 3, Seed: 3})
 	for i := 0; i < b.N; i++ {
-		core.MustSolve(q, core.Options{DisablePureLiterals: true})
+		core.MustSolve(context.Background(), q, core.Options{DisablePureLiterals: true})
 	}
 }
 

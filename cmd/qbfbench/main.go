@@ -42,6 +42,7 @@ import (
 	"repro/internal/dia"
 	"repro/internal/models"
 	"repro/internal/prenex"
+	"repro/internal/telemetry"
 )
 
 // plotFigures enables ASCII figure rendering (the -plot flag).
@@ -61,6 +62,9 @@ func main() {
 	plot := flag.Bool("plot", false, "render ASCII versions of the figures to stdout")
 	pWorkers := flag.Int("pworkers", 4, "portfolio suite: racing configurations per instance")
 	share := flag.Bool("share", true, "portfolio suite: exchange learned constraints between workers")
+	tracePath := flag.String("trace", "", "write a JSONL solver-event trace to FILE (summarize with `qbfstat trace FILE`)")
+	metricsAddr := flag.String("metrics-addr", "", "serve expvar event counters and pprof on ADDR while the campaign runs")
+	profile := flag.String("profile", "", "capture CPU and heap profiles to PREFIX.cpu.pprof / PREFIX.heap.pprof")
 	flag.Parse()
 	plotFigures = *plot
 
@@ -79,31 +83,40 @@ func main() {
 	// so far are kept, and qbfbench exits 130 after reporting them.
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
+	obs, err := telemetry.Setup(*tracePath, *metricsAddr, *profile)
+	if err != nil {
+		fail(err)
+	}
+	if obs.Addr != "" {
+		fmt.Fprintf(os.Stderr, "qbfbench: metrics and pprof at http://%s/debug/\n", obs.Addr)
+	}
 	cfg := bench.Config{
 		Timeout:  scale.Timeout,
 		MemLimit: *mem << 20,
 		Workers:  *workers,
 		Retry:    bench.RetryPolicy{Attempts: *retries},
-		Context:  ctx,
+		SolverOptions: core.Options{
+			Telemetry: obs.Tracer,
+		},
 	}
 
 	var rows []bench.TableRow
 	run := func(name string) {
 		switch name {
 		case "ncf":
-			rows = append(rows, runNCF(scale, cfg, *outDir)...)
+			rows = append(rows, runNCF(ctx, scale, cfg, *outDir)...)
 		case "fpv":
-			rows = append(rows, runSimple("FPV", bench.FPVSuite(scale), scale, cfg, filepath.Join(*outDir, "fig4_fpv_scatter.csv")))
+			rows = append(rows, runSimple(ctx, "FPV", bench.FPVSuite(scale), scale, cfg, filepath.Join(*outDir, "fig4_fpv_scatter.csv")))
 		case "dia":
-			rows = append(rows, runSimple("DIA", bench.DIASuite(scale), scale, cfg, filepath.Join(*outDir, "fig5_dia_scatter.csv")))
+			rows = append(rows, runSimple(ctx, "DIA", bench.DIASuite(scale), scale, cfg, filepath.Join(*outDir, "fig5_dia_scatter.csv")))
 		case "prob":
-			rows = append(rows, runSimple("PROB", bench.EvalSuite(scale, false), scale, cfg, filepath.Join(*outDir, "fig7_prob_scatter.csv")))
+			rows = append(rows, runSimple(ctx, "PROB", bench.EvalSuite(scale, false), scale, cfg, filepath.Join(*outDir, "fig7_prob_scatter.csv")))
 		case "fixed":
-			rows = append(rows, runSimple("FIXED", bench.EvalSuite(scale, true), scale, cfg, filepath.Join(*outDir, "fig7_fixed_scatter.csv")))
+			rows = append(rows, runSimple(ctx, "FIXED", bench.EvalSuite(scale, true), scale, cfg, filepath.Join(*outDir, "fig7_fixed_scatter.csv")))
 		case "scaling":
 			runScaling(scale, *outDir)
 		case "portfolio":
-			runPortfolioSuite(cfg, *pWorkers, *share, *outDir)
+			runPortfolioSuite(ctx, cfg, *pWorkers, *share, *outDir)
 		default:
 			fail(fmt.Errorf("unknown suite %q", name))
 		}
@@ -119,6 +132,11 @@ func main() {
 	if len(rows) > 0 {
 		fmt.Println("\nTable I (regenerated, scaled):")
 		bench.WriteTable(os.Stdout, rows)
+	}
+	// os.Exit skips deferred calls, so flush the trace/profiles explicitly
+	// before every exit path.
+	if err := obs.Finish(); err != nil {
+		fmt.Fprintln(os.Stderr, "qbfbench:", err)
 	}
 	if ctx.Err() != nil {
 		fmt.Fprintln(os.Stderr, "qbfbench: interrupted — tables and CSVs above are partial")
@@ -153,12 +171,12 @@ func pickScale(name string) (bench.Scale, error) {
 
 // runNCF reproduces Table I rows 1–4 (one per strategy) and the Figure 3
 // median scatter against QUBE(TO)*.
-func runNCF(scale bench.Scale, cfg bench.Config, outDir string) []bench.TableRow {
+func runNCF(ctx context.Context, scale bench.Scale, cfg bench.Config, outDir string) []bench.TableRow {
 	insts := bench.NCFSuite(scale)
 	fmt.Printf("NCF: %d instances × (1 PO + 4 TO) solves, budget %v each\n",
 		len(insts), cfg.Timeout)
 	start := time.Now()
-	results := bench.RunSuite(insts, cfg)
+	results := bench.RunSuite(ctx, insts, cfg)
 	fmt.Printf("NCF done in %v\n", time.Since(start).Round(time.Second))
 	reportFailures(results)
 
@@ -172,10 +190,10 @@ func runNCF(scale bench.Scale, cfg bench.Config, outDir string) []bench.TableRow
 }
 
 // runSimple handles the single-strategy suites (FPV, DIA, PROB, FIXED).
-func runSimple(name string, insts []bench.Instance, scale bench.Scale, cfg bench.Config, csvPath string) bench.TableRow {
+func runSimple(ctx context.Context, name string, insts []bench.Instance, scale bench.Scale, cfg bench.Config, csvPath string) bench.TableRow {
 	fmt.Printf("%s: %d instances, budget %v each\n", name, len(insts), cfg.Timeout)
 	start := time.Now()
-	results := bench.RunSuite(insts, cfg)
+	results := bench.RunSuite(ctx, insts, cfg)
 	fmt.Printf("%s done in %v\n", name, time.Since(start).Round(time.Second))
 	reportFailures(results)
 	writeCSV(csvPath, bench.Scatter(results, prenex.EUpAUp, false))

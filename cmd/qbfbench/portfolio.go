@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -59,13 +60,13 @@ type portfolioReportInstance struct {
 // runPortfolioSuite compares the sequential engine against the portfolio
 // backend on the curated suite and writes BENCH_portfolio.json. A verdict
 // disagreement is a soundness failure and fails the campaign.
-func runPortfolioSuite(cfg bench.Config, pWorkers int, share bool, outDir string) {
+func runPortfolioSuite(ctx context.Context, cfg bench.Config, pWorkers int, share bool, outDir string) {
 	insts := portfolioSuite()
 	fmt.Printf("PORTFOLIO: %d instances, sequential PO vs %d-worker portfolio (share=%v), budget %v each\n",
 		len(insts), pWorkers, share, cfg.Timeout)
-	backend := portfolio.BackendFunc(portfolio.Config{Workers: pWorkers, Share: share})
+	backend := portfolio.BackendFunc(portfolio.Options{Workers: pWorkers, Share: share})
 	start := time.Now()
-	cs := bench.CompareBackends(insts, cfg, backend)
+	cs := bench.CompareBackends(ctx, insts, cfg, backend)
 	fmt.Printf("PORTFOLIO done in %v\n", time.Since(start).Round(time.Millisecond))
 
 	sum := bench.Summarize(cs)

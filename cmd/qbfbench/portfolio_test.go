@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -36,7 +37,7 @@ func TestRunPortfolioSuiteReport(t *testing.T) {
 	}
 	dir := t.TempDir()
 	failuresBefore := campaignFailures
-	runPortfolioSuite(bench.Config{Timeout: 20 * time.Second}, 4, true, dir)
+	runPortfolioSuite(context.Background(), bench.Config{Timeout: 20 * time.Second}, 4, true, dir)
 	if campaignFailures != failuresBefore {
 		t.Fatalf("campaign recorded %d disagreement(s)", campaignFailures-failuresBefore)
 	}

@@ -8,6 +8,11 @@
 //
 //	qbfsolve [flags] [file.qdimacs]
 //
+// Observability: -trace FILE streams every solver event (decisions,
+// conflicts, learning, imports, …) as JSONL for `qbfstat trace`;
+// -metrics-addr serves expvar event counters and pprof endpoints over
+// HTTP while solving; -profile PREFIX captures CPU and heap profiles.
+//
 // Exit status: 10 when the formula is TRUE, 20 when FALSE (the SAT solver
 // convention), 1 on errors. A governed stop exits with a code naming the
 // stop reason: 30 timeout, 31 node limit, 32 memory limit, 33 cancelled
@@ -29,6 +34,8 @@ import (
 	"repro/internal/prenex"
 	"repro/internal/qbf"
 	"repro/internal/qdimacs"
+	"repro/internal/result"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -47,6 +54,9 @@ func main() {
 	workers := flag.Int("workers", 0, "portfolio size (implies -portfolio when > 1; 0 = 4 with -portfolio)")
 	share := flag.Bool("share", false, "portfolio: exchange short learned constraints between same-structure workers")
 	det := flag.Bool("det", false, "portfolio: deterministic scheduling (serialized, reproducible winner)")
+	tracePath := flag.String("trace", "", "write a JSONL event trace to FILE (summarize with `qbfstat trace FILE`)")
+	metricsAddr := flag.String("metrics-addr", "", "serve expvar event counters and pprof on ADDR (e.g. localhost:6060) while solving")
+	profile := flag.String("profile", "", "capture CPU and heap profiles to PREFIX.cpu.pprof / PREFIX.heap.pprof")
 	flag.Parse()
 
 	q, err := readInput(flag.Arg(0))
@@ -57,6 +67,11 @@ func main() {
 		q = prenex.Miniscope(q)
 	}
 
+	obs, err := setupObservability(*tracePath, *metricsAddr, *profile)
+	if err != nil {
+		fail(err)
+	}
+
 	opt := core.Options{
 		TimeLimit:             *timeout,
 		NodeLimit:             *nodes,
@@ -64,9 +79,10 @@ func main() {
 		DisableClauseLearning: *noCl,
 		DisableCubeLearning:   *noCu,
 		DisablePureLiterals:   *noPure,
+		Telemetry:             obs.Tracer,
 	}
 	if *usePortfolio || *workers > 1 {
-		runPortfolio(q, opt, *workers, *share, *det, *stats, *witness)
+		runPortfolio(q, opt, *workers, *share, *det, *stats, *witness, obs)
 		return
 	}
 	switch *mode {
@@ -94,8 +110,9 @@ func main() {
 	// statistics intact instead of the process dying mid-search.
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
-	r, solveErr := solver.SafeSolveContext(ctx)
+	r, solveErr := solver.SafeSolve(ctx)
 	st := solver.Stats()
+	finishObservability(obs)
 	fmt.Println(r)
 	if solveErr != nil {
 		fmt.Fprintln(os.Stderr, "qbfsolve: solver panic contained:", solveErr)
@@ -114,17 +131,19 @@ func main() {
 			st.Solutions, st.LearnedClauses, st.LearnedCubes, st.Backjumps,
 			st.Restarts, st.Fixpoints, st.PeakLearnedBytes, st.MemReductions, st.Time)
 	}
-	os.Exit(exitCode(r, st.StopReason))
+	os.Exit(result.ExitCode(r, st.StopReason))
 }
 
 // runPortfolio decides q by racing diverse configurations. The -mode and
 // -strategy flags are ignored: the schedule spans both modes and every
 // prenexing strategy on its own. Limits and learning toggles from the
-// sequential flags become the portfolio's shared budgets and base options.
-func runPortfolio(q *qbf.QBF, base core.Options, workers int, share, det, stats, witness bool) {
+// sequential flags become the portfolio's shared budgets and base options;
+// the telemetry tracer on base is forked per worker, so every trace event
+// carries its worker index and structure group.
+func runPortfolio(q *qbf.QBF, base core.Options, workers int, share, det, stats, witness bool, obs *telemetry.Observability) {
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
-	rep, err := portfolio.Solve(ctx, q, portfolio.Config{
+	rep, err := portfolio.Solve(ctx, q, portfolio.Options{
 		Workers:       workers,
 		Share:         share,
 		Deterministic: det,
@@ -133,15 +152,16 @@ func runPortfolio(q *qbf.QBF, base core.Options, workers int, share, det, stats,
 	if err != nil {
 		fail(err)
 	}
-	fmt.Println(rep.Result)
+	finishObservability(obs)
+	fmt.Println(rep.Verdict)
 	stop := rep.Stop
 	if perr := rep.Err(); perr != nil {
 		fmt.Fprintln(os.Stderr, "qbfsolve: portfolio failed:", perr)
 		stop = core.StopPanicked
-	} else if rep.Result == core.Unknown && stop != core.StopNone {
+	} else if rep.Verdict == core.Unknown && stop != core.StopNone {
 		fmt.Fprintf(os.Stderr, "qbfsolve: stopped: %v\n", stop)
 	}
-	if witness && rep.Result == core.True {
+	if witness && rep.Verdict == core.True {
 		if rep.Witness != nil {
 			printWitness(rep.Witness, q.MaxVar())
 		} else {
@@ -160,7 +180,7 @@ func runPortfolio(q *qbf.QBF, base core.Options, workers int, share, det, stats,
 			}
 			fmt.Fprintf(os.Stderr,
 				"worker %d %s: result=%v attempts=%d decisions=%d conflicts=%d solutions=%d imports=%d\n",
-				i, w.Name, w.Result, w.Attempts, w.Stats.Decisions, w.Stats.Conflicts,
+				i, w.Name, w.Verdict, w.Attempts, w.Stats.Decisions, w.Stats.Conflicts,
 				w.Stats.Solutions, w.Imported)
 		}
 		fmt.Fprintf(os.Stderr,
@@ -169,7 +189,28 @@ func runPortfolio(q *qbf.QBF, base core.Options, workers int, share, det, stats,
 			st.Solutions, st.LearnedClauses, st.LearnedCubes, st.Backjumps,
 			st.Restarts, st.Fixpoints, st.PeakLearnedBytes, st.MemReductions, st.Time)
 	}
-	os.Exit(exitCode(rep.Result, stop))
+	os.Exit(result.ExitCode(rep.Verdict, stop))
+}
+
+// setupObservability wires the exporters requested by the -trace,
+// -metrics-addr and -profile flags. finishObservability must run before
+// the process exits (os.Exit skips deferred calls, so main calls it
+// explicitly).
+func setupObservability(tracePath, metricsAddr, profilePrefix string) (*telemetry.Observability, error) {
+	obs, err := telemetry.Setup(tracePath, metricsAddr, profilePrefix)
+	if err != nil {
+		return nil, err
+	}
+	if obs.Addr != "" {
+		fmt.Fprintf(os.Stderr, "qbfsolve: metrics and pprof at http://%s/debug/\n", obs.Addr)
+	}
+	return obs, nil
+}
+
+func finishObservability(obs *telemetry.Observability) {
+	if err := obs.Finish(); err != nil {
+		fmt.Fprintln(os.Stderr, "qbfsolve:", err)
+	}
 }
 
 func countRan(ws []portfolio.WorkerReport) int {
@@ -194,30 +235,6 @@ func printWitness(model map[qbf.Var]bool, maxVar int) {
 		}
 	}
 	fmt.Println(" 0")
-}
-
-// exitCode maps the result (and, for UNKNOWN, the stop reason) to the
-// documented exit status.
-func exitCode(r core.Result, stop core.StopReason) int {
-	switch r {
-	case core.True:
-		return 10
-	case core.False:
-		return 20
-	}
-	switch stop {
-	case core.StopTimeout:
-		return 30
-	case core.StopNodeLimit:
-		return 31
-	case core.StopMemLimit:
-		return 32
-	case core.StopCancelled:
-		return 33
-	case core.StopPanicked:
-		return 34
-	}
-	return 1
 }
 
 func readInput(path string) (*qbf.QBF, error) {

@@ -7,6 +7,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -14,6 +15,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/qdimacs"
 	"repro/internal/randqbf"
+	"repro/internal/result"
+	"repro/internal/telemetry"
 )
 
 // The CLI tests run qbfsolve end to end: the test binary re-executes itself
@@ -192,7 +195,7 @@ func TestCLIInterrupt(t *testing.T) {
 // a multi-MiB learned database; a contained panic needs a fault build).
 func TestExitCodeMapping(t *testing.T) {
 	cases := []struct {
-		r    core.Result
+		v    core.Verdict
 		stop core.StopReason
 		want int
 	}{
@@ -207,8 +210,8 @@ func TestExitCodeMapping(t *testing.T) {
 		{core.Unknown, core.StopNone, 1},
 	}
 	for _, c := range cases {
-		if got := exitCode(c.r, c.stop); got != c.want {
-			t.Errorf("exitCode(%v, %v) = %d, want %d", c.r, c.stop, got, c.want)
+		if got := result.ExitCode(c.v, c.stop); got != c.want {
+			t.Errorf("ExitCode(%v, %v) = %d, want %d", c.v, c.stop, got, c.want)
 		}
 	}
 }
@@ -256,4 +259,78 @@ func TestCLIGoldenStats(t *testing.T) {
 		t.Fatalf("deterministic portfolio stats %q: want worker 0 to win on a trivial instance", stderr)
 	}
 	checkGolden(t, "portfolio_stats_tree.golden", stderr)
+}
+
+// TestCLITraceJSONL runs -trace end to end on the deterministic portfolio
+// and cross-checks the JSONL artifact against the -stats counters: every
+// required event kind is present, per-kind counts match the search
+// statistics, and every event carries a worker tag.
+func TestCLITraceJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	_, stderr, code := runCLI(t, "-portfolio", "-det", "-share", "-stats", "-trace", path, "testdata/false.qdimacs")
+	if code != 20 {
+		t.Fatalf("exit %d, want 20\nstderr: %s", code, stderr)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sum, err := telemetry.Summarize(f)
+	if err != nil {
+		t.Fatalf("trace does not replay: %v", err)
+	}
+	for _, kind := range []telemetry.Kind{telemetry.KindDecision, telemetry.KindConflict,
+		telemetry.KindLearn, telemetry.KindSlice, telemetry.KindStop} {
+		if sum.ByKind[kind] == 0 {
+			t.Errorf("trace has no %q events: %v", kind, sum.ByKind)
+		}
+	}
+	if len(sum.ByWorker) == 0 {
+		t.Error("no event carries a worker tag")
+	}
+	// The stderr counters and the trace describe the same run.
+	for _, c := range []struct {
+		field string
+		kind  telemetry.Kind
+	}{{"decisions", telemetry.KindDecision}, {"conflicts", telemetry.KindConflict}, {"fixpoints", telemetry.KindFixpoint}} {
+		m := regexp.MustCompile(c.field + `=(\d+)`).FindStringSubmatch(stderr)
+		if m == nil {
+			t.Fatalf("stats line lacks %s=: %q", c.field, stderr)
+		}
+		if want := m[1]; strconv.FormatInt(sum.ByKind[c.kind], 10) != want {
+			t.Errorf("%s: stats say %s, trace has %d", c.field, want, sum.ByKind[c.kind])
+		}
+	}
+}
+
+// TestCLITraceSequential covers the non-portfolio path: the root tracer
+// (no worker fork) must still produce a replayable trace ending in a stop
+// event that encodes the verdict.
+func TestCLITraceSequential(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	_, _, code := runCLI(t, "-trace", path, "testdata/true.qdimacs")
+	if code != 10 {
+		t.Fatalf("exit %d, want 10", code)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var last telemetry.Event
+	n := 0
+	if err := telemetry.ReadEvents(f, func(e telemetry.Event) error {
+		last = e
+		n++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("empty trace")
+	}
+	if last.Kind != telemetry.KindStop || last.A != int64(core.True) {
+		t.Fatalf("last event %+v, want a stop carrying the TRUE verdict", last)
+	}
 }

@@ -4,9 +4,14 @@
 // miniscoping and preprocessing. With -dot it emits the quantifier tree in
 // Graphviz format instead.
 //
+// The trace subcommand summarizes a JSONL solver-event trace written by
+// qbfsolve/qbfbench with -trace: total events, per-kind and per-worker
+// counts, and the decision distribution over prefix depth.
+//
 // Usage:
 //
 //	qbfstat [-miniscope] [-preprocess] [-dot] [file]
+//	qbfstat trace [trace.jsonl]
 package main
 
 import (
@@ -19,9 +24,14 @@ import (
 	"repro/internal/preprocess"
 	"repro/internal/qbf"
 	"repro/internal/qdimacs"
+	"repro/internal/telemetry"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		runTrace(os.Args[2:])
+		return
+	}
 	doMini := flag.Bool("miniscope", false, "also report the miniscoped form")
 	doPrep := flag.Bool("preprocess", false, "also report the preprocessed form")
 	doDot := flag.Bool("dot", false, "emit the quantifier tree as Graphviz DOT and exit")
@@ -74,6 +84,33 @@ func main() {
 				res.TautologiesGone, res.DuplicatesGone, res.Subsumed)
 		}
 	}
+}
+
+// runTrace implements `qbfstat trace [file]`: replay a JSONL event trace
+// and print its summary. A corrupt line (truncated write, unknown event
+// kind) fails with its line number rather than summarizing silently
+// wrong numbers.
+func runTrace(args []string) {
+	fs := flag.NewFlagSet("qbfstat trace", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: qbfstat trace [trace.jsonl]")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	in := os.Stdin
+	if path := fs.Arg(0); path != "" && path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	sum, err := telemetry.Summarize(in)
+	if err != nil {
+		fail(err)
+	}
+	sum.WriteText(os.Stdout)
 }
 
 func report(label string, q *qbf.QBF) {

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// The CLI tests re-execute the test binary as qbfstat (TestMain dispatches
+// to main when the marker variable is set), mirroring the qbfsolve harness.
+
+func TestMain(m *testing.M) {
+	if os.Getenv("QBFSTAT_TEST_RUN_MAIN") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+func runCLI(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "QBFSTAT_TEST_RUN_MAIN=1")
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	err := cmd.Run()
+	code = 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("re-exec failed: %v", err)
+	}
+	return out.String(), errb.String(), code
+}
+
+// TestTraceRoundTrip emits a known mix of events through the JSONL sink and
+// checks that `qbfstat trace` replays exactly those counts: the emit side
+// and the replay side agree on the wire format.
+func TestTraceRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := telemetry.NewJSONLSink(f)
+	tr := telemetry.New(sink, nil)
+	counts := map[telemetry.Kind]int{
+		telemetry.KindDecision: 7,
+		telemetry.KindConflict: 3,
+		telemetry.KindLearn:    3,
+		telemetry.KindImport:   2,
+		telemetry.KindStop:     1,
+	}
+	for w := int32(0); w < 2; w++ {
+		wt := tr.Fork(int(w), 0)
+		for kind, n := range counts {
+			for i := 0; i < n; i++ {
+				wt.Emit(kind, i, 1+i%3, int64(i), 0)
+			}
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	stdout, stderr, code := runCLI(t, "trace", path)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, stderr)
+	}
+	total := 0
+	for kind, n := range counts {
+		total += 2 * n
+		want := fmt.Sprintf("%-10s %d", kind, 2*n)
+		if !strings.Contains(stdout, want) {
+			t.Errorf("summary lacks %q:\n%s", want, stdout)
+		}
+	}
+	if want := fmt.Sprintf("events=%d workers=2", total); !strings.Contains(stdout, want) {
+		t.Errorf("summary lacks %q:\n%s", want, stdout)
+	}
+	for w := 0; w < 2; w++ {
+		want := fmt.Sprintf("worker %-3d %d", w, total/2)
+		if !strings.Contains(stdout, want) {
+			t.Errorf("summary lacks %q:\n%s", want, stdout)
+		}
+	}
+}
+
+// TestTraceRejectsCorruptInput: a truncated line must fail with a
+// positioned error, not a silently wrong summary.
+func TestTraceRejectsCorruptInput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.jsonl")
+	content := `{"t":1,"ev":"decision","w":0,"g":0,"lvl":1,"d":1,"a":5,"b":0}` + "\n" + `{"t":2,"ev":"dec`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stderr, code := runCLI(t, "trace", path)
+	if code != 1 || !strings.Contains(stderr, "line 2") {
+		t.Fatalf("exit %d stderr %q, want exit 1 naming line 2", code, stderr)
+	}
+}
+
+// TestStructuralReportStillWorks guards the subcommand dispatch: plain
+// instance statistics must be unaffected by the trace subcommand.
+func TestStructuralReportStillWorks(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.qdimacs")
+	qdimacs := "p cnf 2 2\na 1 0\ne 2 0\n1 2 0\n-1 2 0\n"
+	if err := os.WriteFile(path, []byte(qdimacs), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout, stderr, code := runCLI(t, path)
+	if code != 0 || !strings.Contains(stdout, "input: vars=2") {
+		t.Fatalf("exit %d stdout %q stderr %q, want a structural report", code, stdout, stderr)
+	}
+}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -30,18 +31,20 @@ func main() {
 		opt := core.Options{TimeLimit: 10 * time.Second}
 		opt.Mode = core.ModePartialOrder
 		start := time.Now()
-		rPO, _, err := core.Solve(tree, opt)
+		resPO, err := core.Solve(context.Background(), tree, opt)
 		if err != nil {
 			log.Fatal(err)
 		}
+		rPO := resPO.Verdict
 		dPO := time.Since(start)
 
 		opt.Mode = core.ModeTotalOrder
 		start = time.Now()
-		rTO, _, err := core.Solve(original, opt)
+		resTO, err := core.Solve(context.Background(), original, opt)
 		if err != nil {
 			log.Fatal(err)
 		}
+		rTO := resTO.Verdict
 		dTO := time.Since(start)
 
 		if rPO != core.Unknown && rTO != core.Unknown && rPO != rTO {

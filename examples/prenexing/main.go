@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -47,13 +48,13 @@ func main() {
 		inst.Stats().Vars, inst.Stats().Clauses, inst.Prefix.MaxLevel(),
 		prenex.POTOShare(inst))
 
-	solve := func(q *qbf.QBF, mode core.Mode) (core.Result, time.Duration) {
+	solve := func(q *qbf.QBF, mode core.Mode) (core.Verdict, time.Duration) {
 		start := time.Now()
-		r, _, err := core.Solve(q, core.Options{Mode: mode, TimeLimit: 20 * time.Second})
+		r, err := core.Solve(context.Background(), q, core.Options{Mode: mode, TimeLimit: 20 * time.Second})
 		if err != nil {
 			log.Fatal(err)
 		}
-		return r, time.Since(start)
+		return r.Verdict, time.Since(start)
 	}
 
 	rPO, tPO := solve(inst, core.ModePartialOrder)

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -45,13 +46,13 @@ func main() {
 	// Decide it. The zero Options value runs the full QUBE(PO)
 	// configuration: partial-order heuristic, clause and cube learning,
 	// pure literal fixing.
-	result, stats, err := core.Solve(formula, core.Options{})
+	res, err := core.Solve(context.Background(), formula, core.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("result:", result)
+	fmt.Println("result:", res.Verdict)
 	fmt.Printf("effort: %d decisions, %d propagations, %d learned constraints\n",
-		stats.Decisions, stats.Propagations, stats.LearnedClauses+stats.LearnedCubes)
+		res.Stats.Decisions, res.Stats.Propagations, res.Stats.LearnedClauses+res.Stats.LearnedCubes)
 
 	// Serialize to the QTREE text format and read it back.
 	text, err := qdimacs.WriteString(formula)
@@ -65,9 +66,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	r2, _, err := core.Solve(again, core.Options{})
+	r2, err := core.Solve(context.Background(), again, core.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("\nround-tripped result:", r2)
+	fmt.Println("\nround-tripped result:", r2.Verdict)
 }

@@ -11,26 +11,28 @@ import (
 // SolveBackend abstracts "something that solves a QBF under budget
 // options": the sequential engine, a parallel portfolio, or a test stub.
 // Implementations must honor ctx and the limits in opt, contain their own
-// panics, and return Unknown with a StopReason in Stats on a governed
-// stop. portfolio.BackendFunc adapts a portfolio configuration to this
-// signature.
-type SolveBackend func(ctx context.Context, q *qbf.QBF, opt core.Options) (core.Result, core.Stats, error)
+// panics, and return an Unknown verdict with a StopReason in the result's
+// Stats on a governed stop. It is context-first and returns the unified
+// core.Result, the same shape as core.Solve and core.SafeSolve —
+// SequentialBackend IS core.SafeSolve. portfolio.BackendFunc adapts a
+// portfolio configuration to this signature.
+type SolveBackend func(ctx context.Context, q *qbf.QBF, opt core.Options) (core.Result, error)
 
 // SequentialBackend is the default backend: one core solver per call.
-func SequentialBackend(ctx context.Context, q *qbf.QBF, opt core.Options) (core.Result, core.Stats, error) {
-	return core.SafeSolveContext(ctx, q, opt)
+func SequentialBackend(ctx context.Context, q *qbf.QBF, opt core.Options) (core.Result, error) {
+	return core.SafeSolve(ctx, q, opt)
 }
 
-// RunOneBackend is RunOneContext through an arbitrary backend.
+// RunOneBackend is RunOne through an arbitrary backend.
 func RunOneBackend(ctx context.Context, q *qbf.QBF, opt core.Options, b SolveBackend) Outcome {
 	start := time.Now()
-	r, st, err := b(ctx, q, opt)
+	r, err := b(ctx, q, opt)
 	return Outcome{
-		Result:   r,
-		Stop:     st.StopReason,
-		Timeout:  st.StopReason == core.StopTimeout,
+		Result:   r.Verdict,
+		Stop:     r.Stats.StopReason,
+		Timeout:  r.Stats.StopReason == core.StopTimeout,
 		Time:     time.Since(start),
-		Stats:    st,
+		Stats:    r.Stats,
 		Attempts: 1,
 		Err:      err,
 	}
@@ -72,12 +74,13 @@ type Comparison struct {
 }
 
 // CompareBackends runs the sequential engine (partial-order mode on the
-// tree form) and the given backend on every instance under the same
-// budgets, recording per-instance outcomes, times, and verdict agreement.
-// It is the harness behind the portfolio differential suite and the
-// BENCH_portfolio smoke report.
-func CompareBackends(insts []Instance, cfg Config, backend SolveBackend) []Comparison {
-	ctx := cfg.context()
+// tree form) and the given backend on every instance under ctx and the
+// same budgets, recording per-instance outcomes, times, and verdict
+// agreement. It is the harness behind the portfolio differential suite
+// and the BENCH_portfolio smoke report. A nil ctx falls back to the
+// deprecated cfg.Context, then Background.
+func CompareBackends(ctx context.Context, insts []Instance, cfg Config, backend SolveBackend) []Comparison {
+	ctx = cfg.contextOr(ctx)
 	out := make([]Comparison, len(insts))
 	for i, inst := range insts {
 		seq := runWithRetry(ctx, inst.Tree, cfg.options(core.ModePartialOrder), cfg.Retry)

@@ -27,7 +27,7 @@ func compareInstances(n int) []Instance {
 // against itself must show zero disagreements and identical verdicts.
 func TestCompareBackendsSequentialSelf(t *testing.T) {
 	insts := compareInstances(4)
-	cs := CompareBackends(insts, Config{Timeout: 5 * time.Second}, SequentialBackend)
+	cs := CompareBackends(context.Background(), insts, Config{Timeout: 5 * time.Second}, SequentialBackend)
 	sum := Summarize(cs)
 	if sum.Disagreements != 0 {
 		t.Fatalf("sequential self-comparison disagrees: %+v", sum)
@@ -47,10 +47,10 @@ func TestCompareBackendsSequentialSelf(t *testing.T) {
 // and all instances decided.
 func TestCompareBackendsPortfolio(t *testing.T) {
 	insts := compareInstances(6)
-	backend := portfolio.BackendFunc(portfolio.Config{
+	backend := portfolio.BackendFunc(portfolio.Options{
 		Workers: 4, Share: true, Deterministic: true,
 	})
-	cs := CompareBackends(insts, Config{Timeout: 10 * time.Second}, backend)
+	cs := CompareBackends(context.Background(), insts, Config{Timeout: 10 * time.Second}, backend)
 	sum := Summarize(cs)
 	if sum.Disagreements != 0 {
 		for _, c := range cs {
@@ -78,7 +78,7 @@ func TestRunOneBackendLimits(t *testing.T) {
 	if o.Stop != core.StopNodeLimit || o.Timeout {
 		t.Fatalf("outcome %+v: want StopNodeLimit and Timeout=false", o)
 	}
-	b := portfolio.BackendFunc(portfolio.Config{Workers: 2, Deterministic: true})
+	b := portfolio.BackendFunc(portfolio.Options{Workers: 2, Deterministic: true})
 	o = RunOneBackend(context.Background(), q, core.Options{Mode: core.ModePartialOrder, NodeLimit: 10}, b)
 	if o.Decided() {
 		t.Skip("portfolio solved within 10 decisions per worker")
@@ -92,12 +92,12 @@ func TestRunOneBackendLimits(t *testing.T) {
 // raised budget must be retried to a verdict.
 func TestRunWithRetryBackend(t *testing.T) {
 	calls := 0
-	stub := func(ctx context.Context, q *qbf.QBF, opt core.Options) (core.Result, core.Stats, error) {
+	stub := func(ctx context.Context, q *qbf.QBF, opt core.Options) (core.Result, error) {
 		calls++
 		if opt.NodeLimit < 40 {
-			return core.Unknown, core.Stats{StopReason: core.StopNodeLimit}, nil
+			return core.Result{Verdict: core.Unknown, Stats: core.Stats{StopReason: core.StopNodeLimit}}, nil
 		}
-		return core.True, core.Stats{StopReason: core.StopNone}, nil
+		return core.Result{Verdict: core.True}, nil
 	}
 	q := randqbf.Fixed(0)
 	o := runWithRetryBackend(context.Background(), q,

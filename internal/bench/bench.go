@@ -39,10 +39,12 @@ func MakeInstance(name string, tree *qbf.QBF, strategies ...prenex.Strategy) Ins
 	return inst
 }
 
-// Outcome is one solver run on one instance.
+// Outcome is one solver run on one instance. The field is named Result
+// for historical reasons but carries the verdict only; Stats holds the
+// rest of the unified core.Result.
 type Outcome struct {
-	Result core.Result
-	// Stop explains an Unknown result (core.StopNone on decided runs).
+	Result core.Verdict
+	// Stop explains an Unknown verdict (core.StopNone on decided runs).
 	Stop core.StopReason
 	// Timeout reports specifically a time-budget stop. It is derived from
 	// Stop — node-limit, memory-limit, cancellation, and panic stops are
@@ -118,9 +120,12 @@ type Config struct {
 	Workers int
 	// Retry escalates budgets after limit stops (zero value: no retry).
 	Retry RetryPolicy
-	// Context, when non-nil, cancels in-flight and pending solves: each
-	// returns Unknown/StopCancelled at its next poll, so a campaign winds
-	// down with partial results instead of being killed.
+	// Context, when non-nil, cancels in-flight and pending solves.
+	//
+	// Deprecated: pass the context as the first argument of RunOne,
+	// RunInstance, RunSuite, or CompareBackends instead. The field is
+	// honored only when the argument context is nil, so existing callers
+	// keep working during migration; it will be removed once none remain.
 	Context context.Context
 	// SolverOptions are the shared engine options (learning toggles etc.).
 	SolverOptions core.Options
@@ -135,30 +140,31 @@ func (c Config) options(mode core.Mode) core.Options {
 	return opt
 }
 
-func (c Config) context() context.Context {
+// contextOr resolves the effective campaign context: the explicit
+// argument wins, then the deprecated Config.Context, then Background.
+func (c Config) contextOr(ctx context.Context) context.Context {
+	if ctx != nil {
+		return ctx
+	}
 	if c.Context != nil {
 		return c.Context
 	}
 	return context.Background()
 }
 
-// RunOne solves a single formula under the budget with panic containment.
-func RunOne(q *qbf.QBF, opt core.Options) Outcome {
-	return RunOneContext(context.Background(), q, opt)
-}
-
-// RunOneContext is RunOne under a cancellation context. A solver panic is
-// contained by core.SafeSolveContext and recorded in Outcome.Err; the
-// campaign keeps running.
-func RunOneContext(ctx context.Context, q *qbf.QBF, opt core.Options) Outcome {
+// RunOne solves a single formula under ctx and the budget with panic
+// containment: a solver panic is contained by core.SafeSolve and recorded
+// in Outcome.Err, and the campaign keeps running. A nil ctx means
+// context.Background().
+func RunOne(ctx context.Context, q *qbf.QBF, opt core.Options) Outcome {
 	start := time.Now()
-	r, st, err := core.SafeSolveContext(ctx, q, opt)
+	r, err := core.SafeSolve(ctx, q, opt)
 	return Outcome{
-		Result:   r,
-		Stop:     st.StopReason,
-		Timeout:  st.StopReason == core.StopTimeout,
+		Result:   r.Verdict,
+		Stop:     r.Stats.StopReason,
+		Timeout:  r.Stats.StopReason == core.StopTimeout,
 		Time:     time.Since(start),
-		Stats:    st,
+		Stats:    r.Stats,
 		Attempts: 1,
 		Err:      err,
 	}
@@ -176,11 +182,11 @@ func retryable(o Outcome) bool {
 	return false
 }
 
-// runWithRetry applies the retry policy around RunOneContext: limit stops
+// runWithRetry applies the retry policy around RunOne: limit stops
 // are retried with geometrically escalating budgets. The returned outcome
 // is the final attempt's, with Attempts counting every try.
 func runWithRetry(ctx context.Context, q *qbf.QBF, opt core.Options, pol RetryPolicy) Outcome {
-	out := RunOneContext(ctx, q, opt)
+	out := RunOne(ctx, q, opt)
 	growth := pol.Growth
 	if growth <= 1 {
 		growth = 2
@@ -195,16 +201,17 @@ func runWithRetry(ctx context.Context, q *qbf.QBF, opt core.Options, pol RetryPo
 		if opt.MemLimit > 0 {
 			opt.MemLimit = int64(float64(opt.MemLimit) * growth)
 		}
-		next := RunOneContext(ctx, q, opt)
+		next := RunOne(ctx, q, opt)
 		next.Attempts = out.Attempts + 1
 		out = next
 	}
 	return out
 }
 
-// RunInstance runs PO on the tree and TO on every prenex form.
-func RunInstance(inst Instance, cfg Config) RunResult {
-	ctx := cfg.context()
+// RunInstance runs PO on the tree and TO on every prenex form under ctx
+// (nil falls back to the deprecated cfg.Context, then Background).
+func RunInstance(ctx context.Context, inst Instance, cfg Config) RunResult {
+	ctx = cfg.contextOr(ctx)
 	out := RunResult{Name: inst.Name, TO: map[prenex.Strategy]Outcome{}}
 	out.PO = runWithRetry(ctx, inst.Tree, cfg.options(core.ModePartialOrder), cfg.Retry)
 	for s, q := range inst.Prenex {
@@ -222,10 +229,12 @@ func RunInstance(inst Instance, cfg Config) RunResult {
 	return out
 }
 
-// RunSuite runs all instances, optionally in parallel, preserving order.
-// Every worker is panic-contained: one crashing instance records an
-// errored RunResult and the remaining instances still run.
-func RunSuite(insts []Instance, cfg Config) []RunResult {
+// RunSuite runs all instances under ctx, optionally in parallel,
+// preserving order. Every worker is panic-contained: one crashing
+// instance records an errored RunResult and the remaining instances still
+// run.
+func RunSuite(ctx context.Context, insts []Instance, cfg Config) []RunResult {
+	ctx = cfg.contextOr(ctx)
 	workers := cfg.Workers
 	if workers < 1 {
 		workers = 1
@@ -247,7 +256,7 @@ func RunSuite(insts []Instance, cfg Config) []RunResult {
 					}
 				}
 			}()
-			out[i] = RunInstance(insts[i], cfg)
+			out[i] = RunInstance(ctx, insts[i], cfg)
 		}(i)
 	}
 	wg.Wait()

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -25,7 +26,7 @@ func TestRunInstanceAgreement(t *testing.T) {
 	p.AddBlock(b4, qbf.Exists, 5)
 	tree := qbf.New(p, []qbf.Clause{{1}, {2, -3}, {-2, 3}, {4, -5}, {-4, 5}})
 	inst := MakeInstance("toy", tree, prenex.Strategies...)
-	res := RunInstance(inst, smokeConfig())
+	res := RunInstance(context.Background(), inst, smokeConfig())
 	if res.PO.Result != core.True {
 		t.Fatalf("PO result %v, want TRUE", res.PO.Result)
 	}
@@ -163,7 +164,7 @@ func TestSuitesSmoke(t *testing.T) {
 func TestRunSuiteParallelAndAggregate(t *testing.T) {
 	s := ScaleSmoke
 	insts := NCFSuite(s)[:8]
-	results := RunSuite(insts, smokeConfig())
+	results := RunSuite(context.Background(), insts, smokeConfig())
 	if len(results) != 8 {
 		t.Fatalf("results %d", len(results))
 	}

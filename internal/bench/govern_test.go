@@ -51,7 +51,7 @@ func TestRunSuitePanicContainment(t *testing.T) {
 		{Name: "boom", Tree: nil},
 		MakeInstance("ok-1", easyTree(), prenex.EUpAUp),
 	}
-	results := RunSuite(insts, Config{Timeout: 2 * time.Second, Workers: 2})
+	results := RunSuite(context.Background(), insts, Config{Timeout: 2 * time.Second, Workers: 2})
 	if len(results) != 3 {
 		t.Fatalf("results %d, want 3", len(results))
 	}
@@ -91,7 +91,7 @@ func TestRetryEscalation(t *testing.T) {
 		Retry:         RetryPolicy{Attempts: 5, Growth: 8},
 		SolverOptions: core.Options{DisablePureLiterals: true},
 	}
-	res := RunInstance(inst, cfg)
+	res := RunInstance(context.Background(), inst, cfg)
 	if res.PO.Result != core.False {
 		t.Fatalf("result %v (stop %v), want FALSE after escalation", res.PO.Result, res.PO.Stop)
 	}
@@ -106,7 +106,7 @@ func TestRetryEscalation(t *testing.T) {
 // TestNodeLimitStopIsNotTimeout guards satellite #2: a node-limit stop used
 // to be reported as a timeout in the paper tables. It must not be.
 func TestNodeLimitStopIsNotTimeout(t *testing.T) {
-	o := RunOne(hardTree(), core.Options{NodeLimit: 1, DisablePureLiterals: true})
+	o := RunOne(context.Background(), hardTree(), core.Options{NodeLimit: 1, DisablePureLiterals: true})
 	if o.Result != core.Unknown {
 		t.Fatalf("result %v, want UNKNOWN under NodeLimit=1", o.Result)
 	}
@@ -123,7 +123,9 @@ func TestNodeLimitStopIsNotTimeout(t *testing.T) {
 
 // TestCancelledConfigContext: a campaign whose context is already cancelled
 // winds down immediately — every outcome is UNKNOWN/cancelled, never
-// retried, and no instance errors.
+// retried, and no instance errors. The cancelled context rides in through
+// the deprecated Config.Context field with a nil argument context, pinning
+// the migration fallback until the field is removed.
 func TestCancelledConfigContext(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
@@ -131,7 +133,9 @@ func TestCancelledConfigContext(t *testing.T) {
 		MakeInstance("a", easyTree(), prenex.EUpAUp),
 		MakeInstance("b", hardTree(), prenex.EUpAUp),
 	}
-	results := RunSuite(insts, Config{
+	//lint:ignore SA1012 the nil context is the point: it selects the
+	// deprecated Config.Context fallback under test.
+	results := RunSuite(nil, insts, Config{ //nolint:staticcheck
 		Timeout: 2 * time.Second,
 		Retry:   RetryPolicy{Attempts: 3},
 		Context: ctx,

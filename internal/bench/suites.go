@@ -167,7 +167,7 @@ type ScalingPoint struct {
 	Model   string
 	N       int
 	Time    time.Duration
-	Result  core.Result
+	Result  core.Verdict
 	Timeout bool
 }
 

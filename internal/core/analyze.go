@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/invariant"
 	"repro/internal/qbf"
+	"repro/internal/telemetry"
 )
 
 // analysis is the outcome of conflict/solution analysis.
@@ -98,6 +99,9 @@ func (s *Solver) universalReduceSet(w *workSet) {
 	for _, v := range drop {
 		w.del(v)
 	}
+	if len(drop) > 0 {
+		s.emitEv(telemetry.KindReduce, 0, int64(len(drop)), 0)
+	}
 }
 
 // existentialReduceSet is the dual reduction for working cubes.
@@ -120,6 +124,9 @@ func (s *Solver) existentialReduceSet(w *workSet) {
 	}
 	for _, v := range drop {
 		w.del(v)
+	}
+	if len(drop) > 0 {
+		s.emitEv(telemetry.KindReduce, 0, int64(len(drop)), 1)
 	}
 }
 

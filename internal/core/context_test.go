@@ -47,7 +47,7 @@ func TestSolveContextPreCancelled(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r := s.SolveContext(ctx); r != Unknown {
+	if r := s.Solve(ctx); r != Unknown {
 		t.Fatalf("pre-cancelled solve returned %v", r)
 	}
 	st := s.Stats()
@@ -65,8 +65,8 @@ func TestSolveContextMidSearchCancel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	done := make(chan Result, 1)
-	go func() { done <- s.SolveContext(ctx) }()
+	done := make(chan Verdict, 1)
+	go func() { done <- s.Solve(ctx) }()
 	time.Sleep(50 * time.Millisecond)
 	cancel()
 	select {
@@ -92,7 +92,7 @@ func TestContextDeadlineIsTimeout(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r := s.SolveContext(ctx); r != Unknown {
+	if r := s.Solve(ctx); r != Unknown {
 		t.Fatalf("got %v, want UNKNOWN under a 50ms deadline", r)
 	}
 	// A context deadline is a time budget: it must surface as a timeout,
@@ -103,7 +103,8 @@ func TestContextDeadlineIsTimeout(t *testing.T) {
 }
 
 func TestNodeLimitStopReason(t *testing.T) {
-	r, st, err := Solve(phpFormula(10), Options{NodeLimit: 1, DisablePureLiterals: true})
+	rRes, err := Solve(context.Background(), phpFormula(10), Options{NodeLimit: 1, DisablePureLiterals: true})
+	r, st := rRes.Verdict, rRes.Stats
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,10 +116,11 @@ func TestNodeLimitStopReason(t *testing.T) {
 // TestMemLimitGraceful: a budget large enough to hold a reduced database
 // must degrade — aggressive reductions, no stop — and still decide.
 func TestMemLimitGraceful(t *testing.T) {
-	r, st, err := Solve(phpFormula(7), Options{
+	res, err := Solve(context.Background(), phpFormula(7), Options{
 		MemLimit:            64 << 10,
 		DisablePureLiterals: true,
 	})
+	r, st := res.Verdict, res.Stats
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,10 +139,11 @@ func TestMemLimitGraceful(t *testing.T) {
 // the first learned clause is locked as the asserting reason, so the
 // aggressive round cannot delete it) must produce a clean mem-limit stop.
 func TestMemLimitForcedStop(t *testing.T) {
-	r, st, err := Solve(phpFormula(6), Options{
+	res, err := Solve(context.Background(), phpFormula(6), Options{
 		MemLimit:            1,
 		DisablePureLiterals: true,
 	})
+	r, st := res.Verdict, res.Stats
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +175,8 @@ func TestMemLimitSoundness(t *testing.T) {
 			continue
 		}
 		for _, lim := range []int64{64, 128} {
-			r, st, err := Solve(q, Options{MemLimit: lim, DisablePureLiterals: true})
+			rRes, err := Solve(context.Background(), q, Options{MemLimit: lim, DisablePureLiterals: true})
+			r, st := rRes.Verdict, rRes.Stats
 			if err != nil {
 				t.Fatalf("iteration %d (lim=%d): %v\nQBF: %v", i, lim, err, q)
 			}
@@ -197,7 +201,8 @@ func TestMemLimitSoundness(t *testing.T) {
 }
 
 func TestSafeSolveNilInput(t *testing.T) {
-	r, st, err := SafeSolve(nil, Options{})
+	rRes, err := SafeSolve(context.Background(), nil, Options{})
+	r, st := rRes.Verdict, rRes.Stats
 	if r != Unknown {
 		t.Errorf("result %v, want UNKNOWN", r)
 	}
@@ -227,7 +232,7 @@ func TestTimeoutNotStarvedByPropagation(t *testing.T) {
 		t.Fatal(err)
 	}
 	start := time.Now()
-	r := s.Solve()
+	r := s.Solve(context.Background())
 	elapsed := time.Since(start)
 	if r != Unknown || s.Stats().StopReason != StopTimeout {
 		t.Fatalf("got %v/%v, want UNKNOWN/timeout", r, s.Stats().StopReason)

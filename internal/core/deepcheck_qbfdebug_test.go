@@ -3,6 +3,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -52,7 +53,7 @@ func TestInvariantsCompiledUnderTag(t *testing.T) {
 func TestDeepCheckAcceptsHealthyState(t *testing.T) {
 	s := debugSolver(t)
 	s.deepCheck() // must not panic
-	if r := s.Solve(); r == Unknown {
+	if r := s.Solve(context.Background()); r == Unknown {
 		t.Fatal("tiny instance must be decided")
 	}
 }

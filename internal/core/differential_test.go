@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -28,7 +29,8 @@ func TestDifferentialRandomTrees(t *testing.T) {
 		}
 		for _, mode := range modes {
 			for _, opt := range allOptionCombos(mode) {
-				r, st, err := Solve(q, opt)
+				rRes, err := Solve(context.Background(), q, opt)
+				r, st := rRes.Verdict, rRes.Stats
 				if err != nil {
 					t.Fatalf("iteration %d (%+v): %v\n%v", i, opt, err, q)
 				}
@@ -58,7 +60,8 @@ func TestDifferentialRandomPrenex(t *testing.T) {
 		}
 		for _, mode := range []Mode{ModePartialOrder, ModeTotalOrder} {
 			for _, opt := range allOptionCombos(mode) {
-				r, _, err := Solve(q, opt)
+				rRes, err := Solve(context.Background(), q, opt)
+				r := rRes.Verdict
 				if err != nil {
 					t.Fatalf("iteration %d: %v", i, err)
 				}
@@ -148,7 +151,8 @@ func TestDifferentialDeepAlternation(t *testing.T) {
 			{Mode: ModePartialOrder, DisablePureLiterals: true, CheckInvariants: true},
 			{Mode: ModeTotalOrder, DisableClauseLearning: true, DisableCubeLearning: true, CheckInvariants: true},
 		} {
-			r, _, err := Solve(q, opt)
+			rRes, err := Solve(context.Background(), q, opt)
+			r := rRes.Verdict
 			if err != nil {
 				t.Fatalf("iteration %d: %v", i, err)
 			}
@@ -174,7 +178,8 @@ func TestDifferentialWideTrees(t *testing.T) {
 			continue
 		}
 		for _, opt := range allOptionCombos(ModePartialOrder) {
-			r, _, err := Solve(q, opt)
+			rRes, err := Solve(context.Background(), q, opt)
+			r := rRes.Verdict
 			if err != nil {
 				t.Fatalf("iteration %d: %v", i, err)
 			}

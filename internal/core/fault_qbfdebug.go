@@ -5,7 +5,7 @@ package core
 // SetFaultHook installs a test-only callback fired at every propagation
 // fixpoint with the 1-based fixpoint ordinal (Stats.Fixpoints at call
 // time). The hook may panic — exercising SafeSolve containment — or cancel
-// the context passed to SolveContext — exercising cooperative stopping.
+// the context passed to Solve — exercising cooperative stopping.
 // It runs with the solver in exactly the state a real asynchronous fault
 // would find it in. Compiled only under -tags qbfdebug; release builds
 // have no setter and a no-op injection site.

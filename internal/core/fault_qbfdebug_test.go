@@ -25,7 +25,7 @@ func TestInjectedPanicIsContained(t *testing.T) {
 			panic("injected fault")
 		}
 	})
-	r, err := s.SafeSolveContext(context.Background())
+	r, err := s.SafeSolve(context.Background())
 	if r != Unknown {
 		t.Errorf("result %v, want UNKNOWN", r)
 	}
@@ -68,7 +68,7 @@ func TestInjectedCancellationAtFixpoint(t *testing.T) {
 			cancel()
 		}
 	})
-	r, err := s.SafeSolveContext(ctx)
+	r, err := s.SafeSolve(ctx)
 	if err != nil {
 		t.Fatalf("clean cancellation errored: %v", err)
 	}
@@ -97,7 +97,7 @@ func TestInjectedInvariantViolationIsContained(t *testing.T) {
 			invariant.Violated("injected invariant violation at fixpoint %d", fp)
 		}
 	})
-	r, err := s.SafeSolveContext(context.Background())
+	r, err := s.SafeSolve(context.Background())
 	var pe *PanicError
 	if r != Unknown || !errors.As(err, &pe) {
 		t.Fatalf("got %v/%v, want UNKNOWN/*PanicError", r, err)

@@ -8,6 +8,7 @@ import (
 	"unsafe"
 
 	"repro/internal/qbf"
+	"repro/internal/telemetry"
 )
 
 // This file is the resource-governance and fault-containment layer: the
@@ -44,6 +45,7 @@ func (s *Solver) governMemory() StopReason {
 		return StopNone
 	}
 	s.stats.MemReductions++
+	s.emitEv(telemetry.KindGovernor, 0, s.learnedBytes, s.opt.MemLimit)
 	s.reduceDBNow(false)
 	s.reduceDBNow(true)
 	if s.learnedBytes > s.opt.MemLimit {
@@ -67,47 +69,41 @@ func (e *PanicError) Error() string {
 	return sb.String()
 }
 
-// SafeSolveContext runs SolveContext with panic containment: any panic
-// raised by the engine — including invariant.Violated from the qbfdebug
-// deep checker — is converted into a *PanicError carrying the stack and
-// the partial Stats, instead of crashing the process. The solver must be
-// considered unusable after a contained panic (its internal state is
-// whatever the crash left behind); the Stats remain readable.
-func (s *Solver) SafeSolveContext(ctx context.Context) (r Result, err error) {
+// SafeSolve runs Solve with panic containment: any panic raised by the
+// engine — including invariant.Violated from the qbfdebug deep checker —
+// is converted into a *PanicError carrying the stack and the partial
+// Stats, instead of crashing the process. The solver must be considered
+// unusable after a contained panic (its internal state is whatever the
+// crash left behind); the Stats remain readable.
+func (s *Solver) SafeSolve(ctx context.Context) (v Verdict, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			s.stats.StopReason = StopPanicked
 			s.lastResult = Unknown
-			r = Unknown
+			v = Unknown
 			err = &PanicError{Value: p, Stack: debug.Stack(), Stats: s.stats}
 		}
 	}()
-	return s.SolveContext(ctx), nil
+	return s.Solve(ctx), nil
 }
 
-// SafeSolve is the contained convenience entry point: Solve with both
-// construction and search panics converted to errors.
-func SafeSolve(q *qbf.QBF, opt Options) (Result, Stats, error) {
-	return SafeSolveContext(context.Background(), q, opt)
-}
-
-// SafeSolveContext decides q under ctx with full fault containment: a
-// panic anywhere in construction or search (a nil input, a corrupt
-// prefix, a violated solver invariant) becomes a *PanicError instead of
-// killing the caller. This is the entry point batch drivers should use —
-// one crashing instance must not take down a campaign.
-func SafeSolveContext(ctx context.Context, q *qbf.QBF, opt Options) (r Result, st Stats, err error) {
+// SafeSolve decides q under ctx with full fault containment: a panic
+// anywhere in construction or search (a nil input, a corrupt prefix, a
+// violated solver invariant) becomes a *PanicError instead of killing the
+// caller. This is the entry point batch drivers should use — one crashing
+// instance must not take down a campaign.
+func SafeSolve(ctx context.Context, q *qbf.QBF, opt Options) (r Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
-			r = Unknown
-			st.StopReason = StopPanicked
-			err = &PanicError{Value: p, Stack: debug.Stack(), Stats: st}
+			r = Result{}
+			r.Stats.StopReason = StopPanicked
+			err = &PanicError{Value: p, Stack: debug.Stack(), Stats: r.Stats}
 		}
 	}()
 	s, err := NewSolver(q, opt)
 	if err != nil {
-		return Unknown, Stats{}, err
+		return Result{}, err
 	}
-	r, err = s.SafeSolveContext(ctx)
-	return r, s.Stats(), err
+	v, err := s.SafeSolve(ctx)
+	return Result{Verdict: v, Stats: s.Stats()}, err
 }

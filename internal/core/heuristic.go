@@ -1,6 +1,9 @@
 package core
 
-import "repro/internal/qbf"
+import (
+	"repro/internal/qbf"
+	"repro/internal/telemetry"
+)
 
 // The branching heuristic follows Section VI. Each literal carries a score
 // initialized to its occurrence counter (for an existential literal its
@@ -211,4 +214,5 @@ func (s *Solver) maybeRestart() {
 	s.restartLimit = luby(s.lubyIndex) * restartUnit
 	s.backtrack(0)
 	s.stats.Restarts++
+	s.emitEv(telemetry.KindRestart, 0, int64(s.lubyIndex), s.restartLimit)
 }

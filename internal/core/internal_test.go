@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -48,11 +49,13 @@ func TestLitIdx(t *testing.T) {
 // results, only effort.
 func TestReduceDBKeepsAnswers(t *testing.T) {
 	q := hardishQBF()
-	base, _, err := Solve(q, Options{})
+	baseRes, err := Solve(context.Background(), q, Options{})
+	base := baseRes.Verdict
 	if err != nil {
 		t.Fatal(err)
 	}
-	capped, st, err := Solve(q, Options{MaxLearned: 8})
+	cappedRes, err := Solve(context.Background(), q, Options{MaxLearned: 8})
+	capped, st := cappedRes.Verdict, cappedRes.Stats
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,13 +69,15 @@ func TestReduceDBKeepsAnswers(t *testing.T) {
 // (tiny restartUnit via many learning events) against the baseline.
 func TestRestartsPreserveAnswer(t *testing.T) {
 	q := hardishQBF()
-	r1, st1, err := Solve(q, Options{})
+	r1Res, err := Solve(context.Background(), q, Options{})
+	r1, st1 := r1Res.Verdict, r1Res.Stats
 	if err != nil {
 		t.Fatal(err)
 	}
 	// With learning disabled no restarts can trigger (they are gated on
 	// learning events), so the search is a pure flip-DFS.
-	r2, st2, err := Solve(q, Options{DisableClauseLearning: true, DisableCubeLearning: true})
+	r2Res, err := Solve(context.Background(), q, Options{DisableClauseLearning: true, DisableCubeLearning: true})
+	r2, st2 := r2Res.Verdict, r2Res.Stats
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +110,8 @@ func TestTimeLimitRespected(t *testing.T) {
 	// 3-alternation; ensure a 1ns limit yields Unknown quickly.
 	q := hardishQBF()
 	start := time.Now()
-	r, _, err := Solve(q, Options{TimeLimit: time.Nanosecond})
+	rRes, err := Solve(context.Background(), q, Options{TimeLimit: time.Nanosecond})
+	r := rRes.Verdict
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +122,8 @@ func TestTimeLimitRespected(t *testing.T) {
 	// limit-check stride), so both Unknown and a decided result are legal;
 	// a decided result must then match the unlimited run.
 	if r != Unknown {
-		full, _, _ := Solve(q, Options{})
+		fullRes, _ := Solve(context.Background(), q, Options{})
+		full := fullRes.Verdict
 		if r != full {
 			t.Fatalf("limited run decided %v but full run %v", r, full)
 		}
@@ -133,7 +140,7 @@ func TestSolverReuseForbidden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r := s.Solve(); r != True {
+	if r := s.Solve(context.Background()); r != True {
 		t.Fatalf("first solve: %v", r)
 	}
 }
@@ -144,7 +151,7 @@ func TestStatsAccumulate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.Solve()
+	s.Solve(context.Background())
 	st := s.Stats()
 	if st.Time <= 0 {
 		t.Error("Time not recorded")
@@ -170,7 +177,7 @@ func TestDebugHelpers(t *testing.T) {
 		}
 		events++
 	})
-	s.Solve()
+	s.Solve(context.Background())
 	cl, cu := s.DebugLearnedSizes()
 	for sz := range cl {
 		if sz <= 0 {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -37,7 +38,7 @@ func TestLearnedConstraintsSound(t *testing.T) {
 				captured = append(captured, learned{cp, isCube})
 			}
 		})
-		if r := s.Solve(); (r == True) != base {
+		if r := s.Solve(context.Background()); (r == True) != base {
 			t.Fatalf("iteration %d: solver %v oracle %v", i, r, base)
 		}
 		for _, l := range captured {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -81,7 +82,8 @@ func permuteClauses(rng *rand.Rand, q *qbf.QBF) *qbf.QBF {
 // mode valid for every quantifier structure).
 func solveVariant(t *testing.T, label string, q *qbf.QBF) bool {
 	t.Helper()
-	r, _, err := Solve(q, Options{Mode: ModePartialOrder})
+	rRes, err := Solve(context.Background(), q, Options{Mode: ModePartialOrder})
+	r := rRes.Verdict
 	if err != nil {
 		t.Fatalf("%s: %v", label, err)
 	}
@@ -140,7 +142,8 @@ func TestMetamorphicInvariance(t *testing.T) {
 				t.Fatalf("iteration %d: prenexing under %v changed the PO verdict\ntree: %v\nprenex: %v",
 					i, strat, q, pq)
 			}
-			r, _, err := Solve(pq, Options{Mode: ModeTotalOrder})
+			rRes, err := Solve(context.Background(), pq, Options{Mode: ModeTotalOrder})
+			r := rRes.Verdict
 			if err != nil {
 				t.Fatalf("iteration %d: prenex %v TO: %v", i, strat, err)
 			}
@@ -179,7 +182,8 @@ func TestMetamorphicRenamingOnPrenex(t *testing.T) {
 			permuteClauses(rng, q),
 		} {
 			for _, mode := range []Mode{ModePartialOrder, ModeTotalOrder} {
-				r, _, err := Solve(variant, Options{Mode: mode})
+				rRes, err := Solve(context.Background(), variant, Options{Mode: mode})
+				r := rRes.Verdict
 				if err != nil {
 					t.Fatalf("iteration %d mode %v: %v", i, mode, err)
 				}

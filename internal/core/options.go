@@ -21,7 +21,12 @@
 // implementation details.
 package core
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/result"
+	"repro/internal/telemetry"
+)
 
 // Mode selects the branching heuristic.
 type Mode int
@@ -90,100 +95,49 @@ type Options struct {
 	// are compiled only under the qbfdebug build tag; without the tag this
 	// flag is a no-op, so production binaries pay nothing.
 	CheckInvariants bool
+
+	// Telemetry, when non-nil, receives a structured event stream from the
+	// search: decisions, propagation fixpoints, conflicts, solutions,
+	// learning, reductions, imports, restarts, governor actions, and the
+	// final stop — each stamped with the decision level and a prefix-depth
+	// attribution. nil (the default) disables telemetry; the hot-path cost
+	// of the disabled state is one nil-check per event site, and a build
+	// with -tags qbfnotrace compiles the sites out entirely (the baseline
+	// scripts/check.sh measures overhead against).
+	Telemetry *telemetry.Tracer
 }
 
-// Result is the outcome of a solve call.
-type Result int
+// The outcome vocabulary — Verdict, StopReason, Stats, and the unified
+// Result struct — is shared with the portfolio and the bench harness and
+// lives in internal/result; core aliases it under its historical names so
+// existing callers keep compiling while every engine speaks one type set.
 
+// Verdict is the outcome of a solve call: Unknown, True, or False.
+type Verdict = result.Verdict
+
+// StopReason explains an Unknown verdict; see result.StopReason.
+type StopReason = result.StopReason
+
+// Stats reports search effort; see result.Stats.
+type Stats = result.Stats
+
+// Result pairs the verdict of a run with its statistics; it is what the
+// context-first package entry points return. See result.Result.
+type Result = result.Result
+
+// Verdict values, re-exported for callers of this package.
 const (
-	// Unknown means a resource limit or a cancellation stopped the search;
-	// Stats.StopReason says which.
-	Unknown Result = iota
-	// True means the QBF evaluated to true.
-	True
-	// False means the QBF evaluated to false.
-	False
+	Unknown = result.Unknown
+	True    = result.True
+	False   = result.False
 )
 
-// StopReason explains an Unknown result: which budget or event ended the
-// search before a verdict. Decided runs carry StopNone.
-type StopReason int
-
+// StopReason values, re-exported for callers of this package.
 const (
-	// StopNone: the search ran to a True/False verdict (or never ran).
-	StopNone StopReason = iota
-	// StopTimeout: the TimeLimit (or context deadline) expired.
-	StopTimeout
-	// StopNodeLimit: the decision budget was exhausted.
-	StopNodeLimit
-	// StopMemLimit: the learned-constraint byte budget was exceeded and a
-	// reduction round could not recover it.
-	StopMemLimit
-	// StopCancelled: the context passed to SolveContext was cancelled.
-	StopCancelled
-	// StopPanicked: a library panic was contained by SafeSolve.
-	StopPanicked
+	StopNone      = result.StopNone
+	StopTimeout   = result.StopTimeout
+	StopNodeLimit = result.StopNodeLimit
+	StopMemLimit  = result.StopMemLimit
+	StopCancelled = result.StopCancelled
+	StopPanicked  = result.StopPanicked
 )
-
-func (r StopReason) String() string {
-	switch r {
-	case StopNone:
-		return "none"
-	case StopTimeout:
-		return "timeout"
-	case StopNodeLimit:
-		return "node-limit"
-	case StopMemLimit:
-		return "mem-limit"
-	case StopCancelled:
-		return "cancelled"
-	case StopPanicked:
-		return "panicked"
-	default:
-		return "unknown-stop"
-	}
-}
-
-func (r Result) String() string {
-	switch r {
-	case True:
-		return "TRUE"
-	case False:
-		return "FALSE"
-	default:
-		return "UNKNOWN"
-	}
-}
-
-// Stats reports search effort.
-type Stats struct {
-	Decisions        int64
-	Propagations     int64
-	PureAssignments  int64
-	Conflicts        int64
-	Solutions        int64
-	LearnedClauses   int64
-	LearnedCubes     int64
-	Backjumps        int64
-	ChronoBacktracks int64
-	MaxDecisionLevel int
-	Restarts         int64
-	Time             time.Duration
-
-	// Fixpoints counts propagation fixpoints — the solver's cancellation
-	// and budget polling points (one per main-loop iteration).
-	Fixpoints int64
-	// PeakLearnedBytes is the high-water estimate of learned-constraint
-	// memory (the quantity MemLimit governs).
-	PeakLearnedBytes int64
-	// MemReductions counts aggressive learned-DB reductions forced by
-	// memory pressure (as opposed to routine MaxLearned housekeeping).
-	MemReductions int64
-	// Imports counts constraints accepted from the import hook (including
-	// terminal ones); ImportsRejected counts batch entries discarded by
-	// structural validation. Both stay 0 outside portfolio runs.
-	Imports         int64
-	ImportsRejected int64
-	// StopReason explains an Unknown result; StopNone on decided runs.
-	StopReason StopReason
-}

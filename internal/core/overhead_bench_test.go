@@ -1,0 +1,26 @@
+package core_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/randqbf"
+)
+
+// BenchmarkSolveTraceOverhead is the end-to-end probe for the cost of the
+// telemetry hooks when no tracer is attached. scripts/check.sh runs it
+// twice — once on the default build (hooks compiled in, nil tracer) and
+// once under -tags qbfnotrace (hooks compiled to a constant-false branch)
+// — and fails when the default build is more than 2% slower. The instance
+// is a fixed structured formula so both builds do identical search work.
+func BenchmarkSolveTraceOverhead(b *testing.B) {
+	q := randqbf.Fixed(3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Solve(context.Background(), q, core.Options{Mode: core.ModePartialOrder})
+		if err != nil || res.Verdict == core.Unknown {
+			b.Fatalf("solve failed: verdict=%v err=%v", res.Verdict, err)
+		}
+	}
+}

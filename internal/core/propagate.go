@@ -1,6 +1,9 @@
 package core
 
-import "repro/internal/qbf"
+import (
+	"repro/internal/qbf"
+	"repro/internal/telemetry"
+)
 
 // event reported by propagateAll.
 type event int
@@ -302,6 +305,13 @@ func (s *Solver) addLearned(lits []qbf.Lit, isCube bool) int {
 	} else {
 		s.learnedClauses++
 		s.stats.LearnedClauses++
+	}
+	if !s.importing {
+		if isCube {
+			s.emitLitsEv(telemetry.KindLearn, lits, 1)
+		} else {
+			s.emitLitsEv(telemetry.KindLearn, lits, 0)
+		}
 	}
 	if s.learnHook != nil && !s.importing {
 		s.learnHook(lits, isCube)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -32,7 +33,8 @@ func TestQuickSolveMatchesOracle(t *testing.T) {
 		if !ok {
 			return true
 		}
-		r, _, err := Solve(c.Q, Options{CheckInvariants: true})
+		rRes, err := Solve(context.Background(), c.Q, Options{CheckInvariants: true})
+		r := rRes.Verdict
 		if err != nil {
 			return false
 		}
@@ -48,8 +50,10 @@ func TestQuickSolveMatchesOracle(t *testing.T) {
 // randomness).
 func TestQuickSolveDeterministic(t *testing.T) {
 	prop := func(c qbfCase) bool {
-		r1, st1, err1 := Solve(c.Q, Options{CheckInvariants: true})
-		r2, st2, err2 := Solve(c.Q, Options{CheckInvariants: true})
+		r1Res, err1 := Solve(context.Background(), c.Q, Options{CheckInvariants: true})
+		r1, st1 := r1Res.Verdict, r1Res.Stats
+		r2Res, err2 := Solve(context.Background(), c.Q, Options{CheckInvariants: true})
+		r2, st2 := r2Res.Verdict, r2Res.Stats
 		if err1 != nil || err2 != nil {
 			return false
 		}
@@ -74,12 +78,14 @@ func TestQuickModesAgree(t *testing.T) {
 			CheckInvariants:       true,
 		}
 		opt.Mode = ModePartialOrder
-		rPO, _, err := Solve(q, opt)
+		rPORes, err := Solve(context.Background(), q, opt)
+		rPO := rPORes.Verdict
 		if err != nil {
 			return false
 		}
 		opt.Mode = ModeTotalOrder
-		rTO, _, err := Solve(q, opt)
+		rTORes, err := Solve(context.Background(), q, opt)
+		rTO := rTORes.Verdict
 		if err != nil {
 			return false
 		}
@@ -158,7 +164,8 @@ func TestFootnote5Variant(t *testing.T) {
 
 	want := qbf.Eval(q)
 	for _, opt := range allOptionCombos(ModePartialOrder) {
-		r, st, err := Solve(q, opt)
+		rRes, err := Solve(context.Background(), q, opt)
+		r, st := rRes.Verdict, rRes.Stats
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,9 @@
 package core
 
-import "repro/internal/qbf"
+import (
+	"repro/internal/qbf"
+	"repro/internal/telemetry"
+)
 
 // This file is the constraint-exchange surface of the solver: the hooks a
 // portfolio driver uses to export learned constraints to sibling solvers
@@ -75,11 +78,11 @@ func (s *Solver) sanitizeImport(lits []qbf.Lit) bool {
 // dual), semantically re-checked under qbfdebug, and installed via
 // addLearned. A constraint that reduces to one with no existential
 // (clause) or no universal (cube) literal decides the whole formula —
-// importShared reports that as a terminal Result. Otherwise it returns the
+// importShared reports that as a terminal verdict. Otherwise it returns the
 // first conflict/solution event an installed constraint triggers under the
 // current assignment, for the main loop to handle exactly like a
 // propagation event.
-func (s *Solver) importShared() (event, int, Result) {
+func (s *Solver) importShared() (event, int, Verdict) {
 	batch := s.importHook()
 	if len(batch) == 0 {
 		return evNone, -1, Unknown
@@ -119,6 +122,7 @@ func (s *Solver) importShared() (event, int, Result) {
 				// A good whose existential reduction has no universal
 				// literal decides the formula (dual of Lemma 4).
 				s.stats.Imports++
+				s.emitLitsEv(telemetry.KindImport, lits, 1)
 				return evNone, -1, True
 			}
 		} else {
@@ -132,10 +136,16 @@ func (s *Solver) importShared() (event, int, Result) {
 			if !hasE {
 				// A contradictory clause consequence (Lemma 4).
 				s.stats.Imports++
+				s.emitLitsEv(telemetry.KindImport, lits, 0)
 				return evNone, -1, False
 			}
 		}
 		s.checkImportedConstraint(lits, sc.IsCube)
+		if sc.IsCube {
+			s.emitLitsEv(telemetry.KindImport, lits, 1)
+		} else {
+			s.emitLitsEv(telemetry.KindImport, lits, 0)
+		}
 		s.importing = true
 		installed = append(installed, s.addLearned(lits, sc.IsCube))
 		s.importing = false
@@ -167,9 +177,9 @@ func (s *Solver) importShared() (event, int, Result) {
 }
 
 // SetNodeLimit replaces the decision budget (0 = unlimited) for subsequent
-// Solve/SolveContext calls. Together with the resume property of
-// SolveContext — the solver's state is preserved across an Unknown return,
-// so re-entering continues the same search without repeating work — this
+// Solve calls. Together with the resume property of Solve — the solver's
+// state is preserved across an Unknown return, so re-entering continues
+// the same search without repeating work — this
 // lets a driver run a search in node-budget slices: solve to StopNodeLimit,
 // raise the limit, solve again.
 func (s *Solver) SetNodeLimit(n int64) { s.opt.NodeLimit = n }

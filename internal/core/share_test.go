@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -56,7 +57,7 @@ func TestImportSanitization(t *testing.T) {
 		}
 		return out
 	})
-	r := s.Solve()
+	r := s.Solve(context.Background())
 	if (r == True) != want || r == Unknown {
 		t.Fatalf("solve with corrupt imports: got %v, want %v", r, want)
 	}
@@ -96,7 +97,7 @@ func TestImportTerminalClause(t *testing.T) {
 	s.SetImportHook(func() []Shared {
 		return []Shared{{Lits: []qbf.Lit{y.PosLit()}}}
 	})
-	if r := s.Solve(); r != False {
+	if r := s.Solve(context.Background()); r != False {
 		t.Fatalf("terminal clause import: got %v, want False", r)
 	}
 }
@@ -121,7 +122,7 @@ func TestImportTerminalCube(t *testing.T) {
 	s.SetImportHook(func() []Shared {
 		return []Shared{{Lits: []qbf.Lit{x.PosLit()}, IsCube: true}}
 	})
-	if r := s.Solve(); r != True {
+	if r := s.Solve(context.Background()); r != True {
 		t.Fatalf("terminal cube import: got %v, want True", r)
 	}
 }
@@ -151,7 +152,7 @@ func TestImportBatchWithUnits(t *testing.T) {
 			cp := append([]qbf.Lit(nil), lits...)
 			learned = append(learned, Shared{Lits: cp, IsCube: isCube})
 		})
-		pilot.Solve()
+		pilot.Solve(context.Background())
 		if len(learned) == 0 {
 			continue
 		}
@@ -166,7 +167,7 @@ func TestImportBatchWithUnits(t *testing.T) {
 			}
 			return learned // the whole pilot database in one batch
 		})
-		r := s.Solve()
+		r := s.Solve(context.Background())
 		if r == Unknown || (r == True) != want {
 			t.Fatalf("instance %d: got %v with %d imports, oracle says %v", i, r, len(learned), want)
 		}
@@ -182,7 +183,8 @@ func TestSolveContextResume(t *testing.T) {
 	resumedOnce := false
 	for i := 0; i < 25; i++ {
 		q := denseRandomQBF(rng)
-		wantR, _, err := Solve(q, Options{Mode: ModePartialOrder})
+		wantRRes, err := Solve(context.Background(), q, Options{Mode: ModePartialOrder})
+		wantR := wantRRes.Verdict
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -190,11 +192,11 @@ func TestSolveContextResume(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var r Result
+		var r Verdict
 		slices := 0
 		for {
 			s.SetNodeLimit(s.Stats().Decisions + 2)
-			r = s.Solve()
+			r = s.Solve(context.Background())
 			slices++
 			if r != Unknown {
 				break
@@ -213,7 +215,7 @@ func TestSolveContextResume(t *testing.T) {
 			t.Fatalf("instance %d: sliced verdict %v != unsliced %v (in %d slices)", i, r, wantR, slices)
 		}
 		decisions := s.Stats().Decisions
-		if again := s.Solve(); again != r {
+		if again := s.Solve(context.Background()); again != r {
 			t.Fatalf("instance %d: post-verdict re-solve returned %v, want %v", i, again, r)
 		}
 		if s.Stats().Decisions != decisions {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/invariant"
 	"repro/internal/qbf"
+	"repro/internal/telemetry"
 )
 
 // value of a variable on the trail.
@@ -118,8 +119,8 @@ type Solver struct {
 	lubyIndex     int
 
 	stats      Stats
-	trivial    Result // True/False decided during construction, else Unknown
-	lastResult Result // outcome of the most recent Solve call
+	trivial    Verdict // True/False decided during construction, else Unknown
+	lastResult Verdict // outcome of the most recent Solve call
 
 	ws workSet // reusable analysis working set
 
@@ -360,25 +361,19 @@ func (s *Solver) addOriginalClause(c qbf.Clause) int {
 	return id
 }
 
-// Solve runs the search to completion or to a limit. It is
-// SolveContext with an uncancellable context.
-func (s *Solver) Solve() Result {
-	return s.SolveContext(context.Background())
-}
-
-// SolveContext runs the search under ctx: cancellation and the context
+// Solve runs the search under ctx: cancellation and the context
 // deadline are polled at every propagation fixpoint (time checks gated to
 // every pollPeriod-th fixpoint so time.Now stays off the per-propagation
 // path). An expired or cancelled ctx yields Unknown with StopCancelled or
 // StopTimeout in Stats; a nil ctx is treated as context.Background().
 //
-// SolveContext is resumable: after an Unknown return the solver's state is
+// Solve is resumable: after an Unknown return the solver's state is
 // exactly the quiescent fixpoint the stop was observed at, and calling
-// SolveContext again continues the same search (typically after raising a
+// Solve again continues the same search (typically after raising a
 // budget with SetNodeLimit, or with a fresh context). After a True/False
 // verdict the search is over and every further call returns the verdict
 // immediately.
-func (s *Solver) SolveContext(ctx context.Context) Result {
+func (s *Solver) Solve(ctx context.Context) Verdict {
 	if s.lastResult != Unknown {
 		return s.lastResult
 	}
@@ -394,6 +389,7 @@ func (s *Solver) SolveContext(ctx context.Context) Result {
 		if ctx.Err() != nil {
 			s.stats.StopReason = StopCancelled
 			s.lastResult = Unknown
+			s.emitEv(telemetry.KindStop, 0, int64(Unknown), int64(StopCancelled))
 			return Unknown
 		}
 		s.cancelCh = ctx.Done()
@@ -402,6 +398,7 @@ func (s *Solver) SolveContext(ctx context.Context) Result {
 		}
 	}
 	s.lastResult = s.solve()
+	s.emitEv(telemetry.KindStop, 0, int64(s.lastResult), int64(s.stats.StopReason))
 	return s.lastResult
 }
 
@@ -436,7 +433,7 @@ func (s *Solver) pollStop() StopReason {
 	return StopNone
 }
 
-func (s *Solver) solve() Result {
+func (s *Solver) solve() Verdict {
 	if s.trivial != Unknown {
 		return s.trivial
 	}
@@ -444,6 +441,7 @@ func (s *Solver) solve() Result {
 	for {
 		ev, ci := s.propagateAll()
 		s.stats.Fixpoints++
+		s.emitEv(telemetry.KindFixpoint, 0, int64(len(s.trail)), s.stats.Fixpoints)
 		s.injectFault(s.stats.Fixpoints)
 		if ev == evNone && s.importHook != nil {
 			// Quiescent fixpoint: install constraints shared by sibling
@@ -453,7 +451,7 @@ func (s *Solver) solve() Result {
 			// handled below exactly like a propagation event; a merely unit
 			// import enqueues its forced literal, which the trail-drain
 			// check after the budget poll sends back to propagateAll.
-			var terminal Result
+			var terminal Verdict
 			ev, ci, terminal = s.importShared()
 			if terminal != Unknown {
 				return terminal
@@ -471,11 +469,13 @@ func (s *Solver) solve() Result {
 		switch ev {
 		case evConflict:
 			s.stats.Conflicts++
+			s.emitConstraintEv(telemetry.KindConflict, ci)
 			if !s.handleConflict(ci) {
 				return False
 			}
 		case evSolution:
 			s.stats.Solutions++
+			s.emitConstraintEv(telemetry.KindSolution, ci)
 			if s.debugSolutionHook != nil {
 				s.debugSolutionHook(s.debugCountUniversals())
 			}
@@ -528,6 +528,7 @@ func (s *Solver) decide(l qbf.Lit) {
 	}
 	s.levelStart = append(s.levelStart, len(s.trail))
 	s.assign(l, reasonDecision, -1)
+	s.emitEv(telemetry.KindDecision, s.plevel[l.Var()], int64(l), s.stats.Decisions)
 	if s.trace != nil {
 		s.trace(fmt.Sprintf("decide %d @%d", l, s.level)) //lint:allow L4 trace is nil on the hot path
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/qbf"
@@ -41,7 +42,8 @@ func solveAllCombos(t *testing.T, q *qbf.QBF, want bool, label string) {
 	}
 	for _, mode := range modes {
 		for _, opt := range allOptionCombos(mode) {
-			r, _, err := Solve(q, opt)
+			rRes, err := Solve(context.Background(), q, opt)
+			r := rRes.Verdict
 			if err != nil {
 				t.Fatalf("%s (%+v): %v", label, opt, err)
 			}
@@ -171,7 +173,8 @@ func TestSolverStatsPopulated(t *testing.T) {
 		qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{4}})
 	q := qbf.New(p, []qbf.Clause{
 		mkClause(1, 2), mkClause(-1, 3, 4), mkClause(-2, -3, -4), mkClause(-1, -2)})
-	r, st, err := Solve(q, Options{})
+	rRes, err := Solve(context.Background(), q, Options{})
+	r, st := rRes.Verdict, rRes.Stats
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +199,8 @@ func TestNodeLimit(t *testing.T) {
 		mkClause(-3, -6), mkClause(-3, -9), mkClause(-3, -12), mkClause(-6, -9),
 		mkClause(-6, -12), mkClause(-9, -12))
 	q := qbf.New(p, m)
-	r, _, err := Solve(q, Options{NodeLimit: 1, DisablePureLiterals: true})
+	rRes, err := Solve(context.Background(), q, Options{NodeLimit: 1, DisablePureLiterals: true})
+	r := rRes.Verdict
 	if err != nil {
 		t.Fatal(err)
 	}

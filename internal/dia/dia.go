@@ -34,6 +34,8 @@
 package dia
 
 import (
+	"context"
+
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/invariant"
@@ -206,7 +208,7 @@ func PhiPrenex(m *models.Model, n int, s prenex.Strategy) *qbf.QBF {
 // Step records one φn solve during a diameter computation.
 type Step struct {
 	N       int
-	Result  core.Result
+	Result  core.Verdict
 	Stats   core.Stats
 	Vars    int
 	Clauses int
@@ -221,7 +223,7 @@ type Result struct {
 }
 
 // SolveFunc decides one φn instance.
-type SolveFunc func(*qbf.QBF) (core.Result, core.Stats)
+type SolveFunc func(*qbf.QBF) (core.Verdict, core.Stats)
 
 // ComputeDiameter iterates n = 0, 1, … solving φn until the first false
 // answer: that n is the diameter. The solve function receives the
@@ -251,12 +253,12 @@ func ComputeDiameter(m *models.Model, maxN int, solve SolveFunc) Result {
 // SolverPO returns a SolveFunc running QUBE(PO) on the tree form.
 func SolverPO(opt core.Options) SolveFunc {
 	opt.Mode = core.ModePartialOrder
-	return func(q *qbf.QBF) (core.Result, core.Stats) {
-		r, st, err := core.Solve(q, opt)
+	return func(q *qbf.QBF) (core.Verdict, core.Stats) {
+		r, err := core.Solve(context.Background(), q, opt)
 		if err != nil {
 			invariant.Violated("dia: PO solve: %v", err)
 		}
-		return r, st
+		return r.Verdict, r.Stats
 	}
 }
 
@@ -264,11 +266,11 @@ func SolverPO(opt core.Options) SolveFunc {
 // runs QUBE(TO).
 func SolverTO(strategy prenex.Strategy, opt core.Options) SolveFunc {
 	opt.Mode = core.ModeTotalOrder
-	return func(q *qbf.QBF) (core.Result, core.Stats) {
-		r, st, err := core.Solve(prenex.Apply(q, strategy), opt)
+	return func(q *qbf.QBF) (core.Verdict, core.Stats) {
+		r, err := core.Solve(context.Background(), prenex.Apply(q, strategy), opt)
 		if err != nil {
 			invariant.Violated("dia: TO solve: %v", err)
 		}
-		return r, st
+		return r.Verdict, r.Stats
 	}
 }

@@ -1,6 +1,7 @@
 package dia
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -129,7 +130,8 @@ func TestPhiPrenexSameValue(t *testing.T) {
 			phi := Phi(m, n)
 			want, _ := SolverPO(core.Options{})(phi)
 			for _, s := range prenex.Strategies {
-				got, _, err := core.Solve(prenex.Apply(phi, s), core.Options{Mode: core.ModeTotalOrder})
+				gotRes, err := core.Solve(context.Background(), prenex.Apply(phi, s), core.Options{Mode: core.ModeTotalOrder})
+				got := gotRes.Verdict
 				if err != nil {
 					t.Fatal(err)
 				}

@@ -1,6 +1,7 @@
 package dia
 
 import (
+	"context"
 	"os"
 	"testing"
 	"time"
@@ -14,6 +15,7 @@ func TestProfileHard(t *testing.T) {
 		t.Skip("set DIA_PROF=1")
 	}
 	phi := Phi(models.Counter(3), 5)
-	r, st, _ := core.Solve(phi, core.Options{Mode: core.ModePartialOrder, TimeLimit: 60 * time.Second})
+	rRes, _ := core.Solve(context.Background(), phi, core.Options{Mode: core.ModePartialOrder, TimeLimit: 60 * time.Second})
+	r, st := rRes.Verdict, rRes.Stats
 	t.Logf("%v time=%v dec=%d", r, st.Time, st.Decisions)
 }

@@ -1,6 +1,7 @@
 package fpv
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -43,11 +44,13 @@ func TestPOAndTOAgree(t *testing.T) {
 		}
 		n++
 		q := Generate(p)
-		po, _, err := core.Solve(q, core.Options{Mode: core.ModePartialOrder})
+		poRes, err := core.Solve(context.Background(), q, core.Options{Mode: core.ModePartialOrder})
+		po := poRes.Verdict
 		if err != nil {
 			t.Fatal(err)
 		}
-		to, _, err := core.Solve(prenex.Apply(q, prenex.EUpAUp), core.Options{Mode: core.ModeTotalOrder})
+		toRes, err := core.Solve(context.Background(), prenex.Apply(q, prenex.EUpAUp), core.Options{Mode: core.ModeTotalOrder})
+		to := toRes.Verdict
 		if err != nil {
 			t.Fatal(err)
 		}

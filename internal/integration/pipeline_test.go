@@ -6,6 +6,7 @@
 package integration
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -29,7 +30,8 @@ func decideEveryWay(t *testing.T, name string, q *qbf.QBF) bool {
 	t.Helper()
 
 	// 1. QCDCL partial order on the tree.
-	rPO, _, err := core.Solve(q, core.Options{})
+	rPORes, err := core.Solve(context.Background(), q, core.Options{})
+	rPO := rPORes.Verdict
 	if err != nil {
 		t.Fatalf("%s: PO: %v", name, err)
 	}
@@ -37,7 +39,8 @@ func decideEveryWay(t *testing.T, name string, q *qbf.QBF) bool {
 
 	// 2. QCDCL total order on each prenex form.
 	for _, s := range prenex.Strategies {
-		rTO, _, err := core.Solve(prenex.Apply(q, s), core.Options{Mode: core.ModeTotalOrder})
+		rTORes, err := core.Solve(context.Background(), prenex.Apply(q, s), core.Options{Mode: core.ModeTotalOrder})
+		rTO := rTORes.Verdict
 		if err != nil {
 			t.Fatalf("%s: TO %v: %v", name, s, err)
 		}
@@ -55,7 +58,8 @@ func decideEveryWay(t *testing.T, name string, q *qbf.QBF) bool {
 	if err != nil {
 		t.Fatalf("%s: read: %v", name, err)
 	}
-	rBack, _, err := core.Solve(back, core.Options{})
+	rBackRes, err := core.Solve(context.Background(), back, core.Options{})
+	rBack := rBackRes.Verdict
 	if err != nil {
 		t.Fatalf("%s: solve after round trip: %v", name, err)
 	}
@@ -70,7 +74,8 @@ func decideEveryWay(t *testing.T, name string, q *qbf.QBF) bool {
 			t.Fatalf("%s: preprocessing decided %v, solver %v", name, res.Value, want)
 		}
 	} else {
-		rPre, _, err := core.Solve(pre, core.Options{})
+		rPreRes, err := core.Solve(context.Background(), pre, core.Options{})
+		rPre := rPreRes.Verdict
 		if err != nil {
 			t.Fatalf("%s: solve after preprocess: %v", name, err)
 		}
@@ -81,7 +86,8 @@ func decideEveryWay(t *testing.T, name string, q *qbf.QBF) bool {
 
 	// 5. Miniscope, then solve.
 	mini := prenex.Miniscope(q)
-	rMini, _, err := core.Solve(mini, core.Options{})
+	rMiniRes, err := core.Solve(context.Background(), mini, core.Options{})
+	rMini := rMiniRes.Verdict
 	if err != nil {
 		t.Fatalf("%s: solve after miniscope: %v", name, err)
 	}

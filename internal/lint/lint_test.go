@@ -236,16 +236,16 @@ func f(n int) string {
 }
 
 func TestRulesByName(t *testing.T) {
-	if got := len(RulesByName(nil, nil)); got != 6 {
-		t.Fatalf("default rule count = %d, want 6", got)
+	if got := len(RulesByName(nil, nil)); got != 7 {
+		t.Fatalf("default rule count = %d, want 7", got)
 	}
 	only := RulesByName([]string{"L2"}, nil)
 	if len(only) != 1 || only[0].Name() != "L2" {
 		t.Fatalf("enable filter broken: %v", only)
 	}
 	without := RulesByName(nil, []string{"L3", "L4"})
-	if len(without) != 4 || without[0].Name() != "L1" || without[1].Name() != "L2" ||
-		without[2].Name() != "L5" || without[3].Name() != "L6" {
+	if len(without) != 5 || without[0].Name() != "L1" || without[1].Name() != "L2" ||
+		without[2].Name() != "L5" || without[3].Name() != "L6" || without[4].Name() != "L7" {
 		t.Fatalf("disable filter broken: %v", without)
 	}
 }
@@ -460,5 +460,52 @@ func TestParseModulePath(t *testing.T) {
 		if got := parseModulePath(c.in); got != c.want {
 			t.Errorf("parseModulePath(%q) = %q, want %q", c.in, got, c.want)
 		}
+	}
+}
+
+func TestL7FiresOnLibraryPrints(t *testing.T) {
+	r, root := fixtureModule(t, map[string]string{
+		"internal/telemetry/x.go": `package telemetry
+import (
+	"fmt"
+	"log"
+)
+func bad(n int) {
+	fmt.Println("solving", n)
+	fmt.Printf("n=%d\n", n)
+	log.Printf("n=%d", n)
+	log.Fatal("dead")
+}
+`,
+	})
+	fs := run(t, r, root)
+	if got := rulesFired(fs)["L7"]; got != 4 {
+		t.Fatalf("L7 findings = %d, want 4: %v", got, fs)
+	}
+}
+
+func TestL7ExemptMainTestsAndWriters(t *testing.T) {
+	r, root := fixtureModule(t, map[string]string{
+		"cmd/tool/main.go": `package main
+import "fmt"
+func main() { fmt.Println("verdict") }
+`,
+		"internal/bench/x_test.go": `package bench
+import "fmt"
+func helper() { fmt.Println("debug") }
+`,
+		"internal/bench/x.go": `package bench
+import (
+	"fmt"
+	"io"
+	"os"
+)
+func table(w io.Writer) { fmt.Fprintf(w, "row\n") }
+func report()           { fmt.Fprintln(os.Stderr, "contained failure") }
+func allowed()          { fmt.Println("progress") } //lint:allow L7 campaign narration is this package's contract
+`,
+	})
+	if fs := run(t, r, root); len(fs) != 0 {
+		t.Fatalf("unexpected findings: %v", fs)
 	}
 }

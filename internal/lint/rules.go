@@ -23,7 +23,7 @@ import (
 
 // DefaultRules returns all rules in canonical order.
 func DefaultRules() []Rule {
-	return []Rule{ruleTimestamps{}, ruleConversions{}, rulePanic{}, ruleStringBuild{}, ruleGoRecover{}, ruleCommentOpener{}}
+	return []Rule{ruleTimestamps{}, ruleConversions{}, rulePanic{}, ruleStringBuild{}, ruleGoRecover{}, ruleCommentOpener{}, ruleDirectPrint{}}
 }
 
 // RulesByName filters the default set: enable lists the rules to keep
@@ -368,4 +368,53 @@ func (ruleCommentOpener) Check(f *File, report func(token.Pos, string)) {
 			}
 		}
 	}
+}
+
+// ---------------------------------------------------------------------------
+// L7: library packages must not print to process-global streams.
+
+type ruleDirectPrint struct{}
+
+func (ruleDirectPrint) Name() string { return "L7" }
+func (ruleDirectPrint) Doc() string {
+	return "no fmt.Print*/log.Print* in library packages; report through telemetry, returned errors, or a caller-supplied io.Writer (suppress intentional sites with //lint:allow L7)"
+}
+
+// Applies to every non-test, non-main package: a library that writes to
+// stdout/stderr on its own bypasses the observability layer (traces and
+// metrics are attachable, a raw print is not) and corrupts CLI framing —
+// qbfsolve's verdict line and golden -stats output share those streams.
+func (ruleDirectPrint) Applies(f *File) bool {
+	return !f.IsTest && f.AST.Name.Name != "main"
+}
+
+func (ruleDirectPrint) Check(f *File, report func(token.Pos, string)) {
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		switch pkg.Name {
+		case "fmt":
+			switch name {
+			case "Print", "Printf", "Println":
+				report(call.Pos(), "fmt."+name+" writes to process stdout from library code; take an io.Writer or attach a telemetry exporter")
+			}
+		case "log":
+			switch name {
+			case "Print", "Printf", "Println", "Fatal", "Fatalf", "Fatalln", "Panic", "Panicf", "Panicln":
+				report(call.Pos(), "log."+name+" uses the process-global logger from library code; return an error or emit a telemetry event")
+			}
+		}
+		return true
+	})
 }

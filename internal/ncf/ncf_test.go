@@ -1,6 +1,7 @@
 package ncf
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -61,7 +62,8 @@ func TestPOAndTOAgree(t *testing.T) {
 	trueCnt := 0
 	for s := int64(0); s < 25; s++ {
 		q := Generate(Params{Dep: 3, Var: 4, Cls: 16, Lpc: 3, Seed: s})
-		po, _, err := core.Solve(q, core.Options{Mode: core.ModePartialOrder})
+		poRes, err := core.Solve(context.Background(), q, core.Options{Mode: core.ModePartialOrder})
+		po := poRes.Verdict
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -69,7 +71,8 @@ func TestPOAndTOAgree(t *testing.T) {
 			trueCnt++
 		}
 		for _, strat := range prenex.Strategies {
-			to, _, err := core.Solve(prenex.Apply(q, strat), core.Options{Mode: core.ModeTotalOrder})
+			toRes, err := core.Solve(context.Background(), prenex.Apply(q, strat), core.Options{Mode: core.ModeTotalOrder})
+			to := toRes.Verdict
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -90,7 +93,8 @@ func TestSmallInstancesMatchOracle(t *testing.T) {
 		if !ok {
 			continue
 		}
-		got, _, err := core.Solve(q, core.Options{Mode: core.ModePartialOrder})
+		gotRes, err := core.Solve(context.Background(), q, core.Options{Mode: core.ModePartialOrder})
+		got := gotRes.Verdict
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -11,7 +11,7 @@
 // (MaxParallel) as workers, every worker races concurrently in a single
 // unbounded slice. With fewer slots — the oversubscribed case, including
 // MaxParallel=1 — workers are time-multiplexed in node-budget slices over
-// the resumable solver (core.SolveContext continues a stopped search, so
+// the resumable solver (the resumable core Solve continues a stopped search, so
 // slicing wastes no work), round-robin by (attempts, index). Worker 0 is
 // the sequential default configuration, so on easy instances an
 // oversubscribed portfolio costs the sequential runtime plus microseconds.
@@ -36,10 +36,14 @@ import (
 	"repro/internal/core"
 	"repro/internal/prenex"
 	"repro/internal/qbf"
+	"repro/internal/telemetry"
 )
 
-// Config controls a portfolio solve.
-type Config struct {
+// Options controls a portfolio solve. Telemetry attaches through
+// Base.Telemetry: each worker's solver gets a tracer forked with its
+// worker index and structure group, so every event in a shared trace is
+// attributable to one configuration and one sharing group.
+type Options struct {
 	// Workers is the schedule size when Schedule is nil (0 = 4).
 	Workers int
 	// Schedule overrides the generated DefaultSchedule.
@@ -76,8 +80,8 @@ type Config struct {
 
 // WorkerReport is one worker's contribution to a portfolio run.
 type WorkerReport struct {
-	Name   string
-	Result core.Result
+	Name    string
+	Verdict core.Verdict
 	// Stop explains an undecided worker (StopNone when it decided or was
 	// never granted a slice — see Ran).
 	Stop core.StopReason
@@ -96,9 +100,9 @@ type WorkerReport struct {
 	Rejected int64
 }
 
-// Report is the outcome of a portfolio solve.
-type Report struct {
-	Result core.Result
+// Result is the outcome of a portfolio solve.
+type Result struct {
+	Verdict core.Verdict
 	// Stop explains an Unknown result (aggregated across workers: the
 	// portfolio deadline and outer cancellation take precedence, then the
 	// lowest-indexed worker's stop reason).
@@ -121,8 +125,18 @@ type Report struct {
 	Time     time.Duration
 }
 
+// Config is the deprecated name of Options.
+//
+// Deprecated: use Options.
+type Config = Options
+
+// Report is the deprecated name of Result.
+//
+// Deprecated: use Result.
+type Report = Result
+
 // WinnerName returns the winning configuration's name, or "none".
-func (r Report) WinnerName() string {
+func (r Result) WinnerName() string {
 	if r.Winner < 0 || r.Winner >= len(r.Workers) {
 		return "none"
 	}
@@ -133,8 +147,8 @@ func (r Report) WinnerName() string {
 // stop, and the first worker error when every worker that ran failed —
 // the condition under which a batch driver should count the instance as
 // errored rather than out-of-budget.
-func (r Report) Err() error {
-	if r.Result != core.Unknown {
+func (r Result) Err() error {
+	if r.Verdict != core.Unknown {
 		return nil
 	}
 	var first error
@@ -164,9 +178,11 @@ type worker struct {
 	solver  *core.Solver
 	opts    core.Options
 
+	tracer *telemetry.Tracer
+
 	attempts  int
 	done      bool
-	result    core.Result
+	verdict   core.Verdict
 	stop      core.StopReason
 	err       error
 	ran       bool
@@ -186,12 +202,13 @@ const (
 )
 
 // Solve races the configured portfolio on q under ctx and returns the
-// merged report. The only error return is a configuration or input error;
-// per-worker failures are contained in the report.
-func Solve(ctx context.Context, q *qbf.QBF, cfg Config) (Report, error) {
+// merged result. The only error return is a configuration or input error;
+// per-worker failures are contained in the result's worker reports.
+func Solve(ctx context.Context, q *qbf.QBF, opts Options) (Result, error) {
+	cfg := opts
 	start := time.Now()
 	if q == nil {
-		return Report{}, errors.New("portfolio: nil formula")
+		return Result{}, errors.New("portfolio: nil formula")
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -205,11 +222,11 @@ func Solve(ctx context.Context, q *qbf.QBF, cfg Config) (Report, error) {
 		schedule = DefaultSchedule(q, n)
 	}
 	if len(schedule) == 0 {
-		return Report{}, errors.New("portfolio: empty schedule")
+		return Result{}, errors.New("portfolio: empty schedule")
 	}
 	for i, w := range schedule {
 		if w.Options.Mode == core.ModeTotalOrder && !w.Prenexed && !q.Prefix.IsPrenex() {
-			return Report{}, fmt.Errorf("portfolio: worker %d (%s): total-order mode on a non-prenex input requires Prenexed", i, w.Name)
+			return Result{}, fmt.Errorf("portfolio: worker %d (%s): total-order mode on a non-prenex input requires Prenexed", i, w.Name)
 		}
 	}
 
@@ -289,7 +306,7 @@ func Solve(ctx context.Context, q *qbf.QBF, cfg Config) (Report, error) {
 		}
 		wg.Wait()
 		for _, w := range batch { // index order within the round
-			if w.done && w.err == nil && w.result != core.Unknown && (winner < 0 || w.idx < winner) {
+			if w.done && w.err == nil && w.verdict != core.Unknown && (winner < 0 || w.idx < winner) {
 				winner = w.idx
 			}
 		}
@@ -299,11 +316,11 @@ func Solve(ctx context.Context, q *qbf.QBF, cfg Config) (Report, error) {
 		}
 	}
 
-	rep := Report{Winner: winner, Workers: make([]WorkerReport, len(workers)), Time: time.Since(start)}
+	rep := Result{Winner: winner, Workers: make([]WorkerReport, len(workers)), Time: time.Since(start)}
 	for i, w := range workers {
 		st := w.currentStats()
 		wr := WorkerReport{
-			Name: w.cfg.Name, Result: w.result, Stop: w.stop, Stats: st,
+			Name: w.cfg.Name, Verdict: w.verdict, Stop: w.stop, Stats: st,
 			Attempts: w.attempts, Ran: w.ran, Err: w.err,
 			Exported: w.exported, Imported: st.Imports, Rejected: st.ImportsRejected,
 		}
@@ -314,11 +331,11 @@ func Solve(ctx context.Context, q *qbf.QBF, cfg Config) (Report, error) {
 		rep.Exported, rep.Dropped = exch.Totals()
 	}
 	if winner >= 0 {
-		rep.Result = workers[winner].result
+		rep.Verdict = workers[winner].verdict
 		rep.Stop = core.StopNone
 		rep.Witness = workers[winner].witness
 	} else {
-		rep.Result = core.Unknown
+		rep.Verdict = core.Unknown
 		rep.Stop = aggregateStop(ctx, ctx2, workers)
 	}
 	rep.Stats.StopReason = rep.Stop
@@ -327,7 +344,7 @@ func Solve(ctx context.Context, q *qbf.QBF, cfg Config) (Report, error) {
 
 // engine carries the per-run scheduling state shared by slices.
 type engine struct {
-	cfg    Config
+	cfg    Options
 	q      *qbf.QBF
 	exch   *Exchange
 	slice  int64
@@ -372,6 +389,8 @@ func (e *engine) build(w *worker) error {
 	opts.MemLimit = e.cfg.Base.MemLimit
 	opts.MaxLearned = e.cfg.Base.MaxLearned
 	opts.CheckInvariants = e.cfg.Base.CheckInvariants
+	w.tracer = e.cfg.Base.Telemetry.Fork(w.idx, w.group)
+	opts.Telemetry = w.tracer
 	s, err := core.NewSolver(w.formula, opts)
 	if err != nil {
 		return err
@@ -408,7 +427,7 @@ func (e *engine) build(w *worker) error {
 
 // runSlice grants the worker one scheduling slice: a bounded resume (or
 // ladder relaunch) in sliced mode, a full solve otherwise. All solver
-// panics are contained by SafeSolveContext; a decided worker cancels the
+// panics are contained by SafeSolve; a decided worker cancels the
 // portfolio context so racing siblings stop at their next fixpoint.
 func (e *engine) runSlice(ctx context.Context, w *worker) {
 	if w.solver == nil || w.cfg.Relaunch {
@@ -451,7 +470,8 @@ func (e *engine) runSlice(ctx context.Context, w *worker) {
 		}
 	}
 	w.solver.SetNodeLimit(limit)
-	r, err := w.solver.SafeSolveContext(ctx)
+	w.tracer.Emit(telemetry.KindSlice, 0, 0, int64(w.attempts), limit)
+	r, err := w.solver.SafeSolve(ctx)
 	w.attempts++
 	w.lastStats = w.solver.Stats()
 	if err != nil {
@@ -459,7 +479,7 @@ func (e *engine) runSlice(ctx context.Context, w *worker) {
 		return
 	}
 	if r != core.Unknown {
-		w.done, w.result, w.stop = true, r, core.StopNone
+		w.done, w.verdict, w.stop = true, r, core.StopNone
 		if r == core.True && !w.cfg.Prenexed {
 			w.witness, _ = w.solver.Witness()
 		}
@@ -511,30 +531,8 @@ func aggregateStop(outer, derived context.Context, workers []*worker) core.StopR
 }
 
 // mergeStats accumulates src into dst (sums, with maxima where a sum is
-// meaningless). StopReason is left to the caller.
-func mergeStats(dst *core.Stats, src core.Stats) {
-	dst.Decisions += src.Decisions
-	dst.Propagations += src.Propagations
-	dst.PureAssignments += src.PureAssignments
-	dst.Conflicts += src.Conflicts
-	dst.Solutions += src.Solutions
-	dst.LearnedClauses += src.LearnedClauses
-	dst.LearnedCubes += src.LearnedCubes
-	dst.Backjumps += src.Backjumps
-	dst.ChronoBacktracks += src.ChronoBacktracks
-	dst.Restarts += src.Restarts
-	dst.Time += src.Time
-	dst.Fixpoints += src.Fixpoints
-	dst.MemReductions += src.MemReductions
-	dst.Imports += src.Imports
-	dst.ImportsRejected += src.ImportsRejected
-	if src.MaxDecisionLevel > dst.MaxDecisionLevel {
-		dst.MaxDecisionLevel = src.MaxDecisionLevel
-	}
-	if src.PeakLearnedBytes > dst.PeakLearnedBytes {
-		dst.PeakLearnedBytes = src.PeakLearnedBytes
-	}
-}
+// meaningless; see result.Stats.Merge). StopReason is left to the caller.
+func mergeStats(dst *core.Stats, src core.Stats) { dst.Merge(src) }
 
 // shareKey canonicalizes a shared constraint for per-worker deduplication.
 func shareKey(sc core.Shared) string {
@@ -567,17 +565,17 @@ func min64(a, b int64) int64 {
 }
 
 // BackendFunc adapts a portfolio configuration to the batch-harness
-// backend signature (see bench.SolveBackend): the per-solve Options become
-// the portfolio's Base budgets, and the merged report collapses into a
-// single (Result, Stats, error) triple.
-func BackendFunc(cfg Config) func(ctx context.Context, q *qbf.QBF, opt core.Options) (core.Result, core.Stats, error) {
-	return func(ctx context.Context, q *qbf.QBF, opt core.Options) (core.Result, core.Stats, error) {
-		c := cfg
+// backend signature (see bench.SolveBackend): the per-solve core.Options
+// become the portfolio's Base budgets, and the merged portfolio result
+// collapses into a single core.Result.
+func BackendFunc(opts Options) func(ctx context.Context, q *qbf.QBF, opt core.Options) (core.Result, error) {
+	return func(ctx context.Context, q *qbf.QBF, opt core.Options) (core.Result, error) {
+		c := opts
 		c.Base = opt
 		rep, err := Solve(ctx, q, c)
 		if err != nil {
-			return core.Unknown, core.Stats{}, err
+			return core.Result{}, err
 		}
-		return rep.Result, rep.Stats, rep.Err()
+		return core.Result{Verdict: rep.Verdict, Stats: rep.Stats}, rep.Err()
 	}
 }

@@ -3,15 +3,18 @@ package portfolio
 import (
 	"context"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/qbf"
 	"repro/internal/randqbf"
+	"repro/internal/telemetry"
 )
 
-func mustSolve(t *testing.T, q *qbf.QBF, cfg Config) Report {
+func mustSolve(t *testing.T, q *qbf.QBF, cfg Options) Result {
 	t.Helper()
 	rep, err := Solve(context.Background(), q, cfg)
 	if err != nil {
@@ -29,11 +32,11 @@ func TestPortfolioTrivial(t *testing.T) {
 	for _, tc := range []struct {
 		name string
 		q    *qbf.QBF
-		want core.Result
+		want core.Verdict
 	}{{"true", qTrue, core.True}, {"false", qFalse, core.False}} {
-		rep := mustSolve(t, tc.q, Config{Workers: 4, Share: true})
-		if rep.Result != tc.want {
-			t.Fatalf("%s: got %v, want %v (report %+v)", tc.name, rep.Result, tc.want, rep)
+		rep := mustSolve(t, tc.q, Options{Workers: 4, Share: true})
+		if rep.Verdict != tc.want {
+			t.Fatalf("%s: got %v, want %v (report %+v)", tc.name, rep.Verdict, tc.want, rep)
 		}
 		if rep.Winner < 0 || rep.Winner >= len(rep.Workers) {
 			t.Fatalf("%s: winner index %d out of range", tc.name, rep.Winner)
@@ -45,17 +48,17 @@ func TestPortfolioTrivial(t *testing.T) {
 }
 
 func TestPortfolioNilAndEmpty(t *testing.T) {
-	if _, err := Solve(context.Background(), nil, Config{}); err == nil {
+	if _, err := Solve(context.Background(), nil, Options{}); err == nil {
 		t.Fatal("nil formula accepted")
 	}
 	q := randqbf.Fixed(0)
-	if _, err := Solve(context.Background(), q, Config{Schedule: []WorkerConfig{}}); err == nil {
+	if _, err := Solve(context.Background(), q, Options{Schedule: []WorkerConfig{}}); err == nil {
 		t.Fatal("empty schedule accepted")
 	}
 	bad := []WorkerConfig{{Name: "bad", Options: core.Options{Mode: core.ModeTotalOrder}}}
 	tree, _, _ := randqbf.MiniscopeFilter(q, 0)
 	if !tree.Prefix.IsPrenex() {
-		if _, err := Solve(context.Background(), tree, Config{Schedule: bad}); err == nil {
+		if _, err := Solve(context.Background(), tree, Options{Schedule: bad}); err == nil {
 			t.Fatal("total-order worker without Prenexed accepted on a tree input")
 		}
 	}
@@ -94,7 +97,8 @@ func TestPortfolioDifferential(t *testing.T) {
 		if !ok {
 			continue
 		}
-		seqR, _, err := core.Solve(q, core.Options{Mode: core.ModePartialOrder})
+		seqRRes, err := core.Solve(context.Background(), q, core.Options{Mode: core.ModePartialOrder})
+		seqR := seqRRes.Verdict
 		if err != nil {
 			t.Fatalf("iteration %d: sequential: %v", i, err)
 		}
@@ -102,21 +106,21 @@ func TestPortfolioDifferential(t *testing.T) {
 			t.Fatalf("iteration %d: sequential solver disagrees with oracle", i)
 		}
 		for _, c := range cases {
-			rep := mustSolve(t, q, Config{
+			rep := mustSolve(t, q, Options{
 				Workers: c.workers, Share: c.share,
 				MaxParallel: c.par, Deterministic: c.det,
 				SliceNodes: 64, // small slices: force many resume cycles
 			})
-			if rep.Result == core.Unknown {
+			if rep.Verdict == core.Unknown {
 				t.Fatalf("iteration %d cfg %s: Unknown (stop %v, report %+v)\nQBF: %v",
 					i, c.name, rep.Stop, rep, q)
 			}
-			if (rep.Result == core.True) != want {
+			if (rep.Verdict == core.True) != want {
 				t.Fatalf("iteration %d cfg %s: portfolio says %v, oracle says %v (winner %s)\nQBF: %v",
-					i, c.name, rep.Result, want, rep.WinnerName(), q)
+					i, c.name, rep.Verdict, want, rep.WinnerName(), q)
 			}
-			if rep.Result != seqR {
-				t.Fatalf("iteration %d cfg %s: portfolio %v != sequential %v", i, c.name, rep.Result, seqR)
+			if rep.Verdict != seqR {
+				t.Fatalf("iteration %d cfg %s: portfolio %v != sequential %v", i, c.name, rep.Verdict, seqR)
 			}
 		}
 		checked++
@@ -137,13 +141,14 @@ func TestPortfolioDifferentialStructured(t *testing.T) {
 	}
 	for i := 0; i < n; i++ {
 		q := randqbf.Fixed(int64(i))
-		seqR, _, err := core.Solve(q, core.Options{Mode: core.ModePartialOrder})
+		seqRRes, err := core.Solve(context.Background(), q, core.Options{Mode: core.ModePartialOrder})
+		seqR := seqRRes.Verdict
 		if err != nil {
 			t.Fatalf("instance %d: sequential: %v", i, err)
 		}
-		rep := mustSolve(t, q, Config{Workers: 4, Share: true, MaxParallel: 2, SliceNodes: 256})
-		if rep.Result != seqR {
-			t.Fatalf("instance %d: portfolio %v != sequential %v (winner %s)", i, rep.Result, seqR, rep.WinnerName())
+		rep := mustSolve(t, q, Options{Workers: 4, Share: true, MaxParallel: 2, SliceNodes: 256})
+		if rep.Verdict != seqR {
+			t.Fatalf("instance %d: portfolio %v != sequential %v (winner %s)", i, rep.Verdict, seqR, rep.WinnerName())
 		}
 	}
 }
@@ -158,16 +163,16 @@ func TestPortfolioDeterministicReproducible(t *testing.T) {
 	rng := rand.New(rand.NewSource(977))
 	for i := 0; i < n; i++ {
 		q := qbf.RandomQBF(rng, 11, 13)
-		cfg := Config{Workers: 4, Share: true, Deterministic: true, SliceNodes: 64}
+		cfg := Options{Workers: 4, Share: true, Deterministic: true, SliceNodes: 64}
 		a := mustSolve(t, q, cfg)
 		b := mustSolve(t, q, cfg)
-		if a.Result != b.Result || a.Winner != b.Winner {
+		if a.Verdict != b.Verdict || a.Winner != b.Winner {
 			t.Fatalf("instance %d: runs differ: (%v, winner %d) vs (%v, winner %d)",
-				i, a.Result, a.Winner, b.Result, b.Winner)
+				i, a.Verdict, a.Winner, b.Verdict, b.Winner)
 		}
 		for w := range a.Workers {
 			x, y := a.Workers[w], b.Workers[w]
-			if x.Attempts != y.Attempts || x.Result != y.Result || x.Stats.Decisions != y.Stats.Decisions {
+			if x.Attempts != y.Attempts || x.Verdict != y.Verdict || x.Stats.Decisions != y.Stats.Decisions {
 				t.Fatalf("instance %d worker %d (%s): attempts/decisions differ: %d/%d vs %d/%d",
 					i, w, x.Name, x.Attempts, x.Stats.Decisions, y.Attempts, y.Stats.Decisions)
 			}
@@ -182,13 +187,14 @@ func TestPortfolioDegeneratesToSequential(t *testing.T) {
 	rng := rand.New(rand.NewSource(555))
 	for i := 0; i < 20; i++ {
 		q := qbf.RandomQBF(rng, 11, 13)
-		seqR, seqSt, err := core.Solve(q, core.Options{Mode: core.ModePartialOrder})
+		seqRRes, err := core.Solve(context.Background(), q, core.Options{Mode: core.ModePartialOrder})
+		seqR, seqSt := seqRRes.Verdict, seqRRes.Stats
 		if err != nil {
 			t.Fatalf("sequential: %v", err)
 		}
-		rep := mustSolve(t, q, Config{Workers: 1})
-		if rep.Result != seqR {
-			t.Fatalf("instance %d: %v != sequential %v", i, rep.Result, seqR)
+		rep := mustSolve(t, q, Options{Workers: 1})
+		if rep.Verdict != seqR {
+			t.Fatalf("instance %d: %v != sequential %v", i, rep.Verdict, seqR)
 		}
 		if rep.Stats.Decisions != seqSt.Decisions {
 			t.Fatalf("instance %d: portfolio of one did different work: %d decisions vs %d",
@@ -199,9 +205,9 @@ func TestPortfolioDegeneratesToSequential(t *testing.T) {
 
 func TestPortfolioNodeBudget(t *testing.T) {
 	q := hardInstance()
-	rep := mustSolve(t, q, Config{Workers: 4, MaxParallel: 1, SliceNodes: 16,
+	rep := mustSolve(t, q, Options{Workers: 4, MaxParallel: 1, SliceNodes: 16,
 		Base: core.Options{NodeLimit: 64}})
-	if rep.Result != core.Unknown {
+	if rep.Verdict != core.Unknown {
 		t.Skip("instance solved within the tiny budget — not a budget exercise")
 	}
 	if rep.Stop != core.StopNodeLimit {
@@ -216,9 +222,9 @@ func TestPortfolioNodeBudget(t *testing.T) {
 
 func TestPortfolioTimeout(t *testing.T) {
 	q := hardInstance()
-	rep := mustSolve(t, q, Config{Workers: 4, MaxParallel: 1, SliceNodes: 32,
+	rep := mustSolve(t, q, Options{Workers: 4, MaxParallel: 1, SliceNodes: 32,
 		Base: core.Options{TimeLimit: time.Millisecond}})
-	if rep.Result != core.Unknown {
+	if rep.Verdict != core.Unknown {
 		t.Skip("instance solved within a millisecond — not a timeout exercise")
 	}
 	if rep.Stop != core.StopTimeout {
@@ -229,12 +235,12 @@ func TestPortfolioTimeout(t *testing.T) {
 func TestPortfolioOuterCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	rep, err := Solve(ctx, hardInstance(), Config{Workers: 4})
+	rep, err := Solve(ctx, hardInstance(), Options{Workers: 4})
 	if err != nil {
 		t.Fatalf("Solve: %v", err)
 	}
-	if rep.Result != core.Unknown || rep.Stop != core.StopCancelled {
-		t.Fatalf("cancelled run: result %v stop %v, want Unknown/StopCancelled", rep.Result, rep.Stop)
+	if rep.Verdict != core.Unknown || rep.Stop != core.StopCancelled {
+		t.Fatalf("cancelled run: result %v stop %v, want Unknown/StopCancelled", rep.Verdict, rep.Stop)
 	}
 }
 
@@ -247,8 +253,8 @@ func TestPortfolioWitness(t *testing.T) {
 	found := false
 	for i := 0; i < 60 && !found; i++ {
 		q := qbf.RandomQBF(rng, 10, 10)
-		rep := mustSolve(t, q, Config{Workers: 2, Deterministic: true})
-		if rep.Result != core.True || rep.Winner != 0 {
+		rep := mustSolve(t, q, Options{Workers: 2, Deterministic: true})
+		if rep.Verdict != core.True || rep.Winner != 0 {
 			continue
 		}
 		if rep.Witness == nil {
@@ -258,7 +264,7 @@ func TestPortfolioWitness(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			s.Solve()
+			s.Solve(context.Background())
 			if _, ok := s.Witness(); ok {
 				t.Fatalf("instance %d: sequential has a witness, portfolio lost it", i)
 			}
@@ -282,7 +288,7 @@ func TestPortfolioSharingMovesConstraints(t *testing.T) {
 	}
 	for i := 0; i < n; i++ {
 		q := randqbf.Fixed(int64(i))
-		rep := mustSolve(t, q, Config{Workers: 6, Share: true, MaxParallel: 2, SliceNodes: 128})
+		rep := mustSolve(t, q, Options{Workers: 6, Share: true, MaxParallel: 2, SliceNodes: 128})
 		imports += rep.Stats.Imports
 	}
 	if imports == 0 {
@@ -292,13 +298,15 @@ func TestPortfolioSharingMovesConstraints(t *testing.T) {
 }
 
 func TestBackendFunc(t *testing.T) {
-	backend := BackendFunc(Config{Workers: 2, Share: true, Deterministic: true})
+	backend := BackendFunc(Options{Workers: 2, Share: true, Deterministic: true})
 	q := randqbf.Fixed(1)
-	r, st, err := backend(context.Background(), q, core.Options{Mode: core.ModePartialOrder})
+	res, err := backend(context.Background(), q, core.Options{Mode: core.ModePartialOrder})
 	if err != nil {
 		t.Fatalf("backend: %v", err)
 	}
-	seqR, _, _ := core.Solve(q, core.Options{Mode: core.ModePartialOrder})
+	r, st := res.Verdict, res.Stats
+	seqRRes, _ := core.Solve(context.Background(), q, core.Options{Mode: core.ModePartialOrder})
+	seqR := seqRRes.Verdict
 	if r != seqR {
 		t.Fatalf("backend %v != sequential %v", r, seqR)
 	}
@@ -313,4 +321,65 @@ func hardInstance() *qbf.QBF {
 	return randqbf.Prob(randqbf.ProbParams{
 		Blocks: 3, BlockSize: 24, Clauses: 504, Length: 5, MaxUniversal: 1, Seed: 2,
 	})
+}
+
+// TestPortfolioDifferentialTraced re-runs a slice of the differential
+// suite with full telemetry attached — JSONL sink plus metrics registry
+// shared by every worker — which makes the concurrent emit path visible
+// to the race detector (scripts/check.sh runs this package under -race).
+// Verdicts must still agree with the sequential solver, the trace must
+// replay cleanly, and its counts must match the metrics registry.
+func TestPortfolioDifferentialTraced(t *testing.T) {
+	rng := rand.New(rand.NewSource(613))
+	n := 40
+	if testing.Short() {
+		n = 10
+	}
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := telemetry.NewJSONLSink(f)
+	m := telemetry.NewMetrics()
+	tracer := telemetry.New(sink, m)
+	for i := 0; i < n; i++ {
+		q := qbf.RandomQBF(rng, 11, 13)
+		seqRes, err := core.Solve(context.Background(), q, core.Options{Mode: core.ModePartialOrder})
+		if err != nil {
+			t.Fatalf("iteration %d: sequential: %v", i, err)
+		}
+		rep := mustSolve(t, q, Options{
+			Workers: 4, Share: true, MaxParallel: 4, SliceNodes: 64,
+			Base: core.Options{Telemetry: tracer},
+		})
+		if rep.Verdict != seqRes.Verdict {
+			t.Fatalf("iteration %d: traced portfolio %v != sequential %v", i, rep.Verdict, seqRes.Verdict)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	sum, err := telemetry.Summarize(rf)
+	if err != nil {
+		t.Fatalf("trace written under contention does not replay: %v", err)
+	}
+	if sum.Total == 0 || sum.ByKind[telemetry.KindDecision] == 0 || sum.ByKind[telemetry.KindStop] == 0 {
+		t.Fatalf("trace too thin: %+v", sum)
+	}
+	for w := range sum.ByWorker {
+		if w < 0 || w >= 4 {
+			t.Errorf("event tagged with out-of-range worker %d", w)
+		}
+	}
+	for _, k := range telemetry.Kinds() {
+		if got, want := m.Count(k), sum.ByKind[k]; got != want {
+			t.Errorf("metrics[%v]=%d but trace has %d — sink and registry drifted", k, got, want)
+		}
+	}
 }

@@ -31,7 +31,8 @@ func TestPortfolioFaultInjectedCancellation(t *testing.T) {
 	}
 	for round := 0; round < rounds; round++ {
 		q := randqbf.Fixed(int64(round % 6))
-		seqR, _, err := core.Solve(q, core.Options{Mode: core.ModePartialOrder})
+		seqRRes, err := core.Solve(context.Background(), q, core.Options{Mode: core.ModePartialOrder})
+		seqR := seqRRes.Verdict
 		if err != nil {
 			t.Fatalf("round %d: sequential: %v", round, err)
 		}
@@ -39,7 +40,7 @@ func TestPortfolioFaultInjectedCancellation(t *testing.T) {
 		ctx, cancel := context.WithCancel(context.Background())
 		fuse := int64(1 + rng.Intn(400))
 		var fired atomic.Bool
-		cfg := Config{
+		cfg := Options{
 			Workers: 6, Share: true, MaxParallel: 2, SliceNodes: 64,
 			Base: core.Options{CheckInvariants: true},
 		}
@@ -58,15 +59,15 @@ func TestPortfolioFaultInjectedCancellation(t *testing.T) {
 		if err != nil {
 			t.Fatalf("round %d: %v", round, err)
 		}
-		switch rep.Result {
+		switch rep.Verdict {
 		case core.Unknown:
 			if fired.Load() && rep.Stop != core.StopCancelled {
 				t.Fatalf("round %d: cancelled run stopped with %v", round, rep.Stop)
 			}
 		default:
-			if rep.Result != seqR {
+			if rep.Verdict != seqR {
 				t.Fatalf("round %d: racing verdict %v disagrees with sequential %v (winner %s)",
-					round, rep.Result, seqR, rep.WinnerName())
+					round, rep.Verdict, seqR, rep.WinnerName())
 			}
 		}
 		for _, w := range rep.Workers {
@@ -77,10 +78,10 @@ func TestPortfolioFaultInjectedCancellation(t *testing.T) {
 
 		// The same formula must still solve correctly afterwards: no state
 		// leaked out of the cancelled exchange into the shared input.
-		again := mustSolve(t, q, Config{Workers: 4, Share: true, MaxParallel: 2, SliceNodes: 64,
+		again := mustSolve(t, q, Options{Workers: 4, Share: true, MaxParallel: 2, SliceNodes: 64,
 			Base: core.Options{CheckInvariants: true}})
-		if again.Result != seqR {
-			t.Fatalf("round %d: post-cancellation rerun says %v, sequential %v", round, again.Result, seqR)
+		if again.Verdict != seqR {
+			t.Fatalf("round %d: post-cancellation rerun says %v, sequential %v", round, again.Verdict, seqR)
 		}
 	}
 }
@@ -92,13 +93,14 @@ func TestPortfolioFaultInjectedCancellation(t *testing.T) {
 func TestPortfolioFaultPanicContainment(t *testing.T) {
 	for round := 0; round < 6; round++ {
 		q := randqbf.Fixed(int64(round))
-		seqR, _, err := core.Solve(q, core.Options{Mode: core.ModePartialOrder})
+		seqRRes, err := core.Solve(context.Background(), q, core.Options{Mode: core.ModePartialOrder})
+		seqR := seqRRes.Verdict
 		if err != nil {
 			t.Fatalf("round %d: sequential: %v", round, err)
 		}
 		// Deterministic scheduling runs worker 0 first, so its fuse cannot
 		// be defused by a sibling winning the race beforehand.
-		cfg := Config{Workers: 4, Share: true, Deterministic: true, SliceNodes: 64}
+		cfg := Options{Workers: 4, Share: true, Deterministic: true, SliceNodes: 64}
 		cfg.testSolverHook = func(i, attempt int, s *core.Solver) {
 			if i == 0 {
 				s.SetFaultHook(func(fp int64) {
@@ -112,8 +114,8 @@ func TestPortfolioFaultPanicContainment(t *testing.T) {
 		if err != nil {
 			t.Fatalf("round %d: %v", round, err)
 		}
-		if rep.Result != seqR {
-			t.Fatalf("round %d: verdict %v != sequential %v", round, rep.Result, seqR)
+		if rep.Verdict != seqR {
+			t.Fatalf("round %d: verdict %v != sequential %v", round, rep.Verdict, seqR)
 		}
 		w0 := rep.Workers[0]
 		if w0.Err == nil {
@@ -141,13 +143,13 @@ func TestPortfolioImportOracleUnderStress(t *testing.T) {
 	}
 	for i := 0; i < n; i++ {
 		q := qbf.RandomQBF(rng, 12, 16)
-		rep := mustSolve(t, q, Config{Workers: 6, Share: true, MaxParallel: 3, SliceNodes: 32,
+		rep := mustSolve(t, q, Options{Workers: 6, Share: true, MaxParallel: 3, SliceNodes: 32,
 			Base: core.Options{CheckInvariants: true}})
-		if rep.Result == core.Unknown {
+		if rep.Verdict == core.Unknown {
 			t.Fatalf("instance %d: unlimited run came back Unknown (stop %v)", i, rep.Stop)
 		}
-		if want, ok := qbf.EvalWithBudget(q, 2_000_000); ok && (rep.Result == core.True) != want {
-			t.Fatalf("instance %d: %v disagrees with oracle", i, rep.Result)
+		if want, ok := qbf.EvalWithBudget(q, 2_000_000); ok && (rep.Verdict == core.True) != want {
+			t.Fatalf("instance %d: %v disagrees with oracle", i, rep.Verdict)
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package preprocess
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -131,7 +132,8 @@ func TestHelpsSolver(t *testing.T) {
 	for i := 0; i < 80; i++ {
 		q := qbf.RandomQBF(rng, 12, 14)
 		out, res := Run(q, Options{})
-		want, _, err := core.Solve(q, core.Options{})
+		wantRes, err := core.Solve(context.Background(), q, core.Options{})
+		want := wantRes.Verdict
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -141,7 +143,8 @@ func TestHelpsSolver(t *testing.T) {
 			}
 			continue
 		}
-		got, _, err := core.Solve(out, core.Options{})
+		gotRes, err := core.Solve(context.Background(), out, core.Options{})
+		got := gotRes.Verdict
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package preprocess
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/core"
@@ -44,8 +45,8 @@ func TrivialTruth(q *qbf.QBF, budget time.Duration) (isTrue, decided bool) {
 		matrix = append(matrix, nc)
 	}
 	sat := existentialInstance(q, matrix, false)
-	r, _, err := core.Solve(sat, core.Options{TimeLimit: budget})
-	if err != nil || r != core.True {
+	r, err := core.Solve(context.Background(), sat, core.Options{TimeLimit: budget})
+	if err != nil || r.Verdict != core.True {
 		return false, false
 	}
 	return true, true
@@ -56,8 +57,8 @@ func TrivialTruth(q *qbf.QBF, budget time.Duration) (isTrue, decided bool) {
 func TrivialFalsity(q *qbf.QBF, budget time.Duration) (isFalse, decided bool) {
 	q.Prefix.Finalize()
 	sat := existentialInstance(q, q.Matrix, true)
-	r, _, err := core.Solve(sat, core.Options{TimeLimit: budget})
-	if err != nil || r != core.False {
+	r, err := core.Solve(context.Background(), sat, core.Options{TimeLimit: budget})
+	if err != nil || r.Verdict != core.False {
 		return false, false
 	}
 	return true, true

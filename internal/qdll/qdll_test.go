@@ -1,6 +1,7 @@
 package qdll
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -77,7 +78,8 @@ func TestAgainstQCDCL(t *testing.T) {
 		if err != nil {
 			continue
 		}
-		r, _, err := core.Solve(q, core.Options{})
+		rRes, err := core.Solve(context.Background(), q, core.Options{})
+		r := rRes.Verdict
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -121,7 +123,8 @@ func TestLearningBeatsQDLL(t *testing.T) {
 	if err != nil || !v {
 		t.Fatalf("xor chain must be true: %v %v", v, err)
 	}
-	r, cst, err := core.Solve(q, core.Options{})
+	rRes, err := core.Solve(context.Background(), q, core.Options{})
+	r, cst := rRes.Verdict, rRes.Stats
 	if err != nil || r != core.True {
 		t.Fatalf("qcdcl: %v %v", r, err)
 	}

@@ -1,6 +1,7 @@
 package randqbf
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -64,7 +65,8 @@ func TestProbMatchesOracle(t *testing.T) {
 			continue
 		}
 		for _, mode := range []core.Mode{core.ModePartialOrder, core.ModeTotalOrder} {
-			got, _, err := core.Solve(q, core.Options{Mode: mode})
+			gotRes, err := core.Solve(context.Background(), q, core.Options{Mode: mode})
+			got := gotRes.Verdict
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -90,11 +92,13 @@ func TestMiniscopeFilter(t *testing.T) {
 				t.Errorf("%v: kept instance should be non-prenex after miniscoping", p)
 			}
 			// The miniscoped tree must agree with the prenex original.
-			po, _, err := core.Solve(tree, core.Options{Mode: core.ModePartialOrder})
+			poRes, err := core.Solve(context.Background(), tree, core.Options{Mode: core.ModePartialOrder})
+			po := poRes.Verdict
 			if err != nil {
 				t.Fatal(err)
 			}
-			to, _, err := core.Solve(q, core.Options{Mode: core.ModeTotalOrder})
+			toRes, err := core.Solve(context.Background(), q, core.Options{Mode: core.ModeTotalOrder})
+			to := toRes.Verdict
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -134,11 +138,13 @@ func TestFixedMiniscopeAgreement(t *testing.T) {
 		if !keep {
 			continue
 		}
-		po, _, err := core.Solve(tree, core.Options{Mode: core.ModePartialOrder})
+		poRes, err := core.Solve(context.Background(), tree, core.Options{Mode: core.ModePartialOrder})
+		po := poRes.Verdict
 		if err != nil {
 			t.Fatal(err)
 		}
-		to, _, err := core.Solve(q, core.Options{Mode: core.ModeTotalOrder})
+		toRes, err := core.Solve(context.Background(), q, core.Options{Mode: core.ModeTotalOrder})
+		to := toRes.Verdict
 		if err != nil {
 			t.Fatal(err)
 		}

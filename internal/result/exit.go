@@ -1,0 +1,42 @@
+package result
+
+// Process exit codes shared by the CLIs. 10/20 follow the SAT-solver
+// convention; 30–34 name the governed stop reasons so scripts can
+// distinguish a timeout from a crash; 1 is a usage or input error; 130 is
+// the conventional code for a SIGINT wind-down (128+2).
+const (
+	ExitTrue        = 10
+	ExitFalse       = 20
+	ExitTimeout     = 30
+	ExitNodeLimit   = 31
+	ExitMemLimit    = 32
+	ExitCancelled   = 33
+	ExitPanicked    = 34
+	ExitError       = 1
+	ExitInterrupted = 130
+)
+
+// ExitCode maps a verdict (and, for Unknown, the stop reason) to the
+// documented exit status. A definite verdict wins over a stale stop
+// reason; an Unknown without a recorded stop is an error.
+func ExitCode(v Verdict, stop StopReason) int {
+	switch v {
+	case True:
+		return ExitTrue
+	case False:
+		return ExitFalse
+	}
+	switch stop {
+	case StopTimeout:
+		return ExitTimeout
+	case StopNodeLimit:
+		return ExitNodeLimit
+	case StopMemLimit:
+		return ExitMemLimit
+	case StopCancelled:
+		return ExitCancelled
+	case StopPanicked:
+		return ExitPanicked
+	}
+	return ExitError
+}

@@ -1,0 +1,58 @@
+package result
+
+import (
+	"testing"
+	"time"
+)
+
+func TestExitCodeTable(t *testing.T) {
+	cases := []struct {
+		v    Verdict
+		stop StopReason
+		want int
+	}{
+		{True, StopNone, 10},
+		{False, StopNone, 20},
+		{True, StopTimeout, 10}, // verdict wins over a stale stop
+		{Unknown, StopTimeout, 30},
+		{Unknown, StopNodeLimit, 31},
+		{Unknown, StopMemLimit, 32},
+		{Unknown, StopCancelled, 33},
+		{Unknown, StopPanicked, 34},
+		{Unknown, StopNone, 1},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.v, c.stop); got != c.want {
+			t.Errorf("ExitCode(%v, %v) = %d, want %d", c.v, c.stop, got, c.want)
+		}
+	}
+}
+
+func TestStatsMerge(t *testing.T) {
+	a := Stats{Decisions: 3, MaxDecisionLevel: 2, PeakLearnedBytes: 100, Time: time.Second}
+	b := Stats{Decisions: 4, MaxDecisionLevel: 5, PeakLearnedBytes: 50, Time: 2 * time.Second, StopReason: StopTimeout}
+	a.Merge(b)
+	if a.Decisions != 7 || a.MaxDecisionLevel != 5 || a.PeakLearnedBytes != 100 || a.Time != 3*time.Second {
+		t.Errorf("merge got %+v", a)
+	}
+	if a.StopReason != StopNone {
+		t.Errorf("Merge must leave StopReason to the caller, got %v", a.StopReason)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if True.String() != "TRUE" || False.String() != "FALSE" || Unknown.String() != "UNKNOWN" {
+		t.Error("verdict strings drifted")
+	}
+	for r, want := range map[StopReason]string{
+		StopNone: "none", StopTimeout: "timeout", StopNodeLimit: "node-limit",
+		StopMemLimit: "mem-limit", StopCancelled: "cancelled", StopPanicked: "panicked",
+	} {
+		if r.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(r), r.String(), want)
+		}
+	}
+	if (Result{Verdict: True}).Decided() != true || (Result{}).Decided() != false {
+		t.Error("Decided drifted")
+	}
+}

@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	rpprof "runtime/pprof"
+)
+
+// ServeDebug starts an HTTP server on addr exposing expvar metrics at
+// /debug/vars and the pprof endpoints under /debug/pprof/ on a private
+// mux (nothing is mounted on http.DefaultServeMux). It returns the bound
+// address — useful with a ":0" addr in tests — and a shutdown function.
+// The server is opt-in diagnostics for operators; the solve pipeline
+// never depends on it.
+func ServeDebug(addr string) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return ln.Addr().String(), srv.Close, nil
+}
+
+// StartProfiles begins CPU profiling into <prefix>.cpu.pprof and returns
+// a stop function that ends the CPU profile and writes a heap profile to
+// <prefix>.heap.pprof. Used by the -profile CLI flag.
+func StartProfiles(prefix string) (func() error, error) {
+	cpuF, err := os.Create(prefix + ".cpu.pprof")
+	if err != nil {
+		return nil, err
+	}
+	if err := rpprof.StartCPUProfile(cpuF); err != nil {
+		cpuF.Close()
+		return nil, err
+	}
+	return func() error {
+		rpprof.StopCPUProfile()
+		err := cpuF.Close()
+		heapF, herr := os.Create(prefix + ".heap.pprof")
+		if herr != nil {
+			if err == nil {
+				err = herr
+			}
+			return err
+		}
+		runtime.GC() // settle the heap so the profile reflects live data
+		if werr := rpprof.WriteHeapProfile(heapF); werr != nil && err == nil {
+			err = werr
+		}
+		if cerr := heapF.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		return err
+	}, nil
+}
+
+// PublishOnce registers m under name, tolerating re-registration (expvar
+// panics on duplicate names, which matters in tests and in processes that
+// build more than one pipeline). The first registration wins; later calls
+// are no-ops.
+func PublishOnce(m *Metrics, name string) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	defer func() {
+		// Lost a publish race; the winner serves the same registry shape.
+		_ = recover()
+	}()
+	m.Publish(name)
+}

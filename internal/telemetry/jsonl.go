@@ -1,0 +1,221 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// jsonEvent is the wire form of an Event. Every field is always present
+// (no omitempty): trace consumers get a fixed schema and zero values stay
+// distinguishable from absent ones.
+type jsonEvent struct {
+	T      int64  `json:"t"`
+	Ev     string `json:"ev"`
+	Worker int32  `json:"w"`
+	Group  int32  `json:"g"`
+	Level  int32  `json:"lvl"`
+	Depth  int32  `json:"d"`
+	A      int64  `json:"a"`
+	B      int64  `json:"b"`
+}
+
+// JSONLSink writes one JSON object per event to an io.Writer, newline
+// delimited. Encoding is hand-rolled into a reused buffer — no
+// reflection, no per-event allocation after warm-up — and the sink is
+// safe for concurrent emitters (one mutex serializes buffer and writer).
+// Call Close (or at least Flush) before reading the output: events are
+// buffered.
+type JSONLSink struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	c   io.Closer // underlying closer, if the writer has one
+	buf []byte
+	err error
+}
+
+// NewJSONLSink wraps w. If w is also an io.Closer, Close closes it after
+// flushing.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	s := &JSONLSink{w: bufio.NewWriterSize(w, 1<<16)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// Emit implements Sink.
+func (s *JSONLSink) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	b := s.buf[:0]
+	b = append(b, `{"t":`...)
+	b = strconv.AppendInt(b, e.T, 10)
+	b = append(b, `,"ev":"`...)
+	b = append(b, e.Kind.String()...)
+	b = append(b, `","w":`...)
+	b = strconv.AppendInt(b, int64(e.Worker), 10)
+	b = append(b, `,"g":`...)
+	b = strconv.AppendInt(b, int64(e.Group), 10)
+	b = append(b, `,"lvl":`...)
+	b = strconv.AppendInt(b, int64(e.Level), 10)
+	b = append(b, `,"d":`...)
+	b = strconv.AppendInt(b, int64(e.Depth), 10)
+	b = append(b, `,"a":`...)
+	b = strconv.AppendInt(b, e.A, 10)
+	b = append(b, `,"b":`...)
+	b = strconv.AppendInt(b, e.B, 10)
+	b = append(b, '}', '\n')
+	s.buf = b
+	if _, err := s.w.Write(b); err != nil {
+		s.err = err
+	}
+}
+
+// Flush pushes buffered events to the underlying writer.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	s.err = s.w.Flush()
+	return s.err
+}
+
+// Close flushes and, when the underlying writer is a Closer, closes it.
+// The first error wins.
+func (s *JSONLSink) Close() error {
+	err := s.Flush()
+	if s.c != nil {
+		if cerr := s.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// ReadEvents replays a JSONL trace, invoking fn for each decoded event in
+// file order. Lines that fail to decode or name an unknown kind abort the
+// replay with a positioned error, so a truncated or corrupt trace is
+// reported rather than silently undercounted.
+func ReadEvents(r io.Reader, fn func(Event) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var je jsonEvent
+		if err := json.Unmarshal(raw, &je); err != nil {
+			return fmt.Errorf("trace line %d: %w", line, err)
+		}
+		k, ok := KindFromString(je.Ev)
+		if !ok {
+			return fmt.Errorf("trace line %d: unknown event kind %q", line, je.Ev)
+		}
+		e := Event{
+			T: je.T, Kind: k, Worker: je.Worker, Group: je.Group,
+			Level: je.Level, Depth: je.Depth, A: je.A, B: je.B,
+		}
+		if err := fn(e); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// Summary aggregates a replayed trace: event totals per kind, per worker,
+// and the decision count per prefix depth (the histogram the paper's
+// PO-vs-TO comparison needs).
+type Summary struct {
+	Total     int64
+	ByKind    map[Kind]int64
+	ByWorker  map[int32]int64
+	DecDepth  map[int32]int64 // decisions per prefix depth
+	LastNanos int64           // timestamp of the last event
+	Workers   int             // distinct worker tags (including -1)
+}
+
+// Summarize replays the trace from r and aggregates it.
+func Summarize(r io.Reader) (Summary, error) {
+	s := Summary{
+		ByKind:   make(map[Kind]int64),
+		ByWorker: make(map[int32]int64),
+		DecDepth: make(map[int32]int64),
+	}
+	err := ReadEvents(r, func(e Event) error {
+		s.Total++
+		s.ByKind[e.Kind]++
+		s.ByWorker[e.Worker]++
+		if e.Kind == KindDecision {
+			s.DecDepth[e.Depth]++
+		}
+		if e.T > s.LastNanos {
+			s.LastNanos = e.T
+		}
+		return nil
+	})
+	s.Workers = len(s.ByWorker)
+	return s, err
+}
+
+// WriteText renders the summary as the human-readable report `qbfstat
+// trace` prints: totals, per-kind counts in kind order, per-worker
+// counts, and the decision-by-prefix-depth histogram.
+func (s Summary) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "events=%d workers=%d span=%s\n",
+		s.Total, s.Workers, fmtNanos(s.LastNanos)); err != nil {
+		return err
+	}
+	for i := 0; i < int(numKinds); i++ {
+		k := Kind(i)
+		if n := s.ByKind[k]; n != 0 {
+			if _, err := fmt.Fprintf(w, "  %-10s %d\n", k, n); err != nil {
+				return err
+			}
+		}
+	}
+	workers := make([]int32, 0, len(s.ByWorker))
+	for wid := range s.ByWorker {
+		workers = append(workers, wid)
+	}
+	sort.Slice(workers, func(a, b int) bool { return workers[a] < workers[b] })
+	for _, wid := range workers {
+		if _, err := fmt.Fprintf(w, "  worker %-3d %d\n", wid, s.ByWorker[wid]); err != nil {
+			return err
+		}
+	}
+	depths := make([]int32, 0, len(s.DecDepth))
+	for d := range s.DecDepth {
+		depths = append(depths, d)
+	}
+	sort.Slice(depths, func(a, b int) bool { return depths[a] < depths[b] })
+	for _, d := range depths {
+		if _, err := fmt.Fprintf(w, "  decisions@depth%-3d %d\n", d, s.DecDepth[d]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fmtNanos(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.3fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.3fms", float64(ns)/1e6)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

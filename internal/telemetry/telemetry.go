@@ -1,0 +1,180 @@
+// Package telemetry is the solver's observability layer: a structured
+// event stream (decisions, propagation fixpoints, conflicts/solutions,
+// learning, reductions, imports, restarts, scheduling slices, governor
+// actions, stops), an atomic metrics registry exposable via expvar, and
+// JSONL trace export with a replay/summarize reader.
+//
+// The paper's claims are about search *dynamics* — where in the prefix
+// order the partial-order heuristic branches, how learning pays off per
+// decision level — which end-of-run aggregates cannot show. Every event
+// therefore carries the decision level and a prefix-depth attribution,
+// and portfolio runs tag each event with the worker index and structure
+// group, so QUBE(PO)-vs-QUBE(TO) divergence is visible per race.
+//
+// Cost contract: a nil *Tracer is the disabled state. Every hot-path hook
+// in the solver compiles down to a single nil-check and allocates
+// nothing; the overhead against a build with the hooks compiled out
+// entirely (-tags qbfnotrace) is gated below 2% by scripts/check.sh. With
+// tracing enabled, Emit fills one stack-allocated Event, bumps one atomic
+// counter, and hands the event to the sink; the bundled JSONL sink
+// serializes without reflection into a reused buffer under a mutex, so
+// concurrent portfolio workers can share one sink.
+package telemetry
+
+import "time"
+
+// Kind identifies the event type.
+type Kind uint8
+
+const (
+	// KindDecision: a heuristic branch opened a decision level.
+	// A = the decision literal, B = cumulative decisions.
+	KindDecision Kind = iota
+	// KindFixpoint: a propagation fixpoint was reached (one per main-loop
+	// iteration). A = trail length, B = fixpoint ordinal.
+	KindFixpoint
+	// KindConflict: a clause became contradictory (Lemma 4).
+	// A = constraint id, B = constraint size.
+	KindConflict
+	// KindSolution: a cube fired or the matrix emptied.
+	// A = constraint id (-1 for matrix-empty), B = constraint size.
+	KindSolution
+	// KindLearn: a constraint was learned locally.
+	// A = length, B = 0 for a clause (nogood), 1 for a cube (good).
+	KindLearn
+	// KindReduce: universal/existential reduction removed literals from a
+	// working constraint during analysis or import.
+	// A = literals removed, B = 0 for universal (clause), 1 for
+	// existential (cube) reduction.
+	KindReduce
+	// KindImport: a constraint shared by a sibling solver was accepted.
+	// A = length after re-reduction, B = 0 clause / 1 cube.
+	KindImport
+	// KindRestart: a Luby-scheduled restart abandoned the current branch.
+	// A = Luby index, B = next restart limit.
+	KindRestart
+	// KindSlice: the portfolio scheduler granted a worker one slice.
+	// A = attempt ordinal, B = node limit for the slice (0 = none).
+	KindSlice
+	// KindGovernor: the memory governor ran a forced reduction round.
+	// A = learned bytes before, B = byte budget.
+	KindGovernor
+	// KindStop: a solve call returned. A = verdict (0 unknown / 1 true /
+	// 2 false), B = stop reason (result.StopReason numbering).
+	KindStop
+
+	numKinds // count sentinel; keep last
+)
+
+var kindNames = [numKinds]string{
+	"decision", "fixpoint", "conflict", "solution", "learn", "reduce",
+	"import", "restart", "slice", "governor", "stop",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// KindFromString is the inverse of Kind.String; ok is false for an
+// unknown name.
+func KindFromString(s string) (Kind, bool) {
+	for i, n := range kindNames {
+		if n == s {
+			return Kind(i), true
+		}
+	}
+	return 0, false
+}
+
+// Kinds returns every defined kind in numeric order.
+func Kinds() []Kind {
+	out := make([]Kind, numKinds)
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	return out
+}
+
+// Event is one structured telemetry record. Worker and Group are -1
+// outside portfolio runs; Level is the decision level at emission; Depth
+// is the prefix-depth attribution (the prefix level of the variable or
+// constraint the event is about, 0 when not applicable). A and B carry
+// the per-kind payload documented on the Kind constants.
+type Event struct {
+	T      int64 // nanoseconds since the tracer started
+	Kind   Kind
+	Worker int32
+	Group  int32
+	Level  int32
+	Depth  int32
+	A, B   int64
+}
+
+// Sink consumes events. Implementations must be safe for concurrent use:
+// portfolio workers share one sink. Emit must not retain the event past
+// the call.
+type Sink interface {
+	Emit(e Event)
+}
+
+// Tracer binds a sink and a metrics registry to static worker/group tags.
+// The zero of usefulness is the nil Tracer: every method on a nil
+// receiver is a no-op, which is what makes the disabled hot path one
+// pointer compare. Tracers are immutable after construction; Fork derives
+// per-worker tracers sharing the sink, metrics, and time base.
+type Tracer struct {
+	sink   Sink
+	m      *Metrics
+	worker int32
+	group  int32
+	start  time.Time
+}
+
+// New returns a tracer emitting to sink (may be nil for metrics-only) and
+// counting into m (may be nil for trace-only). Both nil yields a nil
+// tracer, i.e. telemetry disabled.
+func New(sink Sink, m *Metrics) *Tracer {
+	if sink == nil && m == nil {
+		return nil
+	}
+	return &Tracer{sink: sink, m: m, worker: -1, group: -1, start: time.Now()}
+}
+
+// Fork derives a tracer tagged with a portfolio worker index and
+// structure group, sharing the parent's sink, metrics, and time base.
+// Fork of a nil tracer is nil.
+func (t *Tracer) Fork(worker, group int) *Tracer {
+	if t == nil {
+		return nil
+	}
+	ft := *t
+	ft.worker, ft.group = int32(worker), int32(group)
+	return &ft
+}
+
+// Emit records one event: the metrics counter for k is bumped and, when a
+// sink is attached, a timestamped Event carrying the tracer's tags is
+// delivered. Emit on a nil tracer is a no-op.
+func (t *Tracer) Emit(k Kind, level, depth int, a, b int64) {
+	if t == nil {
+		return
+	}
+	if t.m != nil {
+		t.m.inc(k)
+	}
+	if t.sink != nil {
+		t.sink.Emit(Event{
+			T:      time.Since(t.start).Nanoseconds(),
+			Kind:   k,
+			Worker: t.worker,
+			Group:  t.group,
+			Level:  int32(level),
+			Depth:  int32(depth),
+			A:      a,
+			B:      b,
+		})
+	}
+}

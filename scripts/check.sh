@@ -5,7 +5,7 @@
 #   1. go build            (everything compiles, including qbfdebug)
 #   2. go vet              (stock static analysis)
 #   3. gofmt check         (no unformatted files)
-#   4. qbflint             (project-specific rules L1-L6, see DESIGN.md §6)
+#   4. qbflint             (project-specific rules L1-L7, see DESIGN.md §6)
 #   5. go test -race       (full suite under the race detector, including
 #                          the portfolio differential and metamorphic
 #                          layers and the exchange-ring stress tests)
@@ -15,7 +15,13 @@
 #                          and the fault-injection hook live)
 #   7. go test -fuzz smoke (5s fuzz of the QDIMACS/QTREE reader; the
 #                          checked-in corpus replays in step 5 already)
-#   8. bench_portfolio     (portfolio-vs-sequential smoke campaign; writes
+#   8. tracing overhead    (builds with -tags qbfnotrace, then compares the
+#                          end-to-end BenchmarkSolveTraceOverhead between
+#                          the default build — hooks compiled in, tracer
+#                          nil — and the qbfnotrace build; fails when the
+#                          min-of-runs ratio exceeds QBF_OVERHEAD_TOLERANCE,
+#                          default 1.02, i.e. 2% — see DESIGN.md §9)
+#   9. bench_portfolio     (portfolio-vs-sequential smoke campaign; writes
 #                          results/BENCH_portfolio.json and fails on any
 #                          verdict disagreement)
 #
@@ -53,6 +59,28 @@ go test -tags qbfdebug -race ./internal/core/... ./internal/bench/... ./internal
 
 echo "==> go test -fuzz=FuzzRead -fuzztime=5s ./internal/qdimacs/"
 go test -run '^$' -fuzz=FuzzRead -fuzztime=5s ./internal/qdimacs/
+
+echo "==> go build -tags qbfnotrace ./..."
+go build -tags qbfnotrace ./...
+
+echo "==> disabled-tracing overhead smoke (nil-tracer build vs qbfnotrace build)"
+# Min of several runs filters scheduler noise; the ratio bounds what the
+# compiled-in (but disabled) hooks may cost relative to a build with the
+# hooks removed entirely.
+overhead_min() {
+    go test $1 -run '^$' -bench BenchmarkSolveTraceOverhead \
+        -benchtime 0.3s -count 6 ./internal/core/ |
+        awk '/BenchmarkSolveTraceOverhead/ { if (min == "" || $3 < min) min = $3 } END { print min }'
+}
+hooked=$(overhead_min "")
+stripped=$(overhead_min "-tags qbfnotrace")
+echo "    hooked   ${hooked} ns/op"
+echo "    stripped ${stripped} ns/op"
+echo "$hooked $stripped ${QBF_OVERHEAD_TOLERANCE:-1.02}" | awk '{
+    ratio = $1 / $2
+    printf "    ratio    %.4f (tolerance %.2f)\n", ratio, $3
+    if (ratio > $3) { print "disabled tracing regresses past tolerance" > "/dev/stderr"; exit 1 }
+}'
 
 echo "==> bench_portfolio smoke (results/BENCH_portfolio.json)"
 go run ./cmd/qbfbench -suite portfolio -scale smoke -out results
