@@ -148,8 +148,8 @@ func BenchmarkFig5_DIAScatter(b *testing.B) {
 // Figure 6 (left): counter<N> scaling series, PO vs TO.
 func BenchmarkFig6_CounterScaling(b *testing.B) {
 	m := models.Counter(2)
-	po := dia.SolverPO(core.Options{TimeLimit: benchCfg.Timeout})
-	to := dia.SolverTO(prenex.EUpAUp, core.Options{TimeLimit: benchCfg.Timeout})
+	po := dia.SolverPO(context.Background(), core.Options{TimeLimit: benchCfg.Timeout})
+	to := dia.SolverTO(context.Background(), prenex.EUpAUp, core.Options{TimeLimit: benchCfg.Timeout})
 	for i := 0; i < b.N; i++ {
 		if pts := bench.ScalingSeries(m, m.KnownDiameter+1, po); len(pts) == 0 {
 			b.Fatal("empty PO series")
@@ -163,8 +163,8 @@ func BenchmarkFig6_CounterScaling(b *testing.B) {
 // Figure 6 (right): semaphore<N> scaling series, PO vs TO.
 func BenchmarkFig6_SemaphoreScaling(b *testing.B) {
 	m := models.Semaphore(3)
-	po := dia.SolverPO(core.Options{TimeLimit: benchCfg.Timeout})
-	to := dia.SolverTO(prenex.EUpAUp, core.Options{TimeLimit: benchCfg.Timeout})
+	po := dia.SolverPO(context.Background(), core.Options{TimeLimit: benchCfg.Timeout})
+	to := dia.SolverTO(context.Background(), prenex.EUpAUp, core.Options{TimeLimit: benchCfg.Timeout})
 	for i := 0; i < b.N; i++ {
 		if pts := bench.ScalingSeries(m, m.KnownDiameter+1, po); len(pts) == 0 {
 			b.Fatal("empty PO series")
@@ -198,7 +198,7 @@ func BenchmarkAblation_DiaLadder(b *testing.B) {
 	m := models.DME(3)
 	phi := dia.Phi(m, m.KnownDiameter-1)
 	for i := 0; i < b.N; i++ {
-		if r, _ := dia.SolverPO(core.Options{})(phi); r != core.True {
+		if r, _ := dia.SolverPO(context.Background(), core.Options{})(phi); r != core.True {
 			b.Fatal(r)
 		}
 	}
@@ -208,7 +208,7 @@ func BenchmarkAblation_DiaCoarse(b *testing.B) {
 	m := models.DME(3)
 	phi := dia.PhiCoarse(m, m.KnownDiameter-1)
 	for i := 0; i < b.N; i++ {
-		if r, _ := dia.SolverPO(core.Options{})(phi); r != core.True {
+		if r, _ := dia.SolverPO(context.Background(), core.Options{})(phi); r != core.True {
 			b.Fatal(r)
 		}
 	}

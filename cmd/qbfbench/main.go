@@ -10,6 +10,8 @@
 //	prob      — Table I row 7 and Figure 7 (probabilistic class)
 //	fixed     — Table I row 8 and Figure 7 (fixed class)
 //	scaling   — Figure 6 (counter and semaphore series)
+//	portfolio — racing-portfolio speedup vs the sequential engine
+//	serve     — qbfd service smoke: throughput, shed rate, oracle agreement
 //	all       — everything above
 //
 // Scatter CSVs land in -out (default "results/").
@@ -52,7 +54,7 @@ var plotFigures bool
 var campaignFailures int
 
 func main() {
-	suite := flag.String("suite", "all", "suite: ncf, fpv, dia, prob, fixed, scaling, portfolio, all")
+	suite := flag.String("suite", "all", "suite: ncf, fpv, dia, prob, fixed, scaling, portfolio, serve, all")
 	scaleName := flag.String("scale", "default", "experiment scale: smoke, default, full")
 	outDir := flag.String("out", "results", "directory for CSV artifacts")
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel solver instances")
@@ -117,12 +119,14 @@ func main() {
 			runScaling(scale, *outDir)
 		case "portfolio":
 			runPortfolioSuite(ctx, cfg, *pWorkers, *share, *outDir)
+		case "serve":
+			runServeSuite(ctx, cfg, *outDir)
 		default:
 			fail(fmt.Errorf("unknown suite %q", name))
 		}
 	}
 	if *suite == "all" {
-		for _, s := range []string{"ncf", "fpv", "dia", "prob", "fixed", "scaling", "portfolio"} {
+		for _, s := range []string{"ncf", "fpv", "dia", "prob", "fixed", "scaling", "portfolio", "serve"} {
 			run(s)
 		}
 	} else {
@@ -204,8 +208,8 @@ func runSimple(ctx context.Context, name string, insts []bench.Instance, scale b
 // semaphore<N> (fixed diameter, growing size) series for both solvers.
 func runScaling(scale bench.Scale, outDir string) {
 	series := map[string][]bench.ScalingPoint{}
-	po := dia.SolverPO(core.Options{TimeLimit: scale.Timeout})
-	to := dia.SolverTO(prenex.EUpAUp, core.Options{TimeLimit: scale.Timeout})
+	po := dia.SolverPO(context.Background(), core.Options{TimeLimit: scale.Timeout})
+	to := dia.SolverTO(context.Background(), prenex.EUpAUp, core.Options{TimeLimit: scale.Timeout})
 
 	for n := 2; n <= scale.DIAMaxBits; n++ {
 		m := models.Counter(n)

@@ -1,0 +1,254 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/qdimacs"
+	"repro/internal/randqbf"
+	"repro/internal/result"
+	"repro/internal/server"
+	"repro/internal/server/client"
+)
+
+// serveInstance is one pooled request payload with its oracle verdict.
+type serveInstance struct {
+	name    string
+	formula string
+	oracle  core.Verdict
+}
+
+// serveSuite builds the request pool for the serving benchmark: small
+// model-A instances plus fixed-class trees, each solved once sequentially
+// up front so every service answer can be checked against a known verdict.
+// The instances are deliberately quick — the suite measures the service
+// machinery (admission, queueing, shedding, retry), not search time.
+func serveSuite(ctx context.Context, budget time.Duration) ([]serveInstance, time.Duration, error) {
+	var pool []serveInstance
+	seqStart := time.Now()
+	addProb := func(label string, p randqbf.ProbParams) error {
+		q := randqbf.Prob(p)
+		text, err := qdimacs.WriteString(q)
+		if err != nil {
+			return err
+		}
+		r, err := core.Solve(ctx, q, core.Options{TimeLimit: budget})
+		if err != nil {
+			return err
+		}
+		pool = append(pool, serveInstance{name: label, formula: text, oracle: r.Verdict})
+		return nil
+	}
+	for seed := int64(0); seed < 4; seed++ {
+		if err := addProb(fmt.Sprintf("prob-%d", seed), randqbf.ProbParams{
+			Blocks: 2, BlockSize: 6, Clauses: 26, Length: 3, MaxUniversal: 1, Seed: seed,
+		}); err != nil {
+			return nil, 0, err
+		}
+	}
+	// Medium instances (tens of milliseconds each) keep the worker pool
+	// busy long enough for the admission queue to fill, so the run
+	// actually exercises shedding and client backoff.
+	for _, bs := range []int{18, 20} {
+		for seed := int64(2); seed < 4; seed++ {
+			if err := addProb(fmt.Sprintf("prob-med-%d-%d", bs, seed), randqbf.ProbParams{
+				Blocks: 3, BlockSize: bs, Clauses: 21 * bs, Length: 5, MaxUniversal: 1, Seed: seed,
+			}); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	for seed := int64(0); seed < 4; seed++ {
+		tree, _, _ := randqbf.MiniscopeFilter(randqbf.Fixed(seed), 0)
+		text, err := qdimacs.WriteString(tree)
+		if err != nil {
+			return nil, 0, err
+		}
+		r, err := core.Solve(ctx, tree, core.Options{TimeLimit: budget, Mode: core.ModePartialOrder})
+		if err != nil {
+			return nil, 0, err
+		}
+		pool = append(pool, serveInstance{
+			name:    fmt.Sprintf("fixed-%d", seed),
+			formula: text,
+			oracle:  r.Verdict,
+		})
+	}
+	return pool, time.Since(seqStart), nil
+}
+
+// serveReport is the BENCH_serve.json schema.
+type serveReport struct {
+	Suite         string  `json:"suite"`
+	Workers       int     `json:"workers"`
+	QueueDepth    int     `json:"queue_depth"`
+	Clients       int     `json:"clients"`
+	Requests      int     `json:"requests"`
+	Decided       int     `json:"decided"`
+	Undecided     int     `json:"undecided"`
+	Disagreements int     `json:"disagreements"`
+	Retries       int     `json:"retries"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	LatencyP50MS  float64 `json:"latency_p50_ms"`
+	LatencyP95MS  float64 `json:"latency_p95_ms"`
+	// SequentialSeconds is the up-front oracle pass over the distinct pool
+	// instances, for scale context (not comparable to wall_seconds — the
+	// service replays each instance many times).
+	SequentialSeconds float64          `json:"sequential_seconds"`
+	Shed              map[string]int64 `json:"shed"`
+	Panics            int64            `json:"panics"`
+	DrainClean        bool             `json:"drain_clean"`
+}
+
+// runServeSuite measures the solve service end to end: a real qbfd server
+// on a loopback socket, a fleet of retrying clients hammering a small
+// instance pool, every 200 checked against the sequential oracle, and a
+// graceful drain at the end. The admission queue is kept deliberately
+// shallow so the run exercises shedding and client backoff, not just the
+// happy path. A verdict disagreement is a soundness failure and fails the
+// campaign; shed requests that exhaust their retries are reported but are
+// not failures — that is the service working as designed under overload.
+func runServeSuite(ctx context.Context, cfg bench.Config, outDir string) {
+	const (
+		svcWorkers = 2
+		queueDepth = 4
+		clients    = 16
+		perClient  = 8
+	)
+	pool, seqTotal, err := serveSuite(ctx, cfg.Timeout)
+	if err != nil {
+		fail(fmt.Errorf("serve suite oracle pass: %w", err))
+	}
+	fmt.Printf("SERVE: %d clients × %d requests over %d pooled instances, %d workers, queue %d\n",
+		clients, perClient, len(pool), svcWorkers, queueDepth)
+
+	srv := server.New(server.Config{
+		Workers:      svcWorkers,
+		QueueDepth:   queueDepth,
+		QueueTimeout: 5 * time.Second,
+		Caps:         server.Caps{MaxTime: cfg.Timeout},
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fail(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln) //nolint:errcheck // shut down via Close below
+	base := "http://" + ln.Addr().String()
+
+	var (
+		mu            sync.Mutex
+		latencies     []time.Duration
+		decided       int
+		undecided     int
+		disagreements int
+		retries       int
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := client.New(base, nil, client.Policy{
+				MaxAttempts: 6,
+				BaseDelay:   10 * time.Millisecond,
+				MaxDelay:    200 * time.Millisecond,
+				Seed:        int64(c) + 1,
+			})
+			for i := 0; i < perClient; i++ {
+				inst := pool[(c*perClient+i)%len(pool)]
+				t0 := time.Now()
+				out, err := cl.Solve(ctx, server.SolveRequest{Formula: inst.formula})
+				took := time.Since(t0)
+				mu.Lock()
+				retries += out.Attempts - 1
+				if err != nil || out.Status != result.StatusOK {
+					undecided++
+				} else {
+					decided++
+					latencies = append(latencies, took)
+					if out.Resp.Verdict != inst.oracle.String() {
+						disagreements++
+						fmt.Fprintf(os.Stderr, "  DISAGREE %s: oracle %v, service %v\n",
+							inst.name, inst.oracle, out.Resp.Verdict)
+					}
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	drainErr := srv.Drain(dctx)
+	hs.Close() //nolint:errcheck // drain already resolved every request
+	snap := srv.Snapshot()
+
+	rep := serveReport{
+		Suite:             "serve",
+		Workers:           svcWorkers,
+		QueueDepth:        queueDepth,
+		Clients:           clients,
+		Requests:          clients * perClient,
+		Decided:           decided,
+		Undecided:         undecided,
+		Disagreements:     disagreements,
+		Retries:           retries,
+		WallSeconds:       wall.Seconds(),
+		SequentialSeconds: seqTotal.Seconds(),
+		Shed:              snap.Shed,
+		Panics:            snap.Panics,
+		DrainClean:        drainErr == nil,
+	}
+	if wall > 0 {
+		rep.ThroughputRPS = float64(decided) / wall.Seconds()
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		rep.LatencyP50MS = float64(latencies[len(latencies)/2].Microseconds()) / 1000
+		rep.LatencyP95MS = float64(latencies[len(latencies)*95/100].Microseconds()) / 1000
+	}
+
+	path := filepath.Join(outDir, "BENCH_serve.json")
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Printf("  %d/%d decided in %v (%.0f solves/s, p50 %.1fms, p95 %.1fms, %d retries, shed %v) → %s\n",
+		decided, rep.Requests, wall.Round(time.Millisecond), rep.ThroughputRPS,
+		rep.LatencyP50MS, rep.LatencyP95MS, retries, snap.Shed, path)
+	if disagreements > 0 {
+		campaignFailures += disagreements
+	}
+	if drainErr != nil {
+		fmt.Fprintln(os.Stderr, "  serve: drain was forced:", drainErr)
+		campaignFailures++
+	}
+	if snap.Panics > 0 {
+		fmt.Fprintf(os.Stderr, "  serve: %d contained panic(s) during the run\n", snap.Panics)
+		campaignFailures += int(snap.Panics)
+	}
+}

@@ -1,0 +1,138 @@
+// Command qbfd serves QBF solving over HTTP/JSON: a long-lived solver
+// process with admission control, load shedding, per-request budget
+// governance, panic quarantine with circuit breaking, and graceful
+// drain. POST a JSON SolveRequest to /solve; probe liveness at /healthz
+// and readiness at /readyz; read counters at /statusz.
+//
+// Usage:
+//
+//	qbfd [flags]
+//
+// Budgets: each request may ask for time/node/memory budgets; the server
+// clamps them to the -max-time/-max-nodes/-max-mem caps. Outcomes map to
+// HTTP statuses the way the CLIs map exit codes: 200 for verdicts, 504
+// timeout, 422 node limit, 507 memory limit, 503 cancelled/shed/drain,
+// 500 contained panic, 429 queue full (with Retry-After).
+//
+// Shutdown: SIGTERM or SIGINT starts a graceful drain — /readyz flips to
+// 503, new and queued requests shed with 503, in-flight solves finish
+// within -drain-timeout, after which they are cancelled cooperatively.
+// Exit status 0 after a clean drain, 130 when the deadline forced
+// cancellation, 1 on startup errors.
+//
+// Observability: -trace, -metrics-addr and -profile wire the same
+// exporters as qbfsolve; server admission/shed/serve events ride in the
+// trace alongside solver search events.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	workers := flag.Int("workers", 0, "solver worker pool size (0 = NumCPU)")
+	queue := flag.Int("queue", 64, "admission queue depth; beyond it requests are shed with 429")
+	queueTimeout := flag.Duration("queue-timeout", 2*time.Second, "longest a request may wait for a worker before being shed with 503")
+	maxTime := flag.Duration("max-time", 30*time.Second, "server-wide cap on per-request time budgets (0 = uncapped)")
+	maxNodes := flag.Int64("max-nodes", 0, "server-wide cap on per-request decision budgets (0 = uncapped)")
+	maxMem := flag.Int64("max-mem", 0, "server-wide cap on per-request learned-constraint memory budgets in MiB (0 = uncapped)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "grace for in-flight solves on SIGTERM before they are cancelled")
+	breakerThreshold := flag.Int("breaker-threshold", 3, "consecutive contained panics that open a configuration's circuit breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "open-breaker cooldown before a half-open probe")
+	tracePath := flag.String("trace", "", "write a JSONL event trace to FILE (summarize with `qbfstat trace FILE`)")
+	metricsAddr := flag.String("metrics-addr", "", "serve expvar event counters and pprof on ADDR (e.g. localhost:6060)")
+	profile := flag.String("profile", "", "capture CPU and heap profiles to PREFIX.cpu.pprof / PREFIX.heap.pprof")
+	flag.Parse()
+
+	obs, err := telemetry.Setup(*tracePath, *metricsAddr, *profile)
+	if err != nil {
+		fail(err)
+	}
+	if obs.Addr != "" {
+		fmt.Fprintf(os.Stderr, "qbfd: metrics and pprof at http://%s/debug/\n", obs.Addr)
+	}
+
+	srv := server.New(server.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		QueueTimeout: *queueTimeout,
+		Caps: server.Caps{
+			MaxTime:  *maxTime,
+			MaxNodes: *maxNodes,
+			MaxMem:   *maxMem << 20,
+		},
+		Breaker: server.BreakerConfig{
+			Threshold: *breakerThreshold,
+			Cooldown:  *breakerCooldown,
+		},
+		Tracer: obs.Tracer,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	// The listening line goes to stderr so scripts (and the golden CLI
+	// tests) can discover the bound port when -addr uses port 0, without
+	// disturbing any future stdout protocol.
+	fmt.Fprintf(os.Stderr, "qbfd: listening on %s (workers=%d queue=%d queue-timeout=%v drain-timeout=%v)\n",
+		ln.Addr(), effectiveWorkers(*workers), *queue, *queueTimeout, *drainTimeout)
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		finish(obs)
+		fail(err)
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "qbfd: %v received, draining (timeout %v)\n", s, *drainTimeout)
+	}
+
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := srv.Drain(dctx)
+	hs.Close() //nolint:errcheck // drain already resolved every request
+	finish(obs)
+	if errors.Is(drainErr, server.ErrDrainForced) {
+		fmt.Fprintln(os.Stderr, "qbfd: drain deadline exceeded; in-flight solves were cancelled")
+		os.Exit(130)
+	}
+	fmt.Fprintln(os.Stderr, "qbfd: drained cleanly")
+}
+
+// effectiveWorkers mirrors the server's default so the startup line
+// reports the real pool size.
+func effectiveWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return server.DefaultWorkers()
+}
+
+func finish(obs *telemetry.Observability) {
+	if err := obs.Finish(); err != nil {
+		fmt.Fprintln(os.Stderr, "qbfd:", err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "qbfd:", err)
+	os.Exit(1)
+}

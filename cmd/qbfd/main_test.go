@@ -1,0 +1,325 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"flag"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/qdimacs"
+	"repro/internal/randqbf"
+	"repro/internal/result"
+	"repro/internal/server"
+	"repro/internal/server/client"
+)
+
+// The daemon tests run qbfd end to end: the test binary re-executes itself
+// as the real command (TestMain dispatches to main when the marker variable
+// is set), so listening, signal-driven drain, exit codes, and the stderr
+// framing are exercised exactly as an init system would see them.
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden files under testdata")
+
+func TestMain(m *testing.M) {
+	if os.Getenv("QBFD_TEST_RUN_MAIN") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// daemon is one running qbfd child process.
+type daemon struct {
+	cmd      *exec.Cmd
+	addr     string // base URL, e.g. http://127.0.0.1:43121
+	scanDone chan struct{}
+
+	mu     sync.Mutex
+	stderr bytes.Buffer
+}
+
+var listenLine = regexp.MustCompile(`listening on (127\.0\.0\.1:\d+)`)
+
+// startDaemon launches qbfd on a kernel-assigned port and waits for the
+// listening line to learn the address.
+func startDaemon(t *testing.T, extra ...string) *daemon {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	d := &daemon{cmd: exec.Command(os.Args[0], args...), scanDone: make(chan struct{})}
+	d.cmd.Env = append(os.Environ(), "QBFD_TEST_RUN_MAIN=1")
+	pipe, err := d.cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if d.cmd.ProcessState == nil {
+			d.cmd.Process.Kill() //nolint:errcheck // last-resort teardown
+			d.cmd.Wait()         //nolint:errcheck
+		}
+	})
+	addrCh := make(chan string, 1)
+	go func() {
+		defer close(d.scanDone)
+		sc := bufio.NewScanner(pipe)
+		for sc.Scan() {
+			line := sc.Text()
+			d.mu.Lock()
+			d.stderr.WriteString(line)
+			d.stderr.WriteByte('\n')
+			d.mu.Unlock()
+			if m := listenLine.FindStringSubmatch(line); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		d.addr = "http://" + addr
+	case <-time.After(10 * time.Second):
+		t.Fatal("qbfd never printed its listening line")
+	}
+	return d
+}
+
+// wait blocks for process exit and returns the exit code. The stderr
+// scanner is drained to EOF first — calling Wait with pipe reads still in
+// flight can drop the final lines (os/exec's documented constraint).
+func (d *daemon) wait(t *testing.T) int {
+	t.Helper()
+	select {
+	case <-d.scanDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("stderr never reached EOF")
+	}
+	err := d.cmd.Wait()
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode()
+	}
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	return 0
+}
+
+func (d *daemon) stderrText() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stderr.String()
+}
+
+func (d *daemon) get(t *testing.T, path string) int {
+	t.Helper()
+	resp, err := http.Get(d.addr + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// hardFormula returns QDIMACS text that needs seconds of search, so a
+// drain deadline can reliably overtake it.
+func hardFormula(t *testing.T) string {
+	t.Helper()
+	q := randqbf.Prob(randqbf.ProbParams{
+		Blocks: 3, BlockSize: 32, Clauses: 21 * 32, Length: 5, MaxUniversal: 1, Seed: 4,
+	})
+	text, err := qdimacs.WriteString(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return text
+}
+
+var portField = regexp.MustCompile(`127\.0\.0\.1:\d+`)
+
+// checkGolden compares got (with the ephemeral port masked) against the
+// golden file, rewriting it under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	norm := portField.ReplaceAllString(got, "127.0.0.1:<PORT>")
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(norm), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden file)", err)
+	}
+	if norm != string(want) {
+		t.Errorf("%s mismatch\n--- got ---\n%s--- want ---\n%s", name, norm, want)
+	}
+}
+
+// TestDaemonServeAndCleanDrain: the daemon serves solves over HTTP, then a
+// SIGTERM drains it cleanly — exit 0 and the exact stderr framing.
+func TestDaemonServeAndCleanDrain(t *testing.T) {
+	d := startDaemon(t, "-workers", "2", "-drain-timeout", "5s")
+	if st := d.get(t, "/healthz"); st != http.StatusOK {
+		t.Fatalf("/healthz = %d", st)
+	}
+	if st := d.get(t, "/readyz"); st != http.StatusOK {
+		t.Fatalf("/readyz = %d", st)
+	}
+	c := client.New(d.addr, nil, client.Policy{})
+	out, err := c.Solve(context.Background(), server.SolveRequest{
+		Formula: "p cnf 2 2\ne 1 2 0\n1 0\n-2 0\n", Witness: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Decided() || out.Resp.Verdict != "TRUE" || len(out.Resp.Witness) != 2 {
+		t.Fatalf("solve over HTTP: %+v", out)
+	}
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := d.wait(t); code != 0 {
+		t.Fatalf("exit %d after clean drain, want 0\nstderr: %s", code, d.stderrText())
+	}
+	checkGolden(t, "drain_clean.golden", d.stderrText())
+}
+
+// TestDaemonDrainDeadlineExit130: a SIGTERM with a solve in flight and a
+// too-short drain deadline must force-cancel and exit 130.
+func TestDaemonDrainDeadlineExit130(t *testing.T) {
+	d := startDaemon(t, "-workers", "2", "-drain-timeout", "100ms")
+	solveDone := make(chan client.Outcome, 1)
+	go func() {
+		c := client.New(d.addr, nil, client.Policy{MaxAttempts: 1})
+		out, _ := c.Solve(context.Background(), server.SolveRequest{Formula: hardFormula(t)})
+		solveDone <- out
+	}()
+	// Let the solve get admitted and start, then pull the plug.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(d.addr + "/statusz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		if strings.Contains(buf.String(), `"in_flight": 1`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("solve never became in-flight")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	code := d.wait(t)
+	out := <-solveDone
+	if out.Status == result.StatusOK {
+		t.Skip("instance solved before the drain deadline on this machine")
+	}
+	if code != 130 {
+		t.Fatalf("exit %d, want 130\nstderr: %s", code, d.stderrText())
+	}
+	if out.Status != result.StatusUnavailable || out.Resp.Stop != "cancelled" {
+		t.Fatalf("force-cancelled solve got %d/%q, want 503/cancelled", out.Status, out.Resp.Stop)
+	}
+	checkGolden(t, "drain_forced.golden", d.stderrText())
+}
+
+// TestDaemonReadinessFlip: during a drain that is waiting out an in-flight
+// solve, /healthz stays 200 (the process lives) while /readyz reports 503
+// (send no new traffic) and new solves are shed.
+func TestDaemonReadinessFlip(t *testing.T) {
+	d := startDaemon(t, "-workers", "2", "-drain-timeout", "30s")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	solveDone := make(chan struct{})
+	go func() {
+		defer close(solveDone)
+		c := client.New(d.addr, nil, client.Policy{MaxAttempts: 1})
+		c.Solve(ctx, server.SolveRequest{Formula: hardFormula(t)}) //nolint:errcheck // outcome irrelevant
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for d.get(t, "/readyz") == http.StatusOK && time.Now().Before(deadline) {
+		// Wait for the solve to be in flight before signalling; readyz
+		// stays 200 until then.
+		resp, err := http.Get(d.addr + "/statusz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		if strings.Contains(buf.String(), `"in_flight": 1`) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitStatus := func(path, what string, want int) {
+		t.Helper()
+		dl := time.Now().Add(5 * time.Second)
+		for {
+			if st := d.get(t, path); st == want {
+				return
+			} else if time.Now().After(dl) {
+				t.Fatalf("%s never reached %d (last %d)", what, want, st)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitStatus("/readyz", "readiness", result.StatusUnavailable)
+	if st := d.get(t, "/healthz"); st != http.StatusOK {
+		t.Fatalf("/healthz during drain = %d, want 200", st)
+	}
+	// New work is refused while the old solve keeps its grace period.
+	c := client.New(d.addr, nil, client.Policy{MaxAttempts: 1})
+	out, err := c.Solve(context.Background(), server.SolveRequest{Formula: "p cnf 1 1\ne 1 0\n1 0\n"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != result.StatusUnavailable || out.Resp.Shed != "draining" {
+		t.Fatalf("solve during drain: %d shed=%q, want 503 draining", out.Status, out.Resp.Shed)
+	}
+	// Disconnect the hard solve's client: its context cancels the solve,
+	// the drain completes without hitting the deadline, exit 0.
+	cancel()
+	<-solveDone
+	if code := d.wait(t); code != 0 {
+		t.Fatalf("exit %d after drain, want 0\nstderr: %s", code, d.stderrText())
+	}
+}
+
+// TestDaemonStartupFailure: an unusable listen address must exit 1 with a
+// qbfd: message.
+func TestDaemonStartupFailure(t *testing.T) {
+	cmd := exec.Command(os.Args[0], "-addr", "256.0.0.1:1")
+	cmd.Env = append(os.Environ(), "QBFD_TEST_RUN_MAIN=1")
+	var errb bytes.Buffer
+	cmd.Stderr = &errb
+	err := cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 || !strings.Contains(errb.String(), "qbfd:") {
+		t.Fatalf("err=%v stderr=%q, want exit 1 with a qbfd: message", err, errb.String())
+	}
+}

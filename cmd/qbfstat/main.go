@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -67,10 +68,10 @@ func main() {
 		report("miniscoped", prenex.Miniscope(q))
 	}
 	if *doPrep {
-		if isTrue, decided := preprocess.TrivialTruth(q, 2*time.Second); decided {
+		if isTrue, decided := preprocess.TrivialTruth(context.Background(), q, 2*time.Second); decided {
 			fmt.Printf("trivial truth: DECIDED %v (Cadoli et al. [15])\n", isTrue)
 		}
-		if isFalse, decided := preprocess.TrivialFalsity(q, 2*time.Second); decided {
+		if isFalse, decided := preprocess.TrivialFalsity(context.Background(), q, 2*time.Second); decided {
 			fmt.Printf("trivial falsity: DECIDED false=%v\n", isFalse)
 		}
 		out, res := preprocess.Run(q, preprocess.Options{})

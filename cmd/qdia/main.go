@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -36,9 +37,9 @@ func main() {
 	var solve dia.SolveFunc
 	switch *solver {
 	case "po":
-		solve = dia.SolverPO(core.Options{TimeLimit: *timeout})
+		solve = dia.SolverPO(context.Background(), core.Options{TimeLimit: *timeout})
 	case "to":
-		solve = dia.SolverTO(prenex.EUpAUp, core.Options{TimeLimit: *timeout})
+		solve = dia.SolverTO(context.Background(), prenex.EUpAUp, core.Options{TimeLimit: *timeout})
 	default:
 		fail(fmt.Errorf("unknown solver %q", *solver))
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -32,8 +33,8 @@ func main() {
 			log.Fatal(err)
 		}
 
-		po := dia.ComputeDiameter(m, bfs+2, dia.SolverPO(budget))
-		to := dia.ComputeDiameter(m, bfs+2, dia.SolverTO(prenex.EUpAUp, budget))
+		po := dia.ComputeDiameter(m, bfs+2, dia.SolverPO(context.Background(), budget))
+		to := dia.ComputeDiameter(m, bfs+2, dia.SolverTO(context.Background(), prenex.EUpAUp, budget))
 
 		fmt.Printf("%-11s BFS=%d  QBF/PO=%s  QBF/TO=%s\n",
 			m.Name, bfs, render(po), render(to))

@@ -77,10 +77,9 @@ type Comparison struct {
 // tree form) and the given backend on every instance under ctx and the
 // same budgets, recording per-instance outcomes, times, and verdict
 // agreement. It is the harness behind the portfolio differential suite
-// and the BENCH_portfolio smoke report. A nil ctx falls back to the
-// deprecated cfg.Context, then Background.
+// and the BENCH_portfolio smoke report. A nil ctx means Background.
 func CompareBackends(ctx context.Context, insts []Instance, cfg Config, backend SolveBackend) []Comparison {
-	ctx = cfg.contextOr(ctx)
+	ctx = contextOr(ctx)
 	out := make([]Comparison, len(insts))
 	for i, inst := range insts {
 		seq := runWithRetry(ctx, inst.Tree, cfg.options(core.ModePartialOrder), cfg.Retry)

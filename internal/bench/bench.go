@@ -120,13 +120,6 @@ type Config struct {
 	Workers int
 	// Retry escalates budgets after limit stops (zero value: no retry).
 	Retry RetryPolicy
-	// Context, when non-nil, cancels in-flight and pending solves.
-	//
-	// Deprecated: pass the context as the first argument of RunOne,
-	// RunInstance, RunSuite, or CompareBackends instead. The field is
-	// honored only when the argument context is nil, so existing callers
-	// keep working during migration; it will be removed once none remain.
-	Context context.Context
 	// SolverOptions are the shared engine options (learning toggles etc.).
 	SolverOptions core.Options
 }
@@ -140,16 +133,14 @@ func (c Config) options(mode core.Mode) core.Options {
 	return opt
 }
 
-// contextOr resolves the effective campaign context: the explicit
-// argument wins, then the deprecated Config.Context, then Background.
-func (c Config) contextOr(ctx context.Context) context.Context {
+// contextOr normalizes a nil campaign context to Background, preserving
+// the documented "nil means Background" contract of the Run entry points
+// (runWithRetry consults ctx.Err, so nil cannot flow further down).
+func contextOr(ctx context.Context) context.Context {
 	if ctx != nil {
 		return ctx
 	}
-	if c.Context != nil {
-		return c.Context
-	}
-	return context.Background()
+	return context.Background() //lint:allow L8 nil-context normalization at the API edge
 }
 
 // RunOne solves a single formula under ctx and the budget with panic
@@ -209,9 +200,9 @@ func runWithRetry(ctx context.Context, q *qbf.QBF, opt core.Options, pol RetryPo
 }
 
 // RunInstance runs PO on the tree and TO on every prenex form under ctx
-// (nil falls back to the deprecated cfg.Context, then Background).
+// (nil means Background).
 func RunInstance(ctx context.Context, inst Instance, cfg Config) RunResult {
-	ctx = cfg.contextOr(ctx)
+	ctx = contextOr(ctx)
 	out := RunResult{Name: inst.Name, TO: map[prenex.Strategy]Outcome{}}
 	out.PO = runWithRetry(ctx, inst.Tree, cfg.options(core.ModePartialOrder), cfg.Retry)
 	for s, q := range inst.Prenex {
@@ -234,7 +225,7 @@ func RunInstance(ctx context.Context, inst Instance, cfg Config) RunResult {
 // instance records an errored RunResult and the remaining instances still
 // run.
 func RunSuite(ctx context.Context, insts []Instance, cfg Config) []RunResult {
-	ctx = cfg.contextOr(ctx)
+	ctx = contextOr(ctx)
 	workers := cfg.Workers
 	if workers < 1 {
 		workers = 1

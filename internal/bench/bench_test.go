@@ -184,7 +184,7 @@ func TestRunSuiteParallelAndAggregate(t *testing.T) {
 
 func TestScalingSeries(t *testing.T) {
 	m := models.Counter(2)
-	pts := ScalingSeries(m, 4, dia.SolverPO(core.Options{TimeLimit: 2 * time.Second}))
+	pts := ScalingSeries(m, 4, dia.SolverPO(context.Background(), core.Options{TimeLimit: 2 * time.Second}))
 	if len(pts) != 4 { // φ0..φ3, stops at the first false
 		t.Fatalf("scaling points %d, want 4", len(pts))
 	}

@@ -121,24 +121,21 @@ func TestNodeLimitStopIsNotTimeout(t *testing.T) {
 	}
 }
 
-// TestCancelledConfigContext: a campaign whose context is already cancelled
-// winds down immediately — every outcome is UNKNOWN/cancelled, never
-// retried, and no instance errors. The cancelled context rides in through
-// the deprecated Config.Context field with a nil argument context, pinning
-// the migration fallback until the field is removed.
-func TestCancelledConfigContext(t *testing.T) {
+// TestCancelledArgumentContext: a campaign whose context is already
+// cancelled winds down immediately — every outcome is UNKNOWN/cancelled,
+// never retried, and no instance errors. The context rides in as the
+// leading argument, the only channel since the deprecated Config.Context
+// field was removed.
+func TestCancelledArgumentContext(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	insts := []Instance{
 		MakeInstance("a", easyTree(), prenex.EUpAUp),
 		MakeInstance("b", hardTree(), prenex.EUpAUp),
 	}
-	//lint:ignore SA1012 the nil context is the point: it selects the
-	// deprecated Config.Context fallback under test.
-	results := RunSuite(nil, insts, Config{ //nolint:staticcheck
+	results := RunSuite(ctx, insts, Config{
 		Timeout: 2 * time.Second,
 		Retry:   RetryPolicy{Attempts: 3},
-		Context: ctx,
 	})
 	for _, r := range results {
 		if r.Failure() != nil {

@@ -250,11 +250,13 @@ func ComputeDiameter(m *models.Model, maxN int, solve SolveFunc) Result {
 	return res
 }
 
-// SolverPO returns a SolveFunc running QUBE(PO) on the tree form.
-func SolverPO(opt core.Options) SolveFunc {
+// SolverPO returns a SolveFunc running QUBE(PO) on the tree form. Every
+// solve the returned func starts runs under ctx, so cancelling it stops a
+// diameter computation between (and inside) instances.
+func SolverPO(ctx context.Context, opt core.Options) SolveFunc {
 	opt.Mode = core.ModePartialOrder
 	return func(q *qbf.QBF) (core.Verdict, core.Stats) {
-		r, err := core.Solve(context.Background(), q, opt)
+		r, err := core.Solve(ctx, q, opt)
 		if err != nil {
 			invariant.Violated("dia: PO solve: %v", err)
 		}
@@ -263,11 +265,11 @@ func SolverPO(opt core.Options) SolveFunc {
 }
 
 // SolverTO returns a SolveFunc that prenexes with the given strategy and
-// runs QUBE(TO).
-func SolverTO(strategy prenex.Strategy, opt core.Options) SolveFunc {
+// runs QUBE(TO) under ctx.
+func SolverTO(ctx context.Context, strategy prenex.Strategy, opt core.Options) SolveFunc {
 	opt.Mode = core.ModeTotalOrder
 	return func(q *qbf.QBF) (core.Verdict, core.Stats) {
-		r, err := core.Solve(context.Background(), prenex.Apply(q, strategy), opt)
+		r, err := core.Solve(ctx, prenex.Apply(q, strategy), opt)
 		if err != nil {
 			invariant.Violated("dia: TO solve: %v", err)
 		}

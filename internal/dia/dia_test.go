@@ -47,8 +47,8 @@ func TestPhiStructure(t *testing.T) {
 		t.Errorf("coarse φn inconsistent: %v", err)
 	}
 	// Both encodings must agree semantically.
-	rl, _ := SolverPO(core.Options{})(phi)
-	rc, _ := SolverPO(core.Options{})(coarse)
+	rl, _ := SolverPO(context.Background(), core.Options{})(phi)
+	rc, _ := SolverPO(context.Background(), core.Options{})(coarse)
 	if rl != rc {
 		t.Errorf("ladder gives %v but coarse gives %v", rl, rc)
 	}
@@ -57,7 +57,7 @@ func TestPhiStructure(t *testing.T) {
 func TestPhiTruthCounter2(t *testing.T) {
 	// counter2 has diameter 3: φ0..φ2 true, φ3, φ4 false.
 	m := models.Counter(2)
-	solve := SolverPO(core.Options{})
+	solve := SolverPO(context.Background(), core.Options{})
 	for n := 0; n <= 4; n++ {
 		r, _ := solve(Phi(m, n))
 		want := core.True
@@ -85,11 +85,11 @@ func TestComputeDiameterMatchesBFS(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		po := ComputeDiameter(m, bfs+2, SolverPO(core.Options{}))
+		po := ComputeDiameter(m, bfs+2, SolverPO(context.Background(), core.Options{}))
 		if !po.Decided || po.Diameter != bfs {
 			t.Errorf("%s PO: QBF diameter %v (decided %v), BFS %d", m.Name, po.Diameter, po.Decided, bfs)
 		}
-		to := ComputeDiameter(m, bfs+2, SolverTO(prenex.EUpAUp, core.Options{}))
+		to := ComputeDiameter(m, bfs+2, SolverTO(context.Background(), prenex.EUpAUp, core.Options{}))
 		if !to.Decided || to.Diameter != bfs {
 			t.Errorf("%s TO: QBF diameter %v (decided %v), BFS %d", m.Name, to.Diameter, to.Decided, bfs)
 		}
@@ -99,7 +99,7 @@ func TestComputeDiameterMatchesBFS(t *testing.T) {
 func TestComputeDiameterAllStrategies(t *testing.T) {
 	m := models.TwoBit()
 	for _, s := range prenex.Strategies {
-		r := ComputeDiameter(m, 4, SolverTO(s, core.Options{}))
+		r := ComputeDiameter(m, 4, SolverTO(context.Background(), s, core.Options{}))
 		if !r.Decided || r.Diameter != 2 {
 			t.Errorf("strategy %v: diameter %v (decided %v), want 2", s, r.Diameter, r.Decided)
 		}
@@ -108,7 +108,7 @@ func TestComputeDiameterAllStrategies(t *testing.T) {
 
 func TestComputeDiameterBudget(t *testing.T) {
 	m := models.Counter(3)
-	r := ComputeDiameter(m, 2, SolverPO(core.Options{}))
+	r := ComputeDiameter(m, 2, SolverPO(context.Background(), core.Options{}))
 	if r.Decided {
 		t.Error("maxN=2 cannot decide counter3 (diameter 7)")
 	}
@@ -116,7 +116,7 @@ func TestComputeDiameterBudget(t *testing.T) {
 		t.Errorf("got %d steps, want 3", len(r.Steps))
 	}
 
-	limited := ComputeDiameter(models.Counter(4), 20, SolverPO(core.Options{NodeLimit: 1}))
+	limited := ComputeDiameter(models.Counter(4), 20, SolverPO(context.Background(), core.Options{NodeLimit: 1}))
 	if limited.Decided {
 		t.Error("NodeLimit=1 must not decide counter4")
 	}
@@ -128,7 +128,7 @@ func TestPhiPrenexSameValue(t *testing.T) {
 	for _, m := range []*models.Model{models.TwoBit(), models.Counter(2), models.DME(2)} {
 		for n := 0; n <= 3; n++ {
 			phi := Phi(m, n)
-			want, _ := SolverPO(core.Options{})(phi)
+			want, _ := SolverPO(context.Background(), core.Options{})(phi)
 			for _, s := range prenex.Strategies {
 				gotRes, err := core.Solve(context.Background(), prenex.Apply(phi, s), core.Options{Mode: core.ModeTotalOrder})
 				got := gotRes.Verdict

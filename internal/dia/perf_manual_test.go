@@ -1,6 +1,7 @@
 package dia
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"testing"
@@ -32,9 +33,9 @@ func TestManualDiaPerf(t *testing.T) {
 				maxN = 12
 			}
 			if lbl == "PO" {
-				r = ComputeDiameter(m, maxN+1, SolverPO(opt))
+				r = ComputeDiameter(m, maxN+1, SolverPO(context.Background(), opt))
 			} else {
-				r = ComputeDiameter(m, maxN+1, SolverTO(prenex.EUpAUp, opt))
+				r = ComputeDiameter(m, maxN+1, SolverTO(context.Background(), prenex.EUpAUp, opt))
 			}
 			fmt.Printf("%-12s %s: decided=%v d=%d in %8v steps=%d\n",
 				m.Name, lbl, r.Decided, r.Diameter, time.Since(start).Round(time.Millisecond), len(r.Steps))

@@ -236,16 +236,17 @@ func f(n int) string {
 }
 
 func TestRulesByName(t *testing.T) {
-	if got := len(RulesByName(nil, nil)); got != 7 {
-		t.Fatalf("default rule count = %d, want 7", got)
+	if got := len(RulesByName(nil, nil)); got != 8 {
+		t.Fatalf("default rule count = %d, want 8", got)
 	}
 	only := RulesByName([]string{"L2"}, nil)
 	if len(only) != 1 || only[0].Name() != "L2" {
 		t.Fatalf("enable filter broken: %v", only)
 	}
 	without := RulesByName(nil, []string{"L3", "L4"})
-	if len(without) != 5 || without[0].Name() != "L1" || without[1].Name() != "L2" ||
-		without[2].Name() != "L5" || without[3].Name() != "L6" || without[4].Name() != "L7" {
+	if len(without) != 6 || without[0].Name() != "L1" || without[1].Name() != "L2" ||
+		without[2].Name() != "L5" || without[3].Name() != "L6" || without[4].Name() != "L7" ||
+		without[5].Name() != "L8" {
 		t.Fatalf("disable filter broken: %v", without)
 	}
 }
@@ -503,6 +504,67 @@ import (
 func table(w io.Writer) { fmt.Fprintf(w, "row\n") }
 func report()           { fmt.Fprintln(os.Stderr, "contained failure") }
 func allowed()          { fmt.Println("progress") } //lint:allow L7 campaign narration is this package's contract
+`,
+	})
+	if fs := run(t, r, root); len(fs) != 0 {
+		t.Fatalf("unexpected findings: %v", fs)
+	}
+}
+
+func TestL8FiresOnLibraryContextRoots(t *testing.T) {
+	r, root := fixtureModule(t, map[string]string{
+		"internal/core/x.go": `package core
+import "context"
+func bad() {
+	ctx := context.Background()
+	_ = ctx
+	go func() { _ = context.TODO() }()
+}
+`,
+	})
+	fs := run(t, r, root)
+	if got := rulesFired(fs)["L8"]; got != 2 {
+		t.Fatalf("L8 findings = %d, want 2: %v", got, fs)
+	}
+}
+
+func TestL8ExemptMainTestsAndAllows(t *testing.T) {
+	r, root := fixtureModule(t, map[string]string{
+		"cmd/tool/main.go": `package main
+import "context"
+func main() { _ = context.Background() }
+`,
+		"internal/core/x_test.go": `package core
+import "context"
+func helper() { _ = context.Background() }
+`,
+		"internal/core/x.go": `package core
+import "context"
+func edge(ctx context.Context) context.Context {
+	if ctx != nil {
+		return ctx
+	}
+	return context.Background() //lint:allow L8 nil-context normalization at the API edge
+}
+func threaded(ctx context.Context) context.Context { return ctx }
+`,
+	})
+	if fs := run(t, r, root); len(fs) != 0 {
+		t.Fatalf("unexpected findings: %v", fs)
+	}
+}
+
+func TestL8IgnoresNonRootContextCalls(t *testing.T) {
+	// Derivation calls (WithCancel, WithTimeout, AfterFunc) thread an
+	// existing context and are exactly what the rule steers toward.
+	r, root := fixtureModule(t, map[string]string{
+		"internal/core/x.go": `package core
+import "context"
+func derive(ctx context.Context) {
+	c, stop := context.WithCancel(ctx)
+	defer stop()
+	_ = c
+}
 `,
 	})
 	if fs := run(t, r, root); len(fs) != 0 {

@@ -23,7 +23,7 @@ import (
 
 // DefaultRules returns all rules in canonical order.
 func DefaultRules() []Rule {
-	return []Rule{ruleTimestamps{}, ruleConversions{}, rulePanic{}, ruleStringBuild{}, ruleGoRecover{}, ruleCommentOpener{}, ruleDirectPrint{}}
+	return []Rule{ruleTimestamps{}, ruleConversions{}, rulePanic{}, ruleStringBuild{}, ruleGoRecover{}, ruleCommentOpener{}, ruleDirectPrint{}, ruleContextRoot{}}
 }
 
 // RulesByName filters the default set: enable lists the rules to keep
@@ -414,6 +414,50 @@ func (ruleDirectPrint) Check(f *File, report func(token.Pos, string)) {
 			case "Print", "Printf", "Println", "Fatal", "Fatalf", "Fatalln", "Panic", "Panicf", "Panicln":
 				report(call.Pos(), "log."+name+" uses the process-global logger from library code; return an error or emit a telemetry event")
 			}
+		}
+		return true
+	})
+}
+
+// ---------------------------------------------------------------------------
+// L8: library packages must not invent context roots.
+
+type ruleContextRoot struct{}
+
+func (ruleContextRoot) Name() string { return "L8" }
+func (ruleContextRoot) Doc() string {
+	return "no context.Background()/context.TODO() in library packages; accept a ctx parameter so cancellation reaches every solve (suppress deliberate lifecycle roots with //lint:allow L8)"
+}
+
+// Applies to every non-test, non-main package. The context-first API
+// consolidation (DESIGN.md §9.5) made cancellation flow through leading
+// ctx arguments; a library call minting its own Background severs that
+// flow — the solve it starts can never be cancelled, drained, or traced
+// to a request. The legitimate roots are structural and few: API edges
+// normalizing a documented nil ctx to Background, and components that own
+// a process-lifecycle context (the server's drain root). Those carry
+// //lint:allow L8 with a reason.
+func (ruleContextRoot) Applies(f *File) bool {
+	return !f.IsTest && f.AST.Name.Name != "main"
+}
+
+func (ruleContextRoot) Check(f *File, report func(token.Pos, string)) {
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || pkg.Name != "context" {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Background", "TODO":
+			report(call.Pos(), "context."+sel.Sel.Name+"() mints a fresh context root in library code, severing caller cancellation; take a ctx parameter (deliberate lifecycle roots: //lint:allow L8 with a reason)")
 		}
 		return true
 	})

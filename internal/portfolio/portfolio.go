@@ -125,16 +125,6 @@ type Result struct {
 	Time     time.Duration
 }
 
-// Config is the deprecated name of Options.
-//
-// Deprecated: use Options.
-type Config = Options
-
-// Report is the deprecated name of Result.
-//
-// Deprecated: use Result.
-type Report = Result
-
 // WinnerName returns the winning configuration's name, or "none".
 func (r Result) WinnerName() string {
 	if r.Winner < 0 || r.Winner >= len(r.Workers) {
@@ -211,7 +201,7 @@ func Solve(ctx context.Context, q *qbf.QBF, opts Options) (Result, error) {
 		return Result{}, errors.New("portfolio: nil formula")
 	}
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //lint:allow L8 nil-context normalization at the API edge
 	}
 	schedule := cfg.Schedule
 	if schedule == nil {

@@ -27,9 +27,9 @@ import (
 // Both are one-sided: a negative answer says nothing.
 
 // TrivialTruth reports whether q is decided true by the trivial-truth test
-// within the budget (0 = no limit). The second result is false when the
-// test was inconclusive or ran out of budget.
-func TrivialTruth(q *qbf.QBF, budget time.Duration) (isTrue, decided bool) {
+// within the budget (0 = no limit) under ctx. The second result is false
+// when the test was inconclusive, ran out of budget, or was cancelled.
+func TrivialTruth(ctx context.Context, q *qbf.QBF, budget time.Duration) (isTrue, decided bool) {
 	q.Prefix.Finalize()
 	matrix := make([]qbf.Clause, 0, len(q.Matrix))
 	for _, c := range q.Matrix {
@@ -45,7 +45,7 @@ func TrivialTruth(q *qbf.QBF, budget time.Duration) (isTrue, decided bool) {
 		matrix = append(matrix, nc)
 	}
 	sat := existentialInstance(q, matrix, false)
-	r, err := core.Solve(context.Background(), sat, core.Options{TimeLimit: budget})
+	r, err := core.Solve(ctx, sat, core.Options{TimeLimit: budget})
 	if err != nil || r.Verdict != core.True {
 		return false, false
 	}
@@ -53,11 +53,11 @@ func TrivialTruth(q *qbf.QBF, budget time.Duration) (isTrue, decided bool) {
 }
 
 // TrivialFalsity reports whether q is decided false by the trivial-falsity
-// test within the budget.
-func TrivialFalsity(q *qbf.QBF, budget time.Duration) (isFalse, decided bool) {
+// test within the budget under ctx.
+func TrivialFalsity(ctx context.Context, q *qbf.QBF, budget time.Duration) (isFalse, decided bool) {
 	q.Prefix.Finalize()
 	sat := existentialInstance(q, q.Matrix, true)
-	r, err := core.Solve(context.Background(), sat, core.Options{TimeLimit: budget})
+	r, err := core.Solve(ctx, sat, core.Options{TimeLimit: budget})
 	if err != nil || r.Verdict != core.False {
 		return false, false
 	}

@@ -1,6 +1,7 @@
 package preprocess
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -15,7 +16,7 @@ func TestTrivialTruthPositive(t *testing.T) {
 		qbf.Run{Quant: qbf.Forall, Vars: []qbf.Var{1}},
 		qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{2, 3}})
 	q := qbf.New(p, []qbf.Clause{{2, 1}, {3, -1}})
-	isTrue, decided := TrivialTruth(q, time.Second)
+	isTrue, decided := TrivialTruth(context.Background(), q, time.Second)
 	if !decided || !isTrue {
 		t.Errorf("trivial truth must decide this instance: %v %v", isTrue, decided)
 	}
@@ -28,7 +29,7 @@ func TestTrivialTruthInconclusive(t *testing.T) {
 		qbf.Run{Quant: qbf.Forall, Vars: []qbf.Var{1}},
 		qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{2}})
 	q := qbf.New(p, []qbf.Clause{{2, 1}, {-2, -1}})
-	if _, decided := TrivialTruth(q, time.Second); decided {
+	if _, decided := TrivialTruth(context.Background(), q, time.Second); decided {
 		t.Error("trivial truth must be inconclusive when the witness depends on a universal")
 	}
 }
@@ -39,7 +40,7 @@ func TestTrivialFalsityPositive(t *testing.T) {
 		qbf.Run{Quant: qbf.Forall, Vars: []qbf.Var{1}},
 		qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{2}})
 	q := qbf.New(p, []qbf.Clause{{1, 2}, {1, -2}, {-1, 2}, {-1, -2}})
-	isFalse, decided := TrivialFalsity(q, time.Second)
+	isFalse, decided := TrivialFalsity(context.Background(), q, time.Second)
 	if !decided || !isFalse {
 		t.Errorf("trivial falsity must decide this instance: %v %v", isFalse, decided)
 	}
@@ -51,7 +52,7 @@ func TestTrivialFalsityInconclusive(t *testing.T) {
 		qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{1}},
 		qbf.Run{Quant: qbf.Forall, Vars: []qbf.Var{2}})
 	q := qbf.New(p, []qbf.Clause{{1, 2}, {-1, -2}})
-	if _, decided := TrivialFalsity(q, time.Second); decided {
+	if _, decided := TrivialFalsity(context.Background(), q, time.Second); decided {
 		t.Error("trivial falsity must be inconclusive on a satisfiable relaxation")
 	}
 }
@@ -67,13 +68,13 @@ func TestTrivialSound(t *testing.T) {
 		if !ok {
 			continue
 		}
-		if isTrue, decided := TrivialTruth(q, time.Second); decided {
+		if isTrue, decided := TrivialTruth(context.Background(), q, time.Second); decided {
 			truths++
 			if !isTrue || !want {
 				t.Fatalf("iteration %d: trivial truth unsound (oracle %v)\n%v", i, want, q)
 			}
 		}
-		if isFalse, decided := TrivialFalsity(q, time.Second); decided {
+		if isFalse, decided := TrivialFalsity(context.Background(), q, time.Second); decided {
 			falsities++
 			if !isFalse || want {
 				t.Fatalf("iteration %d: trivial falsity unsound (oracle %v)\n%v", i, want, q)

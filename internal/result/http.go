@@ -1,0 +1,82 @@
+package result
+
+// HTTP status mapping for the solve service, the web-facing sibling of the
+// exit-code table in exit.go. The same principle applies: a definite
+// verdict wins over a stale stop reason, and every governed stop gets its
+// own documented status so clients can tell a retryable condition (the
+// server ran out of wall-clock) from a non-retryable one (the caller's own
+// node budget was exhausted — retrying with the same budget reproduces the
+// same stop).
+//
+//	TRUE / FALSE        → 200 OK
+//	Unknown/timeout     → 504 Gateway Timeout      (retryable)
+//	Unknown/node-limit  → 422 Unprocessable Entity (caller's budget; not retryable)
+//	Unknown/mem-limit   → 507 Insufficient Storage (caller's budget; not retryable)
+//	Unknown/cancelled   → 503 Service Unavailable  (drain or disconnect; retryable)
+//	Unknown/panicked    → 500 Internal Server Error
+//	Unknown/none        → 500 (a run that never stopped has no explanation)
+//
+// Admission-layer statuses the service emits before a solve runs — 400
+// (malformed request), 429 (queue full), 503 (draining, queue deadline, or
+// open circuit breaker) — share the retryability rule: 429 and 503 are
+// retryable, 400 is not. StatusRetryable is the one predicate both the
+// server's Retry-After decision and the client's backoff loop use, so the
+// two sides cannot drift apart.
+const (
+	// StatusOK is the decided-verdict status (net/http's StatusOK, restated
+	// here so the mapping table is self-contained and dependency-free).
+	StatusOK = 200
+	// StatusBadRequest rejects a request the decoder could not accept.
+	StatusBadRequest = 400
+	// StatusUnprocessable reports an exhausted caller-supplied node budget.
+	StatusUnprocessable = 422
+	// StatusTooManyRequests sheds load when the admission queue is full.
+	StatusTooManyRequests = 429
+	// StatusInternalError reports a contained solver panic (or a run with
+	// no recorded stop, which is an internal accounting bug).
+	StatusInternalError = 500
+	// StatusUnavailable covers cancellation, drain, queue-deadline, and
+	// open-breaker rejections: the request was fine, the server's state
+	// was not, and retrying after Retry-After is the correct response.
+	StatusUnavailable = 503
+	// StatusTimeout reports an exhausted wall-clock budget.
+	StatusTimeout = 504
+	// StatusInsufficientStorage reports an exhausted learned-constraint
+	// memory budget.
+	StatusInsufficientStorage = 507
+)
+
+// HTTPStatus maps a verdict (and, for Unknown, the stop reason) to the
+// documented HTTP status, exactly as ExitCode maps them to process exit
+// codes.
+func HTTPStatus(v Verdict, stop StopReason) int {
+	if v == True || v == False {
+		return StatusOK
+	}
+	switch stop {
+	case StopTimeout:
+		return StatusTimeout
+	case StopNodeLimit:
+		return StatusUnprocessable
+	case StopMemLimit:
+		return StatusInsufficientStorage
+	case StopCancelled:
+		return StatusUnavailable
+	case StopPanicked:
+		return StatusInternalError
+	}
+	return StatusInternalError
+}
+
+// StatusRetryable reports whether a client should retry the request that
+// produced the given status: true only for transient server-side
+// conditions (shed load, drain/cancellation, wall-clock timeout). Decided
+// verdicts and caller-budget stops are final — retrying cannot change
+// them — and 400/500 indicate the request or the server is broken.
+func StatusRetryable(code int) bool {
+	switch code {
+	case StatusTooManyRequests, StatusUnavailable, StatusTimeout:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,173 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position. The zero value is
+// Closed: requests flow, failures are counted.
+type BreakerState int
+
+const (
+	// BreakerClosed: traffic flows; consecutive contained panics are
+	// counted and trip the breaker at the configured threshold.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: every request for the guarded configuration is refused
+	// until the cooldown elapses. An open breaker is what quarantines a
+	// poison configuration: the rest of the pool keeps serving while the
+	// crash-looping config is isolated.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown elapsed; exactly one probe request is
+	// admitted. Its success closes the breaker, its failure reopens it.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "invalid"
+	}
+}
+
+// BreakerConfig tunes the per-configuration circuit breakers.
+type BreakerConfig struct {
+	// Threshold is the number of consecutive contained panics that opens
+	// the breaker (0 = 3).
+	Threshold int
+	// Cooldown is how long an open breaker refuses traffic before
+	// admitting a half-open probe (0 = 5s).
+	Cooldown time.Duration
+
+	// now overrides the clock in tests; nil means time.Now.
+	now func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// ticket binds a breaker admission to its later outcome report, so a
+// stale request (admitted before the breaker opened) cannot close the
+// breaker and a lost probe cannot wedge the half-open state.
+type ticket struct {
+	probe bool
+}
+
+// breaker is one open/half-open/closed state machine guarding one solver
+// configuration. All methods are safe for concurrent use.
+type breaker struct {
+	mu       sync.Mutex
+	cfg      BreakerConfig
+	state    BreakerState
+	fails    int
+	openedAt time.Time
+	probing  bool
+	trips    int64 // cumulative closed→open transitions
+}
+
+func newBreaker(cfg BreakerConfig) *breaker {
+	return &breaker{cfg: cfg.withDefaults()}
+}
+
+// Admit asks whether a request may proceed. When the breaker is open and
+// the cooldown has elapsed it transitions to half-open and admits the
+// caller as the single probe; the returned ticket must be resolved with
+// Done (or Cancel, if the request is shed before solving).
+func (b *breaker) Admit() (ticket, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return ticket{}, true
+	case BreakerOpen:
+		if b.cfg.now().Sub(b.openedAt) < b.cfg.Cooldown {
+			return ticket{}, false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return ticket{probe: true}, true
+	default: // BreakerHalfOpen
+		if b.probing {
+			return ticket{}, false
+		}
+		b.probing = true
+		return ticket{probe: true}, true
+	}
+}
+
+// Done resolves an admitted request. A probe's success closes the
+// breaker; any failure while closed counts toward the threshold and any
+// failure while half-open reopens immediately. Outcomes reported while
+// the breaker is open (stale in-flight requests) are ignored — they
+// carry no information about the configuration's current health.
+func (b *breaker) Done(t ticket, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if t.probe {
+		b.probing = false
+	}
+	switch {
+	case ok && t.probe && b.state == BreakerHalfOpen:
+		b.state = BreakerClosed
+		b.fails = 0
+	case ok && b.state == BreakerClosed:
+		b.fails = 0
+	case !ok && b.state == BreakerClosed:
+		b.fails++
+		if b.fails >= b.cfg.Threshold {
+			b.trip()
+		}
+	case !ok && b.state == BreakerHalfOpen:
+		b.trip()
+	}
+}
+
+// Cancel releases an admission that never ran (the request was shed after
+// breaker admission — queue full or drain). A cancelled probe returns the
+// half-open breaker to its probe-pending state so the next request can
+// probe instead of deadlocking the recovery path.
+func (b *breaker) Cancel(t ticket) {
+	if !t.probe {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+}
+
+func (b *breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.cfg.now()
+	b.fails = 0
+	b.trips++
+}
+
+// State reports the current position (for /statusz and tests).
+func (b *breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips reports how many times the breaker has opened.
+func (b *breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

@@ -1,0 +1,150 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives the breaker's cooldown deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newClockedBreaker(threshold int, cooldown time.Duration) (*breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	return newBreaker(BreakerConfig{Threshold: threshold, Cooldown: cooldown, now: clk.now}), clk
+}
+
+// mustAdmit is a test helper asserting Admit's answer.
+func mustAdmit(t *testing.T, b *breaker, want bool) ticket {
+	t.Helper()
+	tk, ok := b.Admit()
+	if ok != want {
+		t.Fatalf("Admit() = %v, want %v (state %v)", ok, want, b.State())
+	}
+	return tk
+}
+
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	b, _ := newClockedBreaker(3, time.Minute)
+	for i := 0; i < 2; i++ {
+		tk := mustAdmit(t, b, true)
+		b.Done(tk, false)
+		if got := b.State(); got != BreakerClosed {
+			t.Fatalf("after %d failures state = %v, want closed", i+1, got)
+		}
+	}
+	tk := mustAdmit(t, b, true)
+	b.Done(tk, false)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("after threshold failures state = %v, want open", got)
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1", b.Trips())
+	}
+	mustAdmit(t, b, false)
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	b, _ := newClockedBreaker(3, time.Minute)
+	for i := 0; i < 10; i++ {
+		tk := mustAdmit(t, b, true)
+		b.Done(tk, i%2 == 0) // alternate success/failure: never 3 in a row
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state = %v, want closed (successes must reset the count)", got)
+	}
+}
+
+func TestBreakerHalfOpenProbeRecovers(t *testing.T) {
+	b, clk := newClockedBreaker(1, time.Minute)
+	tk := mustAdmit(t, b, true)
+	b.Done(tk, false) // threshold 1: trip immediately
+	mustAdmit(t, b, false)
+
+	clk.advance(time.Minute)
+	probe := mustAdmit(t, b, true)
+	if !probe.probe {
+		t.Fatal("post-cooldown admission must be marked as the probe")
+	}
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", got)
+	}
+	// Only one probe at a time.
+	mustAdmit(t, b, false)
+
+	b.Done(probe, true)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after probe success = %v, want closed", got)
+	}
+	mustAdmit(t, b, true)
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	b, clk := newClockedBreaker(1, time.Minute)
+	tk := mustAdmit(t, b, true)
+	b.Done(tk, false)
+	clk.advance(time.Minute)
+	probe := mustAdmit(t, b, true)
+	b.Done(probe, false)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after probe failure = %v, want open", got)
+	}
+	if b.Trips() != 2 {
+		t.Fatalf("trips = %d, want 2", b.Trips())
+	}
+	// The reopen restarts the cooldown from the failure time.
+	mustAdmit(t, b, false)
+	clk.advance(time.Minute)
+	mustAdmit(t, b, true)
+}
+
+func TestBreakerCancelledProbeDoesNotWedgeHalfOpen(t *testing.T) {
+	b, clk := newClockedBreaker(1, time.Minute)
+	tk := mustAdmit(t, b, true)
+	b.Done(tk, false)
+	clk.advance(time.Minute)
+	probe := mustAdmit(t, b, true)
+	// The probe is shed before solving (queue full / drain): without
+	// Cancel the half-open state would refuse probes forever.
+	b.Cancel(probe)
+	next := mustAdmit(t, b, true)
+	if !next.probe {
+		t.Fatal("after a cancelled probe the next admission must probe again")
+	}
+	b.Done(next, true)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state = %v, want closed", got)
+	}
+}
+
+func TestBreakerStaleOutcomeWhileOpenIgnored(t *testing.T) {
+	b, _ := newClockedBreaker(1, time.Minute)
+	stale := mustAdmit(t, b, true) // admitted while closed...
+	tk := mustAdmit(t, b, true)
+	b.Done(tk, false) // ...breaker trips under it
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+	// The stale request finishing well must not close an open breaker: its
+	// outcome predates the failures that opened it.
+	b.Done(stale, true)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after stale success = %v, want open", got)
+	}
+	mustAdmit(t, b, false)
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	cases := map[BreakerState]string{
+		BreakerClosed:   "closed",
+		BreakerOpen:     "open",
+		BreakerHalfOpen: "half-open",
+		BreakerState(9): "invalid",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("BreakerState(%d).String() = %q, want %q", int(s), got, want)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+// Package client is the Go client for the qbfd solve service. Its one
+// job beyond plain HTTP is a correct retry loop: it retries exactly the
+// outcomes the protocol marks transient — shed load (429), drain or
+// cancellation (503), and wall-clock timeouts (504), plus transport
+// errors — with exponential backoff and jitter, and it never retries a
+// verdict or a caller-budget stop, which are final no matter how often
+// they are re-asked. The retryability predicate is
+// result.StatusRetryable, shared with the server, so the two sides
+// cannot drift apart.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/result"
+	"repro/internal/server"
+)
+
+// Policy tunes the retry loop. The zero value tries 4 times with a
+// 100 ms base delay doubling to a 5 s cap, with full jitter on the upper
+// half of each delay.
+type Policy struct {
+	// MaxAttempts is the total number of tries, first included (0 = 4,
+	// 1 = never retry).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles per
+	// attempt (0 = 100ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (0 = 5s).
+	MaxDelay time.Duration
+	// Seed makes the jitter deterministic for tests (0 = a seed derived
+	// from the clock).
+	Seed int64
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 5 * time.Second
+	}
+	return p
+}
+
+// Client talks to one qbfd instance. Safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+	pol  Policy
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// New builds a client for the server at baseURL (e.g.
+// "http://127.0.0.1:8080"). A nil httpClient uses http.DefaultClient.
+func New(baseURL string, httpClient *http.Client, pol Policy) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	pol = pol.withDefaults()
+	seed := pol.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &Client{
+		base: baseURL,
+		hc:   httpClient,
+		pol:  pol,
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Outcome is one Solve call's final state: the decoded response, the HTTP
+// status that produced it, and how many attempts were spent.
+type Outcome struct {
+	Resp     server.SolveResponse
+	Status   int
+	Attempts int
+}
+
+// Decided reports whether the service returned a definite verdict.
+func (o Outcome) Decided() bool {
+	return o.Status == result.StatusOK &&
+		(o.Resp.Verdict == result.True.String() || o.Resp.Verdict == result.False.String())
+}
+
+// Solve posts req to /solve, retrying transient outcomes under the
+// policy. It returns the last outcome and a nil error whenever a
+// well-formed response was obtained — including non-retryable rejections
+// like 400 and budget stops like 422; inspect Outcome.Status and
+// Resp.Stop. The error is non-nil only when every attempt failed at the
+// transport layer or the final body was not valid response JSON.
+func (c *Client) Solve(ctx context.Context, req server.SolveRequest) (Outcome, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("client: encoding request: %w", err)
+	}
+	var out Outcome
+	var lastErr error
+	var lastRA time.Duration
+	for attempt := 0; attempt < c.pol.MaxAttempts; attempt++ {
+		out.Attempts = attempt + 1
+		if attempt > 0 {
+			if err := c.sleep(ctx, c.backoff(attempt, lastRA)); err != nil {
+				return out, err
+			}
+		}
+		resp, err := c.post(ctx, body)
+		if err != nil {
+			lastErr = err
+			lastRA = 0
+			if ctx.Err() != nil {
+				return out, fmt.Errorf("client: %w", ctx.Err())
+			}
+			continue // transport errors are retryable
+		}
+		out.Status = resp.status
+		out.Resp = resp.body
+		lastErr = nil
+		lastRA = resp.retryAfter
+		if !result.StatusRetryable(resp.status) {
+			return out, nil
+		}
+	}
+	if lastErr != nil {
+		return out, fmt.Errorf("client: %d attempts failed, last: %w", out.Attempts, lastErr)
+	}
+	// Retries exhausted on a retryable status: the caller gets the last
+	// well-formed rejection rather than an opaque error.
+	return out, nil
+}
+
+type httpResult struct {
+	status     int
+	body       server.SolveResponse
+	retryAfter time.Duration
+}
+
+func (c *Client) post(ctx context.Context, body []byte) (httpResult, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/solve", bytes.NewReader(body))
+	if err != nil {
+		return httpResult{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := c.hc.Do(hreq)
+	if err != nil {
+		return httpResult{}, err
+	}
+	defer hresp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(hresp.Body, 16<<20))
+	if err != nil {
+		return httpResult{}, err
+	}
+	var out httpResult
+	out.status = hresp.StatusCode
+	if err := json.Unmarshal(data, &out.body); err != nil {
+		return httpResult{}, fmt.Errorf("status %d with malformed body: %w", hresp.StatusCode, err)
+	}
+	if ra := hresp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			out.retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return out, nil
+}
+
+// backoff computes the delay before the given retry attempt (1-based):
+// exponential growth from BaseDelay capped at MaxDelay, with "equal
+// jitter" — half the window deterministic, half uniform — so synchronized
+// clients admitted-and-shed together do not re-arrive together.
+func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	d := c.pol.BaseDelay << (attempt - 1)
+	if d > c.pol.MaxDelay || d <= 0 {
+		d = c.pol.MaxDelay
+	}
+	half := d / 2
+	c.mu.Lock()
+	jitter := time.Duration(c.rng.Int63n(int64(half) + 1))
+	c.mu.Unlock()
+	d = half + jitter
+	// The server's Retry-After is a floor, not a suggestion to ignore.
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
+}
+
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return fmt.Errorf("client: %w", ctx.Err())
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,197 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/result"
+	"repro/internal/server"
+)
+
+// scriptedServer replies with the scripted statuses in order, then keeps
+// repeating the last one. It records how many requests arrived.
+func scriptedServer(t *testing.T, statuses []int, resps []server.SolveResponse) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		i := int(calls.Add(1)) - 1
+		if i >= len(statuses) {
+			i = len(statuses) - 1
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(statuses[i])
+		json.NewEncoder(w).Encode(resps[i]) //nolint:errcheck // test server
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &calls
+}
+
+// fastPolicy keeps test backoffs in the microsecond range.
+var fastPolicy = Policy{MaxAttempts: 4, BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond, Seed: 1}
+
+func TestClientFirstTrySuccess(t *testing.T) {
+	ts, calls := scriptedServer(t, []int{result.StatusOK},
+		[]server.SolveResponse{{Verdict: "TRUE"}})
+	out, err := New(ts.URL, nil, fastPolicy).Solve(context.Background(), server.SolveRequest{Formula: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Attempts != 1 || !out.Decided() || out.Resp.Verdict != "TRUE" {
+		t.Fatalf("out = %+v", out)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("calls = %d, want 1", calls.Load())
+	}
+}
+
+func TestClientRetriesTransientThenSucceeds(t *testing.T) {
+	ts, calls := scriptedServer(t,
+		[]int{result.StatusTooManyRequests, result.StatusUnavailable, result.StatusOK},
+		[]server.SolveResponse{{Shed: "queue-full"}, {Shed: "draining"}, {Verdict: "FALSE"}})
+	out, err := New(ts.URL, nil, fastPolicy).Solve(context.Background(), server.SolveRequest{Formula: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Attempts != 3 || out.Status != result.StatusOK || out.Resp.Verdict != "FALSE" {
+		t.Fatalf("out = %+v", out)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("calls = %d, want 3", calls.Load())
+	}
+}
+
+func TestClientNeverRetriesFinalOutcomes(t *testing.T) {
+	cases := []struct {
+		name   string
+		status int
+		resp   server.SolveResponse
+	}{
+		{"verdict", result.StatusOK, server.SolveResponse{Verdict: "TRUE"}},
+		{"bad request", result.StatusBadRequest, server.SolveResponse{Error: "empty formula"}},
+		{"node limit", result.StatusUnprocessable, server.SolveResponse{Verdict: "UNKNOWN", Stop: "node-limit"}},
+		{"mem limit", result.StatusInsufficientStorage, server.SolveResponse{Verdict: "UNKNOWN", Stop: "mem-limit"}},
+		{"panic", result.StatusInternalError, server.SolveResponse{Verdict: "UNKNOWN", Stop: "panicked"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			ts, calls := scriptedServer(t, []int{c.status}, []server.SolveResponse{c.resp})
+			out, err := New(ts.URL, nil, fastPolicy).Solve(context.Background(), server.SolveRequest{Formula: "x"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Status != c.status || out.Attempts != 1 {
+				t.Fatalf("out = %+v, want status %d on attempt 1", out, c.status)
+			}
+			if calls.Load() != 1 {
+				t.Fatalf("calls = %d: a final outcome was retried", calls.Load())
+			}
+		})
+	}
+}
+
+func TestClientExhaustsRetriesGracefully(t *testing.T) {
+	// Permanently shedding server: the client must hand back the last
+	// well-formed rejection, not an opaque error.
+	ts, calls := scriptedServer(t, []int{result.StatusUnavailable},
+		[]server.SolveResponse{{Shed: "draining"}})
+	out, err := New(ts.URL, nil, fastPolicy).Solve(context.Background(), server.SolveRequest{Formula: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Attempts != 4 || out.Status != result.StatusUnavailable || out.Resp.Shed != "draining" {
+		t.Fatalf("out = %+v", out)
+	}
+	if calls.Load() != 4 {
+		t.Fatalf("calls = %d, want 4", calls.Load())
+	}
+}
+
+func TestClientRetriesTransportErrors(t *testing.T) {
+	// A server that dies after accepting the connection produces transport
+	// errors; all attempts fail and the error reports the count.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			t.Fatal("no hijacker")
+		}
+		conn, _, err := hj.Hijack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.Close()
+	}))
+	t.Cleanup(ts.Close)
+	out, err := New(ts.URL, nil, fastPolicy).Solve(context.Background(), server.SolveRequest{Formula: "x"})
+	if err == nil {
+		t.Fatalf("want transport error, got %+v", out)
+	}
+	if out.Attempts != 4 {
+		t.Fatalf("attempts = %d, want 4", out.Attempts)
+	}
+}
+
+func TestClientMalformedBodyIsAnError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(result.StatusOK)
+		w.Write([]byte("not json")) //nolint:errcheck // test server
+	}))
+	t.Cleanup(ts.Close)
+	_, err := New(ts.URL, nil, fastPolicy).Solve(context.Background(), server.SolveRequest{Formula: "x"})
+	if err == nil {
+		t.Fatal("malformed body must surface as an error")
+	}
+}
+
+func TestClientHonoursContext(t *testing.T) {
+	ts, _ := scriptedServer(t, []int{result.StatusUnavailable},
+		[]server.SolveResponse{{Shed: "draining"}})
+	// Long backoffs + cancelled context: Solve must return promptly with
+	// the context error instead of sleeping out the policy.
+	pol := Policy{MaxAttempts: 4, BaseDelay: time.Hour, MaxDelay: time.Hour, Seed: 1}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := New(ts.URL, nil, pol).Solve(ctx, server.SolveRequest{Formula: "x"})
+	if err == nil {
+		t.Fatal("cancelled solve must error")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatalf("Solve ignored the context for %v", time.Since(start))
+	}
+}
+
+func TestClientBackoffGrowsAndHonoursRetryAfter(t *testing.T) {
+	c := New("http://unused", nil, Policy{MaxAttempts: 8, BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Seed: 7})
+	prevMax := time.Duration(0)
+	for attempt := 1; attempt <= 6; attempt++ {
+		d := c.backoff(attempt, 0)
+		// Equal jitter: the delay lives in [cap/2, cap] for the attempt's
+		// exponential cap.
+		capd := c.pol.BaseDelay << (attempt - 1)
+		if capd > c.pol.MaxDelay || capd <= 0 {
+			capd = c.pol.MaxDelay
+		}
+		if d < capd/2 || d > capd {
+			t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, d, capd/2, capd)
+		}
+		if capd > prevMax {
+			prevMax = capd
+		}
+	}
+	// Retry-After is a floor.
+	if d := c.backoff(1, 10*time.Second); d != 10*time.Second {
+		t.Fatalf("Retry-After floor ignored: %v", d)
+	}
+}
+
+func TestClientZeroPolicyDefaults(t *testing.T) {
+	p := Policy{}.withDefaults()
+	if p.MaxAttempts != 4 || p.BaseDelay != 100*time.Millisecond || p.MaxDelay != 5*time.Second {
+		t.Fatalf("defaults = %+v", p)
+	}
+}

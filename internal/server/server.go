@@ -1,0 +1,576 @@
+// Package server is the solve service: an HTTP/JSON daemon that keeps a
+// long-lived solver process alive and well-behaved under a stream of
+// requests. It wraps the engine's existing robustness primitives —
+// per-request budgets with StopReasons, SafeSolve panic containment, the
+// portfolio backend, and the ctx-first Solve API — in a service-level
+// envelope:
+//
+//   - admission control: a bounded work queue with per-request queue
+//     deadlines; when the queue is full the server sheds load with 429 +
+//     Retry-After instead of accepting unbounded goroutines;
+//   - per-request governance: request-supplied time/node/memory budgets
+//     clamped by server-wide caps, with result.StopReason mapped to HTTP
+//     statuses exactly as the CLIs map it to exit codes 10/20/30–34;
+//   - fault containment: a worker that catches a contained panic reports
+//     it, records a quarantine strike against the offending solver
+//     configuration, and trips that configuration's circuit breaker so a
+//     poison request cannot crash-loop the pool;
+//   - graceful drain: Drain stops admissions, lets in-flight solves
+//     finish inside the caller's deadline, then cancels them via context;
+//     /healthz (liveness) stays green while /readyz flips not-ready the
+//     moment draining starts.
+//
+// See DESIGN.md §10 for the architecture and the breaker state machine.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/portfolio"
+	"repro/internal/result"
+	"repro/internal/telemetry"
+)
+
+// ShedReason names why a request was rejected before solving. The
+// numbering is carried in KindShed telemetry events (Event.A).
+type ShedReason int
+
+const (
+	// ShedQueueFull: the admission queue was at capacity (429).
+	ShedQueueFull ShedReason = iota
+	// ShedDraining: the server is draining; new work is refused (503).
+	ShedDraining
+	// ShedBreakerOpen: the circuit breaker for the request's solver
+	// configuration is open after repeated contained panics (503).
+	ShedBreakerOpen
+	// ShedQueueDeadline: the request waited in the queue longer than the
+	// configured queue timeout and was dropped unsolved (503).
+	ShedQueueDeadline
+)
+
+func (r ShedReason) String() string {
+	switch r {
+	case ShedQueueFull:
+		return "queue-full"
+	case ShedDraining:
+		return "draining"
+	case ShedBreakerOpen:
+		return "breaker-open"
+	case ShedQueueDeadline:
+		return "queue-deadline"
+	default:
+		return "unknown"
+	}
+}
+
+// numShedReasons sizes the per-reason counters; keep in sync with the
+// constants above.
+const numShedReasons = 4
+
+// Config tunes a Server. The zero value serves with safe defaults:
+// NumCPU workers, a 64-deep queue, a 2 s queue deadline, an 8 MiB body
+// cap, and no budget caps.
+type Config struct {
+	// Workers is the solver pool size (0 = NumCPU).
+	Workers int
+	// QueueDepth bounds the admission queue (0 = 64). Requests beyond
+	// Workers+QueueDepth are shed with 429.
+	QueueDepth int
+	// QueueTimeout is the longest a request may wait for a worker before
+	// being shed with 503 (0 = 2s).
+	QueueTimeout time.Duration
+	// MaxBody caps the request body in bytes (0 = 8 MiB).
+	MaxBody int64
+	// Caps are the server-wide ceilings clamping request budgets.
+	Caps Caps
+	// RetryAfter is the hint sent with 429/503 responses (0 = 1s).
+	RetryAfter time.Duration
+	// Breaker tunes the per-configuration circuit breakers.
+	Breaker BreakerConfig
+	// PortfolioWorkers sizes mode=portfolio races (0 = 4).
+	PortfolioWorkers int
+	// Tracer, when non-nil, receives admit/shed/serve events (and is
+	// handed to every solver, so request traces carry search events too).
+	Tracer *telemetry.Tracer
+
+	// testSolverHook, when non-nil, runs after each sequential solver is
+	// constructed, before solving. In-package chaos tests use it to
+	// install qbfdebug fault-injection hooks keyed on the request.
+	testSolverHook func(spec *solveSpec, s *core.Solver)
+}
+
+// DefaultWorkers is the pool size used when Config.Workers is zero.
+func DefaultWorkers() int { return runtime.NumCPU() }
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = DefaultWorkers()
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 2 * time.Second
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 8 << 20
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.PortfolioWorkers <= 0 {
+		c.PortfolioWorkers = 4
+	}
+	return c
+}
+
+// job is one admitted request travelling from the handler to a worker.
+type job struct {
+	spec *solveSpec
+	ctx  context.Context // the request's context (client disconnect)
+	tk   ticket          // breaker admission to resolve
+	br   *breaker
+	enq  time.Time
+	done chan jobResult // buffered(1): the worker never blocks on it
+}
+
+type jobResult struct {
+	status int
+	resp   SolveResponse
+}
+
+// Server is the solve service. Construct with New, mount Handler on an
+// http.Server, and call Drain on shutdown.
+type Server struct {
+	cfg   Config
+	queue chan *job
+
+	draining atomic.Bool
+	// pending counts requests between admission and response; Drain polls
+	// it to zero. Incremented before the draining check so the two cannot
+	// race (see Drain).
+	pending atomic.Int64
+	active  atomic.Int64 // requests currently inside a solver
+
+	// solveCtx is cancelled when the drain deadline forces in-flight
+	// solves to stop; every solve context is derived from the request
+	// context AND this one.
+	solveCtx    context.Context
+	forceCancel context.CancelFunc
+
+	stopWorkers chan struct{}
+	stopOnce    sync.Once
+	workers     sync.WaitGroup
+
+	mu         sync.Mutex
+	breakers   map[string]*breaker
+	quarantine map[string]int64 // config key → contained panics
+
+	admitted  atomic.Int64
+	completed atomic.Int64
+	panics    atomic.Int64
+	shed      [numShedReasons]atomic.Int64
+}
+
+// New builds a Server and starts its worker pool. The returned server is
+// immediately ready; stop it with Drain.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:         cfg,
+		queue:       make(chan *job, cfg.QueueDepth),
+		stopWorkers: make(chan struct{}),
+		breakers:    map[string]*breaker{},
+		quarantine:  map[string]int64{},
+	}
+	// The server owns its workers' lifecycle: this is the API edge where
+	// the root context is created, not a library call site reaching for a
+	// context it should have been handed.
+	s.solveCtx, s.forceCancel = context.WithCancel(context.Background()) //lint:allow L8 server-owned lifecycle root
+	s.workers.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the service mux:
+//
+//	POST /solve    decode → admit → queue → solve → respond
+//	GET  /healthz  liveness: 200 while the process serves at all
+//	GET  /readyz   readiness: 200, flipping to 503 at drain start
+//	GET  /statusz  JSON counters, breaker states, quarantine ledger
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/solve", s.handleSolve)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n") //nolint:errcheck // probe body is best-effort
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			w.WriteHeader(result.StatusUnavailable)
+			io.WriteString(w, "draining\n") //nolint:errcheck // probe body is best-effort
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ready\n") //nolint:errcheck // probe body is best-effort
+	})
+	mux.HandleFunc("/statusz", s.handleStatus)
+	return mux
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, SolveResponse{Error: "POST a SolveRequest to /solve"})
+		return
+	}
+	// Count the request before checking the drain flag: Drain sets the
+	// flag and then waits for pending to reach zero, so any request that
+	// slipped past the flag is still counted (and any counted after the
+	// flag is set immediately sheds and uncounts).
+	s.pending.Add(1)
+	defer s.pending.Add(-1)
+	if s.draining.Load() {
+		s.writeShed(w, ShedDraining, result.StatusUnavailable)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxBody+1))
+	if err != nil {
+		writeJSON(w, result.StatusBadRequest, SolveResponse{Error: "reading body: " + err.Error()})
+		return
+	}
+	if int64(len(body)) > s.cfg.MaxBody {
+		writeJSON(w, http.StatusRequestEntityTooLarge, SolveResponse{
+			Error: "body exceeds " + strconv.FormatInt(s.cfg.MaxBody, 10) + " bytes"})
+		return
+	}
+	req, err := ParseSolveRequest(body)
+	if err != nil {
+		writeJSON(w, result.StatusBadRequest, SolveResponse{Error: err.Error()})
+		return
+	}
+	spec, err := buildSpec(req, s.cfg.Caps)
+	if err != nil {
+		writeJSON(w, result.StatusBadRequest, SolveResponse{Error: err.Error()})
+		return
+	}
+	spec.opt.Telemetry = s.cfg.Tracer
+
+	br := s.breakerFor(spec.key)
+	tk, ok := br.Admit()
+	if !ok {
+		s.writeShed(w, ShedBreakerOpen, result.StatusUnavailable)
+		return
+	}
+
+	j := &job{spec: spec, ctx: r.Context(), tk: tk, br: br, enq: time.Now(), done: make(chan jobResult, 1)}
+	select {
+	case s.queue <- j:
+		s.admitted.Add(1)
+		s.emit(telemetry.KindAdmit, int64(len(s.queue)), s.active.Load())
+	default:
+		br.Cancel(tk)
+		s.writeShed(w, ShedQueueFull, result.StatusTooManyRequests)
+		return
+	}
+
+	select {
+	case res := <-j.done:
+		writeJSON(w, res.status, res.resp)
+	case <-r.Context().Done():
+		// The client is gone; the worker will observe the dead context
+		// and discard the job. There is nobody left to respond to.
+	}
+}
+
+// writeShed emits the shed telemetry event, bumps the counter, and writes
+// the rejection with a Retry-After hint (all shed statuses are retryable).
+func (s *Server) writeShed(w http.ResponseWriter, reason ShedReason, status int) {
+	s.shed[reason].Add(1)
+	s.emit(telemetry.KindShed, int64(reason), int64(len(s.queue)))
+	w.Header().Set("Retry-After", strconv.FormatInt(int64(s.cfg.RetryAfter/time.Second)+1, 10))
+	writeJSON(w, status, SolveResponse{Shed: reason.String(), Error: "load shed: " + reason.String()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, resp SolveResponse) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(resp) //nolint:errcheck // the client may have gone away; nothing to do
+}
+
+// worker is one solver goroutine: it pops admitted jobs and runs them
+// until the server shuts down.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for {
+		select {
+		case <-s.stopWorkers:
+			return
+		case j := <-s.queue:
+			s.serveJob(j)
+		}
+	}
+}
+
+// serveJob runs one admitted job end to end: queue-deadline and drain
+// checks, the contained solve, breaker/quarantine bookkeeping, and the
+// response. It must never panic — a worker death would shrink the pool
+// forever — so the solve itself goes through SafeSolve and everything
+// else is straight-line code.
+func (s *Server) serveJob(j *job) {
+	queued := time.Since(j.enq)
+	switch {
+	case j.ctx.Err() != nil:
+		// The client disconnected while the job sat in the queue; nobody
+		// is waiting on done (the handler returned), so just release the
+		// breaker admission.
+		j.br.Cancel(j.tk)
+		return
+	case s.draining.Load():
+		j.br.Cancel(j.tk)
+		s.shed[ShedDraining].Add(1)
+		s.emit(telemetry.KindShed, int64(ShedDraining), int64(len(s.queue)))
+		j.done <- s.shedResult(ShedDraining)
+		return
+	case queued > s.cfg.QueueTimeout:
+		j.br.Cancel(j.tk)
+		s.shed[ShedQueueDeadline].Add(1)
+		s.emit(telemetry.KindShed, int64(ShedQueueDeadline), int64(len(s.queue)))
+		j.done <- s.shedResult(ShedQueueDeadline)
+		return
+	}
+
+	// The solve context merges the request context (client disconnect)
+	// with the server's force-cancel root (drain deadline). Budgets ride
+	// in Options; the solver polls both at every propagation fixpoint.
+	ctx, cancel := context.WithCancel(j.ctx)
+	stop := context.AfterFunc(s.solveCtx, cancel)
+	s.active.Add(1)
+	start := time.Now()
+	res := s.solve(ctx, j.spec)
+	elapsed := time.Since(start)
+	s.active.Add(-1)
+	stop()
+	cancel()
+
+	ok := res.status != result.StatusInternalError
+	j.br.Done(j.tk, ok)
+	if !ok {
+		s.panics.Add(1)
+		s.mu.Lock()
+		s.quarantine[j.spec.key]++
+		s.mu.Unlock()
+	}
+	s.completed.Add(1)
+	res.resp.QueueMS = queued.Milliseconds()
+	res.resp.SolveMS = elapsed.Milliseconds()
+	s.emit(telemetry.KindServe, verdictCode(res.resp.Verdict), int64(statusStop(res.resp.Stop)))
+	j.done <- res
+}
+
+// solve runs the spec under full containment and maps the outcome to its
+// HTTP status.
+func (s *Server) solve(ctx context.Context, spec *solveSpec) jobResult {
+	if spec.portfolio {
+		rep, err := portfolio.Solve(ctx, spec.q, portfolio.Options{
+			Workers: s.cfg.PortfolioWorkers,
+			Share:   true,
+			Base:    spec.opt,
+		})
+		if err != nil || rep.Err() != nil {
+			if err == nil {
+				err = rep.Err()
+			}
+			return jobResult{status: result.StatusInternalError,
+				resp: solveResponse(result.Unknown, result.StopPanicked, rep.Stats, nil, err)}
+		}
+		var wit []int
+		if spec.witness && rep.Verdict == core.True {
+			wit = witnessInts(rep.Witness, spec.q.MaxVar())
+		}
+		return jobResult{status: result.HTTPStatus(rep.Verdict, rep.Stop),
+			resp: solveResponse(rep.Verdict, rep.Stop, rep.Stats, wit, nil)}
+	}
+
+	solver, err := core.NewSolver(spec.q, spec.opt)
+	if err != nil {
+		// buildSpec validated the formula, so a construction failure is a
+		// server-side defect, not a bad request.
+		return jobResult{status: result.StatusInternalError,
+			resp: SolveResponse{Verdict: result.Unknown.String(), Error: err.Error()}}
+	}
+	if s.cfg.testSolverHook != nil {
+		s.cfg.testSolverHook(spec, solver)
+	}
+	v, err := solver.SafeSolve(ctx)
+	st := solver.Stats()
+	if err != nil {
+		return jobResult{status: result.StatusInternalError,
+			resp: solveResponse(result.Unknown, result.StopPanicked, st, nil, err)}
+	}
+	var wit []int
+	if spec.witness && v == core.True {
+		if model, has := solver.Witness(); has {
+			wit = witnessInts(model, spec.q.MaxVar())
+		}
+	}
+	return jobResult{status: result.HTTPStatus(v, st.StopReason),
+		resp: solveResponse(v, st.StopReason, st, wit, nil)}
+}
+
+func (s *Server) shedResult(reason ShedReason) jobResult {
+	return jobResult{
+		status: result.StatusUnavailable,
+		resp:   SolveResponse{Shed: reason.String(), Error: "load shed: " + reason.String()},
+	}
+}
+
+func (s *Server) breakerFor(key string) *breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.breakers[key]
+	if !ok {
+		b = newBreaker(s.cfg.Breaker)
+		s.breakers[key] = b
+	}
+	return b
+}
+
+func (s *Server) emit(k telemetry.Kind, a, b int64) {
+	s.cfg.Tracer.Emit(k, 0, 0, a, b)
+}
+
+// ErrDrainForced reports that Drain's deadline expired with solves still
+// in flight: they were force-cancelled (each completing with a
+// StopCancelled response) rather than allowed to finish. The
+// conventional process exit code for this outcome is 130.
+var ErrDrainForced = drainForcedError{}
+
+type drainForcedError struct{}
+
+func (drainForcedError) Error() string {
+	return "server: drain deadline exceeded; in-flight solves were cancelled"
+}
+
+// Drain shuts the server down gracefully: admissions stop immediately
+// (/readyz flips to 503, new /solve requests shed with 503, queued jobs
+// shed with 503), in-flight solves run to completion, and when ctx
+// expires first the remaining solves are cancelled via context — they
+// observe the cancellation at their next propagation fixpoint and
+// respond 503/cancelled. Drain returns nil on a clean drain and
+// ErrDrainForced when the deadline forced cancellation. It always waits
+// for every pending request to receive its response and for every worker
+// to exit before returning.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	forced := false
+	for s.pending.Load() > 0 {
+		if ctx.Err() != nil && !forced {
+			forced = true
+			s.forceCancel()
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	s.stopOnce.Do(func() { close(s.stopWorkers) })
+	s.workers.Wait()
+	if forced {
+		return ErrDrainForced
+	}
+	return nil
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Stats is a point-in-time snapshot of the service counters.
+type Stats struct {
+	Admitted  int64                   `json:"admitted"`
+	Completed int64                   `json:"completed"`
+	Panics    int64                   `json:"panics"`
+	Shed      map[string]int64        `json:"shed"`
+	Breakers  map[string]BreakerStats `json:"breakers"`
+	// Quarantined lists solver configurations with at least one contained
+	// panic on record, sorted.
+	Quarantined []string `json:"quarantined"`
+	InFlight    int64    `json:"in_flight"`
+	QueueDepth  int64    `json:"queue_depth"`
+	Draining    bool     `json:"draining"`
+}
+
+// BreakerStats reports one configuration's breaker.
+type BreakerStats struct {
+	State  string `json:"state"`
+	Trips  int64  `json:"trips"`
+	Panics int64  `json:"panics"`
+}
+
+// Snapshot collects the service counters (the /statusz payload).
+func (s *Server) Snapshot() Stats {
+	st := Stats{
+		Admitted:   s.admitted.Load(),
+		Completed:  s.completed.Load(),
+		Panics:     s.panics.Load(),
+		Shed:       map[string]int64{},
+		Breakers:   map[string]BreakerStats{},
+		InFlight:   s.active.Load(),
+		QueueDepth: int64(len(s.queue)),
+		Draining:   s.draining.Load(),
+	}
+	for r := 0; r < numShedReasons; r++ {
+		st.Shed[ShedReason(r).String()] = s.shed[r].Load()
+	}
+	s.mu.Lock()
+	for key, b := range s.breakers {
+		st.Breakers[key] = BreakerStats{State: b.State().String(), Trips: b.Trips(), Panics: s.quarantine[key]}
+	}
+	for key, n := range s.quarantine {
+		if n > 0 {
+			st.Quarantined = append(st.Quarantined, key)
+		}
+	}
+	s.mu.Unlock()
+	sort.Strings(st.Quarantined)
+	return st
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Snapshot()) //nolint:errcheck // the client may have gone away
+}
+
+// verdictCode maps a verdict string back to its numeric code for the
+// KindServe event payload (Unknown when the string is empty or foreign).
+func verdictCode(v string) int64 {
+	switch v {
+	case result.True.String():
+		return int64(result.True)
+	case result.False.String():
+		return int64(result.False)
+	default:
+		return int64(result.Unknown)
+	}
+}
+
+// statusStop is the inverse of StopReason.String for the KindServe event.
+func statusStop(s string) result.StopReason {
+	for r := result.StopNone; r <= result.StopPanicked; r++ {
+		if r.String() == s {
+			return r
+		}
+	}
+	return result.StopNone
+}

@@ -62,13 +62,23 @@ const (
 	// KindStop: a solve call returned. A = verdict (0 unknown / 1 true /
 	// 2 false), B = stop reason (result.StopReason numbering).
 	KindStop
+	// KindAdmit: the solve service admitted a request into its work queue.
+	// A = queue depth after admission, B = requests in flight.
+	KindAdmit
+	// KindShed: the solve service rejected a request before solving.
+	// A = shed reason (server.ShedReason numbering), B = queue depth.
+	KindShed
+	// KindServe: the solve service completed a request. A = verdict,
+	// B = stop reason — the same encoding as KindStop, one level up.
+	KindServe
 
 	numKinds // count sentinel; keep last
 )
 
 var kindNames = [numKinds]string{
 	"decision", "fixpoint", "conflict", "solution", "learn", "reduce",
-	"import", "restart", "slice", "governor", "stop",
+	"import", "restart", "slice", "governor", "stop", "admit", "shed",
+	"serve",
 }
 
 func (k Kind) String() string {

@@ -5,7 +5,7 @@
 #   1. go build            (everything compiles, including qbfdebug)
 #   2. go vet              (stock static analysis)
 #   3. gofmt check         (no unformatted files)
-#   4. qbflint             (project-specific rules L1-L7, see DESIGN.md §6)
+#   4. qbflint             (project-specific rules L1-L8, see DESIGN.md §6)
 #   5. go test -race       (full suite under the race detector, including
 #                          the portfolio differential and metamorphic
 #                          layers and the exchange-ring stress tests)
@@ -13,16 +13,22 @@
 #                          (solver + harness + portfolio suites with deep
 #                          invariant checking, import oracle re-derivation,
 #                          and the fault-injection hook live)
-#   7. go test -fuzz smoke (5s fuzz of the QDIMACS/QTREE reader; the
-#                          checked-in corpus replays in step 5 already)
-#   8. tracing overhead    (builds with -tags qbfnotrace, then compares the
+#   7. server chaos suite  (the solve service under -tags qbfdebug -race:
+#                          hundreds of concurrent requests with fault
+#                          injection, breaker trips and recovery, oracle
+#                          agreement, drain under load — see DESIGN.md §10)
+#   8. go test -fuzz smoke (5s fuzz each of the QDIMACS/QTREE reader and
+#                          the service request decoder; the checked-in
+#                          corpora replay in step 5 already)
+#   9. tracing overhead    (builds with -tags qbfnotrace, then compares the
 #                          end-to-end BenchmarkSolveTraceOverhead between
 #                          the default build — hooks compiled in, tracer
 #                          nil — and the qbfnotrace build; fails when the
 #                          min-of-runs ratio exceeds QBF_OVERHEAD_TOLERANCE,
 #                          default 1.02, i.e. 2% — see DESIGN.md §9)
-#   9. bench_portfolio     (portfolio-vs-sequential smoke campaign; writes
-#                          results/BENCH_portfolio.json and fails on any
+#  10. bench smoke         (portfolio-vs-sequential and solve-service smoke
+#                          campaigns; write results/BENCH_portfolio.json
+#                          and results/BENCH_serve.json and fail on any
 #                          verdict disagreement)
 #
 # Exits non-zero at the first failing step. Run from anywhere inside the
@@ -54,11 +60,14 @@ go run ./cmd/qbflint ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
-echo "==> go test -tags qbfdebug -race ./internal/core/... ./internal/bench/... ./internal/portfolio/..."
-go test -tags qbfdebug -race ./internal/core/... ./internal/bench/... ./internal/portfolio/...
+echo "==> go test -tags qbfdebug -race ./internal/core/... ./internal/bench/... ./internal/portfolio/... ./internal/server/..."
+go test -tags qbfdebug -race ./internal/core/... ./internal/bench/... ./internal/portfolio/... ./internal/server/...
 
 echo "==> go test -fuzz=FuzzRead -fuzztime=5s ./internal/qdimacs/"
 go test -run '^$' -fuzz=FuzzRead -fuzztime=5s ./internal/qdimacs/
+
+echo "==> go test -fuzz=FuzzSolveRequest -fuzztime=5s ./internal/server/"
+go test -run '^$' -fuzz=FuzzSolveRequest -fuzztime=5s ./internal/server/
 
 echo "==> go build -tags qbfnotrace ./..."
 go build -tags qbfnotrace ./...
@@ -84,5 +93,8 @@ echo "$hooked $stripped ${QBF_OVERHEAD_TOLERANCE:-1.02}" | awk '{
 
 echo "==> bench_portfolio smoke (results/BENCH_portfolio.json)"
 go run ./cmd/qbfbench -suite portfolio -scale smoke -out results
+
+echo "==> bench_serve smoke (results/BENCH_serve.json)"
+go run ./cmd/qbfbench -suite serve -scale smoke -out results
 
 echo "All checks passed."
