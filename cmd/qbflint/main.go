@@ -7,87 +7,154 @@
 //	qbflint [flags] [patterns...]
 //
 // Patterns are ./... (recursive), directories, or .go files; the default
-// is ./... from the current directory. Exit status: 0 when clean, 1 when
-// findings were reported, 2 on usage or processing errors.
+// is ./... from the current directory. Every pattern is type-checked with
+// go/types before the rules run, so the typed rules (L9-L12) see real
+// type information. Exit status: 0 when clean, 1 when findings were
+// reported, 2 on usage or processing errors. Warnings (//lint:allow
+// directives naming unknown rules) go to stderr and do not affect the
+// exit status.
 //
 // Flags:
 //
-//	-json            emit findings as a JSON array instead of text
+//	-json            emit the report as JSON ({"findings":[...],"warnings":[...]})
 //	-list            list the available rules and exit
 //	-enable  L1,L2   run only the named rules
 //	-disable L3      drop the named rules from the set
+//	-gate hotpath    run the L13 allocation gate over the pattern dirs
+//	                 instead of the lint rules (see internal/lint/escape)
+//	-gcflags flags   compiler flags for the gate build (default "-m -m")
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"repro/internal/lint"
+	"repro/internal/lint/escape"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(argv []string) int {
+func run(argv []string, stdout, stderr io.Writer) int {
 	fl := flag.NewFlagSet("qbflint", flag.ContinueOnError)
-	jsonOut := fl.Bool("json", false, "emit findings as JSON")
+	fl.SetOutput(stderr)
+	jsonOut := fl.Bool("json", false, "emit the report as JSON")
 	list := fl.Bool("list", false, "list available rules and exit")
 	enable := fl.String("enable", "", "comma-separated rules to run (default: all)")
 	disable := fl.String("disable", "", "comma-separated rules to skip")
+	gate := fl.String("gate", "", `run a compiler-assisted gate instead of the lint rules ("hotpath")`)
+	gcflags := fl.String("gcflags", "", `compiler flags for -gate hotpath (default "-m -m")`)
 	if err := fl.Parse(argv); err != nil {
 		return 2
 	}
 
 	if *list {
 		for _, r := range lint.DefaultRules() {
-			fmt.Printf("%s  %s\n", r.Name(), r.Doc())
+			fmt.Fprintf(stdout, "%s  %s\n", r.Name(), r.Doc())
 		}
+		fmt.Fprintf(stdout, "L13  %s-annotated functions must not allocate (compiler escape analysis; run via -gate hotpath)\n", escape.Directive)
 		return 0
+	}
+
+	runner, err := lint.NewRunner(".")
+	if err != nil {
+		fmt.Fprintln(stderr, "qbflint:", err)
+		return 2
+	}
+
+	switch *gate {
+	case "":
+		// fall through to the lint rules below
+	case "hotpath":
+		return runGate(fl.Args(), runner.ModuleRoot, *gcflags, *jsonOut, stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "qbflint: unknown gate %q (have: hotpath)\n", *gate)
+		return 2
 	}
 
 	patterns := fl.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	runner, err := lint.NewRunner(".")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "qbflint:", err)
-		return 2
-	}
 	runner.Rules = lint.RulesByName(splitList(*enable), splitList(*disable))
 	if len(runner.Rules) == 0 {
-		fmt.Fprintln(os.Stderr, "qbflint: no rules selected")
+		fmt.Fprintln(stderr, "qbflint: no rules selected")
 		return 2
 	}
 
-	findings, err := runner.Run(patterns)
+	report, err := runner.Run(patterns)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "qbflint:", err)
+		fmt.Fprintln(stderr, "qbflint:", err)
 		return 2
 	}
 
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if findings == nil {
-			findings = []lint.Finding{}
+		if report.Findings == nil {
+			report.Findings = []lint.Finding{}
 		}
-		if err := enc.Encode(findings); err != nil {
-			fmt.Fprintln(os.Stderr, "qbflint:", err)
+		if report.Warnings == nil {
+			report.Warnings = []lint.Finding{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(stderr, "qbflint:", err)
 			return 2
 		}
 	} else {
-		for _, f := range findings {
-			fmt.Println(f)
+		for _, f := range report.Findings {
+			fmt.Fprintln(stdout, f)
 		}
 	}
-	if len(findings) > 0 {
+	for _, w := range report.Warnings {
+		fmt.Fprintln(stderr, "qbflint: warning:", w)
+	}
+	if len(report.Findings) > 0 {
 		return 1
 	}
+	return 0
+}
+
+// runGate executes the L13 hot-path allocation gate over the given
+// package directories. Exit status mirrors the lint mode: 0 clean (or
+// skipped with a stderr warning), 1 on violations, 2 on errors.
+func runGate(dirs []string, moduleRoot, gcflags string, jsonOut bool, stdout, stderr io.Writer) int {
+	if len(dirs) == 0 {
+		fmt.Fprintln(stderr, "qbflint: -gate hotpath needs package directories (e.g. ./internal/core)")
+		return 2
+	}
+	rep, err := escape.Gate(dirs, escape.Config{ModuleRoot: moduleRoot, Gcflags: gcflags})
+	if err != nil {
+		fmt.Fprintln(stderr, "qbflint:", err)
+		return 2
+	}
+	if jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(stderr, "qbflint:", err)
+			return 2
+		}
+	} else {
+		for _, v := range rep.Violations {
+			fmt.Fprintln(stdout, v)
+		}
+	}
+	if rep.Skipped {
+		fmt.Fprintln(stderr, "qbflint: warning: hotpath gate skipped:", rep.SkipReason)
+		return 0
+	}
+	if len(rep.Violations) > 0 {
+		return 1
+	}
+	fmt.Fprintf(stderr, "qbflint: hotpath gate: %d annotated function(s) clean (%d compiler diagnostics inspected)\n",
+		len(rep.Funcs), rep.Diagnostics)
 	return 0
 }
 

@@ -20,6 +20,8 @@ const (
 
 // propagateAll runs unit propagation (clauses and cubes) to fixpoint,
 // returning the first conflict or solution found.
+//
+//qbf:hotpath
 func (s *Solver) propagateAll() (event, int) {
 	if s.numUnsatOriginal == 0 {
 		return evSolution, -1
@@ -42,6 +44,8 @@ func (s *Solver) propagateAll() (event, int) {
 // l̄ after l became true, enqueueing implied literals and reporting the
 // first conflict/solution. Deleted constraints found in occurrence lists
 // are compacted away lazily.
+//
+//qbf:hotpath
 func (s *Solver) applyCounters(l qbf.Lit) (event, int) {
 	exist := s.quant[l.Var()] == qbf.Exists
 
@@ -57,6 +61,7 @@ func (s *Solver) applyCounters(l qbf.Lit) (event, int) {
 	return ev2, ci2
 }
 
+//qbf:hotpath
 func (s *Solver) walkOcc(idx int, exist, becameTrue bool) (event, int) {
 	occ := s.occ[idx]
 	w := 0
@@ -97,6 +102,8 @@ func (s *Solver) walkOcc(idx int, exist, becameTrue bool) (event, int) {
 }
 
 // undoCounters reverses applyCounters for literal l on backtracking.
+//
+//qbf:hotpath
 func (s *Solver) undoCounters(l qbf.Lit) {
 	exist := s.quant[l.Var()] == qbf.Exists
 	for _, ci := range s.occ[litIdx(l)] {
@@ -157,6 +164,8 @@ func (s *Solver) clauseUnsatisfied(ci int) {
 // candidate event is verified against the actual variable values, so a
 // stale counter can at worst defer an event to the dequeue that updates it,
 // never fabricate one.
+//
+//qbf:hotpath
 func (s *Solver) checkState(ci int) (event, int) {
 	c := &s.cons[ci]
 	if !c.isCube {

@@ -1,0 +1,219 @@
+package escape
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// gateModule materializes a throwaway module (these fixtures ARE
+// compiled, unlike the lint ones) and returns its root. A comment
+// carrying the unique temp path is baked into every source file so the
+// build cache can never serve a stale diagnostic replay from a previous
+// test process.
+func gateModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module gatefix\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for path, src := range files {
+		full := filepath.Join(root, filepath.FromSlash(path))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		src += fmt.Sprintf("\n// cache-buster: %s\n", root)
+		if err := os.WriteFile(full, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestGateFlagsAllocatingHotpath(t *testing.T) {
+	root := gateModule(t, map[string]string{
+		"hot/hot.go": `package hot
+
+// Leak deliberately heap-allocates: the returned pointer outlives the
+// frame, so escape analysis must move n to the heap.
+//
+//qbf:hotpath
+func Leak() *int {
+	n := 42
+	return &n
+}
+
+// Clean stays on the stack.
+//
+//qbf:hotpath
+func Clean(a, b int) int {
+	s := a + b
+	return s * s
+}
+
+// Unannotated allocates too, but is not gated.
+func Unannotated() *int {
+	m := 7
+	return &m
+}
+`,
+	})
+	rep, err := Gate([]string{"./hot"}, Config{ModuleRoot: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Skipped {
+		t.Fatalf("gate skipped: %s", rep.SkipReason)
+	}
+	if len(rep.Funcs) != 2 {
+		t.Fatalf("annotated funcs = %v, want Leak and Clean", rep.Funcs)
+	}
+	if len(rep.Violations) != 1 {
+		t.Fatalf("violations = %v, want exactly the Leak allocation", rep.Violations)
+	}
+	v := rep.Violations[0]
+	if v.Func != "Leak" {
+		t.Fatalf("violation attributed to %q, want Leak: %+v", v.Func, v)
+	}
+	if !strings.Contains(v.Msg, "heap") {
+		t.Fatalf("violation message %q does not mention the heap", v.Msg)
+	}
+	if s := v.String(); !strings.Contains(s, "[L13]") || !strings.Contains(s, "Leak") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestGateAttributesMethods(t *testing.T) {
+	root := gateModule(t, map[string]string{
+		"hot/hot.go": `package hot
+
+type Ring struct{ buf []int }
+
+//qbf:hotpath
+func (r *Ring) Push(v int) *int {
+	x := v
+	return &x
+}
+`,
+	})
+	rep, err := Gate([]string{"./hot"}, Config{ModuleRoot: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 1 || rep.Violations[0].Func != "(*Ring).Push" {
+		t.Fatalf("violations = %v, want one attributed to (*Ring).Push", rep.Violations)
+	}
+}
+
+func TestGateCleanPackagePasses(t *testing.T) {
+	root := gateModule(t, map[string]string{
+		"hot/hot.go": `package hot
+
+//qbf:hotpath
+func Sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+`,
+	})
+	rep, err := Gate([]string{"./hot"}, Config{ModuleRoot: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Skipped {
+		t.Fatalf("gate skipped: %s", rep.SkipReason)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("clean function flagged: %v", rep.Violations)
+	}
+	if rep.Diagnostics == 0 {
+		t.Fatal("no diagnostics inspected; the -m parse is broken")
+	}
+}
+
+func TestGateSkipsWithoutAnnotations(t *testing.T) {
+	root := gateModule(t, map[string]string{
+		"hot/hot.go": "package hot\n\nfunc Plain() {}\n",
+	})
+	rep, err := Gate([]string{"./hot"}, Config{ModuleRoot: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Skipped || !strings.Contains(rep.SkipReason, Directive) {
+		t.Fatalf("want skip naming the directive, got %+v", rep)
+	}
+}
+
+// TestGateSkipsOnSilentToolchain drives the drift tolerance: a go tool
+// that builds "successfully" but emits no diagnostics must yield a skip,
+// not a silent pass or a failure.
+func TestGateSkipsOnSilentToolchain(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("stub tool is a shell script")
+	}
+	root := gateModule(t, map[string]string{
+		"hot/hot.go": `package hot
+
+//qbf:hotpath
+func Leak() *int {
+	n := 1
+	return &n
+}
+`,
+	})
+	stub := filepath.Join(t.TempDir(), "go-silent")
+	if err := os.WriteFile(stub, []byte("#!/bin/sh\nexit 0\n"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Gate([]string{"./hot"}, Config{ModuleRoot: root, GoCmd: stub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Skipped || !strings.Contains(rep.SkipReason, "drift") {
+		t.Fatalf("want drift skip, got %+v", rep)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("skip must not carry violations: %v", rep.Violations)
+	}
+}
+
+func TestGateFailsOnBrokenBuild(t *testing.T) {
+	root := gateModule(t, map[string]string{
+		"hot/hot.go": `package hot
+
+//qbf:hotpath
+func Broken() { undefined() }
+`,
+	})
+	_, err := Gate([]string{"./hot"}, Config{ModuleRoot: root})
+	if err == nil || !strings.Contains(err.Error(), "go build failed") {
+		t.Fatalf("want a build error, got %v", err)
+	}
+}
+
+func TestScanIgnoresContinuationAndNonHeapLines(t *testing.T) {
+	rep := &Report{Funcs: []Func{{Name: "F", File: "/m/hot/hot.go", StartLine: 1, EndLine: 20}}}
+	stderr := strings.Join([]string{
+		"# gatefix/hot",
+		"hot/hot.go:3:6: can inline F with cost 7",
+		"hot/hot.go:5:2: n escapes to heap:",
+		"hot/hot.go:5:2:   flow: ~r0 = &n:", // continuation: indented message
+		"hot/hot.go:9:2: m does not escape",
+		"hot/hot.go:30:2: x escapes to heap", // outside F's body: counted, not attributed
+		"other/o.go:2:2: y escapes to heap",  // outside the gated dirs entirely
+		"",
+	}, "\n")
+	rep.scan([]byte(stderr), "/m", []string{"/m/hot"})
+	if rep.Diagnostics != 4 {
+		t.Fatalf("diagnostics = %d, want 4 (inline, escape, does-not-escape, out-of-body escape)", rep.Diagnostics)
+	}
+	if len(rep.Violations) != 1 || rep.Violations[0].Line != 5 {
+		t.Fatalf("violations = %v, want the line-5 escape only", rep.Violations)
+	}
+}

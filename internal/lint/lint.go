@@ -1,17 +1,28 @@
-// Package lint implements qbflint, a project-specific static analyzer for
-// this repository. It is deliberately built on the standard library only
-// (go/parser, go/ast, go/token): rules are purely syntactic, need no type
-// information, and the module stays dependency-free.
+// Package lint implements qbflint, a project-specific static analyzer
+// for this repository. It is deliberately built on the standard library
+// only (go/parser, go/types, go/importer): the module stays
+// dependency-free while the driver still type-checks everything it
+// analyzes.
 //
-// The driver walks a file set, runs every enabled rule over each parsed
-// file, and collects findings with file:line:col positions. A finding can
-// be suppressed at its site with a comment of the form
+// The driver expands a file set, groups it into per-package units, and
+// type-checks each unit under every project build-tag variant
+// (DefaultTagSets), so tag-gated files get the same coverage as the
+// default build. Rules come in three shapes: syntactic rules that only
+// read the AST (L1–L8, and the only coverage for files excluded under
+// every tag set), typed per-file rules that consult types.Info
+// (L10–L12), and module rules that see every unit at once (L9, whose
+// atomic-field discipline is inherently cross-package). Findings carry
+// file:line:col positions, deduplicate across tag passes, and sort
+// stably. A finding can be suppressed at its site with a comment of the
+// form
 //
 //	//lint:allow RULE[,RULE] optional reason
 //
-// which silences the named rules on the comment's own line and on the line
-// immediately below it (so it works both as a trailing comment and as a
-// comment above the offending statement).
+// which silences the named rules on the comment's own line and on the
+// line immediately below it (so it works both as a trailing comment and
+// as a comment above the offending statement). Suppressions naming a
+// rule the driver does not know are reported as warnings — a typo in an
+// //lint:allow otherwise silences nothing while looking like it did.
 package lint
 
 import (
@@ -19,6 +30,7 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"os"
 	"path/filepath"
 	"sort"
@@ -38,6 +50,13 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Rule, f.Message)
 }
 
+// Report is the outcome of one Run: findings fail the build, warnings
+// (currently: //lint:allow directives naming unknown rules) do not.
+type Report struct {
+	Findings []Finding `json:"findings"`
+	Warnings []Finding `json:"warnings"`
+}
+
 // File is the per-file context handed to rules.
 type File struct {
 	Fset *token.FileSet
@@ -52,7 +71,15 @@ type File struct {
 	// QBFImportName is the local name under which the file imports
 	// repro/internal/qbf ("" when it does not import it).
 	QBFImportName string
+	// Pkg and Info hold the type-check results for this file's
+	// build-tag variant. Both are nil for files excluded under every
+	// configured tag set; typed rules must not apply then.
+	Pkg  *types.Package
+	Info *types.Info
 
+	// unit links back to the package variant the file was checked in
+	// (nil for orphan files analyzed syntactically only).
+	unit *unit
 	// allow maps a line number to the set of rule names an //lint:allow
 	// comment suppresses on that line.
 	allow map[int]map[string]bool
@@ -64,13 +91,31 @@ func (f *File) Allowed(rule string, line int) bool {
 	return set != nil && (set[rule] || set["all"])
 }
 
-// Rule is one analyzer. Applies filters whole files (the exemption matrix
-// lives there); Check walks the AST and reports violations.
+// TypeOf returns the type of an expression, nil when the file carries no
+// type information or the expression was not reached by the checker.
+func (f *File) TypeOf(e ast.Expr) types.Type {
+	if f.Info == nil {
+		return nil
+	}
+	return f.Info.TypeOf(e)
+}
+
+// Rule is one analyzer. Applies filters whole files (the exemption
+// matrix lives there, including the f.Info != nil guard for typed
+// rules); Check walks the AST and reports violations.
 type Rule interface {
 	Name() string // short identifier, e.g. "L1"
 	Doc() string  // one-line description for -list
 	Applies(f *File) bool
 	Check(f *File, report func(pos token.Pos, msg string))
+}
+
+// moduleRule is implemented by rules that need the whole-module view:
+// CheckModule runs once per tag pass over every unit instead of
+// file-by-file. The per-file Check of such a rule is never called.
+type moduleRule interface {
+	Rule
+	CheckModule(units []*unit, report func(f *File, pos token.Pos, msg string))
 }
 
 // Runner parses files and applies rules.
@@ -79,6 +124,12 @@ type Runner struct {
 	Rules      []Rule
 	ModulePath string // module path from go.mod ("" outside a module)
 	ModuleRoot string // directory containing go.mod
+	// TagSets lists the build-tag variants to type-check (nil means
+	// DefaultTagSets). Findings are deduplicated across variants.
+	TagSets [][]string
+
+	parsed map[string]*ast.File
+	allows map[string]*allowSet
 }
 
 // NewRunner locates the enclosing module of dir (walking upward to the
@@ -94,6 +145,8 @@ func NewRunner(dir string) (*Runner, error) {
 		Rules:      DefaultRules(),
 		ModulePath: modPath,
 		ModuleRoot: root,
+		parsed:     map[string]*ast.File{},
+		allows:     map[string]*allowSet{},
 	}, nil
 }
 
@@ -126,24 +179,99 @@ func parseModulePath(gomod string) string {
 	return ""
 }
 
-// Run expands the patterns ("./..." for a recursive walk, directories for
-// their immediate .go files, explicit .go file paths), parses every file,
-// and returns all findings sorted by position. Parse errors abort the run.
-func (r *Runner) Run(patterns []string) ([]Finding, error) {
-	files, err := r.expand(patterns)
+// Run expands the patterns ("./..." for a recursive walk, directories
+// for their immediate .go files, explicit .go file paths), type-checks
+// every build-tag variant, applies the rules, and returns the findings
+// and warnings, each sorted by position. Parse errors abort the run;
+// type errors do not (the build gate owns those — here partial
+// information beats none).
+func (r *Runner) Run(patterns []string) (Report, error) {
+	paths, err := r.expand(patterns)
 	if err != nil {
-		return nil, err
+		return Report{}, err
 	}
-	var findings []Finding
-	for _, path := range files {
-		fs, err := r.checkFile(path)
-		if err != nil {
-			return nil, err
+	for _, p := range paths {
+		if _, err := r.parseFile(p); err != nil {
+			return Report{}, err
 		}
-		findings = append(findings, fs...)
 	}
-	sort.Slice(findings, func(i, j int) bool {
-		a, b := findings[i], findings[j]
+
+	tagSets := r.TagSets
+	if tagSets == nil {
+		tagSets = DefaultTagSets()
+	}
+	seen := map[Finding]bool{}
+	covered := map[string]bool{}
+	var findings []Finding
+	for _, tags := range tagSets {
+		units := r.buildUnits(paths, tags)
+		for _, u := range units {
+			for _, f := range u.files {
+				covered[f.Path] = true
+			}
+		}
+		findings = append(findings, r.checkUnits(units, seen)...)
+	}
+
+	// Files excluded under every tag set still get the syntactic rules.
+	var orphans []*File
+	for _, p := range paths {
+		if !covered[p] {
+			orphans = append(orphans, r.newFile(p, nil))
+		}
+	}
+	if len(orphans) > 0 {
+		findings = append(findings, r.checkUnits([]*unit{{files: orphans}}, seen)...)
+	}
+
+	sortFindings(findings)
+	warnings := r.allowWarnings(paths)
+	sortFindings(warnings)
+	return Report{Findings: findings, Warnings: warnings}, nil
+}
+
+// checkUnits applies every rule to the given units, suppressing allowed
+// findings and deduplicating across tag passes via seen.
+func (r *Runner) checkUnits(units []*unit, seen map[Finding]bool) []Finding {
+	var out []Finding
+	record := func(rule string, f *File, pos token.Pos, msg string) {
+		p := r.Fset.Position(pos)
+		if f.Allowed(rule, p.Line) {
+			return
+		}
+		fd := Finding{Rule: rule, File: f.Path, Line: p.Line, Col: p.Column, Message: msg}
+		if seen[fd] {
+			return
+		}
+		seen[fd] = true
+		out = append(out, fd)
+	}
+	for _, rule := range r.Rules {
+		if mr, ok := rule.(moduleRule); ok {
+			name := rule.Name()
+			mr.CheckModule(units, func(f *File, pos token.Pos, msg string) {
+				record(name, f, pos, msg)
+			})
+			continue
+		}
+		for _, u := range units {
+			for _, f := range u.files {
+				if !rule.Applies(f) {
+					continue
+				}
+				name := rule.Name()
+				rule.Check(f, func(pos token.Pos, msg string) {
+					record(name, f, pos, msg)
+				})
+			}
+		}
+	}
+	return out
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
 		if a.File != b.File {
 			return a.File < b.File
 		}
@@ -153,13 +281,46 @@ func (r *Runner) Run(patterns []string) ([]Finding, error) {
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
 	})
-	return findings, nil
 }
 
-// expand resolves the command-line patterns to a deduplicated list of .go
-// file paths.
+// newFile assembles the per-file rule context for one unit (nil for
+// orphan, syntax-only files).
+func (r *Runner) newFile(path string, u *unit) *File {
+	af := r.parsed[path]
+	f := &File{
+		Fset:          r.Fset,
+		AST:           af,
+		Path:          path,
+		IsTest:        strings.HasSuffix(path, "_test.go"),
+		QBFImportName: importName(af, "repro/internal/qbf"),
+		allow:         r.allowSet(path).lines,
+		unit:          u,
+	}
+	if u != nil {
+		f.PkgPath = u.pkgPath
+		f.Pkg = u.pkg
+		f.Info = u.info
+	} else {
+		f.PkgPath = r.pkgPath(path)
+	}
+	return f
+}
+
+// parserParse is the single parse entry point (split out so load.go can
+// share it with the import path).
+func parserParse(fset *token.FileSet, path string) (*ast.File, error) {
+	return parser.ParseFile(fset, path, nil, parser.ParseComments)
+}
+
+// expand resolves the command-line patterns to a deduplicated, sorted
+// list of .go file paths. Sorting here (not just at finding level) makes
+// unit construction — and with it every downstream message that names
+// "the first" site — deterministic.
 func (r *Runner) expand(patterns []string) ([]string, error) {
 	seen := map[string]bool{}
 	var files []string
@@ -215,6 +376,7 @@ func (r *Runner) expand(patterns []string) ([]string, error) {
 			}
 		}
 	}
+	sort.Strings(files)
 	return files, nil
 }
 
@@ -224,43 +386,6 @@ func (r *Runner) expand(patterns []string) ([]string, error) {
 func skipDir(name string) bool {
 	return name == "testdata" || name == "vendor" ||
 		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
-}
-
-// checkFile parses one file and runs every applicable rule over it.
-func (r *Runner) checkFile(path string) ([]Finding, error) {
-	af, err := parser.ParseFile(r.Fset, path, nil, parser.ParseComments)
-	if err != nil {
-		return nil, err
-	}
-	f := &File{
-		Fset:          r.Fset,
-		AST:           af,
-		Path:          path,
-		PkgPath:       r.pkgPath(path),
-		IsTest:        strings.HasSuffix(path, "_test.go"),
-		QBFImportName: importName(af, "repro/internal/qbf"),
-		allow:         collectAllows(r.Fset, af),
-	}
-	var findings []Finding
-	for _, rule := range r.Rules {
-		if !rule.Applies(f) {
-			continue
-		}
-		rule.Check(f, func(pos token.Pos, msg string) {
-			p := r.Fset.Position(pos)
-			if f.Allowed(rule.Name(), p.Line) {
-				return
-			}
-			findings = append(findings, Finding{
-				Rule:    rule.Name(),
-				File:    f.Path,
-				Line:    p.Line,
-				Col:     p.Column,
-				Message: msg,
-			})
-		})
-	}
-	return findings, nil
 }
 
 // pkgPath derives the import path of the package containing path from the
@@ -306,11 +431,28 @@ func importName(af *ast.File, importPath string) string {
 	return ""
 }
 
-// collectAllows scans the file's comments for //lint:allow directives and
-// returns the per-line suppression sets. A directive on line C suppresses
-// its rules on lines C and C+1.
-func collectAllows(fset *token.FileSet, af *ast.File) map[int]map[string]bool {
-	allow := map[int]map[string]bool{}
+// allowDirective is one //lint:allow comment: the rule names it lists
+// and where it sits, kept so unknown names can be warned about.
+type allowDirective struct {
+	rules []string
+	line  int
+	col   int
+}
+
+// allowSet is the per-file suppression state.
+type allowSet struct {
+	lines      map[int]map[string]bool
+	directives []allowDirective
+}
+
+// allowSet scans (and caches) the file's //lint:allow directives. A
+// directive on line C suppresses its rules on lines C and C+1.
+func (r *Runner) allowSet(path string) *allowSet {
+	if s, ok := r.allows[path]; ok {
+		return s
+	}
+	s := &allowSet{lines: map[int]map[string]bool{}}
+	af := r.parsed[path]
 	for _, cg := range af.Comments {
 		for _, c := range cg.List {
 			text := strings.TrimPrefix(c.Text, "//")
@@ -323,20 +465,48 @@ func collectAllows(fset *token.FileSet, af *ast.File) map[int]map[string]bool {
 			if len(fields) == 0 {
 				continue
 			}
-			line := fset.Position(c.Pos()).Line
+			pos := r.Fset.Position(c.Pos())
+			d := allowDirective{line: pos.Line, col: pos.Column}
 			for _, rule := range strings.Split(fields[0], ",") {
 				rule = strings.TrimSpace(rule)
 				if rule == "" {
 					continue
 				}
-				for _, ln := range [2]int{line, line + 1} {
-					if allow[ln] == nil {
-						allow[ln] = map[string]bool{}
+				d.rules = append(d.rules, rule)
+				for _, ln := range [2]int{pos.Line, pos.Line + 1} {
+					if s.lines[ln] == nil {
+						s.lines[ln] = map[string]bool{}
 					}
-					allow[ln][rule] = true
+					s.lines[ln][rule] = true
+				}
+			}
+			s.directives = append(s.directives, d)
+		}
+	}
+	r.allows[path] = s
+	return s
+}
+
+// allowWarnings reports //lint:allow directives naming rules the driver
+// does not know: such a suppression silences nothing while looking like
+// it did, so a typo must surface instead of rotting.
+func (r *Runner) allowWarnings(paths []string) []Finding {
+	known := map[string]bool{"all": true}
+	for _, rule := range DefaultRules() {
+		known[rule.Name()] = true
+	}
+	var out []Finding
+	for _, p := range paths {
+		for _, d := range r.allowSet(p).directives {
+			for _, name := range d.rules {
+				if !known[name] {
+					out = append(out, Finding{
+						Rule: "allow", File: p, Line: d.line, Col: d.col,
+						Message: fmt.Sprintf("//lint:allow names unknown rule %q (known: L1-L%d, all); the suppression has no effect", name, len(DefaultRules())),
+					})
 				}
 			}
 		}
 	}
-	return allow
+	return out
 }

@@ -36,11 +36,21 @@ func fixtureModule(t *testing.T, files map[string]string) (*Runner, string) {
 
 func run(t *testing.T, r *Runner, root string) []Finding {
 	t.Helper()
-	fs, err := r.Run([]string{root + "/..."})
+	rep, err := r.Run([]string{root + "/..."})
 	if err != nil {
 		t.Fatal(err)
 	}
-	return fs
+	return rep.Findings
+}
+
+// runReport is run's sibling for tests that also assert on warnings.
+func runReport(t *testing.T, r *Runner, root string) Report {
+	t.Helper()
+	rep, err := r.Run([]string{root + "/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
 }
 
 // rulesFired collects the distinct rule names among findings.
@@ -236,18 +246,22 @@ func f(n int) string {
 }
 
 func TestRulesByName(t *testing.T) {
-	if got := len(RulesByName(nil, nil)); got != 8 {
-		t.Fatalf("default rule count = %d, want 8", got)
+	if got := len(RulesByName(nil, nil)); got != 12 {
+		t.Fatalf("default rule count = %d, want 12", got)
 	}
 	only := RulesByName([]string{"L2"}, nil)
 	if len(only) != 1 || only[0].Name() != "L2" {
 		t.Fatalf("enable filter broken: %v", only)
 	}
 	without := RulesByName(nil, []string{"L3", "L4"})
-	if len(without) != 6 || without[0].Name() != "L1" || without[1].Name() != "L2" ||
-		without[2].Name() != "L5" || without[3].Name() != "L6" || without[4].Name() != "L7" ||
-		without[5].Name() != "L8" {
+	want := []string{"L1", "L2", "L5", "L6", "L7", "L8", "L9", "L10", "L11", "L12"}
+	if len(without) != len(want) {
 		t.Fatalf("disable filter broken: %v", without)
+	}
+	for i, w := range want {
+		if without[i].Name() != w {
+			t.Fatalf("disable filter order broken at %d: got %s, want %s", i, without[i].Name(), w)
+		}
 	}
 }
 
@@ -284,6 +298,7 @@ func ok(work func()) {
 }
 `,
 	})
+	r.Rules = RulesByName(nil, []string{"L12"}) // fixture is about recover, not cancellability
 	if fs := run(t, r, root); len(fs) != 0 {
 		t.Fatalf("recovered goroutine reported: %v", fs)
 	}
@@ -333,6 +348,7 @@ func ok(work func(), guard bool) {
 }
 `,
 	})
+	r.Rules = RulesByName(nil, []string{"L12"}) // fixture is about recover, not cancellability
 	if fs := run(t, r, root); len(fs) != 0 {
 		t.Fatalf("frame-level deferred recover reported: %v", fs)
 	}
@@ -351,6 +367,7 @@ func g(work func()) {
 }
 `,
 	})
+	r.Rules = RulesByName(nil, []string{"L12"}) // fixture is about L5 scoping, not cancellability
 	if fs := run(t, r, root); len(fs) != 0 {
 		t.Fatalf("L5 fired outside non-test internal/bench: %v", fs)
 	}

@@ -1,0 +1,327 @@
+package lint
+
+import (
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// This file is the type-aware half of the driver: it groups the expanded
+// file list into per-package units, filters files by build tags, and
+// type-checks every unit with the standard library's go/types +
+// go/importer only. Imports that resolve inside the module are
+// type-checked from their non-test sources; standard-library imports go
+// through the shared source importer; anything unresolvable degrades to
+// an empty placeholder package so the checker — and the syntactic rules —
+// keep working on partial information instead of aborting the run.
+
+// unit is one type-checked package variant: the files of one
+// (directory, package name) group under one build-tag set, sharing a
+// types.Package and types.Info.
+type unit struct {
+	pkgPath string
+	files   []*File
+	pkg     *types.Package
+	info    *types.Info
+
+	decls map[types.Object]*ast.FuncDecl // lazily built by declOf
+}
+
+// declOf maps a function or method object back to its declaration within
+// the unit, nil when the object is external or has no syntax here.
+func (u *unit) declOf(obj types.Object) *ast.FuncDecl {
+	if u == nil || obj == nil {
+		return nil
+	}
+	if u.decls == nil {
+		u.decls = map[types.Object]*ast.FuncDecl{}
+		for _, f := range u.files {
+			for _, d := range f.AST.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if o := u.info.Defs[fd.Name]; o != nil {
+					u.decls[o] = fd
+				}
+			}
+		}
+	}
+	return u.decls[obj]
+}
+
+// DefaultTagSets returns the build-tag variants the driver type-checks:
+// the default build plus each project tag that swaps implementation
+// files in. Every variant is analyzed and findings are deduplicated, so
+// tag-gated files (deepcheck_qbfdebug.go, trace_off.go, ...) get the
+// same coverage as default-build files.
+func DefaultTagSets() [][]string {
+	return [][]string{nil, {"qbfdebug"}, {"qbfnotrace"}}
+}
+
+// matchFile reports whether the file participates in a build with the
+// given tags, using the go tool's own file-name and //go:build
+// constraint logic.
+func matchFile(dir, name string, tags []string) bool {
+	ctxt := build.Default
+	ctxt.BuildTags = tags
+	ok, err := ctxt.MatchFile(dir, name)
+	return err == nil && ok
+}
+
+// parseFile parses one file with comments, caching the AST: every
+// tag-set pass and every import resolution reuses the same syntax tree,
+// which also keeps token positions identical across passes (findings
+// deduplicate exactly).
+func (r *Runner) parseFile(path string) (*ast.File, error) {
+	if af, ok := r.parsed[path]; ok {
+		return af, nil
+	}
+	af, err := parserParse(r.Fset, path)
+	if err != nil {
+		return nil, err
+	}
+	r.parsed[path] = af
+	return af, nil
+}
+
+// ldr resolves imports for one build-tag pass.
+type ldr struct {
+	r    *Runner
+	tags []string
+	pkgs map[string]*types.Package // memoized results, module and fallback
+	busy map[string]bool           // cycle guard for module loads
+}
+
+func newLdr(r *Runner, tags []string) *ldr {
+	return &ldr{r: r, tags: tags, pkgs: map[string]*types.Package{}, busy: map[string]bool{}}
+}
+
+// Import implements types.Importer. It never returns an error: failed
+// resolutions yield an empty placeholder package, so type checking (and
+// with it the rules) degrades instead of aborting — exactly what the
+// seeded-violation fixtures need, since they reference module packages
+// that do not exist in their throwaway tree.
+func (l *ldr) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if mp := l.r.ModulePath; mp != "" && (path == mp || strings.HasPrefix(path, mp+"/")) {
+		return l.modulePkg(path), nil
+	}
+	if isStdlibPath(path) {
+		if pkg, err := stdImport(path); err == nil {
+			l.pkgs[path] = pkg
+			return pkg, nil
+		}
+	}
+	return l.placeholder(path), nil
+}
+
+func (l *ldr) placeholder(path string) *types.Package {
+	pkg := types.NewPackage(path, pathBase(path))
+	pkg.MarkComplete()
+	l.pkgs[path] = pkg
+	return pkg
+}
+
+// modulePkg type-checks the non-test files of a module-internal package
+// under this pass's tag set.
+func (l *ldr) modulePkg(path string) *types.Package {
+	if l.busy[path] {
+		// An import cycle can only come from malformed input; break it
+		// with an unmemoized placeholder rather than recursing forever.
+		pkg := types.NewPackage(path, pathBase(path))
+		pkg.MarkComplete()
+		return pkg
+	}
+	l.busy[path] = true
+	defer delete(l.busy, path)
+
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.r.ModulePath), "/")
+	dir := filepath.Join(l.r.ModuleRoot, filepath.FromSlash(rel))
+	asts := l.importASTs(dir)
+	pkg := l.check(path, asts, nil)
+	l.pkgs[path] = pkg
+	return pkg
+}
+
+// importASTs parses the non-test, tag-matched files of dir that belong
+// to its importable (non-main) package.
+func (l *ldr) importASTs(dir string) []*ast.File {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	byName := map[string][]*ast.File{}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if !matchFile(dir, name, l.tags) {
+			continue
+		}
+		af, err := l.r.parseFile(filepath.Join(dir, name))
+		if err != nil {
+			continue
+		}
+		byName[af.Name.Name] = append(byName[af.Name.Name], af)
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		if n != "main" {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		return nil
+	}
+	sort.Strings(names)
+	return byName[names[0]]
+}
+
+// check runs the type checker tolerantly: errors are swallowed (the
+// build gate owns compilation failures; here partial information beats
+// none) and a nil result becomes a placeholder.
+func (l *ldr) check(path string, asts []*ast.File, info *types.Info) *types.Package {
+	if len(asts) == 0 {
+		pkg := types.NewPackage(path, pathBase(path))
+		pkg.MarkComplete()
+		return pkg
+	}
+	conf := types.Config{
+		Importer:    l,
+		Error:       func(error) {},
+		FakeImportC: true,
+	}
+	pkg, _ := conf.Check(path, l.r.Fset, asts, info)
+	if pkg == nil {
+		pkg = types.NewPackage(path, asts[0].Name.Name)
+		pkg.MarkComplete()
+	}
+	return pkg
+}
+
+// buildUnits groups the expanded files by (directory, package name)
+// under one tag set and type-checks each group, test files included —
+// the in-package test variant checks alongside its package, the external
+// _test package checks as its own unit.
+func (r *Runner) buildUnits(paths []string, tags []string) []*unit {
+	l := newLdr(r, tags)
+	byDir := map[string][]string{}
+	var dirs []string
+	for _, p := range paths {
+		dir, name := filepath.Dir(p), filepath.Base(p)
+		if !matchFile(dir, name, tags) {
+			continue
+		}
+		if _, ok := byDir[dir]; !ok {
+			dirs = append(dirs, dir)
+		}
+		byDir[dir] = append(byDir[dir], p)
+	}
+	sort.Strings(dirs)
+
+	var units []*unit
+	for _, dir := range dirs {
+		byName := map[string][]string{}
+		var names []string
+		for _, p := range byDir[dir] {
+			af := r.parsed[p]
+			n := af.Name.Name
+			if _, ok := byName[n]; !ok {
+				names = append(names, n)
+			}
+			byName[n] = append(byName[n], p)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			group := byName[name]
+			pkgPath := r.pkgPath(group[0])
+			checkPath := pkgPath
+			if strings.HasSuffix(name, "_test") {
+				checkPath += "_test"
+			}
+			info := newInfo()
+			asts := make([]*ast.File, len(group))
+			for i, p := range group {
+				asts[i] = r.parsed[p]
+			}
+			u := &unit{pkgPath: pkgPath, info: info}
+			u.pkg = l.check(checkPath, asts, info)
+			for _, p := range group {
+				u.files = append(u.files, r.newFile(p, u))
+			}
+			units = append(units, u)
+		}
+	}
+	return units
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+}
+
+// isStdlibPath reports whether an import path names a standard-library
+// package: its first element carries no dot (no domain).
+func isStdlibPath(path string) bool {
+	first := path
+	if i := strings.IndexByte(path, '/'); i >= 0 {
+		first = path[:i]
+	}
+	return !strings.Contains(first, ".")
+}
+
+func pathBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// The standard library is type-checked from source once per process and
+// shared by every Runner: fixtures and the real module pay the (~seconds)
+// cost of importing fmt/context/net once, then hit the importer's cache.
+// Stdlib packages live in their own FileSet — the rules never report
+// positions inside them.
+var (
+	stdOnce sync.Once
+	stdMu   sync.Mutex
+	stdImp  types.Importer
+	stdFail map[string]error
+)
+
+func stdImport(path string) (*types.Package, error) {
+	stdOnce.Do(func() {
+		stdImp = importer.ForCompiler(token.NewFileSet(), "source", nil)
+		stdFail = map[string]error{}
+	})
+	stdMu.Lock()
+	defer stdMu.Unlock()
+	if err, ok := stdFail[path]; ok {
+		return nil, err
+	}
+	pkg, err := stdImp.Import(path)
+	if err != nil {
+		stdFail[path] = err // failed source imports are expensive; do not retry
+		return nil, err
+	}
+	return pkg, nil
+}

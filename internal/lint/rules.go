@@ -21,9 +21,14 @@ import (
 //   - Test files and package main (cmd/, examples/) may panic and convert
 //     freely: they are not library code.
 
-// DefaultRules returns all rules in canonical order.
+// DefaultRules returns all rules in canonical order. L1-L8 are
+// syntactic; L9-L12 (rules_typed.go) consult type information.
 func DefaultRules() []Rule {
-	return []Rule{ruleTimestamps{}, ruleConversions{}, rulePanic{}, ruleStringBuild{}, ruleGoRecover{}, ruleCommentOpener{}, ruleDirectPrint{}, ruleContextRoot{}}
+	return []Rule{
+		ruleTimestamps{}, ruleConversions{}, rulePanic{}, ruleStringBuild{},
+		ruleGoRecover{}, ruleCommentOpener{}, ruleDirectPrint{}, ruleContextRoot{},
+		ruleAtomicField{}, ruleCtxField{}, ruleLockCopy{}, ruleGoCancel{},
+	}
 }
 
 // RulesByName filters the default set: enable lists the rules to keep

@@ -1,0 +1,394 @@
+package lint
+
+// Tests for the typed rules (L9-L12). Fixtures here are type-checked for
+// real: module-internal imports resolve against the fixture tree, stdlib
+// imports (sync, sync/atomic, context) go through the shared source
+// importer, so the rules see genuine types.Info rather than parsed-only
+// ASTs.
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestL9FiresOnMixedAtomicPlainAccess(t *testing.T) {
+	r, root := fixtureModule(t, map[string]string{
+		"internal/ring/ring.go": `package ring
+import "sync/atomic"
+type Ring struct {
+	Head int64
+	pad  int64
+}
+func (r *Ring) Bump() { atomic.AddInt64(&r.Head, 1) }
+func (r *Ring) Peek() int64 { return r.Head }
+func (r *Ring) Pad() int64 { return r.pad }
+`,
+		"internal/user/user.go": `package user
+import "repro/internal/ring"
+func Reset(r *ring.Ring) { r.Head = 0 }
+`,
+	})
+	fs := run(t, r, root)
+	// Two plain accesses of Head: the in-package Peek read and the
+	// cross-package Reset store. The pad field has no atomic access and
+	// must stay silent.
+	if got := rulesFired(fs)["L9"]; got != 2 {
+		t.Fatalf("L9 findings = %d, want 2: %v", got, fs)
+	}
+}
+
+func TestL9NegativeAtomicOnlyAndTests(t *testing.T) {
+	r, root := fixtureModule(t, map[string]string{
+		"internal/ring/ring.go": `package ring
+import "sync/atomic"
+type Ring struct{ head int64 }
+func New() *Ring { return &Ring{head: 0} } // keyed init pre-publication is fine
+func (r *Ring) Bump() { atomic.AddInt64(&r.head, 1) }
+func (r *Ring) Load() int64 { return atomic.LoadInt64(&r.head) }
+`,
+		"internal/ring/ring_test.go": `package ring
+func peek(r *Ring) int64 { return r.head } // tests may observe freely
+`,
+	})
+	if fs := run(t, r, root); len(fs) != 0 {
+		t.Fatalf("unexpected findings: %v", fs)
+	}
+}
+
+func TestL9Allow(t *testing.T) {
+	r, root := fixtureModule(t, map[string]string{
+		"internal/ring/ring.go": `package ring
+import "sync/atomic"
+type Ring struct{ head int64 }
+func (r *Ring) Bump() { atomic.AddInt64(&r.head, 1) }
+func (r *Ring) reset() {
+	r.head = 0 //lint:allow L9 pre-publication reset, no concurrent readers yet
+}
+`,
+	})
+	if fs := run(t, r, root); len(fs) != 0 {
+		t.Fatalf("suppressed L9 still reported: %v", fs)
+	}
+}
+
+func TestL10FiresOnContextField(t *testing.T) {
+	r, root := fixtureModule(t, map[string]string{
+		"internal/models/x.go": `package models
+import "context"
+type task struct {
+	ctx  context.Context
+	name string
+}
+func use(t task) context.Context { return t.ctx }
+`,
+	})
+	fs := run(t, r, root)
+	if got := rulesFired(fs)["L10"]; got != 1 {
+		t.Fatalf("L10 findings = %d, want 1: %v", got, fs)
+	}
+}
+
+func TestL10ExemptMainTestsParamsAndAllows(t *testing.T) {
+	r, root := fixtureModule(t, map[string]string{
+		"cmd/tool/main.go": `package main
+import "context"
+type app struct{ ctx context.Context } // cmd wiring may hold its root
+func main() { _ = app{} }
+`,
+		"internal/models/x_test.go": `package models
+import "context"
+type harness struct{ ctx context.Context }
+`,
+		"internal/models/x.go": `package models
+import "context"
+func ok(ctx context.Context) context.Context { return ctx } // parameters are the point
+type carrier struct {
+	//lint:allow L10 request-scoped carrier crossing a queue
+	ctx context.Context
+}
+`,
+	})
+	if fs := run(t, r, root); len(fs) != 0 {
+		t.Fatalf("unexpected findings: %v", fs)
+	}
+}
+
+func TestL11FiresOnLockCopies(t *testing.T) {
+	r, root := fixtureModule(t, map[string]string{
+		"internal/models/x.go": `package models
+import "sync"
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+func byValueParam(g guarded) int { return g.n }
+func byValueRecv(g guarded) {}
+type g2 = guarded
+func (g g2) method() {}
+func assignCopy(src *guarded) {
+	cp := *src
+	_ = cp
+}
+func rangeCopy(gs []guarded) int {
+	total := 0
+	for _, g := range gs {
+		total += g.n
+	}
+	return total
+}
+`,
+	})
+	fs := run(t, r, root)
+	// Five copies: the by-value parameter, the by-value receiver on
+	// method (the free function's own parameter makes byValueRecv's g a
+	// parameter too), the *src dereference assignment, and the range
+	// value.
+	if got := rulesFired(fs)["L11"]; got != 5 {
+		t.Fatalf("L11 findings = %d, want 5: %v", got, fs)
+	}
+}
+
+func TestL11FiresOnAtomicContainers(t *testing.T) {
+	r, root := fixtureModule(t, map[string]string{
+		"internal/models/x.go": `package models
+import "sync/atomic"
+type counters struct{ hits atomic.Int64 }
+func snapshot(c *counters) {
+	cp := *c
+	_ = cp
+}
+`,
+	})
+	fs := run(t, r, root)
+	if got := rulesFired(fs)["L11"]; got != 1 {
+		t.Fatalf("L11 findings = %d, want 1: %v", got, fs)
+	}
+}
+
+func TestL11NegativesAndCmdCoverage(t *testing.T) {
+	r, root := fixtureModule(t, map[string]string{
+		"internal/models/x.go": `package models
+import "sync"
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+func ok(g *guarded) int { return g.n }                  // pointers reference, not contain
+func construct() guarded { return guarded{} }          // fresh composite literal, no copy
+func viaSlice(gs []*guarded) {
+	for _, g := range gs { // pointer elements: no copy
+		_ = g
+	}
+	for i := range gs { // index-only range: no copy
+		_ = i
+	}
+}
+var registry = map[string]*guarded{}
+`,
+		"cmd/tool/main.go": `package main
+import "sync"
+func main() {
+	var a sync.Mutex
+	b := a // cmd/ packages are NOT exempt from L11
+	_ = b
+}
+`,
+	})
+	fs := run(t, r, root)
+	var l11Files []string
+	for _, f := range fs {
+		if f.Rule == "L11" {
+			l11Files = append(l11Files, f.File)
+		}
+	}
+	if len(l11Files) != 1 || !strings.Contains(l11Files[0], "cmd") {
+		t.Fatalf("want exactly one L11 finding, in cmd/tool: %v", fs)
+	}
+}
+
+func TestL12FiresOnUnstoppableGoroutines(t *testing.T) {
+	r, root := fixtureModule(t, map[string]string{
+		"internal/models/x.go": `package models
+func spin(work func()) {
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+func loop() {
+	for {
+	}
+}
+func named() {
+	go loop()
+}
+`,
+	})
+	fs := run(t, r, root)
+	if got := rulesFired(fs)["L12"]; got != 2 {
+		t.Fatalf("L12 findings = %d, want 2 (literal + named callee): %v", got, fs)
+	}
+}
+
+func TestL12FiresOnExternalCalleeWithoutSignal(t *testing.T) {
+	r, root := fixtureModule(t, map[string]string{
+		"internal/ext/ext.go": `package ext
+func Forever() {
+	for {
+	}
+}
+`,
+		"internal/models/x.go": `package models
+import "repro/internal/ext"
+func launch() {
+	go ext.Forever()
+}
+`,
+	})
+	fs := run(t, r, root)
+	if got := rulesFired(fs)["L12"]; got != 1 {
+		t.Fatalf("L12 findings = %d, want 1 (external callee, no signal at call site): %v", got, fs)
+	}
+}
+
+func TestL12AcceptsCancellableShapes(t *testing.T) {
+	r, root := fixtureModule(t, map[string]string{
+		"internal/models/x.go": `package models
+import "context"
+func viaCtx(ctx context.Context, work func()) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+func viaDone(done chan struct{}, work func()) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+func drain(ch chan int) {
+	go func() {
+		for v := range ch { // range over a channel ends when it closes
+			_ = v
+		}
+	}()
+}
+func namedWithBody(done chan struct{}) {
+	go waiter(done)
+}
+func waiter(done chan struct{}) {
+	<-done
+}
+func externalWithChanArg(ch chan int, sink func(chan int)) {
+	go sink(ch) // channel at the call site: the callee can be stopped
+}
+`,
+		"internal/models/x_test.go": `package models
+func testHelper(work func()) {
+	go func() { // tests may spin freely
+		for {
+			work()
+		}
+	}()
+}
+`,
+		"cmd/tool/main.go": `package main
+func main() {
+	go func() { // package main owns the process lifetime
+		for {
+		}
+	}()
+}
+`,
+	})
+	if fs := run(t, r, root); len(fs) != 0 {
+		t.Fatalf("unexpected findings: %v", fs)
+	}
+}
+
+func TestL12Allow(t *testing.T) {
+	r, root := fixtureModule(t, map[string]string{
+		"internal/models/x.go": `package models
+func spin() {
+	//lint:allow L12 process-lifetime janitor, dies with the process by design
+	go func() {
+		for {
+		}
+	}()
+}
+`,
+	})
+	if fs := run(t, r, root); len(fs) != 0 {
+		t.Fatalf("suppressed L12 still reported: %v", fs)
+	}
+}
+
+func TestAllowMultiRuleTypedAndSyntactic(t *testing.T) {
+	// One line violating both L7 (library print) and L11 (lock copy),
+	// suppressed by a single multi-rule directive.
+	r, root := fixtureModule(t, map[string]string{
+		"internal/models/x.go": `package models
+import (
+	"fmt"
+	"sync"
+)
+func f(src *sync.Mutex) {
+	cp := *src; fmt.Println("copied") //lint:allow L7,L11 demo of a deliberately unsound line
+	_ = cp
+}
+`,
+	})
+	if fs := run(t, r, root); len(fs) != 0 {
+		t.Fatalf("multi-rule allow failed: %v", fs)
+	}
+}
+
+func TestAllowUnknownRuleWarns(t *testing.T) {
+	r, root := fixtureModule(t, map[string]string{
+		"internal/models/x.go": `package models
+func f() {
+	panic("boom") //lint:allow L99 typo for L3
+}
+`,
+	})
+	rep := runReport(t, r, root)
+	// The typo silences nothing: the L3 finding must survive, and the
+	// unknown name must surface as a warning.
+	if got := rulesFired(rep.Findings)["L3"]; got != 1 {
+		t.Fatalf("L3 findings = %d, want 1 (L99 allow must not suppress): %v", got, rep.Findings)
+	}
+	if len(rep.Warnings) != 1 || rep.Warnings[0].Rule != "allow" {
+		t.Fatalf("warnings = %v, want one unknown-rule warning", rep.Warnings)
+	}
+	if !strings.Contains(rep.Warnings[0].Message, "L99") {
+		t.Fatalf("warning does not name the unknown rule: %v", rep.Warnings[0])
+	}
+}
+
+func TestAllowKnownRuleDoesNotWarn(t *testing.T) {
+	r, root := fixtureModule(t, map[string]string{
+		"internal/models/x.go": `package models
+func f() {
+	panic("boom") //lint:allow L3 fine
+}
+`,
+	})
+	rep := runReport(t, r, root)
+	if len(rep.Findings) != 0 || len(rep.Warnings) != 0 {
+		t.Fatalf("findings=%v warnings=%v, want none", rep.Findings, rep.Warnings)
+	}
+}

@@ -137,6 +137,7 @@ func (c Config) withDefaults() Config {
 // job is one admitted request travelling from the handler to a worker.
 type job struct {
 	spec *solveSpec
+	//lint:allow L10 request-scoped carrier: the job moves the request ctx across the queue to its worker
 	ctx  context.Context // the request's context (client disconnect)
 	tk   ticket          // breaker admission to resolve
 	br   *breaker
@@ -165,6 +166,7 @@ type Server struct {
 	// solveCtx is cancelled when the drain deadline forces in-flight
 	// solves to stop; every solve context is derived from the request
 	// context AND this one.
+	//lint:allow L10 server-owned lifecycle root: Drain cancels it to force in-flight solves to stop
 	solveCtx    context.Context
 	forceCancel context.CancelFunc
 

@@ -29,6 +29,7 @@ func ServeDebug(addr string) (string, func() error, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	srv := &http.Server{Handler: mux}
+	//lint:allow L12 stopped via the returned srv.Close, not a ctx/channel at the call site
 	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
 	return ln.Addr().String(), srv.Close, nil
 }

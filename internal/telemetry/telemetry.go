@@ -168,6 +168,8 @@ func (t *Tracer) Fork(worker, group int) *Tracer {
 // Emit records one event: the metrics counter for k is bumped and, when a
 // sink is attached, a timestamped Event carrying the tracer's tags is
 // delivered. Emit on a nil tracer is a no-op.
+//
+//qbf:hotpath
 func (t *Tracer) Emit(k Kind, level, depth int, a, b int64) {
 	if t == nil {
 		return

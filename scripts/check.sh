@@ -5,28 +5,38 @@
 #   1. go build            (everything compiles, including qbfdebug)
 #   2. go vet              (stock static analysis)
 #   3. gofmt check         (no unformatted files)
-#   4. qbflint             (project-specific rules L1-L8, see DESIGN.md §6)
-#   5. go test -race       (full suite under the race detector, including
+#   4. qbflint             (project-specific rules L1-L12, type-checked
+#                          over every library and cmd package across all
+#                          build-tag variants, see DESIGN.md §6)
+#   5. qbflint -gate hotpath
+#                          (L13: compiler escape analysis over the
+#                          //qbf:hotpath-annotated functions in
+#                          internal/telemetry and internal/core; any
+#                          "escapes to heap" inside an annotated function
+#                          fails; a toolchain whose -m output the parser
+#                          cannot read degrades to a warning, not a
+#                          failure)
+#   6. go test -race       (full suite under the race detector, including
 #                          the portfolio differential and metamorphic
 #                          layers and the exchange-ring stress tests)
-#   6. go test -tags qbfdebug -race
+#   7. go test -tags qbfdebug -race
 #                          (solver + harness + portfolio suites with deep
 #                          invariant checking, import oracle re-derivation,
 #                          and the fault-injection hook live)
-#   7. server chaos suite  (the solve service under -tags qbfdebug -race:
+#   8. server chaos suite  (the solve service under -tags qbfdebug -race:
 #                          hundreds of concurrent requests with fault
 #                          injection, breaker trips and recovery, oracle
 #                          agreement, drain under load — see DESIGN.md §10)
-#   8. go test -fuzz smoke (5s fuzz each of the QDIMACS/QTREE reader and
+#   9. go test -fuzz smoke (5s fuzz each of the QDIMACS/QTREE reader and
 #                          the service request decoder; the checked-in
-#                          corpora replay in step 5 already)
-#   9. tracing overhead    (builds with -tags qbfnotrace, then compares the
+#                          corpora replay in step 6 already)
+#  10. tracing overhead    (builds with -tags qbfnotrace, then compares the
 #                          end-to-end BenchmarkSolveTraceOverhead between
 #                          the default build — hooks compiled in, tracer
 #                          nil — and the qbfnotrace build; fails when the
 #                          min-of-runs ratio exceeds QBF_OVERHEAD_TOLERANCE,
 #                          default 1.02, i.e. 2% — see DESIGN.md §9)
-#  10. bench smoke         (portfolio-vs-sequential and solve-service smoke
+#  11. bench smoke         (portfolio-vs-sequential and solve-service smoke
 #                          campaigns; write results/BENCH_portfolio.json
 #                          and results/BENCH_serve.json and fail on any
 #                          verdict disagreement)
@@ -56,6 +66,11 @@ fi
 
 echo "==> qbflint ./..."
 go run ./cmd/qbflint ./...
+
+echo "==> qbflint -gate hotpath (L13 allocation gate)"
+# The gcflags are pinned here so the escape-diagnostic format the parser
+# expects is requested explicitly, not inherited from toolchain defaults.
+go run ./cmd/qbflint -gate hotpath -gcflags '-m -m' ./internal/telemetry ./internal/core
 
 echo "==> go test -race ./..."
 go test -race ./...
