@@ -1,0 +1,317 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/gate"
+	"repro/internal/qdimacs"
+	"repro/internal/randqbf"
+	"repro/internal/result"
+	"repro/internal/server"
+	"repro/internal/server/client"
+)
+
+// gateReport is the BENCH_gate.json schema.
+type gateReport struct {
+	Suite         string  `json:"suite"`
+	Backends      int     `json:"backends"`
+	Clients       int     `json:"clients"`
+	Requests      int     `json:"requests"`
+	Decided       int     `json:"decided"`
+	Undecided     int     `json:"undecided"`
+	Disagreements int     `json:"disagreements"`
+	Dropped       int     `json:"dropped"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+	Coalesced     int64   `json:"coalesced"`
+	Hedges        int64   `json:"hedges"`
+	HedgeWins     int64   `json:"hedge_wins"`
+	Failovers     int64   `json:"failovers"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	LatencyP50MS  float64 `json:"latency_p50_ms"`
+	LatencyP95MS  float64 `json:"latency_p95_ms"`
+	// SequentialSeconds is the up-front oracle pass over the pool.
+	SequentialSeconds float64         `json:"sequential_seconds"`
+	Drain             gateDrainReport `json:"drain"`
+}
+
+// gateDrainReport covers phase 2: one backend drains gracefully while
+// clients keep hammering the gate. "Dropped" is a transport-level failure
+// toward a client — the contract is that there are none: in-flight solves
+// on the draining backend finish, new ones fail over.
+type gateDrainReport struct {
+	Requests      int  `json:"requests"`
+	Decided       int  `json:"decided"`
+	Undecided     int  `json:"undecided"`
+	Disagreements int  `json:"disagreements"`
+	Dropped       int  `json:"dropped"`
+	DrainClean    bool `json:"drain_clean"`
+}
+
+// gatePool builds the request pool for the gate benchmark: quick model-A
+// instances, each solved once sequentially so every gate answer has an
+// oracle. Kept small and fast on purpose — the suite measures the front
+// tier (routing, caching, failover), not search time.
+func gatePool(ctx context.Context, budget time.Duration) ([]serveInstance, time.Duration, error) {
+	var pool []serveInstance
+	seqStart := time.Now()
+	for seed := int64(0); seed < 6; seed++ {
+		q := randqbf.Prob(randqbf.ProbParams{
+			Blocks: 2, BlockSize: 6, Clauses: 26, Length: 3, MaxUniversal: 1, Seed: 40 + seed,
+		})
+		text, err := qdimacs.WriteString(q)
+		if err != nil {
+			return nil, 0, err
+		}
+		r, err := core.Solve(ctx, q, core.Options{TimeLimit: budget})
+		if err != nil {
+			return nil, 0, err
+		}
+		pool = append(pool, serveInstance{
+			name:    fmt.Sprintf("gate-prob-%d", seed),
+			formula: text,
+			oracle:  r.Verdict,
+		})
+	}
+	return pool, time.Since(seqStart), nil
+}
+
+// gateStorm drives clients×perClient requests through the gate, checking
+// every 200 against the oracle. It returns (decided, undecided,
+// disagreements, dropped, latencies); dropped counts transport-level
+// client errors, which the gate contract says must not happen.
+func gateStorm(ctx context.Context, base string, pool []serveInstance, clients, perClient int) (int, int, int, int, []time.Duration) {
+	var (
+		mu            sync.Mutex
+		latencies     []time.Duration
+		decided       int
+		undecided     int
+		disagreements int
+		dropped       int
+	)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := client.New(base, nil, client.Policy{
+				MaxAttempts: 4,
+				BaseDelay:   10 * time.Millisecond,
+				MaxDelay:    200 * time.Millisecond,
+				Seed:        int64(c) + 1,
+			})
+			for i := 0; i < perClient; i++ {
+				// Repeat-heavy draw: every client walks the same small pool,
+				// so most requests after the first lap are cache hits.
+				inst := pool[(c+i)%len(pool)]
+				t0 := time.Now()
+				out, err := cl.Solve(ctx, server.SolveRequest{Formula: inst.formula})
+				took := time.Since(t0)
+				mu.Lock()
+				switch {
+				case err != nil && out.Status == 0:
+					dropped++
+					fmt.Fprintf(os.Stderr, "  DROPPED %s: %v\n", inst.name, err)
+				case err != nil || out.Status != result.StatusOK:
+					undecided++
+				default:
+					decided++
+					latencies = append(latencies, took)
+					if out.Resp.Verdict != inst.oracle.String() {
+						disagreements++
+						fmt.Fprintf(os.Stderr, "  DISAGREE %s: oracle %v, gate %v (source %q)\n",
+							inst.name, inst.oracle, out.Resp.Verdict, out.Resp.Source)
+					}
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	return decided, undecided, disagreements, dropped, latencies
+}
+
+// runGateSuite measures the front tier end to end: three real qbfd
+// backends on loopback sockets behind one qbfgate, a repeat-heavy client
+// storm (phase 1: the canonical cache must convert repeats into hits),
+// then a second storm during which backend 0 drains gracefully (phase 2:
+// zero dropped requests — in-flight solves finish, new ones fail over).
+// A verdict disagreement or a dropped request fails the campaign.
+func runGateSuite(ctx context.Context, cfg bench.Config, outDir string) {
+	const (
+		nBackends = 3
+		clients   = 12
+		perClient = 10
+	)
+	pool, seqTotal, err := gatePool(ctx, cfg.Timeout)
+	if err != nil {
+		fail(fmt.Errorf("gate suite oracle pass: %w", err))
+	}
+	fmt.Printf("GATE: %d clients × %d requests over %d pooled instances, %d backends\n",
+		clients, perClient, len(pool), nBackends)
+
+	var (
+		backends  []*server.Server
+		httpSrvs  []*http.Server
+		listeners []net.Listener
+		urls      []string
+	)
+	for i := 0; i < nBackends; i++ {
+		srv := server.New(server.Config{
+			Workers:      2,
+			QueueDepth:   64,
+			QueueTimeout: 5 * time.Second,
+			Caps:         server.Caps{MaxTime: cfg.Timeout},
+		})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fail(err)
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln) //nolint:errcheck // shut down via Close below
+		backends = append(backends, srv)
+		httpSrvs = append(httpSrvs, hs)
+		listeners = append(listeners, ln)
+		urls = append(urls, "http://"+ln.Addr().String())
+	}
+
+	g, err := gate.New(gate.Config{
+		Backends:   urls,
+		HedgeDelay: 25 * time.Millisecond,
+		Pool: gate.PoolConfig{
+			ProbeInterval: 100 * time.Millisecond,
+			ProbeTimeout:  500 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		fail(err)
+	}
+	gln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fail(err)
+	}
+	ghs := &http.Server{Handler: g.Handler()}
+	go ghs.Serve(gln) //nolint:errcheck // shut down via Close below
+	base := "http://" + gln.Addr().String()
+
+	// Phase 1: repeat-heavy storm. The pool is smaller than the request
+	// count, so once each instance has been solved live the canonical
+	// cache should answer the rest.
+	start := time.Now()
+	decided, undecided, disagreements, dropped, latencies := gateStorm(ctx, base, pool, clients, perClient)
+	wall := time.Since(start)
+
+	// Phase 2: drain backend 0 mid-storm. The drain starts after the
+	// storm is in flight; the gate's probes see /readyz go unready and
+	// route around it while the backend finishes what it already admitted.
+	drainErrCh := make(chan error, 1)
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		drainErrCh <- backends[0].Drain(dctx)
+	}()
+	dDecided, dUndecided, dDisagreements, dDropped, _ := gateStorm(ctx, base, pool, clients/2, perClient/2)
+	drainErr := <-drainErrCh
+
+	snap := g.Snapshot()
+	g.Stop()
+	ghs.Close() //nolint:errcheck // storm already finished
+	for i, srv := range backends {
+		if i != 0 { // backend 0 drained during phase 2
+			dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			if err := srv.Drain(dctx); err != nil {
+				fmt.Fprintf(os.Stderr, "  gate: backend %d drain was forced: %v\n", i, err)
+				campaignFailures++
+			}
+			cancel()
+		}
+		httpSrvs[i].Close() //nolint:errcheck // drain already resolved every request
+		listeners[i].Close()
+	}
+
+	rep := gateReport{
+		Suite:             "gate",
+		Backends:          nBackends,
+		Clients:           clients,
+		Requests:          clients * perClient,
+		Decided:           decided,
+		Undecided:         undecided,
+		Disagreements:     disagreements + dDisagreements,
+		Dropped:           dropped,
+		CacheHits:         snap.CacheHits,
+		Coalesced:         snap.Coalesced,
+		Hedges:            snap.Hedges,
+		HedgeWins:         snap.HedgeWins,
+		Failovers:         snap.Failovers,
+		WallSeconds:       wall.Seconds(),
+		SequentialSeconds: seqTotal.Seconds(),
+		Drain: gateDrainReport{
+			Requests:      (clients / 2) * (perClient / 2),
+			Decided:       dDecided,
+			Undecided:     dUndecided,
+			Disagreements: dDisagreements,
+			Dropped:       dDropped,
+			DrainClean:    drainErr == nil,
+		},
+	}
+	if lookups := snap.CacheHits + snap.CacheMisses; lookups > 0 {
+		rep.CacheHitRate = float64(snap.CacheHits) / float64(lookups)
+	}
+	if wall > 0 {
+		rep.ThroughputRPS = float64(decided) / wall.Seconds()
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		rep.LatencyP50MS = float64(latencies[len(latencies)/2].Microseconds()) / 1000
+		rep.LatencyP95MS = float64(latencies[len(latencies)*95/100].Microseconds()) / 1000
+	}
+
+	path := filepath.Join(outDir, "BENCH_gate.json")
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Printf("  phase 1: %d/%d decided in %v (%.0f solves/s, cache hit rate %.0f%%, p50 %.1fms, p95 %.1fms)\n",
+		decided, rep.Requests, wall.Round(time.Millisecond), rep.ThroughputRPS,
+		100*rep.CacheHitRate, rep.LatencyP50MS, rep.LatencyP95MS)
+	fmt.Printf("  phase 2: %d/%d decided during drain, %d dropped, drain clean: %v → %s\n",
+		dDecided, rep.Drain.Requests, dDropped, rep.Drain.DrainClean, path)
+
+	if n := rep.Disagreements; n > 0 {
+		campaignFailures += n
+	}
+	if rep.CacheHitRate == 0 {
+		fmt.Fprintln(os.Stderr, "  gate: repeat-heavy storm produced no cache hits")
+		campaignFailures++
+	}
+	if total := dropped + dDropped; total > 0 {
+		fmt.Fprintf(os.Stderr, "  gate: %d request(s) dropped at the transport level\n", total)
+		campaignFailures += total
+	}
+	if drainErr != nil {
+		fmt.Fprintln(os.Stderr, "  gate: backend 0 drain was forced:", drainErr)
+		campaignFailures++
+	}
+}

@@ -12,6 +12,7 @@
 //	scaling   — Figure 6 (counter and semaphore series)
 //	portfolio — racing-portfolio speedup vs the sequential engine
 //	serve     — qbfd service smoke: throughput, shed rate, oracle agreement
+//	gate      — qbfgate front-tier smoke: cache hit rate, failover, drain under load
 //	all       — everything above
 //
 // Scatter CSVs land in -out (default "results/").
@@ -54,7 +55,7 @@ var plotFigures bool
 var campaignFailures int
 
 func main() {
-	suite := flag.String("suite", "all", "suite: ncf, fpv, dia, prob, fixed, scaling, portfolio, serve, all")
+	suite := flag.String("suite", "all", "suite: ncf, fpv, dia, prob, fixed, scaling, portfolio, serve, gate, all")
 	scaleName := flag.String("scale", "default", "experiment scale: smoke, default, full")
 	outDir := flag.String("out", "results", "directory for CSV artifacts")
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel solver instances")
@@ -121,12 +122,14 @@ func main() {
 			runPortfolioSuite(ctx, cfg, *pWorkers, *share, *outDir)
 		case "serve":
 			runServeSuite(ctx, cfg, *outDir)
+		case "gate":
+			runGateSuite(ctx, cfg, *outDir)
 		default:
 			fail(fmt.Errorf("unknown suite %q", name))
 		}
 	}
 	if *suite == "all" {
-		for _, s := range []string{"ncf", "fpv", "dia", "prob", "fixed", "scaling", "portfolio", "serve"} {
+		for _, s := range []string{"ncf", "fpv", "dia", "prob", "fixed", "scaling", "portfolio", "serve", "gate"} {
 			run(s)
 		}
 	} else {

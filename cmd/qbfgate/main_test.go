@@ -1,0 +1,249 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/result"
+	"repro/internal/server"
+)
+
+// The gate tests run qbfgate end to end: the test binary re-executes
+// itself as the real command (TestMain dispatches to main when the marker
+// variable is set), with an in-process stub standing in for the qbfd
+// backend fleet.
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden files under testdata")
+
+func TestMain(m *testing.M) {
+	if os.Getenv("QBFGATE_TEST_RUN_MAIN") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// fakeBackend is a minimal qbfd: green health endpoints and a /solve that
+// answers TRUE, counting hits.
+func fakeBackend(t *testing.T) (*httptest.Server, *int64) {
+	t.Helper()
+	var hits int64
+	var mu sync.Mutex
+	mux := http.NewServeMux()
+	ok := func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(http.StatusOK) }
+	mux.HandleFunc("/healthz", ok)
+	mux.HandleFunc("/readyz", ok)
+	mux.HandleFunc("/solve", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		hits++
+		mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(server.SolveResponse{Verdict: result.True.String()}) //nolint:errcheck
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv, &hits
+}
+
+type gateProc struct {
+	cmd      *exec.Cmd
+	addr     string
+	scanDone chan struct{}
+
+	mu     sync.Mutex
+	stderr bytes.Buffer
+}
+
+var listenLine = regexp.MustCompile(`listening on (127\.0\.0\.1:\d+)`)
+
+func startGate(t *testing.T, extra ...string) *gateProc {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	g := &gateProc{cmd: exec.Command(os.Args[0], args...), scanDone: make(chan struct{})}
+	g.cmd.Env = append(os.Environ(), "QBFGATE_TEST_RUN_MAIN=1")
+	pipe, err := g.cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if g.cmd.ProcessState == nil {
+			g.cmd.Process.Kill() //nolint:errcheck // last-resort teardown
+			g.cmd.Wait()         //nolint:errcheck
+		}
+	})
+	addrCh := make(chan string, 1)
+	go func() {
+		defer close(g.scanDone)
+		sc := bufio.NewScanner(pipe)
+		for sc.Scan() {
+			line := sc.Text()
+			g.mu.Lock()
+			g.stderr.WriteString(line)
+			g.stderr.WriteByte('\n')
+			g.mu.Unlock()
+			if m := listenLine.FindStringSubmatch(line); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		g.addr = "http://" + addr
+	case <-time.After(10 * time.Second):
+		t.Fatal("qbfgate never printed its listening line")
+	}
+	return g
+}
+
+func (g *gateProc) wait(t *testing.T) int {
+	t.Helper()
+	select {
+	case <-g.scanDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("stderr never reached EOF")
+	}
+	err := g.cmd.Wait()
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode()
+	}
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	return 0
+}
+
+func (g *gateProc) stderrText() string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stderr.String()
+}
+
+func postSolve(t *testing.T, url, body string) (int, server.SolveResponse) {
+	t.Helper()
+	resp, err := http.Post(url+"/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /solve: %v", err)
+	}
+	defer resp.Body.Close()
+	var out server.SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+var portField = regexp.MustCompile(`127\.0\.0\.1:\d+`)
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	norm := portField.ReplaceAllString(got, "127.0.0.1:<PORT>")
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(norm), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden file)", err)
+	}
+	if norm != string(want) {
+		t.Errorf("%s mismatch\n--- got ---\n%s--- want ---\n%s", name, norm, want)
+	}
+}
+
+// TestGateServeCacheAndShutdown: the gate proxies a solve, serves the
+// rename variant from its canonical-form cache, reports both in /statusz,
+// and shuts down cleanly on SIGTERM with the exact stderr framing.
+func TestGateServeCacheAndShutdown(t *testing.T) {
+	backend, hits := fakeBackend(t)
+	g := startGate(t, "-backends", backend.URL, "-no-hedge")
+
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(g.addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s = %d", path, resp.StatusCode)
+		}
+	}
+
+	status, out := postSolve(t, g.addr, `{"formula":"p cnf 2 1\ne 1 2 0\n1 -2 0\n"}`)
+	if status != http.StatusOK || out.Verdict != "TRUE" || out.Source != "" {
+		t.Fatalf("proxied solve: status=%d %+v", status, out)
+	}
+	// The rename variant (1↔2 swapped) must hit the cache, not the backend.
+	status, out = postSolve(t, g.addr, `{"formula":"p cnf 2 1\ne 2 1 0\n2 -1 0\n"}`)
+	if status != http.StatusOK || out.Verdict != "TRUE" || out.Source != server.SourceCache {
+		t.Fatalf("variant solve: status=%d %+v", status, out)
+	}
+	if *hits != 1 {
+		t.Fatalf("backend hits = %d, want 1", *hits)
+	}
+
+	resp, err := http.Get(g.addr + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Requests  int64 `json:"requests"`
+		CacheHits int64 `json:"cache_hits"`
+		Backends  []struct {
+			State string `json:"state"`
+		} `json:"backends"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.Requests != 2 || snap.CacheHits != 1 || len(snap.Backends) != 1 || snap.Backends[0].State != "healthy" {
+		t.Fatalf("statusz = %+v", snap)
+	}
+
+	if err := g.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := g.wait(t); code != 0 {
+		t.Fatalf("exit %d, want 0\nstderr: %s", code, g.stderrText())
+	}
+	checkGolden(t, "shutdown.golden", g.stderrText())
+}
+
+// TestGateRequiresBackends: starting without -backends is a usage error.
+func TestGateRequiresBackends(t *testing.T) {
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), "QBFGATE_TEST_RUN_MAIN=1")
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("err = %v, want exit 1", err)
+	}
+	if !strings.Contains(string(out), "-backends is required") {
+		t.Errorf("stderr = %q", out)
+	}
+}

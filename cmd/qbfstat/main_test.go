@@ -119,3 +119,51 @@ func TestStructuralReportStillWorks(t *testing.T) {
 		t.Fatalf("exit %d stdout %q stderr %q, want a structural report", code, stdout, stderr)
 	}
 }
+
+// TestTraceSummarizesGateKinds: route/hedge/cachehit events from a qbfgate
+// trace produce the per-backend counts, hedge win rate, and cache hit
+// ratio lines — golden strings, so the report format cannot drift
+// silently.
+func TestTraceSummarizesGateKinds(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "gate.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := telemetry.NewJSONLSink(f)
+	tr := telemetry.New(sink, nil)
+	// 5 routes to backend 0 (one a failover), 3 to backend 1; 2 hedges
+	// resolved, 1 won by the hedge; 4 cache lookups, 3 hits.
+	for i := 0; i < 4; i++ {
+		tr.Emit(telemetry.KindRoute, 0, 0, 0, 0)
+	}
+	tr.Emit(telemetry.KindRoute, 0, 0, 0, 1) // failover attempt to backend 0
+	for i := 0; i < 3; i++ {
+		tr.Emit(telemetry.KindRoute, 0, 0, 1, 0)
+	}
+	tr.Emit(telemetry.KindHedge, 0, 0, 1, 1)
+	tr.Emit(telemetry.KindHedge, 0, 0, 0, 1)
+	tr.Emit(telemetry.KindCacheHit, 0, 0, 1, 1)
+	tr.Emit(telemetry.KindCacheHit, 0, 0, 1, 2)
+	tr.Emit(telemetry.KindCacheHit, 0, 0, 1, 3)
+	tr.Emit(telemetry.KindCacheHit, 0, 0, 0, 3)
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	stdout, stderr, code := runCLI(t, "trace", path)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, stderr)
+	}
+	for _, want := range []string{
+		"backend 0   5",
+		"backend 1   3",
+		"failovers  1",
+		"hedge-wins 1/2 (50.0%)",
+		"cache-hits 3/4 (75.0%)",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("summary lacks %q:\n%s", want, stdout)
+		}
+	}
+}

@@ -20,42 +20,11 @@ import (
 // is representation-dependent (ordering assumptions, index arithmetic,
 // prefix traversal).
 
-// renameQBF applies the variable permutation perm (1-based: perm[v] is the
-// new name of v) to prefix and matrix, preserving the tree shape.
+// renameQBF applies the variable permutation perm via qbf.Rename (the
+// library home of the rename machinery, shared with the gate's
+// canonical-form cache).
 func renameQBF(q *qbf.QBF, perm []qbf.Var) *qbf.QBF {
-	p := qbf.NewPrefix(q.Prefix.MaxVar())
-	var cloneBlock func(b *qbf.Block, parent *qbf.Block)
-	cloneBlock = func(b *qbf.Block, parent *qbf.Block) {
-		vars := make([]qbf.Var, len(b.Vars))
-		for i, v := range b.Vars {
-			vars[i] = perm[v]
-		}
-		nb := p.AddBlock(parent, b.Quant, vars...)
-		for _, c := range b.Children {
-			cloneBlock(c, nb)
-		}
-	}
-	for _, r := range q.Prefix.Roots() {
-		cloneBlock(r, nil)
-	}
-	p.Finalize()
-	matrix := make([]qbf.Clause, len(q.Matrix))
-	for i, c := range q.Matrix {
-		nc := make(qbf.Clause, len(c))
-		for j, l := range c {
-			nl := perm[l.Var()].PosLit()
-			if !l.Positive() {
-				nl = nl.Neg()
-			}
-			nc[j] = nl
-		}
-		nc, taut := nc.Normalize()
-		if taut {
-			panic("renaming created a tautology — permutation is not injective")
-		}
-		matrix[i] = nc
-	}
-	return qbf.New(p, matrix)
+	return qbf.Rename(q, perm)
 }
 
 // randPerm returns a uniform permutation of 1..maxVar as a 1-based table.

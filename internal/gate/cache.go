@@ -1,0 +1,87 @@
+package gate
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/server"
+)
+
+// verdictCache is a bounded LRU over canonical request keys. Only decided
+// 200 responses (TRUE/FALSE) enter it — a verdict is a semantic property
+// of the canonical formula, valid regardless of which budgets or backend
+// produced it — so a cached entry can be served forever, including during
+// a total backend outage (the degradation contract: cached verdicts keep
+// flowing, uncacheable requests get 503 + Retry-After rather than hangs).
+type verdictCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recent
+	m   map[string]*list.Element
+
+	hits, misses int64
+}
+
+type cacheEntry struct {
+	key  string
+	resp server.SolveResponse
+}
+
+func newVerdictCache(capacity int) *verdictCache {
+	return &verdictCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element, capacity)}
+}
+
+// get returns a copy of the cached response for key, flagged as
+// cache-sourced, and reports whether it was present. Every lookup counts
+// toward the hit/miss statistics.
+func (c *verdictCache) get(key string) (server.SolveResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		c.misses++
+		return server.SolveResponse{}, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	resp := el.Value.(*cacheEntry).resp
+	resp.Source = server.SourceCache
+	return resp, true
+}
+
+// put inserts (or refreshes) a decided response under key, evicting the
+// least-recently-used entry past capacity. The stored copy is stripped of
+// per-request fields that must not replay (witness — it is named in the
+// producing request's variables, not the canonical ones — and the
+// queue/solve timings).
+func (c *verdictCache) put(key string, resp server.SolveResponse) {
+	resp.Witness = nil
+	resp.QueueMS = 0
+	resp.SolveMS = 0
+	resp.Source = ""
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*cacheEntry).resp = resp
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, resp: resp})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.m, last.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *verdictCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+func (c *verdictCache) stats() (hits, misses int64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
+}

@@ -1,0 +1,149 @@
+// Package gate is the fault-tolerant front tier over a fleet of qbfd
+// backends: it canonicalizes each solve request, routes it over a
+// consistent-hash ring of health-checked backends with deterministic
+// failover and hedged retries, and serves repeated formulas from a bounded
+// LRU verdict cache keyed on the canonical form.
+//
+// The canonical form is the load-bearing idea. The paper's application
+// domains (bounded model checking, circuit diameter) emit streams of
+// near-identical formulas whose verdicts are invariant under variable
+// renaming and clause reordering — exactly the transformations the core
+// metamorphic suite proves truth-preserving. Canonicalization renames
+// variables to first-use order over the quantifier tree and sorts the
+// matrix, so every rename/permute variant of a formula folds onto one
+// cache key and one ring position.
+//
+// See DESIGN.md §11 for the architecture, the backend health state
+// machine, the hedging policy, and the degradation contract.
+package gate
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"strconv"
+
+	"repro/internal/qbf"
+)
+
+// CanonicalPerm returns the first-use renaming of q's variables as a
+// 1-based permutation table: variables are numbered 1..n in quantifier-
+// tree traversal order (roots in declaration order, blocks depth-first,
+// variables in within-block order). Free matrix variables — which the
+// solver binds in an outermost existential block — are numbered after the
+// bound ones, in increasing original order, so the table is total over
+// 1..MaxVar even for non-closed inputs.
+func CanonicalPerm(q *qbf.QBF) []qbf.Var {
+	maxVar := q.Prefix.MaxVar()
+	if mv := q.MaxVar(); mv > maxVar {
+		maxVar = mv
+	}
+	perm := make([]qbf.Var, maxVar+1)
+	next := qbf.MinVar
+	var walk func(b *qbf.Block)
+	walk = func(b *qbf.Block) {
+		for _, v := range b.Vars {
+			if perm[v] == 0 {
+				perm[v] = next
+				next++
+			}
+		}
+		for _, c := range b.Children {
+			walk(c)
+		}
+	}
+	for _, r := range q.Prefix.Roots() {
+		walk(r)
+	}
+	for v := qbf.MinVar; int(v) <= maxVar; v++ {
+		if perm[v] == 0 {
+			perm[v] = next
+			next++
+		}
+	}
+	return perm
+}
+
+// Canonicalize returns the canonical presentation of q: variables renamed
+// to first-use order and the matrix sorted (literals within each clause by
+// variable — qbf.Rename normalizes that — and clauses lexicographically).
+// The canonical form is idempotent: canonicalizing a canonical formula is
+// the identity, which the canon tests pin.
+func Canonicalize(q *qbf.QBF) *qbf.QBF {
+	cq := qbf.Rename(q, CanonicalPerm(q))
+	sort.Slice(cq.Matrix, func(i, j int) bool { return clauseLess(cq.Matrix[i], cq.Matrix[j]) })
+	return cq
+}
+
+// clauseLess orders clauses lexicographically by their (normalized,
+// variable-sorted) literals, shorter prefix first.
+func clauseLess(a, b qbf.Clause) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// Key hashes a request's canonical form together with the options that
+// select the engine (mode and prenexing strategy): the full routing and
+// cache identity of a solve request. Two requests share a key exactly when
+// they are the same formula up to renaming and clause order, asked of the
+// same engine configuration. The key is a hex SHA-256, so collisions
+// between semantically distinct instances happen only by hash-function
+// accident.
+func Key(q *qbf.QBF, mode, strategy string) string {
+	sum := sha256.Sum256([]byte(serialize(Canonicalize(q), mode, strategy)))
+	return hex.EncodeToString(sum[:])
+}
+
+// serialize renders the canonical formula plus options into the byte
+// string that is hashed. The format is private to the hash — it only has
+// to be injective over (prefix shape, matrix, options) — but it is kept
+// readable to make golden-test failures diagnosable.
+func serialize(cq *qbf.QBF, mode, strategy string) string {
+	var b []byte
+	b = append(b, "p:"...)
+	var walk func(blk *qbf.Block)
+	walk = func(blk *qbf.Block) {
+		if blk.Quant == qbf.Exists {
+			b = append(b, 'e')
+		} else {
+			b = append(b, 'a')
+		}
+		for i, v := range blk.Vars {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = strconv.AppendInt(b, int64(v), 10)
+		}
+		b = append(b, '{')
+		for _, c := range blk.Children {
+			walk(c)
+		}
+		b = append(b, '}')
+	}
+	for _, r := range cq.Prefix.Roots() {
+		walk(r)
+	}
+	b = append(b, "|m:"...)
+	for _, c := range cq.Matrix {
+		for i, l := range c {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = strconv.AppendInt(b, int64(l), 10)
+		}
+		b = append(b, ';')
+	}
+	b = append(b, "|o:"...)
+	b = append(b, mode...)
+	b = append(b, '/')
+	b = append(b, strategy...)
+	return string(b)
+}

@@ -1,0 +1,278 @@
+package gate
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/server/client"
+)
+
+// State is one backend's position in the health state machine.
+type State int32
+
+const (
+	// StateHealthy: the backend passes probes and serves requests; it is
+	// routed to in ring order.
+	StateHealthy State = iota
+	// StateSuspect: recent probe or request failures crossed SuspectAfter;
+	// the backend is still routable but only after every healthy backend
+	// has been tried (or hedged against).
+	StateSuspect
+	// StateEjected: failures crossed EjectAfter; the backend receives no
+	// traffic at all until RecoverAfter consecutive probe successes
+	// re-promote it (hysteresis — one lucky probe is not recovery).
+	StateEjected
+)
+
+func (s State) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateSuspect:
+		return "suspect"
+	case StateEjected:
+		return "ejected"
+	default:
+		return "invalid"
+	}
+}
+
+// PoolConfig tunes health checking. The zero value probes every second
+// with a 500 ms timeout, suspects after 2 consecutive failures, ejects
+// after 4, and re-promotes after 2 consecutive successes.
+type PoolConfig struct {
+	// ProbeInterval is the base period between health probes of one
+	// backend; each wait is jittered ±25% so a fleet of gates does not
+	// synchronize its probes (0 = 1s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe round trip (0 = 500ms).
+	ProbeTimeout time.Duration
+	// SuspectAfter is the consecutive-failure count (probes and passive
+	// request outcomes combined) that demotes healthy → suspect (0 = 2).
+	SuspectAfter int
+	// EjectAfter is the consecutive-failure count that demotes → ejected
+	// (0 = 4; clamped to at least SuspectAfter).
+	EjectAfter int
+	// RecoverAfter is the consecutive-success count that re-promotes a
+	// suspect or ejected backend to healthy (0 = 2).
+	RecoverAfter int
+	// Seed makes probe jitter deterministic for tests (0 = clock-derived).
+	Seed int64
+}
+
+func (c PoolConfig) withDefaults() PoolConfig {
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 500 * time.Millisecond
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 2
+	}
+	if c.EjectAfter <= 0 {
+		c.EjectAfter = 4
+	}
+	if c.EjectAfter < c.SuspectAfter {
+		c.EjectAfter = c.SuspectAfter
+	}
+	if c.RecoverAfter <= 0 {
+		c.RecoverAfter = 2
+	}
+	return c
+}
+
+// backend is one qbfd instance: its solve client, its health state
+// machine, and its counters. The state machine folds two evidence streams:
+// active probes (GET /healthz + /readyz, run by the pool's probe loop) and
+// passive outcomes (did a proxied request reach the backend and get any
+// well-formed HTTP response back). Both feed the same consecutive
+// fail/success counters, so a crashed backend is demoted by the very
+// requests that discover it — typically faster than the next probe.
+type backend struct {
+	idx int
+	url string
+	cl  *client.Client
+
+	mu    sync.Mutex
+	state State
+	fails int // consecutive failures
+	oks   int // consecutive successes while not healthy
+
+	requests   int64 // proxied solve attempts
+	failures   int64 // passive failures (transport errors)
+	probes     int64
+	probeFails int64
+	ejections  int64
+}
+
+func (b *backend) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// recordFailure advances the state machine on one failure observation.
+// It returns the resulting state.
+func (b *backend) recordFailure(cfg PoolConfig, passive bool) State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if passive {
+		b.failures++
+	}
+	b.oks = 0
+	b.fails++
+	switch {
+	case b.fails >= cfg.EjectAfter:
+		if b.state != StateEjected {
+			b.ejections++
+		}
+		b.state = StateEjected
+	case b.fails >= cfg.SuspectAfter && b.state == StateHealthy:
+		b.state = StateSuspect
+	}
+	return b.state
+}
+
+// recordSuccess advances the state machine on one success observation.
+// Re-promotion is hysteretic: RecoverAfter consecutive successes are
+// required before a suspect or ejected backend serves normal traffic
+// again, so a flapping backend cannot oscillate into the routing set on
+// every lucky probe.
+func (b *backend) recordSuccess(cfg PoolConfig) State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	if b.state == StateHealthy {
+		return b.state
+	}
+	b.oks++
+	if b.oks >= cfg.RecoverAfter {
+		b.state = StateHealthy
+		b.oks = 0
+	}
+	return b.state
+}
+
+// pool owns the backends and their probe loops.
+type pool struct {
+	cfg      PoolConfig
+	backends []*backend
+	hc       *http.Client
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+func newPool(urls []string, cfg PoolConfig, hc *http.Client, solveClients []*client.Client) *pool {
+	p := &pool{
+		cfg:  cfg.withDefaults(),
+		hc:   hc,
+		stop: make(chan struct{}),
+	}
+	seed := p.cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	p.rng = rand.New(rand.NewSource(seed))
+	for i, u := range urls {
+		p.backends = append(p.backends, &backend{idx: i, url: u, cl: solveClients[i]})
+	}
+	p.wg.Add(len(p.backends))
+	for _, b := range p.backends {
+		go p.probeLoop(b)
+	}
+	return p
+}
+
+// Stop halts the probe loops and waits for them to exit. Idempotent.
+func (p *pool) Stop() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	p.wg.Wait()
+}
+
+// probeLoop actively probes one backend forever (until Stop): a jittered
+// wait, then GET /healthz and GET /readyz under the probe timeout. A
+// draining qbfd keeps /healthz green but flips /readyz to 503, so probing
+// both routes traffic away from a draining backend within one probe
+// interval while still distinguishing "draining" from "dead" in the
+// counters.
+func (p *pool) probeLoop(b *backend) {
+	defer p.wg.Done()
+	for {
+		t := time.NewTimer(p.jitteredInterval())
+		select {
+		case <-p.stop:
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		p.probe(b)
+	}
+}
+
+// jitteredInterval spreads probes over ±25% of the configured period.
+func (p *pool) jitteredInterval() time.Duration {
+	base := p.cfg.ProbeInterval
+	p.rngMu.Lock()
+	j := p.rng.Int63n(int64(base)/2 + 1)
+	p.rngMu.Unlock()
+	return base*3/4 + time.Duration(j)
+}
+
+func (p *pool) probe(b *backend) {
+	b.mu.Lock()
+	b.probes++
+	b.mu.Unlock()
+	ok := p.probeOnce(b.url+"/healthz") && p.probeOnce(b.url+"/readyz")
+	if ok {
+		b.recordSuccess(p.cfg)
+		return
+	}
+	b.mu.Lock()
+	b.probeFails++
+	b.mu.Unlock()
+	b.recordFailure(p.cfg, false)
+}
+
+func (p *pool) probeOnce(url string) bool {
+	// The pool owns its probe lifecycle; probes are bounded by the probe
+	// timeout and stopped via the pool's stop channel, not a caller ctx.
+	ctx, cancel := context.WithTimeout(context.Background(), p.cfg.ProbeTimeout) //lint:allow L8 pool-owned probe lifecycle root
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := p.hc.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close() //nolint:errcheck // probe body is irrelevant
+	return resp.StatusCode == http.StatusOK
+}
+
+// candidates maps a ring failover order to the backends that may serve a
+// request right now: every healthy backend first (in ring order), then
+// every suspect one (in ring order). Ejected backends are excluded
+// entirely — only the probe loop can bring them back.
+func (p *pool) candidates(order []int) []*backend {
+	var healthy, suspect []*backend
+	for _, idx := range order {
+		b := p.backends[idx]
+		switch b.State() {
+		case StateHealthy:
+			healthy = append(healthy, b)
+		case StateSuspect:
+			suspect = append(suspect, b)
+		}
+	}
+	return append(healthy, suspect...)
+}

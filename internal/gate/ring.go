@@ -1,0 +1,64 @@
+package gate
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ring is a consistent-hash ring over backend indices. Each backend owns
+// ringReplicas virtual points; a request key lands at its hash and walks
+// clockwise, so identical (canonical) formulas always meet the same
+// backend — which is what lets per-backend OS page cache, JIT'd breaker
+// state, and any future backend-local caching pay off — and the failover
+// order for a key is deterministic: the next distinct backend on the ring,
+// not a random pick.
+type ring struct {
+	points []ringPoint
+	n      int // distinct backends
+}
+
+type ringPoint struct {
+	h   uint64
+	idx int
+}
+
+// ringReplicas is the virtual-node count per backend. 128 keeps the
+// keyspace split within a few percent of even for small fleets.
+const ringReplicas = 128
+
+func newRing(n int) *ring {
+	r := &ring{n: n}
+	r.points = make([]ringPoint, 0, n*ringReplicas)
+	for i := 0; i < n; i++ {
+		for v := 0; v < ringReplicas; v++ {
+			r.points = append(r.points, ringPoint{h: hash64("b" + strconv.Itoa(i) + "#" + strconv.Itoa(v)), idx: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].h < r.points[b].h })
+	return r
+}
+
+// order returns every backend index exactly once, in the deterministic
+// failover order for key: the ring successor first, then the next distinct
+// backend clockwise, and so on.
+func (r *ring) order(key string) []int {
+	out := make([]int, 0, r.n)
+	seen := make([]bool, r.n)
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
+	for i := 0; i < len(r.points) && len(out) < r.n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.idx] {
+			seen[p.idx] = true
+			out = append(out, p.idx)
+		}
+	}
+	return out
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s)) //nolint:errcheck // fnv never errors
+	return h.Sum64()
+}

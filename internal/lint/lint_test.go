@@ -246,15 +246,15 @@ func f(n int) string {
 }
 
 func TestRulesByName(t *testing.T) {
-	if got := len(RulesByName(nil, nil)); got != 12 {
-		t.Fatalf("default rule count = %d, want 12", got)
+	if got := len(RulesByName(nil, nil)); got != 13 {
+		t.Fatalf("default rule count = %d, want 13", got)
 	}
 	only := RulesByName([]string{"L2"}, nil)
 	if len(only) != 1 || only[0].Name() != "L2" {
 		t.Fatalf("enable filter broken: %v", only)
 	}
 	without := RulesByName(nil, []string{"L3", "L4"})
-	want := []string{"L1", "L2", "L5", "L6", "L7", "L8", "L9", "L10", "L11", "L12"}
+	want := []string{"L1", "L2", "L5", "L6", "L7", "L8", "L9", "L10", "L11", "L12", "L14"}
 	if len(without) != len(want) {
 		t.Fatalf("disable filter broken: %v", without)
 	}
@@ -586,5 +586,86 @@ func derive(ctx context.Context) {
 	})
 	if fs := run(t, r, root); len(fs) != 0 {
 		t.Fatalf("unexpected findings: %v", fs)
+	}
+}
+
+func TestL14FiresOnBareSleepInLoops(t *testing.T) {
+	r, root := fixtureModule(t, map[string]string{
+		"internal/core/x.go": `package core
+import "time"
+func poll(ready func() bool) {
+	for !ready() {
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, d := range []time.Duration{1, 2} {
+		time.Sleep(d)
+	}
+}
+`,
+	})
+	fs := run(t, r, root)
+	if got := rulesFired(fs)["L14"]; got != 2 {
+		t.Fatalf("L14 findings = %d, want 2: %v", got, fs)
+	}
+}
+
+func TestL14ExemptMainTestsNonLoopsAndAllows(t *testing.T) {
+	r, root := fixtureModule(t, map[string]string{
+		"cmd/tool/main.go": `package main
+import "time"
+func main() {
+	for {
+		time.Sleep(time.Second)
+	}
+}
+`,
+		"internal/core/x_test.go": `package core
+import "time"
+func helper() {
+	for {
+		time.Sleep(time.Millisecond)
+	}
+}
+`,
+		"internal/core/x.go": `package core
+import "time"
+func once() {
+	time.Sleep(time.Millisecond) // not in a loop: L14 does not apply
+}
+func launcher() {
+	for i := 0; i < 3; i++ {
+		go func() { time.Sleep(time.Second) }() //lint:allow L12 fixture: L14 must ignore another frame's wait
+	}
+}
+func settle() {
+	for i := 0; i < 3; i++ {
+		time.Sleep(time.Millisecond) //lint:allow L14 fixed settling delay, no cancellation path exists
+	}
+}
+`,
+	})
+	if fs := run(t, r, root); len(fs) != 0 {
+		t.Fatalf("unexpected findings: %v", fs)
+	}
+}
+
+func TestL14UnknownAllowListsRealRuleNames(t *testing.T) {
+	// The unknown-rule warning enumerates the actual rule set; it must
+	// include L14 and must not advertise the escape gate's L13 (which is
+	// not an //lint:allow target).
+	r, root := fixtureModule(t, map[string]string{
+		"internal/core/x.go": `package core
+func f() int {
+	return 1 //lint:allow L99 bogus
+}
+`,
+	})
+	rep := runReport(t, r, root)
+	if len(rep.Warnings) != 1 || rep.Warnings[0].Rule != "allow" {
+		t.Fatalf("warnings = %v, want one allow warning", rep.Warnings)
+	}
+	msg := rep.Warnings[0].Message
+	if !strings.Contains(msg, "L14") || strings.Contains(msg, "L13") {
+		t.Fatalf("warning should list L14 but not L13: %q", msg)
 	}
 }

@@ -21,13 +21,15 @@ import (
 //   - Test files and package main (cmd/, examples/) may panic and convert
 //     freely: they are not library code.
 
-// DefaultRules returns all rules in canonical order. L1-L8 are
-// syntactic; L9-L12 (rules_typed.go) consult type information.
+// DefaultRules returns all rules in canonical order. L1-L8 and L14 are
+// syntactic; L9-L12 (rules_typed.go) consult type information. L13 is the
+// allocation escape gate, a separate compiler-assisted analyzer.
 func DefaultRules() []Rule {
 	return []Rule{
 		ruleTimestamps{}, ruleConversions{}, rulePanic{}, ruleStringBuild{},
 		ruleGoRecover{}, ruleCommentOpener{}, ruleDirectPrint{}, ruleContextRoot{},
 		ruleAtomicField{}, ruleCtxField{}, ruleLockCopy{}, ruleGoCancel{},
+		ruleSleepLoop{},
 	}
 }
 
@@ -464,6 +466,66 @@ func (ruleContextRoot) Check(f *File, report func(token.Pos, string)) {
 		case "Background", "TODO":
 			report(call.Pos(), "context."+sel.Sel.Name+"() mints a fresh context root in library code, severing caller cancellation; take a ctx parameter (deliberate lifecycle roots: //lint:allow L8 with a reason)")
 		}
+		return true
+	})
+}
+
+// ---------------------------------------------------------------------------
+// L14: no bare time.Sleep in library retry/poll loops.
+
+type ruleSleepLoop struct{}
+
+func (ruleSleepLoop) Name() string { return "L14" }
+func (ruleSleepLoop) Doc() string {
+	return "no bare time.Sleep inside for loops in library packages; wait on a timer/ticker with select over the context or stop channel so the loop is cancellable (suppress deliberate sites with //lint:allow L14)"
+}
+
+// Applies to every non-test, non-main package. A retry or poll loop that
+// sleeps bare is deaf for the whole sleep: cancellation, drain, and
+// shutdown all wait out the delay (and a capped-exponential delay can be
+// seconds). Every library wait belongs in a select against the loop's
+// ctx.Done() or stop channel — the pattern the probe loops, drain
+// poller, and client backoff all follow.
+func (ruleSleepLoop) Applies(f *File) bool {
+	return !f.IsTest && f.AST.Name.Name != "main"
+}
+
+func (ruleSleepLoop) Check(f *File, report func(token.Pos, string)) {
+	reported := map[token.Pos]bool{}
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			body = n.Body
+		case *ast.RangeStmt:
+			body = n.Body
+		default:
+			return true
+		}
+		ast.Inspect(body, func(m ast.Node) bool {
+			// A nested function literal runs on its own frame (possibly a
+			// different goroutine); its sleeps are not this loop's wait.
+			if _, ok := m.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := m.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Sleep" {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || pkg.Name != "time" {
+				return true
+			}
+			if !reported[call.Pos()] {
+				reported[call.Pos()] = true
+				report(call.Pos(), "bare time.Sleep in a loop cannot be cancelled; use a time.Timer/Ticker in a select with the context or stop channel")
+			}
+			return true
+		})
 		return true
 	})
 }

@@ -1,0 +1,54 @@
+package qbf
+
+// Rename applies the variable permutation perm (1-based: perm[v] is the
+// new name of v) to prefix and matrix, preserving the quantifier tree
+// shape. Renaming is truth-preserving — the metamorphic suite proves the
+// solver invariant under it, and the gate's canonical-form cache relies on
+// it to fold rename-variant requests onto one cache key. perm must be an
+// injective map over the bound variables; a non-injective table corrupts
+// the formula, so it is rejected loudly rather than returned quietly.
+func Rename(q *QBF, perm []Var) *QBF {
+	p := NewPrefix(q.Prefix.MaxVar())
+	var cloneBlock func(b *Block, parent *Block)
+	cloneBlock = func(b *Block, parent *Block) {
+		vars := make([]Var, len(b.Vars))
+		for i, v := range b.Vars {
+			vars[i] = perm[v]
+		}
+		nb := p.AddBlock(parent, b.Quant, vars...)
+		for _, c := range b.Children {
+			cloneBlock(c, nb)
+		}
+	}
+	for _, r := range q.Prefix.Roots() {
+		cloneBlock(r, nil)
+	}
+	p.Finalize()
+	matrix := make([]Clause, len(q.Matrix))
+	for i, c := range q.Matrix {
+		nc := make(Clause, len(c))
+		for j, l := range c {
+			nl := perm[l.Var()].PosLit()
+			if !l.Positive() {
+				nl = nl.Neg()
+			}
+			nc[j] = nl
+		}
+		nc, taut := nc.Normalize()
+		if taut {
+			panic("qbf: Rename created a tautology — the permutation is not injective")
+		}
+		matrix[i] = nc
+	}
+	return New(p, matrix)
+}
+
+// IdentityPerm returns the 1-based identity permutation over 1..maxVar,
+// ready to be partially rewritten before a Rename call.
+func IdentityPerm(maxVar int) []Var {
+	perm := make([]Var, maxVar+1)
+	for v := 1; v <= maxVar; v++ {
+		perm[v] = Var(v)
+	}
+	return perm
+}

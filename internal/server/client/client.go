@@ -115,7 +115,18 @@ func (c *Client) Solve(ctx context.Context, req server.SolveRequest) (Outcome, e
 	for attempt := 0; attempt < c.pol.MaxAttempts; attempt++ {
 		out.Attempts = attempt + 1
 		if attempt > 0 {
-			if err := c.sleep(ctx, c.backoff(attempt, lastRA)); err != nil {
+			d := c.backoff(attempt, lastRA)
+			// A backoff that cannot finish before the caller's deadline
+			// would burn the whole remaining budget just to report the same
+			// failure later; give the caller its time back instead.
+			if dl, ok := ctx.Deadline(); ok {
+				if rem := time.Until(dl); rem <= d {
+					out.Attempts = attempt // the aborted try never happened
+					return out, fmt.Errorf("client: backoff %v exceeds remaining deadline %v: %w",
+						d, rem, context.DeadlineExceeded)
+				}
+			}
+			if err := c.sleep(ctx, d); err != nil {
 				return out, err
 			}
 		}

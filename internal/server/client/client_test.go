@@ -3,6 +3,7 @@ package client
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -193,5 +194,32 @@ func TestClientZeroPolicyDefaults(t *testing.T) {
 	p := Policy{}.withDefaults()
 	if p.MaxAttempts != 4 || p.BaseDelay != 100*time.Millisecond || p.MaxDelay != 5*time.Second {
 		t.Fatalf("defaults = %+v", p)
+	}
+}
+
+// TestClientBackoffCappedByDeadline: when the next backoff cannot finish
+// before the caller's deadline, Solve gives the time back immediately
+// instead of burning the remaining budget waiting for a retry it will
+// never make.
+func TestClientBackoffCappedByDeadline(t *testing.T) {
+	ts, calls := scriptedServer(t, []int{result.StatusUnavailable},
+		[]server.SolveResponse{{Shed: "draining"}})
+	// Backoff is seconds; the deadline is tens of milliseconds.
+	pol := Policy{MaxAttempts: 4, BaseDelay: 10 * time.Second, MaxDelay: 10 * time.Second, Seed: 1}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	out, err := New(ts.URL, nil, pol).Solve(ctx, server.SolveRequest{Formula: "x"})
+	if err == nil {
+		t.Fatalf("want deadline error, got %+v", out)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if took := time.Since(start); took > time.Second {
+		t.Errorf("Solve held the caller %v; the capped backoff should return at once", took)
+	}
+	if out.Attempts != 1 || calls.Load() != 1 {
+		t.Errorf("attempts=%d calls=%d, want 1/1 (no retry fits the deadline)", out.Attempts, calls.Load())
 	}
 }

@@ -66,11 +66,19 @@ type SolveResponse struct {
 	Witness []int `json:"witness,omitempty"`
 	// Stats reports search effort for completed solves.
 	Stats *ResponseStats `json:"stats,omitempty"`
+	// Source marks responses the qbfgate front tier served from its
+	// canonical-form verdict cache ("cache"). Absent on responses a
+	// backend solved.
+	Source string `json:"source,omitempty"`
 	// QueueMS and SolveMS split the request's wall-clock between waiting
 	// for a worker and solving.
 	QueueMS int64 `json:"queue_ms"`
 	SolveMS int64 `json:"solve_ms"`
 }
+
+// SourceCache is the SolveResponse.Source value for verdicts the gate
+// served from its canonical-form cache instead of a live backend solve.
+const SourceCache = "cache"
 
 // Caps are the server-wide budget ceilings. A zero field leaves that
 // dimension uncapped (requests may then also leave it unlimited).

@@ -209,12 +209,15 @@ func New(cfg Config) *Server {
 // Handler returns the service mux:
 //
 //	POST /solve    decode → admit → queue → solve → respond
+//	               (also mounted as /v1/solve, the versioned path the
+//	               qbfgate front tier proxies)
 //	GET  /healthz  liveness: 200 while the process serves at all
 //	GET  /readyz   readiness: 200, flipping to 503 at drain start
 //	GET  /statusz  JSON counters, breaker states, quarantine ledger
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/solve", s.handleSolve)
+	mux.HandleFunc("/v1/solve", s.handleSolve)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		io.WriteString(w, "ok\n") //nolint:errcheck // probe body is best-effort
@@ -478,12 +481,21 @@ func (drainForcedError) Error() string {
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
 	forced := false
+	// The poll waits on a ticker, not a bare sleep, so the deadline that
+	// forces cancellation is observed the moment it fires (L14).
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
 	for s.pending.Load() > 0 {
-		if ctx.Err() != nil && !forced {
-			forced = true
-			s.forceCancel()
+		if !forced {
+			select {
+			case <-ctx.Done():
+				forced = true
+				s.forceCancel()
+			case <-tick.C:
+			}
+			continue
 		}
-		time.Sleep(2 * time.Millisecond)
+		<-tick.C
 	}
 	s.stopOnce.Do(func() { close(s.stopWorkers) })
 	s.workers.Wait()

@@ -136,8 +136,9 @@ func ReadEvents(r io.Reader, fn func(Event) error) error {
 }
 
 // Summary aggregates a replayed trace: event totals per kind, per worker,
-// and the decision count per prefix depth (the histogram the paper's
-// PO-vs-TO comparison needs).
+// the decision count per prefix depth (the histogram the paper's
+// PO-vs-TO comparison needs), and the gate's routing/hedging/cache
+// aggregates when the trace carries front-tier events.
 type Summary struct {
 	Total     int64
 	ByKind    map[Kind]int64
@@ -145,21 +146,50 @@ type Summary struct {
 	DecDepth  map[int32]int64 // decisions per prefix depth
 	LastNanos int64           // timestamp of the last event
 	Workers   int             // distinct worker tags (including -1)
+
+	// ByBackend counts gate route events per backend index (KindRoute.A),
+	// and Failovers those with a non-zero attempt ordinal.
+	ByBackend map[int64]int64
+	Failovers int64
+	// HedgesResolved / HedgeWins aggregate KindHedge: pairs that resolved
+	// and the subset the hedge (not the primary) won.
+	HedgesResolved int64
+	HedgeWins      int64
+	// CacheLookups / CacheHits aggregate KindCacheHit events.
+	CacheLookups int64
+	CacheHits    int64
 }
 
 // Summarize replays the trace from r and aggregates it.
 func Summarize(r io.Reader) (Summary, error) {
 	s := Summary{
-		ByKind:   make(map[Kind]int64),
-		ByWorker: make(map[int32]int64),
-		DecDepth: make(map[int32]int64),
+		ByKind:    make(map[Kind]int64),
+		ByWorker:  make(map[int32]int64),
+		DecDepth:  make(map[int32]int64),
+		ByBackend: make(map[int64]int64),
 	}
 	err := ReadEvents(r, func(e Event) error {
 		s.Total++
 		s.ByKind[e.Kind]++
 		s.ByWorker[e.Worker]++
-		if e.Kind == KindDecision {
+		switch e.Kind {
+		case KindDecision:
 			s.DecDepth[e.Depth]++
+		case KindRoute:
+			s.ByBackend[e.A]++
+			if e.B > 0 {
+				s.Failovers++
+			}
+		case KindHedge:
+			s.HedgesResolved++
+			if e.A == 1 {
+				s.HedgeWins++
+			}
+		case KindCacheHit:
+			s.CacheLookups++
+			if e.A == 1 {
+				s.CacheHits++
+			}
 		}
 		if e.T > s.LastNanos {
 			s.LastNanos = e.T
@@ -203,6 +233,33 @@ func (s Summary) WriteText(w io.Writer) error {
 	sort.Slice(depths, func(a, b int) bool { return depths[a] < depths[b] })
 	for _, d := range depths {
 		if _, err := fmt.Fprintf(w, "  decisions@depth%-3d %d\n", d, s.DecDepth[d]); err != nil {
+			return err
+		}
+	}
+	backends := make([]int64, 0, len(s.ByBackend))
+	for b := range s.ByBackend {
+		backends = append(backends, b)
+	}
+	sort.Slice(backends, func(a, b int) bool { return backends[a] < backends[b] })
+	for _, b := range backends {
+		if _, err := fmt.Fprintf(w, "  backend %-3d %d\n", b, s.ByBackend[b]); err != nil {
+			return err
+		}
+	}
+	if len(s.ByBackend) > 0 && s.Failovers > 0 {
+		if _, err := fmt.Fprintf(w, "  failovers  %d\n", s.Failovers); err != nil {
+			return err
+		}
+	}
+	if s.HedgesResolved > 0 {
+		if _, err := fmt.Fprintf(w, "  hedge-wins %d/%d (%.1f%%)\n",
+			s.HedgeWins, s.HedgesResolved, 100*float64(s.HedgeWins)/float64(s.HedgesResolved)); err != nil {
+			return err
+		}
+	}
+	if s.CacheLookups > 0 {
+		if _, err := fmt.Fprintf(w, "  cache-hits %d/%d (%.1f%%)\n",
+			s.CacheHits, s.CacheLookups, 100*float64(s.CacheHits)/float64(s.CacheLookups)); err != nil {
 			return err
 		}
 	}

@@ -71,6 +71,17 @@ const (
 	// KindServe: the solve service completed a request. A = verdict,
 	// B = stop reason — the same encoding as KindStop, one level up.
 	KindServe
+	// KindRoute: the gate dispatched a request attempt to a backend.
+	// A = backend index, B = attempt ordinal (0 = primary, ≥1 = failover
+	// or hedge).
+	KindRoute
+	// KindHedge: a hedged request pair resolved. A = 1 when the hedge won
+	// (its verdict was used and the primary was cancelled), 0 when the
+	// primary won; B = the hedge's backend index.
+	KindHedge
+	// KindCacheHit: the gate consulted its canonical-form verdict cache.
+	// A = 1 hit / 0 miss, B = live entries after the lookup.
+	KindCacheHit
 
 	numKinds // count sentinel; keep last
 )
@@ -78,7 +89,7 @@ const (
 var kindNames = [numKinds]string{
 	"decision", "fixpoint", "conflict", "solution", "learn", "reduce",
 	"import", "restart", "slice", "governor", "stop", "admit", "shed",
-	"serve",
+	"serve", "route", "hedge", "cachehit",
 }
 
 func (k Kind) String() string {

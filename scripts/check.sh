@@ -23,10 +23,14 @@
 #                          (solver + harness + portfolio suites with deep
 #                          invariant checking, import oracle re-derivation,
 #                          and the fault-injection hook live)
-#   8. server chaos suite  (the solve service under -tags qbfdebug -race:
-#                          hundreds of concurrent requests with fault
-#                          injection, breaker trips and recovery, oracle
-#                          agreement, drain under load — see DESIGN.md §10)
+#   8. server + gate chaos suites
+#                          (the solve service and the qbfgate front tier
+#                          under -tags qbfdebug -race: hundreds of
+#                          concurrent requests with fault injection,
+#                          breaker trips and recovery, backend kill/hang/
+#                          flap storms, total-outage cache degradation,
+#                          oracle agreement, drain under load — see
+#                          DESIGN.md §10 and §11)
 #   9. go test -fuzz smoke (5s fuzz each of the QDIMACS/QTREE reader and
 #                          the service request decoder; the checked-in
 #                          corpora replay in step 6 already)
@@ -36,10 +40,12 @@
 #                          nil — and the qbfnotrace build; fails when the
 #                          min-of-runs ratio exceeds QBF_OVERHEAD_TOLERANCE,
 #                          default 1.02, i.e. 2% — see DESIGN.md §9)
-#  11. bench smoke         (portfolio-vs-sequential and solve-service smoke
-#                          campaigns; write results/BENCH_portfolio.json
-#                          and results/BENCH_serve.json and fail on any
-#                          verdict disagreement)
+#  11. bench smoke         (portfolio-vs-sequential, solve-service, and
+#                          front-tier smoke campaigns; write
+#                          results/BENCH_portfolio.json,
+#                          results/BENCH_serve.json, and
+#                          results/BENCH_gate.json and fail on any verdict
+#                          disagreement, dropped request, or hitless cache)
 #
 # Exits non-zero at the first failing step. Run from anywhere inside the
 # repository.
@@ -75,8 +81,8 @@ go run ./cmd/qbflint -gate hotpath -gcflags '-m -m' ./internal/telemetry ./inter
 echo "==> go test -race ./..."
 go test -race ./...
 
-echo "==> go test -tags qbfdebug -race ./internal/core/... ./internal/bench/... ./internal/portfolio/... ./internal/server/..."
-go test -tags qbfdebug -race ./internal/core/... ./internal/bench/... ./internal/portfolio/... ./internal/server/...
+echo "==> go test -tags qbfdebug -race ./internal/core/... ./internal/bench/... ./internal/portfolio/... ./internal/server/... ./internal/gate/..."
+go test -tags qbfdebug -race ./internal/core/... ./internal/bench/... ./internal/portfolio/... ./internal/server/... ./internal/gate/...
 
 echo "==> go test -fuzz=FuzzRead -fuzztime=5s ./internal/qdimacs/"
 go test -run '^$' -fuzz=FuzzRead -fuzztime=5s ./internal/qdimacs/
@@ -111,5 +117,8 @@ go run ./cmd/qbfbench -suite portfolio -scale smoke -out results
 
 echo "==> bench_serve smoke (results/BENCH_serve.json)"
 go run ./cmd/qbfbench -suite serve -scale smoke -out results
+
+echo "==> bench_gate smoke (results/BENCH_gate.json)"
+go run ./cmd/qbfbench -suite gate -scale smoke -out results
 
 echo "All checks passed."
