@@ -135,11 +135,11 @@ func (s *Solver) existentialReduceSet(w *workSet) {
 // reducing after every step.
 func (s *Solver) analyzeConflict(ci int) analysis {
 	w := s.newWorkSet()
-	for _, l := range s.cons[ci].lits {
-		w.add(l)
+	for k, n := 0, s.ar.size(ci); k < n; k++ {
+		w.add(s.ar.lit(ci, k))
 	}
 	s.universalReduceSet(w)
-	s.cons[ci].activity++
+	s.ar.bumpActivity(ci)
 
 	tried := make(map[qbf.Var]bool)
 	for {
@@ -151,10 +151,11 @@ func (s *Solver) analyzeConflict(ci int) analysis {
 			return analysis{lits: w.slice()} // non-asserting resolvent
 		}
 		v := pivot.Var()
-		r := &s.cons[s.reasonC[v]]
-		r.activity++
+		rc := s.reasonC[v]
+		s.ar.bumpActivity(rc)
 		w.del(v)
-		for _, m := range r.lits {
+		for k, n := 0, s.ar.size(rc); k < n; k++ {
+			m := s.ar.lit(rc, k)
 			if m.Var() == v {
 				continue
 			}
@@ -175,13 +176,15 @@ func (s *Solver) pickClausePivot(w *workSet, tried map[qbf.Var]bool) (qbf.Lit, b
 		if tried[v] || s.quant[v] != qbf.Exists || s.value[v] == undef {
 			continue
 		}
-		if s.reason[v] != reasonConstraint || s.cons[s.reasonC[v]].isCube {
+		if s.reason[v] != reasonConstraint || s.ar.isCube(s.reasonC[v]) {
 			continue
 		}
 		if s.trailPos[v] > bestPos {
 			// Tautology check: resolving must not put z and z̄ in w.
 			ok := true
-			for _, m := range s.cons[s.reasonC[v]].lits {
+			rc := s.reasonC[v]
+			for k, n := 0, s.ar.size(rc); k < n; k++ {
+				m := s.ar.lit(rc, k)
 				if m.Var() == v {
 					continue
 				}
@@ -281,10 +284,10 @@ func (s *Solver) clauseVerdict(w *workSet) (analysis, bool) {
 func (s *Solver) analyzeSolution(ci int) analysis {
 	w := s.newWorkSet()
 	if ci >= 0 {
-		for _, l := range s.cons[ci].lits {
-			w.add(l)
+		for k, n := 0, s.ar.size(ci); k < n; k++ {
+			w.add(s.ar.lit(ci, k))
 		}
-		s.cons[ci].activity++
+		s.ar.bumpActivity(ci)
 	} else {
 		s.coverCube(w)
 	}
@@ -300,10 +303,11 @@ func (s *Solver) analyzeSolution(ci int) analysis {
 			return analysis{lits: w.slice()}
 		}
 		v := pivot.Var()
-		r := &s.cons[s.reasonC[v]]
-		r.activity++
+		rc := s.reasonC[v]
+		s.ar.bumpActivity(rc)
 		w.del(v)
-		for _, m := range r.lits {
+		for k, n := 0, s.ar.size(rc); k < n; k++ {
+			m := s.ar.lit(rc, k)
 			if m.Var() == v {
 				continue
 			}
@@ -321,12 +325,12 @@ func (s *Solver) analyzeSolution(ci int) analysis {
 // strictly smaller); after that, literals already chosen, then literals
 // assigned at the outermost level.
 func (s *Solver) coverCube(w *workSet) {
-	for ci := 0; ci < s.nOriginalClauses; ci++ {
-		c := &s.cons[ci]
+	for ci := 0; ci < s.origEnd; ci = s.ar.next(ci) {
 		covered := false
 		var best qbf.Lit
 		bestKey := [3]int{3, 2, int(^uint(0) >> 1)} // (class, pure, dlevel); lower wins
-		for _, l := range c.lits {
+		for k, n := 0, s.ar.size(ci); k < n; k++ {
+			l := s.ar.lit(ci, k)
 			if s.litValue(l) != vTrue {
 				continue
 			}
@@ -385,12 +389,14 @@ func (s *Solver) pickCubePivot(w *workSet, tried map[qbf.Var]bool) (qbf.Lit, boo
 		if tried[v] || s.quant[v] != qbf.Forall || s.value[v] == undef {
 			continue
 		}
-		if s.reason[v] != reasonConstraint || !s.cons[s.reasonC[v]].isCube {
+		if s.reason[v] != reasonConstraint || !s.ar.isCube(s.reasonC[v]) {
 			continue
 		}
 		if s.trailPos[v] > bestPos {
 			ok := true
-			for _, m := range s.cons[s.reasonC[v]].lits {
+			rc := s.reasonC[v]
+			for k, n := 0, s.ar.size(rc); k < n; k++ {
+				m := s.ar.lit(rc, k)
 				if m.Var() == v {
 					continue
 				}
@@ -487,7 +493,7 @@ func (s *Solver) cubeVerdict(w *workSet) (analysis, bool) {
 // asserting clause was derived, otherwise flip the deepest open existential
 // decision. It returns false when the formula is proven false.
 func (s *Solver) handleConflict(ci int) bool {
-	if s.cons[ci].deleted {
+	if s.ar.deleted(ci) {
 		// An emptied constraint would seed an empty working set, which
 		// analysis reads as a terminal verdict — a silent wrong answer.
 		// solve() guarantees nothing (in particular not the memory
@@ -516,7 +522,7 @@ func (s *Solver) handleConflict(ci int) bool {
 // handleSolution processes a solution event (cube fired, or matrix empty
 // when ci < 0). It returns false when the formula is proven true.
 func (s *Solver) handleSolution(ci int) bool {
-	if ci >= 0 && s.cons[ci].deleted {
+	if ci >= 0 && s.ar.deleted(ci) {
 		// Dual of the handleConflict guard: a deleted fired cube reads as
 		// a terminal True. ci < 0 is the matrix-empty solution, which
 		// carries no constraint.

@@ -14,15 +14,14 @@ import (
 func (s *Solver) DebugLearnedSizes() (clauses, cubes map[int]int) {
 	clauses = make(map[int]int)
 	cubes = make(map[int]int)
-	for i := s.nOriginalClauses; i < len(s.cons); i++ {
-		c := &s.cons[i]
-		if c.deleted {
+	for ci := s.origEnd; ci < s.ar.end(); ci = s.ar.next(ci) {
+		if s.ar.deleted(ci) {
 			continue
 		}
-		if c.isCube {
-			cubes[len(c.lits)]++
+		if s.ar.isCube(ci) {
+			cubes[s.ar.size(ci)]++
 		} else {
-			clauses[len(c.lits)]++
+			clauses[s.ar.size(ci)]++
 		}
 	}
 	return clauses, cubes
@@ -31,14 +30,18 @@ func (s *Solver) DebugLearnedSizes() (clauses, cubes map[int]int) {
 // DebugSampleCubes returns up to n learned cubes rendered with quantifier
 // annotations, most recent first.
 func (s *Solver) DebugSampleCubes(n int) []string {
+	// The arena only walks forward; collect the live cube refs first and
+	// render them in reverse (most recent first).
+	var refs []int
+	for ci := s.origEnd; ci < s.ar.end(); ci = s.ar.next(ci) {
+		if !s.ar.deleted(ci) && s.ar.isCube(ci) {
+			refs = append(refs, ci)
+		}
+	}
 	var out []string
 	var sb strings.Builder
-	for i := len(s.cons) - 1; i >= s.nOriginalClauses && len(out) < n; i-- {
-		c := &s.cons[i]
-		if c.deleted || !c.isCube {
-			continue
-		}
-		lits := append([]qbf.Lit(nil), c.lits...)
+	for i := len(refs) - 1; i >= 0 && len(out) < n; i-- {
+		lits := s.ar.appendLits(nil, refs[i])
 		sort.Slice(lits, func(a, b int) bool { return lits[a].Var() < lits[b].Var() })
 		sb.Reset()
 		sb.WriteByte('[')

@@ -60,6 +60,7 @@ func (s *Solver) deepCheck() {
 	s.checkBlockBookkeeping()
 	s.checkConstraintCounters()
 	s.checkMatrixBookkeeping()
+	s.checkWatchInvariants()
 }
 
 func (s *Solver) checkTrail() {
@@ -118,15 +119,15 @@ func (s *Solver) checkTrail() {
 			continue
 		}
 		ci := s.reasonC[v]
-		invariant.Check(ci >= 0 && ci < len(s.cons), "core: reason constraint %d of variable %d out of range", ci, v)
-		invariant.Check(!s.cons[ci].deleted, "core: reason constraint %d of variable %d was deleted", ci, v)
+		invariant.Check(ci >= 0 && ci < s.ar.end(), "core: reason constraint %d of variable %d out of range", ci, v)
+		invariant.Check(!s.ar.deleted(ci), "core: reason constraint %d of variable %d was deleted", ci, v)
 		want := l
-		if s.cons[ci].isCube {
+		if s.ar.isCube(ci) {
 			want = l.Neg()
 		}
 		found := false
-		for _, m := range s.cons[ci].lits {
-			if m == want {
+		for k, n := 0, s.ar.size(ci); k < n; k++ {
+			if s.ar.lit(ci, k) == want {
 				found = true
 				break
 			}
@@ -160,29 +161,180 @@ func (s *Solver) checkBlockBookkeeping() {
 }
 
 func (s *Solver) checkConstraintCounters() {
-	for ci := range s.cons {
-		c := &s.cons[ci]
-		if c.deleted {
+	// The counter engine maintains all four counters on every constraint;
+	// the watcher engine maintains only numTrue, and only on original
+	// clauses (the residual-matrix bookkeeping behind pure literals).
+	end := s.ar.end()
+	if s.opt.Propagation != PropCounters {
+		end = s.origEnd
+	}
+	for ci := 0; ci < end; ci = s.ar.next(ci) {
+		if s.ar.deleted(ci) {
 			continue
 		}
 		nt, nf, ue, uu := 0, 0, 0, 0
-		for _, l := range c.lits {
-			switch s.litValue(l) {
+		for k, n := 0, s.ar.size(ci); k < n; k++ {
+			switch s.litValue(s.ar.lit(ci, k)) {
 			case vTrue:
 				nt++
 			case vFalse:
 				nf++
 			default:
-				if s.quant[l.Var()] == qbf.Exists {
+				if s.quant[s.ar.lit(ci, k).Var()] == qbf.Exists {
 					ue++
 				} else {
 					uu++
 				}
 			}
 		}
-		invariant.Check(nt == c.numTrue && nf == c.numFalse && ue == c.unassignedE && uu == c.unassignedU,
+		d := s.ar.d
+		if s.opt.Propagation != PropCounters {
+			invariant.Check(nt == int(d[ci+offTrue]),
+				"core: constraint %d counters stale: cached true=%d, recomputed %d",
+				ci, d[ci+offTrue], nt)
+			continue
+		}
+		invariant.Check(nt == int(d[ci+offTrue]) && nf == int(d[ci+offFalse]) &&
+			ue == int(d[ci+offUE]) && uu == int(d[ci+offUU]),
 			"core: constraint %d counters stale: cached (true=%d false=%d uE=%d uU=%d), recomputed (%d %d %d %d)",
-			ci, c.numTrue, c.numFalse, c.unassignedE, c.unassignedU, nt, nf, ue, uu)
+			ci, d[ci+offTrue], d[ci+offFalse], d[ci+offUE], d[ci+offUU], nt, nf, ue, uu)
+	}
+}
+
+// checkWatchInvariants validates the watcher engine's data-structure and
+// propagation-completeness contract at a fixpoint. Three tiers:
+//
+//   - Structural, every live constraint: the watched literals are at
+//     positions 0 and 1 (position 0 alone for unit-size constraints), each
+//     is registered exactly once in its trigger slot (watchCl under the
+//     negation for clauses, watchCu under the literal itself for cubes),
+//     the constraint appears nowhere else in the tables, and every entry's
+//     blocker is a literal of the constraint.
+//   - Strong, original clauses: an unsatisfied original clause has at
+//     least one unassigned existential literal (otherwise it is a
+//     conflicting clause the engine failed to report — a silent conflict)
+//     and watches at least one of them (otherwise a future falsification
+//     could go unseen). This is the invariant the engine's soundness
+//     argument rests on.
+//   - Heuristic, cubes: a non-dead cube with an unassigned universal
+//     watches an unassigned universal or a true literal.
+//
+// Learned clauses get the structural tier only: an import installed under
+// a deep assignment can legitimately hold watches with no undef
+// existential (its events are optional pruning, not soundness).
+func (s *Solver) checkWatchInvariants() {
+	if s.opt.Propagation == PropCounters {
+		return
+	}
+	// Census: total registrations per live ref across both tables (stale
+	// entries for deleted refs are permitted — they are purged lazily).
+	total := make(map[int32]int)
+	for _, lists := range [2][][]watcher{s.watchCl, s.watchCu} {
+		for _, ws := range lists {
+			for _, e := range ws {
+				if !s.ar.deleted(int(e.c)) {
+					total[e.c]++
+				}
+			}
+		}
+	}
+	for ci := 0; ci < s.ar.end(); ci = s.ar.next(ci) {
+		if s.ar.deleted(ci) {
+			continue
+		}
+		n := s.ar.size(ci)
+		isCube := s.ar.isCube(ci)
+		nw := 2
+		if n == 1 {
+			nw = 1
+		}
+		invariant.Check(total[int32(ci)] == nw,
+			"core: constraint %d has %d watcher registrations, want %d", ci, total[int32(ci)], nw)
+		for k := 0; k < nw; k++ {
+			w := s.ar.lit(ci, k)
+			var list []watcher
+			if isCube {
+				list = s.watchCu[litIdx(w)]
+			} else {
+				list = s.watchCl[litIdx(w.Neg())]
+			}
+			count := 0
+			for _, e := range list {
+				if int(e.c) != ci {
+					continue
+				}
+				count++
+				b := qbf.Lit(e.blocker) //lint:allow L2 round-trip decode of a stored watcher blocker
+				member := false
+				for j := 0; j < n; j++ {
+					if s.ar.lit(ci, j) == b {
+						member = true
+						break
+					}
+				}
+				invariant.Check(member,
+					"core: constraint %d watcher blocker %d is not a literal of the constraint", ci, b)
+			}
+			invariant.Check(count == 1,
+				"core: constraint %d watch %d registered %d times in its trigger slot, want 1", ci, w, count)
+		}
+		if !isCube && !s.ar.learned(ci) {
+			// Strong tier for original clauses.
+			sat := false
+			undefE := 0
+			for k := 0; k < n; k++ {
+				l := s.ar.lit(ci, k)
+				if s.litValue(l) == vTrue {
+					sat = true
+					break
+				}
+				if s.value[l.Var()] == undef && s.quant[l.Var()] == qbf.Exists {
+					undefE++
+				}
+			}
+			if !sat {
+				invariant.Check(undefE >= 1,
+					"core: original clause %d is conflicting at a fixpoint (silent conflict)", ci)
+				watchesUndefE := false
+				for k := 0; k < nw; k++ {
+					w := s.ar.lit(ci, k)
+					if s.value[w.Var()] == undef && s.quant[w.Var()] == qbf.Exists {
+						watchesUndefE = true
+						break
+					}
+				}
+				invariant.Check(watchesUndefE,
+					"core: unsatisfied original clause %d watches no unassigned existential", ci)
+			}
+		}
+		if isCube {
+			// Heuristic tier for cubes.
+			dead := false
+			undefU := 0
+			for k := 0; k < n; k++ {
+				l := s.ar.lit(ci, k)
+				if s.litValue(l) == vFalse {
+					dead = true
+					break
+				}
+				if s.value[l.Var()] == undef && s.quant[l.Var()] == qbf.Forall {
+					undefU++
+				}
+			}
+			if !dead && undefU >= 1 {
+				ok := false
+				for k := 0; k < nw; k++ {
+					w := s.ar.lit(ci, k)
+					if s.litValue(w) == vTrue ||
+						(s.value[w.Var()] == undef && s.quant[w.Var()] == qbf.Forall) {
+						ok = true
+						break
+					}
+				}
+				invariant.Check(ok,
+					"core: live cube %d watches no unassigned universal or true literal", ci)
+			}
+		}
 	}
 }
 
@@ -192,10 +344,11 @@ func (s *Solver) checkConstraintCounters() {
 func (s *Solver) checkMatrixBookkeeping() {
 	unsat := 0
 	active := make([]int, len(s.activeOcc))
-	for ci := 0; ci < s.nOriginalClauses; ci++ {
+	for ci := 0; ci < s.origEnd; ci = s.ar.next(ci) {
+		n := s.ar.size(ci)
 		satisfied := false
-		for _, l := range s.cons[ci].lits {
-			if s.litValue(l) == vTrue {
+		for k := 0; k < n; k++ {
+			if s.litValue(s.ar.lit(ci, k)) == vTrue {
 				satisfied = true
 				break
 			}
@@ -204,8 +357,8 @@ func (s *Solver) checkMatrixBookkeeping() {
 			continue
 		}
 		unsat++
-		for _, l := range s.cons[ci].lits {
-			active[litIdx(l)]++
+		for k := 0; k < n; k++ {
+			active[litIdx(s.ar.lit(ci, k))]++
 		}
 	}
 	invariant.Check(unsat == s.numUnsatOriginal,

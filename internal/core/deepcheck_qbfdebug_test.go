@@ -60,7 +60,7 @@ func TestDeepCheckAcceptsHealthyState(t *testing.T) {
 
 func TestDeepCheckCatchesCounterCorruption(t *testing.T) {
 	s := debugSolver(t)
-	s.cons[0].numTrue++
+	s.ar.d[0+offTrue]++ // ref 0 is the first original clause
 	wantViolation(t, "counters stale", func() { s.deepCheck() })
 }
 

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/qbf"
+)
+
+// This file is the cross-engine differential net guarding the
+// watched-literal propagation engine: every instance is solved by both the
+// watcher engine (the default) and the retained occurrence-counter engine,
+// and any verdict disagreement — between the engines or against the
+// exponential semantic oracle — is a failure. The pool mixes random
+// quantifier trees, random prenex instances, wide trees, deep-alternation
+// instances, and adversarial fixed formulas (pigeonhole instances that
+// force heavy learning, DB reduction, and arena compaction). scripts/check.sh
+// runs the suite under -race and under -tags qbfdebug, where every solve
+// additionally recomputes the watcher invariants at each fixpoint.
+
+// bothEngines returns opt specialized to the watcher and counter engines.
+func bothEngines(opt Options) [2]Options {
+	w, c := opt, opt
+	w.Propagation = PropWatched
+	c.Propagation = PropCounters
+	return [2]Options{w, c}
+}
+
+// crossEngineSolve solves q under opt with both engines, fails the test on
+// any disagreement (engine vs engine, or engine vs oracle when the oracle
+// verdict is known), and returns the agreed verdict.
+func crossEngineSolve(t *testing.T, q *qbf.QBF, opt Options, oracle Verdict, label string) {
+	t.Helper()
+	engines := bothEngines(opt)
+	var got [2]Verdict
+	for i, eo := range engines {
+		r, err := Solve(context.Background(), q, eo)
+		if err != nil {
+			t.Fatalf("%s: engine=%v: %v\nQBF: %v", label, eo.Propagation, err, q)
+		}
+		if r.Verdict == Unknown {
+			t.Fatalf("%s: engine=%v returned Unknown (stop=%v)\nQBF: %v",
+				label, eo.Propagation, r.Stats.StopReason, q)
+		}
+		got[i] = r.Verdict
+	}
+	if got[0] != got[1] {
+		t.Fatalf("%s: ENGINE DISAGREEMENT: watched=%v counters=%v\nopts=%+v\nQBF: %v",
+			label, got[0], got[1], opt, q)
+	}
+	if oracle != Unknown && got[0] != oracle {
+		t.Fatalf("%s: both engines say %v but the oracle says %v\nopts=%+v\nQBF: %v",
+			label, got[0], oracle, opt, q)
+	}
+}
+
+// engineComboOptions is the option rotation of the differential suite. The
+// MaxLearned: 4 combo keeps the learned databases tiny so every few
+// conflicts trigger a reduction round — and with it arena deletion,
+// compaction, and ref rebinding on both engines.
+func engineComboOptions(mode Mode) []Options {
+	return []Options{
+		{Mode: mode, CheckInvariants: true},
+		{Mode: mode, MaxLearned: 4, CheckInvariants: true},
+		{Mode: mode, DisablePureLiterals: true, CheckInvariants: true},
+	}
+}
+
+func oracleVerdict(q *qbf.QBF) Verdict {
+	want, ok := qbf.EvalWithBudget(q, 2_000_000)
+	if !ok {
+		return Unknown // cross-engine comparison still applies
+	}
+	if want {
+		return True
+	}
+	return False
+}
+
+// TestCrossEngineRandomTrees: random scope-consistent non-prenex trees.
+func TestCrossEngineRandomTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(811))
+	n := 100
+	if testing.Short() {
+		n = 25
+	}
+	for i := 0; i < n; i++ {
+		q := qbf.RandomQBF(rng, 12, 14)
+		oracle := oracleVerdict(q)
+		for _, opt := range engineComboOptions(ModePartialOrder) {
+			crossEngineSolve(t, q, opt, oracle, fmt.Sprintf("tree %d", i))
+		}
+	}
+}
+
+// TestCrossEngineRandomPrenex: prenex instances in both branching modes.
+func TestCrossEngineRandomPrenex(t *testing.T) {
+	rng := rand.New(rand.NewSource(813))
+	n := 80
+	if testing.Short() {
+		n = 20
+	}
+	for i := 0; i < n; i++ {
+		q := randomPrenexQBF(rng, 10, 18, 4)
+		oracle := oracleVerdict(q)
+		mode := ModePartialOrder
+		if i%2 == 1 {
+			mode = ModeTotalOrder
+		}
+		for _, opt := range engineComboOptions(mode) {
+			crossEngineSolve(t, q, opt, oracle, fmt.Sprintf("prenex %d", i))
+		}
+	}
+}
+
+// TestCrossEngineWideTrees: many sibling ∀∃ branches — the shape where
+// partial-order branching and cube learning interact the most.
+func TestCrossEngineWideTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(817))
+	n := 40
+	if testing.Short() {
+		n = 10
+	}
+	for i := 0; i < n; i++ {
+		q := randomWideTree(rng)
+		oracle := oracleVerdict(q)
+		for _, opt := range engineComboOptions(ModePartialOrder) {
+			crossEngineSolve(t, q, opt, oracle, fmt.Sprintf("wide %d", i))
+		}
+	}
+}
+
+// TestCrossEngineDeepAlternation: up to 8 alternating blocks, stressing
+// the quantifier-aware watch ranking (≺-deepest selection) hardest.
+func TestCrossEngineDeepAlternation(t *testing.T) {
+	rng := rand.New(rand.NewSource(819))
+	n := 30
+	if testing.Short() {
+		n = 8
+	}
+	for i := 0; i < n; i++ {
+		q := randomPrenexQBF(rng, 12, 20, 8)
+		oracle := oracleVerdict(q)
+		for _, opt := range engineComboOptions(ModePartialOrder) {
+			crossEngineSolve(t, q, opt, oracle, fmt.Sprintf("alt %d", i))
+		}
+	}
+}
+
+// TestCrossEngineAdversarial: fixed formulas chosen to be propagation- and
+// learning-bound. The pigeonhole instances are FALSE, resolution-hard, and
+// drive thousands of conflicts through learning, reduction, and compaction;
+// the all-universal dual is decided almost purely by propagation.
+func TestCrossEngineAdversarial(t *testing.T) {
+	cases := []struct {
+		name   string
+		q      *qbf.QBF
+		want   Verdict
+		combos []Options
+	}{
+		{"php4", phpFormula(4), False, engineComboOptions(ModePartialOrder)},
+		{"php5", phpFormula(5), False, engineComboOptions(ModePartialOrder)},
+		{"php6", phpFormula(6), False, []Options{
+			{Mode: ModePartialOrder, CheckInvariants: true},
+			{Mode: ModePartialOrder, MaxLearned: 16, CheckInvariants: true},
+		}},
+	}
+	if testing.Short() {
+		cases = cases[:2]
+	}
+	for _, tc := range cases {
+		for _, opt := range tc.combos {
+			crossEngineSolve(t, tc.q, opt, tc.want, tc.name)
+		}
+	}
+}

@@ -19,19 +19,19 @@ import (
 // solver.go (pollStop); the qbfdebug fault-injection hook is in
 // fault_qbfdebug.go.
 
-// Byte-accounting model for a learned constraint: the constraint header
-// plus, per literal, the literal itself and its occurrence-list entry (an
-// int constraint id). Slice headers, allocator slack, and the counter
-// arrays (preallocated per variable, not per constraint) are not charged —
-// the estimate tracks the quantity that actually grows without bound
-// during search.
-const (
-	constraintOverheadBytes = int64(unsafe.Sizeof(constraint{}))
-	perLiteralBytes         = int64(unsafe.Sizeof(qbf.NoLit)) + int64(unsafe.Sizeof(int(0)))
-)
+// Byte-accounting model for a learned constraint of n literals: its arena
+// footprint (hdrWords header words plus one uint32 word per literal) plus,
+// per literal, a charge for the list entries referencing it — occurrence
+// entries under the counter engine, watcher/export slots under the watched
+// engine; one model covers both so MemLimit behaves identically across
+// engines. Slice headers, allocator slack, and the counter arrays
+// (preallocated per variable, not per constraint) are not charged — the
+// estimate tracks the quantity that actually grows without bound during
+// search.
+const perLiteralBytes = int64(unsafe.Sizeof(qbf.NoLit)) + int64(unsafe.Sizeof(int(0)))
 
-func constraintBytes(lits []qbf.Lit) int64 {
-	return constraintOverheadBytes + int64(len(lits))*perLiteralBytes
+func constraintBytes(n int) int64 {
+	return 4*int64(hdrWords+n) + int64(n)*perLiteralBytes
 }
 
 // governMemory enforces Options.MemLimit at propagation fixpoints. Over

@@ -47,11 +47,41 @@ func (m Mode) String() string {
 	return "PO"
 }
 
+// Propagation selects the unit-propagation engine.
+type Propagation int
+
+const (
+	// PropWatched (the default) is quantifier-aware watched literals over
+	// the arena clause store: each clause watches its two ≺-deepest
+	// unfalsified existentials, with any universal guard literal keeping
+	// universal reduction implicit; cubes run the dual scheme (two
+	// ≺-deepest universals plus an existential guard). Assignment cost is
+	// O(watchers of the literal), not O(occurrences).
+	PropWatched Propagation = iota
+	// PropCounters is the previous occurrence-counter engine: every
+	// assignment walks the full occurrence lists of the literal, updating
+	// per-constraint true/false/unassigned counters. Deprecated: retained
+	// for one release as the differential-testing baseline for PropWatched
+	// and will then be removed.
+	PropCounters
+)
+
+func (p Propagation) String() string {
+	if p == PropCounters {
+		return "counters"
+	}
+	return "watched"
+}
+
 // Options configures a Solver. The zero value enables every inference
 // (both learning mechanisms and pure literal fixing) in partial-order mode
 // with no resource limits.
 type Options struct {
 	Mode Mode
+
+	// Propagation selects the unit-propagation engine; the zero value is
+	// the watched-literal engine. See Propagation.
+	Propagation Propagation
 
 	// DisableClauseLearning turns off nogood learning; conflicts then
 	// backtrack chronologically.

@@ -19,13 +19,30 @@ const (
 )
 
 // propagateAll runs unit propagation (clauses and cubes) to fixpoint,
-// returning the first conflict or solution found.
+// returning the first conflict or solution found. It dispatches on the
+// configured engine: the watched-literal engine (watch.go, the default) or
+// the retained occurrence-counter engine below.
 //
 //qbf:hotpath
 func (s *Solver) propagateAll() (event, int) {
 	if s.numUnsatOriginal == 0 {
 		return evSolution, -1
 	}
+	if s.opt.Propagation == PropCounters {
+		return s.propagateCounters()
+	}
+	return s.propagateWatched()
+}
+
+// propagateCounters is the occurrence-counter fixpoint loop: every
+// assignment walks the full occurrence lists of the literal and its
+// negation, updating per-constraint counters. Retained behind
+// Options.Propagation == PropCounters for one release as the differential
+// baseline of the watcher engine; see PropCounters for the deprecation
+// note.
+//
+//qbf:hotpath
+func (s *Solver) propagateCounters() (event, int) {
 	for s.qhead < len(s.trail) {
 		l := s.trail[s.qhead]
 		s.qhead++
@@ -67,24 +84,24 @@ func (s *Solver) walkOcc(idx int, exist, becameTrue bool) (event, int) {
 	w := 0
 	var rev event = evNone
 	rci := -1
-	for _, ci := range occ {
-		if s.cons[ci].deleted {
+	for _, ci32 := range occ {
+		ci := int(ci32)
+		if s.ar.deleted(ci) {
 			continue // compact away
 		}
-		occ[w] = ci
+		occ[w] = ci32
 		w++
-		c := &s.cons[ci]
 		if becameTrue {
-			c.numTrue++
+			s.ar.d[ci+offTrue]++
 		} else {
-			c.numFalse++
+			s.ar.d[ci+offFalse]++
 		}
 		if exist {
-			c.unassignedE--
+			s.ar.d[ci+offUE]--
 		} else {
-			c.unassignedU--
+			s.ar.d[ci+offUU]--
 		}
-		if !c.isCube && !c.learned && becameTrue && c.numTrue == 1 {
+		if becameTrue && s.ar.d[ci+offTrue] == 1 && !s.ar.isCube(ci) && !s.ar.learned(ci) {
 			s.clauseSatisfied(ci)
 			if s.numUnsatOriginal == 0 && rev == evNone {
 				rev, rci = evSolution, -1
@@ -106,31 +123,31 @@ func (s *Solver) walkOcc(idx int, exist, becameTrue bool) (event, int) {
 //qbf:hotpath
 func (s *Solver) undoCounters(l qbf.Lit) {
 	exist := s.quant[l.Var()] == qbf.Exists
-	for _, ci := range s.occ[litIdx(l)] {
-		c := &s.cons[ci]
-		if c.deleted {
+	for _, ci32 := range s.occ[litIdx(l)] {
+		ci := int(ci32)
+		if s.ar.deleted(ci) {
 			continue
 		}
-		c.numTrue--
+		s.ar.d[ci+offTrue]--
 		if exist {
-			c.unassignedE++
+			s.ar.d[ci+offUE]++
 		} else {
-			c.unassignedU++
+			s.ar.d[ci+offUU]++
 		}
-		if !c.isCube && !c.learned && c.numTrue == 0 {
+		if s.ar.d[ci+offTrue] == 0 && !s.ar.isCube(ci) && !s.ar.learned(ci) {
 			s.clauseUnsatisfied(ci)
 		}
 	}
-	for _, ci := range s.occ[litIdx(l.Neg())] {
-		c := &s.cons[ci]
-		if c.deleted {
+	for _, ci32 := range s.occ[litIdx(l.Neg())] {
+		ci := int(ci32)
+		if s.ar.deleted(ci) {
 			continue
 		}
-		c.numFalse--
+		s.ar.d[ci+offFalse]--
 		if exist {
-			c.unassignedE++
+			s.ar.d[ci+offUE]++
 		} else {
-			c.unassignedU++
+			s.ar.d[ci+offUU]++
 		}
 	}
 }
@@ -138,9 +155,12 @@ func (s *Solver) undoCounters(l qbf.Lit) {
 // clauseSatisfied updates the pure-literal occurrence counts when an
 // original clause gains its first true literal (it leaves the residual
 // matrix).
+//
+//qbf:hotpath
 func (s *Solver) clauseSatisfied(ci int) {
 	s.numUnsatOriginal--
-	for _, m := range s.cons[ci].lits {
+	for k, n := 0, s.ar.size(ci); k < n; k++ {
+		m := s.ar.lit(ci, k)
 		mi := litIdx(m)
 		s.activeOcc[mi]--
 		if s.activeOcc[mi] == 0 && s.value[m.Var()] == undef {
@@ -150,31 +170,50 @@ func (s *Solver) clauseSatisfied(ci int) {
 }
 
 // clauseUnsatisfied reverses clauseSatisfied on backtracking.
+//
+//qbf:hotpath
 func (s *Solver) clauseUnsatisfied(ci int) {
 	s.numUnsatOriginal++
-	for _, m := range s.cons[ci].lits {
-		s.activeOcc[litIdx(m)]++
+	for k, n := 0, s.ar.size(ci); k < n; k++ {
+		s.activeOcc[litIdx(s.ar.lit(ci, k))]++
 	}
 }
 
-// checkState inspects a constraint after a counter change, enqueues a
-// forced literal when the constraint is unit, and reports conflicts and
-// solutions. The counters are used as a cheap filter only: because the
-// trail may hold assignments whose counter effects are still queued, every
-// candidate event is verified against the actual variable values, so a
-// stale counter can at worst defer an event to the dequeue that updates it,
-// never fabricate one.
+// checkState inspects a constraint after a counter change, using the
+// counters as a cheap filter in front of scanState. Counter engine only:
+// the watcher engine does not maintain the filter counters and goes to
+// scanState directly.
 //
 //qbf:hotpath
 func (s *Solver) checkState(ci int) (event, int) {
-	c := &s.cons[ci]
-	if !c.isCube {
-		if c.numTrue > 0 || c.unassignedE > 1 {
+	if !s.ar.isCube(ci) {
+		if s.ar.d[ci+offTrue] > 0 || s.ar.d[ci+offUE] > 1 {
 			return evNone, -1
 		}
+	} else {
+		if s.ar.d[ci+offFalse] > 0 || s.ar.d[ci+offUU] > 1 {
+			return evNone, -1
+		}
+	}
+	return s.scanState(ci)
+}
+
+// scanState derives a constraint's state from the actual variable values
+// alone: it enqueues the forced literal when the constraint is unit and
+// reports conflicts and solutions. Because it never trusts cached counters,
+// callers may use it on constraints whose incremental state is stale (the
+// watcher engine's import wake-ups); with the counter filter in front
+// (checkState) a stale counter can at worst defer an event to the dequeue
+// that updates it, never fabricate one.
+//
+//qbf:hotpath
+func (s *Solver) scanState(ci int) (event, int) {
+	n := s.ar.size(ci)
+	if !s.ar.isCube(ci) {
 		var e qbf.Lit
 		undefE := 0
-		for _, m := range c.lits {
+		for k := 0; k < n; k++ {
+			m := s.ar.lit(ci, k)
 			switch s.litValue(m) {
 			case vTrue:
 				return evNone, -1
@@ -195,7 +234,8 @@ func (s *Solver) checkState(ci int) (event, int) {
 		}
 		// Candidate unit (Lemma 5): e is forced unless some unassigned
 		// universal m of the clause has m ≺ e.
-		for _, m := range c.lits {
+		for k := 0; k < n; k++ {
+			m := s.ar.lit(ci, k)
 			if m != e && s.value[m.Var()] == undef && s.before(m.Var(), e.Var()) {
 				return evNone, -1
 			}
@@ -208,11 +248,9 @@ func (s *Solver) checkState(ci int) (event, int) {
 	// reduction (the dual of Lemma 3) removes every residual existential
 	// e with no residual universal u such that e ≺ u, so unassigned
 	// existentials never block by themselves.
-	if c.numFalse > 0 || c.unassignedU > 1 {
-		return evNone, -1
-	}
 	var u qbf.Lit
-	for _, m := range c.lits {
+	for k := 0; k < n; k++ {
+		m := s.ar.lit(ci, k)
 		switch s.litValue(m) {
 		case vFalse:
 			return evNone, -1
@@ -230,7 +268,8 @@ func (s *Solver) checkState(ci int) (event, int) {
 	// Candidate dual unit: the universal player must falsify u — unless a
 	// residual existential in the scope of u keeps the cube from reducing
 	// to the unit [u].
-	for _, m := range c.lits {
+	for k := 0; k < n; k++ {
+		m := s.ar.lit(ci, k)
 		if m != u && s.value[m.Var()] == undef && s.before(m.Var(), u.Var()) {
 			return evNone, -1
 		}
@@ -278,33 +317,39 @@ func (s *Solver) fixPures() bool {
 	return assigned
 }
 
-// addLearned installs a learned clause or cube whose counters are
-// initialized against the current (post-backtrack) assignment. The caller
-// must ensure the propagation queue is drained (qhead == len(trail)).
+// addLearned installs a learned clause or cube into the arena. Under the
+// counter engine its counters are initialized against the current
+// (post-backtrack) assignment and it joins the occurrence lists; under the
+// watcher engine it gets its two watches instead. The caller must ensure
+// the propagation queue is drained (qhead == len(trail)).
 func (s *Solver) addLearned(lits []qbf.Lit, isCube bool) int {
 	s.checkLearnedConstraint(lits, isCube)
-	id := len(s.cons)
-	c := constraint{lits: lits, isCube: isCube, learned: true, activity: 1}
-	for _, l := range lits {
-		switch s.litValue(l) {
-		case vTrue:
-			c.numTrue++
-		case vFalse:
-			c.numFalse++
-		default:
-			if s.quant[l.Var()] == qbf.Exists {
-				c.unassignedE++
-			} else {
-				c.unassignedU++
+	id := s.ar.alloc(lits, isCube, true)
+	if s.opt.Propagation == PropCounters {
+		for _, l := range lits {
+			switch s.litValue(l) {
+			case vTrue:
+				s.ar.d[id+offTrue]++
+			case vFalse:
+				s.ar.d[id+offFalse]++
+			default:
+				if s.quant[l.Var()] == qbf.Exists {
+					s.ar.d[id+offUE]++
+				} else {
+					s.ar.d[id+offUU]++
+				}
 			}
 		}
+		for _, l := range lits {
+			s.occ[litIdx(l)] = append(s.occ[litIdx(l)], int32(id))
+		}
+	} else {
+		s.initWatches(id)
 	}
-	s.cons = append(s.cons, c)
 	for _, l := range lits {
-		s.occ[litIdx(l)] = append(s.occ[litIdx(l)], id)
 		s.counter[litIdx(l)]++
 	}
-	s.learnedBytes += constraintBytes(lits)
+	s.learnedBytes += constraintBytes(len(lits))
 	if s.learnedBytes > s.stats.PeakLearnedBytes {
 		s.stats.PeakLearnedBytes = s.learnedBytes
 	}
@@ -345,8 +390,10 @@ func (s *Solver) reduceDB(isCube bool) {
 // reduceDBNow is the unconditional reduction round behind reduceDB and the
 // memory governor: it discards learned constraints of the given kind at or
 // below the median activity, regardless of how many are live. Constraints
-// currently acting as a reason on the trail are kept; deleted constraints
-// release their literal storage so the memory actually returns.
+// currently acting as a reason on the trail are kept. Deleted constraints
+// are only flagged here; once they dominate the learned region the arena is
+// compacted in place and every ref-holding structure rebound, so the memory
+// actually returns (compactLearned).
 func (s *Solver) reduceDBNow(isCube bool) {
 	locked := make(map[int]bool)
 	for _, l := range s.trail {
@@ -357,36 +404,97 @@ func (s *Solver) reduceDBNow(isCube bool) {
 	}
 	// Median activity of the kind under reduction.
 	var acts []float64
-	for i := s.nOriginalClauses; i < len(s.cons); i++ {
-		c := &s.cons[i]
-		if !c.deleted && c.isCube == isCube {
-			acts = append(acts, c.activity)
+	for ci := s.origEnd; ci < s.ar.end(); ci = s.ar.next(ci) {
+		if !s.ar.deleted(ci) && s.ar.isCube(ci) == isCube {
+			acts = append(acts, s.ar.activity(ci))
 		}
 	}
 	if len(acts) == 0 {
 		return
 	}
 	pivot := quickMedian(acts)
-	for i := s.nOriginalClauses; i < len(s.cons); i++ {
-		c := &s.cons[i]
-		if c.deleted || c.isCube != isCube || locked[i] || c.activity > pivot {
+	for ci := s.origEnd; ci < s.ar.end(); ci = s.ar.next(ci) {
+		if s.ar.deleted(ci) || s.ar.isCube(ci) != isCube || locked[ci] || s.ar.activity(ci) > pivot {
 			continue
 		}
-		c.deleted = true
-		for _, l := range c.lits {
-			s.counter[litIdx(l)]--
+		n := s.ar.size(ci)
+		for k := 0; k < n; k++ {
+			s.counter[litIdx(s.ar.lit(ci, k))]--
 		}
-		s.learnedBytes -= constraintBytes(c.lits)
-		// Release the literal storage: every consumer checks c.deleted
-		// before touching lits, and occurrence lists compact deleted ids
-		// away lazily, so nothing reads them again.
-		c.lits = nil
+		s.learnedBytes -= constraintBytes(n)
+		// Flag only: headers stay readable, so occurrence and watcher lists
+		// drop stale refs lazily until the next compaction purges them.
+		s.ar.del(ci)
 		if isCube {
 			s.learnedCubes--
 		} else {
 			s.learnedClauses--
 		}
 	}
+	if s.ar.wasted > 0 && 2*s.ar.wasted >= s.ar.end()-s.origEnd {
+		s.compactLearned()
+	}
+}
+
+// compactLearned slides the live learned constraints over the deleted ones
+// (originals never move), then rebinds every structure holding arena refs:
+// occurrence lists, watcher lists, and the trail reasons. Deleted refs are
+// purged from the lists first — after compaction their targets no longer
+// exist. Callers must ensure no conflict/solution event is pending (the
+// same safe-point contract as reduceDBNow).
+func (s *Solver) compactLearned() {
+	reclaimed := s.ar.wasted
+	for i := range s.occ {
+		occ := s.occ[i]
+		w := 0
+		for _, ci := range occ {
+			if !s.ar.deleted(int(ci)) {
+				occ[w] = ci
+				w++
+			}
+		}
+		s.occ[i] = occ[:w]
+	}
+	purge := func(lists [][]watcher) {
+		for i := range lists {
+			ws := lists[i]
+			w := 0
+			for _, e := range ws {
+				if !s.ar.deleted(int(e.c)) {
+					ws[w] = e
+					w++
+				}
+			}
+			lists[i] = ws[:w]
+		}
+	}
+	purge(s.watchCl)
+	purge(s.watchCu)
+
+	olds, news := s.ar.compactFrom(s.origEnd)
+	if len(olds) > 0 {
+		for i := range s.occ {
+			for j, ci := range s.occ[i] {
+				s.occ[i][j] = rebind(ci, olds, news)
+			}
+		}
+		rb := func(lists [][]watcher) {
+			for i := range lists {
+				for j := range lists[i] {
+					lists[i][j].c = rebind(lists[i][j].c, olds, news)
+				}
+			}
+		}
+		rb(s.watchCl)
+		rb(s.watchCu)
+		for _, l := range s.trail {
+			v := l.Var()
+			if s.reason[v] == reasonConstraint {
+				s.reasonC[v] = int(rebind(int32(s.reasonC[v]), olds, news))
+			}
+		}
+	}
+	s.emitEv(telemetry.KindReduce, 0, int64(reclaimed), 2)
 }
 
 // quickMedian returns an approximate median (exact for odd lengths) by

@@ -140,6 +140,10 @@ func (s *Solver) importShared() (event, int, Verdict) {
 				return evNone, -1, False
 			}
 		}
+		if s.degenerateImport(lits, sc.IsCube) {
+			s.stats.ImportsRejected++
+			continue
+		}
 		s.checkImportedConstraint(lits, sc.IsCube)
 		if sc.IsCube {
 			s.emitLitsEv(telemetry.KindImport, lits, 1)
@@ -153,14 +157,24 @@ func (s *Solver) importShared() (event, int, Verdict) {
 	}
 	// Wake pass: an import that is already unit assigns its forced literal
 	// (picked up by the next propagateAll), and one that is already
-	// conflicting or fired becomes this fixpoint's event. checkState
-	// verifies every candidate against the actual variable values, so the
+	// conflicting or fired becomes this fixpoint's event. scanState derives
+	// every candidate's state from the actual variable values, so the
 	// wake-ups remain sound even once a unit assignment is pending on the
-	// queue. After the first event the remaining imports stay passive —
-	// they are examined when a counter of theirs next changes.
+	// queue; under the counter engine the counter filter (checkState) sits
+	// in front, under the watcher engine — whose learned constraints carry
+	// no counters — the scan runs unconditionally. After the first event
+	// the remaining imports stay passive until a watched (or occurring)
+	// literal of theirs next changes.
 	rev, rci := evNone, -1
 	for _, id := range installed {
-		if ev, ci := s.checkState(id); ev != evNone {
+		var ev event
+		var ci int
+		if s.opt.Propagation == PropCounters {
+			ev, ci = s.checkState(id)
+		} else {
+			ev, ci = s.scanState(id)
+		}
+		if ev != evNone {
 			rev, rci = ev, ci
 			break
 		}
@@ -174,6 +188,47 @@ func (s *Solver) importShared() (event, int, Verdict) {
 		s.reduceDB(true)
 	}
 	return rev, rci, Unknown
+}
+
+// degenerateImport reports whether an import would, under the watcher
+// engine, be installed in a state from which it can become conflicting
+// (clause) or fire (cube) through backtracking alone: a clause currently
+// satisfied but with every existential literal already false, or a cube
+// currently dead (some literal false) with no unassigned universal left.
+// Watchers trigger on assignments, never on unassignments, so such a
+// constraint could reach its event state silently when the masking literal
+// is backtracked away. The counter engine re-examines constraints on every
+// counter change and needs no such filter. Dropping these imports is sound
+// (imports are optional pruning) and cheap — a constraint already this
+// tight under the current assignment has almost no propagation value left.
+func (s *Solver) degenerateImport(lits []qbf.Lit, isCube bool) bool {
+	if s.opt.Propagation == PropCounters {
+		return false
+	}
+	if !isCube {
+		sat := false
+		unfalsifiedE := 0
+		for _, l := range lits {
+			if s.litValue(l) == vTrue {
+				sat = true
+			}
+			if s.quant[l.Var()] == qbf.Exists && s.litValue(l) != vFalse {
+				unfalsifiedE++
+			}
+		}
+		return sat && unfalsifiedE == 0
+	}
+	dead := false
+	undefU := 0
+	for _, l := range lits {
+		if s.litValue(l) == vFalse {
+			dead = true
+		}
+		if s.quant[l.Var()] == qbf.Forall && s.value[l.Var()] == undef {
+			undefU++
+		}
+	}
+	return dead && undefU == 0
 }
 
 // SetNodeLimit replaces the decision budget (0 = unlimited) for subsequent

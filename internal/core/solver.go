@@ -28,24 +28,9 @@ const (
 	reasonPure                  // pure (monotone) literal fixing
 )
 
-// constraint is a clause (disjunction) or cube (conjunction) with counters
-// maintained under the current assignment.
-type constraint struct {
-	lits    []qbf.Lit
-	isCube  bool
-	learned bool
-	deleted bool
-
-	activity float64
-
-	// Counters under the current assignment.
-	numTrue     int // literals currently true
-	numFalse    int // literals currently false
-	unassignedE int // unassigned existential literals
-	unassignedU int // unassigned universal literals
-}
-
-func (c *constraint) size() int { return len(c.lits) }
+// Constraints (clauses and cubes) live in the arena clause store (see
+// arena.go): one flat []uint32 region, integer refs, watched-literal or
+// counter state in the header words.
 
 // blockInfo caches per-block structure derived from the prefix.
 type blockInfo struct {
@@ -76,12 +61,25 @@ type Solver struct {
 	// deletes such literals from cubes, so cover construction skips them.
 	eReducible []bool
 
-	cons             []constraint // originals first, then learned
+	// ar holds every constraint: originals first (their refs are stable,
+	// the region [0, origEnd) never moves), then learned, compacted in
+	// place as reduction rounds delete them.
+	ar               arena
+	origEnd          int // arena offset one past the last original clause
 	nOriginalClauses int
 	learnedClauses   int
 	learnedCubes     int
 
-	occ [][]int // literal index → constraint ids containing that literal
+	// occ: literal index → refs of constraints containing that literal.
+	// Under the counter engine it covers every constraint; under the
+	// watcher engine only original clauses (for the residual-matrix walk),
+	// while learned constraints are reached through the watcher lists.
+	occ [][]int32
+
+	// Watcher lists (watcher engine only), keyed by the literal whose
+	// assignment triggers the visit; see watch.go.
+	watchCl [][]watcher
+	watchCu [][]watcher
 
 	// activeOcc counts, per literal, the original clauses that currently
 	// have no true literal and contain the literal: the paper's dynamic
@@ -199,7 +197,7 @@ func NewSolver(q *qbf.QBF, opt Options) (*Solver, error) {
 		sf:          make([]int, n+1),
 		plevel:      make([]int, n+1),
 		blockOf:     make([]int, n+1),
-		occ:         make([][]int, 2*(n+1)),
+		occ:         make([][]int32, 2*(n+1)),
 		activeOcc:   make([]int, 2*(n+1)),
 		value:       make([]int8, n+1),
 		dlevel:      make([]int, n+1),
@@ -210,6 +208,10 @@ func NewSolver(q *qbf.QBF, opt Options) (*Solver, error) {
 		lastCounter: make([]int, 2*(n+1)),
 		score:       make([]float64, 2*(n+1)),
 		trivial:     Unknown,
+	}
+	if opt.Propagation == PropWatched {
+		s.watchCl = make([][]watcher, 2*(n+1))
+		s.watchCu = make([][]watcher, 2*(n+1))
 	}
 
 	// Variables within 1..n that are bound by no block and occur in no
@@ -308,7 +310,7 @@ func NewSolver(q *qbf.QBF, opt Options) (*Solver, error) {
 		}
 		s.addOriginalClause(rc)
 	}
-	s.nOriginalClauses = len(s.cons)
+	s.origEnd = s.ar.end()
 	s.numUnsatOriginal = s.nOriginalClauses
 	if s.numUnsatOriginal == 0 {
 		s.trivial = True
@@ -343,20 +345,23 @@ func (s *Solver) SetLearnHook(f func(lits []qbf.Lit, isCube bool)) { s.learnHook
 func (s *Solver) Stats() Stats { return s.stats }
 
 func (s *Solver) addOriginalClause(c qbf.Clause) int {
-	id := len(s.cons)
-	s.cons = append(s.cons, constraint{lits: c})
+	id := s.ar.alloc(c, false, false)
+	s.nOriginalClauses++
 	for _, l := range c {
-		s.occ[litIdx(l)] = append(s.occ[litIdx(l)], id)
+		s.occ[litIdx(l)] = append(s.occ[litIdx(l)], int32(id))
 		s.activeOcc[litIdx(l)]++
 		s.counter[litIdx(l)]++
-	}
-	cc := &s.cons[id]
-	for _, l := range c {
+		// Unassigned-literal counters; maintained (and read) only by the
+		// counter engine, but at construction time they are correct either
+		// way and initializing unconditionally keeps this path branch-free.
 		if s.quant[l.Var()] == qbf.Exists {
-			cc.unassignedE++
+			s.ar.d[id+offUE]++
 		} else {
-			cc.unassignedU++
+			s.ar.d[id+offUU]++
 		}
+	}
+	if s.opt.Propagation == PropWatched {
+		s.initWatches(id)
 	}
 	return id
 }
@@ -591,7 +596,11 @@ func (s *Solver) backtrack(target int) {
 		l := s.trail[i]
 		v := l.Var()
 		if i < s.qhead {
-			s.undoCounters(l)
+			if s.opt.Propagation == PropCounters {
+				s.undoCounters(l)
+			} else {
+				s.undoSat(l)
+			}
 		}
 		if s.reason[v] == reasonPure {
 			// The variable may still be pure at the outer level;

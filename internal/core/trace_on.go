@@ -35,10 +35,16 @@ func (s *Solver) emitConstraintEv(k telemetry.Kind, ci int) {
 		return
 	}
 	depth, size := int64(0), int64(0)
-	if ci >= 0 && ci < len(s.cons) {
-		lits := s.cons[ci].lits
-		size = int64(len(lits))
-		depth = s.litsDepth(lits)
+	if ci >= 0 && ci < s.ar.end() {
+		n := s.ar.size(ci)
+		size = int64(n)
+		d := 0
+		for j := 0; j < n; j++ {
+			if p := s.plevel[s.ar.lit(ci, j).Var()]; p > d {
+				d = p
+			}
+		}
+		depth = int64(d)
 	}
 	t.Emit(k, s.level, int(depth), int64(ci), size)
 }

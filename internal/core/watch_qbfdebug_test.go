@@ -1,0 +1,114 @@
+//go:build qbfdebug
+
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/qbf"
+)
+
+// Fault-injection stress for the watcher engine: the deep checker
+// (including checkWatchInvariants) runs at every propagation fixpoint while
+// cancellations land at random fixpoint ordinals, the search resumes after
+// each one, and the final verdict is compared against the oracle. Every
+// cancel/resume cycle tears the search down mid-flight — backtracking over
+// parked guards, dormant blockers, and freshly moved watches — so the
+// watcher repair paths are exercised under exactly the interruptions a real
+// driver produces.
+
+func TestWatcherInvariantsUnderFaultInjection(t *testing.T) {
+	rng := rand.New(rand.NewSource(823))
+	type inst struct {
+		name string
+		q    *qbf.QBF
+		want Verdict
+	}
+	instances := []inst{
+		{"php5", phpFormula(5), False},
+		{"php6", phpFormula(6), False},
+	}
+	for i := 0; i < 8; i++ {
+		q := randomPrenexQBF(rng, 12, 20, 6)
+		if v := oracleVerdict(q); v != Unknown {
+			instances = append(instances, inst{name: "rand", q: q, want: v})
+		}
+	}
+	for k, tc := range instances {
+		s, err := NewSolver(tc.q, Options{
+			Propagation:     PropWatched,
+			MaxLearned:      16, // frequent reductions → deletion + compaction mid-stress
+			CheckInvariants: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cancel context.CancelFunc
+		var next int64
+		s.SetFaultHook(func(fp int64) {
+			if fp >= next {
+				cancel()
+			}
+		})
+		var r Verdict
+		for attempt := 0; ; attempt++ {
+			if attempt > 4096 {
+				t.Fatalf("instance %d (%s): no verdict after %d cancel/resume cycles", k, tc.name, attempt)
+			}
+			var ctx context.Context
+			ctx, cancel = context.WithCancel(context.Background())
+			next = s.Stats().Fixpoints + int64(1+rng.Intn(48))
+			r = s.Solve(ctx)
+			cancel()
+			if r != Unknown {
+				break
+			}
+			if sr := s.Stats().StopReason; sr != StopCancelled {
+				t.Fatalf("instance %d (%s): Unknown with stop reason %v, want cancelled", k, tc.name, sr)
+			}
+		}
+		if r != tc.want {
+			t.Fatalf("instance %d (%s): resumed search decided %v, oracle says %v\nQBF: %v",
+				k, tc.name, r, tc.want, tc.q)
+		}
+	}
+}
+
+// TestWatcherInjectedPanicIsContained repeats the panic-containment proof
+// on the watcher engine with the deep checker armed: a panic at a random
+// mid-search fixpoint must surface as a *PanicError with coherent partial
+// stats, never a process crash — no matter what repair state the watcher
+// lists were in when the fault fired.
+func TestWatcherInjectedPanicIsContained(t *testing.T) {
+	rng := rand.New(rand.NewSource(827))
+	for trial := 0; trial < 6; trial++ {
+		s, err := NewSolver(phpFormula(7), Options{
+			Propagation:     PropWatched,
+			MaxLearned:      16,
+			CheckInvariants: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		at := int64(1 + rng.Intn(200))
+		s.SetFaultHook(func(fp int64) {
+			if fp == at {
+				panic("injected watcher fault")
+			}
+		})
+		r, err := s.SafeSolve(context.Background())
+		if r != Unknown {
+			t.Fatalf("trial %d: result %v, want UNKNOWN", trial, r)
+		}
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("trial %d: err %T (%v), want *PanicError", trial, err, err)
+		}
+		if pe.Stats.Fixpoints != at {
+			t.Errorf("trial %d: Stats.Fixpoints = %d, want %d", trial, pe.Stats.Fixpoints, at)
+		}
+	}
+}

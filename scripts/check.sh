@@ -31,16 +31,36 @@
 #                          flap storms, total-outage cache degradation,
 #                          oracle agreement, drain under load — see
 #                          DESIGN.md §10 and §11)
-#   9. go test -fuzz smoke (5s fuzz each of the QDIMACS/QTREE reader and
-#                          the service request decoder; the checked-in
-#                          corpora replay in step 6 already)
-#  10. tracing overhead    (builds with -tags qbfnotrace, then compares the
+#   9. cross-engine differential
+#                          (the watched-literal and occurrence-counter
+#                          propagation engines solve the same 250+ random
+#                          and adversarial instances — plus the watcher
+#                          fault-injection stress — under -tags qbfdebug
+#                          -race, with the deep checker's watcher
+#                          invariants armed; any verdict disagreement
+#                          between the engines or against the oracle
+#                          fails. The same tests also run inside steps 6-7;
+#                          this step names them so a propagation-soundness
+#                          failure is unmistakable — see DESIGN.md §7)
+#  10. go test -fuzz smoke (5s fuzz each of the QDIMACS/QTREE reader, the
+#                          service request decoder, and the clause-arena
+#                          op-stream model; the checked-in corpora replay
+#                          in step 6 already)
+#  11. tracing overhead    (builds with -tags qbfnotrace, then compares the
 #                          end-to-end BenchmarkSolveTraceOverhead between
 #                          the default build — hooks compiled in, tracer
-#                          nil — and the qbfnotrace build; fails when the
-#                          min-of-runs ratio exceeds QBF_OVERHEAD_TOLERANCE,
-#                          default 1.02, i.e. 2% — see DESIGN.md §9)
-#  11. bench smoke         (portfolio-vs-sequential, solve-service, and
+#                          nil — and the qbfnotrace build, alternating the
+#                          two binaries run-for-run so transient load hits
+#                          both minima equally; fails when the min-of-runs
+#                          ratio exceeds QBF_OVERHEAD_TOLERANCE, default
+#                          1.02, i.e. 2% — see DESIGN.md §9)
+#  12. propagation bench gate
+#                          (BenchmarkSolve and BenchmarkPropagate per
+#                          engine; writes results/BENCH_propagate.json and
+#                          fails when the watcher engine's end-to-end
+#                          speedup over the counter engine drops below
+#                          QBF_PROPAGATE_TOLERANCE, default 1.0)
+#  13. bench smoke         (portfolio-vs-sequential, solve-service, and
 #                          front-tier smoke campaigns; write
 #                          results/BENCH_portfolio.json,
 #                          results/BENCH_serve.json, and
@@ -84,8 +104,15 @@ go test -race ./...
 echo "==> go test -tags qbfdebug -race ./internal/core/... ./internal/bench/... ./internal/portfolio/... ./internal/server/... ./internal/gate/..."
 go test -tags qbfdebug -race ./internal/core/... ./internal/bench/... ./internal/portfolio/... ./internal/server/... ./internal/gate/...
 
+echo "==> cross-engine propagation differential (qbfdebug, race, watcher invariants)"
+go test -tags qbfdebug -race -count=1 \
+    -run 'TestCrossEngine|TestWatcherInvariantsUnderFaultInjection' ./internal/core/
+
 echo "==> go test -fuzz=FuzzRead -fuzztime=5s ./internal/qdimacs/"
 go test -run '^$' -fuzz=FuzzRead -fuzztime=5s ./internal/qdimacs/
+
+echo "==> go test -fuzz=FuzzArena -fuzztime=5s ./internal/core/"
+go test -run '^$' -fuzz=FuzzArena -fuzztime=5s ./internal/core/
 
 echo "==> go test -fuzz=FuzzSolveRequest -fuzztime=5s ./internal/server/"
 go test -run '^$' -fuzz=FuzzSolveRequest -fuzztime=5s ./internal/server/
@@ -96,20 +123,59 @@ go build -tags qbfnotrace ./...
 echo "==> disabled-tracing overhead smoke (nil-tracer build vs qbfnotrace build)"
 # Min of several runs filters scheduler noise; the ratio bounds what the
 # compiled-in (but disabled) hooks may cost relative to a build with the
-# hooks removed entirely.
+# hooks removed entirely. The two builds are precompiled once and then
+# alternated run-for-run: sequential per-build batches let a single load
+# spike (GC of the fuzz corpus from step 10, a background compile) skew
+# one whole side and fail the ratio spuriously, while interleaving spreads
+# any transient over both minima equally.
+ovdir=$(mktemp -d)
+trap 'rm -rf "$ovdir"' EXIT
+go test -c -o "$ovdir/hooked.test" ./internal/core/
+go test -c -tags qbfnotrace -o "$ovdir/stripped.test" ./internal/core/
+for i in 1 2 3 4 5 6; do
+    for side in hooked stripped; do
+        "$ovdir/$side.test" -test.run '^$' -test.bench BenchmarkSolveTraceOverhead \
+            -test.benchtime 0.3s >> "$ovdir/$side.out"
+    done
+done
 overhead_min() {
-    go test $1 -run '^$' -bench BenchmarkSolveTraceOverhead \
-        -benchtime 0.3s -count 6 ./internal/core/ |
-        awk '/BenchmarkSolveTraceOverhead/ { if (min == "" || $3 < min) min = $3 } END { print min }'
+    awk '/BenchmarkSolveTraceOverhead/ { if (min == "" || $3 < min) min = $3 } END { print min }' "$1"
 }
-hooked=$(overhead_min "")
-stripped=$(overhead_min "-tags qbfnotrace")
+hooked=$(overhead_min "$ovdir/hooked.out")
+stripped=$(overhead_min "$ovdir/stripped.out")
 echo "    hooked   ${hooked} ns/op"
 echo "    stripped ${stripped} ns/op"
 echo "$hooked $stripped ${QBF_OVERHEAD_TOLERANCE:-1.02}" | awk '{
     ratio = $1 / $2
     printf "    ratio    %.4f (tolerance %.2f)\n", ratio, $3
     if (ratio > $3) { print "disabled tracing regresses past tolerance" > "/dev/stderr"; exit 1 }
+}'
+
+echo "==> propagation engine bench gate (results/BENCH_propagate.json)"
+# Min-of-runs per engine on the propagation-bound smoke pool (end-to-end
+# BenchmarkSolve) and on the isolated fixpoint loop (BenchmarkPropagate).
+# The end-to-end ratio is the gate: the watcher engine regressing past
+# QBF_PROPAGATE_TOLERANCE (default 1.0, i.e. "never slower than the
+# counter engine it replaced") fails the build.
+prop_out=$(go test -run '^$' -bench '^(BenchmarkSolve|BenchmarkPropagate)$' \
+    -benchtime 0.3s -count 4 ./internal/core/)
+prop_min() {
+    echo "$prop_out" |
+        awk -v name="$1" 'index($1, name) == 1 { if (min == "" || $3 < min) min = $3 } END { print min }'
+}
+sw=$(prop_min "BenchmarkSolve/watched")
+sc=$(prop_min "BenchmarkSolve/counters")
+pw=$(prop_min "BenchmarkPropagate/watched")
+pc=$(prop_min "BenchmarkPropagate/counters")
+echo "    solve      watched ${sw} ns/op, counters ${sc} ns/op"
+echo "    propagate  watched ${pw} ns/op, counters ${pc} ns/op"
+mkdir -p results
+echo "$sw $sc $pw $pc ${QBF_PROPAGATE_TOLERANCE:-1.0}" | awk '{
+    solve_speedup = $2 / $1
+    prop_speedup = $4 / $3
+    printf "    speedup    solve %.2fx, fixpoint loop %.2fx (tolerance %.2fx)\n", solve_speedup, prop_speedup, $5
+    printf "{\n  \"bench\": \"propagate\",\n  \"pool\": \"php6+php7 smoke\",\n  \"solve_watched_ns_op\": %s,\n  \"solve_counters_ns_op\": %s,\n  \"solve_speedup\": %.4f,\n  \"propagate_watched_ns_op\": %s,\n  \"propagate_counters_ns_op\": %s,\n  \"propagate_speedup\": %.4f,\n  \"tolerance\": %.2f\n}\n", $1, $2, solve_speedup, $3, $4, prop_speedup, $5 > "results/BENCH_propagate.json"
+    if (solve_speedup < $5) { print "watcher engine regresses past tolerance" > "/dev/stderr"; exit 1 }
 }'
 
 echo "==> bench_portfolio smoke (results/BENCH_portfolio.json)"
