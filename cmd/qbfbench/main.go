@@ -13,6 +13,7 @@
 //	portfolio — racing-portfolio speedup vs the sequential engine
 //	serve     — qbfd service smoke: throughput, shed rate, oracle agreement
 //	gate      — qbfgate front-tier smoke: cache hit rate, failover, drain under load
+//	session   — incremental-vs-one-shot: ladder agreement and push/assume variant sweep
 //	all       — everything above
 //
 // Scatter CSVs land in -out (default "results/").
@@ -55,7 +56,7 @@ var plotFigures bool
 var campaignFailures int
 
 func main() {
-	suite := flag.String("suite", "all", "suite: ncf, fpv, dia, prob, fixed, scaling, portfolio, serve, gate, all")
+	suite := flag.String("suite", "all", "suite: ncf, fpv, dia, prob, fixed, scaling, portfolio, serve, gate, session, all")
 	scaleName := flag.String("scale", "default", "experiment scale: smoke, default, full")
 	outDir := flag.String("out", "results", "directory for CSV artifacts")
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel solver instances")
@@ -124,12 +125,14 @@ func main() {
 			runServeSuite(ctx, cfg, *outDir)
 		case "gate":
 			runGateSuite(ctx, cfg, *outDir)
+		case "session":
+			runSessionSuite(ctx, cfg, *outDir)
 		default:
 			fail(fmt.Errorf("unknown suite %q", name))
 		}
 	}
 	if *suite == "all" {
-		for _, s := range []string{"ncf", "fpv", "dia", "prob", "fixed", "scaling", "portfolio", "serve", "gate"} {
+		for _, s := range []string{"ncf", "fpv", "dia", "prob", "fixed", "scaling", "portfolio", "serve", "gate", "session"} {
 			run(s)
 		}
 	} else {

@@ -1,0 +1,303 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/dia"
+	"repro/internal/models"
+	"repro/internal/qbf"
+)
+
+// The session suite measures what the incremental API is for: amortizing
+// learned constraints across closely related solve calls. Two experiments
+// over the diameter smoke pool, both oracle-checked:
+//
+//   - Ladder agreement: the incremental diameter ladder must reproduce the
+//     one-shot driver's verdict at every step and the known diameter, with
+//     a bounded decision overhead (the ladder prefix is built once for
+//     maxN, which makes the early tiny steps slightly more expensive).
+//
+//   - Variant sweep: solve a ladder step formula φk once, then re-solve
+//     perturbations of it — each root-block literal assumed in a pushed
+//     frame — against fresh one-shot solves of the same perturbed
+//     formulas. All of φk's learning sits at frame 0 and survives every
+//     pop, so the incremental session must beat repeated one-shot solving
+//     on both decisions (deterministic) and wall clock (min over
+//     repetitions, to shave scheduler noise).
+//
+// check.sh gates on the report: agreement is a soundness failure, and the
+// variant decision ratio and wall speedup must both exceed 1.
+
+// sessionLadderResult is one model's ladder-agreement row.
+type sessionLadderResult struct {
+	Model       string  `json:"model"`
+	Diameter    int     `json:"diameter"`
+	Agrees      bool    `json:"agrees"`
+	OneShotDecs int64   `json:"one_shot_decisions"`
+	IncDecs     int64   `json:"incremental_decisions"`
+	OneShotMS   float64 `json:"one_shot_ms"`
+	IncMS       float64 `json:"incremental_ms"`
+}
+
+// sessionVariantResult is one base instance's variant-sweep row.
+type sessionVariantResult struct {
+	Model       string  `json:"model"`
+	Step        int     `json:"step"`
+	Variants    int     `json:"variants"`
+	Agrees      bool    `json:"agrees"`
+	OneShotDecs int64   `json:"one_shot_decisions"`
+	IncDecs     int64   `json:"incremental_decisions"`
+	OneShotMS   float64 `json:"one_shot_ms"`
+	IncMS       float64 `json:"incremental_ms"`
+}
+
+// sessionReport is the BENCH_session.json schema.
+type sessionReport struct {
+	Suite   string                 `json:"suite"`
+	Ladders []sessionLadderResult  `json:"ladders"`
+	Variant []sessionVariantResult `json:"variant_sweep"`
+	// Agrees is the conjunction of every per-row agreement (hard gate).
+	Agrees bool `json:"agrees"`
+	// LadderDecisionRatio is incremental/one-shot decisions summed over the
+	// ladder pool (gate: ≤ 1.5; the fixed maxN prefix costs a little on
+	// tiny steps, but a blowup here means per-solve heuristic state leaked
+	// across steps).
+	LadderDecisionRatio float64 `json:"ladder_decision_ratio"`
+	// VariantDecisionRatio is one-shot/incremental decisions summed over
+	// the variant sweep (gate: > 1; learned-constraint survival must pay).
+	VariantDecisionRatio float64 `json:"variant_decision_ratio"`
+	// VariantWallSpeedup is one-shot/incremental wall time summed over the
+	// sweep, each side the min across repetitions (gate: > 1).
+	VariantWallSpeedup float64 `json:"variant_wall_speedup"`
+	Reps               int     `json:"reps"`
+}
+
+// sessionLadderPool is the diameter smoke pool for agreement checking.
+func sessionLadderPool() []*models.Model {
+	return []*models.Model{
+		models.Counter(2),
+		models.Semaphore(1),
+		models.Semaphore(2),
+		models.Ring(3),
+		models.TwoBit(),
+		models.DME(2),
+	}
+}
+
+// sessionVariantPool picks base instances with enough search for learned
+// constraints to matter but cheap enough for a CI gate: (model, ladder
+// step) pairs whose φk solves in the 1ms–500ms range.
+func sessionVariantPool() []struct {
+	m *models.Model
+	k int
+} {
+	return []struct {
+		m *models.Model
+		k int
+	}{
+		{models.Counter(3), 4},
+		{models.Semaphore(3), 2},
+		{models.DME(2), 1},
+		{models.DME(2), 2},
+	}
+}
+
+func runSessionSuite(ctx context.Context, cfg bench.Config, outDir string) {
+	const reps = 3
+	rep := sessionReport{Suite: "session", Agrees: true, Reps: reps}
+
+	// Ladder agreement over the smoke pool.
+	fmt.Printf("SESSION: ladder agreement over %d models, variant sweep over %d bases × %d reps\n",
+		len(sessionLadderPool()), len(sessionVariantPool()), reps)
+	var ladderOneDecs, ladderIncDecs int64
+	for _, m := range sessionLadderPool() {
+		// BFS over the explicit state graph is the ground truth; KnownDiameter
+		// is unset (-1) for some pool models (ring3's initial states reach
+		// everything in 0 steps).
+		bfs, err := models.ExplicitDiameter(m, 12)
+		if err != nil {
+			fail(fmt.Errorf("session ladder %s: %w", m.Name, err))
+		}
+		maxN := bfs + 2
+		t0 := time.Now()
+		one := dia.ComputeDiameter(m, maxN, dia.SolverPO(ctx, cfg.SolverOptions))
+		oneWall := time.Since(t0)
+		t0 = time.Now()
+		inc, err := dia.ComputeDiameterIncremental(ctx, m, maxN, cfg.SolverOptions)
+		incWall := time.Since(t0)
+		if err != nil {
+			fail(fmt.Errorf("session ladder %s: %w", m.Name, err))
+		}
+		row := sessionLadderResult{
+			Model:     m.Name,
+			Diameter:  inc.Diameter,
+			Agrees:    inc.Decided && one.Decided && inc.Diameter == one.Diameter && inc.Diameter == bfs,
+			OneShotMS: float64(oneWall.Microseconds()) / 1000,
+			IncMS:     float64(incWall.Microseconds()) / 1000,
+		}
+		if row.Agrees && len(inc.Steps) == len(one.Steps) {
+			for i := range inc.Steps {
+				if inc.Steps[i].Result != one.Steps[i].Result {
+					row.Agrees = false
+				}
+			}
+		} else {
+			row.Agrees = false
+		}
+		for _, s := range one.Steps {
+			row.OneShotDecs += s.Stats.Decisions
+		}
+		for _, s := range inc.Steps {
+			row.IncDecs += s.Stats.Decisions
+		}
+		ladderOneDecs += row.OneShotDecs
+		ladderIncDecs += row.IncDecs
+		if !row.Agrees {
+			fmt.Fprintf(os.Stderr, "  DISAGREE ladder %s: incremental %v/%d, one-shot %v/%d, BFS %d\n",
+				m.Name, inc.Decided, inc.Diameter, one.Decided, one.Diameter, bfs)
+		}
+		rep.Agrees = rep.Agrees && row.Agrees
+		rep.Ladders = append(rep.Ladders, row)
+	}
+	if ladderOneDecs > 0 {
+		rep.LadderDecisionRatio = float64(ladderIncDecs) / float64(ladderOneDecs)
+	}
+
+	// Variant sweep: best-of-reps wall on both sides, decisions from the
+	// first repetition (they are deterministic across reps).
+	var sweepOneDecs, sweepIncDecs int64
+	var sweepOneWall, sweepIncWall time.Duration
+	for _, p := range sessionVariantPool() {
+		row, err := runVariantSweep(ctx, p.m, p.k, reps, cfg.SolverOptions)
+		if err != nil {
+			fail(fmt.Errorf("session sweep %s step %d: %w", p.m.Name, p.k, err))
+		}
+		if !row.Agrees {
+			fmt.Fprintf(os.Stderr, "  DISAGREE sweep %s step %d: incremental and one-shot verdicts differ\n",
+				p.m.Name, p.k)
+		}
+		rep.Agrees = rep.Agrees && row.Agrees
+		sweepOneDecs += row.OneShotDecs
+		sweepIncDecs += row.IncDecs
+		sweepOneWall += time.Duration(row.OneShotMS * float64(time.Millisecond))
+		sweepIncWall += time.Duration(row.IncMS * float64(time.Millisecond))
+		rep.Variant = append(rep.Variant, row)
+	}
+	if sweepIncDecs > 0 {
+		rep.VariantDecisionRatio = float64(sweepOneDecs) / float64(sweepIncDecs)
+	}
+	if sweepIncWall > 0 {
+		rep.VariantWallSpeedup = float64(sweepOneWall) / float64(sweepIncWall)
+	}
+
+	path := filepath.Join(outDir, "BENCH_session.json")
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Printf("  ladder decision ratio %.3f (inc/one, ≤1.5), sweep decision ratio %.2f (one/inc, >1), sweep wall speedup %.2f (>1), agree=%v → %s\n",
+		rep.LadderDecisionRatio, rep.VariantDecisionRatio, rep.VariantWallSpeedup, rep.Agrees, path)
+	if !rep.Agrees {
+		campaignFailures++
+	}
+	if ctx.Err() == nil && (rep.VariantDecisionRatio <= 1 || rep.LadderDecisionRatio > 1.5) {
+		fmt.Fprintln(os.Stderr, "  session: incremental solving did not beat repeated one-shot solving")
+		campaignFailures++
+	}
+}
+
+// runVariantSweep solves φk of m's ladder once per repetition in an
+// incremental session and then re-solves every root-block-literal
+// perturbation via push/assume/solve/pop, against fresh one-shot solves
+// of the same perturbed formulas. Verdicts must agree pairwise.
+func runVariantSweep(ctx context.Context, m *models.Model, k, reps int, opt core.Options) (sessionVariantResult, error) {
+	row := sessionVariantResult{Model: m.Name, Step: k, Agrees: true}
+	base, err := dia.StepInstance(m, k)
+	if err != nil {
+		return row, err
+	}
+	var lits []qbf.Lit
+	for _, v := range base.Prefix.Blocks()[0].Vars {
+		lits = append(lits, v.PosLit(), v.NegLit())
+	}
+	row.Variants = len(lits)
+	opt.Mode = core.ModePartialOrder
+
+	minInc, minOne := time.Duration(-1), time.Duration(-1)
+	for r := 0; r < reps; r++ {
+		incOpt := opt
+		incOpt.Incremental = true
+		t0 := time.Now()
+		s, err := core.NewSolver(base, incOpt)
+		if err != nil {
+			return row, err
+		}
+		incVerdicts := []core.Verdict{s.Solve(ctx)}
+		for _, l := range lits {
+			if _, err := s.Push(); err != nil {
+				return row, err
+			}
+			if err := s.Assume(l); err != nil {
+				return row, err
+			}
+			incVerdicts = append(incVerdicts, s.Solve(ctx))
+			if _, err := s.Pop(); err != nil {
+				return row, err
+			}
+		}
+		incWall := time.Since(t0)
+		if minInc < 0 || incWall < minInc {
+			minInc = incWall
+		}
+
+		t0 = time.Now()
+		res, err := core.Solve(ctx, base, opt)
+		if err != nil {
+			return row, err
+		}
+		oneVerdicts := []core.Verdict{res.Verdict}
+		oneDecs := res.Stats.Decisions
+		for _, l := range lits {
+			vq := qbf.New(base.Prefix, append(append([]qbf.Clause{}, base.Matrix...), qbf.Clause{l}))
+			res, err := core.Solve(ctx, vq, opt)
+			if err != nil {
+				return row, err
+			}
+			oneVerdicts = append(oneVerdicts, res.Verdict)
+			oneDecs += res.Stats.Decisions
+		}
+		oneWall := time.Since(t0)
+		if minOne < 0 || oneWall < minOne {
+			minOne = oneWall
+		}
+
+		if r == 0 {
+			row.IncDecs = s.Stats().Decisions
+			row.OneShotDecs = oneDecs
+			for i := range incVerdicts {
+				if incVerdicts[i] != oneVerdicts[i] || incVerdicts[i] == core.Unknown {
+					row.Agrees = row.Agrees && ctx.Err() != nil // cancellation is not a disagreement
+				}
+			}
+		}
+	}
+	row.IncMS = float64(minInc.Microseconds()) / 1000
+	row.OneShotMS = float64(minOne.Microseconds()) / 1000
+	return row, nil
+}

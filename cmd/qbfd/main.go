@@ -4,6 +4,16 @@
 // drain. POST a JSON SolveRequest to /solve; probe liveness at /healthz
 // and readiness at /readyz; read counters at /statusz.
 //
+// Sticky sessions expose incremental solving: POST a SessionRequest to
+// /v1/session to pin a solver, then POST frame operations (push, pop,
+// add, assume) plus a solve to /v1/session/<id> with a client sequence
+// number, and DELETE the path to close. Learned clauses survive across
+// calls under the frame-tagging rules, which is what makes a session
+// ladder cheaper than re-solving from scratch. The store holds at most
+// -max-sessions solvers (beyond that the least-recently-used idle
+// session is evicted; 429 when all are busy) and reaps sessions idle
+// longer than -session-ttl.
+//
 // Usage:
 //
 //	qbfd [flags]
@@ -52,6 +62,8 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "grace for in-flight solves on SIGTERM before they are cancelled")
 	breakerThreshold := flag.Int("breaker-threshold", 3, "consecutive contained panics that open a configuration's circuit breaker")
 	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "open-breaker cooldown before a half-open probe")
+	maxSessions := flag.Int("max-sessions", 0, "sticky-session cap; beyond it the LRU idle session is evicted (0 = 64)")
+	sessionTTL := flag.Duration("session-ttl", 0, "idle sessions older than this are reaped (0 = 5m)")
 	tracePath := flag.String("trace", "", "write a JSONL event trace to FILE (summarize with `qbfstat trace FILE`)")
 	metricsAddr := flag.String("metrics-addr", "", "serve expvar event counters and pprof on ADDR (e.g. localhost:6060)")
 	profile := flag.String("profile", "", "capture CPU and heap profiles to PREFIX.cpu.pprof / PREFIX.heap.pprof")
@@ -78,7 +90,9 @@ func main() {
 			Threshold: *breakerThreshold,
 			Cooldown:  *breakerCooldown,
 		},
-		Tracer: obs.Tracer,
+		MaxSessions: *maxSessions,
+		SessionTTL:  *sessionTTL,
+		Tracer:      obs.Tracer,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -323,3 +323,40 @@ func TestDaemonStartupFailure(t *testing.T) {
 		t.Fatalf("err=%v stderr=%q, want exit 1 with a qbfd: message", err, errb.String())
 	}
 }
+
+// TestDaemonSessions drives a sticky session end to end through the real
+// binary with the client handle: open, incremental solves across a
+// push/add/pop round trip, close, and a clean drain afterwards.
+func TestDaemonSessions(t *testing.T) {
+	d := startDaemon(t, "-workers", "1", "-max-sessions", "4", "-session-ttl", "1m")
+	c := client.New(d.addr, nil, client.Policy{})
+	ctx := context.Background()
+
+	sess, out, err := c.OpenSession(ctx, server.SessionRequest{
+		Formula: "p cnf 2 2\ne 1 2 0\n1 0\n-2 0\n"})
+	if err != nil || sess == nil {
+		t.Fatalf("open: %v (out %+v)", err, out)
+	}
+	out, err = sess.Solve(ctx, nil, false)
+	if err != nil || out.Resp.Verdict != "TRUE" {
+		t.Fatalf("solve 1: %v %+v", err, out)
+	}
+	out, err = sess.Solve(ctx, []server.SessionOp{{Op: "push"}, {Op: "add", Lits: []int{-1}}}, false)
+	if err != nil || out.Resp.Verdict != "FALSE" || out.Resp.Depth != 1 {
+		t.Fatalf("solve 2: %v %+v", err, out)
+	}
+	out, err = sess.Solve(ctx, []server.SessionOp{{Op: "pop"}}, false)
+	if err != nil || out.Resp.Verdict != "TRUE" || out.Resp.Depth != 0 {
+		t.Fatalf("solve 3: %v %+v", err, out)
+	}
+	if out, err = sess.Close(ctx); err != nil || out.Status != http.StatusOK {
+		t.Fatalf("close: %v %+v", err, out)
+	}
+
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := d.wait(t); code != 0 {
+		t.Fatalf("exit %d after clean drain, want 0\nstderr: %s", code, d.stderrText())
+	}
+}

@@ -18,6 +18,12 @@ type analysis struct {
 	lits      []qbf.Lit
 	force     qbf.Lit
 	blevel    int
+	// frame is the deepest assumption frame the derivation resolved with:
+	// the maximum frame tag over the seed constraint and every reason
+	// constraint entering the Q-resolution. 0 outside incremental sessions
+	// and always 0 on the solution side (cubes survive pops; see
+	// addLearned).
+	frame int
 }
 
 // workSet is a sparse literal set keyed by variable — the working
@@ -140,19 +146,24 @@ func (s *Solver) analyzeConflict(ci int) analysis {
 	}
 	s.universalReduceSet(w)
 	s.ar.bumpActivity(ci)
+	frame := s.ar.frame(ci)
 
 	tried := make(map[qbf.Var]bool)
 	for {
 		if a, done := s.clauseVerdict(w); done {
+			a.frame = frame
 			return a
 		}
 		pivot, ok := s.pickClausePivot(w, tried)
 		if !ok {
-			return analysis{lits: w.slice()} // non-asserting resolvent
+			return analysis{lits: w.slice(), frame: frame} // non-asserting resolvent
 		}
 		v := pivot.Var()
 		rc := s.reasonC[v]
 		s.ar.bumpActivity(rc)
+		if f := s.ar.frame(rc); f > frame {
+			frame = f
+		}
 		w.del(v)
 		for k, n := 0, s.ar.size(rc); k < n; k++ {
 			m := s.ar.lit(rc, k)
@@ -326,57 +337,73 @@ func (s *Solver) analyzeSolution(ci int) analysis {
 // assigned at the outermost level.
 func (s *Solver) coverCube(w *workSet) {
 	for ci := 0; ci < s.origEnd; ci = s.ar.next(ci) {
-		covered := false
-		var best qbf.Lit
-		bestKey := [3]int{3, 2, int(^uint(0) >> 1)} // (class, pure, dlevel); lower wins
-		for k, n := 0, s.ar.size(ci); k < n; k++ {
-			l := s.ar.lit(ci, k)
-			if s.litValue(l) != vTrue {
-				continue
-			}
-			if w.get(l.Var()) == l {
-				covered = true
-				break
-			}
-			// Preference classes: statically reducible existentials never
-			// survive the reduction; other existentials may be deleted by
-			// the set-level reduction; universal literals never are.
-			// Within a class, avoid pure-assigned literals — their
-			// decision level is an artifact of when purity was detected,
-			// often far deeper than the variable's prefix position, and
-			// it poisons the backjump level of the learned good.
-			class := 1
-			if s.eReducible[l.Var()] {
-				class = 0
-			} else if s.quant[l.Var()] == qbf.Forall {
-				class = 2
-			}
-			pure := 0
-			if s.reason[l.Var()] == reasonPure {
-				pure = 1
-			}
-			key := [3]int{class, pure, s.dlevel[l.Var()]}
-			if key[0] < bestKey[0] ||
-				(key[0] == bestKey[0] && (key[1] < bestKey[1] ||
-					(key[1] == bestKey[1] && key[2] < bestKey[2]))) {
-				best, bestKey = l, key
-			}
-		}
-		if covered {
-			continue
-		}
-		if best == qbf.NoLit {
-			invariant.Violated("core: coverCube called with an unsatisfied original clause")
-		}
-		if s.eReducible[best.Var()] {
-			// Adding best and then existential-reducing would delete it
-			// again (no universal can follow it), so skip the insertion;
-			// the resulting set equals the reduction of a genuine cover
-			// and is therefore a sound good.
-			continue
-		}
-		w.add(best)
+		s.coverClause(w, ci)
 	}
+	// Incremental sessions keep runtime-added original clauses above
+	// origEnd, interleaved with learned constraints; the cover must span
+	// them too — a cube is an implicant of the whole current matrix. The
+	// maintained list reaches them without walking the learned region.
+	for _, ci := range s.runtimeOrig {
+		s.coverClause(w, ci)
+	}
+}
+
+// coverClause extends the cover w to the original clause ci, choosing the
+// best true literal by the (class, pure, dlevel) key.
+func (s *Solver) coverClause(w *workSet, ci int) {
+	if s.ar.learned(ci) || s.ar.deleted(ci) {
+		return
+	}
+	covered := false
+	var best qbf.Lit
+	bestKey := [3]int{3, 2, int(^uint(0) >> 1)} // (class, pure, dlevel); lower wins
+	for k, n := 0, s.ar.size(ci); k < n; k++ {
+		l := s.ar.lit(ci, k)
+		if s.litValue(l) != vTrue {
+			continue
+		}
+		if w.get(l.Var()) == l {
+			covered = true
+			break
+		}
+		// Preference classes: statically reducible existentials never
+		// survive the reduction; other existentials may be deleted by
+		// the set-level reduction; universal literals never are.
+		// Within a class, avoid pure-assigned literals — their
+		// decision level is an artifact of when purity was detected,
+		// often far deeper than the variable's prefix position, and
+		// it poisons the backjump level of the learned good.
+		class := 1
+		if s.eReducible[l.Var()] {
+			class = 0
+		} else if s.quant[l.Var()] == qbf.Forall {
+			class = 2
+		}
+		pure := 0
+		if s.reason[l.Var()] == reasonPure {
+			pure = 1
+		}
+		key := [3]int{class, pure, s.dlevel[l.Var()]}
+		if key[0] < bestKey[0] ||
+			(key[0] == bestKey[0] && (key[1] < bestKey[1] ||
+				(key[1] == bestKey[1] && key[2] < bestKey[2]))) {
+			best, bestKey = l, key
+		}
+	}
+	if covered {
+		return
+	}
+	if best == qbf.NoLit {
+		invariant.Violated("core: coverCube called with an unsatisfied original clause")
+	}
+	if s.eReducible[best.Var()] {
+		// Adding best and then existential-reducing would delete it
+		// again (no universal can follow it), so skip the insertion;
+		// the resulting set equals the reduction of a genuine cover
+		// and is therefore a sound good.
+		return
+	}
+	w.add(best)
 }
 
 // pickCubePivot selects the deepest-on-trail universal literal of w whose
@@ -508,7 +535,7 @@ func (s *Solver) handleConflict(ci int) bool {
 		if a.asserting {
 			s.stats.Backjumps++
 			s.backtrack(a.blevel)
-			id := s.addLearned(a.lits, false)
+			id := s.addLearned(a.lits, false, a.frame)
 			s.assign(a.force, reasonConstraint, id)
 			s.bumpConstraint(a.lits)
 			s.reduceDB(false)
@@ -536,7 +563,7 @@ func (s *Solver) handleSolution(ci int) bool {
 		if a.asserting {
 			s.stats.Backjumps++
 			s.backtrack(a.blevel)
-			id := s.addLearned(a.lits, true)
+			id := s.addLearned(a.lits, true, 0)
 			s.assign(a.force, reasonConstraint, id)
 			s.bumpConstraint(a.lits)
 			s.reduceDB(true)

@@ -19,31 +19,34 @@ import (
 //
 //	word 0   size | flags (isCube, learned, deleted in the top bits)
 //	word 1   activity as float32 bits
-//	word 2   numTrue     — literals currently true
-//	word 3   numFalse    — literals currently false   (counter engine)
-//	word 4   unassignedE — unassigned existentials    (counter engine)
-//	word 5   unassignedU — unassigned universals      (counter engine)
+//	word 2   numTrue — literals currently true
+//	word 3   frame   — deepest assumption frame the constraint depends on
+//	word 4-5 reserved (zero; freed by the counter-engine removal, kept so
+//	         the byte model of the memory governor stays unchanged)
 //
-// numTrue is maintained for original clauses under both propagation engines
-// (it drives the residual-matrix bookkeeping behind pure-literal fixing and
-// the empty-matrix solution test); words 3-5 are maintained only by the
-// counter engine. The watcher engine keeps its state in the literal order
-// instead: positions 0 and 1 of every constraint are its two watched
-// literals (watch.go).
+// numTrue is maintained for original clauses only (it drives the
+// residual-matrix bookkeeping behind pure-literal fixing and the
+// empty-matrix solution test). The propagation engine keeps its state in
+// the literal order instead: positions 0 and 1 of every constraint are its
+// two watched literals (watch.go). frame is 0 outside incremental
+// sessions; within one, an original clause carries the depth of the frame
+// that added it and a learned clause the deepest frame its derivation
+// resolved with, so popping a frame can drop exactly the constraints that
+// cited it (incremental.go).
 //
-// Original clauses form a fixed prefix of the region ([0, Solver.origEnd)):
-// they are never deleted and never move, so their refs are stable for the
-// lifetime of the solver. Learned constraints follow and are compacted in
-// place when enough of them have been deleted; compaction returns an
-// (old ref → new ref) mapping which the solver applies to every ref-holding
-// structure (occurrence lists, watcher lists, trail reasons).
+// Construction-time original clauses form a fixed prefix of the region
+// ([0, Solver.origEnd)): they are never deleted and never move, so their
+// refs are stable for the lifetime of the solver. Learned constraints —
+// and, in incremental sessions, runtime-added originals — follow and are
+// compacted in place when enough of them have been deleted; compaction
+// returns an (old ref → new ref) mapping which the solver applies to every
+// ref-holding structure (occurrence lists, watcher lists, trail reasons,
+// wake queue, frame clause lists).
 const (
 	hdrWords = 6
 	offAct   = 1
 	offTrue  = 2
-	offFalse = 3
-	offUE    = 4
-	offUU    = 5
+	offFrame = 3
 
 	flagCube    = uint32(1) << 31
 	flagLearned = uint32(1) << 30
@@ -113,6 +116,10 @@ func (a *arena) setActivity(ci int, v float64) {
 }
 
 func (a *arena) bumpActivity(ci int) { a.setActivity(ci, a.activity(ci)+1) }
+
+// frame is the assumption-frame tag (see the layout comment above).
+func (a *arena) frame(ci int) int   { return int(a.d[ci+offFrame]) }
+func (a *arena) setFrame(ci, f int) { a.d[ci+offFrame] = uint32(f) }
 
 // del marks ci deleted. The header (and the literal words) remain readable
 // until compactFrom reclaims the space.

@@ -61,6 +61,7 @@ func (s *Solver) deepCheck() {
 	s.checkConstraintCounters()
 	s.checkMatrixBookkeeping()
 	s.checkWatchInvariants()
+	s.checkFrames()
 }
 
 func (s *Solver) checkTrail() {
@@ -161,43 +162,24 @@ func (s *Solver) checkBlockBookkeeping() {
 }
 
 func (s *Solver) checkConstraintCounters() {
-	// The counter engine maintains all four counters on every constraint;
-	// the watcher engine maintains only numTrue, and only on original
-	// clauses (the residual-matrix bookkeeping behind pure literals).
-	end := s.ar.end()
-	if s.opt.Propagation != PropCounters {
-		end = s.origEnd
-	}
-	for ci := 0; ci < end; ci = s.ar.next(ci) {
-		if s.ar.deleted(ci) {
+	// numTrue is maintained on original clauses only — the residual-matrix
+	// bookkeeping behind pure-literal fixing. In incremental sessions the
+	// originals added at runtime live past origEnd with the learned flag
+	// off and are held to the same invariant; learned constraints carry no
+	// counters at all.
+	for ci := 0; ci < s.ar.end(); ci = s.ar.next(ci) {
+		if s.ar.deleted(ci) || s.ar.learned(ci) {
 			continue
 		}
-		nt, nf, ue, uu := 0, 0, 0, 0
+		nt := 0
 		for k, n := 0, s.ar.size(ci); k < n; k++ {
-			switch s.litValue(s.ar.lit(ci, k)) {
-			case vTrue:
+			if s.litValue(s.ar.lit(ci, k)) == vTrue {
 				nt++
-			case vFalse:
-				nf++
-			default:
-				if s.quant[s.ar.lit(ci, k).Var()] == qbf.Exists {
-					ue++
-				} else {
-					uu++
-				}
 			}
 		}
-		d := s.ar.d
-		if s.opt.Propagation != PropCounters {
-			invariant.Check(nt == int(d[ci+offTrue]),
-				"core: constraint %d counters stale: cached true=%d, recomputed %d",
-				ci, d[ci+offTrue], nt)
-			continue
-		}
-		invariant.Check(nt == int(d[ci+offTrue]) && nf == int(d[ci+offFalse]) &&
-			ue == int(d[ci+offUE]) && uu == int(d[ci+offUU]),
-			"core: constraint %d counters stale: cached (true=%d false=%d uE=%d uU=%d), recomputed (%d %d %d %d)",
-			ci, d[ci+offTrue], d[ci+offFalse], d[ci+offUE], d[ci+offUU], nt, nf, ue, uu)
+		invariant.Check(nt == int(s.ar.d[ci+offTrue]),
+			"core: constraint %d counters stale: cached true=%d, recomputed %d",
+			ci, s.ar.d[ci+offTrue], nt)
 	}
 }
 
@@ -223,9 +205,6 @@ func (s *Solver) checkConstraintCounters() {
 // a deep assignment can legitimately hold watches with no undef
 // existential (its events are optional pruning, not soundness).
 func (s *Solver) checkWatchInvariants() {
-	if s.opt.Propagation == PropCounters {
-		return
-	}
 	// Census: total registrations per live ref across both tables (stale
 	// entries for deleted refs are permitted — they are purged lazily).
 	total := make(map[int32]int)
@@ -344,7 +323,10 @@ func (s *Solver) checkWatchInvariants() {
 func (s *Solver) checkMatrixBookkeeping() {
 	unsat := 0
 	active := make([]int, len(s.activeOcc))
-	for ci := 0; ci < s.origEnd; ci = s.ar.next(ci) {
+	for ci := 0; ci < s.ar.end(); ci = s.ar.next(ci) {
+		if s.ar.deleted(ci) || s.ar.learned(ci) {
+			continue
+		}
 		n := s.ar.size(ci)
 		satisfied := false
 		for k := 0; k < n; k++ {
@@ -366,6 +348,44 @@ func (s *Solver) checkMatrixBookkeeping() {
 	for i := range active {
 		invariant.Check(active[i] == s.activeOcc[i],
 			"core: activeOcc[%d]=%d, recomputed %d", i, s.activeOcc[i], active[i])
+	}
+}
+
+// checkFrames validates the incremental-session bookkeeping: frame marks
+// are monotone positions into the (level-0 prefix of the) trail, every
+// clause a frame tracks is a live runtime original carrying that frame's
+// depth as its tag, learned tags are bounded by the live frame count, and
+// learned cubes — implicants of the current matrix, invalidated by any
+// matrix growth — always carry tag 0.
+func (s *Solver) checkFrames() {
+	invariant.Check(s.falseFrom >= -1 && s.falseFrom <= len(s.frames),
+		"core: falseFrom=%d with %d frames", s.falseFrom, len(s.frames))
+	prev := 0
+	for fi := range s.frames {
+		f := &s.frames[fi]
+		depth := fi + 1
+		invariant.Check(f.mark >= prev && f.mark <= len(s.trail),
+			"core: frame %d mark %d outside [%d,%d]", depth, f.mark, prev, len(s.trail))
+		prev = f.mark
+		for _, ci := range f.clauses {
+			invariant.Check(ci >= s.origEnd && ci < s.ar.end(),
+				"core: frame %d tracks ref %d outside the runtime region", depth, ci)
+			invariant.Check(!s.ar.deleted(ci) && !s.ar.learned(ci) && !s.ar.isCube(ci),
+				"core: frame %d tracks ref %d that is not a live original clause", depth, ci)
+			invariant.Check(s.ar.frame(ci) == depth,
+				"core: frame %d tracks ref %d tagged %d", depth, ci, s.ar.frame(ci))
+		}
+	}
+	for ci := s.origEnd; ci < s.ar.end(); ci = s.ar.next(ci) {
+		if s.ar.deleted(ci) {
+			continue
+		}
+		tag := s.ar.frame(ci)
+		invariant.Check(tag >= 0 && tag <= len(s.frames),
+			"core: constraint %d tagged frame %d with %d frames live", ci, tag, len(s.frames))
+		if s.ar.isCube(ci) {
+			invariant.Check(tag == 0, "core: learned cube %d carries frame tag %d", ci, tag)
+		}
 	}
 }
 

@@ -9,10 +9,9 @@ import (
 	"repro/internal/qbf"
 )
 
-// This file is the cross-engine differential net guarding the
-// watched-literal propagation engine: every instance is solved by both the
-// watcher engine (the default) and the retained occurrence-counter engine,
-// and any verdict disagreement — between the engines or against the
+// This file is the differential net guarding the watched-literal
+// propagation engine: every instance is solved under a rotation of option
+// combos, and any verdict disagreement — between the combos or against the
 // exponential semantic oracle — is a failure. The pool mixes random
 // quantifier trees, random prenex instances, wide trees, deep-alternation
 // instances, and adversarial fixed formulas (pigeonhole instances that
@@ -20,47 +19,38 @@ import (
 // runs the suite under -race and under -tags qbfdebug, where every solve
 // additionally recomputes the watcher invariants at each fixpoint.
 
-// bothEngines returns opt specialized to the watcher and counter engines.
-func bothEngines(opt Options) [2]Options {
-	w, c := opt, opt
-	w.Propagation = PropWatched
-	c.Propagation = PropCounters
-	return [2]Options{w, c}
-}
-
-// crossEngineSolve solves q under opt with both engines, fails the test on
-// any disagreement (engine vs engine, or engine vs oracle when the oracle
-// verdict is known), and returns the agreed verdict.
-func crossEngineSolve(t *testing.T, q *qbf.QBF, opt Options, oracle Verdict, label string) {
+// differentialSolve solves q under every combo, fails the test on any
+// disagreement (combo vs combo, or combo vs oracle when the oracle verdict
+// is known).
+func differentialSolve(t *testing.T, q *qbf.QBF, combos []Options, oracle Verdict, label string) {
 	t.Helper()
-	engines := bothEngines(opt)
-	var got [2]Verdict
-	for i, eo := range engines {
-		r, err := Solve(context.Background(), q, eo)
+	agreed := Unknown
+	for ci, opt := range combos {
+		r, err := Solve(context.Background(), q, opt)
 		if err != nil {
-			t.Fatalf("%s: engine=%v: %v\nQBF: %v", label, eo.Propagation, err, q)
+			t.Fatalf("%s: combo=%d: %v\nQBF: %v", label, ci, err, q)
 		}
 		if r.Verdict == Unknown {
-			t.Fatalf("%s: engine=%v returned Unknown (stop=%v)\nQBF: %v",
-				label, eo.Propagation, r.Stats.StopReason, q)
+			t.Fatalf("%s: combo=%d returned Unknown (stop=%v)\nQBF: %v",
+				label, ci, r.Stats.StopReason, q)
 		}
-		got[i] = r.Verdict
+		if agreed != Unknown && r.Verdict != agreed {
+			t.Fatalf("%s: COMBO DISAGREEMENT: combo %d says %v, earlier combos said %v\nopts=%+v\nQBF: %v",
+				label, ci, r.Verdict, agreed, opt, q)
+		}
+		agreed = r.Verdict
 	}
-	if got[0] != got[1] {
-		t.Fatalf("%s: ENGINE DISAGREEMENT: watched=%v counters=%v\nopts=%+v\nQBF: %v",
-			label, got[0], got[1], opt, q)
-	}
-	if oracle != Unknown && got[0] != oracle {
-		t.Fatalf("%s: both engines say %v but the oracle says %v\nopts=%+v\nQBF: %v",
-			label, got[0], oracle, opt, q)
+	if oracle != Unknown && agreed != oracle {
+		t.Fatalf("%s: every combo says %v but the oracle says %v\nQBF: %v",
+			label, agreed, oracle, q)
 	}
 }
 
-// engineComboOptions is the option rotation of the differential suite. The
+// comboOptions is the option rotation of the differential suite. The
 // MaxLearned: 4 combo keeps the learned databases tiny so every few
 // conflicts trigger a reduction round — and with it arena deletion,
-// compaction, and ref rebinding on both engines.
-func engineComboOptions(mode Mode) []Options {
+// compaction, and ref rebinding.
+func comboOptions(mode Mode) []Options {
 	return []Options{
 		{Mode: mode, CheckInvariants: true},
 		{Mode: mode, MaxLearned: 4, CheckInvariants: true},
@@ -71,7 +61,7 @@ func engineComboOptions(mode Mode) []Options {
 func oracleVerdict(q *qbf.QBF) Verdict {
 	want, ok := qbf.EvalWithBudget(q, 2_000_000)
 	if !ok {
-		return Unknown // cross-engine comparison still applies
+		return Unknown // combo cross-comparison still applies
 	}
 	if want {
 		return True
@@ -79,8 +69,8 @@ func oracleVerdict(q *qbf.QBF) Verdict {
 	return False
 }
 
-// TestCrossEngineRandomTrees: random scope-consistent non-prenex trees.
-func TestCrossEngineRandomTrees(t *testing.T) {
+// TestComboAgreementRandomTrees: random scope-consistent non-prenex trees.
+func TestComboAgreementRandomTrees(t *testing.T) {
 	rng := rand.New(rand.NewSource(811))
 	n := 100
 	if testing.Short() {
@@ -88,15 +78,12 @@ func TestCrossEngineRandomTrees(t *testing.T) {
 	}
 	for i := 0; i < n; i++ {
 		q := qbf.RandomQBF(rng, 12, 14)
-		oracle := oracleVerdict(q)
-		for _, opt := range engineComboOptions(ModePartialOrder) {
-			crossEngineSolve(t, q, opt, oracle, fmt.Sprintf("tree %d", i))
-		}
+		differentialSolve(t, q, comboOptions(ModePartialOrder), oracleVerdict(q), fmt.Sprintf("tree %d", i))
 	}
 }
 
-// TestCrossEngineRandomPrenex: prenex instances in both branching modes.
-func TestCrossEngineRandomPrenex(t *testing.T) {
+// TestComboAgreementRandomPrenex: prenex instances in both branching modes.
+func TestComboAgreementRandomPrenex(t *testing.T) {
 	rng := rand.New(rand.NewSource(813))
 	n := 80
 	if testing.Short() {
@@ -104,20 +91,17 @@ func TestCrossEngineRandomPrenex(t *testing.T) {
 	}
 	for i := 0; i < n; i++ {
 		q := randomPrenexQBF(rng, 10, 18, 4)
-		oracle := oracleVerdict(q)
 		mode := ModePartialOrder
 		if i%2 == 1 {
 			mode = ModeTotalOrder
 		}
-		for _, opt := range engineComboOptions(mode) {
-			crossEngineSolve(t, q, opt, oracle, fmt.Sprintf("prenex %d", i))
-		}
+		differentialSolve(t, q, comboOptions(mode), oracleVerdict(q), fmt.Sprintf("prenex %d", i))
 	}
 }
 
-// TestCrossEngineWideTrees: many sibling ∀∃ branches — the shape where
+// TestComboAgreementWideTrees: many sibling ∀∃ branches — the shape where
 // partial-order branching and cube learning interact the most.
-func TestCrossEngineWideTrees(t *testing.T) {
+func TestComboAgreementWideTrees(t *testing.T) {
 	rng := rand.New(rand.NewSource(817))
 	n := 40
 	if testing.Short() {
@@ -125,16 +109,13 @@ func TestCrossEngineWideTrees(t *testing.T) {
 	}
 	for i := 0; i < n; i++ {
 		q := randomWideTree(rng)
-		oracle := oracleVerdict(q)
-		for _, opt := range engineComboOptions(ModePartialOrder) {
-			crossEngineSolve(t, q, opt, oracle, fmt.Sprintf("wide %d", i))
-		}
+		differentialSolve(t, q, comboOptions(ModePartialOrder), oracleVerdict(q), fmt.Sprintf("wide %d", i))
 	}
 }
 
-// TestCrossEngineDeepAlternation: up to 8 alternating blocks, stressing
+// TestComboAgreementDeepAlternation: up to 8 alternating blocks, stressing
 // the quantifier-aware watch ranking (≺-deepest selection) hardest.
-func TestCrossEngineDeepAlternation(t *testing.T) {
+func TestComboAgreementDeepAlternation(t *testing.T) {
 	rng := rand.New(rand.NewSource(819))
 	n := 30
 	if testing.Short() {
@@ -142,26 +123,22 @@ func TestCrossEngineDeepAlternation(t *testing.T) {
 	}
 	for i := 0; i < n; i++ {
 		q := randomPrenexQBF(rng, 12, 20, 8)
-		oracle := oracleVerdict(q)
-		for _, opt := range engineComboOptions(ModePartialOrder) {
-			crossEngineSolve(t, q, opt, oracle, fmt.Sprintf("alt %d", i))
-		}
+		differentialSolve(t, q, comboOptions(ModePartialOrder), oracleVerdict(q), fmt.Sprintf("alt %d", i))
 	}
 }
 
-// TestCrossEngineAdversarial: fixed formulas chosen to be propagation- and
+// TestComboAgreementAdversarial: fixed formulas chosen to be propagation- and
 // learning-bound. The pigeonhole instances are FALSE, resolution-hard, and
-// drive thousands of conflicts through learning, reduction, and compaction;
-// the all-universal dual is decided almost purely by propagation.
-func TestCrossEngineAdversarial(t *testing.T) {
+// drive thousands of conflicts through learning, reduction, and compaction.
+func TestComboAgreementAdversarial(t *testing.T) {
 	cases := []struct {
 		name   string
 		q      *qbf.QBF
 		want   Verdict
 		combos []Options
 	}{
-		{"php4", phpFormula(4), False, engineComboOptions(ModePartialOrder)},
-		{"php5", phpFormula(5), False, engineComboOptions(ModePartialOrder)},
+		{"php4", phpFormula(4), False, comboOptions(ModePartialOrder)},
+		{"php5", phpFormula(5), False, comboOptions(ModePartialOrder)},
 		{"php6", phpFormula(6), False, []Options{
 			{Mode: ModePartialOrder, CheckInvariants: true},
 			{Mode: ModePartialOrder, MaxLearned: 16, CheckInvariants: true},
@@ -172,7 +149,7 @@ func TestCrossEngineAdversarial(t *testing.T) {
 	}
 	for _, tc := range cases {
 		for _, opt := range tc.combos {
-			crossEngineSolve(t, tc.q, opt, tc.want, tc.name)
+			differentialSolve(t, tc.q, []Options{opt}, tc.want, tc.name)
 		}
 	}
 }

@@ -1,17 +1,17 @@
 package core_test
 
-// Cross-engine differential over the fixed portfolio suite. The random
-// trees and pigeonhole formulas of the in-package differential layer never
-// produced the shape that broke the first watcher implementation: a clause
-// whose only existential sits behind several universals of the same
-// prenex block (randqbf.Fixed(5), a prenexed diameter instance). There the
-// repair step parked both watches on true universals; backtracking past
-// the satisfier revived the falsified existential with no watch covering
-// it, and its next falsification was a silent conflict — caught as a
-// watcher-invariant panic under qbfdebug, and a potential wrong verdict
-// without it. This suite pins those instances for both engines, straight
-// and through the node-budget slice-resume path the portfolio scheduler
-// uses. It lives in package core_test because randqbf imports core.
+// Differential over the fixed portfolio suite. The random trees and
+// pigeonhole formulas of the in-package differential layer never produced
+// the shape that broke the first watcher implementation: a clause whose
+// only existential sits behind several universals of the same prenex block
+// (randqbf.Fixed(5), a prenexed diameter instance). There the repair step
+// parked both watches on true universals; backtracking past the satisfier
+// revived the falsified existential with no watch covering it, and its
+// next falsification was a silent conflict — caught as a watcher-invariant
+// panic under qbfdebug, and a potential wrong verdict without it. This
+// suite pins those instances across option combos, straight and through
+// the node-budget slice-resume path the portfolio scheduler uses. It lives
+// in package core_test because randqbf imports core.
 
 import (
 	"context"
@@ -21,7 +21,7 @@ import (
 	"repro/internal/randqbf"
 )
 
-func TestCrossEngineFixedSuite(t *testing.T) {
+func TestFixedSuiteDifferential(t *testing.T) {
 	n := 12
 	if testing.Short() {
 		n = 6
@@ -29,79 +29,78 @@ func TestCrossEngineFixedSuite(t *testing.T) {
 	combos := []core.Options{
 		{Mode: core.ModePartialOrder},
 		{Mode: core.ModePartialOrder, DisableCubeLearning: true},
+		{Mode: core.ModePartialOrder, MaxLearned: 16},
 		{Mode: core.ModeTotalOrder},
 	}
 	for i, q := range randqbf.FixedSuite(n) {
 		want := core.Unknown
-		for ci, base := range combos {
-			if base.DisableCubeLearning && i >= 6 {
+		for ci, opt := range combos {
+			if opt.DisableCubeLearning && i >= 6 {
 				// Without cube learning some of the later TRUE instances
-				// need hours under either engine; the regression trigger
-				// (Fixed(5), po-nocube) sits inside the kept range.
+				// need hours; the regression trigger (Fixed(5), po-nocube)
+				// sits inside the kept range.
 				continue
 			}
-			for _, engine := range []core.Propagation{core.PropWatched, core.PropCounters} {
-				opt := base
-				opt.Propagation = engine
-				opt.CheckInvariants = true
-				res, err := core.Solve(context.Background(), q, opt)
-				if err != nil {
-					t.Fatalf("instance %d combo %d engine %v: %v", i, ci, engine, err)
-				}
-				if res.Verdict == core.Unknown {
-					t.Fatalf("instance %d combo %d engine %v: Unknown (stop %v)",
-						i, ci, engine, res.Stats.StopReason)
-				}
-				if want == core.Unknown {
-					want = res.Verdict
-				} else if res.Verdict != want {
-					t.Fatalf("instance %d combo %d engine %v: verdict %v, siblings said %v",
-						i, ci, engine, res.Verdict, want)
-				}
+			opt.CheckInvariants = true
+			res, err := core.Solve(context.Background(), q, opt)
+			if err != nil {
+				t.Fatalf("instance %d combo %d: %v", i, ci, err)
+			}
+			if res.Verdict == core.Unknown {
+				t.Fatalf("instance %d combo %d: Unknown (stop %v)",
+					i, ci, res.Stats.StopReason)
+			}
+			if want == core.Unknown {
+				want = res.Verdict
+			} else if res.Verdict != want {
+				t.Fatalf("instance %d combo %d: verdict %v, siblings said %v",
+					i, ci, res.Verdict, want)
 			}
 		}
 	}
 	// No semantic-oracle pass here: EvalWithBudget burns minutes per
-	// 100+-variable instance, and the six configurations above already
+	// 100+-variable instance, and the configurations above already
 	// cross-check each other; the random-instance differential suites keep
 	// the oracle on formulas small enough to evaluate.
 }
 
-// TestCrossEngineFixedSliceResume replays the portfolio scheduler's
-// suspend/resume shape — solve in 64-decision slices, raising the node
-// budget between calls — per engine on the fixed suite. The watcher tables
-// must survive arbitrarily many suspensions at quiescent fixpoints.
-func TestCrossEngineFixedSliceResume(t *testing.T) {
+// TestFixedSliceResume replays the portfolio scheduler's suspend/resume
+// shape — solve in 64-decision slices, raising the node budget between
+// calls — on the fixed suite, and cross-checks the sliced verdict against
+// a straight solve. The watcher tables must survive arbitrarily many
+// suspensions at quiescent fixpoints.
+func TestFixedSliceResume(t *testing.T) {
 	n := 6
 	if testing.Short() {
 		n = 3
 	}
 	for i, q := range randqbf.FixedSuite(n) {
-		want := core.Unknown
-		for _, engine := range []core.Propagation{core.PropWatched, core.PropCounters} {
-			s, err := core.NewSolver(q, core.Options{
-				Mode:                core.ModePartialOrder,
-				Propagation:         engine,
-				DisableCubeLearning: i%2 == 1,
-				CheckInvariants:     true,
-			})
-			if err != nil {
-				t.Fatalf("instance %d engine %v: %v", i, engine, err)
-			}
-			v := core.Unknown
-			for slice := 1; slice <= 4096 && v == core.Unknown; slice++ {
-				s.SetNodeLimit(int64(slice) * 64)
-				v = s.Solve(context.Background())
-			}
-			if v == core.Unknown {
-				t.Fatalf("instance %d engine %v: still Unknown after 4096 slices", i, engine)
-			}
-			if want == core.Unknown {
-				want = v
-			} else if v != want {
-				t.Fatalf("instance %d engine %v: sliced verdict %v, sibling said %v",
-					i, engine, v, want)
-			}
+		res, err := core.Solve(context.Background(), q, core.Options{
+			Mode:                core.ModePartialOrder,
+			DisableCubeLearning: i%2 == 1,
+			CheckInvariants:     true,
+		})
+		if err != nil || res.Verdict == core.Unknown {
+			t.Fatalf("instance %d straight solve: verdict %v err %v", i, res.Verdict, err)
+		}
+		s, err := core.NewSolver(q, core.Options{
+			Mode:                core.ModePartialOrder,
+			DisableCubeLearning: i%2 == 1,
+			CheckInvariants:     true,
+		})
+		if err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+		v := core.Unknown
+		for slice := 1; slice <= 4096 && v == core.Unknown; slice++ {
+			s.SetNodeLimit(int64(slice) * 64)
+			v = s.Solve(context.Background())
+		}
+		if v == core.Unknown {
+			t.Fatalf("instance %d: still Unknown after 4096 slices", i)
+		}
+		if v != res.Verdict {
+			t.Fatalf("instance %d: sliced verdict %v, straight solve said %v", i, v, res.Verdict)
 		}
 	}
 }

@@ -1,0 +1,422 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/qbf"
+)
+
+// Metamorphic suite for the incremental session lifecycle. The session
+// contract is: after any sequence of Push/Pop/AddClause/Assume, Solve must
+// return the verdict of the formula "base matrix ∧ every clause added at a
+// currently open depth" under the session's fixed prefix. Each random
+// script checks that relation at every Solve step against a fresh
+// from-scratch solver over the equivalent formula — and, when the formula
+// is small enough to evaluate, against the exponential semantic oracle.
+// scripts/check.sh runs this file under -race and under -tags qbfdebug,
+// where every fixpoint additionally recomputes the frame invariants
+// (deepcheck checkFrames).
+
+// scriptState tracks the clauses the session ought to be equivalent to:
+// one clause set per open depth (index 0 = permanent adds).
+type scriptState struct {
+	base   *qbf.QBF
+	stack  [][]qbf.Clause
+	bound  []qbf.Var // variables usable in added clauses
+	solves int
+}
+
+func newScriptState(q *qbf.QBF) *scriptState {
+	st := &scriptState{base: q, stack: make([][]qbf.Clause, 1)}
+	for _, b := range q.Prefix.Blocks() {
+		st.bound = append(st.bound, b.Vars...)
+	}
+	return st
+}
+
+// equivalent materializes the formula the session should currently be
+// solving.
+func (st *scriptState) equivalent() *qbf.QBF {
+	fq := st.base.Clone()
+	for _, fr := range st.stack {
+		for _, c := range fr {
+			fq.Matrix = append(fq.Matrix, append(qbf.Clause(nil), c...))
+		}
+	}
+	return fq
+}
+
+// randomClause draws a scope-consistent clause over the bound variables —
+// AddClause (like NewSolver) rejects clauses whose blocks do not form a
+// chain of the quantifier tree, so candidates are filtered through
+// ClauseBlock; a single-literal clause is always consistent and serves as
+// the fallback.
+func (st *scriptState) randomClause(rng *rand.Rand) qbf.Clause {
+	for attempt := 0; attempt < 16; attempt++ {
+		k := 1 + rng.Intn(3)
+		seen := map[qbf.Var]bool{}
+		var c qbf.Clause
+		for j := 0; j < k; j++ {
+			v := st.bound[rng.Intn(len(st.bound))]
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			l := v.PosLit()
+			if rng.Intn(2) == 0 {
+				l = v.NegLit()
+			}
+			c = append(c, l)
+		}
+		if _, err := st.base.ClauseBlock(c); err == nil {
+			return c
+		}
+	}
+	v := st.bound[rng.Intn(len(st.bound))]
+	if rng.Intn(2) == 0 {
+		return qbf.Clause{v.NegLit()}
+	}
+	return qbf.Clause{v.PosLit()}
+}
+
+// checkSolve runs the session Solve and the from-scratch reference solve
+// of the equivalent formula and fails on any divergence. Solving twice
+// exercises the verdict cache; the oracle (when affordable) pins both
+// against ground truth.
+func (st *scriptState) checkSolve(t *testing.T, s *Solver, opt Options, label string) {
+	t.Helper()
+	st.solves++
+	got := s.Solve(context.Background())
+	if got == Unknown {
+		t.Fatalf("%s: session Solve returned Unknown (stop=%v)", label, s.Stats().StopReason)
+	}
+	if again := s.Solve(context.Background()); again != got {
+		t.Fatalf("%s: repeated Solve flipped %v -> %v", label, got, again)
+	}
+	fq := st.equivalent()
+	ref, err := Solve(context.Background(), fq, Options{Mode: opt.Mode, CheckInvariants: opt.CheckInvariants})
+	if err != nil {
+		t.Fatalf("%s: reference solve: %v\nQBF: %v", label, err, fq)
+	}
+	if ref.Verdict != got {
+		t.Fatalf("%s: session says %v, fresh solve of the equivalent formula says %v\nQBF: %v",
+			label, got, ref.Verdict, fq)
+	}
+	if want, ok := qbf.EvalWithBudget(fq, 500_000); ok {
+		oracle := False
+		if want {
+			oracle = True
+		}
+		if got != oracle {
+			t.Fatalf("%s: session says %v, oracle says %v\nQBF: %v", label, got, oracle, fq)
+		}
+	}
+}
+
+// runScript drives one random frame script against one base formula.
+func runScript(t *testing.T, rng *rand.Rand, q *qbf.QBF, opt Options, ops int, label string) {
+	t.Helper()
+	opt.Incremental = true
+	s, err := NewSolver(q, opt)
+	if err != nil {
+		t.Fatalf("%s: NewSolver: %v", label, err)
+	}
+	st := newScriptState(q)
+	st.checkSolve(t, s, opt, label+" initial")
+	for op := 0; op < ops; op++ {
+		olabel := fmt.Sprintf("%s op %d", label, op)
+		switch r := rng.Intn(10); {
+		case r < 3: // push
+			d, err := s.Push()
+			if err != nil || d != len(st.stack) {
+				t.Fatalf("%s: Push depth=%d err=%v, want depth %d", olabel, d, err, len(st.stack))
+			}
+			st.stack = append(st.stack, nil)
+		case r < 5: // pop (or no-op at depth 0)
+			if len(st.stack) == 1 {
+				if _, err := s.Pop(); !errors.Is(err, ErrNoFrame) {
+					t.Fatalf("%s: Pop at depth 0: err=%v, want ErrNoFrame", olabel, err)
+				}
+				continue
+			}
+			d, err := s.Pop()
+			if err != nil || d != len(st.stack)-2 {
+				t.Fatalf("%s: Pop depth=%d err=%v, want depth %d", olabel, d, err, len(st.stack)-2)
+			}
+			st.stack = st.stack[:len(st.stack)-1]
+		case r < 8: // add a random clause
+			c := st.randomClause(rng)
+			if err := s.AddClause(c); err != nil {
+				t.Fatalf("%s: AddClause(%v): %v", olabel, c, err)
+			}
+			top := len(st.stack) - 1
+			st.stack[top] = append(st.stack[top], c)
+		default: // assume a random literal
+			c := st.randomClause(rng)[:1]
+			if err := s.Assume(c[0]); err != nil {
+				t.Fatalf("%s: Assume(%v): %v", olabel, c[0], err)
+			}
+			top := len(st.stack) - 1
+			st.stack[top] = append(st.stack[top], c)
+		}
+		st.checkSolve(t, s, opt, olabel)
+	}
+}
+
+// TestIncrementalMetamorphicTrees: random non-prenex trees under random
+// frame scripts.
+func TestIncrementalMetamorphicTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(911))
+	n, ops := 40, 14
+	if testing.Short() {
+		n, ops = 12, 10
+	}
+	for i := 0; i < n; i++ {
+		q := qbf.RandomQBF(rng, 10, 12)
+		runScript(t, rng, q, Options{Mode: ModePartialOrder, CheckInvariants: true}, ops, fmt.Sprintf("tree %d", i))
+	}
+}
+
+// TestIncrementalMetamorphicPrenex: prenex instances, both branching modes,
+// plus the tiny-MaxLearned combo so frame drops race DB reduction and
+// arena compaction.
+func TestIncrementalMetamorphicPrenex(t *testing.T) {
+	rng := rand.New(rand.NewSource(913))
+	n, ops := 40, 14
+	if testing.Short() {
+		n, ops = 12, 10
+	}
+	for i := 0; i < n; i++ {
+		q := randomPrenexQBF(rng, 9, 14, 4)
+		opt := Options{Mode: ModePartialOrder, CheckInvariants: true}
+		switch i % 3 {
+		case 1:
+			opt.Mode = ModeTotalOrder
+		case 2:
+			opt.MaxLearned = 4
+		}
+		runScript(t, rng, q, opt, ops, fmt.Sprintf("prenex %d", i))
+	}
+}
+
+// TestIncrementalMetamorphicWideTrees: the diameter-like wide-tree shape,
+// where cube learning (and so the cube-invalidation rule of AddClause)
+// does the most work.
+func TestIncrementalMetamorphicWideTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(917))
+	n, ops := 25, 12
+	if testing.Short() {
+		n, ops = 8, 8
+	}
+	for i := 0; i < n; i++ {
+		q := randomWideTree(rng)
+		runScript(t, rng, q, Options{Mode: ModePartialOrder, CheckInvariants: true}, ops, fmt.Sprintf("wide %d", i))
+	}
+}
+
+// TestIncrementalGates pins the API contract edges that random scripts hit
+// only by luck.
+func TestIncrementalGates(t *testing.T) {
+	q := qbf.New(qbf.NewPrenexPrefix(2,
+		qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{1, 2}}),
+		[]qbf.Clause{{qbf.Var(1).PosLit(), qbf.Var(2).PosLit()}})
+
+	t.Run("non-incremental solver rejects session ops", func(t *testing.T) {
+		s, err := NewSolver(q, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Push(); !errors.Is(err, ErrNotIncremental) {
+			t.Fatalf("Push: %v, want ErrNotIncremental", err)
+		}
+		if _, err := s.Pop(); !errors.Is(err, ErrNotIncremental) {
+			t.Fatalf("Pop: %v, want ErrNotIncremental", err)
+		}
+		if err := s.AddClause(qbf.Clause{qbf.Var(1).PosLit()}); !errors.Is(err, ErrNotIncremental) {
+			t.Fatalf("AddClause: %v, want ErrNotIncremental", err)
+		}
+		if err := s.Assume(qbf.Var(1).PosLit()); !errors.Is(err, ErrNotIncremental) {
+			t.Fatalf("Assume: %v, want ErrNotIncremental", err)
+		}
+	})
+
+	t.Run("unbound and zero literals rejected", func(t *testing.T) {
+		s, err := NewSolver(q, Options{Incremental: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.AddClause(qbf.Clause{qbf.Var(7).PosLit()}); err == nil {
+			t.Fatal("AddClause accepted a variable outside the session prefix")
+		}
+		if err := s.AddClause(qbf.Clause{qbf.NoLit}); err == nil {
+			t.Fatal("AddClause accepted the zero literal")
+		}
+	})
+
+	t.Run("tautology is a no-op", func(t *testing.T) {
+		s, err := NewSolver(q, Options{Incremental: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.AddClause(qbf.Clause{qbf.Var(1).PosLit(), qbf.Var(1).NegLit()}); err != nil {
+			t.Fatal(err)
+		}
+		if v := s.Solve(context.Background()); v != True {
+			t.Fatalf("verdict %v after tautology, want True", v)
+		}
+	})
+
+	t.Run("contradiction and recovery across frames", func(t *testing.T) {
+		s, err := NewSolver(q, Options{Incremental: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := s.Solve(context.Background()); v != True {
+			t.Fatalf("base verdict %v, want True", v)
+		}
+		if _, err := s.Push(); err != nil {
+			t.Fatal(err)
+		}
+		// x1 ∧ ¬x1 under the frame: empty clause after resolution is not
+		// even needed — assume both polarities.
+		if err := s.Assume(qbf.Var(1).PosLit(), qbf.Var(1).NegLit()); err != nil {
+			t.Fatal(err)
+		}
+		if v := s.Solve(context.Background()); v != False {
+			t.Fatalf("contradictory frame verdict %v, want False", v)
+		}
+		if _, err := s.Pop(); err != nil {
+			t.Fatal(err)
+		}
+		if v := s.Solve(context.Background()); v != True {
+			t.Fatalf("verdict %v after Pop, want True", v)
+		}
+	})
+
+	t.Run("universal assumption reduces to the empty clause", func(t *testing.T) {
+		uq := qbf.New(qbf.NewPrenexPrefix(2,
+			qbf.Run{Quant: qbf.Forall, Vars: []qbf.Var{1}},
+			qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{2}}),
+			[]qbf.Clause{{qbf.Var(1).PosLit(), qbf.Var(2).PosLit()}})
+		s, err := NewSolver(uq, Options{Incremental: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Push(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Assume(qbf.Var(1).PosLit()); err != nil {
+			t.Fatal(err)
+		}
+		if v := s.Solve(context.Background()); v != False {
+			t.Fatalf("verdict %v under a universal assumption, want False", v)
+		}
+		if _, err := s.Pop(); err != nil {
+			t.Fatal(err)
+		}
+		if v := s.Solve(context.Background()); v != True {
+			t.Fatalf("verdict %v after retracting the universal assumption, want True", v)
+		}
+	})
+
+	t.Run("construction-time contradiction is permanent", func(t *testing.T) {
+		fq := qbf.New(qbf.NewPrenexPrefix(1,
+			qbf.Run{Quant: qbf.Forall, Vars: []qbf.Var{1}}),
+			[]qbf.Clause{{qbf.Var(1).PosLit()}})
+		s, err := NewSolver(fq, Options{Incremental: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := s.Solve(context.Background()); v != False {
+			t.Fatalf("verdict %v, want False", v)
+		}
+		if _, err := s.Push(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Pop(); err != nil {
+			t.Fatal(err)
+		}
+		if v := s.Solve(context.Background()); v != False {
+			t.Fatalf("verdict %v after push/pop, want False (base contradiction)", v)
+		}
+	})
+}
+
+// TestIncrementalLearnedSurvival checks the point of the whole design: a
+// session re-solving a hard FALSE instance under throwaway frames must
+// reuse the base-tagged learned clauses — the second solve under a fresh
+// frame has to come in far below the conflict count of the first.
+func TestIncrementalLearnedSurvival(t *testing.T) {
+	s, err := NewSolver(phpFormula(5), Options{Mode: ModePartialOrder, Incremental: true, CheckInvariants: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := s.Solve(context.Background()); v != False {
+		t.Fatalf("php5 verdict %v, want False", v)
+	}
+	first := s.Stats().Conflicts
+	if first == 0 {
+		t.Fatal("php5 solved without conflicts — the survival check is vacuous")
+	}
+	if _, err := s.Push(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Pop(); err != nil {
+		t.Fatal(err)
+	}
+	// Pop forgot the False verdict; the re-solve must rediscover it from
+	// the retained clause database at a fraction of the original work.
+	if v := s.Solve(context.Background()); v != False {
+		t.Fatalf("php5 re-solve verdict %v, want False", v)
+	}
+	resolve := s.Stats().Conflicts - first
+	if resolve*4 > first {
+		t.Fatalf("re-solve needed %d conflicts vs %d initially: learned clauses did not survive the frame cycle", resolve, first)
+	}
+}
+
+// TestIncrementalPureUniversalRetargeted pins the pure-invalidation rule of
+// AddClause for AGREEING literals: a universal that enters the session
+// unconstrained is pure-fixed to an arbitrary value at the root; a later
+// clause mentioning it — even one the arbitrary value happens to satisfy —
+// must unwind the assignment so fixPures can re-judge it against the grown
+// occurrence sets. Keeping it would count the clause satisfied by a
+// wrongly-oriented universal and flip the verdict.
+func TestIncrementalPureUniversalRetargeted(t *testing.T) {
+	// ∃e ∀u with matrix {e}: u is unconstrained, the formula is True.
+	q := qbf.New(qbf.NewPrenexPrefix(2,
+		qbf.Run{Quant: qbf.Exists, Vars: []qbf.Var{1}},
+		qbf.Run{Quant: qbf.Forall, Vars: []qbf.Var{2}}),
+		[]qbf.Clause{{qbf.Var(1).PosLit()}})
+	s, err := NewSolver(q, Options{Mode: ModePartialOrder, Incremental: true, CheckInvariants: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := s.Solve(context.Background()); v != True {
+		t.Fatalf("base verdict %v, want True", v)
+	}
+	// e ∧ u under ∀u is False regardless of which value the pure fix
+	// happened to park u at — both polarities, symmetric on purpose, so
+	// the test cannot pass by the fix picking the lucky value.
+	for _, l := range []qbf.Lit{qbf.Var(2).PosLit(), qbf.Var(2).NegLit()} {
+		if _, err := s.Push(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.AddClause(qbf.Clause{l}); err != nil {
+			t.Fatal(err)
+		}
+		if v := s.Solve(context.Background()); v != False {
+			t.Fatalf("verdict %v with clause {%v} over the universal, want False", v, l)
+		}
+		if _, err := s.Pop(); err != nil {
+			t.Fatal(err)
+		}
+		if v := s.Solve(context.Background()); v != True {
+			t.Fatalf("verdict %v after Pop, want True", v)
+		}
+	}
+}

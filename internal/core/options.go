@@ -47,41 +47,30 @@ func (m Mode) String() string {
 	return "PO"
 }
 
-// Propagation selects the unit-propagation engine.
-type Propagation int
-
-const (
-	// PropWatched (the default) is quantifier-aware watched literals over
-	// the arena clause store: each clause watches its two ≺-deepest
-	// unfalsified existentials, with any universal guard literal keeping
-	// universal reduction implicit; cubes run the dual scheme (two
-	// ≺-deepest universals plus an existential guard). Assignment cost is
-	// O(watchers of the literal), not O(occurrences).
-	PropWatched Propagation = iota
-	// PropCounters is the previous occurrence-counter engine: every
-	// assignment walks the full occurrence lists of the literal, updating
-	// per-constraint true/false/unassigned counters. Deprecated: retained
-	// for one release as the differential-testing baseline for PropWatched
-	// and will then be removed.
-	PropCounters
-)
-
-func (p Propagation) String() string {
-	if p == PropCounters {
-		return "counters"
-	}
-	return "watched"
-}
-
 // Options configures a Solver. The zero value enables every inference
 // (both learning mechanisms and pure literal fixing) in partial-order mode
 // with no resource limits.
+//
+// Propagation is quantifier-aware watched literals over the arena clause
+// store: each clause watches its two ≺-deepest unfalsified existentials,
+// with any universal guard literal keeping universal reduction implicit;
+// cubes run the dual scheme. The occurrence-counter engine that used to sit
+// behind an Options.Propagation switch completed its one-release soak as
+// the watcher differential baseline and was removed; the differential net
+// now checks the watcher engine against the semantic oracle alone.
 type Options struct {
 	Mode Mode
 
-	// Propagation selects the unit-propagation engine; the zero value is
-	// the watched-literal engine. See Propagation.
-	Propagation Propagation
+	// Incremental enables the push/pop session lifecycle: Push, Pop,
+	// Assume and AddClause may be called between Solve calls, learned
+	// clauses are tagged with the deepest assumption frame they depend on,
+	// and popping a frame drops exactly the constraints that cited it (see
+	// incremental.go). Construction differs in two ways: a formula that is
+	// trivially decided at build time keeps a fully initialized solver (so
+	// later AddClause calls can un-trivialize it), and pure-literal fixing
+	// is suppressed at decision level 0 (a root-level pure assignment made
+	// under one matrix is not sound once AddClause grows it).
+	Incremental bool
 
 	// DisableClauseLearning turns off nogood learning; conflicts then
 	// backtrack chronologically.

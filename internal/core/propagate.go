@@ -18,138 +18,45 @@ const (
 	evSolution
 )
 
-// propagateAll runs unit propagation (clauses and cubes) to fixpoint,
-// returning the first conflict or solution found. It dispatches on the
-// configured engine: the watched-literal engine (watch.go, the default) or
-// the retained occurrence-counter engine below.
+// propagateAll runs unit propagation (clauses and cubes) to fixpoint via
+// the watched-literal engine (watch.go), returning the first conflict or
+// solution found. Under Options.Incremental, clauses added since the last
+// fixpoint are first woken by a full scan — their watcher entries were
+// installed against an assignment the watch machinery never observed
+// changing, so an install-time unit or conflict would otherwise be silent.
 //
 //qbf:hotpath
 func (s *Solver) propagateAll() (event, int) {
+	if len(s.wakeRefs) > 0 {
+		if ev, ci := s.drainWakes(); ev != evNone {
+			return ev, ci
+		}
+	}
 	if s.numUnsatOriginal == 0 {
 		return evSolution, -1
-	}
-	if s.opt.Propagation == PropCounters {
-		return s.propagateCounters()
 	}
 	return s.propagateWatched()
 }
 
-// propagateCounters is the occurrence-counter fixpoint loop: every
-// assignment walks the full occurrence lists of the literal and its
-// negation, updating per-constraint counters. Retained behind
-// Options.Propagation == PropCounters for one release as the differential
-// baseline of the watcher engine; see PropCounters for the deprecation
-// note.
-//
-//qbf:hotpath
-func (s *Solver) propagateCounters() (event, int) {
-	for s.qhead < len(s.trail) {
-		l := s.trail[s.qhead]
-		s.qhead++
-		if ev, ci := s.applyCounters(l); ev != evNone {
-			return ev, ci
+// drainWakes scans every pending runtime-added clause against the actual
+// variable values. A unit wake assigns its forced literal (dequeued by the
+// caller's watcher loop); the first conflict becomes the fixpoint's event,
+// and the reporting clause stays queued — events are re-derived on the next
+// propagateAll until a frame operation defuses the clause or the search
+// ends. Deleted refs (a popped frame) are dropped.
+func (s *Solver) drainWakes() (event, int) {
+	for i := 0; i < len(s.wakeRefs); i++ {
+		ci := s.wakeRefs[i]
+		if s.ar.deleted(ci) {
+			continue
 		}
-		s.stats.Propagations++
+		if ev, eci := s.scanState(ci); ev != evNone {
+			s.wakeRefs = append(s.wakeRefs[:0], s.wakeRefs[i:]...)
+			return ev, eci
+		}
 	}
-	if s.numUnsatOriginal == 0 {
-		return evSolution, -1
-	}
+	s.wakeRefs = s.wakeRefs[:0]
 	return evNone, -1
-}
-
-// applyCounters updates the counters of every constraint containing l or
-// l̄ after l became true, enqueueing implied literals and reporting the
-// first conflict/solution. Deleted constraints found in occurrence lists
-// are compacted away lazily.
-//
-//qbf:hotpath
-func (s *Solver) applyCounters(l qbf.Lit) (event, int) {
-	exist := s.quant[l.Var()] == qbf.Exists
-
-	// Both occurrence lists must be walked to completion even after an
-	// event is found: the counter updates belong to this dequeue and
-	// backtracking will reverse exactly one update per constraint per
-	// assigned literal. Only the first event is reported.
-	ev, ci := s.walkOcc(litIdx(l), exist, true)
-	ev2, ci2 := s.walkOcc(litIdx(l.Neg()), exist, false)
-	if ev != evNone {
-		return ev, ci
-	}
-	return ev2, ci2
-}
-
-//qbf:hotpath
-func (s *Solver) walkOcc(idx int, exist, becameTrue bool) (event, int) {
-	occ := s.occ[idx]
-	w := 0
-	var rev event = evNone
-	rci := -1
-	for _, ci32 := range occ {
-		ci := int(ci32)
-		if s.ar.deleted(ci) {
-			continue // compact away
-		}
-		occ[w] = ci32
-		w++
-		if becameTrue {
-			s.ar.d[ci+offTrue]++
-		} else {
-			s.ar.d[ci+offFalse]++
-		}
-		if exist {
-			s.ar.d[ci+offUE]--
-		} else {
-			s.ar.d[ci+offUU]--
-		}
-		if becameTrue && s.ar.d[ci+offTrue] == 1 && !s.ar.isCube(ci) && !s.ar.learned(ci) {
-			s.clauseSatisfied(ci)
-			if s.numUnsatOriginal == 0 && rev == evNone {
-				rev, rci = evSolution, -1
-			}
-		}
-		if rev != evNone {
-			continue // keep updating counters, report only the first event
-		}
-		if ev, eci := s.checkState(ci); ev != evNone {
-			rev, rci = ev, eci
-		}
-	}
-	s.occ[idx] = occ[:w]
-	return rev, rci
-}
-
-// undoCounters reverses applyCounters for literal l on backtracking.
-//
-//qbf:hotpath
-func (s *Solver) undoCounters(l qbf.Lit) {
-	exist := s.quant[l.Var()] == qbf.Exists
-	for _, ci32 := range s.occ[litIdx(l)] {
-		ci := int(ci32)
-		if s.ar.deleted(ci) {
-			continue
-		}
-		s.ar.d[ci+offTrue]--
-		if exist {
-			s.ar.d[ci+offUE]++
-		} else {
-			s.ar.d[ci+offUU]++
-		}
-		if s.ar.d[ci+offTrue] == 0 && !s.ar.isCube(ci) && !s.ar.learned(ci) {
-			s.clauseUnsatisfied(ci)
-		}
-	}
-	for _, ci32 := range s.occ[litIdx(l.Neg())] {
-		ci := int(ci32)
-		if s.ar.deleted(ci) {
-			continue
-		}
-		s.ar.d[ci+offFalse]--
-		if exist {
-			s.ar.d[ci+offUE]++
-		} else {
-			s.ar.d[ci+offUU]++
-		}
-	}
 }
 
 // clauseSatisfied updates the pure-literal occurrence counts when an
@@ -179,32 +86,13 @@ func (s *Solver) clauseUnsatisfied(ci int) {
 	}
 }
 
-// checkState inspects a constraint after a counter change, using the
-// counters as a cheap filter in front of scanState. Counter engine only:
-// the watcher engine does not maintain the filter counters and goes to
-// scanState directly.
-//
-//qbf:hotpath
-func (s *Solver) checkState(ci int) (event, int) {
-	if !s.ar.isCube(ci) {
-		if s.ar.d[ci+offTrue] > 0 || s.ar.d[ci+offUE] > 1 {
-			return evNone, -1
-		}
-	} else {
-		if s.ar.d[ci+offFalse] > 0 || s.ar.d[ci+offUU] > 1 {
-			return evNone, -1
-		}
-	}
-	return s.scanState(ci)
-}
-
 // scanState derives a constraint's state from the actual variable values
 // alone: it enqueues the forced literal when the constraint is unit and
-// reports conflicts and solutions. Because it never trusts cached counters,
-// callers may use it on constraints whose incremental state is stale (the
-// watcher engine's import wake-ups); with the counter filter in front
-// (checkState) a stale counter can at worst defer an event to the dequeue
-// that updates it, never fabricate one.
+// reports conflicts and solutions. Because it never trusts cached counters
+// or watch positions, callers may use it on constraints whose incremental
+// state is stale — the import wake-ups and the runtime-added clause wakes
+// of the incremental session path; a stale watch can at worst defer an
+// event to the visit that repairs it, never fabricate one.
 //
 //qbf:hotpath
 func (s *Solver) scanState(ci int) (event, int) {
@@ -289,6 +177,11 @@ func (s *Solver) fixPures() bool {
 		s.pureCand = s.pureCand[:0]
 		return false
 	}
+	// Root-level pure assignments are valid in incremental sessions too:
+	// purity can only be broken by a clause mentioning the variable, Pop
+	// only shrinks the occurrence sets, and AddClause unwinds any root
+	// pure assignment whose variable the incoming clause mentions
+	// (invalidatePures) before installing it.
 	assigned := false
 	for len(s.pureCand) > 0 {
 		v := s.pureCand[len(s.pureCand)-1]
@@ -317,35 +210,18 @@ func (s *Solver) fixPures() bool {
 	return assigned
 }
 
-// addLearned installs a learned clause or cube into the arena. Under the
-// counter engine its counters are initialized against the current
-// (post-backtrack) assignment and it joins the occurrence lists; under the
-// watcher engine it gets its two watches instead. The caller must ensure
-// the propagation queue is drained (qhead == len(trail)).
-func (s *Solver) addLearned(lits []qbf.Lit, isCube bool) int {
+// addLearned installs a learned clause or cube into the arena and gives it
+// its two watches. frame is the deepest assumption frame the derivation
+// depended on (0 outside incremental sessions, and always 0 for cubes: a
+// cube is an implicant of the current matrix, and popping a frame only
+// shrinks the matrix, so every pop preserves it — see incremental.go for
+// why AddClause, not Pop, invalidates cubes). The caller must ensure the
+// propagation queue is drained (qhead == len(trail)).
+func (s *Solver) addLearned(lits []qbf.Lit, isCube bool, frame int) int {
 	s.checkLearnedConstraint(lits, isCube)
 	id := s.ar.alloc(lits, isCube, true)
-	if s.opt.Propagation == PropCounters {
-		for _, l := range lits {
-			switch s.litValue(l) {
-			case vTrue:
-				s.ar.d[id+offTrue]++
-			case vFalse:
-				s.ar.d[id+offFalse]++
-			default:
-				if s.quant[l.Var()] == qbf.Exists {
-					s.ar.d[id+offUE]++
-				} else {
-					s.ar.d[id+offUU]++
-				}
-			}
-		}
-		for _, l := range lits {
-			s.occ[litIdx(l)] = append(s.occ[litIdx(l)], int32(id))
-		}
-	} else {
-		s.initWatches(id)
-	}
+	s.ar.setFrame(id, frame)
+	s.initWatches(id)
 	for _, l := range lits {
 		s.counter[litIdx(l)]++
 	}
@@ -402,10 +278,13 @@ func (s *Solver) reduceDBNow(isCube bool) {
 			locked[s.reasonC[v]] = true
 		}
 	}
-	// Median activity of the kind under reduction.
+	// Median activity of the kind under reduction. The learned region also
+	// holds the runtime-added original clauses of incremental sessions
+	// (learned flag off); those belong to their frames, not to the learned
+	// databases, and are skipped.
 	var acts []float64
 	for ci := s.origEnd; ci < s.ar.end(); ci = s.ar.next(ci) {
-		if !s.ar.deleted(ci) && s.ar.isCube(ci) == isCube {
+		if !s.ar.deleted(ci) && s.ar.learned(ci) && s.ar.isCube(ci) == isCube {
 			acts = append(acts, s.ar.activity(ci))
 		}
 	}
@@ -414,34 +293,45 @@ func (s *Solver) reduceDBNow(isCube bool) {
 	}
 	pivot := quickMedian(acts)
 	for ci := s.origEnd; ci < s.ar.end(); ci = s.ar.next(ci) {
-		if s.ar.deleted(ci) || s.ar.isCube(ci) != isCube || locked[ci] || s.ar.activity(ci) > pivot {
+		if s.ar.deleted(ci) || !s.ar.learned(ci) || s.ar.isCube(ci) != isCube ||
+			locked[ci] || s.ar.activity(ci) > pivot {
 			continue
 		}
-		n := s.ar.size(ci)
-		for k := 0; k < n; k++ {
-			s.counter[litIdx(s.ar.lit(ci, k))]--
-		}
-		s.learnedBytes -= constraintBytes(n)
 		// Flag only: headers stay readable, so occurrence and watcher lists
 		// drop stale refs lazily until the next compaction purges them.
-		s.ar.del(ci)
-		if isCube {
-			s.learnedCubes--
-		} else {
-			s.learnedClauses--
-		}
+		s.dropLearned(ci)
 	}
 	if s.ar.wasted > 0 && 2*s.ar.wasted >= s.ar.end()-s.origEnd {
 		s.compactLearned()
 	}
 }
 
+// dropLearned removes one live learned constraint: heuristic counters,
+// byte accounting, the live-count of its kind, and the arena deletion flag.
+// It is the shared deletion step of reduceDBNow and of the incremental
+// frame operations (popping a frame drops the learned clauses tagged with
+// it; AddClause drops every learned cube).
+func (s *Solver) dropLearned(ci int) {
+	n := s.ar.size(ci)
+	for k := 0; k < n; k++ {
+		s.counter[litIdx(s.ar.lit(ci, k))]--
+	}
+	s.learnedBytes -= constraintBytes(n)
+	s.ar.del(ci)
+	if s.ar.isCube(ci) {
+		s.learnedCubes--
+	} else {
+		s.learnedClauses--
+	}
+}
+
 // compactLearned slides the live learned constraints over the deleted ones
-// (originals never move), then rebinds every structure holding arena refs:
-// occurrence lists, watcher lists, and the trail reasons. Deleted refs are
-// purged from the lists first — after compaction their targets no longer
-// exist. Callers must ensure no conflict/solution event is pending (the
-// same safe-point contract as reduceDBNow).
+// (construction-time originals never move), then rebinds every structure
+// holding arena refs: occurrence lists, watcher lists, the trail reasons,
+// the incremental wake queue, and the per-frame clause lists. Deleted refs
+// are purged from the lists first — after compaction their targets no
+// longer exist. Callers must ensure no conflict/solution event is pending
+// (the same safe-point contract as reduceDBNow).
 func (s *Solver) compactLearned() {
 	reclaimed := s.ar.wasted
 	for i := range s.occ {
@@ -470,6 +360,16 @@ func (s *Solver) compactLearned() {
 	}
 	purge(s.watchCl)
 	purge(s.watchCu)
+	if len(s.wakeRefs) > 0 {
+		w := 0
+		for _, ci := range s.wakeRefs {
+			if !s.ar.deleted(ci) {
+				s.wakeRefs[w] = ci
+				w++
+			}
+		}
+		s.wakeRefs = s.wakeRefs[:w]
+	}
 
 	olds, news := s.ar.compactFrom(s.origEnd)
 	if len(olds) > 0 {
@@ -492,6 +392,22 @@ func (s *Solver) compactLearned() {
 			if s.reason[v] == reasonConstraint {
 				s.reasonC[v] = int(rebind(int32(s.reasonC[v]), olds, news))
 			}
+		}
+		for i := range s.wakeRefs {
+			s.wakeRefs[i] = int(rebind(int32(s.wakeRefs[i]), olds, news))
+		}
+		// Frame clause lists hold only live refs: frame originals are
+		// deleted exclusively by the Pop that discards their list. The
+		// runtime-original list is likewise all-live (removeOriginalClause
+		// drops entries eagerly).
+		for fi := range s.frames {
+			cl := s.frames[fi].clauses
+			for j := range cl {
+				cl[j] = int(rebind(int32(cl[j]), olds, news))
+			}
+		}
+		for i := range s.runtimeOrig {
+			s.runtimeOrig[i] = int(rebind(int32(s.runtimeOrig[i]), olds, news))
 		}
 	}
 	s.emitEv(telemetry.KindReduce, 0, int64(reclaimed), 2)

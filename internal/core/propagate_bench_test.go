@@ -7,78 +7,60 @@ import (
 	"repro/internal/qbf"
 )
 
-// BenchmarkPropagate isolates the propagation fixpoint loop of both
-// engines, away from learning and analysis: each iteration makes one
-// decision on a fresh level of a pigeonhole instance, runs propagateAll to
-// its fixpoint (a cascade of unit assignments and counter/watcher
-// maintenance over hundreds of clauses), and backtracks to the root. The
-// per-iteration work is identical across engines — what differs is exactly
-// the cost under measurement: walking full occurrence lists (counters)
-// versus visiting triggered watchers (watched). Run with -benchmem: the
+// BenchmarkPropagate isolates the propagation fixpoint loop, away from
+// learning and analysis: each iteration makes one decision on a fresh
+// level of a pigeonhole instance, runs propagateAll to its fixpoint (a
+// cascade of unit assignments and watcher maintenance over hundreds of
+// clauses), and backtracks to the root. Run with -benchmem: the
 // //qbf:hotpath annotations on the watch-walk functions promise a
 // heap-clean inner loop, which the lint L13 gate verifies statically and
 // this benchmark confirms dynamically.
 func BenchmarkPropagate(b *testing.B) {
-	for _, engine := range []Propagation{PropWatched, PropCounters} {
-		b.Run(engine.String(), func(b *testing.B) {
-			q := phpFormula(10)
-			s, err := NewSolver(q, Options{
-				Propagation:           engine,
-				DisableClauseLearning: true,
-				DisableCubeLearning:   true,
-				DisablePureLiterals:   true,
-			})
-			if err != nil {
-				b.Fatal(err)
+	q := phpFormula(10)
+	s, err := NewSolver(q, Options{
+		DisableClauseLearning: true,
+		DisableCubeLearning:   true,
+		DisablePureLiterals:   true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Decide pigeon p into hole p (the diagonal): no two decisions clash
+	// directly, and every one fires ~10 exclusivity units, each of which
+	// shrinks further rows — a deep cascade per decision. Conflicts, if the
+	// cascade reaches one, just end the round early.
+	var decisions []qbf.Lit
+	for v := qbf.Var(1); v.Int() <= s.nVars && len(decisions) < 8; v += 11 {
+		decisions = append(decisions, v.PosLit())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, d := range decisions {
+			if s.value[d.Var()] != undef {
+				continue
 			}
-			// Decide pigeon p into hole p (the diagonal): no two decisions
-			// clash directly, and every one fires ~10 exclusivity units,
-			// each of which shrinks further rows — a deep cascade per
-			// decision. Conflicts, if the cascade reaches one, just end the
-			// round early.
-			var decisions []qbf.Lit
-			for v := qbf.Var(1); v.Int() <= s.nVars && len(decisions) < 8; v += 11 {
-				decisions = append(decisions, v.PosLit())
+			s.decide(d)
+			if ev, _ := s.propagateAll(); ev == evConflict {
+				break
 			}
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				for _, d := range decisions {
-					if s.value[d.Var()] != undef {
-						continue
-					}
-					s.decide(d)
-					if ev, _ := s.propagateAll(); ev == evConflict {
-						break
-					}
-				}
-				s.backtrack(0)
-			}
-		})
+		}
+		s.backtrack(0)
 	}
 }
 
-// BenchmarkSolve runs the full search end-to-end per engine on a small
-// propagation-bound smoke pool. scripts/check.sh benches both sub-runs and
-// gates on their ratio (results/BENCH_propagate.json): the watcher engine
-// failing to beat the counter engine on this pool means the tentpole
-// regressed.
+// BenchmarkSolve runs the full search end-to-end on a small
+// propagation-bound smoke pool; scripts/check.sh records its ns/op in
+// results/BENCH_propagate.json as the one-shot baseline history.
 func BenchmarkSolve(b *testing.B) {
 	pool := []*qbf.QBF{phpFormula(6), phpFormula(7)}
-	for _, engine := range []Propagation{PropWatched, PropCounters} {
-		b.Run(engine.String(), func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				for _, q := range pool {
-					res, err := Solve(context.Background(), q, Options{
-						Mode:        ModePartialOrder,
-						Propagation: engine,
-					})
-					if err != nil || res.Verdict != False {
-						b.Fatalf("verdict=%v err=%v", res.Verdict, err)
-					}
-				}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, q := range pool {
+			res, err := Solve(context.Background(), q, Options{Mode: ModePartialOrder})
+			if err != nil || res.Verdict != False {
+				b.Fatalf("verdict=%v err=%v", res.Verdict, err)
 			}
-		})
+		}
 	}
 }

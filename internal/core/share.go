@@ -100,6 +100,15 @@ func (s *Solver) importShared() (event, int, Verdict) {
 			s.stats.ImportsRejected++
 			continue
 		}
+		if s.opt.Incremental && sc.IsCube {
+			// A sibling's cube is an implicant of the base matrix only;
+			// with runtime-added clauses in play it need not cover them,
+			// so importing it could fire a false solution. Clauses are
+			// safe — a consequence of the base formula remains one of any
+			// superset — and install with frame tag 0 below.
+			s.stats.ImportsRejected++
+			continue
+		}
 		w := s.newWorkSet()
 		for _, l := range sc.Lits {
 			w.add(l)
@@ -151,30 +160,22 @@ func (s *Solver) importShared() (event, int, Verdict) {
 			s.emitLitsEv(telemetry.KindImport, lits, 0)
 		}
 		s.importing = true
-		installed = append(installed, s.addLearned(lits, sc.IsCube))
+		installed = append(installed, s.addLearned(lits, sc.IsCube, 0))
 		s.importing = false
 		s.stats.Imports++
 	}
 	// Wake pass: an import that is already unit assigns its forced literal
 	// (picked up by the next propagateAll), and one that is already
 	// conflicting or fired becomes this fixpoint's event. scanState derives
-	// every candidate's state from the actual variable values, so the
-	// wake-ups remain sound even once a unit assignment is pending on the
-	// queue; under the counter engine the counter filter (checkState) sits
-	// in front, under the watcher engine — whose learned constraints carry
-	// no counters — the scan runs unconditionally. After the first event
-	// the remaining imports stay passive until a watched (or occurring)
-	// literal of theirs next changes.
+	// every candidate's state from the actual variable values — imported
+	// constraints carry no counters and their watches were installed under
+	// the current assignment — so the wake-ups remain sound even once a
+	// unit assignment is pending on the queue. After the first event the
+	// remaining imports stay passive until a watched literal of theirs next
+	// changes.
 	rev, rci := evNone, -1
 	for _, id := range installed {
-		var ev event
-		var ci int
-		if s.opt.Propagation == PropCounters {
-			ev, ci = s.checkState(id)
-		} else {
-			ev, ci = s.scanState(id)
-		}
-		if ev != evNone {
+		if ev, ci := s.scanState(id); ev != evNone {
 			rev, rci = ev, ci
 			break
 		}
@@ -190,21 +191,17 @@ func (s *Solver) importShared() (event, int, Verdict) {
 	return rev, rci, Unknown
 }
 
-// degenerateImport reports whether an import would, under the watcher
-// engine, be installed in a state from which it can become conflicting
-// (clause) or fire (cube) through backtracking alone: a clause currently
-// satisfied but with every existential literal already false, or a cube
-// currently dead (some literal false) with no unassigned universal left.
-// Watchers trigger on assignments, never on unassignments, so such a
-// constraint could reach its event state silently when the masking literal
-// is backtracked away. The counter engine re-examines constraints on every
-// counter change and needs no such filter. Dropping these imports is sound
-// (imports are optional pruning) and cheap — a constraint already this
-// tight under the current assignment has almost no propagation value left.
+// degenerateImport reports whether an import would be installed in a state
+// from which it can become conflicting (clause) or fire (cube) through
+// backtracking alone: a clause currently satisfied but with every
+// existential literal already false, or a cube currently dead (some
+// literal false) with no unassigned universal left. Watchers trigger on
+// assignments, never on unassignments, so such a constraint could reach
+// its event state silently when the masking literal is backtracked away.
+// Dropping these imports is sound (imports are optional pruning) and
+// cheap — a constraint already this tight under the current assignment has
+// almost no propagation value left.
 func (s *Solver) degenerateImport(lits []qbf.Lit, isCube bool) bool {
-	if s.opt.Propagation == PropCounters {
-		return false
-	}
 	if !isCube {
 		sat := false
 		unfalsifiedE := 0

@@ -70,14 +70,16 @@ type Solver struct {
 	learnedClauses   int
 	learnedCubes     int
 
-	// occ: literal index → refs of constraints containing that literal.
-	// Under the counter engine it covers every constraint; under the
-	// watcher engine only original clauses (for the residual-matrix walk),
-	// while learned constraints are reached through the watcher lists.
+	// occ: literal index → refs of the original clauses containing that
+	// literal (the residual-matrix walk); learned constraints are reached
+	// through the watcher lists instead. Under Options.Incremental,
+	// clauses added at runtime join these lists on AddClause and are
+	// eagerly removed again when their frame pops — satWalk/undoSat do not
+	// test the deleted flag.
 	occ [][]int32
 
-	// Watcher lists (watcher engine only), keyed by the literal whose
-	// assignment triggers the visit; see watch.go.
+	// Watcher lists, keyed by the literal whose assignment triggers the
+	// visit; see watch.go.
 	watchCl [][]watcher
 	watchCu [][]watcher
 
@@ -119,6 +121,26 @@ type Solver struct {
 	stats      Stats
 	trivial    Verdict // True/False decided during construction, else Unknown
 	lastResult Verdict // outcome of the most recent Solve call
+
+	// Incremental session state (Options.Incremental; see incremental.go).
+	// frames is the stack of open assumption frames; falseFrom is the
+	// shallowest frame depth at which an added clause universally reduced
+	// to a contradiction (-1: none), making the formula false while that
+	// frame lives; wakeRefs holds runtime-added clauses whose state against
+	// the current assignment has not been scanned yet — the next
+	// propagateAll drains them before trusting the watcher tables.
+	// runtimeOrig lists the live runtime-added original clauses (which sit
+	// above origEnd, interleaved with learned constraints), so matrix-wide
+	// walks like coverCube reach them without scanning the learned region.
+	// opDirty is set by session operations and consumed by the next Solve,
+	// which restarts the Luby schedule: the new query should explore from
+	// short restart intervals again instead of inheriting an arbitrarily
+	// long interval earned on a different formula.
+	frames      []frame
+	falseFrom   int
+	wakeRefs    []int
+	runtimeOrig []int
+	opDirty     bool
 
 	ws workSet // reusable analysis working set
 
@@ -208,11 +230,10 @@ func NewSolver(q *qbf.QBF, opt Options) (*Solver, error) {
 		lastCounter: make([]int, 2*(n+1)),
 		score:       make([]float64, 2*(n+1)),
 		trivial:     Unknown,
+		falseFrom:   -1,
 	}
-	if opt.Propagation == PropWatched {
-		s.watchCl = make([][]watcher, 2*(n+1))
-		s.watchCu = make([][]watcher, 2*(n+1))
-	}
+	s.watchCl = make([][]watcher, 2*(n+1))
+	s.watchCu = make([][]watcher, 2*(n+1))
 
 	// Variables within 1..n that are bound by no block and occur in no
 	// clause ("ghosts", e.g. quantifiers dropped by miniscoping) take no
@@ -292,10 +313,6 @@ func NewSolver(q *qbf.QBF, opt Options) (*Solver, error) {
 	s.levelStart = append(s.levelStart, 0)
 	for _, c := range work.Matrix {
 		rc := qbf.UniversalReduce(p, c)
-		if len(rc) == 0 {
-			s.trivial = False
-			return s, nil
-		}
 		hasE := false
 		for _, l := range rc {
 			if s.quant[l.Var()] == qbf.Exists {
@@ -303,8 +320,17 @@ func NewSolver(q *qbf.QBF, opt Options) (*Solver, error) {
 				break
 			}
 		}
-		if !hasE {
-			// Contradictory clause (Lemma 4).
+		if len(rc) == 0 || !hasE {
+			// Contradictory clause (Lemma 4, or the empty clause of
+			// Lemma 3). Incremental solvers record it as a base-frame
+			// falsity and finish construction: Pop can never reach below
+			// the base, so the verdict is permanent, but the solver must
+			// stay fully initialized for the session ops. One-shot solvers
+			// keep the historical short-circuit.
+			if opt.Incremental {
+				s.falseFrom = 0
+				continue
+			}
 			s.trivial = False
 			return s, nil
 		}
@@ -312,7 +338,10 @@ func NewSolver(q *qbf.QBF, opt Options) (*Solver, error) {
 	}
 	s.origEnd = s.ar.end()
 	s.numUnsatOriginal = s.nOriginalClauses
-	if s.numUnsatOriginal == 0 {
+	if s.numUnsatOriginal == 0 && !opt.Incremental {
+		// Empty matrix: trivially true. Incremental solvers skip the
+		// shortcut — AddClause may repopulate the matrix — and let the
+		// search derive the empty-matrix solution (Section II base case).
 		s.trivial = True
 		return s, nil
 	}
@@ -351,18 +380,8 @@ func (s *Solver) addOriginalClause(c qbf.Clause) int {
 		s.occ[litIdx(l)] = append(s.occ[litIdx(l)], int32(id))
 		s.activeOcc[litIdx(l)]++
 		s.counter[litIdx(l)]++
-		// Unassigned-literal counters; maintained (and read) only by the
-		// counter engine, but at construction time they are correct either
-		// way and initializing unconditionally keeps this path branch-free.
-		if s.quant[l.Var()] == qbf.Exists {
-			s.ar.d[id+offUE]++
-		} else {
-			s.ar.d[id+offUU]++
-		}
 	}
-	if s.opt.Propagation == PropWatched {
-		s.initWatches(id)
-	}
+	s.initWatches(id)
 	return id
 }
 
@@ -401,6 +420,13 @@ func (s *Solver) Solve(ctx context.Context) Verdict {
 		if d, ok := ctx.Deadline(); ok && (s.deadline.IsZero() || d.Before(s.deadline)) {
 			s.deadline = d
 		}
+	}
+	if s.opDirty {
+		s.opDirty = false
+		s.restartEvents = 0
+		s.lubyIndex = 1
+		s.restartLimit = luby(1) * restartUnit
+		s.initScores()
 	}
 	s.lastResult = s.solve()
 	s.emitEv(telemetry.KindStop, 0, int64(s.lastResult), int64(s.stats.StopReason))
@@ -441,6 +467,20 @@ func (s *Solver) pollStop() StopReason {
 func (s *Solver) solve() Verdict {
 	if s.trivial != Unknown {
 		return s.trivial
+	}
+	if s.lastResult != Unknown {
+		// The formula is already decided and unchanged since (session ops
+		// reset the verdicts they can invalidate). Re-entering the search
+		// loop here would be worse than wasteful: a terminal root conflict
+		// leaves its falsified clause's triggers consumed on the level-0
+		// trail, and a resumed search cannot re-detect it.
+		return s.lastResult
+	}
+	if s.falseFrom >= 0 {
+		// A clause added at frame depth falseFrom universally reduced to a
+		// contradiction; the formula is false while that frame lives (Pop
+		// clears the record, ops reset lastResult).
+		return False
 	}
 
 	for {
@@ -591,16 +631,22 @@ func (s *Solver) backtrack(target int) {
 	if target >= s.level {
 		return
 	}
-	end := s.levelStart[target+1]
+	s.unwindTrail(s.levelStart[target+1])
+	s.levelStart = s.levelStart[:target+1]
+	s.level = target
+}
+
+// unwindTrail pops trail entries down to (exclusive) position end, undoing
+// every per-literal effect: the residual-matrix counters of dequeued
+// literals, pure-candidate requeueing, and the block bookkeeping. It is the
+// shared inner loop of backtrack and of the incremental frame operations,
+// which unwind within level 0 (incremental.go).
+func (s *Solver) unwindTrail(end int) {
 	for i := len(s.trail) - 1; i >= end; i-- {
 		l := s.trail[i]
 		v := l.Var()
 		if i < s.qhead {
-			if s.opt.Propagation == PropCounters {
-				s.undoCounters(l)
-			} else {
-				s.undoSat(l)
-			}
+			s.undoSat(l)
 		}
 		if s.reason[v] == reasonPure {
 			// The variable may still be pure at the outer level;
@@ -619,7 +665,7 @@ func (s *Solver) backtrack(target int) {
 		s.blocks[b].unassigned++
 	}
 	s.trail = s.trail[:end]
-	s.qhead = end
-	s.levelStart = s.levelStart[:target+1]
-	s.level = target
+	if s.qhead > end {
+		s.qhead = end
+	}
 }

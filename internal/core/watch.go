@@ -4,9 +4,9 @@ import (
 	"repro/internal/qbf"
 )
 
-// This file is the quantifier-aware watched-literal propagation engine (the
-// default, Options.Propagation == PropWatched). It generalizes the classic
-// two-watched-literal scheme to QCDCL over a partial prefix order ≺:
+// This file is the quantifier-aware watched-literal propagation engine. It
+// generalizes the classic two-watched-literal scheme to QCDCL over a
+// partial prefix order ≺:
 //
 //   - A clause watches two ≺-deepest unfalsified existential literals. When
 //     only one unfalsified existential remains, the second slot holds an
@@ -35,8 +35,7 @@ import (
 //
 // Every event a watcher visit reports is verified by a full scan of the
 // constraint against the actual variable values, so a stale watch can defer
-// an event but never fabricate one (the same philosophy as the counter
-// engine's checkState). Soundness does not depend on completeness of unit
+// an event but never fabricate one. Soundness does not depend on completeness of unit
 // propagation — a deferred unit merely costs a decision — but it does
 // depend on conflict detection for original clauses: the maintained
 // invariant is that an unsatisfied original clause always watches its

@@ -39,7 +39,6 @@ func TestWatcherInvariantsUnderFaultInjection(t *testing.T) {
 	}
 	for k, tc := range instances {
 		s, err := NewSolver(tc.q, Options{
-			Propagation:     PropWatched,
 			MaxLearned:      16, // frequent reductions → deletion + compaction mid-stress
 			CheckInvariants: true,
 		})
@@ -86,7 +85,6 @@ func TestWatcherInjectedPanicIsContained(t *testing.T) {
 	rng := rand.New(rand.NewSource(827))
 	for trial := 0; trial < 6; trial++ {
 		s, err := NewSolver(phpFormula(7), Options{
-			Propagation:     PropWatched,
 			MaxLearned:      16,
 			CheckInvariants: true,
 		})

@@ -1,0 +1,93 @@
+package dia
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/models"
+)
+
+// TestIncrementalDiameterMatchesOneShot pins the incremental ladder against
+// both the one-shot PO driver and explicit BFS: same diameter, and the same
+// verdict at every intermediate step. The incremental session runs with
+// invariant checking on, so frame bookkeeping is deep-checked at every
+// propagation fixpoint under -tags qbfdebug.
+func TestIncrementalDiameterMatchesOneShot(t *testing.T) {
+	cases := []*models.Model{
+		models.Counter(2),
+		models.Semaphore(1),
+		models.Semaphore(2),
+		models.Ring(3),
+		models.TwoBit(),
+	}
+	if !testing.Short() {
+		cases = append(cases, models.DME(2))
+	}
+	for _, m := range cases {
+		bfs, err := models.ExplicitDiameter(m, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxN := bfs + 2
+		one := ComputeDiameter(m, maxN, SolverPO(context.Background(), core.Options{}))
+		inc, err := ComputeDiameterIncremental(context.Background(), m, maxN,
+			core.Options{CheckInvariants: true})
+		if err != nil {
+			t.Fatalf("%s: incremental: %v", m.Name, err)
+		}
+		if !inc.Decided || inc.Diameter != bfs {
+			t.Errorf("%s: incremental diameter %v (decided %v), BFS %d",
+				m.Name, inc.Diameter, inc.Decided, bfs)
+		}
+		if len(inc.Steps) != len(one.Steps) {
+			t.Fatalf("%s: incremental took %d steps, one-shot %d",
+				m.Name, len(inc.Steps), len(one.Steps))
+		}
+		for i, st := range inc.Steps {
+			if st.Result != one.Steps[i].Result {
+				t.Errorf("%s φ%d: incremental says %v, one-shot says %v",
+					m.Name, st.N, st.Result, one.Steps[i].Result)
+			}
+		}
+	}
+}
+
+// TestIncrementalDiameterBudget mirrors the one-shot budget behavior: an
+// exhausted maxN leaves the result undecided with one step per n, and an
+// exhausted node budget surfaces as an undecided result, not an error.
+func TestIncrementalDiameterBudget(t *testing.T) {
+	r, err := ComputeDiameterIncremental(context.Background(), models.Counter(3), 2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Decided {
+		t.Error("maxN=2 cannot decide counter3 (diameter 7)")
+	}
+	if len(r.Steps) != 3 {
+		t.Errorf("got %d steps, want 3", len(r.Steps))
+	}
+
+	limited, err := ComputeDiameterIncremental(context.Background(), models.Counter(4), 20,
+		core.Options{NodeLimit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if limited.Decided {
+		t.Error("NodeLimit=1 must not decide counter4")
+	}
+}
+
+// TestIncrementalDiameterCancel: a cancelled context stops the ladder
+// between steps with an undecided result.
+func TestIncrementalDiameterCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r, err := ComputeDiameterIncremental(ctx, models.Counter(2), 5, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Decided {
+		t.Error("cancelled computation must not decide")
+	}
+}

@@ -109,6 +109,24 @@ func (c *Client) Solve(ctx context.Context, req server.SolveRequest) (Outcome, e
 	if err != nil {
 		return Outcome{}, fmt.Errorf("client: encoding request: %w", err)
 	}
+	return c.do(ctx, http.MethodPost, "/solve", body)
+}
+
+// do runs the retry loop for one logical call against path, with the
+// default finality predicate (result.StatusRetryable).
+func (c *Client) do(ctx context.Context, method, path string, body []byte) (Outcome, error) {
+	return c.doUntil(ctx, method, path, body, nil)
+}
+
+// doUntil is do with a custom finality predicate: a response for which
+// final returns true ends the loop. A nil final accepts any non-retryable
+// status. Session calls need this hook because an executed-but-degraded
+// outcome (timeout, cancellation) is recorded against the seq and must
+// not be re-asked — a retry would only replay the recorded response.
+func (c *Client) doUntil(ctx context.Context, method, path string, body []byte, final func(httpResult) bool) (Outcome, error) {
+	if final == nil {
+		final = func(r httpResult) bool { return !result.StatusRetryable(r.status) }
+	}
 	var out Outcome
 	var lastErr error
 	var lastRA time.Duration
@@ -130,7 +148,7 @@ func (c *Client) Solve(ctx context.Context, req server.SolveRequest) (Outcome, e
 				return out, err
 			}
 		}
-		resp, err := c.post(ctx, body)
+		resp, err := c.post(ctx, method, path, body)
 		if err != nil {
 			lastErr = err
 			lastRA = 0
@@ -143,7 +161,7 @@ func (c *Client) Solve(ctx context.Context, req server.SolveRequest) (Outcome, e
 		out.Resp = resp.body
 		lastErr = nil
 		lastRA = resp.retryAfter
-		if !result.StatusRetryable(resp.status) {
+		if final(resp) {
 			return out, nil
 		}
 	}
@@ -161,12 +179,18 @@ type httpResult struct {
 	retryAfter time.Duration
 }
 
-func (c *Client) post(ctx context.Context, body []byte) (httpResult, error) {
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/solve", bytes.NewReader(body))
+func (c *Client) post(ctx context.Context, method, path string, body []byte) (httpResult, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
 		return httpResult{}, err
 	}
-	hreq.Header.Set("Content-Type", "application/json")
+	if body != nil {
+		hreq.Header.Set("Content-Type", "application/json")
+	}
 	hresp, err := c.hc.Do(hreq)
 	if err != nil {
 		return httpResult{}, err

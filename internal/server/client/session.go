@@ -1,0 +1,90 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/result"
+	"repro/internal/server"
+)
+
+// Session is a handle on one sticky server session: a pinned incremental
+// solver whose learned clauses persist across Solve calls. The handle
+// numbers its calls with the protocol's sequence counter, which is what
+// makes the retry loop safe here: a retried call carries the same seq, so
+// the server replays the recorded response instead of re-applying frame
+// ops. A Session is safe for concurrent use, but calls serialize — the
+// server pins one solver, so there is nothing to parallelize.
+type Session struct {
+	c  *Client
+	id string
+
+	mu  sync.Mutex
+	seq int64
+}
+
+// OpenSession creates a sticky session over req's formula. The returned
+// Outcome carries the raw create response; the *Session is non-nil only
+// when the server granted one. A transport failure after retries may leak
+// a server-side session — the server's TTL reaper collects it.
+func (c *Client) OpenSession(ctx context.Context, req server.SessionRequest) (*Session, Outcome, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, Outcome{}, fmt.Errorf("client: encoding session request: %w", err)
+	}
+	out, err := c.do(ctx, http.MethodPost, "/v1/session", body)
+	if err != nil || out.Status != result.StatusOK || out.Resp.Session == "" {
+		return nil, out, err
+	}
+	return &Session{c: c, id: out.Resp.Session}, out, nil
+}
+
+// ID returns the server-assigned session id.
+func (s *Session) ID() string { return s.id }
+
+// Solve applies ops in order on the session's solver, then solves,
+// retrying transient outcomes under the client policy. Because every
+// retry reuses the same sequence number, a call observed by the server is
+// never executed twice. A 404 means the session no longer exists (closed,
+// expired, or evicted); a 409 means another handle advanced the session's
+// sequence — both are final outcomes, not errors.
+func (s *Session) Solve(ctx context.Context, ops []server.SessionOp, witness bool) (Outcome, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	body, err := json.Marshal(server.SessionSolveRequest{Seq: s.seq + 1, Ops: ops, Witness: witness})
+	if err != nil {
+		return Outcome{}, fmt.Errorf("client: encoding session solve: %w", err)
+	}
+	// Retry only sheds, which by protocol did not execute the ops: an
+	// executed call — even a degraded one (timeout, cancelled, panicked,
+	// rejected ops) — consumed the seq, and re-asking it would only
+	// replay the recorded response.
+	out, err := s.c.doUntil(ctx, http.MethodPost, "/v1/session/"+s.id, body,
+		func(r httpResult) bool {
+			return !result.StatusRetryable(r.status) || r.body.Replayed || r.body.Shed == ""
+		})
+	if err == nil && sessionExecuted(out) {
+		s.seq++
+	}
+	return out, err
+}
+
+// sessionExecuted reports whether the server consumed the call's seq: any
+// well-formed response except a shed (ops never applied), a 404 (session
+// gone), or a 409 (seq out of order).
+func sessionExecuted(out Outcome) bool {
+	return out.Resp.Shed == "" &&
+		out.Status != http.StatusNotFound &&
+		out.Status != http.StatusConflict &&
+		out.Status != http.StatusMethodNotAllowed
+}
+
+// Close deletes the session server-side. Closing an already-gone session
+// yields a 404 outcome, which callers can treat as success — the session
+// is equally dead either way.
+func (s *Session) Close(ctx context.Context) (Outcome, error) {
+	return s.c.do(ctx, http.MethodDelete, "/v1/session/"+s.id, nil)
+}

@@ -1,0 +1,91 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/result"
+	"repro/internal/server"
+)
+
+const sesTinyTrue = "p cnf 2 2\ne 1 2 0\n1 0\n-2 0\n"
+
+// realService runs an actual qbfd server (not a scripted stub): session
+// semantics live server-side, so the client tests exercise the real
+// protocol end to end.
+func realService(t *testing.T) *Client {
+	t.Helper()
+	s := server.New(server.Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Drain(ctx) //nolint:errcheck // best-effort teardown
+	})
+	return New(ts.URL, nil, fastPolicy)
+}
+
+// TestSessionRoundTrip drives a full session through the handle: solve,
+// push+add flipping the verdict, pop restoring it, close.
+func TestSessionRoundTrip(t *testing.T) {
+	c := realService(t)
+	ctx := context.Background()
+
+	sess, out, err := c.OpenSession(ctx, server.SessionRequest{Formula: sesTinyTrue})
+	if err != nil || sess == nil {
+		t.Fatalf("open: %v (out %+v)", err, out)
+	}
+	if sess.ID() == "" {
+		t.Fatal("open: empty session id")
+	}
+
+	out, err = sess.Solve(ctx, nil, false)
+	if err != nil || !out.Decided() || out.Resp.Verdict != "TRUE" {
+		t.Fatalf("solve 1: %v %+v", err, out)
+	}
+	out, err = sess.Solve(ctx, []server.SessionOp{{Op: "push"}, {Op: "add", Lits: []int{-1}}}, false)
+	if err != nil || out.Resp.Verdict != "FALSE" || out.Resp.Depth != 1 {
+		t.Fatalf("solve 2: %v %+v", err, out)
+	}
+	out, err = sess.Solve(ctx, []server.SessionOp{{Op: "pop"}}, true)
+	if err != nil || out.Resp.Verdict != "TRUE" || out.Resp.Depth != 0 {
+		t.Fatalf("solve 3: %v %+v", err, out)
+	}
+	if len(out.Resp.Witness) != 2 {
+		t.Fatalf("solve 3: witness %v", out.Resp.Witness)
+	}
+
+	out, err = sess.Close(ctx)
+	if err != nil || out.Status != result.StatusOK {
+		t.Fatalf("close: %v %+v", err, out)
+	}
+	// The handle is dead; further solves surface the server's 404 as a
+	// final outcome, not an error or a retry storm.
+	out, err = sess.Solve(ctx, nil, false)
+	if err != nil || out.Status != http.StatusNotFound || out.Attempts != 1 {
+		t.Fatalf("solve after close: %v %+v", err, out)
+	}
+}
+
+// TestSessionRejectedOpsConsumeSeq: a 400 from bad ops must advance the
+// handle's seq (the server recorded it), so the next call still works.
+func TestSessionRejectedOpsConsumeSeq(t *testing.T) {
+	c := realService(t)
+	ctx := context.Background()
+	sess, out, err := c.OpenSession(ctx, server.SessionRequest{Formula: sesTinyTrue})
+	if err != nil || sess == nil {
+		t.Fatalf("open: %v (out %+v)", err, out)
+	}
+	out, err = sess.Solve(ctx, []server.SessionOp{{Op: "pop"}}, false)
+	if err != nil || out.Status != result.StatusBadRequest {
+		t.Fatalf("bad op: %v %+v", err, out)
+	}
+	out, err = sess.Solve(ctx, nil, false)
+	if err != nil || !out.Decided() || out.Resp.Verdict != "TRUE" {
+		t.Fatalf("solve after 400: %v %+v", err, out)
+	}
+}

@@ -36,6 +36,83 @@ type SolveRequest struct {
 	Witness bool `json:"witness,omitempty"`
 }
 
+// SessionRequest is the JSON body of POST /v1/session: it opens a sticky
+// incremental session over one formula. The budget fields are clamped by
+// the server caps like SolveRequest's; the time budget applies per solve
+// call, the node budget per solve call (re-armed before each), and the
+// memory budget to the session's learned-constraint store.
+type SessionRequest struct {
+	// Formula is the instance text (QDIMACS or QTREE; required).
+	Formula string `json:"formula"`
+	// Mode selects the engine: "po" (default) or "to". Sessions pin one
+	// solver, so "portfolio" is rejected.
+	Mode string `json:"mode,omitempty"`
+	// Strategy is the prenexing strategy for mode "to" on tree inputs.
+	Strategy string `json:"strategy,omitempty"`
+	// MaxTimeMS / MaxNodes / MaxMemMB are the per-solve budgets
+	// (0 = the server's cap; values above the cap are clamped to it).
+	MaxTimeMS int64 `json:"max_time_ms,omitempty"`
+	MaxNodes  int64 `json:"max_nodes,omitempty"`
+	MaxMemMB  int64 `json:"max_mem_mb,omitempty"`
+}
+
+// SessionOp is one frame operation of a session solve call, applied in
+// order before the solve. Lits are signed variable numbers (QDIMACS
+// convention); push and pop take none.
+type SessionOp struct {
+	// Op is "push", "pop", "add" (a clause), or "assume" (unit clauses).
+	Op string `json:"op"`
+	// Lits are the operation's literals (add: the clause; assume: one unit
+	// per literal).
+	Lits []int `json:"lits,omitempty"`
+}
+
+// SessionSolveRequest is the JSON body of POST /v1/session/<id>: apply the
+// frame operations in order, then solve. Seq makes retries idempotent —
+// the first request on a fresh session carries 1, each subsequent request
+// increments it, and a request re-sent with the last executed Seq replays
+// the recorded response without re-executing anything. A Seq that is
+// neither lastSeq nor lastSeq+1 is rejected with 409.
+type SessionSolveRequest struct {
+	// Seq is the client's request counter, starting at 1.
+	Seq int64 `json:"seq"`
+	// Ops are applied in order before the solve; the first failing op
+	// aborts the request (already-applied ops stay applied — re-sync with
+	// explicit push/pop or close the session if that is not recoverable).
+	Ops []SessionOp `json:"ops,omitempty"`
+	// Witness asks for the outermost existential assignment on TRUE.
+	Witness bool `json:"witness,omitempty"`
+}
+
+// ParseSessionRequest decodes the body of a session-create request with
+// the same strictness as ParseSolveRequest.
+func ParseSessionRequest(body []byte) (*SessionRequest, error) {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var req SessionRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("decoding session request: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("decoding session request: trailing data after JSON body")
+	}
+	return &req, nil
+}
+
+// ParseSessionSolveRequest decodes the body of a session solve call.
+func ParseSessionSolveRequest(body []byte) (*SessionSolveRequest, error) {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var req SessionSolveRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("decoding session solve request: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("decoding session solve request: trailing data after JSON body")
+	}
+	return &req, nil
+}
+
 // ResponseStats is the search-effort excerpt reported per request.
 type ResponseStats struct {
 	Decisions      int64 `json:"decisions"`
@@ -70,6 +147,14 @@ type SolveResponse struct {
 	// canonical-form verdict cache ("cache"). Absent on responses a
 	// backend solved.
 	Source string `json:"source,omitempty"`
+	// Session is the sticky-session id, present on every /v1/session
+	// response (the create response carries only this plus Depth).
+	Session string `json:"session,omitempty"`
+	// Depth is the session's open frame depth after the request's ops.
+	Depth int `json:"depth,omitempty"`
+	// Replayed marks a response served from the session's idempotency
+	// record (a retry carrying the last executed Seq) without re-solving.
+	Replayed bool `json:"replayed,omitempty"`
 	// QueueMS and SolveMS split the request's wall-clock between waiting
 	// for a worker and solving.
 	QueueMS int64 `json:"queue_ms"`

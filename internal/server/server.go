@@ -56,6 +56,9 @@ const (
 	// ShedQueueDeadline: the request waited in the queue longer than the
 	// configured queue timeout and was dropped unsolved (503).
 	ShedQueueDeadline
+	// ShedSessionsFull: the sticky-session store was at capacity with every
+	// session mid-solve, so none could be evicted (429).
+	ShedSessionsFull
 )
 
 func (r ShedReason) String() string {
@@ -68,6 +71,8 @@ func (r ShedReason) String() string {
 		return "breaker-open"
 	case ShedQueueDeadline:
 		return "queue-deadline"
+	case ShedSessionsFull:
+		return "sessions-full"
 	default:
 		return "unknown"
 	}
@@ -75,7 +80,7 @@ func (r ShedReason) String() string {
 
 // numShedReasons sizes the per-reason counters; keep in sync with the
 // constants above.
-const numShedReasons = 4
+const numShedReasons = 5
 
 // Config tunes a Server. The zero value serves with safe defaults:
 // NumCPU workers, a 64-deep queue, a 2 s queue deadline, an 8 MiB body
@@ -99,6 +104,12 @@ type Config struct {
 	Breaker BreakerConfig
 	// PortfolioWorkers sizes mode=portfolio races (0 = 4).
 	PortfolioWorkers int
+	// MaxSessions caps the sticky-session store (0 = 64). Opening a
+	// session beyond the cap evicts the least-recently-used idle session;
+	// when every session is mid-solve the open sheds with 429.
+	MaxSessions int
+	// SessionTTL expires sessions idle longer than this (0 = 5 min).
+	SessionTTL time.Duration
 	// Tracer, when non-nil, receives admit/shed/serve events (and is
 	// handed to every solver, so request traces carry search events too).
 	Tracer *telemetry.Tracer
@@ -130,6 +141,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PortfolioWorkers <= 0 {
 		c.PortfolioWorkers = 4
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 5 * time.Minute
 	}
 	return c
 }
@@ -178,6 +195,8 @@ type Server struct {
 	breakers   map[string]*breaker
 	quarantine map[string]int64 // config key → contained panics
 
+	sessions *sessionStore
+
 	admitted  atomic.Int64
 	completed atomic.Int64
 	panics    atomic.Int64
@@ -199,11 +218,36 @@ func New(cfg Config) *Server {
 	// the root context is created, not a library call site reaching for a
 	// context it should have been handed.
 	s.solveCtx, s.forceCancel = context.WithCancel(context.Background()) //lint:allow L8 server-owned lifecycle root
-	s.workers.Add(cfg.Workers)
+	s.sessions = newSessionStore(cfg, s)
+	s.workers.Add(cfg.Workers + 1)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
+	go s.sessionReaper()
 	return s
+}
+
+// sessionReaper expires idle sessions on a fraction of the TTL until the
+// server shuts down.
+func (s *Server) sessionReaper() {
+	defer s.workers.Done()
+	period := s.cfg.SessionTTL / 4
+	if period < 50*time.Millisecond {
+		period = 50 * time.Millisecond
+	}
+	if period > 30*time.Second {
+		period = 30 * time.Second
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stopWorkers:
+			return
+		case now := <-tick.C:
+			s.sessions.reap(now)
+		}
+	}
 }
 
 // Handler returns the service mux:
@@ -218,6 +262,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/solve", s.handleSolve)
 	mux.HandleFunc("/v1/solve", s.handleSolve)
+	mux.HandleFunc("/v1/session", s.gated(s.sessions.handleCreate))
+	mux.HandleFunc("/v1/session/", s.gated(s.sessions.handleSession))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		io.WriteString(w, "ok\n") //nolint:errcheck // probe body is best-effort
@@ -235,6 +281,38 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// gated wraps a handler with the shared admission envelope: the request is
+// counted against Drain's pending gauge before the drain flag is checked
+// (see handleSolve for why that order matters), and sheds with 503 once
+// draining has begun.
+func (s *Server) gated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.pending.Add(1)
+		defer s.pending.Add(-1)
+		if s.draining.Load() {
+			s.writeShed(w, ShedDraining, result.StatusUnavailable)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// readBody reads the request body under the configured size cap, writing
+// the rejection itself and reporting false when the body is unusable.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxBody+1))
+	if err != nil {
+		writeJSON(w, result.StatusBadRequest, SolveResponse{Error: "reading body: " + err.Error()})
+		return nil, false
+	}
+	if int64(len(body)) > s.cfg.MaxBody {
+		writeJSON(w, http.StatusRequestEntityTooLarge, SolveResponse{
+			Error: "body exceeds " + strconv.FormatInt(s.cfg.MaxBody, 10) + " bytes"})
+		return nil, false
+	}
+	return body, true
+}
+
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, SolveResponse{Error: "POST a SolveRequest to /solve"})
@@ -250,14 +328,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.writeShed(w, ShedDraining, result.StatusUnavailable)
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxBody+1))
-	if err != nil {
-		writeJSON(w, result.StatusBadRequest, SolveResponse{Error: "reading body: " + err.Error()})
-		return
-	}
-	if int64(len(body)) > s.cfg.MaxBody {
-		writeJSON(w, http.StatusRequestEntityTooLarge, SolveResponse{
-			Error: "body exceeds " + strconv.FormatInt(s.cfg.MaxBody, 10) + " bytes"})
+	body, ok := s.readBody(w, r)
+	if !ok {
 		return
 	}
 	req, err := ParseSolveRequest(body)
@@ -435,6 +507,18 @@ func (s *Server) solve(ctx context.Context, spec *solveSpec) jobResult {
 		resp: solveResponse(v, st.StopReason, st, wit, nil)}
 }
 
+// mergeCtx derives a context cancelled by either the request context
+// (client disconnect) or the server's force-cancel root (drain deadline).
+// The returned CancelFunc releases both hooks and must always be called.
+func (s *Server) mergeCtx(req context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(req)
+	stop := context.AfterFunc(s.solveCtx, cancel)
+	return ctx, func() {
+		stop()
+		cancel()
+	}
+}
+
 func (s *Server) shedResult(reason ShedReason) jobResult {
 	return jobResult{
 		status: result.StatusUnavailable,
@@ -497,6 +581,11 @@ func (s *Server) Drain(ctx context.Context) error {
 		}
 		<-tick.C
 	}
+	// Sticky sessions are torn down after the last pending request has
+	// been answered: a session op that slipped past the drain flag holds
+	// its session lock until it responds, and closeAll takes each lock,
+	// so teardown cannot race an in-flight session solve.
+	s.sessions.closeAll()
 	s.stopOnce.Do(func() { close(s.stopWorkers) })
 	s.workers.Wait()
 	if forced {
@@ -517,10 +606,20 @@ type Stats struct {
 	Breakers  map[string]BreakerStats `json:"breakers"`
 	// Quarantined lists solver configurations with at least one contained
 	// panic on record, sorted.
-	Quarantined []string `json:"quarantined"`
-	InFlight    int64    `json:"in_flight"`
-	QueueDepth  int64    `json:"queue_depth"`
-	Draining    bool     `json:"draining"`
+	Quarantined []string     `json:"quarantined"`
+	InFlight    int64        `json:"in_flight"`
+	QueueDepth  int64        `json:"queue_depth"`
+	Draining    bool         `json:"draining"`
+	Sessions    SessionStats `json:"sessions"`
+}
+
+// SessionStats reports the sticky-session store.
+type SessionStats struct {
+	Live    int64 `json:"live"`
+	Created int64 `json:"created"`
+	Closed  int64 `json:"closed"`
+	Expired int64 `json:"expired"`
+	Evicted int64 `json:"evicted"`
 }
 
 // BreakerStats reports one configuration's breaker.
@@ -541,6 +640,7 @@ func (s *Server) Snapshot() Stats {
 		InFlight:   s.active.Load(),
 		QueueDepth: int64(len(s.queue)),
 		Draining:   s.draining.Load(),
+		Sessions:   s.sessions.snapshot(),
 	}
 	for r := 0; r < numShedReasons; r++ {
 		st.Shed[ShedReason(r).String()] = s.shed[r].Load()

@@ -1,0 +1,478 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/qbf"
+	"repro/internal/result"
+	"repro/internal/telemetry"
+)
+
+// Sticky sessions expose the core incremental API (Push/Pop/AddClause/
+// Assume between Solve calls) over HTTP:
+//
+//	POST   /v1/session        open a session over one formula
+//	POST   /v1/session/<id>   apply frame ops, then solve (seq-idempotent)
+//	DELETE /v1/session/<id>   close the session
+//
+// A session pins one core.Solver for its lifetime, so its learned clauses
+// (and their frame tags) persist across calls — the entire point of the
+// API. That pinned state is what makes sessions "sticky" and what the
+// store has to govern:
+//
+//   - concurrency: a per-session mutex serializes solve calls; concurrent
+//     calls against one session queue behind each other rather than
+//     interleaving frame ops;
+//   - idempotency: each call carries a client sequence number; a retry of
+//     the last executed call replays its recorded response instead of
+//     re-applying ops (which would not be idempotent: pop twice ≠ pop);
+//   - memory: the session count is capped; opening a session beyond the
+//     cap evicts the least-recently-used idle session (one whose mutex is
+//     free — an in-flight solve is never evicted), and sheds with 429
+//     when every session is busy;
+//   - lifetime: a reaper expires sessions idle past the TTL, and Drain
+//     closes every session after in-flight calls finish;
+//   - containment: session solves run under SafeSolve with a per-mode
+//     "session:<mode>" circuit breaker; a contained panic poisons the
+//     solver state beyond recovery, so the session is closed on the spot.
+type sessionStore struct {
+	cfg Config
+	srv *Server
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	nextID   uint64
+	created  int64
+	expired  int64
+	evicted  int64
+	closed   int64
+}
+
+// session is one sticky incremental solver and its idempotency record.
+type session struct {
+	id   string
+	mode string // breaker/quarantine key suffix ("po", "to:eu-au", ...)
+
+	// mu serializes calls; the evictor uses TryLock so an in-flight solve
+	// is never evicted. Fields below are guarded by it.
+	mu       sync.Mutex
+	solver   *core.Solver
+	maxNodes int64 // per-solve decision budget (0 = none); re-armed per call
+	lastSeq  int64
+	lastResp SolveResponse // response of lastSeq, for idempotent replay
+	lastCode int
+	closed   bool
+
+	// lastUsed is guarded by the store mutex (the LRU scan reads it while
+	// holding only the store lock).
+	lastUsed time.Time
+}
+
+func newSessionStore(cfg Config, srv *Server) *sessionStore {
+	return &sessionStore{cfg: cfg, srv: srv, sessions: map[string]*session{}}
+}
+
+// handleCreate serves POST /v1/session.
+func (st *sessionStore) handleCreate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, SolveResponse{Error: "POST a SessionRequest to /v1/session"})
+		return
+	}
+	body, ok := st.srv.readBody(w, r)
+	if !ok {
+		return
+	}
+	req, err := ParseSessionRequest(body)
+	if err != nil {
+		writeJSON(w, result.StatusBadRequest, SolveResponse{Error: err.Error()})
+		return
+	}
+	if req.Mode == "portfolio" {
+		writeJSON(w, result.StatusBadRequest, SolveResponse{Error: "sessions pin one solver; mode \"portfolio\" is not supported"})
+		return
+	}
+	spec, err := buildSpec(&SolveRequest{
+		Formula:   req.Formula,
+		Mode:      req.Mode,
+		Strategy:  req.Strategy,
+		MaxTimeMS: req.MaxTimeMS,
+		MaxNodes:  req.MaxNodes,
+		MaxMemMB:  req.MaxMemMB,
+	}, st.cfg.Caps)
+	if err != nil {
+		writeJSON(w, result.StatusBadRequest, SolveResponse{Error: err.Error()})
+		return
+	}
+	spec.opt.Telemetry = st.cfg.Tracer
+	spec.opt.Incremental = true
+
+	// The per-solve node budget is re-armed before every call (NodeLimit
+	// is cumulative over a solver's lifetime); stash it and disarm.
+	maxNodes := spec.opt.NodeLimit
+	spec.opt.NodeLimit = 0
+
+	solver, err := core.NewSolver(spec.q, spec.opt)
+	if err != nil {
+		writeJSON(w, result.StatusBadRequest, SolveResponse{Error: err.Error()})
+		return
+	}
+	if st.cfg.testSolverHook != nil {
+		st.cfg.testSolverHook(spec, solver)
+	}
+
+	sess := &session{mode: spec.key, solver: solver, maxNodes: maxNodes}
+	if !st.admit(sess) {
+		st.srv.writeShed(w, ShedSessionsFull, result.StatusTooManyRequests)
+		return
+	}
+	writeJSON(w, result.StatusOK, SolveResponse{Session: sess.id})
+}
+
+// admit registers a fresh session, evicting the LRU idle session when the
+// store is full. It reports false when every session is busy solving (the
+// caller sheds with 429).
+func (st *sessionStore) admit(sess *session) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for len(st.sessions) >= st.cfg.MaxSessions {
+		victim := st.lruIdleLocked()
+		if victim == nil {
+			return false
+		}
+		delete(st.sessions, victim.id)
+		st.evicted++
+		victim.closed = true
+		victim.solver = nil
+		victim.mu.Unlock()
+		st.emit(4, len(st.sessions))
+	}
+	st.nextID++
+	sess.id = "s" + strconv.FormatUint(st.nextID, 36)
+	sess.lastUsed = time.Now()
+	st.sessions[sess.id] = sess
+	st.created++
+	st.emit(0, len(st.sessions))
+	return true
+}
+
+// lruIdleLocked returns the least-recently-used session whose mutex could
+// be acquired, still holding that mutex (the caller closes and unlocks),
+// or nil when every session is mid-call.
+func (st *sessionStore) lruIdleLocked() *session {
+	var cands []*session
+	for _, s := range st.sessions {
+		cands = append(cands, s)
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].lastUsed.Before(cands[j].lastUsed) })
+	for _, s := range cands {
+		if s.mu.TryLock() {
+			return s
+		}
+	}
+	return nil
+}
+
+// handleSession serves POST (ops+solve) and DELETE (close) on
+// /v1/session/<id>.
+func (st *sessionStore) handleSession(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/v1/session/")
+	if id == "" || strings.Contains(id, "/") {
+		writeJSON(w, http.StatusNotFound, SolveResponse{Error: "no such session"})
+		return
+	}
+	switch r.Method {
+	case http.MethodDelete:
+		st.close(w, id)
+	case http.MethodPost:
+		st.solve(w, r, id)
+	default:
+		writeJSON(w, http.StatusMethodNotAllowed, SolveResponse{Error: "POST ops or DELETE to /v1/session/<id>"})
+	}
+}
+
+func (st *sessionStore) lookup(id string) *session {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s := st.sessions[id]
+	if s != nil {
+		s.lastUsed = time.Now()
+	}
+	return s
+}
+
+func (st *sessionStore) close(w http.ResponseWriter, id string) {
+	st.mu.Lock()
+	sess := st.sessions[id]
+	if sess == nil {
+		st.mu.Unlock()
+		writeJSON(w, http.StatusNotFound, SolveResponse{Error: "no such session"})
+		return
+	}
+	delete(st.sessions, id)
+	st.closed++
+	live := len(st.sessions)
+	st.mu.Unlock()
+
+	// Wait for an in-flight call to finish before releasing the solver.
+	sess.mu.Lock()
+	sess.closed = true
+	sess.solver = nil
+	sess.mu.Unlock()
+	st.emit(2, live)
+	writeJSON(w, result.StatusOK, SolveResponse{Session: id})
+}
+
+func (st *sessionStore) solve(w http.ResponseWriter, r *http.Request, id string) {
+	body, ok := st.srv.readBody(w, r)
+	if !ok {
+		return
+	}
+	req, err := ParseSessionSolveRequest(body)
+	if err != nil {
+		writeJSON(w, result.StatusBadRequest, SolveResponse{Error: err.Error()})
+		return
+	}
+	sess := st.lookup(id)
+	if sess == nil {
+		writeJSON(w, http.StatusNotFound, SolveResponse{Error: "no such session"})
+		return
+	}
+
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.closed {
+		// Lost the race with close/evict between lookup and lock.
+		writeJSON(w, http.StatusNotFound, SolveResponse{Error: "no such session"})
+		return
+	}
+	switch {
+	case req.Seq == sess.lastSeq && req.Seq > 0:
+		// Idempotent replay of the last executed call.
+		resp := sess.lastResp
+		resp.Replayed = true
+		writeJSON(w, sess.lastCode, resp)
+		return
+	case req.Seq != sess.lastSeq+1:
+		writeJSON(w, http.StatusConflict, SolveResponse{
+			Session: id, Depth: sess.solver.FrameDepth(),
+			Error: fmt.Sprintf("seq %d out of order (last executed %d)", req.Seq, sess.lastSeq)})
+		return
+	}
+
+	status, resp, executed := st.execute(r, sess, req)
+	resp.Session = id
+	if executed {
+		// A shed (breaker open) applied no ops, so it must not consume
+		// the seq: the client retries the same seq and the ops run then.
+		sess.lastSeq = req.Seq
+		sess.lastResp = resp
+		sess.lastCode = status
+	}
+	writeJSON(w, status, resp)
+
+	if status == result.StatusInternalError {
+		// A contained panic leaves the solver state unusable; retire the
+		// session (its id keeps answering 404 from now on).
+		sess.closed = true
+		sess.solver = nil
+		st.mu.Lock()
+		delete(st.sessions, id)
+		st.closed++
+		live := len(st.sessions)
+		st.mu.Unlock()
+		st.emit(2, live)
+	}
+}
+
+// execute applies the request's ops and runs the solve under the session
+// breaker, full containment, and the server drain context. The caller
+// holds the session mutex. The executed result is false only when the
+// call was shed before any op was applied (the seq is then not consumed).
+func (st *sessionStore) execute(r *http.Request, sess *session, req *SessionSolveRequest) (int, SolveResponse, bool) {
+	srv := st.srv
+	key := "session:" + sess.mode
+	br := srv.breakerFor(key)
+	tk, ok := br.Admit()
+	if !ok {
+		srv.shed[ShedBreakerOpen].Add(1)
+		srv.emit(telemetry.KindShed, int64(ShedBreakerOpen), 0)
+		return result.StatusUnavailable, SolveResponse{Shed: ShedBreakerOpen.String(),
+			Error: "load shed: " + ShedBreakerOpen.String()}, false
+	}
+
+	for i, op := range req.Ops {
+		if err := applyOp(sess.solver, op); err != nil {
+			br.Cancel(tk)
+			// Earlier ops did apply, so this rejection consumes the seq.
+			return result.StatusBadRequest, SolveResponse{
+				Depth: sess.solver.FrameDepth(),
+				Error: fmt.Sprintf("op %d (%s): %v", i, op.Op, err)}, true
+		}
+	}
+
+	if sess.maxNodes > 0 {
+		sess.solver.SetNodeLimit(sess.solver.Stats().Decisions + sess.maxNodes)
+	}
+	ctx, cancel := srv.mergeCtx(r.Context())
+	srv.active.Add(1)
+	start := time.Now()
+	before := sess.solver.Stats()
+	v, err := sess.solver.SafeSolve(ctx)
+	elapsed := time.Since(start)
+	srv.active.Add(-1)
+	cancel()
+	stats := sess.solver.Stats()
+
+	if err != nil {
+		br.Done(tk, false)
+		srv.panics.Add(1)
+		srv.mu.Lock()
+		srv.quarantine[key]++
+		srv.mu.Unlock()
+		resp := solveResponse(result.Unknown, result.StopPanicked, stats, nil, err)
+		resp.SolveMS = elapsed.Milliseconds()
+		return result.StatusInternalError, resp, true
+	}
+	br.Done(tk, true)
+
+	var wit []int
+	if req.Witness && v == core.True {
+		if model, has := sess.solver.Witness(); has {
+			wit = witnessInts(model, maxWitnessVar(model))
+		}
+	}
+	resp := solveResponse(v, stats.StopReason, stats, wit, nil)
+	resp.Depth = sess.solver.FrameDepth()
+	resp.SolveMS = elapsed.Milliseconds()
+	resp.Stats.Decisions = stats.Decisions - before.Decisions
+	resp.Stats.Propagations = stats.Propagations - before.Propagations
+	resp.Stats.Conflicts = stats.Conflicts - before.Conflicts
+	resp.Stats.Solutions = stats.Solutions - before.Solutions
+	resp.Stats.Fixpoints = stats.Fixpoints - before.Fixpoints
+	st.emit(1, st.live())
+	return result.HTTPStatus(v, stats.StopReason), resp, true
+}
+
+// applyOp maps one wire-format frame operation onto the solver.
+func applyOp(s *core.Solver, op SessionOp) error {
+	switch op.Op {
+	case "push":
+		if len(op.Lits) != 0 {
+			return fmt.Errorf("push takes no literals")
+		}
+		_, err := s.Push()
+		return err
+	case "pop":
+		if len(op.Lits) != 0 {
+			return fmt.Errorf("pop takes no literals")
+		}
+		_, err := s.Pop()
+		return err
+	case "add":
+		return s.AddClause(toLits(op.Lits))
+	case "assume":
+		return s.Assume(toLits(op.Lits)...)
+	default:
+		return fmt.Errorf("unknown op %q (want push, pop, add, or assume)", op.Op)
+	}
+}
+
+func toLits(ints []int) []qbf.Lit {
+	lits := make([]qbf.Lit, len(ints))
+	for i, n := range ints {
+		if n != 0 {
+			lits[i] = qbf.LitOf(n)
+		}
+		// A wire 0 stays the zero value: AddClause/Assume reject it with
+		// a client error, where LitOf would panic on untrusted input.
+	}
+	return lits
+}
+
+// maxWitnessVar sizes the witness flattening (sessions do not retain the
+// original QBF, only the solver).
+func maxWitnessVar(model map[qbf.Var]bool) int {
+	max := 0
+	for v := range model {
+		if v.Int() > max {
+			max = v.Int()
+		}
+	}
+	return max
+}
+
+// live returns the current session count.
+func (st *sessionStore) live() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.sessions)
+}
+
+// reap closes sessions idle past the TTL. Called periodically by the
+// server's reaper goroutine.
+func (st *sessionStore) reap(now time.Time) {
+	var victims []*session
+	st.mu.Lock()
+	for id, s := range st.sessions {
+		if now.Sub(s.lastUsed) > st.cfg.SessionTTL {
+			delete(st.sessions, id)
+			st.expired++
+			victims = append(victims, s)
+		}
+	}
+	live := len(st.sessions)
+	st.mu.Unlock()
+	for _, s := range victims {
+		s.mu.Lock()
+		s.closed = true
+		s.solver = nil
+		s.mu.Unlock()
+		st.emit(3, live)
+	}
+}
+
+// closeAll retires every session; Drain calls it after in-flight requests
+// finish (taking each mutex waits out any straggler).
+func (st *sessionStore) closeAll() {
+	st.mu.Lock()
+	var all []*session
+	for id, s := range st.sessions {
+		delete(st.sessions, id)
+		st.closed++
+		all = append(all, s)
+	}
+	st.mu.Unlock()
+	for _, s := range all {
+		s.mu.Lock()
+		s.closed = true
+		s.solver = nil
+		s.mu.Unlock()
+	}
+	if len(all) > 0 {
+		st.emit(2, 0)
+	}
+}
+
+// snapshot reports the session counters for /statusz.
+func (st *sessionStore) snapshot() SessionStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return SessionStats{
+		Live:    int64(len(st.sessions)),
+		Created: st.created,
+		Closed:  st.closed,
+		Expired: st.expired,
+		Evicted: st.evicted,
+	}
+}
+
+func (st *sessionStore) emit(event int64, live int) {
+	st.cfg.Tracer.Emit(telemetry.KindSession, 0, 0, event, int64(live))
+}

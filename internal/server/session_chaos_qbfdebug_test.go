@@ -1,0 +1,276 @@
+//go:build qbfdebug
+
+// Chaos coverage for sticky sessions: deterministic busy-shed and
+// eviction via a blocking fault hook, panic retirement with the
+// per-mode session breaker, a concurrent seq-claim race on one session
+// (total order must match a local simulation), and a cross-session storm
+// checked against sequential oracles. Run with -race.
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/result"
+)
+
+// TestSessionBusyShedAndEviction pins the memory-governor contract with a
+// solver frozen mid-fixpoint: while the only session is busy it cannot be
+// evicted (create sheds 429 sessions-full); once idle it is the LRU
+// victim for the next create.
+func TestSessionBusyShedAndEviction(t *testing.T) {
+	blockCh := make(chan struct{})
+	var arm atomic.Bool
+	arm.Store(true)
+	cfg := Config{
+		Workers:     1,
+		MaxSessions: 1,
+		testSolverHook: func(spec *solveSpec, s *core.Solver) {
+			if arm.Load() {
+				s.SetFaultHook(func(int64) { <-blockCh })
+			}
+		},
+	}
+	s, ts := testService(t, cfg)
+	a := mustCreate(t, ts.URL, SessionRequest{Formula: phpQDIMACS(3)})
+
+	done := make(chan SolveResponse, 1)
+	go func() {
+		_, resp := postSession(t, ts.URL, "/v1/session/"+a, SessionSolveRequest{Seq: 1})
+		done <- resp
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Snapshot().InFlight == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("session solve never reached a fixpoint")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The store is full and its only session is mid-solve: no victim.
+	status, resp := postSession(t, ts.URL, "/v1/session", SessionRequest{Formula: tinyTrue})
+	if status != result.StatusTooManyRequests || resp.Shed != ShedSessionsFull.String() {
+		t.Fatalf("create while busy: got %d shed=%q, want 429 sessions-full", status, resp.Shed)
+	}
+
+	close(blockCh)
+	if resp := <-done; resp.Verdict != "FALSE" {
+		t.Fatalf("unblocked solve: got %q, want FALSE", resp.Verdict)
+	}
+
+	// Now idle, session a is the LRU victim.
+	arm.Store(false)
+	mustCreate(t, ts.URL, SessionRequest{Formula: tinyTrue})
+	if status, _ := postSession(t, ts.URL, "/v1/session/"+a, SessionSolveRequest{Seq: 2}); status != http.StatusNotFound {
+		t.Fatalf("evicted session answered %d, want 404", status)
+	}
+	if st := s.Snapshot().Sessions; st.Evicted != 1 || st.Live != 1 {
+		t.Fatalf("snapshot: %+v, want evicted=1 live=1", st)
+	}
+}
+
+// TestSessionPanicRetirementAndBreaker: a contained solver panic retires
+// the session on the spot (its id answers 404), repeated panics open the
+// "session:po" breaker, and clearing the fault lets a half-open probe
+// close it again.
+func TestSessionPanicRetirementAndBreaker(t *testing.T) {
+	var poison atomic.Bool
+	poison.Store(true)
+	cfg := Config{
+		Workers: 1,
+		Breaker: BreakerConfig{Threshold: 2, Cooldown: 50 * time.Millisecond},
+		testSolverHook: func(spec *solveSpec, s *core.Solver) {
+			s.SetFaultHook(func(int64) {
+				if poison.Load() {
+					panic("chaos: injected session fault")
+				}
+			})
+		},
+	}
+	s, ts := testService(t, cfg)
+
+	id := mustCreate(t, ts.URL, SessionRequest{Formula: phpQDIMACS(3)})
+	status, resp := postSession(t, ts.URL, "/v1/session/"+id, SessionSolveRequest{Seq: 1})
+	if status != result.StatusInternalError || resp.Stop != "panicked" || resp.Error == "" {
+		t.Fatalf("poisoned solve: got %d stop=%q error=%q, want 500 panicked", status, resp.Stop, resp.Error)
+	}
+	if status, _ := postSession(t, ts.URL, "/v1/session/"+id, SessionSolveRequest{Seq: 2}); status != http.StatusNotFound {
+		t.Fatalf("retired session answered %d, want 404", status)
+	}
+
+	// Keep knocking until the breaker opens; each attempt burns a fresh
+	// session (the previous one was retired by its panic).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		id := mustCreate(t, ts.URL, SessionRequest{Formula: phpQDIMACS(3)})
+		status, resp := postSession(t, ts.URL, "/v1/session/"+id, SessionSolveRequest{Seq: 1})
+		if status == result.StatusUnavailable && resp.Shed == ShedBreakerOpen.String() {
+			break
+		}
+		if status != result.StatusInternalError {
+			t.Fatalf("poisoned solve: got %d %+v, want 500 or breaker shed", status, resp)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("session breaker never opened")
+		}
+	}
+	snap := s.Snapshot()
+	if snap.Breakers["session:po"].Trips == 0 {
+		t.Fatalf("session:po breaker never tripped: %+v", snap.Breakers)
+	}
+	if len(snap.Quarantined) != 1 || snap.Quarantined[0] != "session:po" {
+		t.Fatalf("quarantined = %v, want [session:po]", snap.Quarantined)
+	}
+
+	// Recovery: clear the fault; after the cooldown a half-open probe
+	// must succeed and close the breaker.
+	poison.Store(false)
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		id := mustCreate(t, ts.URL, SessionRequest{Formula: phpQDIMACS(3)})
+		status, resp := postSession(t, ts.URL, "/v1/session/"+id, SessionSolveRequest{Seq: 1})
+		if status == result.StatusOK && resp.Verdict == "FALSE" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session breaker never recovered: last %d %+v", status, resp)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestSessionSeqRace hammers ONE session from 8 goroutines that claim
+// sequence numbers from a shared counter and retry on 409. The per-session
+// mutex plus the seq protocol must impose one total order — so the final
+// frame depth has to match a local simulation of the ops in seq order,
+// regardless of arrival interleaving.
+func TestSessionSeqRace(t *testing.T) {
+	_, ts := testService(t, Config{Workers: 1})
+	id := mustCreate(t, ts.URL, SessionRequest{Formula: tinyTrue})
+
+	const lastSeq = 40
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan error, lastSeq)
+	opFor := func(seq int64) SessionOp {
+		if seq%3 == 0 {
+			return SessionOp{Op: "pop"}
+		}
+		return SessionOp{Op: "push"}
+	}
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				seq := next.Add(1)
+				if seq > lastSeq {
+					return
+				}
+				for {
+					status, resp := postSession(t, ts.URL, "/v1/session/"+id,
+						SessionSolveRequest{Seq: seq, Ops: []SessionOp{opFor(seq)}})
+					if status == http.StatusConflict {
+						time.Sleep(time.Millisecond)
+						continue
+					}
+					// pop at depth 0 is a legitimate 400; anything else
+					// decided must be the TRUE verdict of tinyTrue.
+					if status != result.StatusOK && status != result.StatusBadRequest {
+						errs <- fmt.Errorf("seq %d: status %d %+v", seq, status, resp)
+					}
+					break
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	depth := 0
+	for seq := int64(1); seq <= lastSeq; seq++ {
+		switch op := opFor(seq); {
+		case op.Op == "push":
+			depth++
+		case depth > 0:
+			depth--
+		}
+	}
+	status, resp := postSession(t, ts.URL, "/v1/session/"+id, SessionSolveRequest{Seq: lastSeq + 1})
+	if status != result.StatusOK || resp.Verdict != "TRUE" {
+		t.Fatalf("final solve: got %d %q", status, resp.Verdict)
+	}
+	if resp.Depth != depth {
+		t.Fatalf("final depth %d, simulation says %d: seq order was violated", resp.Depth, depth)
+	}
+}
+
+// TestSessionStormOracle runs concurrent full session lifecycles against
+// random instances with known oracle verdicts: the initial solve and the
+// post-pop solve must both agree with the oracle, with an assumption
+// frame solved in between.
+func TestSessionStormOracle(t *testing.T) {
+	pool := chaosPool(t, 6)
+	_, ts := testService(t, Config{Workers: 4})
+
+	const storm = 24
+	var wg sync.WaitGroup
+	errs := make(chan error, storm*4)
+	for i := 0; i < storm; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			inst := pool[i%len(pool)]
+			status, resp := postSession(t, ts.URL, "/v1/session", SessionRequest{Formula: inst.text})
+			if status != result.StatusOK {
+				errs <- fmt.Errorf("client %d: create: %d %+v", i, status, resp)
+				return
+			}
+			id := resp.Session
+
+			status, resp = postSession(t, ts.URL, "/v1/session/"+id, SessionSolveRequest{Seq: 1})
+			if status != result.StatusOK || resp.Verdict != inst.verdict.String() {
+				errs <- fmt.Errorf("client %d seq 1: %d %q, oracle %v", i, status, resp.Verdict, inst.verdict)
+			}
+
+			// An assumption frame: any decided verdict is acceptable (the
+			// literal may even be universal, forcing FALSE), and a rejected
+			// op is fine too — it still consumes the seq.
+			lit := (i % 12) + 1
+			if i%2 == 1 {
+				lit = -lit
+			}
+			status, resp = postSession(t, ts.URL, "/v1/session/"+id, SessionSolveRequest{
+				Seq: 2, Ops: []SessionOp{{Op: "push"}, {Op: "assume", Lits: []int{lit}}}})
+			if status != result.StatusOK && status != result.StatusBadRequest {
+				errs <- fmt.Errorf("client %d seq 2: %d %+v", i, status, resp)
+			}
+			if status == result.StatusOK && resp.Verdict != "TRUE" && resp.Verdict != "FALSE" {
+				errs <- fmt.Errorf("client %d seq 2: undecided %q", i, resp.Verdict)
+			}
+
+			status, resp = postSession(t, ts.URL, "/v1/session/"+id, SessionSolveRequest{
+				Seq: 3, Ops: []SessionOp{{Op: "pop"}}})
+			if status != result.StatusOK || resp.Verdict != inst.verdict.String() {
+				errs <- fmt.Errorf("client %d seq 3 (post-pop): %d %q, oracle %v", i, status, resp.Verdict, inst.verdict)
+			}
+
+			if status, _ := deleteSession(t, ts.URL, id); status != result.StatusOK {
+				errs <- fmt.Errorf("client %d: close: %d", i, status)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -82,6 +82,14 @@ const (
 	// KindCacheHit: the gate consulted its canonical-form verdict cache.
 	// A = 1 hit / 0 miss, B = live entries after the lookup.
 	KindCacheHit
+	// KindFrame: an incremental solver ran a frame operation.
+	// A = operation (0 push / 1 pop / 2 add-clause / 3 assume),
+	// B = frame depth after the operation.
+	KindFrame
+	// KindSession: the solve service ran a sticky-session lifecycle event.
+	// A = event (0 create / 1 solve / 2 close / 3 expire / 4 evict),
+	// B = live sessions after the event.
+	KindSession
 
 	numKinds // count sentinel; keep last
 )
@@ -89,7 +97,7 @@ const (
 var kindNames = [numKinds]string{
 	"decision", "fixpoint", "conflict", "solution", "learn", "reduce",
 	"import", "restart", "slice", "governor", "stop", "admit", "shed",
-	"serve", "route", "hedge", "cachehit",
+	"serve", "route", "hedge", "cachehit", "frame", "session",
 }
 
 func (k Kind) String() string {
