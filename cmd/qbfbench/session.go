@@ -4,8 +4,11 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"repro/internal/bench"
@@ -13,6 +16,11 @@ import (
 	"repro/internal/dia"
 	"repro/internal/models"
 	"repro/internal/qbf"
+	"repro/internal/qdimacs"
+	"repro/internal/randqbf"
+	"repro/internal/result"
+	"repro/internal/server"
+	"repro/internal/server/client"
 )
 
 // The session suite measures what the incremental API is for: amortizing
@@ -58,11 +66,31 @@ type sessionVariantResult struct {
 	IncMS       float64 `json:"incremental_ms"`
 }
 
+// sessionDurabilityResult is the journaled-service phase row: the same
+// concurrent session ladder workload driven through a real server over
+// loopback twice, once non-durable and once with the write-ahead journal
+// on under the interval fsync policy.
+type sessionDurabilityResult struct {
+	Sessions     int  `json:"sessions"`
+	CallsPerSess int  `json:"calls_per_session"`
+	Reps         int  `json:"reps"`
+	Agrees       bool `json:"agrees"`
+	// BaselineMS and DurableMS are each the min over reps.
+	BaselineMS float64 `json:"baseline_ms"`
+	DurableMS  float64 `json:"durable_ms"`
+	// JournalOverhead is durable/baseline wall; check.sh gates it against
+	// QBF_JOURNAL_TOLERANCE (durability must cost a bounded factor, not a
+	// cliff).
+	JournalOverhead float64 `json:"journal_overhead"`
+	JournalAppends  int64   `json:"journal_appends"`
+}
+
 // sessionReport is the BENCH_session.json schema.
 type sessionReport struct {
-	Suite   string                 `json:"suite"`
-	Ladders []sessionLadderResult  `json:"ladders"`
-	Variant []sessionVariantResult `json:"variant_sweep"`
+	Suite      string                   `json:"suite"`
+	Ladders    []sessionLadderResult    `json:"ladders"`
+	Variant    []sessionVariantResult   `json:"variant_sweep"`
+	Durability *sessionDurabilityResult `json:"durability,omitempty"`
 	// Agrees is the conjunction of every per-row agreement (hard gate).
 	Agrees bool `json:"agrees"`
 	// LadderDecisionRatio is incremental/one-shot decisions summed over the
@@ -197,6 +225,18 @@ func runSessionSuite(ctx context.Context, cfg bench.Config, outDir string) {
 		rep.VariantWallSpeedup = float64(sweepOneWall) / float64(sweepIncWall)
 	}
 
+	// Durability phase: what does the write-ahead journal cost a session
+	// workload end to end?
+	dur, err := runDurabilityPhase(ctx, reps)
+	if err != nil {
+		fail(fmt.Errorf("session durability: %w", err))
+	}
+	if !dur.Agrees {
+		fmt.Fprintln(os.Stderr, "  DISAGREE durability: journaled and non-durable verdict ladders differ")
+	}
+	rep.Agrees = rep.Agrees && dur.Agrees
+	rep.Durability = &dur
+
 	path := filepath.Join(outDir, "BENCH_session.json")
 	f, err := os.Create(path)
 	if err != nil {
@@ -213,6 +253,8 @@ func runSessionSuite(ctx context.Context, cfg bench.Config, outDir string) {
 	}
 	fmt.Printf("  ladder decision ratio %.3f (inc/one, ≤1.5), sweep decision ratio %.2f (one/inc, >1), sweep wall speedup %.2f (>1), agree=%v → %s\n",
 		rep.LadderDecisionRatio, rep.VariantDecisionRatio, rep.VariantWallSpeedup, rep.Agrees, path)
+	fmt.Printf("  durability: journal overhead %.2fx (%.1fms durable vs %.1fms baseline, %d appends)\n",
+		dur.JournalOverhead, dur.DurableMS, dur.BaselineMS, dur.JournalAppends)
 	if !rep.Agrees {
 		campaignFailures++
 	}
@@ -299,5 +341,145 @@ func runVariantSweep(ctx context.Context, m *models.Model, k, reps int, opt core
 	}
 	row.IncMS = float64(minInc.Microseconds()) / 1000
 	row.OneShotMS = float64(minOne.Microseconds()) / 1000
+	return row, nil
+}
+
+// runDurabilityPhase prices crash tolerance: a fleet of concurrent
+// client sessions climbs push/add/pop ladders through a real server on a
+// loopback socket, once with no journal and once with the write-ahead
+// journal on under the interval fsync policy (the recommended production
+// setting — "always" pays a disk sync per call and is the operator's
+// opt-in). Verdict ladders must be identical in both modes; the wall
+// ratio is reported for check.sh to gate.
+func runDurabilityPhase(ctx context.Context, reps int) (sessionDurabilityResult, error) {
+	const (
+		nSessions = 4
+		nCalls    = 24
+	)
+	row := sessionDurabilityResult{Sessions: nSessions, CallsPerSess: nCalls, Reps: reps, Agrees: true}
+	q := randqbf.Prob(randqbf.ProbParams{
+		Blocks: 2, BlockSize: 6, Clauses: 26, Length: 3, MaxUniversal: 1, Seed: 11,
+	})
+	text, err := qdimacs.WriteString(q)
+	if err != nil {
+		return row, err
+	}
+
+	// runOnce drives the whole fleet against one freshly started server
+	// and returns the wall time, the journal append count, and every
+	// session's verdict sequence (index = session id).
+	runOnce := func(dir string) (time.Duration, int64, [][]string, error) {
+		cfg := server.Config{Workers: 2}
+		if dir != "" {
+			cfg.JournalDir = dir
+			cfg.JournalFsync = "interval"
+		}
+		srv := server.New(cfg)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln) //nolint:errcheck // shut down via Close below
+		base := "http://" + ln.Addr().String()
+
+		verdicts := make([][]string, nSessions)
+		errs := make([]error, nSessions)
+		start := time.Now()
+		var wg sync.WaitGroup
+		for c := 0; c < nSessions; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				errs[c] = func() error {
+					cl := client.New(base, nil, client.Policy{
+						MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond, Seed: int64(c) + 1,
+					})
+					sess, out, err := cl.OpenSession(ctx, server.SessionRequest{Formula: text})
+					if err != nil || sess == nil {
+						return fmt.Errorf("open: %v (status %d)", err, out.Status)
+					}
+					for i := 0; i < nCalls; i++ {
+						lit := 1 + i%6 // a block-0 variable of the Prob instance
+						if i%2 == 1 {
+							lit = -lit
+						}
+						out, err := sess.Solve(ctx, []server.SessionOp{
+							{Op: "push"}, {Op: "add", Lits: []int{lit}},
+						}, false)
+						if err != nil || out.Status != result.StatusOK {
+							return fmt.Errorf("call %d: %v (status %d)", i, err, out.Status)
+						}
+						verdicts[c] = append(verdicts[c], out.Resp.Verdict)
+						if out, err := sess.Solve(ctx, []server.SessionOp{{Op: "pop"}}, false); err != nil || out.Status != result.StatusOK {
+							return fmt.Errorf("pop %d: %v (status %d)", i, err, out.Status)
+						}
+					}
+					return nil
+				}()
+			}(c)
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drainErr := srv.Drain(dctx)
+		hs.Close() //nolint:errcheck // drain already resolved every request
+		for _, err := range errs {
+			if err != nil {
+				return 0, 0, nil, err
+			}
+		}
+		if drainErr != nil {
+			return 0, 0, nil, fmt.Errorf("drain: %w", drainErr)
+		}
+		snap := srv.Snapshot()
+		if snap.Journal.Enabled && snap.Journal.Degraded {
+			return 0, 0, nil, fmt.Errorf("journal degraded during the benchmark (%d append errors)", snap.Journal.AppendErrors)
+		}
+		return wall, snap.Journal.Appends, verdicts, nil
+	}
+
+	minBase, minDur := time.Duration(-1), time.Duration(-1)
+	var refVerdicts [][]string
+	for r := 0; r < reps; r++ {
+		baseWall, _, baseV, err := runOnce("")
+		if err != nil {
+			return row, err
+		}
+		dir, err := os.MkdirTemp("", "qbfbench-journal-*")
+		if err != nil {
+			return row, err
+		}
+		durWall, appends, durV, err := runOnce(dir)
+		os.RemoveAll(dir) //nolint:errcheck // scratch dir, best-effort cleanup
+		if err != nil {
+			return row, err
+		}
+		row.JournalAppends += appends
+		if minBase < 0 || baseWall < minBase {
+			minBase = baseWall
+		}
+		if minDur < 0 || durWall < minDur {
+			minDur = durWall
+		}
+		if refVerdicts == nil {
+			refVerdicts = baseV
+		}
+		for _, v := range [][][]string{baseV, durV} {
+			for c := range v {
+				for i := range v[c] {
+					if ctx.Err() == nil && (i >= len(refVerdicts[c]) || v[c][i] != refVerdicts[c][i] || v[c][i] == "") {
+						row.Agrees = false
+					}
+				}
+			}
+		}
+	}
+	row.BaselineMS = float64(minBase.Microseconds()) / 1000
+	row.DurableMS = float64(minDur.Microseconds()) / 1000
+	if minBase > 0 {
+		row.JournalOverhead = float64(minDur) / float64(minBase)
+	}
 	return row, nil
 }

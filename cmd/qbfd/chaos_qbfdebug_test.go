@@ -1,0 +1,147 @@
+//go:build qbfdebug
+
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/result"
+	"repro/internal/server"
+	"repro/internal/server/client"
+)
+
+// The chaos suite runs only under the qbfdebug build tag:
+//
+//	go test -tags qbfdebug -race -run TestChaosCrashRecovery ./cmd/qbfd/
+//
+// It SIGKILLs a real daemon at a fault-hook-chosen journal append while
+// concurrent session ladders are in flight, restarts it over the same
+// journal directory on the same port, and requires every client to
+// finish its ladder with verdicts matching the oracle — without ever
+// being told a restart happened.
+
+const chaosTiny = "p cnf 2 2\ne 1 2 0\n1 0\n-2 0\n"
+
+// chaosStep is one rung of the oracle ladder on chaosTiny (variable 1
+// forced true, variable 2 forced false).
+type chaosStep struct {
+	ops   []server.SessionOp
+	want  string
+	depth int
+}
+
+var chaosLadder = []chaosStep{
+	{nil, "TRUE", 0},
+	{[]server.SessionOp{{Op: "push"}, {Op: "add", Lits: []int{-1}}}, "FALSE", 1},
+	{[]server.SessionOp{{Op: "pop"}}, "TRUE", 0},
+	{[]server.SessionOp{{Op: "push"}, {Op: "add", Lits: []int{2}}}, "FALSE", 1},
+	{[]server.SessionOp{{Op: "pop"}}, "TRUE", 0},
+}
+
+// runLadder opens a session (retrying through downtime — OpenSession has
+// no transparent reconnect of its own) and climbs the oracle ladder.
+// Three outcomes are legitimate per rung: a shed (seq untouched — retry
+// the rung), a torn-call replay (503/cancelled: the crash interrupted
+// this exact call after its ops were applied — advance), or the oracle
+// verdict, live or replayed.
+func runLadder(ctx context.Context, c *client.Client, id int) error {
+	var sess *client.Session
+	for {
+		s, out, err := c.OpenSession(ctx, server.SessionRequest{Formula: chaosTiny})
+		if err == nil && s != nil {
+			sess = s
+			break
+		}
+		if ctx.Err() != nil {
+			return fmt.Errorf("client %d: open: %v (out %+v)", id, err, out)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for k := 0; k < len(chaosLadder); {
+		stp := chaosLadder[k]
+		out, err := sess.Solve(ctx, stp.ops, false)
+		if err != nil {
+			return fmt.Errorf("client %d rung %d: %v", id, k, err)
+		}
+		if out.Resp.Shed != "" {
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		if out.Status == result.StatusUnavailable && out.Resp.Stop == "cancelled" {
+			k++
+			continue
+		}
+		if out.Status != result.StatusOK || out.Resp.Verdict != stp.want || out.Resp.Depth != stp.depth {
+			return fmt.Errorf("client %d rung %d: got %d %s/depth%d (replayed=%v), want %s/depth%d",
+				id, k, out.Status, out.Resp.Verdict, out.Resp.Depth, out.Resp.Replayed, stp.want, stp.depth)
+		}
+		k++
+	}
+	return nil
+}
+
+func TestChaosCrashRecovery(t *testing.T) {
+	g0 := runtime.NumGoroutine()
+	dir := t.TempDir()
+	d1 := startDaemonEnv(t, []string{"QBFD_CHAOS_KILL_AFTER_APPENDS=20"},
+		"-addr", "127.0.0.1:0", "-workers", "2", "-journal-dir", dir, "-fsync", "always")
+	addr := strings.TrimPrefix(d1.addr, "http://")
+
+	pol := client.Policy{MaxAttempts: 6, BaseDelay: time.Millisecond, MaxDelay: 20 * time.Millisecond, Seed: 9}
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+
+	const nClients = 4
+	errs := make(chan error, nClients)
+	for i := 0; i < nClients; i++ {
+		go func(i int) {
+			errs <- runLadder(ctx, client.New("http://"+addr, nil, pol), i)
+		}(i)
+	}
+
+	// The fault hook kills the daemon at the 20th durable append — about
+	// halfway through the ~44 appends the four ladders generate.
+	if code := d1.wait(t); code == 0 {
+		t.Fatalf("daemon exited cleanly; the chaos kill never fired\nstderr: %s", d1.stderrText())
+	}
+	// Restart on the same port over the same journal, chaos disarmed. The
+	// stranded clients reconnect to the recovered sessions on their own.
+	d2 := startDaemonEnv(t, nil, "-addr", addr, "-workers", "2", "-journal-dir", dir, "-fsync", "always")
+	if !strings.Contains(d2.stderrText(), "qbfd: journal: recovered") {
+		t.Errorf("restart never reported recovery\nstderr: %s", d2.stderrText())
+	}
+
+	for i := 0; i < nClients; i++ {
+		if err := <-errs; err != nil {
+			t.Error(err)
+		}
+	}
+
+	if err := d2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := d2.wait(t); code != 0 {
+		t.Fatalf("exit %d after clean drain, want 0\nstderr: %s", code, d2.stderrText())
+	}
+
+	// Leak check: every client goroutine and transport connection the
+	// storm spawned must be gone once the dust settles.
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > g0+2 && time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > g0+2 {
+		pprof.Lookup("goroutine").WriteTo(os.Stderr, 1) //nolint:errcheck // diagnostic dump
+		t.Errorf("goroutine leak: %d at start, %d after teardown", g0, g)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !qbfdebug
+
+package main
+
+// chaosAppendHook is a no-op in production builds. Under the qbfdebug
+// build tag it reads crash-injection knobs from the environment so the
+// chaos suite can SIGKILL the daemon at an exact journal append.
+func chaosAppendHook() func(int64) { return nil }

@@ -1,0 +1,28 @@
+//go:build qbfdebug
+
+package main
+
+import (
+	"os"
+	"strconv"
+	"syscall"
+)
+
+// chaosAppendHook arms a self-SIGKILL after the Nth durable journal
+// append when QBFD_CHAOS_KILL_AFTER_APPENDS is a positive integer.
+// SIGKILL cannot be caught or deferred: the process dies with the
+// journal in exactly the state the disk holds at that append, which is
+// the torn-write scenario boot recovery has to absorb. The hook runs
+// under the journal's lock, so the chosen append is the last record
+// that can possibly be complete on disk.
+func chaosAppendHook() func(int64) {
+	n, err := strconv.ParseInt(os.Getenv("QBFD_CHAOS_KILL_AFTER_APPENDS"), 10, 64)
+	if err != nil || n <= 0 {
+		return nil
+	}
+	return func(total int64) {
+		if total >= n {
+			syscall.Kill(os.Getpid(), syscall.SIGKILL) //nolint:errcheck // dying is the point
+		}
+	}
+}

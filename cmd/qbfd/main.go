@@ -24,6 +24,18 @@
 // timeout, 422 node limit, 507 memory limit, 503 cancelled/shed/drain,
 // 500 contained panic, 429 queue full (with Retry-After).
 //
+// Durability: with -journal-dir set, every session mutation is written
+// to a segmented write-ahead journal before it executes, under the
+// -fsync policy (always, interval, or never). After a crash — SIGKILL,
+// OOM, power loss — the next boot replays the journal: sessions come
+// back with their frame stacks and sequence counters, torn tails are
+// truncated at the first bad checksum, and clients that retry an
+// in-flight call get a deterministic replay instead of a double
+// execution. If the journal disk fails at runtime the daemon keeps
+// serving in a visible degraded (non-durable) mode: /readyz stays 200
+// with a "degraded:non-durable" marker and /statusz counts the append
+// errors — durability is lost, traffic is not.
+//
 // Shutdown: SIGTERM or SIGINT starts a graceful drain — /readyz flips to
 // 503, new and queued requests shed with 503, in-flight solves finish
 // within -drain-timeout, after which they are cancelled cooperatively.
@@ -47,6 +59,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/journal"
 	"repro/internal/server"
 	"repro/internal/telemetry"
 )
@@ -64,10 +77,18 @@ func main() {
 	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "open-breaker cooldown before a half-open probe")
 	maxSessions := flag.Int("max-sessions", 0, "sticky-session cap; beyond it the LRU idle session is evicted (0 = 64)")
 	sessionTTL := flag.Duration("session-ttl", 0, "idle sessions older than this are reaped (0 = 5m)")
+	journalDir := flag.String("journal-dir", "", "session write-ahead journal directory; sessions are recovered from it on boot (empty = non-durable)")
+	fsync := flag.String("fsync", "always", "journal durability policy: always (fsync per append), interval (background flush), never")
 	tracePath := flag.String("trace", "", "write a JSONL event trace to FILE (summarize with `qbfstat trace FILE`)")
 	metricsAddr := flag.String("metrics-addr", "", "serve expvar event counters and pprof on ADDR (e.g. localhost:6060)")
 	profile := flag.String("profile", "", "capture CPU and heap profiles to PREFIX.cpu.pprof / PREFIX.heap.pprof")
 	flag.Parse()
+
+	// A bad policy string is an operator typo, not a disk fault: fail fast
+	// here instead of letting the server degrade to non-durable at boot.
+	if _, err := journal.ParsePolicy(*fsync); err != nil {
+		fail(err)
+	}
 
 	obs, err := telemetry.Setup(*tracePath, *metricsAddr, *profile)
 	if err != nil {
@@ -90,10 +111,23 @@ func main() {
 			Threshold: *breakerThreshold,
 			Cooldown:  *breakerCooldown,
 		},
-		MaxSessions: *maxSessions,
-		SessionTTL:  *sessionTTL,
-		Tracer:      obs.Tracer,
+		MaxSessions:     *maxSessions,
+		SessionTTL:      *sessionTTL,
+		JournalDir:      *journalDir,
+		JournalFsync:    *fsync,
+		JournalOnAppend: chaosAppendHook(),
+		Tracer:          obs.Tracer,
 	})
+	if *journalDir != "" {
+		js := srv.Snapshot().Journal
+		switch {
+		case js.Degraded:
+			fmt.Fprintf(os.Stderr, "qbfd: journal: DEGRADED (non-durable) at %s\n", *journalDir)
+		default:
+			fmt.Fprintf(os.Stderr, "qbfd: journal: recovered %d sessions (%d records) from %s\n",
+				js.RecoveredSessions, js.RecoveredRecords, *journalDir)
+		}
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"net/http"
 	"os"
@@ -54,9 +55,17 @@ var listenLine = regexp.MustCompile(`listening on (127\.0\.0\.1:\d+)`)
 // listening line to learn the address.
 func startDaemon(t *testing.T, extra ...string) *daemon {
 	t.Helper()
-	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	return startDaemonEnv(t, nil, append([]string{"-addr", "127.0.0.1:0"}, extra...)...)
+}
+
+// startDaemonEnv is startDaemon with extra child environment (chaos
+// knobs) and full control of the argument list, including -addr — the
+// crash tests restart a daemon on the exact port its predecessor held so
+// that client handles reconnect transparently.
+func startDaemonEnv(t *testing.T, env []string, args ...string) *daemon {
+	t.Helper()
 	d := &daemon{cmd: exec.Command(os.Args[0], args...), scanDone: make(chan struct{})}
-	d.cmd.Env = append(os.Environ(), "QBFD_TEST_RUN_MAIN=1")
+	d.cmd.Env = append(append(os.Environ(), "QBFD_TEST_RUN_MAIN=1"), env...)
 	pipe, err := d.cmd.StderrPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -147,13 +156,18 @@ func hardFormula(t *testing.T) string {
 	return text
 }
 
-var portField = regexp.MustCompile(`127\.0\.0\.1:\d+`)
+var (
+	portField = regexp.MustCompile(`127\.0\.0\.1:\d+`)
+	dirField  = regexp.MustCompile(`( (?:from|at)) \S+`)
+)
 
-// checkGolden compares got (with the ephemeral port masked) against the
-// golden file, rewriting it under -update.
+// checkGolden compares got (with the ephemeral port and any journal
+// directory path masked) against the golden file, rewriting it under
+// -update.
 func checkGolden(t *testing.T, name, got string) {
 	t.Helper()
 	norm := portField.ReplaceAllString(got, "127.0.0.1:<PORT>")
+	norm = dirField.ReplaceAllString(norm, "$1 <DIR>")
 	path := filepath.Join("testdata", name)
 	if *updateGolden {
 		if err := os.WriteFile(path, []byte(norm), 0o644); err != nil {
@@ -314,6 +328,90 @@ func TestDaemonReadinessFlip(t *testing.T) {
 // qbfd: message.
 func TestDaemonStartupFailure(t *testing.T) {
 	cmd := exec.Command(os.Args[0], "-addr", "256.0.0.1:1")
+	cmd.Env = append(os.Environ(), "QBFD_TEST_RUN_MAIN=1")
+	var errb bytes.Buffer
+	cmd.Stderr = &errb
+	err := cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 || !strings.Contains(errb.String(), "qbfd:") {
+		t.Fatalf("err=%v stderr=%q, want exit 1 with a qbfd: message", err, errb.String())
+	}
+}
+
+// postJSON posts a raw JSON body to the daemon and decodes the solve
+// response. The crash tests use it to re-send exact sequence numbers —
+// something the client.Session handle hides on purpose.
+func (d *daemon) postJSON(t *testing.T, path, body string) (int, server.SolveResponse) {
+	t.Helper()
+	resp, err := http.Post(d.addr+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	var out server.SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("POST %s: decoding response: %v", path, err)
+	}
+	return resp.StatusCode, out
+}
+
+// TestDaemonJournalRecovery kills a journaled daemon with SIGKILL — no
+// drain, no warning — and boots a fresh one over the same directory: the
+// session is recovered, the retried in-flight sequence number replays
+// the recorded response, the ladder continues, and the recovery stderr
+// line matches the golden file.
+func TestDaemonJournalRecovery(t *testing.T) {
+	dir := t.TempDir()
+	d1 := startDaemon(t, "-workers", "1", "-journal-dir", dir, "-fsync", "always")
+	c := client.New(d1.addr, nil, client.Policy{})
+	ctx := context.Background()
+
+	sess, out, err := c.OpenSession(ctx, server.SessionRequest{
+		Formula: "p cnf 2 2\ne 1 2 0\n1 0\n-2 0\n"})
+	if err != nil || sess == nil {
+		t.Fatalf("open: %v (out %+v)", err, out)
+	}
+	if out, err := sess.Solve(ctx, nil, false); err != nil || out.Resp.Verdict != "TRUE" {
+		t.Fatalf("solve 1: %v %+v", err, out)
+	}
+	if out, err := sess.Solve(ctx, []server.SessionOp{{Op: "push"}, {Op: "add", Lits: []int{-1}}}, false); err != nil || out.Resp.Verdict != "FALSE" {
+		t.Fatalf("solve 2: %v %+v", err, out)
+	}
+
+	if err := d1.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	if code := d1.wait(t); code == 0 {
+		t.Fatalf("exit 0 after SIGKILL\nstderr: %s", d1.stderrText())
+	}
+
+	d2 := startDaemonEnv(t, nil, "-addr", "127.0.0.1:0", "-workers", "1", "-journal-dir", dir, "-fsync", "always")
+	// A client that never saw solve 2's response retries the same seq:
+	// the recovered idempotency record replays it instead of re-applying
+	// the push.
+	st, resp := d2.postJSON(t, "/v1/session/"+sess.ID(), `{"seq":2,"ops":[{"op":"push"},{"op":"add","lits":[-1]}]}`)
+	if st != http.StatusOK || !resp.Replayed || resp.Verdict != "FALSE" || resp.Depth != 1 {
+		t.Fatalf("replayed seq 2: %d %+v", st, resp)
+	}
+	// The recovered session keeps solving.
+	st, resp = d2.postJSON(t, "/v1/session/"+sess.ID(), `{"seq":3,"ops":[{"op":"pop"}]}`)
+	if st != http.StatusOK || resp.Verdict != "TRUE" || resp.Depth != 0 {
+		t.Fatalf("seq 3 after recovery: %d %+v", st, resp)
+	}
+
+	if err := d2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := d2.wait(t); code != 0 {
+		t.Fatalf("exit %d after clean drain, want 0\nstderr: %s", code, d2.stderrText())
+	}
+	checkGolden(t, "journal_recovery.golden", d2.stderrText())
+}
+
+// TestDaemonBadFsyncPolicy: an unknown -fsync value must exit 1 before
+// the daemon ever listens.
+func TestDaemonBadFsyncPolicy(t *testing.T) {
+	cmd := exec.Command(os.Args[0], "-journal-dir", t.TempDir(), "-fsync", "sometimes")
 	cmd.Env = append(os.Environ(), "QBFD_TEST_RUN_MAIN=1")
 	var errb bytes.Buffer
 	cmd.Stderr = &errb

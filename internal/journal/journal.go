@@ -1,0 +1,523 @@
+// Package journal is a segmented append-only write-ahead log for the
+// solve service's sticky sessions. The server journals every accepted
+// session operation before executing it; on boot it replays the log to
+// rebuild the sessions a crash destroyed. The package knows nothing about
+// sessions — records are an opaque (type, payload) pair — so the wire
+// schema lives with its owner and the log stays reusable.
+//
+// Records are framed as
+//
+//	[4-byte LE payload length][4-byte LE CRC32C][1-byte type][payload]
+//
+// where the checksum covers the type byte and the payload. The framing is
+// what makes crash recovery deterministic: a torn write (partial frame at
+// the tail) or a corrupted record fails its length or CRC check, and
+// replay stops there — Open returns the longest valid prefix, truncates
+// the torn tail, and discards any later segments, so a corrupt record is
+// never replayed and appends resume from a clean boundary.
+//
+// The log is a directory of numbered segment files (wal-00000001.seg,
+// ...). Append rotates to a fresh segment past the size threshold, and
+// Compact atomically replaces the whole history with a caller-provided
+// snapshot: the snapshot is written to a new (higher-numbered) segment
+// and synced before the old segments are removed, so a crash anywhere in
+// between replays old history followed by snapshot records — which the
+// owner defines to supersede it.
+//
+// Durability is tunable per Options.Fsync: FsyncAlways syncs after every
+// append (each acknowledged record survives power loss), FsyncInterval
+// syncs on a background ticker (bounded loss window, near-zero append
+// latency), FsyncNever leaves flushing to the OS. Append returns the
+// first write or sync error it observes — including errors from the
+// background flusher — and the caller decides whether to degrade; the
+// journal itself never panics on a bad disk.
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Policy selects when appends are fsynced.
+type Policy int
+
+const (
+	// FsyncInterval (the default) syncs on a background ticker: a crash
+	// loses at most the interval's worth of acknowledged appends.
+	FsyncInterval Policy = iota
+	// FsyncAlways syncs after every append.
+	FsyncAlways
+	// FsyncNever leaves flushing to the operating system.
+	FsyncNever
+)
+
+func (p Policy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncNever:
+		return "never"
+	default:
+		return "interval"
+	}
+}
+
+// ParsePolicy is the inverse of Policy.String.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval", "":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("unknown fsync policy %q (want always, interval, or never)", s)
+}
+
+// Record is one journal entry: an owner-defined type tag and an opaque
+// payload. The journal stores and returns it verbatim.
+type Record struct {
+	Type uint8
+	Data []byte
+}
+
+// Options configures Open.
+type Options struct {
+	// Dir is the journal directory (created if missing; required).
+	Dir string
+	// Fsync selects the durability policy (zero value: FsyncInterval).
+	Fsync Policy
+	// FsyncInterval is the background flush period under FsyncInterval
+	// (0 = 50ms).
+	FsyncInterval time.Duration
+	// SegmentBytes rotates to a fresh segment once the current one reaches
+	// this size (0 = 4 MiB).
+	SegmentBytes int64
+	// OnAppend, when non-nil, runs after every durably accepted append
+	// with the lifetime append count. It is called with the journal lock
+	// held; chaos tests use it to kill the process at an exact point.
+	OnAppend func(total int64)
+}
+
+func (o Options) withDefaults() Options {
+	if o.FsyncInterval <= 0 {
+		o.FsyncInterval = 50 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	return o
+}
+
+// Stats is a point-in-time snapshot of the journal counters.
+type Stats struct {
+	// Segments and Bytes describe the live segment files.
+	Segments int
+	Bytes    int64
+	// Appends counts records accepted since Open; Syncs counts fsyncs.
+	Appends int64
+	Syncs   int64
+	// Compactions counts successful Compact calls.
+	Compactions int64
+	// RecoveredRecords is the record count Open replayed;
+	// TruncatedBytes is what Open dropped truncating a torn or corrupt
+	// tail (0 on a clean open).
+	RecoveredRecords int
+	TruncatedBytes   int64
+}
+
+// ErrClosed is returned by operations on a closed journal.
+var ErrClosed = errors.New("journal: closed")
+
+const (
+	headerSize = 9 // 4-byte length + 4-byte CRC32C + 1-byte type
+	// maxPayload rejects absurd length prefixes during replay so a
+	// corrupted length cannot drive a giant allocation.
+	maxPayload = 64 << 20
+)
+
+// castagnoli is the CRC32C table (the polynomial with hardware support
+// on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Journal is an open write-ahead log. Safe for concurrent use.
+type Journal struct {
+	opts Options
+
+	mu     sync.Mutex
+	f      *os.File // current segment, open for append
+	seq    int      // current segment number
+	size   int64    // current segment size
+	bytes  int64    // total bytes across live segments
+	oldest int      // lowest live segment number
+	closed bool
+	err    error // first async (flusher) error, surfaced by Append
+
+	appends     int64
+	syncs       int64
+	compactions int64
+	recovered   int
+	truncated   int64
+
+	stopFlush chan struct{}
+	flushDone chan struct{}
+}
+
+// Open scans dir's segments in order, truncates the tail at the first
+// corrupt or torn record (discarding any later segments), and returns the
+// journal positioned for appending plus every surviving record in append
+// order. The returned records alias freshly read buffers and are the
+// caller's to keep.
+func Open(opts Options) (*Journal, []Record, error) {
+	opts = opts.withDefaults()
+	if opts.Dir == "" {
+		return nil, nil, errors.New("journal: Options.Dir is required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	segs, err := listSegments(opts.Dir)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	j := &Journal{opts: opts, oldest: 1, seq: 1}
+	var recs []Record
+	for i, seg := range segs {
+		data, err := os.ReadFile(segPath(opts.Dir, seg))
+		if err != nil {
+			return nil, nil, fmt.Errorf("journal: reading segment %d: %w", seg, err)
+		}
+		segRecs, valid := decodeAll(data)
+		recs = append(recs, segRecs...)
+		j.bytes += valid
+		if valid == int64(len(data)) {
+			continue
+		}
+		// Torn or corrupt tail: keep the valid prefix of this segment and
+		// drop everything after the first bad record, later segments
+		// included — a record past a corruption point has no trustworthy
+		// predecessor state to apply onto.
+		j.truncated += int64(len(data)) - valid
+		if err := os.Truncate(segPath(opts.Dir, seg), valid); err != nil {
+			return nil, nil, fmt.Errorf("journal: truncating torn tail of segment %d: %w", seg, err)
+		}
+		for _, later := range segs[i+1:] {
+			st, statErr := os.Stat(segPath(opts.Dir, later))
+			if statErr == nil {
+				j.truncated += st.Size()
+			}
+			if err := os.Remove(segPath(opts.Dir, later)); err != nil {
+				return nil, nil, fmt.Errorf("journal: dropping segment %d past corruption: %w", later, err)
+			}
+		}
+		segs = segs[:i+1]
+		break
+	}
+	if len(segs) > 0 {
+		j.oldest, j.seq = segs[0], segs[len(segs)-1]
+	}
+	f, err := os.OpenFile(segPath(opts.Dir, j.seq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: opening segment %d: %w", j.seq, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		closeErr := f.Close()
+		return nil, nil, errors.Join(fmt.Errorf("journal: %w", err), closeErr)
+	}
+	j.f, j.size, j.recovered = f, st.Size(), len(recs)
+	if opts.Fsync == FsyncInterval {
+		j.stopFlush = make(chan struct{})
+		j.flushDone = make(chan struct{})
+		go j.flusher()
+	}
+	return j, recs, nil
+}
+
+// listSegments returns the live segment numbers in ascending order.
+func listSegments(dir string) ([]int, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	var segs []int
+	for _, e := range ents {
+		var n int
+		if _, err := fmt.Sscanf(e.Name(), "wal-%08d.seg", &n); err == nil && n > 0 {
+			segs = append(segs, n)
+		}
+	}
+	sort.Ints(segs)
+	return segs, nil
+}
+
+func segPath(dir string, seq int) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%08d.seg", seq))
+}
+
+// decodeAll decodes records from the longest valid prefix of data,
+// returning them and that prefix's byte length. It never panics on
+// arbitrary input.
+func decodeAll(data []byte) ([]Record, int64) {
+	var recs []Record
+	off := int64(0)
+	for {
+		rec, n := decodeOne(data[off:])
+		if n == 0 {
+			return recs, off
+		}
+		recs = append(recs, rec)
+		off += n
+	}
+}
+
+// decodeOne decodes the frame at the start of b, returning the record and
+// the frame length, or a zero length when the frame is torn or corrupt.
+func decodeOne(b []byte) (Record, int64) {
+	if len(b) < headerSize {
+		return Record{}, 0
+	}
+	plen := int64(binary.LittleEndian.Uint32(b))
+	if plen > maxPayload || headerSize+plen > int64(len(b)) {
+		return Record{}, 0
+	}
+	sum := binary.LittleEndian.Uint32(b[4:])
+	body := b[8 : headerSize+plen] // type byte + payload
+	if crc32.Checksum(body, castagnoli) != sum {
+		return Record{}, 0
+	}
+	data := make([]byte, plen)
+	copy(data, body[1:])
+	return Record{Type: body[0], Data: data}, headerSize + plen
+}
+
+// encode appends rec's frame to buf.
+func encode(buf []byte, rec Record) []byte {
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(rec.Data)))
+	hdr[8] = rec.Type
+	crc := crc32.Checksum(hdr[8:9], castagnoli)
+	crc = crc32.Update(crc, castagnoli, rec.Data)
+	binary.LittleEndian.PutUint32(hdr[4:], crc)
+	buf = append(buf, hdr[:]...)
+	return append(buf, rec.Data...)
+}
+
+// Append writes one record, rotating segments past the size threshold and
+// syncing per the policy. The first write or sync failure — its own or a
+// prior background flush's — is returned; the record is not considered
+// durable then and the caller decides whether to degrade.
+func (j *Journal) Append(rec Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appendLocked(rec)
+}
+
+func (j *Journal) appendLocked(rec Record) error {
+	if j.closed {
+		return ErrClosed
+	}
+	if j.err != nil {
+		return j.err
+	}
+	frame := encode(nil, rec)
+	if j.size > 0 && j.size+int64(len(frame)) > j.opts.SegmentBytes {
+		if err := j.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	n, err := j.f.Write(frame)
+	j.size += int64(n)
+	j.bytes += int64(n)
+	if err != nil {
+		j.err = fmt.Errorf("journal: append: %w", err)
+		return j.err
+	}
+	if j.opts.Fsync == FsyncAlways {
+		if err := j.f.Sync(); err != nil {
+			j.err = fmt.Errorf("journal: sync: %w", err)
+			return j.err
+		}
+		j.syncs++
+	}
+	j.appends++
+	if j.opts.OnAppend != nil {
+		j.opts.OnAppend(j.appends)
+	}
+	return nil
+}
+
+// rotateLocked syncs and closes the current segment and opens the next.
+func (j *Journal) rotateLocked() error {
+	if err := j.f.Sync(); err != nil {
+		j.err = fmt.Errorf("journal: sync on rotate: %w", err)
+		return j.err
+	}
+	j.syncs++
+	if err := j.f.Close(); err != nil {
+		j.err = fmt.Errorf("journal: close on rotate: %w", err)
+		return j.err
+	}
+	f, err := os.OpenFile(segPath(j.opts.Dir, j.seq+1), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		j.err = fmt.Errorf("journal: rotate: %w", err)
+		return j.err
+	}
+	j.seq++
+	j.f, j.size = f, 0
+	return nil
+}
+
+// Compact atomically replaces the journal's entire history with the given
+// snapshot records: they are written to a fresh segment and synced before
+// any old segment is removed. The caller must guarantee the snapshot
+// captures everything the history it replaces did — the server does so by
+// holding every session lock across the call. On error the old history is
+// left in place and the journal keeps appending to it.
+func (j *Journal) Compact(snapshot []Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	if j.err != nil {
+		return j.err
+	}
+	var buf []byte
+	for _, rec := range snapshot {
+		buf = encode(buf, rec)
+	}
+	seq := j.seq + 1
+	path := segPath(j.opts.Dir, seq)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		j.err = fmt.Errorf("journal: compact: %w", err)
+		return j.err
+	}
+	if _, err := f.Write(buf); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		// The partial snapshot segment is harmless if left behind (its
+		// records supersede history, and a torn tail truncates), but try
+		// to keep the directory tidy.
+		os.Remove(path) //nolint:errcheck // best-effort cleanup of a failed compaction
+		j.err = fmt.Errorf("journal: compact: %w", err)
+		return j.err
+	}
+	// The snapshot is durable; retire the history it replaces.
+	if err := j.f.Close(); err != nil {
+		j.err = fmt.Errorf("journal: compact: closing old segment: %w", err)
+		return j.err
+	}
+	for s := j.oldest; s <= j.seq; s++ {
+		if err := os.Remove(segPath(j.opts.Dir, s)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			j.err = fmt.Errorf("journal: compact: removing segment %d: %w", s, err)
+			return j.err
+		}
+	}
+	af, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		j.err = fmt.Errorf("journal: compact: reopening snapshot segment: %w", err)
+		return j.err
+	}
+	j.f, j.seq, j.oldest, j.size = af, seq, seq, int64(len(buf))
+	j.bytes = int64(len(buf))
+	j.syncs++
+	j.compactions++
+	return nil
+}
+
+// Sync flushes the current segment to stable storage.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	if j.err != nil {
+		return j.err
+	}
+	if err := j.f.Sync(); err != nil {
+		j.err = fmt.Errorf("journal: sync: %w", err)
+		return j.err
+	}
+	j.syncs++
+	return nil
+}
+
+// flusher is the FsyncInterval background loop; Close stops it.
+func (j *Journal) flusher() {
+	defer close(j.flushDone)
+	tick := time.NewTicker(j.opts.FsyncInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-j.stopFlush:
+			return
+		case <-tick.C:
+			j.mu.Lock()
+			if !j.closed && j.err == nil {
+				if err := j.f.Sync(); err != nil {
+					// Surfaced by the next Append so the owner can degrade.
+					j.err = fmt.Errorf("journal: background sync: %w", err)
+				} else {
+					j.syncs++
+				}
+			}
+			j.mu.Unlock()
+		}
+	}
+}
+
+// Close stops the background flusher, syncs, and closes the current
+// segment. Appends after Close fail with ErrClosed.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return ErrClosed
+	}
+	j.closed = true
+	stop, done := j.stopFlush, j.flushDone
+	err := j.err
+	if serr := j.f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	return err
+}
+
+// Stats reports the journal counters.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Stats{
+		Segments:         j.seq - j.oldest + 1,
+		Bytes:            j.bytes,
+		Appends:          j.appends,
+		Syncs:            j.syncs,
+		Compactions:      j.compactions,
+		RecoveredRecords: j.recovered,
+		TruncatedBytes:   j.truncated,
+	}
+}

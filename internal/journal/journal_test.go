@@ -1,0 +1,240 @@
+package journal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func mustOpen(t *testing.T, opts Options) (*Journal, []Record) {
+	t.Helper()
+	j, recs, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return j, recs
+}
+
+func rec(typ uint8, data string) Record { return Record{Type: typ, Data: []byte(data)} }
+
+func appendAll(t *testing.T, j *Journal, recs ...Record) {
+	t.Helper()
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatalf("Append(%d): %v", r.Type, err)
+		}
+	}
+}
+
+func wantRecords(t *testing.T, got, want []Record) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Type != want[i].Type || !bytes.Equal(got[i].Data, want[i].Data) {
+			t.Fatalf("record %d: got (%d, %q), want (%d, %q)",
+				i, got[i].Type, got[i].Data, want[i].Type, want[i].Data)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := []Record{rec(1, "open"), rec(2, "ops"), rec(3, ""), rec(4, "close")}
+	j, recs := mustOpen(t, Options{Dir: dir, Fsync: FsyncAlways})
+	wantRecords(t, recs, nil)
+	appendAll(t, j, want...)
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	j2, recs2 := mustOpen(t, Options{Dir: dir})
+	defer j2.Close() //nolint:errcheck // test teardown
+	wantRecords(t, recs2, want)
+	st := j2.Stats()
+	if st.RecoveredRecords != len(want) || st.TruncatedBytes != 0 {
+		t.Fatalf("stats after clean reopen: %+v", st)
+	}
+}
+
+func TestRotationAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, Options{Dir: dir, SegmentBytes: 64, Fsync: FsyncNever})
+	var want []Record
+	for i := 0; i < 40; i++ {
+		r := rec(2, fmt.Sprintf("payload-%02d", i))
+		want = append(want, r)
+		appendAll(t, j, r)
+	}
+	if st := j.Stats(); st.Segments < 2 {
+		t.Fatalf("expected rotation, got %d segment(s)", st.Segments)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	j2, recs := mustOpen(t, Options{Dir: dir})
+	defer j2.Close() //nolint:errcheck // test teardown
+	wantRecords(t, recs, want)
+}
+
+// TestTornTail truncates the last segment mid-record: replay must return
+// every record before the tear, the file must be truncated to that
+// boundary, and subsequent appends must land cleanly after it.
+func TestTornTail(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, Options{Dir: dir, Fsync: FsyncNever})
+	appendAll(t, j, rec(1, "alpha"), rec(2, "beta"), rec(3, "gamma"))
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	seg := filepath.Join(dir, "wal-00000001.seg")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, int64(len(data)-3)); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, recs := mustOpen(t, Options{Dir: dir, Fsync: FsyncNever})
+	wantRecords(t, recs, []Record{rec(1, "alpha"), rec(2, "beta")})
+	if st := j2.Stats(); st.TruncatedBytes == 0 {
+		t.Fatalf("expected truncated bytes, got %+v", st)
+	}
+	appendAll(t, j2, rec(4, "delta"))
+	if err := j2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	j3, recs3 := mustOpen(t, Options{Dir: dir})
+	defer j3.Close() //nolint:errcheck // test teardown
+	wantRecords(t, recs3, []Record{rec(1, "alpha"), rec(2, "beta"), rec(4, "delta")})
+}
+
+// TestBitFlip corrupts a byte inside the first record of the first
+// segment: nothing after the corruption may be replayed, including whole
+// later segments.
+func TestBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, Options{Dir: dir, SegmentBytes: 32, Fsync: FsyncNever})
+	for i := 0; i < 10; i++ {
+		appendAll(t, j, rec(2, fmt.Sprintf("record-%d", i)))
+	}
+	if st := j.Stats(); st.Segments < 2 {
+		t.Fatalf("expected rotation, got %d segment(s)", st.Segments)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	seg := filepath.Join(dir, "wal-00000001.seg")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[headerSize+2] ^= 0x40 // flip a payload bit in the first record
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, recs := mustOpen(t, Options{Dir: dir})
+	defer j2.Close() //nolint:errcheck // test teardown
+	wantRecords(t, recs, nil)
+	if segs, err := listSegments(dir); err != nil || len(segs) != 1 {
+		t.Fatalf("later segments must be dropped past corruption: %v %v", segs, err)
+	}
+}
+
+func TestCompact(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, Options{Dir: dir, SegmentBytes: 48, Fsync: FsyncNever})
+	for i := 0; i < 20; i++ {
+		appendAll(t, j, rec(2, fmt.Sprintf("history-%02d", i)))
+	}
+	snap := []Record{rec(5, "snapshot-a"), rec(5, "snapshot-b")}
+	if err := j.Compact(snap); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if st := j.Stats(); st.Segments != 1 || st.Compactions != 1 {
+		t.Fatalf("stats after compact: %+v", st)
+	}
+	appendAll(t, j, rec(2, "after"))
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	j2, recs := mustOpen(t, Options{Dir: dir})
+	defer j2.Close() //nolint:errcheck // test teardown
+	wantRecords(t, recs, []Record{rec(5, "snapshot-a"), rec(5, "snapshot-b"), rec(2, "after")})
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	j, _ := mustOpen(t, Options{Dir: t.TempDir()})
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := j.Append(rec(1, "x")); err != ErrClosed {
+		t.Fatalf("Append after Close: got %v, want ErrClosed", err)
+	}
+	if err := j.Compact(nil); err != ErrClosed {
+		t.Fatalf("Compact after Close: got %v, want ErrClosed", err)
+	}
+}
+
+func TestIntervalFlusher(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, Options{Dir: dir, Fsync: FsyncInterval, FsyncInterval: time.Millisecond})
+	appendAll(t, j, rec(1, "tick"))
+	deadline := time.Now().Add(2 * time.Second)
+	for j.Stats().Syncs == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background flusher never synced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestOnAppendHook(t *testing.T) {
+	var seen []int64
+	j, _ := mustOpen(t, Options{Dir: t.TempDir(), OnAppend: func(n int64) { seen = append(seen, n) }})
+	appendAll(t, j, rec(1, "a"), rec(1, "b"))
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 2 {
+		t.Fatalf("OnAppend saw %v, want [1 2]", seen)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Policy
+	}{{"always", FsyncAlways}, {"interval", FsyncInterval}, {"", FsyncInterval}, {"never", FsyncNever}} {
+		p, err := ParsePolicy(tc.in)
+		if err != nil || p != tc.want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", tc.in, p, err)
+		}
+	}
+	if _, err := ParsePolicy("sometimes"); err == nil {
+		t.Fatal("ParsePolicy accepted an unknown policy")
+	}
+}
+
+func TestHugeLengthPrefixRejected(t *testing.T) {
+	dir := t.TempDir()
+	// A frame whose length prefix claims far more payload than exists must
+	// be treated as a torn tail, not an allocation request.
+	frame := encode(nil, rec(1, "ok"))
+	bogus := append(frame, 0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0, 1)
+	if err := os.WriteFile(filepath.Join(dir, "wal-00000001.seg"), bogus, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, recs := mustOpen(t, Options{Dir: dir})
+	defer j.Close() //nolint:errcheck // test teardown
+	wantRecords(t, recs, []Record{rec(1, "ok")})
+}

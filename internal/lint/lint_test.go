@@ -246,15 +246,15 @@ func f(n int) string {
 }
 
 func TestRulesByName(t *testing.T) {
-	if got := len(RulesByName(nil, nil)); got != 13 {
-		t.Fatalf("default rule count = %d, want 13", got)
+	if got := len(RulesByName(nil, nil)); got != 14 {
+		t.Fatalf("default rule count = %d, want 14", got)
 	}
 	only := RulesByName([]string{"L2"}, nil)
 	if len(only) != 1 || only[0].Name() != "L2" {
 		t.Fatalf("enable filter broken: %v", only)
 	}
 	without := RulesByName(nil, []string{"L3", "L4"})
-	want := []string{"L1", "L2", "L5", "L6", "L7", "L8", "L9", "L10", "L11", "L12", "L14"}
+	want := []string{"L1", "L2", "L5", "L6", "L7", "L8", "L9", "L10", "L11", "L12", "L14", "L15"}
 	if len(without) != len(want) {
 		t.Fatalf("disable filter broken: %v", without)
 	}

@@ -22,14 +22,15 @@ import (
 //     freely: they are not library code.
 
 // DefaultRules returns all rules in canonical order. L1-L8 and L14 are
-// syntactic; L9-L12 (rules_typed.go) consult type information. L13 is the
-// allocation escape gate, a separate compiler-assisted analyzer.
+// syntactic; L9-L12 and L15 (rules_typed.go) consult type information.
+// L13 is the allocation escape gate, a separate compiler-assisted
+// analyzer.
 func DefaultRules() []Rule {
 	return []Rule{
 		ruleTimestamps{}, ruleConversions{}, rulePanic{}, ruleStringBuild{},
 		ruleGoRecover{}, ruleCommentOpener{}, ruleDirectPrint{}, ruleContextRoot{},
 		ruleAtomicField{}, ruleCtxField{}, ruleLockCopy{}, ruleGoCancel{},
-		ruleSleepLoop{},
+		ruleSleepLoop{}, ruleFileSyncErr{},
 	}
 }
 

@@ -411,6 +411,83 @@ func declBody(f *File, fun ast.Expr) (body *ast.BlockStmt, external bool) {
 	return nil, true
 }
 
+// ---------------------------------------------------------------------------
+// L15: file durability errors must be checked in library packages.
+
+type ruleFileSyncErr struct{}
+
+func (ruleFileSyncErr) Name() string { return "L15" }
+func (ruleFileSyncErr) Doc() string {
+	return "no discarded (*os.File).Sync/Close error in library packages; a failed fsync or close is silent data loss — check the error (deliberate best-effort sites: //lint:allow L15 with a reason)"
+}
+
+func (ruleFileSyncErr) Applies(f *File) bool {
+	return !f.IsTest && f.AST.Name.Name != "main" && f.Info != nil
+}
+
+// osFileDurabilityCall reports whether call is f.Sync() or f.Close() on
+// an *os.File, returning the method name.
+func osFileDurabilityCall(f *File, call *ast.CallExpr) (string, bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := f.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+		return "", false
+	}
+	if fn.Name() != "Sync" && fn.Name() != "Close" {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	recv := types.Unalias(sig.Recv().Type())
+	ptr, ok := recv.(*types.Pointer)
+	if !ok {
+		return "", false
+	}
+	named, ok := types.Unalias(ptr.Elem()).(*types.Named)
+	if !ok || named.Obj() == nil || named.Obj().Name() != "File" {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// Check flags statement-position calls and blank assignments: both throw
+// the error away. A deferred f.Close() is exempt — it is the idiomatic
+// cleanup for read paths and for error paths already returning a prior
+// failure; write paths that care sync or close explicitly before
+// returning, which this rule does police.
+func (ruleFileSyncErr) Check(f *File, report func(token.Pos, string)) {
+	flag := func(call *ast.CallExpr) {
+		if name, ok := osFileDurabilityCall(f, call); ok {
+			report(call.Pos(), fmt.Sprintf(
+				"discarded error from (*os.File).%s: a failed %s is silent data loss — check it, or annotate //lint:allow L15 for deliberate best-effort sites",
+				name, name))
+		}
+	}
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := unparen(n.X).(*ast.CallExpr); ok {
+				flag(call)
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if len(n.Lhs) != len(n.Rhs) || !isBlank(n.Lhs[i]) {
+					continue
+				}
+				if call, ok := unparen(rhs).(*ast.CallExpr); ok {
+					flag(call)
+				}
+			}
+		}
+		return true
+	})
+}
+
 func (ruleGoCancel) Check(f *File, report func(token.Pos, string)) {
 	argsCancellable := func(call *ast.CallExpr) bool {
 		for _, a := range call.Args {

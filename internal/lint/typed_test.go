@@ -337,6 +337,97 @@ func spin() {
 	}
 }
 
+func TestL15FiresOnDiscardedSyncAndClose(t *testing.T) {
+	r, root := fixtureModule(t, map[string]string{
+		"internal/models/x.go": `package models
+import "os"
+func write(path string, b []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	f.Sync()
+	_ = f.Close()
+	return nil
+}
+`,
+	})
+	fs := run(t, r, root)
+	// Three discards: the statement-position Close on the error path, the
+	// statement-position Sync, and the blank-assigned Close.
+	if got := rulesFired(fs)["L15"]; got != 3 {
+		t.Fatalf("L15 findings = %d, want 3: %v", got, fs)
+	}
+}
+
+func TestL15ExemptDeferCheckedMainTestsAndOtherClosers(t *testing.T) {
+	r, root := fixtureModule(t, map[string]string{
+		"internal/models/x.go": `package models
+import (
+	"bytes"
+	"io"
+	"os"
+)
+func read(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() // deferred cleanup on a read path is the idiom
+	return io.ReadAll(f)
+}
+func write(f *os.File, b []byte) error {
+	if _, err := f.Write(b); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil { // checked: fine
+		return err
+	}
+	return f.Close() // returned: fine
+}
+func other(r io.ReadCloser) {
+	r.Close() // not an *os.File: another rule's business
+	var buf bytes.Buffer
+	buf.Write(nil) // same-named methods elsewhere stay silent
+}
+`,
+		"internal/models/x_test.go": `package models
+import "os"
+func scratch(f *os.File) {
+	f.Close() // tests may discard freely
+}
+`,
+		"cmd/tool/main.go": `package main
+import "os"
+func main() {
+	f, _ := os.Create("x")
+	f.Close() // package main is not library code
+}
+`,
+	})
+	if fs := run(t, r, root); len(fs) != 0 {
+		t.Fatalf("unexpected findings: %v", fs)
+	}
+}
+
+func TestL15Allow(t *testing.T) {
+	r, root := fixtureModule(t, map[string]string{
+		"internal/models/x.go": `package models
+import "os"
+func bestEffort(f *os.File) {
+	f.Sync() //lint:allow L15 best-effort flush on the shutdown path
+}
+`,
+	})
+	if fs := run(t, r, root); len(fs) != 0 {
+		t.Fatalf("suppressed L15 still reported: %v", fs)
+	}
+}
+
 func TestAllowMultiRuleTypedAndSyntactic(t *testing.T) {
 	// One line violating both L7 (library print) and L11 (lock copy),
 	// suppressed by a single multi-rule directive.

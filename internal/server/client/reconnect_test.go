@@ -1,0 +1,83 @@
+package client
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// TestSessionReconnectAcrossRestart exercises the crash-tolerance loop
+// end to end from the client's side: the server dies mid-ladder
+// (connection refused), a replacement boots from the same journal on the
+// same address, and the in-flight Solve re-establishes at its own seq and
+// completes against the recovered session — the caller never sees the
+// restart.
+func TestSessionReconnectAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := server.Config{Workers: 1, JournalDir: dir, JournalFsync: "always"}
+
+	s1 := server.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	hs1 := &http.Server{Handler: s1.Handler()}
+	go hs1.Serve(ln) //nolint:errcheck // ends with hs1.Close
+
+	c := New("http://"+addr, nil, fastPolicy)
+	ctx := context.Background()
+	sess, out, err := c.OpenSession(ctx, server.SessionRequest{Formula: sesTinyTrue})
+	if err != nil || sess == nil {
+		t.Fatalf("open: %v (out %+v)", err, out)
+	}
+	if out, err := sess.Solve(ctx, []server.SessionOp{{Op: "push"}, {Op: "add", Lits: []int{-1}}}, false); err != nil || out.Resp.Verdict != "FALSE" {
+		t.Fatalf("solve before crash: %v %+v", err, out)
+	}
+
+	// Crash: the listener vanishes. Deliberately no Drain — a drain would
+	// tombstone the journal; an abandoned server is what a SIGKILL leaves.
+	hs1.Close() //nolint:errcheck // simulated crash
+
+	// The next call starts while the server is down and must ride out the
+	// connection-refused window.
+	cctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	type res struct {
+		out Outcome
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		o, e := sess.Solve(cctx, []server.SessionOp{{Op: "pop"}}, false)
+		ch <- res{o, e}
+	}()
+	time.Sleep(50 * time.Millisecond) // let it fail against the dead address a few times
+
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("rebinding %s: %v", addr, err)
+	}
+	s2 := server.New(cfg)
+	hs2 := &http.Server{Handler: s2.Handler()}
+	go hs2.Serve(ln2) //nolint:errcheck // ends with hs2.Close
+	t.Cleanup(func() {
+		hs2.Close() //nolint:errcheck // test teardown
+		dctx, dcancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer dcancel()
+		s2.Drain(dctx) //nolint:errcheck // best-effort teardown
+	})
+
+	r := <-ch
+	if r.err != nil || r.out.Resp.Verdict != "TRUE" || r.out.Resp.Depth != 0 {
+		t.Fatalf("solve across restart: %v %+v", r.err, r.out)
+	}
+	// The handle keeps working on the recovered session.
+	if out, err := sess.Solve(cctx, nil, false); err != nil || out.Resp.Verdict != "TRUE" {
+		t.Fatalf("solve after reconnect: %v %+v", err, out)
+	}
+}

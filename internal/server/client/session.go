@@ -51,6 +51,15 @@ func (s *Session) ID() string { return s.id }
 // never executed twice. A 404 means the session no longer exists (closed,
 // expired, or evicted); a 409 means another handle advanced the session's
 // sequence — both are final outcomes, not errors.
+//
+// When the server vanishes mid-call — connection refused during a crash
+// and restart — Solve keeps re-establishing for as long as ctx allows:
+// the server journals session state and recovers it on boot, and the seq
+// protocol makes the re-sent call safe (executed once, or replayed from
+// the recovered idempotency record). A caller that does not want to wait
+// out a restart bounds ctx with a deadline; without one, an unreachable
+// server fails the call only when the transport keeps erroring and ctx
+// is cancelled.
 func (s *Session) Solve(ctx context.Context, ops []server.SessionOp, witness bool) (Outcome, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -58,18 +67,30 @@ func (s *Session) Solve(ctx context.Context, ops []server.SessionOp, witness boo
 	if err != nil {
 		return Outcome{}, fmt.Errorf("client: encoding session solve: %w", err)
 	}
-	// Retry only sheds, which by protocol did not execute the ops: an
-	// executed call — even a degraded one (timeout, cancelled, panicked,
-	// rejected ops) — consumed the seq, and re-asking it would only
-	// replay the recorded response.
-	out, err := s.c.doUntil(ctx, http.MethodPost, "/v1/session/"+s.id, body,
-		func(r httpResult) bool {
-			return !result.StatusRetryable(r.status) || r.body.Replayed || r.body.Shed == ""
-		})
-	if err == nil && sessionExecuted(out) {
-		s.seq++
+	for {
+		// Retry only sheds, which by protocol did not execute the ops: an
+		// executed call — even a degraded one (timeout, cancelled,
+		// panicked, rejected ops) — consumed the seq, and re-asking it
+		// would only replay the recorded response.
+		out, err := s.c.doUntil(ctx, http.MethodPost, "/v1/session/"+s.id, body,
+			func(r httpResult) bool {
+				return !result.StatusRetryable(r.status) || r.body.Replayed || r.body.Shed == ""
+			})
+		if err != nil && ctx.Err() == nil {
+			// Every attempt failed at the transport layer but the caller's
+			// context is still live: the server is likely restarting with
+			// journal recovery pending. Back off one max delay and
+			// re-establish at the same seq.
+			if serr := s.c.sleep(ctx, s.c.pol.MaxDelay); serr != nil {
+				return out, err
+			}
+			continue
+		}
+		if err == nil && sessionExecuted(out) {
+			s.seq++
+		}
+		return out, err
 	}
-	return out, err
 }
 
 // sessionExecuted reports whether the server consumed the call's seq: any

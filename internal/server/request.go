@@ -225,6 +225,14 @@ func buildSpec(req *SolveRequest, caps Caps) (*solveSpec, error) {
 	if err != nil {
 		return nil, fmt.Errorf("parsing formula: %w", err)
 	}
+	// The reader leaves duplicate literals and tautological clauses to the
+	// standard cleanup (see the qdimacs package contract); run it here so a
+	// request the workers would reject is a 400 at decode time — and, for
+	// sessions, never journaled.
+	q.NormalizeMatrix()
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("invalid formula: %w", err)
+	}
 	spec := &solveSpec{q: q, witness: req.Witness}
 	spec.opt = core.Options{
 		TimeLimit: clampDuration(time.Duration(req.MaxTimeMS)*time.Millisecond, caps.MaxTime),

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/journal"
 	"repro/internal/portfolio"
 	"repro/internal/result"
 	"repro/internal/telemetry"
@@ -113,6 +114,29 @@ type Config struct {
 	// Tracer, when non-nil, receives admit/shed/serve events (and is
 	// handed to every solver, so request traces carry search events too).
 	Tracer *telemetry.Tracer
+
+	// JournalDir, when non-empty, makes sessions crash-tolerant: every
+	// accepted session op is journaled to a write-ahead log in this
+	// directory before execution, and on construction the server replays
+	// the log, rebuilding the sessions a crash destroyed (DESIGN.md §13).
+	// A journal that cannot be opened or written flips the store into
+	// visible degraded non-durable mode instead of shedding traffic.
+	JournalDir string
+	// JournalFsync is the durability policy: "always", "interval"
+	// (default), or "never" (journal.ParsePolicy).
+	JournalFsync string
+	// JournalFsyncInterval is the background flush period under the
+	// "interval" policy (0 = 50ms).
+	JournalFsyncInterval time.Duration
+	// JournalSegmentBytes is the segment rotation threshold (0 = 4 MiB).
+	JournalSegmentBytes int64
+	// JournalCompactEvery is the append count between snapshot-compaction
+	// attempts (0 = 1024).
+	JournalCompactEvery int64
+	// JournalOnAppend, when non-nil, runs after every durable journal
+	// append with the lifetime count. Chaos tests use it to kill the
+	// process at an exact journal position.
+	JournalOnAppend func(total int64)
 
 	// testSolverHook, when non-nil, runs after each sequential solver is
 	// constructed, before solving. In-package chaos tests use it to
@@ -219,12 +243,54 @@ func New(cfg Config) *Server {
 	// context it should have been handed.
 	s.solveCtx, s.forceCancel = context.WithCancel(context.Background()) //lint:allow L8 server-owned lifecycle root
 	s.sessions = newSessionStore(cfg, s)
+	if cfg.JournalDir != "" {
+		s.openJournal(cfg)
+	}
 	s.workers.Add(cfg.Workers + 1)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
 	go s.sessionReaper()
 	return s
+}
+
+// openJournal opens (or creates) the session write-ahead log and replays
+// it through the recovery manager. Called from New before any worker
+// starts, so recovery sees a quiescent store. A journal that cannot be
+// opened — bad policy string, unusable directory, unreadable segments —
+// does not stop the server: the store comes up in visible degraded
+// non-durable mode and serves traffic from memory.
+func (s *Server) openJournal(cfg Config) {
+	js := &journalState{tracer: cfg.Tracer, compactEvery: cfg.JournalCompactEvery}
+	if js.compactEvery <= 0 {
+		js.compactEvery = 1024
+	}
+	s.sessions.jr = js
+	pol, err := journal.ParsePolicy(cfg.JournalFsync)
+	if err != nil {
+		js.degrade()
+		return
+	}
+	j, recs, err := journal.Open(journal.Options{
+		Dir:           cfg.JournalDir,
+		Fsync:         pol,
+		FsyncInterval: cfg.JournalFsyncInterval,
+		SegmentBytes:  cfg.JournalSegmentBytes,
+		OnAppend:      cfg.JournalOnAppend,
+	})
+	if err != nil {
+		js.degrade()
+		return
+	}
+	js.j = j
+	if dropped := j.Stats().TruncatedBytes; dropped > 0 {
+		s.emitJournal(4, dropped)
+	}
+	s.sessions.recover(recs)
+}
+
+func (s *Server) emitJournal(event, detail int64) {
+	s.cfg.Tracer.Emit(telemetry.KindJournal, 0, 0, event, detail)
 }
 
 // sessionReaper expires idle sessions on a fraction of the TTL until the
@@ -246,6 +312,7 @@ func (s *Server) sessionReaper() {
 			return
 		case now := <-tick.C:
 			s.sessions.reap(now)
+			s.sessions.maybeCompact()
 		}
 	}
 }
@@ -275,6 +342,13 @@ func (s *Server) Handler() http.Handler {
 			return
 		}
 		w.WriteHeader(http.StatusOK)
+		if s.sessions.jr.isDegraded() {
+			// Still 200 — a failed journal disk must not knock the node
+			// out of rotation — but the body carries the durability loss
+			// for operators and probes that read it.
+			io.WriteString(w, "ready degraded:non-durable\n") //nolint:errcheck // probe body is best-effort
+			return
+		}
 		io.WriteString(w, "ready\n") //nolint:errcheck // probe body is best-effort
 	})
 	mux.HandleFunc("/statusz", s.handleStatus)
@@ -586,6 +660,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	// its session lock until it responds, and closeAll takes each lock,
 	// so teardown cannot race an in-flight session solve.
 	s.sessions.closeAll()
+	s.sessions.jr.close()
 	s.stopOnce.Do(func() { close(s.stopWorkers) })
 	s.workers.Wait()
 	if forced {
@@ -611,6 +686,7 @@ type Stats struct {
 	QueueDepth  int64        `json:"queue_depth"`
 	Draining    bool         `json:"draining"`
 	Sessions    SessionStats `json:"sessions"`
+	Journal     JournalStats `json:"journal"`
 }
 
 // SessionStats reports the sticky-session store.
@@ -641,6 +717,7 @@ func (s *Server) Snapshot() Stats {
 		QueueDepth: int64(len(s.queue)),
 		Draining:   s.draining.Load(),
 		Sessions:   s.sessions.snapshot(),
+		Journal:    s.sessions.jr.snapshot(),
 	}
 	for r := 0; r < numShedReasons; r++ {
 		st.Shed[ShedReason(r).String()] = s.shed[r].Load()

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"sort"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/journal"
 	"repro/internal/qbf"
 	"repro/internal/result"
 	"repro/internal/telemetry"
@@ -45,6 +47,11 @@ import (
 type sessionStore struct {
 	cfg Config
 	srv *Server
+	// jr is the write-ahead journal envelope (nil-safe; see journal.go).
+	// Every accepted op is journaled before execution and every teardown
+	// path appends a tombstone before dropping state, so boot recovery
+	// (recovery.go) reconstructs exactly the sessions that were live.
+	jr *journalState
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -60,6 +67,10 @@ type session struct {
 	id   string
 	mode string // breaker/quarantine key suffix ("po", "to:eu-au", ...)
 
+	// createReq is the raw create-request body, retained for journal
+	// snapshots (compaction re-journals it with the live ops).
+	createReq json.RawMessage
+
 	// mu serializes calls; the evictor uses TryLock so an in-flight solve
 	// is never evicted. Fields below are guarded by it.
 	mu       sync.Mutex
@@ -69,6 +80,11 @@ type session struct {
 	lastResp SolveResponse // response of lastSeq, for idempotent replay
 	lastCode int
 	closed   bool
+	// frames mirrors the solver's live frame ops for snapshot compaction:
+	// frames[0] holds ops applied outside any push, each push opens a new
+	// entry, and pop drops the deepest — so popped frames cost nothing in
+	// a compacted journal.
+	frames [][]SessionOp
 
 	// lastUsed is guarded by the store mutex (the LRU scan reads it while
 	// holding only the store lock).
@@ -94,18 +110,7 @@ func (st *sessionStore) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, result.StatusBadRequest, SolveResponse{Error: err.Error()})
 		return
 	}
-	if req.Mode == "portfolio" {
-		writeJSON(w, result.StatusBadRequest, SolveResponse{Error: "sessions pin one solver; mode \"portfolio\" is not supported"})
-		return
-	}
-	spec, err := buildSpec(&SolveRequest{
-		Formula:   req.Formula,
-		Mode:      req.Mode,
-		Strategy:  req.Strategy,
-		MaxTimeMS: req.MaxTimeMS,
-		MaxNodes:  req.MaxNodes,
-		MaxMemMB:  req.MaxMemMB,
-	}, st.cfg.Caps)
+	spec, err := sessionSpec(req, st.cfg.Caps)
 	if err != nil {
 		writeJSON(w, result.StatusBadRequest, SolveResponse{Error: err.Error()})
 		return
@@ -127,12 +132,32 @@ func (st *sessionStore) handleCreate(w http.ResponseWriter, r *http.Request) {
 		st.cfg.testSolverHook(spec, solver)
 	}
 
-	sess := &session{mode: spec.key, solver: solver, maxNodes: maxNodes}
+	sess := &session{
+		mode: spec.key, solver: solver, maxNodes: maxNodes,
+		createReq: body, frames: [][]SessionOp{nil},
+	}
 	if !st.admit(sess) {
 		st.srv.writeShed(w, ShedSessionsFull, result.StatusTooManyRequests)
 		return
 	}
+	st.jr.append(recOpen, journalOpen{ID: sess.id, Req: body})
 	writeJSON(w, result.StatusOK, SolveResponse{Session: sess.id})
+}
+
+// sessionSpec validates a session-create request into a solve spec (the
+// shared path for live creates and boot recovery).
+func sessionSpec(req *SessionRequest, caps Caps) (*solveSpec, error) {
+	if req.Mode == "portfolio" {
+		return nil, fmt.Errorf("sessions pin one solver; mode \"portfolio\" is not supported")
+	}
+	return buildSpec(&SolveRequest{
+		Formula:   req.Formula,
+		Mode:      req.Mode,
+		Strategy:  req.Strategy,
+		MaxTimeMS: req.MaxTimeMS,
+		MaxNodes:  req.MaxNodes,
+		MaxMemMB:  req.MaxMemMB,
+	}, caps)
 }
 
 // admit registers a fresh session, evicting the LRU idle session when the
@@ -146,6 +171,10 @@ func (st *sessionStore) admit(sess *session) bool {
 		if victim == nil {
 			return false
 		}
+		// Tombstone before dropping state: if the process dies between the
+		// append and the delete, recovery closes a session that was about
+		// to be evicted anyway — the reverse order would resurrect it.
+		st.jr.append(recClose, journalClose{ID: victim.id})
 		delete(st.sessions, victim.id)
 		st.evicted++
 		victim.closed = true
@@ -215,6 +244,7 @@ func (st *sessionStore) close(w http.ResponseWriter, id string) {
 		writeJSON(w, http.StatusNotFound, SolveResponse{Error: "no such session"})
 		return
 	}
+	st.jr.append(recClose, journalClose{ID: id})
 	delete(st.sessions, id)
 	st.closed++
 	live := len(st.sessions)
@@ -274,6 +304,12 @@ func (st *sessionStore) solve(w http.ResponseWriter, r *http.Request, id string)
 		sess.lastSeq = req.Seq
 		sess.lastResp = resp
 		sess.lastCode = status
+		// Solves do not change logical state, so the journal only needs
+		// the idempotency record: on recovery a retried seq replays this
+		// response instead of re-running anything.
+		if data, err := json.Marshal(resp); err == nil {
+			st.jr.append(recDone, journalDone{ID: id, Seq: req.Seq, Code: status, Resp: data})
+		}
 	}
 	writeJSON(w, status, resp)
 
@@ -283,6 +319,7 @@ func (st *sessionStore) solve(w http.ResponseWriter, r *http.Request, id string)
 		sess.closed = true
 		sess.solver = nil
 		st.mu.Lock()
+		st.jr.append(recClose, journalClose{ID: id})
 		delete(st.sessions, id)
 		st.closed++
 		live := len(st.sessions)
@@ -307,14 +344,24 @@ func (st *sessionStore) execute(r *http.Request, sess *session, req *SessionSolv
 			Error: "load shed: " + ShedBreakerOpen.String()}, false
 	}
 
+	// Journal the accepted call before executing anything: a crash from
+	// here on replays exactly the ops the client will retry. Appending
+	// after the breaker admit keeps shed calls (which consume no seq and
+	// apply no ops) out of the journal.
+	if len(req.Ops) > 0 {
+		st.jr.append(recOps, journalOps{ID: sess.id, Seq: req.Seq, Ops: req.Ops})
+	}
 	for i, op := range req.Ops {
 		if err := applyOp(sess.solver, op); err != nil {
 			br.Cancel(tk)
 			// Earlier ops did apply, so this rejection consumes the seq.
+			// Recovery reproduces the partial application: replaying the
+			// journaled ops fails at this same op.
 			return result.StatusBadRequest, SolveResponse{
 				Depth: sess.solver.FrameDepth(),
 				Error: fmt.Sprintf("op %d (%s): %v", i, op.Op, err)}, true
 		}
+		sess.trackOp(op)
 	}
 
 	if sess.maxNodes > 0 {
@@ -422,6 +469,8 @@ func (st *sessionStore) reap(now time.Time) {
 	st.mu.Lock()
 	for id, s := range st.sessions {
 		if now.Sub(s.lastUsed) > st.cfg.SessionTTL {
+			// Tombstone before dropping state (see admit).
+			st.jr.append(recClose, journalClose{ID: id})
 			delete(st.sessions, id)
 			st.expired++
 			victims = append(victims, s)
@@ -444,6 +493,10 @@ func (st *sessionStore) closeAll() {
 	st.mu.Lock()
 	var all []*session
 	for id, s := range st.sessions {
+		// A drain intentionally closes every session, so each one is
+		// tombstoned: a restart after a clean shutdown recovers nothing,
+		// matching the wire protocol (clients saw their sessions die).
+		st.jr.append(recClose, journalClose{ID: id})
 		delete(st.sessions, id)
 		st.closed++
 		all = append(all, s)
@@ -475,4 +528,85 @@ func (st *sessionStore) snapshot() SessionStats {
 
 func (st *sessionStore) emit(event int64, live int) {
 	st.cfg.Tracer.Emit(telemetry.KindSession, 0, 0, event, int64(live))
+}
+
+// trackOp mirrors one successfully applied op into the session's live
+// frame record (the compaction snapshot source). The caller holds the
+// session mutex.
+func (sess *session) trackOp(op SessionOp) {
+	switch op.Op {
+	case "push":
+		sess.frames = append(sess.frames, nil)
+	case "pop":
+		if n := len(sess.frames); n > 1 {
+			sess.frames = sess.frames[:n-1]
+		}
+	default:
+		i := len(sess.frames) - 1
+		sess.frames[i] = append(sess.frames[i], op)
+	}
+}
+
+// liveOps flattens the session's live frames into the op sequence that
+// reconstructs its solver from a fresh create: frames[0] verbatim, then a
+// push before each deeper frame. Popped frames are already gone — that is
+// what makes a compacted journal smaller than its history.
+func (sess *session) liveOps() []SessionOp {
+	var out []SessionOp
+	for i, fr := range sess.frames {
+		if i > 0 {
+			out = append(out, SessionOp{Op: "push"})
+		}
+		out = append(out, fr...)
+	}
+	return out
+}
+
+// maybeCompact rewrites the journal as one snapshot record per live
+// session once enough appends have accumulated. Every session must be
+// idle — the snapshot has to capture a consistent cut, so the store and
+// all session locks are held across the journal.Compact call and the
+// round is skipped if any session is mid-solve (the next reaper tick
+// retries). Called from the server's reaper goroutine.
+func (st *sessionStore) maybeCompact() {
+	jr := st.jr
+	if jr == nil || jr.j == nil || jr.isDegraded() || jr.sinceCompact.Load() < jr.compactEvery {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var locked []*session
+	defer func() {
+		for _, s := range locked {
+			s.mu.Unlock()
+		}
+	}()
+	for _, s := range st.sessions {
+		if !s.mu.TryLock() {
+			return // a session is busy; retry next tick
+		}
+		locked = append(locked, s)
+	}
+	recs := make([]journal.Record, 0, len(locked))
+	for _, s := range locked {
+		snap := journalSnapshot{
+			ID: s.id, Req: s.createReq, Ops: s.liveOps(),
+			LastSeq: s.lastSeq, LastCode: s.lastCode,
+		}
+		if resp, err := json.Marshal(s.lastResp); err == nil {
+			snap.LastResp = resp
+		}
+		data, err := json.Marshal(snap)
+		if err != nil {
+			jr.degrade()
+			return
+		}
+		recs = append(recs, journal.Record{Type: recSnapshot, Data: data})
+	}
+	if err := jr.j.Compact(recs); err != nil {
+		jr.degrade()
+		return
+	}
+	jr.sinceCompact.Store(0)
+	st.cfg.Tracer.Emit(telemetry.KindJournal, 0, 0, 3, int64(len(recs)))
 }

@@ -43,7 +43,7 @@ func StartProfiles(prefix string) (func() error, error) {
 		return nil, err
 	}
 	if err := rpprof.StartCPUProfile(cpuF); err != nil {
-		cpuF.Close()
+		cpuF.Close() //lint:allow L15 profiling never started; the start error supersedes cleanup
 		return nil, err
 	}
 	return func() error {

@@ -158,6 +158,15 @@ type Summary struct {
 	// CacheLookups / CacheHits aggregate KindCacheHit events.
 	CacheLookups int64
 	CacheHits    int64
+
+	// The Journal* fields aggregate KindJournal: appends recorded,
+	// degradations to non-durable mode, sessions recovered at boot,
+	// compactions run, and bytes dropped truncating torn tails.
+	JournalAppends     int64
+	JournalDegrades    int64
+	JournalRecovered   int64
+	JournalCompactions int64
+	JournalTruncated   int64
 }
 
 // Summarize replays the trace from r and aggregates it.
@@ -189,6 +198,19 @@ func Summarize(r io.Reader) (Summary, error) {
 			s.CacheLookups++
 			if e.A == 1 {
 				s.CacheHits++
+			}
+		case KindJournal:
+			switch e.A {
+			case 0:
+				s.JournalAppends++
+			case 1:
+				s.JournalDegrades++
+			case 2:
+				s.JournalRecovered += e.B
+			case 3:
+				s.JournalCompactions++
+			case 4:
+				s.JournalTruncated += e.B
 			}
 		}
 		if e.T > s.LastNanos {
@@ -260,6 +282,14 @@ func (s Summary) WriteText(w io.Writer) error {
 	if s.CacheLookups > 0 {
 		if _, err := fmt.Fprintf(w, "  cache-hits %d/%d (%.1f%%)\n",
 			s.CacheHits, s.CacheLookups, 100*float64(s.CacheHits)/float64(s.CacheLookups)); err != nil {
+			return err
+		}
+	}
+	if s.JournalAppends > 0 || s.JournalDegrades > 0 || s.JournalRecovered > 0 ||
+		s.JournalCompactions > 0 || s.JournalTruncated > 0 {
+		if _, err := fmt.Fprintf(w, "  journal    appends=%d recovered=%d compactions=%d truncated=%dB degrades=%d\n",
+			s.JournalAppends, s.JournalRecovered, s.JournalCompactions,
+			s.JournalTruncated, s.JournalDegrades); err != nil {
 			return err
 		}
 	}

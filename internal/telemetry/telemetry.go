@@ -90,6 +90,12 @@ const (
 	// A = event (0 create / 1 solve / 2 close / 3 expire / 4 evict),
 	// B = live sessions after the event.
 	KindSession
+	// KindJournal: the session write-ahead journal ran a lifecycle event.
+	// A = event (0 append / 1 degrade / 2 recover / 3 compact /
+	// 4 truncate), B = the event detail: lifetime appends, 0, sessions
+	// recovered at boot, records in the compaction snapshot, and bytes
+	// dropped truncating a torn tail, respectively.
+	KindJournal
 
 	numKinds // count sentinel; keep last
 )
@@ -97,7 +103,7 @@ const (
 var kindNames = [numKinds]string{
 	"decision", "fixpoint", "conflict", "solution", "learn", "reduce",
 	"import", "restart", "slice", "governor", "stop", "admit", "shed",
-	"serve", "route", "hedge", "cachehit", "frame", "session",
+	"serve", "route", "hedge", "cachehit", "frame", "session", "journal",
 }
 
 func (k Kind) String() string {

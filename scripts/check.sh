@@ -5,7 +5,7 @@
 #   1. go build            (everything compiles, including qbfdebug)
 #   2. go vet              (stock static analysis)
 #   3. gofmt check         (no unformatted files)
-#   4. qbflint             (project-specific rules L1-L12, type-checked
+#   4. qbflint             (project-specific rules L1-L15, type-checked
 #                          over every library and cmd package across all
 #                          build-tag variants, see DESIGN.md §6)
 #   5. qbflint -gate hotpath
@@ -43,9 +43,11 @@
 #                          search-soundness failure is unmistakable — see
 #                          DESIGN.md §7 and §12)
 #  10. go test -fuzz smoke (5s fuzz each of the QDIMACS/QTREE reader, the
-#                          service request decoder, and the clause-arena
-#                          op-stream model; the checked-in corpora replay
-#                          in step 6 already)
+#                          service request decoder, the clause-arena
+#                          op-stream model, and the session journal reader
+#                          — arbitrary bytes must recover the longest
+#                          valid record prefix, never panic; the
+#                          checked-in corpora replay in step 6 already)
 #  11. tracing overhead    (builds with -tags qbfnotrace, then compares the
 #                          end-to-end BenchmarkSolveTraceOverhead between
 #                          the default build — hooks compiled in, tracer
@@ -64,8 +66,17 @@
 #                          qbfdebug -race: seq races across goroutines,
 #                          busy-session shedding, contained-panic
 #                          retirement with breaker trips and recovery,
+#                          journal recovery after in-process crash stops,
 #                          and a concurrent session storm against the
-#                          one-shot oracle — see DESIGN.md §12)
+#                          one-shot oracle — see DESIGN.md §12 and §13)
+#  13b. crash-recovery chaos
+#                          (the real qbfd binary under -tags qbfdebug
+#                          -race: the fault hook SIGKILLs the daemon at a
+#                          chosen journal append mid-storm, a restart over
+#                          the same journal directory recovers every
+#                          session, the stranded clients reconnect on
+#                          their own, and all verdicts agree with the
+#                          oracle ladder — see DESIGN.md §13)
 #  14. bench smoke         (portfolio-vs-sequential, solve-service,
 #                          front-tier, and incremental-session smoke
 #                          campaigns; write results/BENCH_portfolio.json,
@@ -76,7 +87,11 @@
 #                          incremental solving beats repeated one-shot
 #                          solving: variant-sweep decision ratio and wall
 #                          speedup both above QBF_SESSION_TOLERANCE,
-#                          default 1.0)
+#                          default 1.0. The same report's durability
+#                          phase prices the write-ahead journal: the
+#                          journaled-service wall overhead over an
+#                          identical non-durable run must stay under
+#                          QBF_JOURNAL_TOLERANCE, default 2.0)
 #
 # Exits non-zero at the first failing step. Run from anywhere inside the
 # repository.
@@ -128,6 +143,9 @@ go test -run '^$' -fuzz=FuzzArena -fuzztime=5s ./internal/core/
 
 echo "==> go test -fuzz=FuzzSolveRequest -fuzztime=5s ./internal/server/"
 go test -run '^$' -fuzz=FuzzSolveRequest -fuzztime=5s ./internal/server/
+
+echo "==> go test -fuzz=FuzzJournal -fuzztime=5s ./internal/journal/"
+go test -run '^$' -fuzz=FuzzJournal -fuzztime=5s ./internal/journal/
 
 echo "==> go build -tags qbfnotrace ./..."
 go build -tags qbfnotrace ./...
@@ -185,8 +203,12 @@ echo "$sw $pw" | awk '{
 }'
 
 echo "==> session chaos (qbfdebug, race)"
-go test -tags qbfdebug -race -count=1 -run 'TestSession' \
+go test -tags qbfdebug -race -count=1 -run 'TestSession|TestJournal|TestDrainTombstones' \
     ./internal/server/ ./internal/server/client/
+
+echo "==> crash-recovery chaos (qbfdebug, race, real daemon, SIGKILL mid-storm)"
+go test -tags qbfdebug -race -count=1 -run 'TestChaosCrashRecovery|TestDaemonJournalRecovery' \
+    ./cmd/qbfd/
 
 echo "==> bench_portfolio smoke (results/BENCH_portfolio.json)"
 go run ./cmd/qbfbench -suite portfolio -scale smoke -out results
@@ -211,6 +233,18 @@ awk -v tol="${QBF_SESSION_TOLERANCE:-1.0}" '
         printf "    incremental vs one-shot: %.2fx decisions, %.2fx wall (tolerance %.2fx)\n", ratio, speedup, tol
         if (speedup + 0 < tol + 0 || ratio + 0 < tol + 0) {
             print "incremental sessions do not beat one-shot solving" > "/dev/stderr"
+            exit 1
+        }
+    }' results/BENCH_session.json
+# Durability gate: crash tolerance may cost a bounded factor of session
+# wall time (buffered appends under the interval fsync policy), never a
+# cliff. Both sides are min-of-reps over the same loopback workload.
+awk -v tol="${QBF_JOURNAL_TOLERANCE:-2.0}" '
+    /"journal_overhead"/ { gsub(/[,"]/, ""); overhead = $2 }
+    END {
+        printf "    journal overhead: %.2fx wall (tolerance %.2fx)\n", overhead, tol
+        if (overhead + 0 > tol + 0) {
+            print "write-ahead journal overhead exceeds tolerance" > "/dev/stderr"
             exit 1
         }
     }' results/BENCH_session.json
